@@ -1,0 +1,56 @@
+// Ablation — HDC encoding scheme: random projection (crossbar-mappable MVM)
+// vs record-based ID (x) LEVEL binding (MVM-free).
+//
+// Fig. 1D's point: the *same* task can be served by algorithm variants with
+// fundamentally different compute, which map to different hardware.  The
+// projection encoder wants a crossbar; the record encoder wants nothing but
+// adds/multiplies — so the architecture choice flips with the encoder.
+#include <iostream>
+
+#include "hdc/model.hpp"
+#include "util/table.hpp"
+#include "workload/dataset.hpp"
+
+using namespace xlds;
+
+namespace {
+
+double accuracy_for(const workload::Dataset& ds, hdc::EncoderKind encoder, std::size_t hv_dim,
+                    int bits) {
+  Rng rng(1200);
+  hdc::HdcConfig cfg;
+  cfg.hv_dim = hv_dim;
+  cfg.element_bits = bits;
+  cfg.encoder = encoder;
+  hdc::HdcModel model(cfg, ds.dim, ds.n_classes, rng);
+  model.train(ds.train_x, ds.train_y);
+  return model.accuracy(ds.test_x, ds.test_y);
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "Ablation — HDC encoding scheme (projection vs record)",
+               "same task, different compute kernels, different hardware mapping");
+
+  Table table({"dataset", "HV length", "bits", "random projection", "ID x LEVEL record"});
+  for (const char* name : {"isolet-like", "language-like"}) {
+    const workload::Dataset ds = workload::make_named_dataset(name, 1201);
+    for (std::size_t hv_dim : {std::size_t{1024}, std::size_t{4096}}) {
+      for (int bits : {1, 3}) {
+        table.add_row(
+            {name, std::to_string(hv_dim), std::to_string(bits),
+             Table::num(accuracy_for(ds, hdc::EncoderKind::kRandomProjection, hv_dim, bits), 3),
+             Table::num(accuracy_for(ds, hdc::EncoderKind::kIdLevel, hv_dim, bits), 3)});
+      }
+    }
+  }
+  std::cout << table;
+  std::cout << "\nExpected shape: on compact feature spaces (language-like) the MVM-free\n"
+               "record encoder reaches parity at high dimensionality; on wide, low-SNR-\n"
+               "per-feature inputs (isolet-like) it trails the projection encoder, whose\n"
+               "dense mixing is exactly what a crossbar accelerates.  Encoding choice is\n"
+               "workload-dependent and drags the hardware choice with it — the\n"
+               "algorithm/architecture coupling the paper's Fig. 1D emphasises.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation — HDC retraining and dimensionality at low element precision.
+//
+// The case-study literature reaches iso-accuracy at 3-4 bits only *with*
+// software-hardware co-design: perceptron-style retraining and enough
+// hypervector dimensionality.  This ablation removes each lever.
+#include <iostream>
+
+#include "hdc/model.hpp"
+#include "util/table.hpp"
+#include "workload/dataset.hpp"
+
+using namespace xlds;
+
+namespace {
+
+struct TrainTest {
+  double train = 0.0;
+  double test = 0.0;
+};
+
+TrainTest accuracy_for(const workload::Dataset& ds, std::size_t hv_dim, int bits,
+                       std::size_t retrain_epochs) {
+  Rng rng(1100);
+  hdc::HdcConfig cfg;
+  cfg.hv_dim = hv_dim;
+  cfg.element_bits = bits;
+  cfg.retrain_epochs = retrain_epochs;
+  hdc::HdcModel model(cfg, ds.dim, ds.n_classes, rng);
+  model.train(ds.train_x, ds.train_y);
+  return {model.accuracy(ds.train_x, ds.train_y), model.accuracy(ds.test_x, ds.test_y)};
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "Ablation — HDC retraining epochs x dimensionality x precision",
+               "the co-design levers behind the Fig. 3C iso-accuracy claim");
+
+  // Harder than the isolet-like preset so the training set is not linearly
+  // trivial — retraining only acts on training-set errors.
+  workload::GaussianClustersSpec spec;
+  spec.name = "hard-isolet";
+  spec.n_classes = 26;
+  spec.dim = 617;
+  spec.train_per_class = 20;
+  spec.test_per_class = 12;
+  spec.separation = 5.5;
+  const workload::Dataset ds = workload::make_gaussian_clusters(spec, 1101);
+
+  Table table({"HV length", "bits", "no retraining (train/test)", "1 epoch", "3 epochs",
+               "6 epochs"});
+  for (std::size_t hv_dim : {std::size_t{512}, std::size_t{2048}}) {
+    for (int bits : {1, 3}) {
+      std::vector<std::string> row = {std::to_string(hv_dim), std::to_string(bits)};
+      for (std::size_t epochs : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                                 std::size_t{6}}) {
+        const TrainTest a = accuracy_for(ds, hv_dim, bits, epochs);
+        row.push_back(Table::num(a.train, 2) + " / " + Table::num(a.test, 3));
+      }
+      table.add_row(row);
+    }
+  }
+  std::cout << table;
+  std::cout << "\nObserved shape (and an honest co-design lesson): perceptron retraining\n"
+               "only acts on training-set errors.  On these Gaussian workloads the\n"
+               "bundled model already fits the training split at D >= 2048, so the\n"
+               "dominant iso-accuracy lever is *dimensionality* — retraining adds its\n"
+               "few points only in the low-D / low-precision regime where training\n"
+               "errors exist (and can slightly overfit there).  Co-design conclusions\n"
+               "depend on the workload's separability, which is why the paper insists on\n"
+               "comprehensive benchmarking across datasets (Sec. III).\n";
+  return 0;
+}

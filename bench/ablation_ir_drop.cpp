@@ -1,0 +1,84 @@
+// Ablation — IR-drop modelling fidelity and its application-level impact.
+//
+// (a) Validates the fast two-pass analytic IR-drop estimate against the
+//     Gauss-Seidel nodal solve across array sizes and loading densities.
+// (b) Quantifies the MVM error IR drop induces, the lever behind the
+//     Sec.-IV guidance to keep operating currents low (HRS-biased mappings).
+#include <chrono>
+#include <iostream>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "xbar/crossbar.hpp"
+
+using namespace xlds;
+
+namespace {
+
+xbar::CrossbarConfig config_for(std::size_t n, xbar::IrDropMode mode, double density) {
+  xbar::CrossbarConfig cfg;
+  cfg.rows = n;
+  cfg.cols = n;
+  cfg.apply_variation = false;
+  cfg.read_noise_rel = 0.0;
+  cfg.ir_drop = mode;
+  (void)density;
+  return cfg;
+}
+
+MatrixD dense_conductances(std::size_t n, double density, const device::RramParams& p,
+                           Rng& rng) {
+  MatrixD g(n, n, p.g_min);
+  for (double& v : g.data())
+    if (rng.bernoulli(density)) v = p.g_max;
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "Ablation — IR-drop model fidelity and impact",
+               "two-pass analytic estimate vs nodal solve; error induced in column currents");
+
+  Table table({"array", "LRS density", "worst-case drop (analytic)", "analytic vs nodal",
+               "analytic time", "nodal time"});
+
+  for (std::size_t n : {32u, 64u, 128u}) {
+    for (double density : {0.25, 1.0}) {
+      Rng rng(1000 + n);
+      xbar::Crossbar analytic(config_for(n, xbar::IrDropMode::kAnalytic, density), rng);
+      xbar::Crossbar nodal(config_for(n, xbar::IrDropMode::kNodal, density), rng);
+      Rng fill(2000 + n);
+      const MatrixD g = dense_conductances(n, density, analytic.config().rram, fill);
+      analytic.program_conductances(g);
+      nodal.program_conductances(g);
+
+      const std::vector<double> ones(n, 1.0);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto ia = analytic.column_currents(ones);
+      const auto t1 = std::chrono::steady_clock::now();
+      const auto in = nodal.column_currents(ones);
+      const auto t2 = std::chrono::steady_clock::now();
+
+      RunningStats rel_err;
+      for (std::size_t c = 0; c < n; ++c)
+        if (in[c] > 0.0) rel_err.add(std::abs(ia[c] - in[c]) / in[c]);
+
+      const double ta = std::chrono::duration<double>(t1 - t0).count();
+      const double tn = std::chrono::duration<double>(t2 - t1).count();
+      table.add_row({std::to_string(n) + "x" + std::to_string(n), Table::num(density, 2),
+                     Table::num(100.0 * analytic.ir_drop_worst_case(), 2) + " %",
+                     Table::num(100.0 * rel_err.mean(), 2) + " % mean err",
+                     Table::num(ta * 1e6, 1) + " us", Table::num(tn * 1e6, 1) + " us"});
+    }
+  }
+  std::cout << table;
+  std::cout << "\nExpected shape: worst-case drop grows with array size and loading; the\n"
+               "analytic estimate tracks the nodal solve within a few percent through\n"
+               "64x64 at a ~100-1000x runtime advantage, degrading at extreme size x\n"
+               "loading (128x128 all-LRS) — which is why the analytic model is the sweep\n"
+               "default and the nodal solver the validation tool, and why practical\n"
+               "designs cap tile size near 64x64 (as the Sec.-IV prototype did).\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Ablation — the multi-bit CAM density/sensing trade (Fig. 3B's shrinking
+// window, quantified through the Eva-CAM extension).
+//
+// Storing more bits per FeFET cell shrinks the array (and the HDC case study
+// showed 3-bit cells reduce the hypervector memory by 3x at iso-accuracy);
+// the price is a smaller one-step mismatch conductance and tighter sensing
+// limits.  This table makes the trade explicit, with and without device
+// variation folded in, plus the fault-injection view from the functional
+// crossbar (stuck-cell fraction vs MVM error).
+#include <iostream>
+
+#include "evacam/evacam.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "xbar/crossbar.hpp"
+
+using namespace xlds;
+
+int main() {
+  print_banner(std::cout, "Ablation — MCAM bits/cell vs density and sensing",
+               "Eva-CAM with the multi-bit extension; 512 x 128-bit words at 28 nm");
+
+  Table table({"bits/cell", "cells/word", "area (um^2)", "write E/word", "1-step g (uS)",
+               "mismatch limit", "limit @ 8% sigma", "max columns", "max cols @ 8% sigma"});
+  for (int bits = 1; bits <= 3; ++bits) {
+    evacam::CamDesignSpec spec;
+    spec.device = device::DeviceKind::kFeFet;
+    spec.cell = evacam::CellType::k2FeFET;
+    spec.match = cam::MatchType::kBest;
+    spec.tech = "28nm";
+    spec.words = 512;
+    spec.bits = 128;
+    spec.bits_per_cell = bits;
+    spec.subarray_rows = 128;
+    spec.subarray_cols = 64;
+    spec.min_distinguishable_steps = 2;
+    spec.device_sigma_rel = 0.08;
+    const evacam::EvaCam tool(spec);
+    const evacam::CamFom fom = tool.evaluate();
+    table.add_row({std::to_string(bits), std::to_string(tool.cells_per_word()),
+                   Table::num(to_um2(fom.area_m2), 0), si_format(fom.write_energy, "J", 2),
+                   Table::num(tool.mismatch_conductance() * 1e6, 2),
+                   std::to_string(fom.mismatch_limit),
+                   std::to_string(fom.mismatch_limit_with_variation),
+                   std::to_string(fom.max_ml_columns),
+                   std::to_string(fom.max_ml_columns_with_variation)});
+  }
+  std::cout << table;
+
+  print_banner(std::cout, "Fault-injection view — stuck cells vs crossbar MVM error",
+               "the defect axis the statistical array model (Sec. IV) covers");
+  Table faults({"stuck fraction", "stuck-at", "mean |MVM error| (weight units)"});
+  for (double fraction : {0.0, 0.01, 0.05, 0.10}) {
+    for (bool at_lrs : {false, true}) {
+      Rng rng(1400);
+      xbar::CrossbarConfig cfg;
+      cfg.rows = 64;
+      cfg.cols = 64;
+      cfg.apply_variation = false;
+      cfg.read_noise_rel = 0.0;
+      cfg.ir_drop = xbar::IrDropMode::kNone;
+      xbar::Crossbar xb(cfg, rng);
+      xb.inject_random_stuck_faults(fraction, at_lrs ? cfg.rram.g_max : cfg.rram.g_min);
+      Rng data(1401);
+      MatrixD w(64, 32);
+      for (double& v : w.data()) v = data.uniform(-1.0, 1.0);
+      xb.program_weights(w);
+      std::vector<double> x(64);
+      for (double& v : x) v = data.uniform();
+      const auto ideal = xb.ideal_mvm(x);
+      const auto got = xb.mvm(x);
+      RunningStats err;
+      for (std::size_t j = 0; j < got.size(); ++j) err.add(std::abs(got[j] - ideal[j]));
+      faults.add_row({Table::num(fraction, 2), at_lrs ? "LRS" : "HRS", Table::num(err.mean(), 3)});
+      if (fraction == 0.0) break;  // stuck-at is irrelevant at zero faults
+    }
+  }
+  std::cout << faults;
+  std::cout << "\nExpected shape: density and write energy improve ~linearly with bits/cell\n"
+               "while the one-step conductance collapses quadratically and the (variation-\n"
+               "aware) matchline width tightens; stuck-at-LRS defects hurt the crossbar\n"
+               "far more than stuck-at-HRS — why defect-aware mapping prefers HRS-biased\n"
+               "codes (Sec. IV).\n";
+  return 0;
+}

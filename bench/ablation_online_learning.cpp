@@ -1,0 +1,68 @@
+// Sec. VII's profiling question, quantified: "are data traffic patterns
+// write heavy, thereby prioritizing device endurance and/or write latency?"
+//
+// Sweeps the AM update rate (writes per inference — 0 for frozen models,
+// ~1+ for online/continual learning) and reports, per device: lifetime at a
+// deployment inference rate, the write-time overhead added to each
+// inference, and the evaluator's feasibility verdict.
+#include <cmath>
+#include <iostream>
+
+#include "core/design_space.hpp"
+#include "core/evaluate.hpp"
+#include "nvsim/explorer.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace xlds;
+
+int main() {
+  print_banner(std::cout, "Ablation — write traffic vs device endurance (Sec. VII profiling)",
+               "AM update rate sweep; 100 inferences/s deployment, 128-bit words");
+
+  constexpr double kInferencesPerSecond = 100.0;
+  constexpr double kYear = 365.0 * 24 * 3600;
+
+  Table table({"device", "writes/inference", "lifetime", "write overhead/inference",
+               "evaluator verdict"});
+  const core::Evaluator evaluator;
+  for (device::DeviceKind dev : {device::DeviceKind::kRram, device::DeviceKind::kPcm,
+                                 device::DeviceKind::kFeFet, device::DeviceKind::kMram,
+                                 device::DeviceKind::kFlash}) {
+    for (double writes : {0.0, 0.1, 1.0, 10.0}) {
+      const auto& traits = device::traits(dev);
+      // Wear-levelled over a 1024-entry AM: per-cell write rate.
+      const double cell_writes_per_s = writes * kInferencesPerSecond / 1024.0;
+      const double lifetime_s = cell_writes_per_s > 0.0
+                                    ? traits.endurance_cycles / cell_writes_per_s
+                                    : HUGE_VAL;
+      const std::string lifetime = !std::isfinite(lifetime_s) ? "no writes"
+                                   : lifetime_s > 300.0 * kYear
+                                       ? ">300 y"
+                                       : Table::num(lifetime_s / kYear, 2) + " y";
+
+      core::AppProfile profile = core::profile_for("omniglot-like");
+      profile.writes_per_inference = writes;
+      core::DesignPoint point;
+      point.device = dev;
+      point.arch = core::ArchKind::kCamXbarHybrid;
+      point.algo = core::AlgoKind::kMann;
+      std::string verdict;
+      if (auto why = core::incompatibility(point)) {
+        verdict = "culled: " + *why;
+      } else {
+        const core::Fom fom = evaluator.evaluate(point, profile);
+        verdict = fom.feasible ? "feasible" : fom.note;
+      }
+      table.add_row({device::to_string(dev), Table::num(writes, 1), lifetime,
+                     si_format(writes * traits.write_latency, "s", 2), verdict});
+    }
+  }
+  std::cout << table;
+  std::cout << "\nExpected shape: frozen models make every NVM viable; at 1-10 writes per\n"
+               "inference flash falls off the endurance cliff (and its 10 us writes poison\n"
+               "the latency budget), PCM/RRAM survive on wear-levelling headroom, and\n"
+               "MRAM/FeFET are untroubled — write-heavy profiles prioritise endurance\n"
+               "and write latency exactly as the Sec.-VII checklist says.\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Ablation — the Sec.-IV co-optimisation: mapping RRAM conductance states
+// away from the high-variation band.
+//
+// Compares the naive (endpoints-of-range) binary mapping against the
+// variation-aware mapping on (a) the raw margin/sigma score and (b) the
+// sensed-distance spread of a functional TCAM, plus the multi-level mapping
+// the crossbar path uses.
+#include <iostream>
+
+#include "cam/rram_tcam.hpp"
+#include "device/rram.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace xlds;
+
+namespace {
+
+struct ProgrammingFidelity {
+  double mean_error_us = 0.0;  ///< |achieved - target| mean, uS
+  double confusion = 0.0;      ///< fraction read back as the wrong level
+};
+
+/// Single-pulse-program every level of an n-level mapping repeatedly and
+/// measure the achieved error and the nearest-level confusion rate (closed-
+/// loop program-verify would mask the mapping difference — and costs write
+/// time/energy the co-optimisation is meant to avoid).
+ProgrammingFidelity programming_fidelity(const device::RramModel& model, int levels,
+                                         bool variation_aware, Rng& rng) {
+  const auto& p = model.params();
+  std::vector<double> targets(levels);
+  for (int l = 0; l < levels; ++l) {
+    targets[l] = variation_aware
+                     ? model.variation_aware_level_conductance(l, levels)
+                     : p.g_min + (p.g_max - p.g_min) * l / static_cast<double>(levels - 1);
+  }
+  RunningStats err;
+  std::size_t confused = 0, trials = 0;
+  for (int l = 0; l < levels; ++l) {
+    for (int i = 0; i < 4000; ++i) {
+      const double g = model.program_once(targets[l], rng);  // single-pulse write
+      err.add(std::abs(g - targets[l]));
+      // Read back as the nearest level of the same mapping.
+      int best = 0;
+      for (int m = 1; m < levels; ++m)
+        if (std::abs(g - targets[m]) < std::abs(g - targets[best])) best = m;
+      if (best != l) ++confused;
+      ++trials;
+    }
+  }
+  return {err.mean() * 1e6, static_cast<double>(confused) / static_cast<double>(trials)};
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "Ablation — variation-aware RRAM state mapping (Sec. IV)",
+               "naive endpoint mapping vs mapping away from the high-variation band");
+
+  const device::RramModel model{device::RramParams{}};
+
+  // (a) per-level programming sigma of the two mappings, 4-level case.
+  Table levels({"level (of 4)", "naive g (uS)", "sigma (uS)", "aware g (uS)", "sigma (uS)"});
+  const auto& p = model.params();
+  for (int l = 0; l < 4; ++l) {
+    const double naive = p.g_min + (p.g_max - p.g_min) * l / 3.0;
+    const double aware = model.variation_aware_level_conductance(l, 4);
+    levels.add_row({std::to_string(l), Table::num(naive * 1e6, 2),
+                    Table::num(model.sigma_at(naive) * 1e6, 3), Table::num(aware * 1e6, 2),
+                    Table::num(model.sigma_at(aware) * 1e6, 3)});
+  }
+  std::cout << levels << '\n';
+
+  // (b) functional impact: multi-level program-and-verify fidelity.
+  Table fidelity({"levels", "mapping", "mean |error| (uS)", "level confusion"});
+  for (int levels : {4, 8}) {
+    for (bool aware : {false, true}) {
+      Rng rng(900 + levels);
+      const ProgrammingFidelity f = programming_fidelity(model, levels, aware, rng);
+      fidelity.add_row({std::to_string(levels), aware ? "variation-aware" : "naive",
+                        Table::num(f.mean_error_us, 3),
+                        Table::num(100.0 * f.confusion, 2) + " %"});
+    }
+  }
+  std::cout << fidelity;
+  std::cout << "\nExpected shape: the aware mapping dodges the mid-band sigma bump for the\n"
+               "interior levels, cutting both the achieved programming error and the\n"
+               "level-confusion rate — 'conductance states can be mapped away from\n"
+               "regions where the conductance variation is large'.\n";
+  return 0;
+}

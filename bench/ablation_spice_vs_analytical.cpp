@@ -1,0 +1,99 @@
+// Ablation — the Sec.-VI premise itself: "while SPICE-based circuit
+// simulations are accurate, they are also time-consuming and have poor
+// scalability... a well-validated, analytical modeling/evaluation
+// infrastructure is necessary".
+//
+// For the FeFET CAM matchline (with its *nonlinear* square-law pull-downs),
+// compares the analytical discharge-time model against an RK4 transient
+// integration of the true device law: per-point error, and the wall-clock
+// cost of sweeping a design space with each.
+#include <chrono>
+#include <iostream>
+
+#include "circuit/matchline.hpp"
+#include "circuit/transient.hpp"
+#include "circuit/wire.hpp"
+#include "device/fefet.hpp"
+#include "device/technology.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace xlds;
+
+int main() {
+  print_banner(std::cout, "Ablation — analytical matchline model vs SPICE-lite transient",
+               "accuracy of the exponential approximation under nonlinear FeFET pull-downs");
+
+  const device::FeFetModel fefet{device::FeFetParams{}};
+  const auto& node = device::tech_node("28nm");
+  const circuit::WireModel wire(node, 12.0);
+
+  circuit::MatchlineParams mlp;
+  mlp.v_precharge = 1.0;
+  mlp.v_sense = 0.5;
+  mlp.cell_drain_cap = 2.0 * node.tx_drain_cap(node.min_tx_width_um);
+
+  Table table({"columns", "mismatches", "transient t_d (ref)", "saturation model",
+               "error", "small-signal RC", "error"});
+  double total_transient_s = 0.0, total_analytic_s = 0.0;
+  int points = 0;
+  const double v_gs = fefet.search_voltage(1);  // one-step overdrive
+  const double i_sat = fefet.drain_current(v_gs, fefet.level_vth(0));
+  constexpr double kVdsat = 0.2;  // triode below, saturated above
+
+  for (std::size_t cols : {std::size_t{32}, std::size_t{128}}) {
+    const circuit::MatchlineModel ml(mlp, wire, cols);
+    for (std::size_t k : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+      // Reference: transient integration of the true device law — saturated
+      // current while the line is high, triode rolloff as it collapses.
+      circuit::TransientConfig cfg;
+      cfg.capacitance = ml.capacitance();
+      cfg.v_initial = mlp.v_precharge;
+      cfg.v_target = mlp.v_sense;
+      cfg.t_end = 200e-9;
+      cfg.dt = 2e-12;
+      const auto pulldown = [&](double v_ml) {
+        const double factor = v_ml >= kVdsat ? 1.0 : v_ml / kVdsat;
+        return static_cast<double>(k) * i_sat * factor;
+      };
+      auto t0 = std::chrono::steady_clock::now();
+      const double t_transient = circuit::transient_crossing_time(cfg, pulldown);
+      total_transient_s += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                               .count();
+
+      t0 = std::chrono::steady_clock::now();
+      // Analytical model 1 (the calibrated one): the device is a constant
+      // current sink above V_dsat, so the line ramps linearly.
+      const double t_saturation = ml.capacitance() *
+                                  (mlp.v_precharge - std::max(mlp.v_sense, kVdsat)) /
+                                  (static_cast<double>(k) * i_sat);
+      // Analytical model 2 (naive): small-signal conductance at the cell's
+      // characterisation bias, exponential RC discharge.
+      const double g_cell = i_sat / fefet.params().vds_read;
+      const double t_small_signal =
+          ml.discharge_time(ml.total_conductance(static_cast<double>(k) * g_cell));
+      total_analytic_s += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                              .count();
+      ++points;
+
+      auto err = [&](double t) {
+        return Table::num(100.0 * (t - t_transient) / std::max(t_transient, 1e-15), 1) + " %";
+      };
+      table.add_row({std::to_string(cols), std::to_string(k),
+                     si_format(t_transient, "s", 2), si_format(t_saturation, "s", 2),
+                     err(t_saturation), si_format(t_small_signal, "s", 2),
+                     err(t_small_signal)});
+    }
+  }
+  std::cout << table;
+  std::cout << "\nSweep cost for " << points << " design points: analytical "
+            << si_format(total_analytic_s, "s", 2) << " (both models), transient "
+            << si_format(total_transient_s, "s", 2) << " ("
+            << Table::num(total_transient_s / std::max(total_analytic_s, 1e-12), 0)
+            << "x slower).\nExpected shape: an analytical model calibrated to the device's "
+               "operating\nregime (constant-current discharge) matches the transient within a "
+               "few\npercent at ~10^4x less runtime; the naive small-signal RC is ~7x\n"
+               "optimistic — the paper's point that analytical infrastructure must be\n"
+               "*well-calibrated*, with transient/SPICE runs reserved for validation.\n";
+  return 0;
+}

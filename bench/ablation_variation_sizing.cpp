@@ -1,0 +1,40 @@
+// Ablation — the Eva-CAM variation extension (Sec. VI, "to properly consider
+// variations, the distributions of device variations will be integrated into
+// circuit models along with array size and mismatch limit prediction").
+//
+// Sweeps device-variation sigma and reports how the predicted mismatch limit
+// and maximum matchline width shrink relative to the nominal (variation-
+// blind) analysis, per technology.
+#include <iostream>
+
+#include "evacam/evacam.hpp"
+#include "evacam/presets.hpp"
+#include "util/table.hpp"
+
+using namespace xlds;
+
+int main() {
+  print_banner(std::cout, "Ablation — variation-aware CAM array sizing",
+               "nominal vs variation-integrated mismatch limits and matchline widths");
+
+  Table table({"design", "sigma_rel", "mismatch limit (nominal)", "with variation",
+               "max columns (nominal)", "with variation"});
+
+  for (const char* name : {"rram-2t2r-40nm", "pcm-2t2r-90nm", "fefet-2t-28nm"}) {
+    for (double sigma : {0.0, 0.05, 0.10, 0.20}) {
+      evacam::CamDesignSpec spec = evacam::preset_spec(name);
+      spec.device_sigma_rel = sigma;
+      const evacam::CamFom fom = evacam::EvaCam(spec).evaluate();
+      table.add_row({name, Table::num(sigma, 2), std::to_string(fom.mismatch_limit),
+                     std::to_string(fom.mismatch_limit_with_variation),
+                     std::to_string(fom.max_ml_columns),
+                     std::to_string(fom.max_ml_columns_with_variation)});
+    }
+  }
+  std::cout << table;
+  std::cout << "\nExpected shape: the variation-integrated limits shrink monotonically with\n"
+               "sigma — 'larger arrays would suffer more variations on the MaLis' — and the\n"
+               "shrinkage is harshest for BE/TH designs that must resolve many adjacent\n"
+               "mismatch counts (the FeFET best-match preset).\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Sec. II-B1's ACAM claim, quantified: "ACAMs can encode more information
+// per cell than MCAMs but may suffer more from noise and variation effects."
+//
+// An analog CAM cell stores an *interval* (two V_th bounds), so its
+// information content is set by how finely intervals can be packed — which
+// programming variation directly erodes.  This bench packs N disjoint
+// intervals per cell and measures the classification error of interval
+// membership vs the FeFET MCAM storing the same number of discrete levels.
+#include <iostream>
+
+#include "cam/acam.hpp"
+#include "device/fefet.hpp"
+#include "util/table.hpp"
+
+using namespace xlds;
+
+namespace {
+
+/// Error rate of interval membership: cells store the i-th of `n_intervals`
+/// equal slices of [0, 1]; queries at slice centres must match exactly their
+/// own row.
+double acam_error(std::size_t n_intervals, double sigma, Rng& rng) {
+  cam::AcamConfig cfg;
+  cfg.rows = n_intervals;
+  cfg.cols = 1;
+  cfg.apply_variation = sigma > 0.0;
+  cfg.fefet.sigma_program = sigma;
+  constexpr int kTrials = 400;
+  std::size_t errors = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    cam::FeFetAcamArray acam(cfg, rng);
+    const double width = 1.0 / static_cast<double>(n_intervals);
+    for (std::size_t i = 0; i < n_intervals; ++i)
+      acam.write_word(i, {{i * width, (i + 1) * width}});
+    // Query the centre of a random slice: a correct ACAM returns exactly
+    // that row.
+    const std::size_t target = rng.uniform_u32(static_cast<std::uint32_t>(n_intervals));
+    const double q = (static_cast<double>(target) + 0.5) * width;
+    const auto hits = acam.exact_match({q});
+    const bool ok = hits.size() == 1 && hits[0] == target;
+    if (!ok) ++errors;
+  }
+  return static_cast<double>(errors) / kTrials;
+}
+
+/// MCAM reference: probability a discrete level is programmed/read wrongly.
+double mcam_error(int bits, double sigma) {
+  device::FeFetParams p;
+  p.bits = bits;
+  p.sigma_program = sigma;
+  const device::FeFetModel m(p);
+  // Average over levels.
+  double sum = 0.0;
+  for (int l = 0; l < p.levels(); ++l) sum += m.level_error_probability(l);
+  return sum / p.levels();
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "Sec. II-B1 — ACAM information density vs variation sensitivity",
+               "interval membership error vs discrete-level error at matched states/cell");
+
+  Table table({"states per cell", "sigma (mV)", "MCAM level error", "ACAM interval error"});
+  Rng rng(1600);
+  for (int bits : {2, 3}) {
+    const auto states = static_cast<std::size_t>(1 << bits);
+    for (double sigma : {0.0, 0.047, 0.094, 0.15}) {
+      table.add_row({std::to_string(states), Table::num(sigma * 1e3, 0),
+                     Table::num(mcam_error(bits, sigma), 3),
+                     Table::num(acam_error(states, sigma, rng), 3)});
+    }
+  }
+  std::cout << table;
+  std::cout << "\nExpected shape: at matched state counts the ACAM errs more at every\n"
+               "sigma — each interval needs TWO programmed bounds, and a shifted bound\n"
+               "both misses its own queries and swallows a neighbour's.  The extra\n"
+               "information per cell is real, but it is bought with variation\n"
+               "sensitivity — exactly the paper's caveat.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig. 3F — subarray partitioning and aggregation-based errors.
+//
+// Paper claims: (i) searching segment-by-segment and tallying votes can pick
+// the wrong global best match; (ii) accuracy improves as the CAM subarray
+// size grows toward the full hypervector length ("max"), and longer
+// hypervectors can compensate for aggregation errors at the cost of memory.
+#include <iostream>
+
+#include "hdc/cam_inference.hpp"
+#include "hdc/model.hpp"
+#include "util/table.hpp"
+#include "workload/dataset.hpp"
+
+using namespace xlds;
+
+namespace {
+
+double cam_accuracy(const hdc::HdcModel& model, const workload::Dataset& ds,
+                    std::size_t subarray_cols, cam::Aggregation agg, Rng& rng) {
+  hdc::CamInferenceConfig cfg;
+  cfg.subarray.fefet.bits = model.config().element_bits;
+  cfg.subarray.cols = subarray_cols;
+  cfg.subarray.apply_variation = false;
+  cfg.subarray.sense_noise_rel = 0.01;
+  cfg.subarray.sense_levels = 256;
+  cfg.aggregation = agg;
+  hdc::HdcCamInference inf(model, cfg, rng);
+  return inf.accuracy(ds.test_x, ds.test_y);
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "Fig. 3F — accuracy vs HV length x CAM subarray size",
+               "paper: vote aggregation over small subarrays loses accuracy; "
+               "subarray = HV length ('max') recovers it");
+
+  // A deliberately hard dataset so aggregation errors are visible.
+  workload::GaussianClustersSpec spec;
+  spec.name = "hard-synthetic";
+  spec.n_classes = 21;
+  spec.dim = 128;
+  spec.train_per_class = 20;
+  spec.test_per_class = 10;
+  spec.separation = 7.0;
+  const workload::Dataset ds = workload::make_gaussian_clusters(spec, 33);
+
+  Table table({"HV length", "subarray", "segments", "acc (vote)", "acc (sum-sensed)",
+               "acc (software)"});
+
+  for (std::size_t hv_dim : {std::size_t{512}, std::size_t{1024}, std::size_t{2048}}) {
+    Rng rng(50);
+    hdc::HdcConfig cfg;
+    cfg.hv_dim = hv_dim;
+    cfg.element_bits = 2;
+    hdc::HdcModel model(cfg, ds.dim, ds.n_classes, rng);
+    model.train(ds.train_x, ds.train_y);
+    const double sw_acc = model.accuracy(ds.test_x, ds.test_y);
+
+    for (std::size_t cols : {std::size_t{32}, std::size_t{64}, std::size_t{128}, hv_dim}) {
+      if (cols > hv_dim) continue;
+      Rng rng_vote(51), rng_sum(51);
+      const double acc_vote = cam_accuracy(model, ds, cols, cam::Aggregation::kVote, rng_vote);
+      const double acc_sum =
+          cam_accuracy(model, ds, cols, cam::Aggregation::kSumSensed, rng_sum);
+      const std::string label = cols == hv_dim ? "max" : std::to_string(cols);
+      table.add_row({std::to_string(hv_dim), label, std::to_string((hv_dim + cols - 1) / cols),
+                     Table::num(acc_vote, 3), Table::num(acc_sum, 3), Table::num(sw_acc, 3)});
+    }
+  }
+
+  std::cout << table;
+  std::cout << "\nExpected shape: vote accuracy rises with subarray size toward the software\n"
+               "value at 'max'; longer HVs lift small-subarray accuracy (the paper's\n"
+               "compensate-with-dimensionality lever); sum-sensed dominates vote.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Fig. 3G — cell-state distributions and programming-variation tolerance.
+//
+// Paper claims: (i) programmed states of a multi-level cell form overlapping
+// Gaussian distributions — the more levels, the more overlap; (ii) HDC
+// classification accuracy is flat up to the experimentally observed sigma
+// (94 mV) even for 3-bit cells, because no single hypervector element
+// carries significant weight.
+#include <iostream>
+
+#include "device/fefet.hpp"
+#include "hdc/cam_inference.hpp"
+#include "hdc/model.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/dataset.hpp"
+
+using namespace xlds;
+
+int main() {
+  print_banner(std::cout, "Fig. 3G-i — state overlap of multi-level FeFET cells",
+               "paper: measured state distributions overlap; window shrinks "
+               "with level count");
+
+  Table overlap({"bits/cell", "levels", "window (mV)", "P(level error) @ 94 mV sigma",
+                 "Monte-Carlo check"});
+  for (int bits : {1, 2, 3}) {
+    device::FeFetParams params;
+    params.bits = bits;
+    params.sigma_program = 0.094;
+    device::FeFetModel model(params);
+    const int mid = params.levels() / 2;
+    Rng rng(7);
+    int errors = 0;
+    constexpr int kTrials = 20000;
+    for (int i = 0; i < kTrials; ++i)
+      if (model.readback_level(model.program_vth(mid, rng)) != mid) ++errors;
+    overlap.add_row({std::to_string(bits), std::to_string(params.levels()),
+                     Table::num(params.level_window() * 1e3, 0),
+                     Table::num(model.level_error_probability(mid), 4),
+                     Table::num(static_cast<double>(errors) / kTrials, 4)});
+  }
+  std::cout << overlap;
+
+  print_banner(std::cout, "Fig. 3G-ii — accuracy vs programming-variation sigma",
+               "paper: no degradation at the measured 94 mV for any precision");
+
+  const workload::Dataset ds = workload::make_named_dataset("language-like", 44);
+  constexpr std::size_t kHvDim = 1024;
+
+  Table table({"sigma (mV)", "1-bit CAM", "2-bit CAM", "3-bit CAM"});
+  std::vector<std::vector<std::string>> rows;
+  const std::vector<double> sigmas = {0.0, 0.025, 0.050, 0.094, 0.150, 0.250};
+  std::vector<std::vector<double>> acc(sigmas.size(), std::vector<double>(3, 0.0));
+
+  for (int bits = 1; bits <= 3; ++bits) {
+    Rng rng(60 + bits);
+    hdc::HdcConfig cfg;
+    cfg.hv_dim = kHvDim;
+    cfg.element_bits = bits;
+    hdc::HdcModel model(cfg, ds.dim, ds.n_classes, rng);
+    model.train(ds.train_x, ds.train_y);
+    for (std::size_t s = 0; s < sigmas.size(); ++s) {
+      hdc::CamInferenceConfig hw;
+      hw.subarray.fefet.bits = bits;
+      hw.subarray.fefet.sigma_program = sigmas[s];
+      hw.subarray.cols = 128;
+      hw.subarray.apply_variation = sigmas[s] > 0.0;
+      hw.aggregation = cam::Aggregation::kSumSensed;
+      Rng hw_rng(70 + bits);
+      hdc::HdcCamInference inf(model, hw, hw_rng);
+      acc[s][bits - 1] = inf.accuracy(ds.test_x, ds.test_y);
+    }
+  }
+  for (std::size_t s = 0; s < sigmas.size(); ++s) {
+    table.add_row({Table::num(sigmas[s] * 1e3, 0), Table::num(acc[s][0], 3),
+                   Table::num(acc[s][1], 3), Table::num(acc[s][2], 3)});
+  }
+  std::cout << table;
+  std::cout << "\nExpected shape: flat accuracy through 94 mV for all precisions (HDC's\n"
+               "holographic robustness); degradation appears only at sigma well beyond\n"
+               "the measured value, first for the 3-bit cells (smallest windows).\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Fig. 4C — ternary LSH masks the unstable near-plane hash bits.
+//
+// Paper claim: conductance relaxation randomly flips hash bits whose
+// projection lands close to the hashing plane; marking those bits as
+// don't-care (TLSH) removes their Hamming-distance contribution and
+// stabilises the signature.
+#include <iostream>
+
+#include "mann/lsh.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace xlds;
+
+int main() {
+  print_banner(std::cout, "Fig. 4C — hash-bit stability: LSH vs ternary LSH",
+               "paper: TLSH's don't-care bits absorb the relaxation-induced "
+               "flips");
+
+  constexpr std::size_t kInputDim = 64;
+  constexpr std::size_t kBits = 256;
+  constexpr int kVectors = 24;
+  constexpr double kRelaxSeconds = 1.0e4;
+
+  Table table({"TLSH threshold", "X-bit fraction", "flipped bits (binary read)",
+               "effective signature instability"});
+
+  for (double threshold : {0.0, 0.2, 0.35, 0.5, 0.7}) {
+    RunningStats dc_frac, flips, instability;
+    for (int v = 0; v < kVectors; ++v) {
+      Rng rng(200 + v);
+      xbar::CrossbarConfig cfg;
+      cfg.rows = kInputDim;
+      cfg.cols = 2 * kBits;
+      cfg.read_noise_rel = 0.0;
+      mann::CrossbarLsh lsh(cfg, kBits, rng);
+
+      Rng data(300 + v);
+      std::vector<double> x(kInputDim);
+      for (double& e : x) e = data.uniform();
+
+      const mann::Signature stored = lsh.hash_ternary(x, threshold);
+      const mann::Signature before = lsh.hash(x);
+      lsh.age(kRelaxSeconds);
+      const mann::Signature after = lsh.hash(x);
+
+      std::size_t raw_flips = 0;
+      std::size_t effective_flips = 0;
+      for (std::size_t i = 0; i < kBits; ++i) {
+        if (before[i] != after[i]) {
+          ++raw_flips;
+          // A flip only perturbs the stored signature's distance if the
+          // stored bit was NOT a don't-care.
+          if (stored[i] != cam::kDontCare) ++effective_flips;
+        }
+      }
+      dc_frac.add(mann::dont_care_fraction(stored));
+      flips.add(static_cast<double>(raw_flips));
+      instability.add(static_cast<double>(effective_flips) / static_cast<double>(kBits));
+    }
+    table.add_row({Table::num(threshold, 2), Table::num(dc_frac.mean(), 3),
+                   Table::num(flips.mean(), 1),
+                   Table::num(100.0 * instability.mean(), 2) + " %"});
+  }
+
+  std::cout << table;
+  std::cout << "\nExpected shape: raw flip count is threshold-independent (same devices\n"
+               "relax), but the *effective* instability of the stored signature falls\n"
+               "steeply as the TLSH threshold masks the near-plane bits.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Fig. 4E — few-shot accuracy vs hash-signature length, and the latency
+// advantage of the all-RRAM MANN pipeline.
+//
+// Paper claims: 128-bit signatures (the prototype limit) lose some accuracy
+// against the software cosine baseline, but longer signatures close the gap
+// (iso-accuracy inference); the RRAM mapping wins large latency/energy
+// factors over the digital baseline.
+#include <iostream>
+
+#include "arch/mann_mapping.hpp"
+#include "arch/platform.hpp"
+#include "mann/mann.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "workload/fewshot.hpp"
+
+using namespace xlds;
+
+namespace {
+
+mann::MannConfig pipeline_config(mann::Backend backend, std::size_t bits) {
+  mann::MannConfig cfg;
+  cfg.image_side = 20;
+  cfg.embedding = 64;
+  cfg.signature_bits = bits;
+  cfg.backend = backend;
+  cfg.tlsh_threshold = 0.3;
+  cfg.hash_xbar.rows = 64;
+  cfg.hash_xbar.cols = 2 * bits;
+  cfg.hash_xbar.read_noise_rel = 0.005;
+  cfg.am.cols = bits;
+  cfg.relaxation_s = 60.0;  // writing-to-query delay on the prototype
+  return cfg;
+}
+
+double evaluate_backend(mann::Backend backend, std::size_t bits) {
+  workload::FewShotSpec fs;
+  fs.image_side = 20;
+  fs.n_classes = 60;
+  workload::FewShotGenerator pretrain_gen(fs, 500);
+  Rng rng(501);
+  mann::MannPipeline pipe(pipeline_config(backend, bits), rng);
+  pipe.pretrain(pretrain_gen, 10, 12, 12, 0.001);
+  workload::FewShotGenerator eval_gen(fs, 502);
+  return pipe.evaluate(eval_gen, 30, 5, 1, 3);
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "Fig. 4E — few-shot accuracy vs signature length",
+               "paper: hashing trails software cosine at 128 bits; longer "
+               "signatures reach iso-accuracy");
+
+  // Software cosine reference (signature length is irrelevant for it).
+  const double ref = evaluate_backend(mann::Backend::kSoftwareCosine, 128);
+
+  Table table({"signature bits", "RRAM TLSH accuracy", "software cosine", "gap"});
+  for (std::size_t bits : {32u, 64u, 128u, 256u, 512u}) {
+    const double acc = evaluate_backend(mann::Backend::kRramTlsh, bits);
+    table.add_row({std::to_string(bits), Table::num(acc, 3), Table::num(ref, 3),
+                   Table::num(acc - ref, 3)});
+  }
+  std::cout << table;
+
+  print_banner(std::cout, "Fig. 4E (latency panel) — digital vs all-RRAM MANN",
+               "5-way 1-shot query; CNN + hashing + associative search");
+  Rng rng(510);
+  mann::MannPipeline pipe(pipeline_config(mann::Backend::kRramTlsh, 128), rng);
+
+  arch::MannWorkload w;
+  w.cnn_macs = pipe.cnn_macs();
+  w.cnn_param_bytes = pipe.cnn_macs() / 4;
+  w.fv_dim = 64;
+  w.am_entries = 5;
+  w.signature_bits = 128;
+
+  Table lat({"platform", "latency/query", "energy/query"});
+  const arch::KernelCost digital = arch::mann_gpu_inference(arch::gpu(), w, 1);
+  lat.add_row({"GPU (CNN + cosine AM)", si_format(digital.latency, "s", 2),
+               si_format(digital.energy, "J", 2)});
+
+  // All-RRAM: CNN layers as crossbar stages + hash + TCAM search.
+  const cam::SearchCost hw_query = pipe.hardware_query_cost(5);
+  xbar::MvmCost cnn_stage{hw_query.latency / 4.0, hw_query.energy / 4.0};
+  xbar::MvmCost hash{50e-9, 0.5e-9};
+  cam::SearchCost search{30e-9, 0.2e-9};
+  const arch::KernelCost rram = arch::mann_rram_inference(cnn_stage, 6, hash, search, 1);
+  lat.add_row({"all-RRAM (crossbars + TCAM)", si_format(rram.latency, "s", 2),
+               si_format(rram.energy, "J", 2)});
+  std::cout << lat;
+  std::cout << "\nLatency factor (GPU / RRAM): " << Table::num(digital.latency / rram.latency, 0)
+            << "x\nExpected shape: accuracy gap shrinks monotonically with signature length,\n"
+               "crossing into iso-accuracy above the 128-bit prototype limit; the RRAM\n"
+               "pipeline wins a large latency factor at batch 1.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Fig. 5 — validation of the Eva-CAM analytical model against fabricated
+// NV-CAM chips.
+//
+// Prints the same rows as the paper's table: published silicon value
+// ("Actual"), the paper tool's projection, this reimplementation's
+// projection, and the errors.  The paper's acceptance band is ~±20 % against
+// silicon.
+#include <iostream>
+#include <optional>
+
+#include "evacam/evacam.hpp"
+#include "evacam/presets.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace xlds;
+
+namespace {
+
+std::string opt_num(const std::optional<double>& v, int precision = 1) {
+  return v ? Table::num(*v, precision) : "-";
+}
+
+std::string err_vs(const std::optional<double>& reference, double ours) {
+  if (!reference || *reference == 0.0) return "-";
+  return Table::num(100.0 * (ours - *reference) / *reference, 1) + " %";
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "Fig. 5 — Eva-CAM validation against fabricated NV-CAMs",
+               "columns: silicon ('actual'), the paper tool, this model, errors");
+
+  Table table({"chip", "FoM", "actual", "paper Eva-CAM", "this model", "err vs actual",
+               "err vs paper tool"});
+
+  for (const auto& chip : evacam::fig5_chips()) {
+    const evacam::CamFom fom = evacam::EvaCam(chip.spec).evaluate();
+    const double area = to_um2(fom.area_m2);
+    const double lat = to_ns(fom.search_latency);
+    const double energy = to_pj(fom.search_energy);
+
+    if (chip.area_um2.actual || chip.area_um2.paper_evacam) {
+      table.add_row({chip.name, "area (um^2)", opt_num(chip.area_um2.actual, 0),
+                     opt_num(chip.area_um2.paper_evacam, 0), Table::num(area, 0),
+                     err_vs(chip.area_um2.actual, area),
+                     err_vs(chip.area_um2.paper_evacam, area)});
+    }
+    if (chip.search_latency_ns.actual || chip.search_latency_ns.paper_evacam) {
+      table.add_row({chip.name, "search latency (ns)", opt_num(chip.search_latency_ns.actual, 2),
+                     opt_num(chip.search_latency_ns.paper_evacam, 2), Table::num(lat, 2),
+                     err_vs(chip.search_latency_ns.actual, lat),
+                     err_vs(chip.search_latency_ns.paper_evacam, lat)});
+    }
+    if (chip.search_energy_pj.actual || chip.search_energy_pj.paper_evacam) {
+      table.add_row({chip.name, "search energy (pJ)", opt_num(chip.search_energy_pj.actual, 1),
+                     opt_num(chip.search_energy_pj.paper_evacam, 1), Table::num(energy, 1),
+                     err_vs(chip.search_energy_pj.actual, energy),
+                     err_vs(chip.search_energy_pj.paper_evacam, energy)});
+    }
+  }
+  std::cout << table;
+
+  // The Eva-CAM extension the paper describes: sense-margin-driven array
+  // sizing (mismatch limit / max matchline columns) per device technology.
+  print_banner(std::cout, "Eva-CAM extension — sense-margin-limited array sizing",
+               "Sec. VI: on/off ratio bounds the matchline width and the BE/TH "
+               "mismatch limit");
+  Table sizing({"design", "on/off ratio", "mismatch limit", "max matchline columns"});
+  for (const char* name : {"rram-2t2r-40nm", "pcm-2t2r-90nm", "mram-4t2r-90nm",
+                           "fefet-2t-28nm"}) {
+    const evacam::CamDesignSpec spec = evacam::preset_spec(name);
+    const evacam::EvaCam tool(spec);
+    const evacam::CamFom fom = tool.evaluate();
+    sizing.add_row({name, Table::num(device::traits(spec.device).on_off_ratio(), 1),
+                    std::to_string(fom.mismatch_limit), std::to_string(fom.max_ml_columns)});
+  }
+  std::cout << sizing;
+  std::cout << "\nNotes: the MRAM row's latency unit prints as 'ps' in the paper's table; we\n"
+               "read it as ns (a sub-3 ps CAM search is not physical and the paper's own\n"
+               "error column is unit-independent). Expected: every 'this model' projection\n"
+               "within ~±20-35 % of the published values; MRAM's tiny on/off ratio crushes\n"
+               "its matchline width, FeFET/RRAM support wide arrays.\n";
+  return 0;
+}

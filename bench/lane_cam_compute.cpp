@@ -1,0 +1,66 @@
+// AMs as general-purpose compute (the CAPE capability cited in Sec. VI).
+//
+// Row-parallel boolean/arithmetic kernels on the ternary CAM: the cost of a
+// kernel is a fixed number of search/write passes *independent of the row
+// count*, so throughput scales linearly with array height while a CPU's
+// scales not at all — the crossover is where CAM-compute starts paying.
+#include <iostream>
+
+#include "cam/processor.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace xlds;
+
+namespace {
+
+cam::CamOpCost measure_adder(std::size_t rows) {
+  cam::RramTcamConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = 14;
+  cfg.apply_variation = false;
+  cfg.sense_noise_rel = 0.0;
+  cfg.sense_levels = 256;
+  Rng rng(1500);
+  cam::CamProcessor proc(cfg, rng);
+  Rng data(1501);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<int> row(14, 0);
+    for (std::size_t i = 0; i < 8; ++i) row[i] = data.bernoulli(0.5) ? 1 : 0;
+    proc.load_row(r, row);
+  }
+  proc.reset_cost();
+  proc.add_words({0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10, 11}, 12, 13);
+  return proc.cost();
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "AM general-purpose compute — row-parallel 4-bit adds",
+               "kernel cost is rows-independent; throughput scales with array height");
+
+  // A scalar core for comparison: ~2 GHz, 2 IPC, an add is ~1 op.
+  constexpr double kCpuAddsPerSecond = 4.0e9;
+  constexpr double kCpuEnergyPerAdd = 5.0e-12;
+
+  Table table({"rows", "search passes", "write passes", "kernel latency", "adds/s (CAM)",
+               "adds/s (CPU)", "energy/add (CAM)", "energy/add (CPU)"});
+  for (std::size_t rows : {std::size_t{64}, std::size_t{256}, std::size_t{1024},
+                           std::size_t{4096}}) {
+    const cam::CamOpCost cost = measure_adder(rows);
+    const double adds_per_s = static_cast<double>(rows) / cost.total.latency;
+    table.add_row({std::to_string(rows), std::to_string(cost.searches),
+                   std::to_string(cost.writes), si_format(cost.total.latency, "s", 2),
+                   si_format(adds_per_s, "add/s", 2), si_format(kCpuAddsPerSecond, "add/s", 2),
+                   si_format(cost.total.energy / static_cast<double>(rows), "J", 2),
+                   si_format(kCpuEnergyPerAdd, "J", 2)});
+  }
+  std::cout << table;
+  std::cout << "\nExpected shape: pass counts are constant (the truth-table structure),\n"
+               "so the CAM's add throughput grows linearly with rows and crosses the\n"
+               "scalar core somewhere in the thousands-of-rows regime — bulk, not\n"
+               "latency, is where in-memory general-purpose compute pays, and writes\n"
+               "(RRAM programming) dominate its energy.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig. 1 "lane 1" — a new device replacing an existing technology in an
+// existing architecture: every device in a conventionally organised memory
+// array (the NVSim/NVMExplorer lane of Sec. VI), plus the monolithic-3D
+// variant (the DESTINY lane).
+#include <iostream>
+
+#include "nvsim/nvram.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace xlds;
+
+int main() {
+  print_banner(std::cout, "Fig. 1 lane 1 — devices in a conventional memory array",
+               "NVSim-class comparison at 40 nm, 8 Mb macro; 3D rows are the DESTINY lane");
+
+  Table table({"device", "layers", "area (mm^2)", "read lat", "write lat", "read energy",
+               "write energy", "leakage", "note"});
+
+  auto add = [&](device::DeviceKind dev, std::size_t layers, const char* note) {
+    nvsim::NvRamConfig cfg;
+    cfg.device = dev;
+    cfg.tech = "40nm";
+    cfg.capacity_bits = 8ull * 1024 * 1024;
+    cfg.layers_3d = layers;
+    const nvsim::ArrayFom f = nvsim::NvRamModel(cfg).evaluate();
+    table.add_row({device::to_string(dev), std::to_string(layers),
+                   Table::num(to_mm2(f.area_m2), 3), si_format(f.read_latency, "s", 2),
+                   si_format(f.write_latency, "s", 2), si_format(f.read_energy, "J", 2),
+                   si_format(f.write_energy, "J", 2), si_format(f.leakage_power, "W", 2), note});
+  };
+
+  add(device::DeviceKind::kSram, 1, "volatile baseline");
+  add(device::DeviceKind::kFeFet, 1, "logic-compatible NVM");
+  add(device::DeviceKind::kRram, 1, "dense crosspoint");
+  add(device::DeviceKind::kRram, 4, "monolithic 3D");
+  add(device::DeviceKind::kRram, 8, "monolithic 3D");
+  add(device::DeviceKind::kPcm, 1, "");
+  add(device::DeviceKind::kPcm, 4, "monolithic 3D");
+  add(device::DeviceKind::kMram, 1, "endurance champion");
+  add(device::DeviceKind::kFlash, 1, "dense, write-hostile");
+
+  std::cout << table;
+  std::cout << "\nExpected shape: the paper's culling examples fall straight out — flash's\n"
+               "write latency disqualifies it as working memory; RRAM/PCM trade read speed\n"
+               "for density (more so stacked in 3D); SRAM stays the latency reference;\n"
+               "MRAM pairs near-SRAM speed with unlimited endurance at moderate density.\n";
+  return 0;
+}

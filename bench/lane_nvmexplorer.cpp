@@ -1,0 +1,64 @@
+// NVMExplorer lane (Sec. VI) — cross-stack comparison of embedded NVMs:
+// memory FOM, lifetime under write traffic, and application-level DNN
+// accuracy with the model's weights stored in the (faulty) memory.
+#include <iostream>
+
+#include "nvsim/explorer.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "workload/dataset.hpp"
+
+using namespace xlds;
+
+int main() {
+  print_banner(std::cout, "NVMExplorer lane — embedded-NVM cross-stack comparison",
+               "memory FOM + lifetime + DNN accuracy vs storage age");
+
+  // The application: an int8 MLP classifier whose weights live in the NVM.
+  const workload::Dataset ds =
+      workload::standardised(workload::make_named_dataset("ucihar-like", 1300));
+  Rng train_rng(1301);
+  nn::Network mlp = nn::make_mlp(ds.dim, {64}, ds.n_classes, train_rng);
+  for (int e = 0; e < 40; ++e)
+    mlp.train_epoch(ds.train_x, ds.train_y, 0.002, train_rng, 0.9, 0.003);
+  const double clean_acc = mlp.accuracy(ds.test_x, ds.test_y);
+  std::cout << "workload: " << ds.name << " MLP, fault-free accuracy "
+            << Table::num(clean_acc, 3) << "\n\n";
+
+  nvsim::TrafficProfile traffic;
+  traffic.write_bytes_per_s = 50e3;  // occasional model updates
+  traffic.read_bytes_per_s = 200e6;  // inference streaming
+
+  constexpr double kYear = 365.0 * 24 * 3600;
+  Table table({"device", "read lat", "lifetime @50KB/s", "read power", "acc @0",
+               "acc @5y", "acc @12y", "acc @20y"});
+  for (device::DeviceKind dev : {device::DeviceKind::kRram, device::DeviceKind::kPcm,
+                                 device::DeviceKind::kFeFet, device::DeviceKind::kMram,
+                                 device::DeviceKind::kFlash}) {
+    nvsim::NvRamConfig mem;
+    mem.device = dev;
+    mem.tech = "40nm";
+    mem.capacity_bits = 2ull * 1024 * 1024;
+    nvsim::NvmExplorer explorer(mem, nvsim::FaultModel{}, traffic);
+    const nvsim::ExplorerReport rep = explorer.report();
+
+    std::vector<std::string> row = {device::to_string(dev),
+                                    si_format(rep.memory.read_latency, "s", 2),
+                                    rep.lifetime_s > 300.0 * kYear
+                                        ? ">300 y"
+                                        : Table::num(rep.lifetime_s / kYear, 1) + " y",
+                                    si_format(rep.read_power_w, "W", 2)};
+    Rng rng(1302);
+    for (double age : {0.0, 5.0 * kYear, 12.0 * kYear, 20.0 * kYear}) {
+      row.push_back(Table::num(explorer.dnn_accuracy_at(mlp, ds.test_x, ds.test_y, age, rng), 3));
+    }
+    table.add_row(row);
+  }
+  std::cout << table;
+  std::cout << "\nExpected shape: all NVMs hold application accuracy well inside their\n"
+               "10-year retention spec; past it the retention BER explodes and accuracy\n"
+               "collapses toward chance.  Lifetime under write traffic separates the\n"
+               "endurance classes (flash wears out in months at this traffic; MRAM is\n"
+               "effectively immortal) — the NVMExplorer-style cross-stack triage.\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Micro-benchmarks (google-benchmark) of the framework's hot kernels: CAM
+// search, crossbar MVM (per IR-drop mode), HDC encode and TCAM search.
+// These bound the simulator's own throughput — how many design points per
+// second a triage sweep can afford.
+#include <benchmark/benchmark.h>
+
+#include "cam/fefet_cam.hpp"
+#include "cam/rram_tcam.hpp"
+#include "hdc/encoder.hpp"
+#include "util/rng.hpp"
+#include "xbar/crossbar.hpp"
+
+using namespace xlds;
+
+namespace {
+
+void BM_FeFetCamSearch(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  cam::FeFetCamConfig cfg;
+  cfg.fefet.bits = 3;
+  cfg.rows = rows;
+  cfg.cols = 128;
+  cfg.apply_variation = false;
+  cfg.sense_noise_rel = 0.0;
+  Rng rng(1);
+  cam::FeFetCamArray cam(cfg, rng);
+  Rng data(2);
+  std::vector<int> word(cfg.cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (int& d : word) d = static_cast<int>(data.uniform_u32(8));
+    cam.write_word(r, word);
+  }
+  std::vector<int> query(cfg.cols);
+  for (int& d : query) d = static_cast<int>(data.uniform_u32(8));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cam.search(query));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows * cfg.cols));
+}
+BENCHMARK(BM_FeFetCamSearch)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_RramTcamSearch(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  cam::RramTcamConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = 128;
+  cfg.apply_variation = false;
+  cfg.sense_noise_rel = 0.0;
+  Rng rng(3);
+  cam::RramTcamArray tcam(cfg, rng);
+  Rng data(4);
+  std::vector<int> word(cfg.cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (int& b : word) b = data.bernoulli(0.5) ? 1 : 0;
+    tcam.write_word(r, word);
+  }
+  std::vector<int> query(cfg.cols);
+  for (int& b : query) b = data.bernoulli(0.5) ? 1 : 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tcam.search(query));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows * cfg.cols));
+}
+BENCHMARK(BM_RramTcamSearch)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CrossbarMvm(benchmark::State& state) {
+  xbar::CrossbarConfig cfg;
+  cfg.rows = 64;
+  cfg.cols = 64;
+  cfg.apply_variation = false;
+  cfg.read_noise_rel = 0.0;
+  cfg.ir_drop = static_cast<xbar::IrDropMode>(state.range(0));
+  Rng rng(5);
+  xbar::Crossbar xb(cfg, rng);
+  MatrixD w(64, 32);
+  Rng data(6);
+  for (double& v : w.data()) v = data.uniform(-1.0, 1.0);
+  xb.program_weights(w);
+  std::vector<double> x(64);
+  for (double& v : x) v = data.uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xb.mvm(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64 * 64);
+}
+BENCHMARK(BM_CrossbarMvm)
+    ->Arg(static_cast<int>(xbar::IrDropMode::kNone))
+    ->Arg(static_cast<int>(xbar::IrDropMode::kAnalytic))
+    ->Arg(static_cast<int>(xbar::IrDropMode::kNodal));
+
+void BM_HdcEncode(benchmark::State& state) {
+  const auto hv_dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  hdc::HdcEncoder enc(617, hv_dim, rng);
+  std::vector<double> x(617);
+  Rng data(8);
+  for (double& v : x) v = data.uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(enc.macs()));
+}
+BENCHMARK(BM_HdcEncode)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

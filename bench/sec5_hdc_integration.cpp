@@ -1,0 +1,64 @@
+// Sec. V meets Sec. III: what does a *crossbar-only* SoC integration buy the
+// HDC workload — and why the case study insists on a CAM next to it.
+//
+// The HDC inference program runs on the system simulator three ways: core
+// only, core + crossbar engine (encode offloads, search cannot — it needs a
+// CAM), and core + crossbar + CAM engine (both offload).  The middle row's
+// Amdahl cap IS the paper's argument for the XBar+CAM hybrid.
+#include <iostream>
+
+#include "sim/machine.hpp"
+#include "sim/trace.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "xbar/crossbar.hpp"
+
+using namespace xlds;
+
+int main() {
+  print_banner(std::cout, "Sec. V x Sec. III — HDC on a crossbar-only SoC vs + CAM engine",
+               "why encode-only offload caps out: the search stays on the core");
+
+  Rng rng(1);
+  xbar::CrossbarConfig tile;
+  tile.rows = 64;
+  tile.cols = 64;
+  tile.apply_variation = false;
+  tile.read_noise_rel = 0.0;
+  sim::AcceleratorConfig accel;
+  accel.present = true;
+  accel.tile_cost = xbar::Crossbar(tile, rng).mvm_cost();
+
+  const sim::CoreConfig core{.freq_hz = 2.0e9, .ipc = 2.0, .macs_per_cycle = 4.0};
+  const sim::CacheConfig l1{.name = "L1", .size_bytes = 32 * 1024, .line_bytes = 64, .ways = 4,
+                            .hit_latency_s = 0.5e-9};
+  const sim::CacheConfig l2{.name = "L2", .size_bytes = 1024 * 1024, .line_bytes = 64, .ways = 8,
+                            .hit_latency_s = 5e-9};
+
+  sim::HdcTraceSpec spec;  // isolet-class HDC, 16 queries
+
+  Table table({"integration", "total time", "core MVM time", "accel busy", "offloads",
+               "speedup vs core"});
+  double t_core = 0.0;
+  auto run = [&](const char* name, bool with_accel, bool search_offloadable) {
+    spec.search_offloadable = search_offloadable;
+    const sim::Program prog = sim::make_hdc_program(spec);
+    sim::Machine machine(core, l1, l2, sim::DramConfig{},
+                         with_accel ? accel : sim::AcceleratorConfig{});
+    const sim::RunStats s = machine.run(prog);
+    if (!with_accel) t_core = s.total_time;
+    table.add_row({name, si_format(s.total_time, "s", 2), si_format(s.mvm_core_time, "s", 2),
+                   si_format(s.accel_time, "s", 2), std::to_string(s.offloads),
+                   Table::num(t_core / s.total_time, 1) + "x"});
+  };
+  run("core only", false, false);
+  run("+ crossbar (encode offloads)", true, false);
+  run("+ crossbar + CAM (search offloads too)", true, true);
+
+  std::cout << table;
+  std::cout << "\nExpected shape: the crossbar-only integration is Amdahl-capped by the\n"
+               "search left on the core (the ~50 % share Fig. 3E measured); adding an\n"
+               "associative-search engine releases it — the system-level restatement of\n"
+               "why Sec. III builds the XBar+CAM hybrid rather than a crossbar alone.\n";
+  return 0;
+}

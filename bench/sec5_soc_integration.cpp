@@ -1,0 +1,51 @@
+// Sec. V (first approach) — deriving instances from an open-hardware SoC
+// template and projecting whole-application benefit.
+//
+// The X-HEEP-style flow: validated base components + a custom accelerator,
+// checked against the template's area/power/bus budgets, with the
+// application-level speedup (not the kernel speedup) as the output.
+#include <iostream>
+
+#include "arch/soc.hpp"
+#include "util/table.hpp"
+
+using namespace xlds;
+
+int main() {
+  print_banner(std::cout, "Sec. V — open-hardware SoC template integration",
+               "instances derived from an ultra-low-power template; whole-app speedup");
+
+  const arch::SocTemplate tmpl = arch::SocTemplate::ultra_low_power();
+  std::cout << "template '" << tmpl.name << "': " << tmpl.area_budget_mm2 << " mm^2, "
+            << tmpl.power_budget_w * 1e3 << " mW, "
+            << tmpl.bus_bandwidth / 1e9 << " GB/s shared bus\n\n";
+
+  Table table({"instance", "offloadable f", "fits?", "area (mm^2)", "power (mW)",
+               "bus util", "app speedup"});
+
+  auto add = [&](const char* name, const std::vector<arch::AcceleratorIp>& ips, double f) {
+    arch::SocInstance soc(tmpl);
+    for (const auto& ip : ips) soc.attach(ip);
+    const arch::SocReport r = soc.integrate(f);
+    table.add_row({name, Table::num(f, 2), r.fits ? "yes" : ("NO: " + r.violation),
+                   Table::num(r.total_area_mm2, 2), Table::num(r.total_power_w * 1e3, 1),
+                   Table::num(r.bus_utilisation, 2),
+                   r.fits ? Table::num(r.application_speedup, 2) + "x" : "-"});
+  };
+
+  add("base template (no accel)", {}, 0.7);
+  add("+ CGRA", {arch::cgra_ip()}, 0.7);
+  add("+ in-SRAM compute", {arch::in_sram_compute_ip()}, 0.7);
+  add("+ crossbar macro", {arch::crossbar_macro_ip()}, 0.7);
+  add("+ crossbar macro (MVM-heavy app)", {arch::crossbar_macro_ip()}, 0.95);
+  add("+ CGRA + crossbar", {arch::cgra_ip(), arch::crossbar_macro_ip()}, 0.95);
+  add("+ 4x CGRA (over budget)", {arch::cgra_ip(), arch::cgra_ip(), arch::cgra_ip(),
+                                  arch::cgra_ip()}, 0.7);
+
+  std::cout << table;
+  std::cout << "\nExpected shape: kernel speedups (4-18x) compress to 2-8x whole-app\n"
+               "figures through Amdahl and the shared bus — the 'entire application'\n"
+               "standpoint the open-hardware path exists to provide; budget violations\n"
+               "are caught at the template level before any RTL work.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Sec. V — system-level speedup from integrating an analog crossbar
+// accelerator (the gem5-X-class experiment).
+//
+// Paper claim: system simulation of tightly-integrated analog crossbars
+// shows benchmark CNNs accelerating by up to ~20x, with LSTMs and
+// transformers benefiting less (their non-MVM work — gate math, attention —
+// stays on the core: Amdahl's law).
+#include <iostream>
+
+#include "sim/machine.hpp"
+#include "sim/trace.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "xbar/crossbar.hpp"
+
+using namespace xlds;
+
+namespace {
+
+sim::CoreConfig edge_core() {
+  sim::CoreConfig core;
+  core.freq_hz = 2.0e9;
+  core.ipc = 2.0;
+  core.macs_per_cycle = 4.0;  // NEON-class SIMD
+  return core;
+}
+
+sim::CacheConfig l1() {
+  return sim::CacheConfig{.name = "L1", .size_bytes = 32 * 1024, .line_bytes = 64, .ways = 4,
+                          .hit_latency_s = 0.5e-9};
+}
+sim::CacheConfig l2() {
+  return sim::CacheConfig{.name = "L2", .size_bytes = 1024 * 1024, .line_bytes = 64, .ways = 8,
+                          .hit_latency_s = 5e-9};
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "Sec. V — crossbar-accelerator speedup from system simulation",
+               "paper: up to ~20x on benchmark CNNs; less for attention/"
+               "recurrence-heavy models");
+
+  // Accelerator tile cost taken from the analog crossbar model itself.
+  Rng rng(1);
+  xbar::CrossbarConfig tile;
+  tile.rows = 64;
+  tile.cols = 64;
+  tile.apply_variation = false;
+  tile.read_noise_rel = 0.0;
+  sim::AcceleratorConfig accel;
+  accel.present = true;
+  accel.tile_cost = xbar::Crossbar(tile, rng).mvm_cost();
+  accel.parallel_tiles = 16;
+
+  struct Workload {
+    std::string name;
+    sim::Program program;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"CNN (4 conv layers)", sim::make_cnn_program(sim::cifar_cnn(4))});
+  workloads.push_back({"CNN (6 conv layers)", sim::make_cnn_program(sim::cifar_cnn(6))});
+  workloads.push_back({"CNN (8 conv layers)", sim::make_cnn_program(sim::cifar_cnn(8))});
+  workloads.push_back({"LSTM (512h x 32t)", sim::make_lstm_program(sim::LstmSpec{})});
+  workloads.push_back(
+      {"Transformer (2 layers)", sim::make_transformer_program(sim::TransformerSpec{})});
+
+  Table table({"workload", "MVM MACs", "baseline time", "accelerated time", "speedup",
+               "accel busy", "offload overhead"});
+  double best_speedup = 0.0;
+  for (const Workload& w : workloads) {
+    sim::Machine baseline(edge_core(), l1(), l2(), sim::DramConfig{}, sim::AcceleratorConfig{});
+    sim::Machine accelerated(edge_core(), l1(), l2(), sim::DramConfig{}, accel);
+    const sim::RunStats s0 = baseline.run(w.program);
+    const sim::RunStats s1 = accelerated.run(w.program);
+    const double speedup = s0.total_time / s1.total_time;
+    best_speedup = std::max(best_speedup, speedup);
+    table.add_row({w.name, si_format(static_cast<double>(sim::program_macs(w.program)), "MAC", 2),
+                   si_format(s0.total_time, "s", 2), si_format(s1.total_time, "s", 2),
+                   Table::num(speedup, 1) + "x", si_format(s1.accel_time, "s", 2),
+                   si_format(s1.transfer_time, "s", 2)});
+  }
+  std::cout << table;
+  std::cout << "\nBest observed speedup: " << Table::num(best_speedup, 1)
+            << "x (paper: 'up to 20X' for benchmark CNNs).\n"
+               "Expected shape: CNN speedups grow with depth into the 10-20x decade the\n"
+               "paper reports, bounded by offload transfers (Amdahl); the transformer's\n"
+               "core-resident attention math caps its gain; the LSTM — whose runtime is\n"
+               "almost purely the gate MVM on this class of core — gains the most.  This\n"
+               "is precisely the early insight the paper argues system simulation gives\n"
+               "ahead of detailed hardware design.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Sec.-III case study end-to-end: hyperdimensional classification on a
+// FeFET-based in-memory platform.
+//
+// Flow: synthesize an ISOLET-class dataset -> train an HDC model (3-bit
+// quantised elements) -> map the associative-search stage onto the
+// subarray-partitioned FeFET MCAM with the paper's measured programming
+// variation -> compare accuracy and per-query cost against the software
+// model and the GPU platform estimate.
+//
+//   ./hdc_classification [hv_dim=2048] [bits=3]
+#include <cstdlib>
+#include <iostream>
+
+#include "arch/hdc_mapping.hpp"
+#include "arch/platform.hpp"
+#include "hdc/cam_inference.hpp"
+#include "hdc/model.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "workload/dataset.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xlds;
+  const std::size_t hv_dim = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2048;
+  const int bits = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  std::cout << "== HDC on FeFET CAMs (Sec. III flow) ==\n"
+            << "hypervector length D = " << hv_dim << ", element precision = " << bits
+            << " bits\n\n";
+
+  // 1. Workload.
+  const workload::Dataset ds = workload::make_named_dataset("isolet-like", 7);
+  std::cout << "dataset: " << ds.name << ", " << ds.train_x.size() << " train / "
+            << ds.test_x.size() << " test samples\n";
+
+  // 2. Train the HDC model (software).
+  Rng rng(42);
+  hdc::HdcConfig cfg;
+  cfg.hv_dim = hv_dim;
+  cfg.element_bits = bits;
+  hdc::HdcModel model(cfg, ds.dim, ds.n_classes, rng);
+  model.train(ds.train_x, ds.train_y);
+  const double sw_acc = model.accuracy(ds.test_x, ds.test_y);
+  std::cout << "software accuracy (SE on quantised digits): " << Table::num(sw_acc, 3) << "\n\n";
+
+  // 3. Map the search stage onto the FeFET MCAM.
+  hdc::CamInferenceConfig hw;
+  hw.subarray.fefet.bits = bits;
+  hw.subarray.fefet.sigma_program = 0.094;  // the paper's measured sigma
+  hw.subarray.cols = 128;
+  hw.subarray.sense_levels = 256;
+  hw.subarray.apply_variation = true;
+  hw.aggregation = cam::Aggregation::kSumSensed;
+  hdc::HdcCamInference cam_inf(model, hw, rng);
+  const double hw_acc = cam_inf.accuracy(ds.test_x, ds.test_y);
+  const cam::SearchCost search = cam_inf.search_cost();
+
+  std::cout << "FeFET CAM accuracy (94 mV programming sigma): " << Table::num(hw_acc, 3) << '\n'
+            << "  subarrays: " << cam_inf.segments() << " x " << hw.subarray.cols << " cells\n"
+            << "  search latency: " << si_format(search.latency, "s", 2)
+            << ", energy: " << si_format(search.energy, "J", 2) << "\n\n";
+
+  // 4. The GPU estimate for the same workload (batch 1 — edge deployment).
+  arch::HdcWorkload w;
+  w.input_dim = ds.dim;
+  w.hv_dim = hv_dim;
+  w.am_entries = ds.train_x.size();
+  const arch::KernelCost gpu_cost = arch::hdc_gpu_inference(arch::gpu(), w, 1);
+  std::cout << "GPU platform estimate (batch 1): " << si_format(gpu_cost.latency, "s", 2)
+            << " per query\n"
+            << "CAM search advantage: "
+            << Table::num(gpu_cost.latency / search.latency, 0) << "x\n\n";
+
+  std::cout << "Interpretation: iso-accuracy holds at the measured variation (" << hw_acc
+            << " vs " << sw_acc << " software) while the in-memory search sidesteps the\n"
+            << "transfer+launch overheads that dominate small-batch GPU inference.\n";
+  return 0;
+}

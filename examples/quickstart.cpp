@@ -1,0 +1,61 @@
+// Quickstart: the XLDS framework in ~60 lines.
+//
+// Build a design point (device x architecture x algorithm x application),
+// evaluate its figures of merit analytically, and compare it against the
+// GPU software baseline — the smallest end-to-end use of the library.
+//
+//   ./quickstart
+#include <iostream>
+
+#include "core/design_space.hpp"
+#include "core/evaluate.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace xlds;
+
+  // 1. Pick the application and get its workload profile.
+  const core::AppProfile profile = core::profile_for("isolet-like");
+  std::cout << "Application: " << profile.name << " (" << profile.input_dim << "-d, "
+            << profile.n_classes << " classes)\n\n";
+
+  // 2. Describe two candidate design points.
+  core::DesignPoint baseline;
+  baseline.device = device::DeviceKind::kSram;  // device axis collapses on GPUs
+  baseline.arch = core::ArchKind::kGpu;
+  baseline.algo = core::AlgoKind::kHdc;
+  baseline.application = profile.name;
+
+  core::DesignPoint candidate;
+  candidate.device = device::DeviceKind::kFeFet;
+  candidate.arch = core::ArchKind::kCamXbarHybrid;  // the Sec.-III design
+  candidate.algo = core::AlgoKind::kHdc;
+  candidate.application = profile.name;
+
+  // 3. Check structural compatibility (the Fig. 1 culls).
+  for (const core::DesignPoint& p : {baseline, candidate}) {
+    if (auto reason = core::incompatibility(p)) {
+      std::cout << p.to_string() << " is culled: " << *reason << '\n';
+      return 1;
+    }
+  }
+
+  // 4. Evaluate figures of merit.
+  const core::Evaluator evaluator;
+  for (const core::DesignPoint& p : {baseline, candidate}) {
+    const core::Fom fom = evaluator.evaluate(p, profile);
+    std::cout << p.to_string() << '\n'
+              << "  latency/query : " << si_format(fom.latency, "s", 2) << '\n'
+              << "  energy/query  : " << si_format(fom.energy, "J", 2) << '\n'
+              << "  accelerator   : " << fixed_format(fom.area_mm2, 3) << " mm^2\n"
+              << "  est. accuracy : " << fixed_format(fom.accuracy, 3) << '\n'
+              << "  note          : " << fom.note << "\n\n";
+  }
+
+  const double speedup = evaluator.evaluate(baseline, profile).latency /
+                         evaluator.evaluate(candidate, profile).latency;
+  std::cout << "Technology-enabled speedup at batch 1: " << fixed_format(speedup, 0) << "x\n"
+            << "Next: run the benches in build/bench/ to regenerate every figure of the "
+               "paper.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Fig. 6 / Sec. VI flow in one sitting: take a device, apply a materials
+// lever, and watch the change propagate through three lanes — the
+// conventional memory array (NVSim lane), lifetime/fault behaviour
+// (NVMExplorer lane) and the CAM accelerator (Eva-CAM lane).
+//
+//   ./technology_what_if [device=mram|fefet] [lever_index=0]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "device/materials.hpp"
+#include "evacam/evacam.hpp"
+#include "nvsim/explorer.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xlds;
+  const std::string which = argc > 1 ? argv[1] : "mram";
+  const std::size_t lever_index = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 0;
+
+  const bool is_mram = which == "mram";
+  const device::DeviceKind kind =
+      is_mram ? device::DeviceKind::kMram : device::DeviceKind::kFeFet;
+  const auto& levers = is_mram ? device::spin_device_levers() : device::ferroelectric_levers();
+  if (lever_index >= levers.size()) {
+    std::cerr << "lever_index out of range; " << which << " has " << levers.size()
+              << " levers\n";
+    return 1;
+  }
+  const device::MaterialsLever& lever = levers[lever_index];
+  const device::DeviceTraits base = device::traits(kind);
+  const device::DeviceTraits improved = device::apply_lever(base, lever);
+
+  std::cout << "== Technology what-if: " << device::to_string(kind) << " + '" << lever.name
+            << "' ==\n"
+            << "mechanism: " << lever.mechanism << "\n\n";
+
+  Table table({"lane / figure of merit", "baseline", "with lever"});
+  auto row = [&](const std::string& name, const std::string& a, const std::string& b) {
+    table.add_row({name, a, b});
+  };
+
+  // Device level.
+  row("device: write energy", si_format(base.write_energy, "J", 2),
+      si_format(improved.write_energy, "J", 2));
+  row("device: on/off ratio", Table::num(base.on_off_ratio(), 1),
+      Table::num(improved.on_off_ratio(), 1));
+  row("device: endurance", si_format(base.endurance_cycles, "cycles", 1),
+      si_format(improved.endurance_cycles, "cycles", 1));
+
+  // NVSim + NVMExplorer lanes.
+  for (const bool with_lever : {false, true}) {
+    nvsim::NvRamConfig mem;
+    mem.device = kind;
+    mem.tech = "40nm";
+    mem.capacity_bits = 2ull * 1024 * 1024;
+    if (with_lever) mem.device_override = improved;
+    nvsim::TrafficProfile traffic;
+    traffic.write_bytes_per_s = 2e6;
+    const nvsim::ExplorerReport rep = nvsim::NvmExplorer(mem, {}, traffic).report();
+    const std::string life = rep.lifetime_s > 9.5e9 ? ">300 y"
+                                                    : Table::num(rep.lifetime_s / 3.15e7, 1) + " y";
+    if (!with_lever) {
+      table.add_row({"memory lane: write E/word, lifetime @2MB/s",
+                     si_format(rep.memory.write_energy, "J", 2) + ", " + life, ""});
+    } else {
+      table.add_row({"  (with lever)", "",
+                     si_format(rep.memory.write_energy, "J", 2) + ", " + life});
+    }
+  }
+
+  // Eva-CAM lane.
+  for (const bool with_lever : {false, true}) {
+    evacam::CamDesignSpec cam;
+    cam.device = kind;
+    cam.cell = is_mram ? evacam::CellType::k4T2R : evacam::CellType::k2FeFET;
+    cam.tech = "40nm";
+    cam.words = 1024;
+    cam.bits = 64;
+    cam.subarray_rows = 128;
+    cam.subarray_cols = 64;
+    if (with_lever) cam.device_override = improved;
+    const evacam::CamFom fom = evacam::EvaCam(cam).evaluate();
+    const std::string cells = std::to_string(fom.max_ml_columns) + " cols, " +
+                              si_format(fom.search_energy, "J", 2);
+    if (!with_lever)
+      table.add_row({"CAM lane: max matchline, search energy", cells, ""});
+    else
+      table.add_row({"  (with lever)", "", cells});
+  }
+
+  std::cout << table;
+  std::cout << "\nTry './technology_what_if mram 1' (high-TMR: the search lane moves) vs\n"
+               "'./technology_what_if mram 0' (SOT: the write lane moves) — the paper's\n"
+               "point that materials priorities depend on the application profile.\n";
+  return 0;
+}

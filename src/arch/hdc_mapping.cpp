@@ -1,0 +1,115 @@
+#include "arch/hdc_mapping.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace xlds::arch {
+
+namespace {
+
+/// Encode kernel for a batch: B*F*D MACs; streams the projection matrix
+/// (F*D, 1 B elements — bipolar) and the queries.
+KernelCost encode_kernel(const Platform& p, const HdcWorkload& w, std::size_t batch) {
+  const std::size_t macs = batch * w.input_dim * w.hv_dim;
+  const std::size_t bytes = w.input_dim * w.hv_dim + batch * w.input_dim * 4;
+  return dense_kernel(p, macs, bytes);
+}
+
+/// Search kernel: distances from B queries to all stored prototypes; streams
+/// the AM (am_entries * D * elem_bytes) once per batch.
+KernelCost search_kernel(const Platform& p, const HdcWorkload& w, std::size_t batch) {
+  const std::size_t macs = batch * w.am_entries * w.hv_dim;
+  const std::size_t bytes = w.am_entries * w.hv_dim * w.elem_bytes + batch * w.hv_dim;
+  return dense_kernel(p, macs, bytes);
+}
+
+}  // namespace
+
+KernelCost hdc_gpu_inference(const Platform& p, const HdcWorkload& w, std::size_t batch) {
+  XLDS_REQUIRE(batch >= 1);
+  KernelCost total = host_transfer(p, batch * w.input_dim * 4);
+  total += encode_kernel(p, w, batch);
+  total += search_kernel(p, w, batch);
+  return total;
+}
+
+KernelCost hdc_hybrid_inference(const Platform& encoder, const Platform& searcher,
+                                const HdcWorkload& w, std::size_t batch) {
+  XLDS_REQUIRE(batch >= 1);
+  KernelCost total = host_transfer(encoder, batch * w.input_dim * 4);
+  total += encode_kernel(encoder, w, batch);
+  // Encoded hypervectors hop to the search device over the package-level
+  // fabric (the hybrid is co-integrated, so the hop runs at the searcher's
+  // memory bandwidth with a fixed synchronisation cost, not over PCIe).
+  constexpr double kSyncOverhead = 2e-6;
+  const auto hop_bytes = static_cast<double>(batch * w.hv_dim * w.elem_bytes);
+  KernelCost hop;
+  hop.latency = kSyncOverhead + hop_bytes / searcher.mem_bandwidth;
+  hop.energy = hop_bytes * searcher.energy_per_byte;
+  total += hop;
+  total += search_kernel(searcher, w, batch);
+  return total;
+}
+
+KernelCost hdc_cam_inference(const xbar::MvmCost& encode, const cam::SearchCost& search,
+                             std::size_t batch) {
+  XLDS_REQUIRE(batch >= 1);
+  KernelCost total;
+  // Fill the two-stage pipeline, then the slower stage sets the interval.
+  const double beat = std::max(encode.latency, search.latency);
+  total.latency = encode.latency + search.latency + beat * static_cast<double>(batch - 1);
+  total.energy = static_cast<double>(batch) * (encode.energy + search.energy);
+  return total;
+}
+
+KernelCost mlp_gpu_inference(const Platform& p, std::size_t macs, std::size_t param_bytes,
+                             std::size_t batch) {
+  XLDS_REQUIRE(batch >= 1);
+  KernelCost total = host_transfer(p, batch * 1024);  // input payload
+  total += dense_kernel(p, batch * macs, param_bytes + batch * 512);
+  return total;
+}
+
+double gpu_search_fraction(const Platform& p, const HdcWorkload& w, std::size_t batch) {
+  const KernelCost enc = encode_kernel(p, w, batch);
+  const KernelCost sea = search_kernel(p, w, batch);
+  return sea.latency / (enc.latency + sea.latency);
+}
+
+KernelCost hdc_nvm_backed_inference(const Platform& p, const HdcWorkload& w, std::size_t batch,
+                                    double nvm_read_bandwidth, double nvm_energy_per_byte) {
+  XLDS_REQUIRE(batch >= 1);
+  XLDS_REQUIRE(nvm_read_bandwidth > 0.0);
+  // Query input still arrives from the host.
+  KernelCost total = host_transfer(p, batch * w.input_dim * 4);
+
+  // Encode: compute as usual, but the projection matrix streams from the
+  // on-chip NVM rather than DRAM.
+  {
+    const std::size_t macs = batch * w.input_dim * w.hv_dim;
+    const auto bytes = static_cast<double>(w.input_dim * w.hv_dim);
+    KernelCost c;
+    const double t_compute = static_cast<double>(macs) / p.peak_macs_per_s;
+    const double t_memory = bytes / nvm_read_bandwidth;
+    c.latency = p.launch_overhead + std::max(t_compute, t_memory);
+    c.energy = static_cast<double>(macs) * p.energy_per_mac + bytes * nvm_energy_per_byte +
+               p.idle_power * c.latency;
+    total += c;
+  }
+  // Search: the stored hypervectors are NVM-resident too.
+  {
+    const std::size_t macs = batch * w.am_entries * w.hv_dim;
+    const auto bytes = static_cast<double>(w.am_entries * w.hv_dim * w.elem_bytes);
+    KernelCost c;
+    const double t_compute = static_cast<double>(macs) / p.peak_macs_per_s;
+    const double t_memory = bytes / nvm_read_bandwidth;
+    c.latency = p.launch_overhead + std::max(t_compute, t_memory);
+    c.energy = static_cast<double>(macs) * p.energy_per_mac + bytes * nvm_energy_per_byte +
+               p.idle_power * c.latency;
+    total += c;
+  }
+  return total;
+}
+
+}  // namespace xlds::arch

@@ -1,0 +1,60 @@
+// End-to-end HDC inference cost on each candidate platform (Figs. 3E, 3H).
+//
+// The HDC inference pipeline is encode (an F x D MVM) followed by
+// associative search against the stored hypervectors.  The associative
+// memory holds `am_entries` prototypes — per-sample prototypes in the
+// online-HD / few-shot style the case studies profile, which is why search
+// is a substantial share of end-to-end runtime for several datasets
+// (Fig. 3E).  Platform mappings:
+//   * GPU            — query transfer + encode kernel + search kernel,
+//   * TPU-GPU hybrid — encode on the TPU (efficient MVM), search on the GPU,
+//     plus the inter-accelerator hop,
+//   * CAM            — crossbar encode + CAM search, pipelined over a batch,
+//   * GPU-MLP        — the alternative-algorithm baseline (Fig. 3H, last bar).
+#pragma once
+
+#include <cstddef>
+
+#include "arch/platform.hpp"
+#include "cam/types.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace xlds::arch {
+
+struct HdcWorkload {
+  std::size_t input_dim = 617;   ///< F
+  std::size_t hv_dim = 4096;     ///< D
+  std::size_t am_entries = 512;  ///< stored prototypes (per-sample AM)
+  std::size_t elem_bytes = 1;    ///< bytes per stored HV element
+};
+
+/// One inference request of `batch` queries on a software platform.
+KernelCost hdc_gpu_inference(const Platform& p, const HdcWorkload& w, std::size_t batch);
+
+/// Encode on `encoder` (TPU), search on `searcher` (GPU), device-to-device
+/// hop between them.
+KernelCost hdc_hybrid_inference(const Platform& encoder, const Platform& searcher,
+                                const HdcWorkload& w, std::size_t batch);
+
+/// Technology-enabled mapping: per-query crossbar encode + CAM search,
+/// pipelined across the batch (the slower stage sets the beat).
+KernelCost hdc_cam_inference(const xbar::MvmCost& encode, const cam::SearchCost& search,
+                             std::size_t batch);
+
+/// MLP baseline on a software platform: `macs` per inference, weights of
+/// `param_bytes` streamed per batch.
+KernelCost mlp_gpu_inference(const Platform& p, std::size_t macs, std::size_t param_bytes,
+                             std::size_t batch);
+
+/// Fraction of end-to-end GPU inference latency spent in associative search
+/// (Fig. 3E's metric).
+double gpu_search_fraction(const Platform& p, const HdcWorkload& w, std::size_t batch);
+
+/// The paper's open question 2 (Sec. III): a conventional accelerator backed
+/// by dense on-chip non-volatile memory.  Projection matrix and stored
+/// hypervectors are NVM-resident: no host weight transfer, and the AM/wait
+/// streams at the NVM array's bandwidth instead of DRAM's.
+KernelCost hdc_nvm_backed_inference(const Platform& p, const HdcWorkload& w, std::size_t batch,
+                                    double nvm_read_bandwidth, double nvm_energy_per_byte);
+
+}  // namespace xlds::arch

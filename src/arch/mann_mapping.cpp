@@ -1,0 +1,38 @@
+#include "arch/mann_mapping.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace xlds::arch {
+
+KernelCost mann_gpu_inference(const Platform& p, const MannWorkload& w, std::size_t batch) {
+  XLDS_REQUIRE(batch >= 1);
+  KernelCost total = host_transfer(p, batch * 2048);
+  // CNN: weights stream once per batch.
+  total += dense_kernel(p, batch * w.cnn_macs, w.cnn_param_bytes + batch * 4096);
+  // AM distance pass: every stored FV read per query.
+  const std::size_t macs = batch * w.am_entries * w.fv_dim;
+  const std::size_t bytes = w.am_entries * w.fv_dim * w.fv_bytes + batch * w.fv_dim * 4;
+  total += dense_kernel(p, macs, bytes);
+  return total;
+}
+
+KernelCost mann_rram_inference(const xbar::MvmCost& cnn_stage, std::size_t cnn_layer_count,
+                               const xbar::MvmCost& hash, const cam::SearchCost& search,
+                               std::size_t batch) {
+  XLDS_REQUIRE(batch >= 1 && cnn_layer_count >= 1);
+  const double stage_lat = cnn_stage.latency;
+  const double query_latency =
+      stage_lat * static_cast<double>(cnn_layer_count) + hash.latency + search.latency;
+  const double query_energy =
+      cnn_stage.energy * static_cast<double>(cnn_layer_count) + hash.energy + search.energy;
+  // The layer pipeline streams the batch at the slowest-stage beat.
+  const double beat = std::max({stage_lat, hash.latency, search.latency});
+  KernelCost total;
+  total.latency = query_latency + beat * static_cast<double>(batch - 1);
+  total.energy = query_energy * static_cast<double>(batch);
+  return total;
+}
+
+}  // namespace xlds::arch

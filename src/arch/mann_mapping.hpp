@@ -1,0 +1,37 @@
+// End-to-end MANN inference cost on digital platforms vs the all-RRAM
+// mapping (Sec. IV / Fig. 4E latency comparison).
+//
+// Digital: CNN + distance computation run as kernels; the AM distance pass
+// streams every stored feature vector per query — the traffic the paper
+// identifies as the MANN bottleneck.  RRAM: CNN layers execute as crossbar
+// MVMs (weights resident), hashing is one stochastic-crossbar pass and the
+// search one TCAM operation.
+#pragma once
+
+#include <cstddef>
+
+#include "arch/platform.hpp"
+#include "cam/types.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace xlds::arch {
+
+struct MannWorkload {
+  std::size_t cnn_macs = 2'000'000;  ///< feature-extractor MACs per image
+  std::size_t cnn_param_bytes = 300'000;
+  std::size_t fv_dim = 64;        ///< feature-vector length
+  std::size_t am_entries = 25;    ///< stored support vectors
+  std::size_t fv_bytes = 4;       ///< bytes per stored FV element
+  std::size_t signature_bits = 128;
+};
+
+/// Digital baseline: CNN kernel + cosine-distance pass over the AM.
+KernelCost mann_gpu_inference(const Platform& p, const MannWorkload& w, std::size_t batch);
+
+/// All-RRAM mapping: CNN as `cnn_layer_count` sequential crossbar MVM
+/// stages of cost `cnn_stage`, then hash MVM, then TCAM search.
+KernelCost mann_rram_inference(const xbar::MvmCost& cnn_stage, std::size_t cnn_layer_count,
+                               const xbar::MvmCost& hash, const cam::SearchCost& search,
+                               std::size_t batch);
+
+}  // namespace xlds::arch

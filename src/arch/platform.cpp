@@ -1,0 +1,104 @@
+#include "arch/platform.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace xlds::arch {
+
+namespace {
+
+Platform make_gpu() {
+  Platform p;
+  p.name = "GPU";
+  p.peak_macs_per_s = 60e12;   // fp16 tensor-core class, sustained
+  p.mem_bandwidth = 900e9;
+  p.link_bandwidth = 16e9;
+  p.link_latency = 10e-6;
+  p.launch_overhead = 5e-6;
+  p.energy_per_mac = 0.6e-12;
+  p.energy_per_byte = 15e-12;
+  p.idle_power = 60.0;
+  return p;
+}
+
+Platform make_tpu() {
+  Platform p;
+  p.name = "TPU";
+  p.peak_macs_per_s = 180e12;  // systolic array shines on large MVM
+  p.mem_bandwidth = 600e9;
+  p.link_bandwidth = 16e9;
+  p.link_latency = 10e-6;
+  p.launch_overhead = 3e-6;
+  p.energy_per_mac = 0.25e-12;
+  p.energy_per_byte = 12e-12;
+  p.idle_power = 40.0;
+  return p;
+}
+
+Platform make_cpu() {
+  Platform p;
+  p.name = "CPU";
+  p.peak_macs_per_s = 0.5e12;
+  p.mem_bandwidth = 50e9;
+  p.link_bandwidth = 50e9;   // it *is* the host
+  p.link_latency = 0.0;
+  p.launch_overhead = 0.2e-6;
+  p.energy_per_mac = 10e-12;
+  p.energy_per_byte = 30e-12;
+  p.idle_power = 30.0;
+  return p;
+}
+
+Platform make_edge_gpu() {
+  Platform p;
+  p.name = "EdgeGPU";
+  p.peak_macs_per_s = 2e12;
+  p.mem_bandwidth = 60e9;
+  p.link_bandwidth = 4e9;
+  p.link_latency = 20e-6;
+  p.launch_overhead = 10e-6;
+  p.energy_per_mac = 2e-12;
+  p.energy_per_byte = 25e-12;
+  p.idle_power = 5.0;
+  return p;
+}
+
+}  // namespace
+
+const Platform& gpu() {
+  static const Platform p = make_gpu();
+  return p;
+}
+const Platform& tpu() {
+  static const Platform p = make_tpu();
+  return p;
+}
+const Platform& cpu() {
+  static const Platform p = make_cpu();
+  return p;
+}
+const Platform& edge_gpu() {
+  static const Platform p = make_edge_gpu();
+  return p;
+}
+
+KernelCost dense_kernel(const Platform& p, std::size_t macs, std::size_t bytes) {
+  XLDS_REQUIRE(p.peak_macs_per_s > 0.0 && p.mem_bandwidth > 0.0);
+  KernelCost c;
+  const double t_compute = static_cast<double>(macs) / p.peak_macs_per_s;
+  const double t_memory = static_cast<double>(bytes) / p.mem_bandwidth;
+  c.latency = p.launch_overhead + std::max(t_compute, t_memory);
+  c.energy = static_cast<double>(macs) * p.energy_per_mac +
+             static_cast<double>(bytes) * p.energy_per_byte + p.idle_power * c.latency;
+  return c;
+}
+
+KernelCost host_transfer(const Platform& p, std::size_t bytes) {
+  KernelCost c;
+  c.latency = p.link_latency + static_cast<double>(bytes) / p.link_bandwidth;
+  c.energy = static_cast<double>(bytes) * p.energy_per_byte;
+  return c;
+}
+
+}  // namespace xlds::arch

@@ -1,0 +1,57 @@
+// First-order platform performance models (Sec. V / Fig. 3H baselines).
+//
+// A platform is characterised by its peak MAC throughput, memory bandwidth,
+// host-link behaviour and energy coefficients; a kernel costs
+// max(compute-bound, memory-bound) time plus a launch overhead.  This is a
+// roofline — deliberately so: Fig. 3H compares *orders* of latency between
+// GPU/TPU software baselines and CAM-based accelerators, and a roofline with
+// honest launch/transfer terms is the right fidelity for triage (deep dives
+// then go to the system simulator in xlds::sim).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xlds::arch {
+
+struct Platform {
+  std::string name;
+  double peak_macs_per_s = 1e12;   ///< sustained MAC throughput
+  double mem_bandwidth = 1e11;     ///< B/s, on-device
+  double link_bandwidth = 1e10;    ///< B/s, host <-> device (PCIe-class)
+  double link_latency = 10e-6;     ///< s per host transfer
+  double launch_overhead = 5e-6;   ///< s per kernel launch
+  double energy_per_mac = 1e-12;   ///< J
+  double energy_per_byte = 20e-12; ///< J, DRAM traffic
+  double idle_power = 30.0;        ///< W, burned while a kernel runs
+};
+
+/// Presets, roughly a datacenter GPU, an inference TPU and a desktop CPU.
+/// Values are order-of-magnitude representative; the comparisons in the
+/// benches are *relative*.
+const Platform& gpu();
+const Platform& tpu();
+const Platform& cpu();
+/// An embedded-class GPU for the "deployed at the edge" question the case
+/// study raises (small batch, weak link).
+const Platform& edge_gpu();
+
+struct KernelCost {
+  double latency = 0.0;  ///< s
+  double energy = 0.0;   ///< J
+
+  KernelCost& operator+=(const KernelCost& o) {
+    latency += o.latency;
+    energy += o.energy;
+    return *this;
+  }
+};
+
+/// Dense kernel: `macs` multiply-accumulates touching `bytes` of memory.
+KernelCost dense_kernel(const Platform& p, std::size_t macs, std::size_t bytes);
+
+/// Host <-> device transfer of `bytes`.
+KernelCost host_transfer(const Platform& p, std::size_t bytes);
+
+}  // namespace xlds::arch

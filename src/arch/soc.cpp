@@ -1,0 +1,102 @@
+#include "arch/soc.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace xlds::arch {
+
+AcceleratorIp cgra_ip() {
+  AcceleratorIp ip;
+  ip.name = "CGRA";
+  ip.area_mm2 = 0.60;
+  ip.power_w = 0.012;
+  ip.kernel_speedup = 6.0;
+  ip.bus_demand = 0.4e9;
+  return ip;
+}
+
+AcceleratorIp in_sram_compute_ip() {
+  AcceleratorIp ip;
+  ip.name = "in-SRAM compute";
+  ip.area_mm2 = 0.35;
+  ip.power_w = 0.008;
+  ip.kernel_speedup = 4.0;
+  ip.bus_demand = 0.1e9;  // operands stay in the SRAM macro
+  return ip;
+}
+
+AcceleratorIp crossbar_macro_ip() {
+  AcceleratorIp ip;
+  ip.name = "analog crossbar macro";
+  ip.area_mm2 = 0.45;
+  ip.power_w = 0.015;
+  ip.kernel_speedup = 18.0;  // the Sec.-V "up to 20X" class on its kernels
+  ip.bus_demand = 0.8e9;     // activations in/out every MVM
+  return ip;
+}
+
+SocTemplate SocTemplate::ultra_low_power() {
+  SocTemplate t;
+  t.name = "ulp-edge";
+  t.area_budget_mm2 = 2.5;
+  t.power_budget_w = 0.050;
+  t.bus_bandwidth = 1.6e9;
+  t.base_components = {
+      {"rv32 core", 0.15, 0.010},
+      {"SRAM banks (256 KiB)", 0.80, 0.006},
+      {"peripherals + DMA", 0.25, 0.004},
+      {"always-on domain", 0.10, 0.001},
+  };
+  return t;
+}
+
+SocInstance::SocInstance(SocTemplate base) : base_(std::move(base)) {
+  XLDS_REQUIRE(base_.area_budget_mm2 > 0.0);
+  XLDS_REQUIRE(base_.power_budget_w > 0.0);
+  XLDS_REQUIRE(base_.bus_bandwidth > 0.0);
+}
+
+SocInstance& SocInstance::attach(AcceleratorIp ip) {
+  XLDS_REQUIRE_MSG(ip.kernel_speedup >= 1.0, "an accelerator must not slow its kernel down");
+  XLDS_REQUIRE(ip.area_mm2 >= 0.0 && ip.power_w >= 0.0 && ip.bus_demand >= 0.0);
+  accelerators_.push_back(std::move(ip));
+  return *this;
+}
+
+SocReport SocInstance::integrate(double offloadable_fraction) const {
+  XLDS_REQUIRE(offloadable_fraction >= 0.0 && offloadable_fraction <= 1.0);
+  SocReport report;
+  for (const SocComponent& c : base_.base_components) {
+    report.total_area_mm2 += c.area_mm2;
+    report.total_power_w += c.power_w;
+  }
+  double bus_demand = 0.0;
+  double best_speedup = 1.0;
+  for (const AcceleratorIp& ip : accelerators_) {
+    report.total_area_mm2 += ip.area_mm2;
+    report.total_power_w += ip.power_w;
+    bus_demand += ip.bus_demand;
+    best_speedup = std::max(best_speedup, ip.kernel_speedup);
+  }
+  report.bus_utilisation = bus_demand / base_.bus_bandwidth;
+
+  if (report.total_area_mm2 > base_.area_budget_mm2) {
+    report.violation = "area budget exceeded";
+    return report;
+  }
+  if (report.total_power_w > base_.power_budget_w) {
+    report.violation = "power budget exceeded";
+    return report;
+  }
+  report.fits = true;
+
+  // Amdahl with bus contention: an oversubscribed shared bus stretches the
+  // accelerated phase by the utilisation factor.
+  const double contention = std::max(1.0, report.bus_utilisation);
+  const double accel_phase = offloadable_fraction / best_speedup * contention;
+  report.application_speedup = 1.0 / ((1.0 - offloadable_fraction) + accel_phase);
+  return report;
+}
+
+}  // namespace xlds::arch

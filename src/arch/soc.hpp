@@ -1,0 +1,84 @@
+// Open-hardware modular SoC template (Sec. V, first approach).
+//
+// X-HEEP-class flow: an ultra-low-power SoC *template* of validated
+// components (core, memories, peripherals, shared bus) from which instances
+// are derived by attaching custom accelerators — a CGRA, in-SRAM compute, an
+// analog crossbar macro.  The model checks the integration budgets (area,
+// power, shared-bus bandwidth) and projects the application-level speedup of
+// an instance: Amdahl over the offloadable fraction, degraded by bus
+// contention.  This is the "prototype them and their derived benefits from
+// the standpoint of an entire application" path, at triage fidelity.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xlds::arch {
+
+struct SocComponent {
+  std::string name;
+  double area_mm2 = 0.0;
+  double power_w = 0.0;
+};
+
+struct AcceleratorIp {
+  std::string name;
+  double area_mm2 = 0.0;
+  double power_w = 0.0;
+  /// Speedup over the host core on the kernels it accelerates.
+  double kernel_speedup = 1.0;
+  /// Shared-bus traffic the accelerator generates per second of accelerated
+  /// execution (operand fetch + result write-back), B/s.
+  double bus_demand = 0.0;
+};
+
+/// Canonical accelerator IPs from the Sec.-V literature.
+AcceleratorIp cgra_ip();            ///< coarse-grained reconfigurable array
+AcceleratorIp in_sram_compute_ip(); ///< bit-line in-SRAM computing
+AcceleratorIp crossbar_macro_ip();  ///< analog MVM macro
+
+struct SocTemplate {
+  std::string name;
+  double area_budget_mm2 = 0.0;
+  double power_budget_w = 0.0;
+  double bus_bandwidth = 0.0;  ///< shared-bus peak, B/s
+  std::vector<SocComponent> base_components;
+
+  /// The ultra-low-power edge template (X-HEEP-like: RISC-V core, SRAM
+  /// banks, peripherals on a 2.5 mm^2 / 50 mW envelope).
+  static SocTemplate ultra_low_power();
+};
+
+/// Result of deriving an instance from the template.
+struct SocReport {
+  bool fits = false;
+  std::string violation;     ///< first violated budget, empty when fits
+  double total_area_mm2 = 0.0;
+  double total_power_w = 0.0;
+  double bus_utilisation = 0.0;   ///< accelerator demand / bus bandwidth
+  double application_speedup = 1.0;
+};
+
+class SocInstance {
+ public:
+  explicit SocInstance(SocTemplate base);
+
+  /// Attach a custom accelerator (the X-HEEP "fast integration" step).
+  SocInstance& attach(AcceleratorIp ip);
+
+  const std::vector<AcceleratorIp>& accelerators() const noexcept { return accelerators_; }
+
+  /// Validate the budgets and project application speedup given the fraction
+  /// of application runtime the attached accelerators can absorb.
+  /// Precondition: 0 <= offloadable_fraction < 1... <= 1 allowed; contention
+  /// modelled as serialising the accelerated phase when bus demand exceeds
+  /// the shared-bus bandwidth.
+  SocReport integrate(double offloadable_fraction) const;
+
+ private:
+  SocTemplate base_;
+  std::vector<AcceleratorIp> accelerators_;
+};
+
+}  // namespace xlds::arch

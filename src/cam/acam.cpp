@@ -1,0 +1,100 @@
+#include "cam/acam.hpp"
+
+#include <algorithm>
+
+#include "circuit/converter.hpp"
+#include "circuit/matchline.hpp"
+#include "util/error.hpp"
+
+namespace xlds::cam {
+
+namespace {
+constexpr std::uint64_t kAcamStreamTag = 0xACA3317;
+}
+
+FeFetAcamArray::FeFetAcamArray(AcamConfig config, Rng& rng)
+    : config_(config),
+      model_(config.fefet),
+      wire_(device::tech_node(config.tech), config.cell_pitch_f),
+      sense_(config.sense),
+      rng_(rng.fork(kAcamStreamTag)),
+      cells_(config.rows, std::vector<Cell>(config.cols)) {
+  XLDS_REQUIRE(config_.rows >= 1 && config_.cols >= 1);
+}
+
+double FeFetAcamArray::bound_sigma() const {
+  const auto& p = model_.params();
+  return p.sigma_program / (p.vth_high - p.vth_low);
+}
+
+void FeFetAcamArray::write_word(std::size_t row, const std::vector<AnalogRange>& ranges) {
+  XLDS_REQUIRE_MSG(row < config_.rows, "row " << row << " out of range");
+  XLDS_REQUIRE_MSG(ranges.size() == config_.cols,
+                   "word width " << ranges.size() << " != " << config_.cols);
+  for (std::size_t c = 0; c < config_.cols; ++c) {
+    const AnalogRange& r = ranges[c];
+    XLDS_REQUIRE_MSG(0.0 <= r.lo && r.lo <= r.hi && r.hi <= 1.0,
+                     "invalid range [" << r.lo << ", " << r.hi << "]");
+    Cell& cell = cells_[row][c];
+    cell.intended = r;
+    if (config_.apply_variation) {
+      const double s = bound_sigma();
+      cell.programmed.lo = std::clamp(rng_.normal(r.lo, s), 0.0, 1.0);
+      cell.programmed.hi = std::clamp(rng_.normal(r.hi, s), 0.0, 1.0);
+      if (cell.programmed.lo > cell.programmed.hi)
+        std::swap(cell.programmed.lo, cell.programmed.hi);
+    } else {
+      cell.programmed = r;
+    }
+  }
+}
+
+std::vector<std::size_t> FeFetAcamArray::exact_match(const std::vector<double>& query) const {
+  XLDS_REQUIRE_MSG(query.size() == config_.cols,
+                   "query width " << query.size() << " != " << config_.cols);
+  for (double q : query) XLDS_REQUIRE_MSG(q >= 0.0 && q <= 1.0, "query value " << q);
+  std::vector<std::size_t> matches;
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    bool all = true;
+    for (std::size_t c = 0; c < config_.cols; ++c) {
+      const AnalogRange& pr = cells_[r][c].programmed;
+      if (query[c] < pr.lo || query[c] > pr.hi) {
+        all = false;
+        break;
+      }
+    }
+    if (all) matches.push_back(r);
+  }
+  return matches;
+}
+
+AnalogRange FeFetAcamArray::programmed_range(std::size_t row, std::size_t col) const {
+  XLDS_REQUIRE(row < config_.rows && col < config_.cols);
+  return cells_[row][col].programmed;
+}
+
+SearchCost FeFetAcamArray::search_cost() const {
+  const auto& node = device::tech_node(config_.tech);
+  circuit::MatchlineParams ml;
+  ml.cell_drain_cap = 2.0 * node.tx_drain_cap(node.min_tx_width_um);
+  const circuit::MatchlineModel matchline(ml, wire_, config_.cols);
+
+  const circuit::WireSegment sl = wire_.span(config_.rows);
+  circuit::DriverModel driver;
+  driver.load_capacitance =
+      sl.capacitance + static_cast<double>(config_.rows) * node.tx_gate_cap(node.min_tx_width_um);
+  driver.swing = model_.params().vth_high;
+
+  // EX-only sensing: wait one on-conductance discharge then latch.
+  const double g_on = model_.conductance(model_.params().vth_high, model_.params().vth_low);
+  const double t_eval = matchline.discharge_time(matchline.total_conductance(g_on));
+
+  SearchCost cost;
+  cost.latency = driver.latency() + t_eval + sense_.latency();
+  cost.energy = static_cast<double>(config_.rows) * matchline.search_energy() +
+                static_cast<double>(config_.rows) * sense_.energy() +
+                2.0 * static_cast<double>(config_.cols) * driver.energy();
+  return cost;
+}
+
+}  // namespace xlds::cam

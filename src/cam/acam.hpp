@@ -1,0 +1,77 @@
+// Analog CAM (ACAM) with FeFET range cells (Sec. II-B1).
+//
+// Each cell stores an *interval* [lo, hi]: one FeFET's V_th encodes the lower
+// bound, the other the upper bound, and an analog input voltage matches the
+// cell iff it falls inside the interval (FeCAM-style EX-ACAM).  ACAMs encode
+// more information per cell than MCAMs but, as the paper notes, suffer more
+// from noise and variation — programming variation directly widens or
+// narrows the stored interval, which this model captures.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cam/types.hpp"
+#include "circuit/senseamp.hpp"
+#include "circuit/wire.hpp"
+#include "device/fefet.hpp"
+#include "device/technology.hpp"
+#include "util/rng.hpp"
+
+namespace xlds::cam {
+
+struct AcamConfig {
+  device::FeFetParams fefet;
+  std::size_t rows = 64;
+  std::size_t cols = 32;
+  std::string tech = "40nm";
+  double cell_pitch_f = 12.0;
+  bool apply_variation = true;
+  circuit::SenseAmpParams sense;
+};
+
+/// A stored analog interval, in the cell's normalised [0, 1] input domain.
+struct AnalogRange {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+class FeFetAcamArray {
+ public:
+  FeFetAcamArray(AcamConfig config, Rng& rng);
+
+  std::size_t rows() const noexcept { return config_.rows; }
+  std::size_t cols() const noexcept { return config_.cols; }
+
+  /// Program a word of intervals.  Precondition: 0 <= lo <= hi <= 1 per cell.
+  void write_word(std::size_t row, const std::vector<AnalogRange>& ranges);
+
+  /// Rows matching an analog query (one value in [0, 1] per cell): every
+  /// cell's *programmed* interval (bounds shifted by sampled variation) must
+  /// contain the query value.
+  std::vector<std::size_t> exact_match(const std::vector<double>& query) const;
+
+  /// The programmed (post-variation) interval of a cell.
+  AnalogRange programmed_range(std::size_t row, std::size_t col) const;
+
+  SearchCost search_cost() const;
+
+ private:
+  struct Cell {
+    AnalogRange intended;
+    AnalogRange programmed;
+  };
+
+  /// Variation of a normalised bound: V_th sigma mapped into the [0, 1]
+  /// input domain through the memory-window width.
+  double bound_sigma() const;
+
+  AcamConfig config_;
+  device::FeFetModel model_;
+  circuit::WireModel wire_;
+  circuit::SenseAmp sense_;
+  mutable Rng rng_;
+  std::vector<std::vector<Cell>> cells_;
+};
+
+}  // namespace xlds::cam

@@ -1,0 +1,109 @@
+#include "cam/partitioned.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xlds::cam {
+
+std::string to_string(Aggregation a) {
+  switch (a) {
+    case Aggregation::kVote: return "vote";
+    case Aggregation::kSumSensed: return "sum-sensed";
+  }
+  return "?";
+}
+
+PartitionedCam::PartitionedCam(PartitionedCamConfig config, Rng& rng) : config_(config) {
+  XLDS_REQUIRE(config_.total_width >= 1);
+  XLDS_REQUIRE(config_.subarray.cols >= 1);
+  const std::size_t n_seg =
+      (config_.total_width + config_.subarray.cols - 1) / config_.subarray.cols;
+  segments_.reserve(n_seg);
+  for (std::size_t s = 0; s < n_seg; ++s) segments_.emplace_back(config_.subarray, rng);
+  stored_words_.assign(config_.subarray.rows, {});
+}
+
+std::vector<int> PartitionedCam::segment_slice(const std::vector<int>& full, std::size_t seg,
+                                               int pad_value) const {
+  const std::size_t w = config_.subarray.cols;
+  std::vector<int> slice(w, pad_value);
+  const std::size_t begin = seg * w;
+  const std::size_t end = std::min(begin + w, full.size());
+  for (std::size_t i = begin; i < end; ++i) slice[i - begin] = full[i];
+  return slice;
+}
+
+void PartitionedCam::write_word(std::size_t row, const std::vector<int>& digits) {
+  XLDS_REQUIRE_MSG(digits.size() == config_.total_width,
+                   "word width " << digits.size() << " != " << config_.total_width);
+  for (std::size_t s = 0; s < segments_.size(); ++s)
+    segments_[s].write_word(row, segment_slice(digits, s, kDontCare));
+  stored_words_[row] = digits;
+}
+
+SearchResult PartitionedCam::search(const std::vector<int>& query) const {
+  XLDS_REQUIRE_MSG(query.size() == config_.total_width,
+                   "query width " << query.size() << " != " << config_.total_width);
+  const std::size_t n_rows = config_.subarray.rows;
+
+  SearchResult combined;
+  combined.sensed_distance.assign(n_rows, 0.0);
+  std::vector<double> votes(n_rows, 0.0);
+  double max_latency = 0.0;
+  for (const FeFetCamArray& seg : segments_) {
+    // Queries into padded tail cells use level 0; the stored pad cells are
+    // don't-care so they contribute no conductance either way.
+    const std::size_t seg_index = static_cast<std::size_t>(&seg - segments_.data());
+    const std::vector<int> q = segment_slice(query, seg_index, 0);
+    const SearchResult res = seg.search(q);
+    max_latency = std::max(max_latency, res.cost.latency);
+    combined.cost.energy += res.cost.energy;
+    for (std::size_t r = 0; r < n_rows; ++r) combined.sensed_distance[r] += res.sensed_distance[r];
+    if (config_.aggregation == Aggregation::kVote) votes[res.best_row] += 1.0;
+  }
+  combined.cost.latency = max_latency;
+
+  if (config_.aggregation == Aggregation::kVote) {
+    // Most votes wins; ties break toward the smaller summed sensed distance,
+    // then the lower row index.
+    std::size_t best = 0;
+    for (std::size_t r = 1; r < n_rows; ++r) {
+      if (votes[r] > votes[best] ||
+          (votes[r] == votes[best] &&
+           combined.sensed_distance[r] < combined.sensed_distance[best]))
+        best = r;
+    }
+    combined.best_row = best;
+  } else {
+    combined.best_row =
+        static_cast<std::size_t>(std::min_element(combined.sensed_distance.begin(),
+                                                  combined.sensed_distance.end()) -
+                                 combined.sensed_distance.begin());
+  }
+  return combined;
+}
+
+std::size_t PartitionedCam::ideal_best_match(const std::vector<int>& query) const {
+  XLDS_REQUIRE(query.size() == config_.total_width);
+  std::size_t best = 0;
+  double best_d = HUGE_VAL;
+  for (std::size_t r = 0; r < stored_words_.size(); ++r) {
+    XLDS_REQUIRE_MSG(!stored_words_[r].empty(), "row " << r << " was never written");
+    double d = 0.0;
+    for (std::size_t i = 0; i < config_.total_width; ++i) {
+      const int s = stored_words_[r][i];
+      if (s == kDontCare) continue;
+      const double delta = static_cast<double>(query[i] - s);
+      d += delta * delta;
+    }
+    if (d < best_d) {
+      best_d = d;
+      best = r;
+    }
+  }
+  return best;
+}
+
+}  // namespace xlds::cam

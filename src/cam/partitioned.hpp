@@ -1,0 +1,69 @@
+// Subarray-partitioned associative search (Fig. 3F mechanism).
+//
+// A hypervector of N elements cannot be searched on one matchline: peripheral
+// circuitry can only distinguish a bounded number of mismatch units, so the
+// word is split across ceil(N / n) subarrays of width n.  How the per-
+// subarray results are combined determines the aggregation error:
+//   * kVote        — each subarray reports only its best-matching row; the
+//                    row with the most votes wins.  Cheapest periphery, but
+//                    produces the Fig. 3F-i failure case (globally-best row
+//                    loses segment-by-segment).
+//   * kSumSensed   — each subarray reports its quantised/saturated sensed
+//                    distance; the sums are compared.  More periphery, less
+//                    error — but saturation at the mismatch limit still
+//                    loses information for small subarrays.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cam/fefet_cam.hpp"
+#include "cam/types.hpp"
+#include "util/rng.hpp"
+
+namespace xlds::cam {
+
+enum class Aggregation {
+  kVote,
+  kSumSensed,
+};
+
+std::string to_string(Aggregation a);
+
+struct PartitionedCamConfig {
+  FeFetCamConfig subarray;    ///< geometry of one subarray; `cols` = segment width
+  std::size_t total_width = 1024;  ///< full word width (HV dimensionality)
+  Aggregation aggregation = Aggregation::kVote;
+};
+
+class PartitionedCam {
+ public:
+  PartitionedCam(PartitionedCamConfig config, Rng& rng);
+
+  std::size_t segments() const noexcept { return segments_.size(); }
+  std::size_t rows() const noexcept { return config_.subarray.rows; }
+  std::size_t total_width() const noexcept { return config_.total_width; }
+
+  /// Program a full-width word across all segments.  The final segment is
+  /// padded with don't-care cells when total_width is not a multiple of the
+  /// segment width.
+  void write_word(std::size_t row, const std::vector<int>& digits);
+
+  /// Best-match search for a full-width query using the configured
+  /// aggregation.  Also reports combined circuit cost (segments operate in
+  /// parallel: latency is the max, energy the sum).
+  SearchResult search(const std::vector<int>& query) const;
+
+  /// Ideal (software) best match: exact summed distance over the full word.
+  std::size_t ideal_best_match(const std::vector<int>& query) const;
+
+ private:
+  std::vector<int> segment_slice(const std::vector<int>& full, std::size_t seg,
+                                 int pad_value) const;
+
+  PartitionedCamConfig config_;
+  std::vector<FeFetCamArray> segments_;
+  std::vector<std::vector<int>> stored_words_;  ///< intended digits per row
+};
+
+}  // namespace xlds::cam

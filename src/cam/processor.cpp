@@ -1,0 +1,98 @@
+#include "cam/processor.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace xlds::cam {
+
+CamProcessor::CamProcessor(RramTcamConfig config, Rng& rng) : array_(config, rng) {
+  // Functional compute needs clean exact matches; callers wanting noise
+  // studies can still enable variation, but the default flows assume the
+  // sensing can reject a single mismatch (which the EX margin provides).
+  std::vector<int> zeros(array_.cols(), 0);
+  for (std::size_t r = 0; r < array_.rows(); ++r) array_.write_word(r, zeros);
+}
+
+std::size_t CamProcessor::rows() const noexcept { return array_.rows(); }
+std::size_t CamProcessor::cols() const noexcept { return array_.cols(); }
+
+void CamProcessor::load_row(std::size_t row, const std::vector<int>& bits) {
+  for (int b : bits) XLDS_REQUIRE_MSG(b == 0 || b == 1, "data bits must be binary");
+  array_.write_word(row, bits);
+}
+
+int CamProcessor::bit(std::size_t row, std::size_t col) const {
+  return array_.stored_bit(row, col);
+}
+
+std::vector<int> CamProcessor::row_bits(std::size_t row) const {
+  std::vector<int> out(array_.cols());
+  for (std::size_t c = 0; c < array_.cols(); ++c) out[c] = array_.stored_bit(row, c);
+  return out;
+}
+
+void CamProcessor::column_write(const std::vector<std::size_t>& rows_to_set, std::size_t col,
+                                int bit) {
+  for (std::size_t r : rows_to_set) array_.write_cell(r, col, bit);
+  ++cost_.writes;
+  cost_.total += array_.write_cost();
+}
+
+void CamProcessor::apply(std::size_t dst_col, const std::vector<std::size_t>& src_cols,
+                         const std::vector<int>& truth_table) {
+  XLDS_REQUIRE(dst_col < cols());
+  XLDS_REQUIRE(!src_cols.empty() && src_cols.size() <= 8);
+  XLDS_REQUIRE_MSG(truth_table.size() == (std::size_t{1} << src_cols.size()),
+                   "truth table needs 2^" << src_cols.size() << " entries");
+  for (std::size_t s : src_cols) {
+    XLDS_REQUIRE(s < cols());
+    XLDS_REQUIRE_MSG(s != dst_col, "destination column must not be a source");
+  }
+
+  // Clear the destination column (one parallel write), then set it for every
+  // row matching a 1-minterm.
+  std::vector<std::size_t> all_rows(rows());
+  for (std::size_t r = 0; r < rows(); ++r) all_rows[r] = r;
+  column_write(all_rows, dst_col, 0);
+
+  for (std::size_t minterm = 0; minterm < truth_table.size(); ++minterm) {
+    const int out = truth_table[minterm];
+    XLDS_REQUIRE_MSG(out == 0 || out == 1, "truth table entries must be binary");
+    if (out == 0) continue;
+    std::vector<int> query(cols(), kDontCare);
+    for (std::size_t i = 0; i < src_cols.size(); ++i)
+      query[src_cols[i]] = static_cast<int>((minterm >> i) & 1u);
+    const std::vector<std::size_t> matched = array_.exact_match(query);
+    ++cost_.searches;
+    cost_.total += array_.search_cost();
+    if (!matched.empty()) column_write(matched, dst_col, 1);
+  }
+}
+
+void CamProcessor::add_words(const std::vector<std::size_t>& a_cols,
+                             const std::vector<std::size_t>& b_cols,
+                             const std::vector<std::size_t>& out_cols, std::size_t carry_col,
+                             std::size_t scratch_col) {
+  XLDS_REQUIRE(!a_cols.empty());
+  XLDS_REQUIRE(a_cols.size() == b_cols.size() && a_cols.size() == out_cols.size());
+  XLDS_REQUIRE(carry_col < cols() && scratch_col < cols() && carry_col != scratch_col);
+
+  // XOR3 and MAJ3 truth tables over (a, b, carry), index = a + 2b + 4c.
+  const std::vector<int> xor3 = {0, 1, 1, 0, 1, 0, 0, 1};
+  const std::vector<int> maj3 = {0, 0, 0, 1, 0, 1, 1, 1};
+  const std::vector<int> identity = {0, 1};
+
+  // carry := 0 for every row.
+  std::vector<std::size_t> all_rows(rows());
+  for (std::size_t r = 0; r < rows(); ++r) all_rows[r] = r;
+  column_write(all_rows, carry_col, 0);
+
+  for (std::size_t i = 0; i < a_cols.size(); ++i) {
+    apply(out_cols[i], {a_cols[i], b_cols[i], carry_col}, xor3);
+    apply(scratch_col, {a_cols[i], b_cols[i], carry_col}, maj3);
+    apply(carry_col, {scratch_col}, identity);
+  }
+}
+
+}  // namespace xlds::cam

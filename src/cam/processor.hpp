@@ -1,0 +1,70 @@
+// Content-addressable processing (the CAPE-style "general purpose
+// computation" capability of AMs, Sec. VI).
+//
+// The primitive: a masked exact-match search selects, in one array
+// operation, every row whose chosen columns match a pattern; a column-
+// parallel write then updates one column of the selected rows.  Iterating
+// over the minterms of a truth table evaluates ANY boolean function of a few
+// columns across ALL rows simultaneously — row-parallel SIMD where the
+// "vector length" is the array height.  Word-wide arithmetic (the ripple
+// adder here) composes from bit-slice truth tables.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cam/rram_tcam.hpp"
+#include "util/rng.hpp"
+
+namespace xlds::cam {
+
+/// Accumulated cost of a CAM-compute kernel, in array operations and the
+/// circuit-level totals they imply.
+struct CamOpCost {
+  std::size_t searches = 0;  ///< masked exact-match passes
+  std::size_t writes = 0;    ///< column-parallel write passes
+  SearchCost total;          ///< summed latency/energy
+};
+
+class CamProcessor {
+ public:
+  /// The processor owns a ternary CAM of `config.rows` data words.
+  CamProcessor(RramTcamConfig config, Rng& rng);
+
+  std::size_t rows() const noexcept;
+  std::size_t cols() const noexcept;
+
+  /// Load a row of bits (0/1).
+  void load_row(std::size_t row, const std::vector<int>& bits);
+
+  /// Read back a stored bit / row (functional view).
+  int bit(std::size_t row, std::size_t col) const;
+  std::vector<int> row_bits(std::size_t row) const;
+
+  /// dst[r] = f(src0[r], src1[r], ...) for every row r, where f is given as
+  /// a truth table of size 2^srcs (index = src bits, src0 = LSB).  dst must
+  /// not be one of the sources.  Cost: one write pass to clear dst plus one
+  /// search + one write pass per 1-minterm.
+  void apply(std::size_t dst_col, const std::vector<std::size_t>& src_cols,
+             const std::vector<int>& truth_table);
+
+  /// Row-parallel ripple-carry addition: out = a + b over `width`-bit
+  /// little-endian operands in columns a_cols/b_cols, for every row.  The
+  /// final carry lands in carry_col; scratch_col is clobbered.  All column
+  /// sets must be disjoint.
+  void add_words(const std::vector<std::size_t>& a_cols,
+                 const std::vector<std::size_t>& b_cols,
+                 const std::vector<std::size_t>& out_cols, std::size_t carry_col,
+                 std::size_t scratch_col);
+
+  const CamOpCost& cost() const noexcept { return cost_; }
+  void reset_cost() { cost_ = {}; }
+
+ private:
+  void column_write(const std::vector<std::size_t>& rows_to_set, std::size_t col, int bit);
+
+  RramTcamArray array_;
+  CamOpCost cost_;
+};
+
+}  // namespace xlds::cam

@@ -1,0 +1,215 @@
+#include "cam/rram_tcam.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/converter.hpp"
+#include "device/device.hpp"
+#include "util/error.hpp"
+
+namespace xlds::cam {
+
+namespace {
+constexpr std::uint64_t kTcamStreamTag = 0x7CA2B17;
+
+/// Pick the (HRS, LRS) conductance pair maximising sensing margin per unit of
+/// programming sigma — the Sec.-IV co-optimisation of mapping states away
+/// from the high-variation band (while an upper conductance bound keeps IR
+/// drop negligible).
+std::pair<double, double> variation_aware_binary_mapping(const device::RramModel& model) {
+  const auto& p = model.params();
+  constexpr int kGrid = 64;
+  double best_lo = p.g_min;
+  double best_hi = p.g_max;
+  double best_score = 0.0;
+  for (int i = 0; i < kGrid; ++i) {
+    const double lo = p.g_min + (p.g_max - p.g_min) * 0.3 * i / (kGrid - 1);
+    for (int j = 0; j < kGrid; ++j) {
+      const double hi = lo + (p.g_max - lo) * j / (kGrid - 1);
+      if (hi - lo < 0.3 * (p.g_max - p.g_min)) continue;  // keep a usable window
+      const double score = (hi - lo) / (model.sigma_at(hi) + model.sigma_at(lo));
+      if (score > best_score) {
+        best_score = score;
+        best_lo = lo;
+        best_hi = hi;
+      }
+    }
+  }
+  return {best_lo, best_hi};
+}
+
+}  // namespace
+
+RramTcamArray::RramTcamArray(RramTcamConfig config, Rng& rng)
+    : config_(config),
+      model_(config.rram),
+      wire_(device::tech_node(config.tech), config.cell_pitch_f),
+      sense_(config.sense),
+      rng_(rng.fork(kTcamStreamTag)),
+      cells_(config.rows, std::vector<Cell>(config.cols)) {
+  XLDS_REQUIRE(config_.rows >= 1 && config_.cols >= 1);
+  XLDS_REQUIRE(config_.read_voltage > 0.0);
+  XLDS_REQUIRE(config_.sense_levels >= 2);
+}
+
+double RramTcamArray::lrs_conductance() const {
+  if (config_.variation_aware_mapping)
+    return variation_aware_binary_mapping(model_).second;
+  return model_.params().g_max;
+}
+
+double RramTcamArray::hrs_conductance() const {
+  if (config_.variation_aware_mapping)
+    return variation_aware_binary_mapping(model_).first;
+  return model_.params().g_min;
+}
+
+void RramTcamArray::write_cell(std::size_t row, std::size_t col, int bit) {
+  XLDS_REQUIRE_MSG(row < config_.rows, "row " << row << " out of range");
+  XLDS_REQUIRE_MSG(col < config_.cols, "col " << col << " out of range");
+  XLDS_REQUIRE_MSG(bit == 0 || bit == 1 || bit == kDontCare, "bit " << bit);
+  const double g_lrs = lrs_conductance();
+  const double g_hrs = hrs_conductance();
+  Cell& cell = cells_[row][col];
+  cell.stored = bit;
+  // Mismatch conducts: stored 1 puts LRS on the query==0 searchline.
+  double target_true = g_hrs;   // device sampled when query bit == 1
+  double target_false = g_hrs;  // device sampled when query bit == 0
+  if (bit == 1) target_false = g_lrs;
+  if (bit == 0) target_true = g_lrs;
+  if (config_.apply_variation) {
+    cell.g_true = model_.program_verify(target_true, rng_);
+    cell.g_false = model_.program_verify(target_false, rng_);
+  } else {
+    cell.g_true = target_true;
+    cell.g_false = target_false;
+  }
+}
+
+int RramTcamArray::stored_bit(std::size_t row, std::size_t col) const {
+  XLDS_REQUIRE(row < config_.rows && col < config_.cols);
+  return cells_[row][col].stored;
+}
+
+void RramTcamArray::write_word(std::size_t row, const std::vector<int>& bits) {
+  XLDS_REQUIRE_MSG(bits.size() == config_.cols,
+                   "word width " << bits.size() << " != " << config_.cols);
+  for (std::size_t c = 0; c < config_.cols; ++c) write_cell(row, c, bits[c]);
+}
+
+void RramTcamArray::age(double dt) {
+  XLDS_REQUIRE(dt >= 0.0);
+  for (auto& row : cells_) {
+    for (Cell& cell : row) {
+      cell.g_true = model_.relax(cell.g_true, dt, rng_);
+      cell.g_false = model_.relax(cell.g_false, dt, rng_);
+    }
+  }
+}
+
+SearchResult RramTcamArray::search(const std::vector<int>& query) const {
+  XLDS_REQUIRE_MSG(query.size() == config_.cols,
+                   "query width " << query.size() << " != " << config_.cols);
+  std::size_t active_cols = 0;
+  for (int q : query) {
+    XLDS_REQUIRE_MSG(q == 0 || q == 1 || q == kDontCare, "query bit " << q);
+    if (q != kDontCare) ++active_cols;
+  }
+  XLDS_REQUIRE_MSG(active_cols > 0, "fully masked query");
+
+  const double g_lrs = lrs_conductance();
+  const double g_hrs = hrs_conductance();
+  const double g_unit = g_lrs - g_hrs;
+  XLDS_ASSERT(g_unit > 0.0);
+  const auto full_scale = static_cast<double>(active_cols);
+  const double step = full_scale / static_cast<double>(config_.sense_levels);
+
+  SearchResult result;
+  result.sensed_distance.resize(config_.rows);
+  double best = HUGE_VAL;
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    double g_row = 0.0;
+    for (std::size_t c = 0; c < config_.cols; ++c) {
+      if (query[c] == kDontCare) continue;  // searchlines held off
+      const Cell& cell = cells_[r][c];
+      g_row += (query[c] == 1) ? cell.g_true : cell.g_false;
+    }
+    // Subtract the HRS baseline so the metric is in Hamming-distance units.
+    double metric = (g_row - static_cast<double>(active_cols) * g_hrs) / g_unit;
+    if (config_.sense_noise_rel > 0.0)
+      metric += rng_.normal(0.0, config_.sense_noise_rel * full_scale);
+    metric = std::clamp(metric, 0.0, full_scale);
+    const double sensed = std::round(metric / step) * step;
+    result.sensed_distance[r] = sensed;
+    if (sensed < best) {
+      best = sensed;
+      result.best_row = r;
+    }
+  }
+  result.cost = search_cost();
+  return result;
+}
+
+std::vector<std::size_t> RramTcamArray::exact_match(const std::vector<int>& query) const {
+  const SearchResult res = search(query);
+  std::size_t active_cols = 0;
+  for (int q : query)
+    if (q != kDontCare) ++active_cols;
+  const double step =
+      static_cast<double>(active_cols) / static_cast<double>(config_.sense_levels);
+  std::vector<std::size_t> rows;
+  for (std::size_t r = 0; r < res.sensed_distance.size(); ++r)
+    if (res.sensed_distance[r] <= step / 2.0) rows.push_back(r);
+  return rows;
+}
+
+SearchCost RramTcamArray::write_cost() const {
+  // Column-parallel write: one programming pulse sequence drives a column's
+  // devices across all rows; energy is per programmed cell (2 devices).
+  const auto& dev = device::traits(device::DeviceKind::kRram);
+  SearchCost cost;
+  cost.latency = dev.write_latency;
+  cost.energy = 2.0 * dev.write_energy * static_cast<double>(config_.rows);
+  return cost;
+}
+
+std::size_t RramTcamArray::ideal_distance(std::size_t row, const std::vector<int>& query) const {
+  XLDS_REQUIRE(row < config_.rows);
+  XLDS_REQUIRE(query.size() == config_.cols);
+  std::size_t d = 0;
+  for (std::size_t c = 0; c < config_.cols; ++c) {
+    const int s = cells_[row][c].stored;
+    if (s == kDontCare) continue;
+    if (s != query[c]) ++d;
+  }
+  return d;
+}
+
+SearchCost RramTcamArray::search_cost() const {
+  const auto& node = device::tech_node(config_.tech);
+  circuit::MatchlineParams ml;
+  ml.v_precharge = config_.read_voltage;
+  ml.v_sense = config_.read_voltage / 2.0;
+  ml.cell_drain_cap = 2.0 * node.tx_drain_cap(node.min_tx_width_um);
+  ml.leak_conductance_per_cell = hrs_conductance();
+  const circuit::MatchlineModel matchline(ml, wire_, config_.cols);
+
+  const circuit::WireSegment sl = wire_.span(config_.rows);
+  circuit::DriverModel driver;
+  driver.load_capacitance =
+      sl.capacitance + static_cast<double>(config_.rows) * node.tx_gate_cap(node.min_tx_width_um);
+  driver.swing = config_.read_voltage;
+
+  // Evaluation window: one LRS unit discharging the line.
+  const double t_eval = matchline.discharge_time(matchline.total_conductance(lrs_conductance()));
+
+  SearchCost cost;
+  cost.latency = driver.latency() + t_eval + sense_.latency() + wta_.latency(config_.rows);
+  cost.energy = static_cast<double>(config_.rows) * matchline.search_energy() +
+                static_cast<double>(config_.rows) * sense_.energy() +
+                2.0 * static_cast<double>(config_.cols) * driver.energy() +
+                wta_.energy(config_.rows);
+  return cost;
+}
+
+}  // namespace xlds::cam

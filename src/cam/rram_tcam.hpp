@@ -1,0 +1,102 @@
+// RRAM 2T2R ternary CAM computing Hamming distance (Sec. IV).
+//
+// Cell: two RRAM devices with access transistors on complementary search
+// lines.  Storing bit b puts the device on the "b" side into HRS and the
+// complementary device into LRS; a mismatching query routes current through
+// the LRS device, so the matchline current is linear in the Hamming distance
+// ("the output current is linearly dependent on Hamming distance").  A
+// "don't care" (X) cell stores HRS on both sides and contributes ~nothing for
+// either query value — the mechanism the TLSH scheme of Fig. 4C exploits.
+//
+// Device non-idealities from the statistical RRAM model are applied at write
+// time (programming variation, optionally variation-aware state mapping) and
+// by `age()` (conductance relaxation over time).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cam/types.hpp"
+#include "circuit/matchline.hpp"
+#include "circuit/senseamp.hpp"
+#include "circuit/wire.hpp"
+#include "device/rram.hpp"
+#include "device/technology.hpp"
+#include "util/rng.hpp"
+
+namespace xlds::cam {
+
+struct RramTcamConfig {
+  device::RramParams rram;
+  std::size_t rows = 64;
+  std::size_t cols = 128;     ///< hash-signature width (paper: 128 bits on chip)
+  std::string tech = "40nm";
+  double cell_pitch_f = 8.0;  ///< 2T2R cell pitch along the matchline, F
+  double read_voltage = 0.2;  ///< searchline read bias, V
+  circuit::SenseAmpParams sense;
+  bool apply_variation = true;
+  /// Map LRS/HRS levels away from the high-variation conductance band
+  /// (the co-optimisation described in Sec. IV).
+  bool variation_aware_mapping = false;
+  double sense_noise_rel = 0.01;  ///< peripheral analog noise, fraction of full scale
+  std::size_t sense_levels = 64;  ///< ADC resolution on the distance current
+};
+
+class RramTcamArray {
+ public:
+  RramTcamArray(RramTcamConfig config, Rng& rng);
+
+  std::size_t rows() const noexcept { return config_.rows; }
+  std::size_t cols() const noexcept { return config_.cols; }
+  const RramTcamConfig& config() const noexcept { return config_; }
+
+  /// Program a ternary word: entries are 0, 1 or kDontCare.
+  void write_word(std::size_t row, const std::vector<int>& bits);
+
+  /// Program a single cell (the column-parallel write-back primitive the
+  /// CAM-compute flows use).
+  void write_cell(std::size_t row, std::size_t col, int bit);
+
+  /// Stored (intended) bit of a cell.
+  int stored_bit(std::size_t row, std::size_t col) const;
+
+  /// Apply conductance relaxation to every device for `dt` seconds.
+  void age(double dt);
+
+  /// Search with a ternary query: 0/1 compare, kDontCare masks the column
+  /// (both searchlines held off — the standard TCAM global-mask feature).
+  /// Returns sensed Hamming distances per row over the unmasked columns.
+  SearchResult search(const std::vector<int>& query) const;
+
+  /// Rows whose unmasked columns all match (sensed distance at the zero
+  /// code) — the EX-match primitive CAM-compute builds on.
+  std::vector<std::size_t> exact_match(const std::vector<int>& query) const;
+
+  /// Cost of one column-parallel write pass (all rows, one column).
+  SearchCost write_cost() const;
+
+  /// Ideal ternary Hamming distance between query and stored word.
+  std::size_t ideal_distance(std::size_t row, const std::vector<int>& query) const;
+
+  SearchCost search_cost() const;
+
+ private:
+  struct Cell {
+    int stored = kDontCare;
+    double g_true = 0.0;   ///< device on the "query==1" searchline, S
+    double g_false = 0.0;  ///< device on the "query==0" searchline, S
+  };
+
+  double lrs_conductance() const;
+  double hrs_conductance() const;
+
+  RramTcamConfig config_;
+  device::RramModel model_;
+  circuit::WireModel wire_;
+  circuit::SenseAmp sense_;
+  circuit::WinnerTakeAll wta_;
+  mutable Rng rng_;
+  std::vector<std::vector<Cell>> cells_;
+};
+
+}  // namespace xlds::cam

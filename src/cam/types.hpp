@@ -1,0 +1,51 @@
+// Shared vocabulary types for the associative-memory simulators (Sec. II-B1).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace xlds::cam {
+
+/// Match types supported by the paper's AM taxonomy (Fig. 2C).
+enum class MatchType {
+  kExact,      ///< all cells must match
+  kBest,       ///< row with the smallest distance wins
+  kThreshold,  ///< all rows with distance <= threshold
+};
+
+/// Distance function realised by the cell design.
+enum class DistanceKind {
+  kHamming,           ///< binary/ternary cells: count of mismatching cells
+  kSquaredEuclidean,  ///< multi-bit cells with square-law devices (Fig. 3D)
+};
+
+std::string to_string(MatchType t);
+std::string to_string(DistanceKind k);
+
+/// Ternary stored digit: a value in [0, levels) or kDontCare.
+inline constexpr int kDontCare = -1;
+
+/// Cost of one search operation, accumulated from the circuit models.
+struct SearchCost {
+  double latency = 0.0;  ///< s
+  double energy = 0.0;   ///< J
+
+  SearchCost& operator+=(const SearchCost& o) {
+    latency += o.latency;
+    energy += o.energy;
+    return *this;
+  }
+};
+
+/// Result of a search over one (sub)array.
+struct SearchResult {
+  /// Sensed distance metric per row (quantised; smaller = better match).
+  std::vector<double> sensed_distance;
+  /// Row index of the best (smallest sensed distance) row; ties break low.
+  std::size_t best_row = std::numeric_limits<std::size_t>::max();
+  SearchCost cost;
+};
+
+}  // namespace xlds::cam

@@ -1,0 +1,59 @@
+#include "circuit/converter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xlds::circuit {
+
+AdcModel::AdcModel(AdcParams params) : params_(params) {
+  XLDS_REQUIRE(params_.bits >= 1 && params_.bits <= 16);
+  XLDS_REQUIRE(params_.base_energy > 0.0);
+  XLDS_REQUIRE(params_.energy_per_bit_factor >= 1.0);
+}
+
+double AdcModel::energy_per_conversion() const {
+  return params_.base_energy * std::pow(params_.energy_per_bit_factor, params_.bits - 1);
+}
+
+double AdcModel::latency_per_conversion() const {
+  return params_.base_latency + params_.latency_per_bit * params_.bits;
+}
+
+std::size_t AdcModel::code(double x, double lo, double hi) const {
+  XLDS_REQUIRE(hi > lo);
+  const auto n_codes = static_cast<std::size_t>(1) << params_.bits;
+  const double t = (x - lo) / (hi - lo);
+  const auto k = static_cast<long long>(std::floor(t * static_cast<double>(n_codes)));
+  return static_cast<std::size_t>(
+      std::clamp<long long>(k, 0, static_cast<long long>(n_codes) - 1));
+}
+
+double AdcModel::quantise(double x, double lo, double hi) const {
+  const auto n_codes = static_cast<std::size_t>(1) << params_.bits;
+  const std::size_t k = code(x, lo, hi);
+  // Mid-rise reconstruction: centre of the code bucket.
+  return lo + (static_cast<double>(k) + 0.5) * (hi - lo) / static_cast<double>(n_codes);
+}
+
+DacModel::DacModel(DacParams params) : params_(params) {
+  XLDS_REQUIRE(params_.bits >= 1 && params_.bits <= 16);
+}
+
+double DacModel::level(std::size_t k, double lo, double hi) const {
+  XLDS_REQUIRE(hi > lo);
+  const auto n = (static_cast<std::size_t>(1) << params_.bits) - 1;
+  XLDS_REQUIRE(k <= n);
+  return lo + (hi - lo) * static_cast<double>(k) / static_cast<double>(n);
+}
+
+double DacModel::quantise(double x, double lo, double hi) const {
+  XLDS_REQUIRE(hi > lo);
+  const auto n = (static_cast<std::size_t>(1) << params_.bits) - 1;
+  const double t = std::clamp((x - lo) / (hi - lo), 0.0, 1.0);
+  const auto k = static_cast<std::size_t>(std::lround(t * static_cast<double>(n)));
+  return level(k, lo, hi);
+}
+
+}  // namespace xlds::circuit

@@ -1,0 +1,78 @@
+// Data-converter and driver models for analog in-memory compute.
+//
+// Crossbar MVM (Fig. 2D) needs a DAC per active row, an ADC per sensed
+// column, and row drivers strong enough to hold the line voltage.  ADC cost
+// is the dominant peripheral overhead of analog IMC, so its scaling with
+// resolution is modelled explicitly (SAR-style: energy roughly doubles per
+// bit; latency linear in bits).
+#pragma once
+
+#include <cstddef>
+
+namespace xlds::circuit {
+
+struct AdcParams {
+  int bits = 8;
+  double base_energy = 2.0e-14;   ///< J at 1 bit
+  double energy_per_bit_factor = 2.0;  ///< multiplicative per extra bit
+  double base_latency = 0.1e-9;   ///< s
+  double latency_per_bit = 0.1e-9;  ///< s per bit (SAR cycles)
+  double area_m2 = 50e-12;        ///< silicon area per ADC instance
+};
+
+class AdcModel {
+ public:
+  explicit AdcModel(AdcParams params);
+
+  int bits() const noexcept { return params_.bits; }
+  double energy_per_conversion() const;
+  double latency_per_conversion() const;
+  double area() const noexcept { return params_.area_m2; }
+
+  /// Quantise `x` in [lo, hi] to the ADC grid (mid-rise, clamped).
+  double quantise(double x, double lo, double hi) const;
+
+  /// Integer code for `x` in [lo, hi], in [0, 2^bits - 1].
+  std::size_t code(double x, double lo, double hi) const;
+
+ private:
+  AdcParams params_;
+};
+
+struct DacParams {
+  int bits = 4;
+  double energy_per_conversion = 5.0e-15;  ///< J
+  double latency = 0.05e-9;                ///< s
+  double area_m2 = 5e-12;
+};
+
+class DacModel {
+ public:
+  explicit DacModel(DacParams params);
+
+  int bits() const noexcept { return params_.bits; }
+  double energy_per_conversion() const noexcept { return params_.energy_per_conversion; }
+  double latency() const noexcept { return params_.latency; }
+  double area() const noexcept { return params_.area_m2; }
+
+  /// Representable output for code k out of 2^bits codes over [lo, hi].
+  double level(std::size_t k, double lo, double hi) const;
+
+  /// Quantise an analog target to the nearest representable level.
+  double quantise(double x, double lo, double hi) const;
+
+ private:
+  DacParams params_;
+};
+
+/// Row/search-line driver: CV^2 switching energy and RC-limited rise time.
+struct DriverModel {
+  double load_capacitance = 0.0;  ///< F, line being driven
+  double drive_resistance = 1.0e3;  ///< ohm
+  double swing = 1.0;             ///< V
+
+  double energy() const { return load_capacitance * swing * swing; }
+  double latency() const { return 2.2 * drive_resistance * load_capacitance; }  // 10-90 % rise
+};
+
+}  // namespace xlds::circuit

@@ -1,0 +1,76 @@
+#include "circuit/matchline.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xlds::circuit {
+
+MatchlineModel::MatchlineModel(MatchlineParams params, const WireModel& wire, std::size_t columns)
+    : params_(params), columns_(columns) {
+  XLDS_REQUIRE(columns >= 1);
+  XLDS_REQUIRE(params_.v_precharge > params_.v_sense);
+  XLDS_REQUIRE(params_.v_sense > 0.0);
+  const WireSegment seg = wire.span(columns);
+  c_total_ = seg.capacitance + params_.cell_drain_cap * static_cast<double>(columns);
+  g_leak_total_ = params_.leak_conductance_per_cell * static_cast<double>(columns);
+}
+
+double MatchlineModel::total_conductance(double mismatch_conductance_sum) const {
+  XLDS_REQUIRE(mismatch_conductance_sum >= 0.0);
+  return mismatch_conductance_sum + g_leak_total_;
+}
+
+double MatchlineModel::discharge_time(double conductance_total) const {
+  if (conductance_total <= 0.0) return HUGE_VAL;
+  const double tau = c_total_ / conductance_total;
+  return tau * std::log(params_.v_precharge / params_.v_sense);
+}
+
+double MatchlineModel::voltage_at(double time, double conductance_total) const {
+  XLDS_REQUIRE(time >= 0.0);
+  if (conductance_total <= 0.0) return params_.v_precharge;
+  return params_.v_precharge * std::exp(-time * conductance_total / c_total_);
+}
+
+double MatchlineModel::search_energy() const {
+  return c_total_ * params_.v_precharge * params_.v_precharge;
+}
+
+double MatchlineModel::sense_margin(std::size_t k1, std::size_t k2, double g_mis,
+                                    double t_sense) const {
+  XLDS_REQUIRE(k1 < k2);
+  XLDS_REQUIRE(g_mis > 0.0);
+  const double g1 = total_conductance(static_cast<double>(k1) * g_mis);
+  const double g2 = total_conductance(static_cast<double>(k2) * g_mis);
+  return voltage_at(t_sense, g1) - voltage_at(t_sense, g2);
+}
+
+std::size_t MatchlineModel::mismatch_limit(double g_mis, double min_margin_v) const {
+  XLDS_REQUIRE(g_mis > 0.0);
+  XLDS_REQUIRE(min_margin_v > 0.0);
+  // For adjacent counts k, k+1 the margin V_k(t) - V_{k+1}(t) is maximised at
+  //   t* = C / g_mis * ln((k+1)g + L) / ... — rather than deriving the exact
+  // stationary point of the two-exponential difference, scan sense times
+  // around the k+1 discharge time; the optimum is bracketed by the two
+  // discharge times and the function is smooth and unimodal there.
+  std::size_t k = 0;
+  while (k < columns_) {
+    const double g1 = total_conductance(static_cast<double>(k) * g_mis);
+    const double g2 = total_conductance(static_cast<double>(k + 1) * g_mis);
+    const double t_lo = discharge_time(g2);
+    const double t_hi = std::isinf(discharge_time(g1)) ? 4.0 * t_lo : discharge_time(g1);
+    double best = 0.0;
+    constexpr int kSteps = 64;
+    for (int i = 0; i <= kSteps; ++i) {
+      const double t = t_lo + (t_hi - t_lo) * static_cast<double>(i) / kSteps;
+      const double margin = voltage_at(t, g1) - voltage_at(t, g2);
+      if (margin > best) best = margin;
+    }
+    if (best < min_margin_v) break;
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace xlds::circuit

@@ -1,0 +1,71 @@
+// Matchline discharge model (Fig. 2A mechanism).
+//
+// A NOR-type CAM matchline is precharged to V_pre; every mismatching cell
+// adds a pull-down conductance, and the line discharges exponentially with
+// time constant C_ml / G_total.  Everything the paper's CAM analysis needs
+// derives from this single RC picture:
+//   * EX match      — "did the line discharge before the sense time?"
+//   * BE / TH match — "how fast did it discharge?" (discharge rate encodes
+//     the Hamming / SE distance, Sec. II-B1)
+//   * sense margin  — the voltage separation at sense time between k and
+//     k+1 mismatches, which sets the mismatch limit and the maximum number
+//     of columns per matchline (Sec. VI, Eva-CAM extension discussion).
+#pragma once
+
+#include <cstddef>
+
+#include "circuit/wire.hpp"
+#include "device/technology.hpp"
+
+namespace xlds::circuit {
+
+struct MatchlineParams {
+  double v_precharge = 1.0;    ///< V
+  double v_sense = 0.5;        ///< sense threshold voltage, V
+  double cell_drain_cap = 0.0; ///< per-cell drain-junction load on the line, F
+  double leak_conductance_per_cell = 1e-9;  ///< S, off-state leakage per cell
+};
+
+class MatchlineModel {
+ public:
+  MatchlineModel(MatchlineParams params, const WireModel& wire, std::size_t columns);
+
+  /// Total matchline capacitance (wire + cell drains).
+  double capacitance() const noexcept { return c_total_; }
+
+  /// Total pull-down conductance for `mismatch_conductance` summed over the
+  /// mismatching cells plus leakage of all columns.
+  double total_conductance(double mismatch_conductance_sum) const;
+
+  /// Time for the line to fall from V_pre to V_sense given a total pull-down
+  /// conductance.  Infinite (returns a large sentinel via HUGE_VAL) when the
+  /// conductance is zero.
+  double discharge_time(double conductance_total) const;
+
+  /// Matchline voltage at time t for a total pull-down conductance.
+  double voltage_at(double time, double conductance_total) const;
+
+  /// Energy of one search on this line: precharge CV^2 (the standard CAM
+  /// search-energy accounting; the paper's numbers are dominated by it).
+  double search_energy() const;
+
+  /// Voltage-domain sense margin at time `t_sense` between two mismatch
+  /// counts k1 < k2 with per-mismatch conductance g_mis: V_k1(t) - V_k2(t).
+  double sense_margin(std::size_t k1, std::size_t k2, double g_mis, double t_sense) const;
+
+  /// Largest mismatch count k such that the margin between k and k+1 at the
+  /// optimal sense time still exceeds `min_margin_v` — the paper's "mismatch
+  /// limit".  Returns 0 if even 0-vs-1 cannot be distinguished.
+  std::size_t mismatch_limit(double g_mis, double min_margin_v) const;
+
+  std::size_t columns() const noexcept { return columns_; }
+  const MatchlineParams& params() const noexcept { return params_; }
+
+ private:
+  MatchlineParams params_;
+  std::size_t columns_;
+  double c_total_;
+  double g_leak_total_;
+};
+
+}  // namespace xlds::circuit

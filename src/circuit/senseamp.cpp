@@ -1,0 +1,39 @@
+#include "circuit/senseamp.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xlds::circuit {
+
+SenseAmp::SenseAmp(SenseAmpParams params) : params_(params) {
+  XLDS_REQUIRE(params_.min_margin_v > 0.0);
+  XLDS_REQUIRE(params_.latency >= 0.0 && params_.energy >= 0.0);
+  XLDS_REQUIRE(params_.time_resolution > 0.0);
+}
+
+bool SenseAmp::resolves_voltage(double delta_v) const {
+  return std::abs(delta_v) >= params_.min_margin_v;
+}
+
+bool SenseAmp::resolves_time(double delta_t) const {
+  return std::abs(delta_t) >= params_.time_resolution;
+}
+
+bool SenseAmp::compare(double v_in, double v_ref, double sampled_offset) const {
+  return (v_in + sampled_offset) > v_ref;
+}
+
+double WinnerTakeAll::latency(std::size_t rows) const {
+  XLDS_REQUIRE(rows >= 1);
+  const double stages = std::ceil(std::log2(static_cast<double>(rows == 1 ? 2 : rows)));
+  return stage_latency * stages;
+}
+
+double WinnerTakeAll::energy(std::size_t rows) const {
+  XLDS_REQUIRE(rows >= 1);
+  // One comparison node per internal tree node: rows - 1 of them.
+  return stage_energy * static_cast<double>(rows > 1 ? rows - 1 : 1);
+}
+
+}  // namespace xlds::circuit

@@ -1,0 +1,62 @@
+// Sense-amplifier and distance-sensing models.
+//
+// Two sensing regimes appear in the paper's CAM designs:
+//   * binary sensing (EX match): a clocked latch resolves "above / below
+//     V_sense" — characterised by offset voltage, latency and energy;
+//   * distance sensing (BE / TH match): the discharge *rate* is digitised,
+//     e.g. by sampling the matchline against a reference ramp or by counting
+//     clock edges until discharge.  Its resolution (minimum distinguishable
+//     voltage or time difference) is what limits array width — Eva-CAM
+//     compares the matchline sense margin against the sensing-circuit margin
+//     to derive the maximum columns per subarray (Sec. VI).
+#pragma once
+
+#include <cstddef>
+
+#include "device/technology.hpp"
+
+namespace xlds::circuit {
+
+struct SenseAmpParams {
+  double offset_sigma_v = 0.01;   ///< input-referred offset sigma, V
+  double min_margin_v = 0.05;     ///< margin required for reliable resolution, V
+  double latency = 0.2e-9;        ///< regeneration latency, s
+  double energy = 2.0e-15;        ///< energy per evaluation, J
+  double time_resolution = 0.05e-9;  ///< for time-domain distance sensing, s
+};
+
+class SenseAmp {
+ public:
+  explicit SenseAmp(SenseAmpParams params);
+
+  const SenseAmpParams& params() const noexcept { return params_; }
+
+  /// Can the amp reliably resolve a voltage difference `delta_v`?
+  bool resolves_voltage(double delta_v) const;
+
+  /// Can a time-domain scheme reliably resolve a discharge-time difference?
+  bool resolves_time(double delta_t) const;
+
+  /// Sense decision with offset noise: returns true when v_in (plus a given
+  /// sampled offset) exceeds v_ref.
+  bool compare(double v_in, double v_ref, double sampled_offset = 0.0) const;
+
+  double latency() const noexcept { return params_.latency; }
+  double energy() const noexcept { return params_.energy; }
+
+ private:
+  SenseAmpParams params_;
+};
+
+/// Winner-take-all / priority encoder over N matchlines used for BEST match:
+/// latency and energy grow logarithmically with the number of rows (tree
+/// arbitration).  `rows` is the subarray height.
+struct WinnerTakeAll {
+  double stage_latency = 0.1e-9;
+  double stage_energy = 1.0e-15;
+
+  double latency(std::size_t rows) const;
+  double energy(std::size_t rows) const;
+};
+
+}  // namespace xlds::circuit

@@ -1,0 +1,59 @@
+#include "circuit/transient.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xlds::circuit {
+
+TransientResult simulate_discharge(const TransientConfig& config, const CurrentLaw& pulldown) {
+  XLDS_REQUIRE(config.capacitance > 0.0);
+  XLDS_REQUIRE(config.t_end > 0.0 && config.dt > 0.0 && config.dt < config.t_end);
+  XLDS_REQUIRE(config.store_every >= 1);
+  XLDS_REQUIRE(pulldown != nullptr);
+
+  const auto dvdt = [&](double v) { return -pulldown(v) / config.capacitance; };
+
+  TransientResult result;
+  result.crossing_time = HUGE_VAL;
+  double v = config.v_initial;
+  double t = 0.0;
+  std::size_t i = 0;
+  result.time.push_back(t);
+  result.voltage.push_back(v);
+  while (t < config.t_end) {
+    // Classic RK4 step.
+    const double k1 = dvdt(v);
+    const double k2 = dvdt(v + 0.5 * config.dt * k1);
+    const double k3 = dvdt(v + 0.5 * config.dt * k2);
+    const double k4 = dvdt(v + config.dt * k3);
+    const double v_next = v + config.dt / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+    const double t_next = t + config.dt;
+    ++result.steps;
+
+    if (result.crossing_time == HUGE_VAL && v > config.v_target && v_next <= config.v_target) {
+      // Linear interpolation inside the step.
+      const double frac = (v - config.v_target) / (v - v_next);
+      result.crossing_time = t + frac * config.dt;
+    }
+    v = v_next;
+    t = t_next;
+    if (++i % config.store_every == 0) {
+      result.time.push_back(t);
+      result.voltage.push_back(v);
+    }
+  }
+  if (result.time.back() != t) {
+    result.time.push_back(t);
+    result.voltage.push_back(v);
+  }
+  return result;
+}
+
+double transient_crossing_time(const TransientConfig& config, const CurrentLaw& pulldown) {
+  TransientConfig cheap = config;
+  cheap.store_every = 1u << 20;  // keep essentially nothing
+  return simulate_discharge(cheap, pulldown).crossing_time;
+}
+
+}  // namespace xlds::circuit

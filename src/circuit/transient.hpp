@@ -1,0 +1,45 @@
+// SPICE-lite transient solver (Sec. VI's framing: "SPICE-based circuit
+// simulations are accurate, they are also time-consuming and have poor
+// scalability" — the analytical models exist to replace them for sweeps).
+//
+// A fixed-step RK4 integrator for a single-node capacitor discharged by an
+// arbitrary (possibly nonlinear) pull-down current: exactly the matchline
+// problem, including the square-law FeFET pull-downs the exponential
+// analytical model linearises away.  Used to validate the analytical
+// matchline numbers and to measure the speed gap the paper argues motivates
+// analytical tooling.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace xlds::circuit {
+
+/// Pull-down current as a function of node voltage: I(V) in amps.
+using CurrentLaw = std::function<double(double)>;
+
+struct TransientResult {
+  std::vector<double> time;     ///< s
+  std::vector<double> voltage;  ///< V
+  std::size_t steps = 0;
+  /// First time the node crossed `v_target` (HUGE_VAL if never).
+  double crossing_time = 0.0;
+};
+
+struct TransientConfig {
+  double capacitance = 10e-15;  ///< F
+  double v_initial = 1.0;       ///< V (precharge)
+  double v_target = 0.5;        ///< report the crossing of this level
+  double t_end = 20e-9;         ///< s
+  double dt = 1e-12;            ///< s, fixed RK4 step
+  /// Keep every k-th sample in the waveform (1 = all; larger = cheaper).
+  std::size_t store_every = 8;
+};
+
+/// Integrate C dV/dt = -I(V) from v_initial to t_end.
+TransientResult simulate_discharge(const TransientConfig& config, const CurrentLaw& pulldown);
+
+/// Convenience: crossing time only (no waveform storage).
+double transient_crossing_time(const TransientConfig& config, const CurrentLaw& pulldown);
+
+}  // namespace xlds::circuit

@@ -1,0 +1,26 @@
+#include "circuit/wire.hpp"
+
+#include "util/error.hpp"
+
+namespace xlds::circuit {
+
+WireModel::WireModel(const device::TechNode& node, double cell_pitch_f)
+    : pitch_m_(cell_pitch_f * node.feature_m),
+      r_per_m_(node.wire_r_per_m),
+      c_per_m_(node.wire_c_per_m) {
+  XLDS_REQUIRE(cell_pitch_f > 0.0);
+}
+
+WireSegment WireModel::span(std::size_t cells) const {
+  const double len = pitch_m_ * static_cast<double>(cells);
+  return WireSegment{r_per_m_ * len, c_per_m_ * len};
+}
+
+WireSegment WireModel::per_cell() const { return span(1); }
+
+double WireModel::elmore_delay(std::size_t cells) const {
+  const WireSegment s = span(cells);
+  return 0.5 * s.resistance * s.capacitance;
+}
+
+}  // namespace xlds::circuit

@@ -1,0 +1,40 @@
+// Interconnect parasitics for array rows/columns (matchlines, searchlines,
+// bitlines, word lines).  Wire RC is the array-size lever: it is what couples
+// the number of columns on a matchline to discharge speed and sense margin,
+// and what produces IR drop across crossbar rows.
+#pragma once
+
+#include "device/technology.hpp"
+
+namespace xlds::circuit {
+
+struct WireSegment {
+  double resistance = 0.0;   ///< ohm
+  double capacitance = 0.0;  ///< F
+};
+
+class WireModel {
+ public:
+  /// `cell_pitch_f` is the per-cell pitch along the wire in feature sizes F
+  /// (e.g. a 2T2R CAM cell spans ~8 F along the matchline).
+  WireModel(const device::TechNode& node, double cell_pitch_f);
+
+  /// Parasitics of a wire spanning `cells` cells.
+  WireSegment span(std::size_t cells) const;
+
+  /// Per-cell parasitics (one pitch of wire).
+  WireSegment per_cell() const;
+
+  /// Elmore delay of a distributed RC line of `cells` cells driven from one
+  /// end: 0.5 * R_total * C_total.
+  double elmore_delay(std::size_t cells) const;
+
+  double pitch_m() const noexcept { return pitch_m_; }
+
+ private:
+  double pitch_m_;
+  double r_per_m_;
+  double c_per_m_;
+};
+
+}  // namespace xlds::circuit

@@ -1,0 +1,38 @@
+#include "core/cim.hpp"
+
+#include "util/error.hpp"
+
+namespace xlds::core {
+
+CimFavorability evaluate_cim_favorability(const sim::Program& program,
+                                          const sim::CoreConfig& core,
+                                          const sim::CacheConfig& l1, const sim::CacheConfig& l2,
+                                          const sim::DramConfig& dram,
+                                          const sim::AcceleratorConfig& accel,
+                                          const sim::EnergyConfig& energy,
+                                          const CimThresholds& thresholds) {
+  XLDS_REQUIRE(!program.empty());
+  CimFavorability result;
+
+  sim::Machine baseline(core, l1, l2, dram, sim::AcceleratorConfig{}, energy);
+  result.baseline = baseline.run(program);
+
+  sim::AcceleratorConfig with = accel;
+  with.present = true;
+  sim::Machine accelerated(core, l1, l2, dram, with, energy);
+  result.accelerated = accelerated.run(program);
+
+  XLDS_ASSERT(result.accelerated.total_time > 0.0);
+  result.speedup = result.baseline.total_time / result.accelerated.total_time;
+  const double e1 = result.accelerated.total_energy();
+  result.energy_ratio = e1 > 0.0 ? result.baseline.total_energy() / e1 : 1.0;
+  result.offloadable_fraction =
+      result.baseline.total_time > 0.0
+          ? result.baseline.mvm_core_time / result.baseline.total_time
+          : 0.0;
+  result.favourable = result.speedup >= thresholds.min_speedup &&
+                      result.energy_ratio >= thresholds.min_energy_ratio;
+  return result;
+}
+
+}  // namespace xlds::core

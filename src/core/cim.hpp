@@ -1,0 +1,38 @@
+// Eva-CiM-lane analysis (Sec. VI): "assess whether a program is IMC-
+// favourable (i.e., can benefit from an IMC architecture)".
+//
+// Couples the event-driven system simulator (the gem5 axis) with its energy
+// accounting (the McPAT axis) and the crossbar tile costs (the DESTINY/
+// array axis) to answer, per program: how much faster, how much less energy,
+// and is the offloadable fraction large enough to justify the IMC macro.
+#pragma once
+
+#include "sim/machine.hpp"
+
+namespace xlds::core {
+
+struct CimThresholds {
+  double min_speedup = 1.5;
+  double min_energy_ratio = 1.2;  ///< baseline / accelerated energy
+};
+
+struct CimFavorability {
+  double speedup = 1.0;
+  double energy_ratio = 1.0;        ///< baseline / accelerated total energy
+  double offloadable_fraction = 0;  ///< share of baseline time in offloadable MVMs
+  bool favourable = false;
+  sim::RunStats baseline;
+  sim::RunStats accelerated;
+};
+
+/// Run `program` on the machine with and without the IMC accelerator and
+/// derive the favourability verdict.
+CimFavorability evaluate_cim_favorability(const sim::Program& program,
+                                          const sim::CoreConfig& core,
+                                          const sim::CacheConfig& l1, const sim::CacheConfig& l2,
+                                          const sim::DramConfig& dram,
+                                          const sim::AcceleratorConfig& accel,
+                                          const sim::EnergyConfig& energy = {},
+                                          const CimThresholds& thresholds = {});
+
+}  // namespace xlds::core

@@ -1,0 +1,130 @@
+#include "core/design_space.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace xlds::core {
+
+std::string to_string(ArchKind a) {
+  switch (a) {
+    case ArchKind::kCpu: return "CPU";
+    case ArchKind::kGpu: return "GPU";
+    case ArchKind::kTpu: return "TPU";
+    case ArchKind::kTpuGpuHybrid: return "TPU+GPU";
+    case ArchKind::kCamAccelerator: return "CAM-accel";
+    case ArchKind::kCrossbarAccelerator: return "XBar-accel";
+    case ArchKind::kCamXbarHybrid: return "XBar+CAM";
+  }
+  return "?";
+}
+
+std::string to_string(AlgoKind a) {
+  switch (a) {
+    case AlgoKind::kMlp: return "MLP";
+    case AlgoKind::kCnn: return "CNN";
+    case AlgoKind::kHdc: return "HDC";
+    case AlgoKind::kMann: return "MANN";
+  }
+  return "?";
+}
+
+const std::vector<ArchKind>& all_arch_kinds() {
+  static const std::vector<ArchKind> kinds = {
+      ArchKind::kCpu,          ArchKind::kGpu,
+      ArchKind::kTpu,          ArchKind::kTpuGpuHybrid,
+      ArchKind::kCamAccelerator, ArchKind::kCrossbarAccelerator,
+      ArchKind::kCamXbarHybrid};
+  return kinds;
+}
+
+const std::vector<AlgoKind>& all_algo_kinds() {
+  static const std::vector<AlgoKind> kinds = {AlgoKind::kMlp, AlgoKind::kCnn, AlgoKind::kHdc,
+                                              AlgoKind::kMann};
+  return kinds;
+}
+
+std::string DesignPoint::to_string() const {
+  std::ostringstream os;
+  os << device::to_string(device) << '/' << core::to_string(arch) << '/' << core::to_string(algo)
+     << '/' << application;
+  return os.str();
+}
+
+namespace {
+
+bool is_in_memory_arch(ArchKind a) {
+  return a == ArchKind::kCamAccelerator || a == ArchKind::kCrossbarAccelerator ||
+         a == ArchKind::kCamXbarHybrid;
+}
+
+bool uses_crossbar(ArchKind a) {
+  return a == ArchKind::kCrossbarAccelerator || a == ArchKind::kCamXbarHybrid;
+}
+
+bool uses_cam(ArchKind a) {
+  return a == ArchKind::kCamAccelerator || a == ArchKind::kCamXbarHybrid;
+}
+
+}  // namespace
+
+std::optional<std::string> incompatibility(const DesignPoint& p) {
+  const auto& dev = device::traits(p.device);
+
+  // Digital platforms do not expose the storage device at all — the device
+  // axis only matters for in-memory architectures (a conventional platform
+  // with any device reduces to the same point; keep only the SRAM pairing to
+  // avoid duplicates).
+  if (!is_in_memory_arch(p.arch)) {
+    if (p.device != device::DeviceKind::kSram)
+      return "digital platform: device axis collapses to the SRAM baseline";
+    return std::nullopt;
+  }
+
+  // In-memory architectures.
+  if (uses_crossbar(p.arch)) {
+    if (dev.max_bits_per_cell < 2)
+      return device::to_string(p.device) + " stores <2 bits/cell: no analog MAC weights";
+    if (!dev.nonvolatile)
+      return device::to_string(p.device) + " is volatile: crossbar weights would not persist";
+    if (dev.kind == device::DeviceKind::kFlash)
+      return "flash write path (high voltage, 10us pulses) cannot program crossbar weights in situ";
+  }
+  if (uses_cam(p.arch)) {
+    if (dev.on_off_ratio() < 5.0)
+      return device::to_string(p.device) + " on/off ratio " +
+             std::to_string(dev.on_off_ratio()) + " too small for matchline sensing";
+  }
+  // Algorithm/architecture fit.
+  if (p.algo == AlgoKind::kHdc && p.arch == ArchKind::kCrossbarAccelerator)
+    return "HDC needs an associative-search stage; a crossbar alone only encodes";
+  if ((p.algo == AlgoKind::kMlp || p.algo == AlgoKind::kCnn) && uses_cam(p.arch) &&
+      !uses_crossbar(p.arch))
+    return "MLP/CNN have no search kernel for a CAM to accelerate";
+  if (p.algo == AlgoKind::kMann && p.arch == ArchKind::kCamAccelerator)
+    return "MANN needs MVM (CNN + hashing) next to the AM; pick the XBar+CAM hybrid";
+  return std::nullopt;
+}
+
+std::vector<EnumeratedPoint> enumerate_design_space(const std::string& application,
+                                                    bool include_culled) {
+  XLDS_REQUIRE(!application.empty());
+  std::vector<EnumeratedPoint> points;
+  for (device::DeviceKind dev : device::all_device_kinds()) {
+    for (ArchKind arch : all_arch_kinds()) {
+      for (AlgoKind algo : all_algo_kinds()) {
+        DesignPoint p;
+        p.device = dev;
+        p.arch = arch;
+        p.algo = algo;
+        p.application = application;
+        auto reason = incompatibility(p);
+        if (reason.has_value() && !include_culled) continue;
+        points.push_back(EnumeratedPoint{p, std::move(reason)});
+      }
+    }
+  }
+  return points;
+}
+
+}  // namespace xlds::core

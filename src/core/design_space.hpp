@@ -1,0 +1,68 @@
+// The design space of Fig. 1: device x architecture x algorithm x
+// application, with the static compatibility culls the paper gives as
+// examples ("flash is dense, but high write latencies make it ill-suited as
+// main memory for a CPU or GPU", "GPUs may be a better baseline for MVM
+// workloads than a CPU", ...).  Enumeration produces every candidate point;
+// compatibility rules prune the obviously-broken ones *with recorded
+// reasons*, and the evaluator (evaluate.hpp) scores the survivors.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "device/device.hpp"
+
+namespace xlds::core {
+
+enum class ArchKind {
+  kCpu,
+  kGpu,
+  kTpu,
+  kTpuGpuHybrid,
+  kCamAccelerator,       ///< AM search in an NV-CAM, encode in digital
+  kCrossbarAccelerator,  ///< MVM in analog crossbars
+  kCamXbarHybrid,        ///< crossbar encode + CAM search (the Sec.-III design)
+};
+
+enum class AlgoKind {
+  kMlp,
+  kCnn,
+  kHdc,
+  kMann,
+};
+
+std::string to_string(ArchKind a);
+std::string to_string(AlgoKind a);
+
+const std::vector<ArchKind>& all_arch_kinds();
+const std::vector<AlgoKind>& all_algo_kinds();
+
+struct DesignPoint {
+  device::DeviceKind device = device::DeviceKind::kSram;
+  ArchKind arch = ArchKind::kGpu;
+  AlgoKind algo = AlgoKind::kHdc;
+  std::string application = "isolet-like";
+
+  std::string to_string() const;
+};
+
+/// Static compatibility: returns nullopt when the combination is viable, or
+/// the cull reason otherwise.  These rules are *technology-structural* (a
+/// volatile device cannot be the NVM of a CAM accelerator); workload-
+/// dependent culls (write-heaviness vs endurance) live in the evaluator,
+/// which knows the application profile.
+std::optional<std::string> incompatibility(const DesignPoint& p);
+
+/// Cross product over devices, architectures and algorithms for one
+/// application; `include_culled` keeps incompatible points (with reasons)
+/// for reporting.
+struct EnumeratedPoint {
+  DesignPoint point;
+  std::optional<std::string> culled_because;
+};
+
+std::vector<EnumeratedPoint> enumerate_design_space(const std::string& application,
+                                                    bool include_culled = false);
+
+}  // namespace xlds::core

@@ -1,0 +1,74 @@
+#include "core/pareto.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xlds::core {
+
+namespace {
+
+bool dominates(const Fom& a, const Fom& b) {
+  const bool no_worse = a.latency <= b.latency && a.energy <= b.energy &&
+                        a.area_mm2 <= b.area_mm2 && a.accuracy >= b.accuracy;
+  const bool better = a.latency < b.latency || a.energy < b.energy ||
+                      a.area_mm2 < b.area_mm2 || a.accuracy > b.accuracy;
+  return no_worse && better;
+}
+
+}  // namespace
+
+std::vector<std::size_t> pareto_front(const std::vector<ScoredPoint>& points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!points[i].fom.feasible) continue;
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (i == j || !points[j].fom.feasible) continue;
+      if (dominates(points[j].fom, points[i].fom)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+std::vector<std::size_t> triage_ranking(const std::vector<ScoredPoint>& points,
+                                        const TriageWeights& weights) {
+  XLDS_REQUIRE(weights.latency >= 0.0 && weights.energy >= 0.0 && weights.area >= 0.0 &&
+               weights.accuracy >= 0.0);
+  // Cohort bests (feasible only).
+  double best_lat = HUGE_VAL, best_en = HUGE_VAL, best_area = HUGE_VAL, best_acc = 0.0;
+  for (const ScoredPoint& sp : points) {
+    if (!sp.fom.feasible) continue;
+    best_lat = std::min(best_lat, sp.fom.latency);
+    best_en = std::min(best_en, sp.fom.energy);
+    best_area = std::min(best_area, sp.fom.area_mm2);
+    best_acc = std::max(best_acc, sp.fom.accuracy);
+  }
+
+  auto score = [&](const Fom& f) {
+    // Area can legitimately be 0 (rented platform); shift by a small epsilon
+    // so the log-ratio stays defined.
+    constexpr double kEps = 1e-12;
+    const double lat = std::log((f.latency + kEps) / (best_lat + kEps));
+    const double en = std::log((f.energy + kEps) / (best_en + kEps));
+    const double ar = std::log((f.area_mm2 + kEps) / (best_area + kEps));
+    const double acc = best_acc - f.accuracy;
+    return weights.latency * lat + weights.energy * en + weights.area * ar +
+           weights.accuracy * acc;
+  };
+
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    if (points[i].fom.feasible) order.push_back(i);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return score(points[a].fom) < score(points[b].fom);
+  });
+  return order;
+}
+
+}  // namespace xlds::core

@@ -1,0 +1,40 @@
+// Pareto-front extraction and triage ranking over evaluated design points
+// (the "identify the most promising options for deep dives" step of Sec. VI).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/design_space.hpp"
+#include "core/evaluate.hpp"
+
+namespace xlds::core {
+
+struct ScoredPoint {
+  DesignPoint point;
+  Fom fom;
+};
+
+/// Indices of the Pareto-optimal points: minimise latency, energy and area,
+/// maximise accuracy.  Infeasible points never make the front.  A point is
+/// dominated if another is no worse on every objective and strictly better
+/// on at least one.
+std::vector<std::size_t> pareto_front(const std::vector<ScoredPoint>& points);
+
+/// Triage weights for scalarised ranking (all >= 0).  Latency/energy/area
+/// enter as log-ratios to the cohort's best feasible value, accuracy as a
+/// linear loss from the cohort's best — so the score is scale-free.
+struct TriageWeights {
+  double latency = 1.0;
+  double energy = 1.0;
+  double area = 0.25;
+  double accuracy = 30.0;
+};
+
+/// Rank feasible points by ascending triage score (best first).  Returns
+/// indices into `points`.
+std::vector<std::size_t> triage_ranking(const std::vector<ScoredPoint>& points,
+                                        const TriageWeights& weights = {});
+
+}  // namespace xlds::core

@@ -1,0 +1,43 @@
+// Measured workload profiling (the Fig. 6 inset: "profile existing
+// algorithms to identify the most significant aspects of computational
+// workloads") — the top-down entry point of the Sec. VII flow.
+//
+// Instead of hand-written profiles, run the *actual software implementation*
+// of the algorithm on the named workload, instrumented: operation counts per
+// stage, measured wall-clock shares, and memory traffic.  The result
+// converts into the evaluator's AppProfile, so the triage runs on measured
+// numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/evaluate.hpp"
+
+namespace xlds::core {
+
+/// Counts and timings from an instrumented software run.
+struct MeasuredProfile {
+  std::string application;
+  std::size_t input_dim = 0;
+  std::size_t n_classes = 0;
+  std::size_t hv_dim = 0;
+  std::size_t am_entries = 0;      ///< prototypes held for associative search
+  std::size_t encode_macs = 0;     ///< per inference
+  std::size_t search_macs = 0;     ///< per inference
+  double measured_search_fraction = 0.0;  ///< wall-clock share of search
+  double software_accuracy = 0.0;  ///< the iso-accuracy anchor
+  double writes_per_inference = 0.0;
+};
+
+/// Profile the software HDC pipeline on a named dataset preset: trains the
+/// model, times encode vs per-sample associative search over the test split,
+/// and reports the measured counts.  Deterministic in `seed` except for the
+/// wall-clock fraction (which is a measurement).
+MeasuredProfile profile_hdc_application(const std::string& preset, std::size_t hv_dim,
+                                        std::uint64_t seed);
+
+/// Convert a measured profile into the analytical evaluator's AppProfile.
+AppProfile to_app_profile(const MeasuredProfile& measured, std::size_t batch = 1);
+
+}  // namespace xlds::core

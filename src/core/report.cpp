@@ -1,0 +1,53 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace xlds::core {
+
+Table format_shortlist(const std::vector<ScoredPoint>& scored,
+                       const std::vector<std::size_t>& ranking,
+                       const std::vector<std::size_t>& front,
+                       const ShortlistOptions& options) {
+  std::vector<std::string> headers = {"rank", "design point", "latency/query",
+                                      "energy/query", "area (mm^2)", "est. accuracy",
+                                      "Pareto"};
+  if (options.include_note) headers.push_back("note");
+  Table table(headers);
+  for (std::size_t i = 0; i < std::min(ranking.size(), options.max_rows); ++i) {
+    XLDS_REQUIRE(ranking[i] < scored.size());
+    const ScoredPoint& sp = scored[ranking[i]];
+    const bool on_front = std::find(front.begin(), front.end(), ranking[i]) != front.end();
+    std::vector<std::string> row = {std::to_string(i + 1),
+                                    sp.point.to_string(),
+                                    si_format(sp.fom.latency, "s", 2),
+                                    si_format(sp.fom.energy, "J", 2),
+                                    Table::num(sp.fom.area_mm2, 3),
+                                    Table::num(sp.fom.accuracy, 3),
+                                    on_front ? "*" : ""};
+    if (options.include_note) row.push_back(sp.fom.note);
+    table.add_row(row);
+  }
+  return table;
+}
+
+Table triage_report(const std::string& application, const Evaluator& evaluator,
+                    const TriageWeights& weights, std::vector<ScoredPoint>* scored_out) {
+  const AppProfile profile = profile_for(application);
+  std::vector<ScoredPoint> scored;
+  for (const auto& ep : enumerate_design_space(application)) {
+    ScoredPoint sp;
+    sp.point = ep.point;
+    sp.fom = evaluator.evaluate(ep.point, profile);
+    scored.push_back(std::move(sp));
+  }
+  const auto front = pareto_front(scored);
+  const auto ranking = triage_ranking(scored, weights);
+  Table table = format_shortlist(scored, ranking, front);
+  if (scored_out != nullptr) *scored_out = std::move(scored);
+  return table;
+}
+
+}  // namespace xlds::core

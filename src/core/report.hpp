@@ -1,0 +1,31 @@
+// Report rendering for triage results: one canonical shortlist format shared
+// by the benches, the examples and any downstream tooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pareto.hpp"
+#include "util/table.hpp"
+
+namespace xlds::core {
+
+struct ShortlistOptions {
+  std::size_t max_rows = 12;
+  bool include_note = true;
+};
+
+/// Render the ranked shortlist (with Pareto markers) as a Table.
+Table format_shortlist(const std::vector<ScoredPoint>& scored,
+                       const std::vector<std::size_t>& ranking,
+                       const std::vector<std::size_t>& front,
+                       const ShortlistOptions& options = {});
+
+/// One-call convenience: enumerate, evaluate, rank and render for an
+/// application.  Returns the rendered table; optionally exposes the scored
+/// points for further inspection.
+Table triage_report(const std::string& application, const Evaluator& evaluator,
+                    const TriageWeights& weights = {},
+                    std::vector<ScoredPoint>* scored_out = nullptr);
+
+}  // namespace xlds::core

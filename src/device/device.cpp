@@ -1,0 +1,169 @@
+#include "device/device.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace xlds::device {
+
+std::string to_string(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kSram: return "SRAM";
+    case DeviceKind::kFeFet: return "FeFET";
+    case DeviceKind::kRram: return "RRAM";
+    case DeviceKind::kPcm: return "PCM";
+    case DeviceKind::kMram: return "MRAM";
+    case DeviceKind::kFlash: return "Flash";
+  }
+  XLDS_ASSERT(false);
+}
+
+double VariationSpec::total_sigma() const {
+  return std::sqrt(d2d_sigma * d2d_sigma + c2c_sigma * c2c_sigma);
+}
+
+namespace {
+
+DeviceTraits sram_traits() {
+  DeviceTraits t;
+  t.kind = DeviceKind::kSram;
+  t.terminals = 3;
+  t.nonvolatile = false;
+  t.cell_area_f2 = 150.0;  // 6T cell
+  t.max_bits_per_cell = 1;
+  t.read_voltage = 1.0;
+  t.write_voltage = 1.0;
+  t.write_latency = 0.2e-9;
+  t.write_energy = 1.0e-15;
+  t.read_latency = 0.2e-9;
+  t.on_resistance = 5.0e3;   // access path
+  t.off_resistance = 1.0e9;  // leakage-limited
+  t.endurance_cycles = 1e16;
+  t.retention_s = 0.0;  // volatile
+  return t;
+}
+
+DeviceTraits fefet_traits() {
+  DeviceTraits t;
+  t.kind = DeviceKind::kFeFet;
+  t.terminals = 3;
+  t.nonvolatile = true;
+  t.cell_area_f2 = 40.0;  // 1FeFET storage footprint incl. contacts
+  t.max_bits_per_cell = 3;  // 8-state cells demonstrated (Fig. 3D)
+  t.read_voltage = 0.8;
+  t.write_voltage = 4.0;  // silicon FeFET program pulse
+  t.write_latency = 100e-9;
+  t.write_energy = 5.0e-13;
+  t.read_latency = 0.5e-9;
+  t.on_resistance = 2.0e4;
+  t.off_resistance = 2.0e9;  // high Ion/Ioff is the FeFET selling point
+  t.endurance_cycles = 1e10;
+  t.retention_s = 10.0 * 365 * 24 * 3600;
+  return t;
+}
+
+DeviceTraits rram_traits() {
+  DeviceTraits t;
+  t.kind = DeviceKind::kRram;
+  t.terminals = 2;
+  t.nonvolatile = true;
+  t.cell_area_f2 = 4.0;  // crosspoint-limited; 1T1R cells are larger
+  t.max_bits_per_cell = 2;
+  t.read_voltage = 0.2;
+  t.write_voltage = 2.0;
+  t.write_latency = 50e-9;
+  t.write_energy = 2.0e-12;
+  t.read_latency = 1.0e-9;
+  t.on_resistance = 2.0e4;   // LRS ~ 20 kOhm
+  t.off_resistance = 2.0e6;  // HRS ~ 2 MOhm
+  t.endurance_cycles = 1e8;
+  t.retention_s = 10.0 * 365 * 24 * 3600;
+  return t;
+}
+
+DeviceTraits pcm_traits() {
+  DeviceTraits t;
+  t.kind = DeviceKind::kPcm;
+  t.terminals = 2;
+  t.nonvolatile = true;
+  t.cell_area_f2 = 6.0;
+  t.max_bits_per_cell = 2;
+  t.read_voltage = 0.2;
+  t.write_voltage = 1.8;
+  t.write_latency = 150e-9;  // SET crystallisation dominates
+  t.write_energy = 10.0e-12;
+  t.read_latency = 1.2e-9;
+  t.on_resistance = 1.0e4;
+  t.off_resistance = 1.0e6;
+  t.endurance_cycles = 1e9;
+  t.retention_s = 10.0 * 365 * 24 * 3600;
+  return t;
+}
+
+DeviceTraits mram_traits() {
+  DeviceTraits t;
+  t.kind = DeviceKind::kMram;
+  t.terminals = 2;
+  t.nonvolatile = true;
+  t.cell_area_f2 = 30.0;  // 1T1MTJ
+  t.max_bits_per_cell = 1;
+  t.read_voltage = 0.1;
+  t.write_voltage = 1.2;
+  t.write_latency = 5e-9;
+  t.write_energy = 0.5e-12;
+  t.read_latency = 0.5e-9;
+  t.on_resistance = 3.0e3;   // parallel MTJ state
+  t.off_resistance = 7.5e3;  // TMR ~ 150 % — the small ratio limits sense margin
+  t.endurance_cycles = 1e15;
+  t.retention_s = 10.0 * 365 * 24 * 3600;
+  return t;
+}
+
+DeviceTraits flash_traits() {
+  DeviceTraits t;
+  t.kind = DeviceKind::kFlash;
+  t.terminals = 3;
+  t.nonvolatile = true;
+  t.cell_area_f2 = 10.0;  // NOR-ish planar cell
+  t.max_bits_per_cell = 3;
+  t.read_voltage = 1.0;
+  t.write_voltage = 12.0;  // the paper notes high write voltage / low endurance
+  t.write_latency = 10e-6;
+  t.write_energy = 1.0e-10;
+  t.read_latency = 10e-9;
+  t.on_resistance = 5.0e4;
+  t.off_resistance = 5.0e9;
+  t.endurance_cycles = 1e5;
+  t.retention_s = 10.0 * 365 * 24 * 3600;
+  return t;
+}
+
+}  // namespace
+
+const DeviceTraits& traits(DeviceKind kind) {
+  static const DeviceTraits sram = sram_traits();
+  static const DeviceTraits fefet = fefet_traits();
+  static const DeviceTraits rram = rram_traits();
+  static const DeviceTraits pcm = pcm_traits();
+  static const DeviceTraits mram = mram_traits();
+  static const DeviceTraits flash = flash_traits();
+  switch (kind) {
+    case DeviceKind::kSram: return sram;
+    case DeviceKind::kFeFet: return fefet;
+    case DeviceKind::kRram: return rram;
+    case DeviceKind::kPcm: return pcm;
+    case DeviceKind::kMram: return mram;
+    case DeviceKind::kFlash: return flash;
+  }
+  XLDS_ASSERT(false);
+}
+
+const std::vector<DeviceKind>& all_device_kinds() {
+  static const std::vector<DeviceKind> kinds = {DeviceKind::kSram, DeviceKind::kFeFet,
+                                                DeviceKind::kRram, DeviceKind::kPcm,
+                                                DeviceKind::kMram, DeviceKind::kFlash};
+  return kinds;
+}
+
+}  // namespace xlds::device

@@ -1,0 +1,73 @@
+// Common device abstractions for the XLDS framework (Fig. 1A/E of the paper).
+//
+// Two views of a device coexist:
+//  * DeviceTraits — the figures of merit a designer compares technologies by
+//    (cell area in F^2, write voltage/latency/energy, endurance, on/off
+//    ratio, number of storable levels).  These feed the analytical models
+//    (Eva-CAM, NVSim-lane) and the top-level triage.
+//  * Behavioural models (FeFetModel, RramModel, ...) — sampled, stochastic
+//    conductance models that feed the functional CAM / crossbar simulators.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xlds::device {
+
+enum class DeviceKind {
+  kSram,
+  kFeFet,
+  kRram,
+  kPcm,
+  kMram,
+  kFlash,
+};
+
+std::string to_string(DeviceKind kind);
+
+/// Figures of merit used for technology comparison and analytical modelling.
+/// All values are per-cell/per-device and in SI units.
+struct DeviceTraits {
+  DeviceKind kind = DeviceKind::kSram;
+  int terminals = 2;          ///< 2 (RRAM/PCM/MRAM) or 3 (FeFET/flash/SRAM access)
+  bool nonvolatile = false;
+  double cell_area_f2 = 0.0;  ///< storage-cell area in F^2 (excl. peripherals)
+  int max_bits_per_cell = 1;  ///< achievable multi-level capability
+  double read_voltage = 0.0;  ///< V
+  double write_voltage = 0.0; ///< V
+  double write_latency = 0.0; ///< s (per programming pulse sequence)
+  double write_energy = 0.0;  ///< J per cell write
+  double read_latency = 0.0;  ///< s intrinsic cell read component
+  double on_resistance = 0.0;   ///< ohm, low-resistance / on state
+  double off_resistance = 0.0;  ///< ohm, high-resistance / off state
+  double endurance_cycles = 0.0;  ///< write endurance
+  double retention_s = 0.0;       ///< retention time
+
+  double on_off_ratio() const { return off_resistance / on_resistance; }
+};
+
+/// Canonical trait presets.  Values follow the survey numbers the paper's
+/// background section relies on (NVSim/Eva-CAM-class technology files):
+///  - SRAM: fast, volatile, ~150 F^2 with 6T cell.
+///  - FeFET: 3-terminal, multi-level (the paper demonstrates 3-bit cells),
+///    high write voltage (~4 V for silicon FeFET), limited endurance.
+///  - RRAM: 2-terminal, LRS ~10-100 kOhm, moderate endurance.
+///  - PCM: 2-terminal, slower/energy-hungrier SET, good endurance.
+///  - MRAM: 2-terminal, small on/off ratio (TMR ~ 2-3x), very high endurance.
+///  - Flash: dense, very high write voltage, low endurance, slow writes.
+const DeviceTraits& traits(DeviceKind kind);
+
+/// All device kinds, for design-space enumeration.
+const std::vector<DeviceKind>& all_device_kinds();
+
+/// Device-to-device + cycle-to-cycle variation description used by the
+/// behavioural models.  Sigmas are expressed in the native state variable of
+/// the device (volts of V_th for FeFET, siemens of conductance for RRAM).
+struct VariationSpec {
+  double d2d_sigma = 0.0;  ///< device-to-device (fixed per device instance)
+  double c2c_sigma = 0.0;  ///< cycle-to-cycle (fresh per programming event)
+
+  double total_sigma() const;
+};
+
+}  // namespace xlds::device

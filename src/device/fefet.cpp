@@ -1,0 +1,83 @@
+#include "device/fefet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace xlds::device {
+
+double FeFetParams::level_window() const {
+  return (vth_high - vth_low) / static_cast<double>(levels() - 1);
+}
+
+FeFetModel::FeFetModel(FeFetParams params) : params_(params) {
+  XLDS_REQUIRE(params_.vth_high > params_.vth_low);
+  XLDS_REQUIRE(params_.bits >= 1 && params_.bits <= 6);
+  XLDS_REQUIRE(params_.sigma_program >= 0.0);
+  XLDS_REQUIRE(params_.k_sat > 0.0);
+  XLDS_REQUIRE(params_.vds_read > 0.0);
+}
+
+double FeFetModel::level_vth(int level) const {
+  XLDS_REQUIRE_MSG(level >= 0 && level < params_.levels(),
+                   "level " << level << " out of range for " << params_.bits << "-bit cell");
+  return params_.vth_low + static_cast<double>(level) * params_.level_window();
+}
+
+double FeFetModel::program_vth(int level, Rng& rng) const {
+  return rng.normal(level_vth(level), params_.sigma_program);
+}
+
+int FeFetModel::readback_level(double vth) const {
+  const double idx = (vth - params_.vth_low) / params_.level_window();
+  const int level = static_cast<int>(std::lround(idx));
+  return std::clamp(level, 0, params_.levels() - 1);
+}
+
+double FeFetModel::drain_current(double vgs, double vth) const {
+  // Monotone, continuous piecewise model: an exponential subthreshold branch
+  // below V_th that meets a near-threshold plateau i0 at overdrive 0; above
+  // threshold the square law takes over once it exceeds the plateau.  i0 is
+  // the square-law current ~20 mV above threshold, the classic moderate-
+  // inversion handoff point.
+  const double overdrive = vgs - vth;
+  const double i0 = 0.5 * params_.k_sat * (0.02 * 0.02);
+  if (overdrive <= 0.0) {
+    const double i_sub = i0 * std::pow(10.0, overdrive / params_.subthreshold_swing);
+    return std::max(i_sub, params_.ioff);
+  }
+  return std::max(std::max(0.5 * params_.k_sat * overdrive * overdrive, i0), params_.ioff);
+}
+
+double FeFetModel::conductance(double vgs, double vth) const {
+  return drain_current(vgs, vth) / params_.vds_read;
+}
+
+double FeFetModel::search_voltage(int level) const {
+  // Searching level L drives the gate to just below the nominal V_th of L, so
+  // a matching device stays off while any device storing a lower V_th (i.e. a
+  // mismatch toward smaller stored level) turns on with overdrive that grows
+  // linearly with the level distance — squaring through the device law.  The
+  // off-margin scales with the level window so that denser multi-level cells
+  // keep a proportional (if shrinking) sub-threshold suppression — exactly
+  // the "window between states decreases" effect of Fig. 3B/G.
+  return level_vth(level) - search_margin();
+}
+
+double FeFetModel::search_margin() const { return 0.5 * params_.level_window(); }
+
+double FeFetModel::level_error_probability(int level) const {
+  XLDS_REQUIRE(level >= 0 && level < params_.levels());
+  const double sigma = params_.sigma_program;
+  if (sigma == 0.0) return 0.0;
+  const double half_window = params_.level_window() / 2.0;
+  const double z = half_window / sigma;
+  // Interior levels can err in both directions; edge levels only inward.
+  const bool interior = level > 0 && level < params_.levels() - 1;
+  const double one_side = 1.0 - phi(z);
+  return interior ? 2.0 * one_side : one_side;
+}
+
+}  // namespace xlds::device

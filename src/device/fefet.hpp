@@ -1,0 +1,80 @@
+// Behavioural FeFET model (Sec. II-A / Fig. 3B,D,G of the paper).
+//
+// An FeFET stores state as a threshold-voltage shift produced by partial
+// polarisation switching of the ferroelectric gate layer.  The model captures
+// the three behaviours the paper's HDC case study depends on:
+//   1. multi-level storage — n evenly spaced V_th levels inside the memory
+//      window (3-bit / 8-state cells were demonstrated);
+//   2. programming variation — each program event lands a Gaussian-distributed
+//      V_th around the target level (the paper quotes sigma = 94 mV measured);
+//   3. square-law conduction — above threshold the drain current grows
+//      quadratically with gate overdrive, which is what lets a 2-FeFET CAM
+//      cell mimic a squared-Euclidean distance (Fig. 3D).
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace xlds::device {
+
+struct FeFetParams {
+  // A ~2.1 V memory window: what BEOL/thick-FE FeFET demonstrations report,
+  // and what makes 8 states compatible with the 94 mV programming sigma the
+  // paper measures (300 mV windows at 3 bits).
+  double vth_low = 0.3;    ///< V_th of the fully "erased" (low) state, V
+  double vth_high = 2.4;   ///< V_th of the fully "programmed" (high) state, V
+  int bits = 3;            ///< bits per cell; levels = 2^bits
+  double sigma_program = 0.094;  ///< programming variation sigma, V (paper: 94 mV)
+  double k_sat = 1.0e-4;   ///< saturation transconductance factor, A/V^2
+  double vds_read = 0.1;   ///< drain bias used when reading conductance, V
+  double ioff = 1.0e-10;   ///< off-state leakage floor, A
+  double subthreshold_swing = 0.060;  ///< V/decade
+
+  int levels() const { return 1 << bits; }
+  /// V_th separation between adjacent levels ("memory window" per level).
+  double level_window() const;
+};
+
+class FeFetModel {
+ public:
+  explicit FeFetModel(FeFetParams params);
+
+  const FeFetParams& params() const noexcept { return params_; }
+
+  /// Nominal threshold voltage of stored level (0 .. levels-1), evenly spaced
+  /// in [vth_low, vth_high].  Precondition: level in range.
+  double level_vth(int level) const;
+
+  /// Sample the programmed V_th for a target level: nominal + N(0, sigma).
+  double program_vth(int level, Rng& rng) const;
+
+  /// Level that a measured V_th would be read back as (nearest nominal level,
+  /// midpoint thresholds) — models a program-verify readout.
+  int readback_level(double vth) const;
+
+  /// Drain current at gate-source voltage `vgs` for a device with threshold
+  /// `vth`: subthreshold exponential below, square-law saturation above, with
+  /// a leakage floor.  Monotonic in (vgs - vth).
+  double drain_current(double vgs, double vth) const;
+
+  /// Effective read conductance: drain_current / vds_read.
+  double conductance(double vgs, double vth) const;
+
+  /// Gate voltage used to *search* for a stored level (CAM query encoding).
+  /// Chosen so that a query equal to the stored level leaves both transistors
+  /// of the 2-FeFET cell off: v_search(level) = level_vth(level) minus an
+  /// off-margin of half a level window.
+  double search_voltage(int level) const;
+
+  /// The sub-threshold off-margin used by search_voltage (V).
+  double search_margin() const;
+
+  /// Analytical probability that a cell programmed to `level` is read back as
+  /// a *different* level, given programming sigma (state-overlap metric of
+  /// Fig. 3G-i).  Exact for the Gaussian model.
+  double level_error_probability(int level) const;
+
+ private:
+  FeFetParams params_;
+};
+
+}  // namespace xlds::device

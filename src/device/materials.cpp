@@ -1,0 +1,88 @@
+#include "device/materials.hpp"
+
+#include "util/error.hpp"
+
+namespace xlds::device {
+
+DeviceTraits apply_lever(const DeviceTraits& base, const MaterialsLever& lever) {
+  XLDS_REQUIRE(lever.write_energy_x > 0.0 && lever.write_latency_x > 0.0 &&
+               lever.on_off_ratio_x > 0.0 && lever.endurance_x > 0.0 &&
+               lever.retention_x > 0.0 && lever.cell_area_x > 0.0);
+  DeviceTraits t = base;
+  t.write_energy *= lever.write_energy_x;
+  t.write_latency *= lever.write_latency_x;
+  t.write_voltage *= lever.write_voltage_x;
+  t.off_resistance *= lever.on_off_ratio_x;
+  t.endurance_cycles *= lever.endurance_x;
+  t.retention_s *= lever.retention_x;
+  t.cell_area_f2 *= lever.cell_area_x;
+  return t;
+}
+
+const std::vector<MaterialsLever>& spin_device_levers() {
+  static const std::vector<MaterialsLever> levers = [] {
+    std::vector<MaterialsLever> v;
+    {
+      MaterialsLever l;
+      l.name = "SOT switching";
+      l.mechanism = "spin-orbit-torque write path decouples read/write";
+      l.write_energy_x = 0.2;
+      l.write_latency_x = 0.2;
+      l.endurance_x = 10.0;
+      v.push_back(l);
+    }
+    {
+      MaterialsLever l;
+      l.name = "high-TMR stack";
+      l.mechanism = "improved MgO barrier / interface crystallinity";
+      l.on_off_ratio_x = 3.0;
+      v.push_back(l);
+    }
+    {
+      MaterialsLever l;
+      l.name = "VCMA assist";
+      l.mechanism = "voltage-controlled anisotropy lowers the write barrier";
+      l.write_energy_x = 0.1;
+      l.write_voltage_x = 0.8;
+      l.retention_x = 0.5;  // the assist trades retention
+      v.push_back(l);
+    }
+    {
+      MaterialsLever l;
+      l.name = "shape-anisotropy scaling";
+      l.mechanism = "tall free layer keeps the barrier at small diameters";
+      l.cell_area_x = 0.5;
+      l.retention_x = 2.0;
+      l.write_latency_x = 1.5;  // larger volume switches slower
+      v.push_back(l);
+    }
+    return v;
+  }();
+  return levers;
+}
+
+const std::vector<MaterialsLever>& ferroelectric_levers() {
+  static const std::vector<MaterialsLever> levers = [] {
+    std::vector<MaterialsLever> v;
+    {
+      MaterialsLever l;
+      l.name = "BEOL interlayer removal";
+      l.mechanism = "eliminating the defective FE/channel interlayer";
+      l.write_voltage_x = 0.4;
+      l.write_energy_x = 0.3;
+      l.endurance_x = 100.0;
+      v.push_back(l);
+    }
+    {
+      MaterialsLever l;
+      l.name = "domain engineering";
+      l.mechanism = "uniform polarisation domains tighten V_th distributions";
+      l.on_off_ratio_x = 2.0;
+      v.push_back(l);
+    }
+    return v;
+  }();
+  return levers;
+}
+
+}  // namespace xlds::device

@@ -1,0 +1,40 @@
+// Materials-level levers (Fig. 6, the three leftmost columns).
+//
+// The paper's closing argument: top-down profiling should identify which
+// *materials* innovation moves the application-level needle, and bottom-up
+// materials work should bound what the upper layers may assume.  A lever is
+// a multiplicative what-if on the device figures of merit; applying it to a
+// trait preset yields the hypothetical device the architecture lanes can
+// re-evaluate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "device/device.hpp"
+
+namespace xlds::device {
+
+struct MaterialsLever {
+  std::string name;
+  std::string mechanism;  ///< one-line physics note
+  // Multipliers on the affected figures of merit (1.0 = unchanged).
+  double write_energy_x = 1.0;
+  double write_latency_x = 1.0;
+  double write_voltage_x = 1.0;
+  double on_off_ratio_x = 1.0;   ///< applied to off_resistance
+  double endurance_x = 1.0;
+  double retention_x = 1.0;
+  double cell_area_x = 1.0;
+};
+
+/// Apply a lever to a trait set (returns the hypothetical device).
+DeviceTraits apply_lever(const DeviceTraits& base, const MaterialsLever& lever);
+
+/// The spin-device levers sketched in Fig. 6 — representative, not exhaustive.
+const std::vector<MaterialsLever>& spin_device_levers();
+
+/// Ferroelectric levers for the FeFET path (BEOL interlayer engineering).
+const std::vector<MaterialsLever>& ferroelectric_levers();
+
+}  // namespace xlds::device

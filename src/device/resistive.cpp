@@ -1,0 +1,67 @@
+#include "device/resistive.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xlds::device {
+
+ResistiveParams resistive_params_for(DeviceKind kind) {
+  const DeviceTraits& t = traits(kind);
+  ResistiveParams p;
+  p.kind = kind;
+  p.r_on = t.on_resistance;
+  p.r_off = t.off_resistance;
+  switch (kind) {
+    case DeviceKind::kMram:
+      // MTJ resistances are tightly controlled; variation is small but the
+      // on/off ratio is also small, which is what limits MRAM CAM arrays.
+      p.sigma_on_rel = 0.03;
+      p.sigma_off_rel = 0.03;
+      break;
+    case DeviceKind::kPcm:
+      p.sigma_on_rel = 0.08;
+      p.sigma_off_rel = 0.25;  // amorphous-state spread
+      // Amorphous-phase structural relaxation: R(t) ~ t^0.1; the crystalline
+      // (SET) state barely drifts.
+      p.drift_nu_on = 0.005;
+      p.drift_nu_off = 0.10;
+      break;
+    default:
+      p.sigma_on_rel = 0.05;
+      p.sigma_off_rel = 0.15;
+      break;
+  }
+  return p;
+}
+
+ResistiveModel::ResistiveModel(ResistiveParams params) : params_(params) {
+  XLDS_REQUIRE(params_.r_on > 0.0);
+  XLDS_REQUIRE(params_.r_off > params_.r_on);
+  XLDS_REQUIRE(params_.sigma_on_rel >= 0.0 && params_.sigma_off_rel >= 0.0);
+}
+
+double ResistiveModel::nominal_resistance(bool on) const {
+  return on ? params_.r_on : params_.r_off;
+}
+
+double ResistiveModel::sample_resistance(bool on, Rng& rng) const {
+  const double nominal = nominal_resistance(on);
+  const double sigma = on ? params_.sigma_on_rel : params_.sigma_off_rel;
+  if (sigma == 0.0) return nominal;
+  // Lognormal with matched median keeps resistances strictly positive.
+  return nominal * rng.lognormal(0.0, sigma);
+}
+
+double ResistiveModel::drifted_resistance(double r, bool on, double age_s) const {
+  XLDS_REQUIRE(r > 0.0);
+  XLDS_REQUIRE(age_s >= 0.0);
+  const double nu = on ? params_.drift_nu_on : params_.drift_nu_off;
+  if (nu == 0.0) return r;
+  const double t = std::max(age_s, params_.drift_t0);
+  return r * std::pow(t / params_.drift_t0, nu);
+}
+
+double ResistiveModel::on_off_ratio() const { return params_.r_off / params_.r_on; }
+
+}  // namespace xlds::device

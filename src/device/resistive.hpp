@@ -1,0 +1,51 @@
+// Simple two-state resistive models for PCM, MRAM and generic binary NVM
+// cells.  These back the Eva-CAM circuit model for the Fig. 5 validation
+// chips (PCM 2T2R at 90 nm, MRAM 4T2R at 90 nm) where only LRS/HRS behaviour
+// and its variation matter.
+#pragma once
+
+#include "device/device.hpp"
+#include "util/rng.hpp"
+
+namespace xlds::device {
+
+struct ResistiveParams {
+  DeviceKind kind = DeviceKind::kRram;
+  double r_on = 1.0e4;       ///< LRS resistance, ohm
+  double r_off = 1.0e6;      ///< HRS resistance, ohm
+  double sigma_on_rel = 0.05;   ///< relative (lognormal) sigma of LRS
+  double sigma_off_rel = 0.15;  ///< relative sigma of HRS (usually larger)
+  /// Resistance drift R(t) = R0 (t/t0)^nu — the PCM amorphous-state
+  /// phenomenon (structural relaxation); nearly zero for the crystalline
+  /// state and for RRAM/MRAM.
+  double drift_nu_on = 0.0;
+  double drift_nu_off = 0.0;
+  double drift_t0 = 1.0;  ///< s, reference time
+};
+
+/// Build resistive parameters from the canonical DeviceTraits presets.
+ResistiveParams resistive_params_for(DeviceKind kind);
+
+class ResistiveModel {
+ public:
+  explicit ResistiveModel(ResistiveParams params);
+
+  const ResistiveParams& params() const noexcept { return params_; }
+
+  /// Nominal resistance of the on (true) / off (false) state.
+  double nominal_resistance(bool on) const;
+
+  /// Sampled resistance: lognormal disorder around the nominal value.
+  double sample_resistance(bool on, Rng& rng) const;
+
+  /// Resistance after `age_s` seconds of drift: r * (max(age, t0)/t0)^nu.
+  /// Identity for devices with zero drift exponents.
+  double drifted_resistance(double r, bool on, double age_s) const;
+
+  double on_off_ratio() const;
+
+ private:
+  ResistiveParams params_;
+};
+
+}  // namespace xlds::device

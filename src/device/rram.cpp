@@ -1,0 +1,109 @@
+#include "device/rram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace xlds::device {
+
+RramModel::RramModel(RramParams params) : params_(params) {
+  XLDS_REQUIRE(params_.g_max > params_.g_min);
+  XLDS_REQUIRE(params_.g_min > 0.0);
+  XLDS_REQUIRE(params_.bits >= 1 && params_.bits <= 4);
+  XLDS_REQUIRE(params_.sigma_floor >= 0.0 && params_.sigma_peak >= 0.0);
+  XLDS_REQUIRE(params_.max_program_iterations >= 1);
+}
+
+double RramModel::level_conductance(int level) const {
+  XLDS_REQUIRE_MSG(level >= 0 && level < params_.levels(),
+                   "level " << level << " out of range for " << params_.bits << "-bit cell");
+  const double step = (params_.g_max - params_.g_min) / static_cast<double>(params_.levels() - 1);
+  return params_.g_min + static_cast<double>(level) * step;
+}
+
+double RramModel::sigma_at(double g) const {
+  const double d = (g - params_.g_peak_centre) / params_.g_peak_width;
+  return params_.sigma_floor + params_.sigma_rel * g + params_.sigma_peak * std::exp(-d * d);
+}
+
+double RramModel::program_once(double target_g, Rng& rng) const {
+  XLDS_REQUIRE(target_g >= 0.0);
+  const double g = rng.normal(target_g, sigma_at(target_g));
+  return std::clamp(g, params_.g_min, params_.g_max);
+}
+
+double RramModel::program_verify(double target_g, Rng& rng) const {
+  double g = program_once(target_g, rng);
+  for (int i = 1; i < params_.max_program_iterations; ++i) {
+    if (std::abs(g - target_g) <= params_.verify_tolerance) break;
+    g = program_once(target_g, rng);
+  }
+  return g;
+}
+
+double RramModel::relax(double g, double dt, Rng& rng) const {
+  XLDS_REQUIRE(dt >= 0.0);
+  if (dt == 0.0) return g;
+  // Conductance relaxation is logarithmic in time (filament re-equilibration
+  // slows as traps fill): the random-walk amplitude grows like
+  // sqrt(ln(1 + t/t0)) rather than sqrt(t).
+  const double scale = std::sqrt(std::log1p(dt / params_.relax_t0));
+  const double centre = 0.5 * (params_.g_min + params_.g_max);
+  const double pull = std::min(1.0, params_.relax_pull * scale);
+  const double sigma =
+      std::max(params_.relax_sigma_rel * g, params_.relax_sigma_floor) * scale;
+  const double drifted = g + rng.normal(0.0, sigma) + pull * (centre - g);
+  return std::clamp(drifted, params_.g_min, params_.g_max);
+}
+
+double RramModel::sample_hrs(Rng& rng) const {
+  // Lognormal spread around the HRS conductance: multiplicative disorder is
+  // the natural model for filament-gap tunnelling conductance.
+  const double mu = std::log(params_.g_min * 2.0);
+  const double sigma = 0.8;
+  const double g = rng.lognormal(mu, sigma);
+  return std::clamp(g, params_.g_min, params_.g_max);
+}
+
+double RramModel::variation_aware_level_conductance(int level, int levels) const {
+  XLDS_REQUIRE(levels >= 2);
+  XLDS_REQUIRE(level >= 0 && level < levels);
+  // Greedily pick `levels` conductances minimising total sigma while keeping
+  // at least 60 % of the uniform spacing between neighbours.  Deterministic:
+  // evaluated once per (level, levels) query over a fixed candidate grid.
+  constexpr int kGrid = 256;
+  std::vector<double> grid(kGrid);
+  for (int i = 0; i < kGrid; ++i) {
+    grid[i] = params_.g_min +
+              (params_.g_max - params_.g_min) * static_cast<double>(i) / (kGrid - 1);
+  }
+  const double min_gap =
+      0.6 * (params_.g_max - params_.g_min) / static_cast<double>(levels - 1);
+  // Endpoints are pinned (they are the lowest-variation states); interior
+  // levels slide within their uniform-slot neighbourhood to dodge the bump.
+  std::vector<double> chosen(static_cast<std::size_t>(levels));
+  chosen.front() = params_.g_min;
+  chosen.back() = params_.g_max;
+  for (int l = 1; l < levels - 1; ++l) {
+    const double nominal = level_conductance(0) +
+                           (params_.g_max - params_.g_min) * static_cast<double>(l) /
+                               static_cast<double>(levels - 1);
+    double best_g = nominal;
+    double best_cost = sigma_at(nominal);
+    for (double g : grid) {
+      if (std::abs(g - nominal) > 0.4 * min_gap / 0.6) continue;  // stay near the slot
+      if (g - chosen[static_cast<std::size_t>(l - 1)] < min_gap) continue;
+      const double cost = sigma_at(g);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_g = g;
+      }
+    }
+    chosen[static_cast<std::size_t>(l)] = best_g;
+  }
+  return chosen[static_cast<std::size_t>(level)];
+}
+
+}  // namespace xlds::device

@@ -1,0 +1,91 @@
+// Statistical RRAM model (Sec. II-A / Sec. IV of the paper).
+//
+// Sec. IV describes a statistical array model built from measured Ta/TaOx/Pt
+// devices, capturing: (1) state-dependent conductance variation — there is a
+// conductance band where programming variation is substantially larger;
+// (2) conductance relaxation over time (drift that can flip marginal hash
+// bits); (3) stochastic programming exploited for LSH (random HRS-state
+// conductances); and (4) program-and-verify convergence.  This model encodes
+// those phenomena with an analytic sigma(g) profile so the crossbar and CAM
+// simulators above it reproduce the paper's co-optimisation levers (e.g.
+// "map conductance states away from the high-variation region").
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace xlds::device {
+
+struct RramParams {
+  double g_min = 0.5e-6;   ///< HRS-end conductance, S (2 MOhm)
+  double g_max = 50.0e-6;  ///< LRS-end conductance, S (20 kOhm)
+  int bits = 2;            ///< bits per cell for discrete-level use
+
+  // State-dependent cycle-to-cycle programming variation sigma(g):
+  //   sigma(g) = sigma_floor + sigma_rel * g + sigma_peak * exp(-((g-g_peak_centre)/g_peak_width)^2)
+  // The Gaussian bump models the empirically observed high-variation band.
+  double sigma_floor = 0.05e-6;       ///< S
+  double sigma_rel = 0.02;            ///< unitless fraction of g
+  double sigma_peak = 1.2e-6;         ///< S, height of the high-variation bump
+  double g_peak_centre = 12.0e-6;     ///< S, centre of the high-variation band
+  double g_peak_width = 5.0e-6;       ///< S, width of the band
+
+  // Conductance relaxation: random-walk drift growing ~sqrt(ln(1 + t/t0))
+  // plus a weak pull toward the band centre (filament re-equilibration).
+  // Drift amplitude is *state-proportional* (a filament loses a fraction of
+  // its conductance, not an absolute amount), with a small floor for deep
+  // HRS states.
+  double relax_sigma_rel = 0.05;    ///< fraction of g at the unit scale
+  double relax_sigma_floor = 0.02e-6;  ///< S, minimum drift at the unit scale
+  double relax_t0 = 1.0;            ///< s, reference time
+  double relax_pull = 0.02;         ///< centre-pull fraction at the unit scale
+
+  // Program-and-verify settings.
+  double verify_tolerance = 0.5e-6;  ///< S, acceptance window around the target
+  int max_program_iterations = 16;
+
+  int levels() const { return 1 << bits; }
+};
+
+class RramModel {
+ public:
+  explicit RramModel(RramParams params);
+
+  const RramParams& params() const noexcept { return params_; }
+
+  /// Nominal conductance of discrete level (0 = HRS .. levels-1 = LRS),
+  /// evenly spaced in [g_min, g_max].
+  double level_conductance(int level) const;
+
+  /// State-dependent programming sigma at target conductance g.
+  double sigma_at(double g) const;
+
+  /// One open-loop programming event: target + N(0, sigma_at(target)),
+  /// clamped to the physical conductance range.
+  double program_once(double target_g, Rng& rng) const;
+
+  /// Closed-loop program-and-verify: repeat program_once until within the
+  /// verify tolerance or the iteration budget is exhausted.  Returns the
+  /// final achieved conductance (which may still be out of tolerance — real
+  /// arrays have stuck cells; callers can check).
+  double program_verify(double target_g, Rng& rng) const;
+
+  /// Conductance relaxation over `dt` seconds: random walk with sqrt(dt/t0)
+  /// amplitude plus weak recovery toward the band centre.
+  double relax(double g, double dt, Rng& rng) const;
+
+  /// Draw a random conductance from the HRS population (lognormal around the
+  /// HRS mean) — the intrinsic-stochasticity source used to realise LSH
+  /// projection matrices in Sec. IV (HRS chosen because its device-to-device
+  /// spread is the largest).
+  double sample_hrs(Rng& rng) const;
+
+  /// The paper's co-optimisation: remap a requested level set away from the
+  /// high-variation band.  Returns a conductance for `level` out of `levels`
+  /// placed in the low-variation regions while preserving monotonicity.
+  double variation_aware_level_conductance(int level, int levels) const;
+
+ private:
+  RramParams params_;
+};
+
+}  // namespace xlds::device

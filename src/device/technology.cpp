@@ -1,0 +1,73 @@
+#include "device/technology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xlds::device {
+
+double TechNode::tx_on_resistance(double width_um) const {
+  XLDS_REQUIRE(width_um > 0.0);
+  return vdd / (nmos_ion_per_um * width_um);
+}
+
+double TechNode::tx_gate_cap(double width_um) const {
+  XLDS_REQUIRE(width_um > 0.0);
+  return gate_c_per_um * width_um;
+}
+
+double TechNode::tx_drain_cap(double width_um) const {
+  // Junction + overlap capacitance is roughly half the gate capacitance at
+  // these nodes; adequate for matchline loading estimates.
+  return 0.5 * tx_gate_cap(width_um);
+}
+
+namespace {
+
+// First-order scaling: wire resistance grows ~1/F^2 with the minimum-pitch
+// cross-section; capacitance per length is nearly node-independent (~0.2
+// fF/um); drive current per um improves slowly; Vdd saturates near 0.8-1.2 V.
+std::vector<TechNode> make_nodes() {
+  auto node = [](const char* name, double f_nm, double vdd, double r_per_um, double c_ff_per_um,
+                 double ion_ua_per_um, double cg_ff_per_um, double wmin_um) {
+    TechNode n;
+    n.name = name;
+    n.feature_m = f_nm * 1e-9;
+    n.vdd = vdd;
+    n.wire_r_per_m = r_per_um / 1e-6;
+    n.wire_c_per_m = c_ff_per_um * 1e-15 / 1e-6;
+    n.nmos_ion_per_um = ion_ua_per_um * 1e-6;
+    n.gate_c_per_um = cg_ff_per_um * 1e-15;
+    n.min_tx_width_um = wmin_um;
+    return n;
+  };
+  return {
+      node("130nm", 130.0, 1.30, 0.30, 0.24, 500.0, 1.20, 0.20),
+      node("90nm", 90.0, 1.20, 0.55, 0.22, 600.0, 1.00, 0.14),
+      node("65nm", 65.0, 1.10, 1.10, 0.21, 700.0, 0.90, 0.10),
+      node("45nm", 45.0, 1.00, 2.20, 0.20, 800.0, 0.80, 0.07),
+      node("40nm", 40.0, 1.00, 2.80, 0.20, 850.0, 0.75, 0.06),
+      node("32nm", 32.0, 0.95, 4.40, 0.19, 900.0, 0.70, 0.05),
+      node("28nm", 28.0, 0.90, 5.70, 0.19, 950.0, 0.65, 0.045),
+      node("22nm", 22.0, 0.85, 9.20, 0.18, 1000.0, 0.60, 0.035),
+      node("16nm", 16.0, 0.80, 17.50, 0.18, 1100.0, 0.55, 0.025),
+  };
+}
+
+}  // namespace
+
+const std::vector<TechNode>& all_tech_nodes() {
+  static const std::vector<TechNode> nodes = make_nodes();
+  return nodes;
+}
+
+const TechNode& tech_node(const std::string& name) {
+  const auto& nodes = all_tech_nodes();
+  const auto it =
+      std::find_if(nodes.begin(), nodes.end(), [&](const TechNode& n) { return n.name == name; });
+  XLDS_REQUIRE_MSG(it != nodes.end(), "unknown technology node '" << name << "'");
+  return *it;
+}
+
+}  // namespace xlds::device

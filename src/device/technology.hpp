@@ -1,0 +1,39 @@
+// CMOS technology-node presets used by the circuit and array models.
+//
+// The numbers are first-order ITRS-style scaling values: what matters for the
+// framework is that wire parasitics, device drive and supply voltage scale
+// consistently across nodes so that cross-node comparisons (e.g. the 40 nm
+// RRAM vs 90 nm PCM CAM chips of Fig. 5) are made on a common basis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xlds::device {
+
+struct TechNode {
+  std::string name;           ///< e.g. "40nm"
+  double feature_m = 0.0;     ///< feature size F in metres
+  double vdd = 0.0;           ///< nominal supply voltage (V)
+  double wire_r_per_m = 0.0;  ///< wire resistance per metre (ohm/m), minimum pitch
+  double wire_c_per_m = 0.0;  ///< wire capacitance per metre (F/m), minimum pitch
+  double nmos_ion_per_um = 0.0;  ///< NMOS on-current per um width (A/um)
+  double gate_c_per_um = 0.0;    ///< gate capacitance per um width (F/um)
+  double min_tx_width_um = 0.0;  ///< minimum transistor width (um)
+
+  /// Resistance of an on transistor of `width_um` (first order: Vdd / Ion).
+  double tx_on_resistance(double width_um) const;
+  /// Gate capacitance of a transistor of `width_um`.
+  double tx_gate_cap(double width_um) const;
+  /// Drain junction capacitance approximation (fraction of gate cap).
+  double tx_drain_cap(double width_um) const;
+};
+
+/// Preset lookup by node name.  Supported: 130nm, 90nm, 65nm, 45nm, 40nm,
+/// 32nm, 28nm, 22nm, 16nm.  Throws PreconditionError for unknown names.
+const TechNode& tech_node(const std::string& name);
+
+/// All supported nodes, largest feature size first.
+const std::vector<TechNode>& all_tech_nodes();
+
+}  // namespace xlds::device

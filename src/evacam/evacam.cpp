@@ -1,0 +1,334 @@
+#include "evacam/evacam.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/converter.hpp"
+#include "circuit/wire.hpp"
+#include "device/fefet.hpp"
+#include "device/technology.hpp"
+#include "util/error.hpp"
+
+namespace xlds::evacam {
+
+namespace {
+
+// Peripheral area constants (F^2), NVSim-CAM-class defaults.
+constexpr double kSenseAmpAreaF2PerRow = 420.0;
+constexpr double kSlDriverAreaF2PerCol = 140.0;   // two drivers per column
+constexpr double kDecoderAreaF2PerRow = 40.0;
+constexpr double kMatAreaOverhead = 0.04;         // routing margin per mat
+constexpr double kLeakagePerMatW = 1.5e-6;
+constexpr double kLeakagePerRowW = 4.0e-9;
+
+int devices_on_matchline(CellType cell) {
+  switch (cell) {
+    case CellType::k2T2R: return 2;
+    case CellType::k4T2R: return 2;   // the compare stack; the other 2T buffer
+    case CellType::k2FeFET: return 2;
+    case CellType::k16T: return 2;    // pull-down stack drains
+  }
+  return 2;
+}
+
+/// Find the sense time maximising the match-vs-(k+1 mismatch) margin and
+/// return {margin, time}.
+struct MarginPoint {
+  double margin = 0.0;
+  double time = 0.0;
+};
+
+MarginPoint peak_margin_between(const circuit::MatchlineModel& ml, double g_fast_total,
+                                double g_slow_total) {
+  const double t_lo = ml.discharge_time(g_fast_total) * 0.05;
+  const double t_hi = ml.discharge_time(g_slow_total) * 4.0;
+  MarginPoint best;
+  constexpr int kSteps = 96;
+  for (int i = 0; i <= kSteps; ++i) {
+    const double t = t_lo + (t_hi - t_lo) * static_cast<double>(i) / kSteps;
+    const double m = ml.voltage_at(t, g_slow_total) - ml.voltage_at(t, g_fast_total);
+    if (m > best.margin) {
+      best.margin = m;
+      best.time = t;
+    }
+  }
+  return best;
+}
+
+MarginPoint peak_margin(const circuit::MatchlineModel& ml, double g_mis, std::size_t k) {
+  const double g1 = ml.total_conductance(static_cast<double>(k) * g_mis);
+  const double g2 = ml.total_conductance(static_cast<double>(k + 1) * g_mis);
+  return peak_margin_between(ml, g2, g1);
+}
+
+/// The Sec.-VI extension: largest k whose k-vs-(k+1) margin survives when
+/// each row's conductance is shifted `conf` sigmas the wrong way (the
+/// k-mismatch row fast, the (k+1)-mismatch row slow).  Row-sum sigma scales
+/// with sqrt(cells involved).
+std::size_t mismatch_limit_with_variation(const circuit::MatchlineModel& ml, double g_mis,
+                                          double sigma_rel, double conf, double min_margin_v) {
+  const double sigma_g = sigma_rel * g_mis;
+  std::size_t k = 0;
+  while (k < 4096) {
+    const auto kd = static_cast<double>(k);
+    const double g_slow_mis = kd * g_mis + conf * sigma_g * std::sqrt(std::max(kd, 1.0));
+    const double g_fast_mis = (kd + 1.0) * g_mis - conf * sigma_g * std::sqrt(kd + 1.0);
+    if (g_fast_mis <= g_slow_mis) break;  // distributions overlap: done
+    const double g_slow = ml.total_conductance(g_slow_mis);
+    const double g_fast = ml.total_conductance(g_fast_mis);
+    if (peak_margin_between(ml, g_fast, g_slow).margin < min_margin_v) break;
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace
+
+std::string to_string(CellType t) {
+  switch (t) {
+    case CellType::k2T2R: return "2T2R";
+    case CellType::k4T2R: return "4T2R";
+    case CellType::k2FeFET: return "2FeFET";
+    case CellType::k16T: return "16T";
+  }
+  return "?";
+}
+
+EvaCam::EvaCam(CamDesignSpec spec) : spec_(spec) {
+  XLDS_REQUIRE(spec_.words >= 1 && spec_.bits >= 1);
+  XLDS_REQUIRE(spec_.subarray_rows >= 1 && spec_.subarray_cols >= 1);
+  XLDS_REQUIRE(spec_.sl_activity >= 0.0 && spec_.sl_activity <= 1.0);
+  const bool resistive = spec_.cell == CellType::k2T2R || spec_.cell == CellType::k4T2R;
+  const bool two_terminal_device = device::traits(spec_.device).terminals == 2;
+  XLDS_REQUIRE_MSG(!resistive || two_terminal_device,
+                   "cell " << to_string(spec_.cell) << " needs a two-terminal device, got "
+                           << device::to_string(spec_.device));
+  if (spec_.cell == CellType::k2FeFET)
+    XLDS_REQUIRE_MSG(spec_.device == device::DeviceKind::kFeFet ||
+                         spec_.device == device::DeviceKind::kFlash,
+                     "2FeFET cells need a three-terminal FeFET/flash device");
+  XLDS_REQUIRE(spec_.bits_per_cell >= 1);
+  switch (spec_.cell) {
+    case CellType::k2FeFET:
+      XLDS_REQUIRE_MSG(spec_.bits_per_cell <= device::traits(spec_.device).max_bits_per_cell,
+                       device::to_string(spec_.device)
+                           << " stores at most "
+                           << device::traits(spec_.device).max_bits_per_cell << " bits/cell");
+      break;
+    case CellType::k2T2R:
+      XLDS_REQUIRE_MSG(spec_.bits_per_cell <= 2,
+                       "2T2R supports at most two-bit encoding per cell");
+      break;
+    default:
+      XLDS_REQUIRE_MSG(spec_.bits_per_cell == 1,
+                       to_string(spec_.cell) << " cells are single-bit");
+      break;
+  }
+}
+
+double EvaCam::default_cell_area_f2(CellType cell) {
+  switch (cell) {
+    case CellType::k2T2R: return 190.0;
+    case CellType::k4T2R: return 125.0;
+    case CellType::k2FeFET: return 80.0;
+    case CellType::k16T: return 430.0;
+  }
+  return 190.0;
+}
+
+double EvaCam::resolved_cell_area_f2() const {
+  return spec_.cell_area_f2 > 0.0 ? spec_.cell_area_f2 : default_cell_area_f2(spec_.cell);
+}
+
+double EvaCam::resolved_pitch_f() const {
+  return spec_.cell_pitch_f > 0.0 ? spec_.cell_pitch_f : std::sqrt(resolved_cell_area_f2());
+}
+
+double EvaCam::resolved_v_search() const {
+  return spec_.v_search > 0.0 ? spec_.v_search : device::tech_node(spec_.tech).vdd;
+}
+
+double EvaCam::access_resistance() const {
+  const auto& node = device::tech_node(spec_.tech);
+  const double w = spec_.access_tx_width_um > 0.0 ? spec_.access_tx_width_um
+                                                  : 2.0 * node.min_tx_width_um;
+  return node.tx_on_resistance(w);
+}
+
+double EvaCam::mismatch_conductance() const {
+  const auto& dev = spec_.resolved_traits();
+  switch (spec_.cell) {
+    case CellType::k2T2R: {
+      const double g_on = 1.0 / (dev.on_resistance + access_resistance());
+      if (spec_.bits_per_cell == 1) return g_on;
+      // Two-bit encoding: intermediate resistance states split the window.
+      const double g_off = 1.0 / (dev.off_resistance + access_resistance());
+      const auto levels = static_cast<double>(1 << spec_.bits_per_cell);
+      return g_off + (g_on - g_off) / (levels - 1.0);
+    }
+    case CellType::k4T2R: return 1.0 / (dev.on_resistance + access_resistance());
+    case CellType::k2FeFET: {
+      // Square-law (M)CAM: a one-level-step mismatch conducts at the single
+      // step's overdrive, from the FeFET device model at this precision —
+      // one consistent anchor across bits/cell so the density/sensing trade
+      // is apples-to-apples.
+      device::FeFetParams p;
+      p.bits = spec_.bits_per_cell;
+      const device::FeFetModel fefet(p);
+      return fefet.conductance(fefet.search_voltage(1), fefet.level_vth(0));
+    }
+    case CellType::k16T: return 1.0 / (2.0 * access_resistance());
+  }
+  return 0.0;
+}
+
+double EvaCam::match_leak_conductance() const {
+  const auto& dev = spec_.resolved_traits();
+  switch (spec_.cell) {
+    case CellType::k2T2R:
+    case CellType::k4T2R: return 1.0 / (dev.off_resistance + access_resistance());
+    case CellType::k2FeFET: return 1.0 / dev.off_resistance;
+    case CellType::k16T: return 1.0e-9;  // junction leakage
+  }
+  return 0.0;
+}
+
+std::size_t EvaCam::cells_per_word() const {
+  const auto bpc = static_cast<std::size_t>(spec_.bits_per_cell);
+  return (spec_.bits + bpc - 1) / bpc;
+}
+
+std::size_t EvaCam::mat_count() const {
+  const std::size_t cells_per_mat = spec_.subarray_rows * spec_.subarray_cols;
+  const std::size_t total_cells = spec_.words * cells_per_word();
+  return (total_cells + cells_per_mat - 1) / cells_per_mat;
+}
+
+CamFom EvaCam::evaluate() const {
+  const auto& node = device::tech_node(spec_.tech);
+  const auto& dev = spec_.resolved_traits();
+  const double f2 = node.feature_m * node.feature_m;
+  const circuit::WireModel wire(node, resolved_pitch_f());
+  const circuit::SenseAmp sa(spec_.sense);
+
+  const double w_access =
+      spec_.access_tx_width_um > 0.0 ? spec_.access_tx_width_um : 2.0 * node.min_tx_width_um;
+  circuit::MatchlineParams mlp;
+  mlp.v_precharge = node.vdd;
+  mlp.v_sense = node.vdd / 2.0;
+  mlp.cell_drain_cap =
+      static_cast<double>(devices_on_matchline(spec_.cell)) * node.tx_drain_cap(w_access);
+  mlp.leak_conductance_per_cell = match_leak_conductance();
+  const circuit::MatchlineModel ml(mlp, wire, spec_.subarray_cols);
+
+  const double g_mis = mismatch_conductance();
+
+  // --- area -----------------------------------------------------------------
+  const double cells_area =
+      resolved_cell_area_f2() * f2 * static_cast<double>(spec_.subarray_rows * spec_.subarray_cols);
+  const double periph_area =
+      (kSenseAmpAreaF2PerRow * static_cast<double>(spec_.subarray_rows) +
+       kSlDriverAreaF2PerCol * static_cast<double>(spec_.subarray_cols) +
+       kDecoderAreaF2PerRow * static_cast<double>(spec_.subarray_rows)) *
+      f2;
+  const double mat_area = (cells_area + periph_area) * (1.0 + kMatAreaOverhead);
+  const auto mats = static_cast<double>(mat_count());
+
+  CamFom fom;
+  fom.area_m2 = mat_area * mats;
+
+  // --- search latency ---------------------------------------------------
+  // Search-line drive: each SL spans the subarray rows, loading one gate per
+  // row; driver is a sized buffer.
+  const circuit::WireSegment sl = wire.span(spec_.subarray_rows);
+  circuit::DriverModel sl_driver;
+  sl_driver.load_capacitance = sl.capacitance + static_cast<double>(spec_.subarray_rows) *
+                                                    node.tx_gate_cap(w_access);
+  sl_driver.drive_resistance = node.tx_on_resistance(20.0 * node.min_tx_width_um);
+  sl_driver.swing = resolved_v_search();
+
+  // Matchline development: sense at the time of peak margin between a full
+  // match and one mismatch unit.
+  const MarginPoint mp = peak_margin(ml, g_mis, 0);
+  // When the available margin is below what the SA needs, the (self-
+  // referenced) sensing integrates proportionally longer — the low on/off
+  // ratio penalty (e.g. MRAM).
+  const double sa_stretch = mp.margin > 0.0
+                                ? std::max(1.0, spec_.sense.min_margin_v / mp.margin)
+                                : 16.0;
+  const double t_sense = sa.latency() * sa_stretch;
+
+  const double die_edge = std::sqrt(fom.area_m2);
+  const double broadcast = 100e-12 * (die_edge / 2.0) / 1e-3;  // ~100 ps/mm
+
+  fom.search_latency = broadcast + sl_driver.latency() + mp.time + t_sense +
+                       static_cast<double>(spec_.sensing_clock_phases) * spec_.clock_period;
+  if (spec_.match == cam::MatchType::kBest) {
+    const circuit::WinnerTakeAll wta;
+    fom.search_latency += wta.latency(spec_.subarray_rows);
+  }
+
+  // --- search energy (whole memory: every mat participates) ---------------
+  const double e_ml = static_cast<double>(spec_.subarray_rows) * ml.search_energy();
+  const double e_sl = spec_.sl_activity * 2.0 * static_cast<double>(spec_.subarray_cols) *
+                      sl_driver.energy();
+  const double e_sa = static_cast<double>(spec_.subarray_rows) * sa.energy() * sa_stretch;
+  double e_mat = e_ml + e_sl + e_sa;
+  if (spec_.match == cam::MatchType::kBest) {
+    const circuit::WinnerTakeAll wta;
+    e_mat += wta.energy(spec_.subarray_rows);
+  }
+  const double e_broadcast = 0.5 * die_edge * node.wire_c_per_m * node.vdd * node.vdd *
+                             static_cast<double>(spec_.bits);
+  fom.search_energy = e_mat * mats + e_broadcast;
+
+  // --- write ----------------------------------------------------------------
+  // A word write programs both devices of every cell in the row.
+  const auto word_cells = static_cast<double>(cells_per_word());
+  fom.write_latency = dev.write_latency + sl_driver.latency();
+  fom.write_energy =
+      word_cells * 2.0 * dev.write_energy + 2.0 * word_cells * sl_driver.energy();
+
+  // --- leakage ----------------------------------------------------------------
+  fom.leakage_power =
+      mats * (kLeakagePerMatW + kLeakagePerRowW * static_cast<double>(spec_.subarray_rows));
+
+  // --- sensing limits ---------------------------------------------------------
+  fom.mismatch_limit = ml.mismatch_limit(g_mis, spec_.sense.min_margin_v);
+  fom.mismatch_limit_with_variation =
+      spec_.device_sigma_rel > 0.0
+          ? mismatch_limit_with_variation(ml, g_mis, spec_.device_sigma_rel,
+                                          spec_.sigma_confidence, spec_.sense.min_margin_v)
+          : fom.mismatch_limit;
+
+  // Max matchline width: largest column count at which the sensing can still
+  // distinguish `min_distinguishable_steps` adjacent mismatch counts —
+  // nominally, and with the device-variation distributions folded in (the
+  // Sec.-VI "array size and mismatch limit prediction" extension).
+  auto max_columns = [&](bool with_variation) {
+    std::size_t lo = 1, hi = 4096, best_cols = 0;
+    while (lo <= hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      const circuit::MatchlineModel trial(mlp, wire, mid);
+      const std::size_t limit =
+          with_variation
+              ? mismatch_limit_with_variation(trial, g_mis, spec_.device_sigma_rel,
+                                              spec_.sigma_confidence, spec_.sense.min_margin_v)
+              : trial.mismatch_limit(g_mis, spec_.sense.min_margin_v);
+      if (limit >= spec_.min_distinguishable_steps) {
+        best_cols = mid;
+        lo = mid + 1;
+      } else {
+        if (mid == 0) break;
+        hi = mid - 1;
+      }
+    }
+    return best_cols;
+  };
+  fom.max_ml_columns = max_columns(false);
+  fom.max_ml_columns_with_variation =
+      spec_.device_sigma_rel > 0.0 ? max_columns(true) : fom.max_ml_columns;
+  return fom;
+}
+
+}  // namespace xlds::evacam

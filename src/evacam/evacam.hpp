@@ -1,0 +1,140 @@
+// Eva-CAM: circuit/architecture-level analytical evaluation of NV-CAMs
+// (Sec. VI, Fig. 1F, Fig. 5).
+//
+// Given a CAM design — device technology, cell topology (2T2R / 4T2R /
+// 2FeFET), match type, capacity and subarray organisation — the tool
+// projects area, search latency, search energy, write cost and leakage, and
+// derives the *mismatch limit* and maximum matchline width from the sense
+// margin analysis (the Eva-CAM extension the paper describes: comparing the
+// matchline's sense margin against the sensing circuit's margin).
+//
+// Like the original tool, projections aim at the ±20 % band against
+// fabricated chips (Fig. 5); presets.hpp carries the published reference
+// points used for validation.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "cam/types.hpp"
+#include "circuit/matchline.hpp"
+#include "circuit/senseamp.hpp"
+#include "device/device.hpp"
+#include "device/fefet.hpp"
+
+namespace xlds::evacam {
+
+/// Cell topology.  The transistor count sets area and matchline loading; the
+/// storage element sets the pull-down/leak conductances.
+enum class CellType {
+  k2T2R,    ///< two access transistors + two resistive devices (RRAM/PCM)
+  k4T2R,    ///< four transistors + two MTJs (MRAM-style, self-referenced)
+  k2FeFET,  ///< two FeFETs, no access devices (three-terminal cell)
+  k16T,     ///< CMOS SRAM TCAM reference cell
+};
+
+std::string to_string(CellType t);
+
+struct CamDesignSpec {
+  device::DeviceKind device = device::DeviceKind::kRram;
+  CellType cell = CellType::k2T2R;
+  cam::MatchType match = cam::MatchType::kExact;
+  std::string tech = "40nm";
+  std::size_t words = 2048;        ///< total entries
+  std::size_t bits = 128;          ///< bits per entry
+  /// Multi-bit (MCAM) cells: bits stored per cell.  1 = TCAM.  Supported:
+  /// up to the device's multi-level capability for 2FeFET cells, up to 2 for
+  /// 2T2R (the two-bit-encoded macros), 1 elsewhere.  Denser words, but the
+  /// one-step mismatch conductance shrinks with the level count, stressing
+  /// the sense margin (the Fig. 3B window-vs-levels trade).
+  int bits_per_cell = 1;
+  std::size_t subarray_rows = 256; ///< rows per mat
+  std::size_t subarray_cols = 128; ///< matchline width per mat
+  /// Cell area in F^2; 0 selects the per-topology default.
+  double cell_area_f2 = 0.0;
+  /// Matchline pitch per cell in F; 0 selects sqrt(cell_area_f2).
+  double cell_pitch_f = 0.0;
+  /// Search-line voltage swing; 0 selects the node Vdd.
+  double v_search = 0.0;
+  /// Fraction of search lines toggling per search.
+  double sl_activity = 0.5;
+  /// Access-transistor width (um); 0 selects 2x the node minimum.
+  double access_tx_width_um = 0.0;
+  /// For BE/TH matches: how many adjacent mismatch counts the sensing must
+  /// still distinguish when deriving max_ml_columns (EX needs only 0-vs-1).
+  std::size_t min_distinguishable_steps = 1;
+  /// Clocked self-referenced sensing phases (e.g. the 2T2R TCAM macros use a
+  /// two-phase clocked self-reference): each adds one clock period to the
+  /// search latency.  0 = purely asynchronous sensing.
+  std::size_t sensing_clock_phases = 0;
+  double clock_period = 1.0e-9;  ///< s
+  /// Device-variation integration (the Sec.-VI Eva-CAM extension): relative
+  /// sigma of the cell's mismatch conductance (device-to-device + programming
+  /// spread).  0 disables the variation-aware analysis.
+  double device_sigma_rel = 0.0;
+  /// Design margin in sigmas: the matchline's worst row is assumed to sit
+  /// this many sigmas away from nominal when sizing the array.
+  double sigma_confidence = 3.0;
+  circuit::SenseAmpParams sense;
+  /// What-if device: overrides the canonical trait preset (the Fig. 6
+  /// materials-lever hook).
+  std::optional<device::DeviceTraits> device_override;
+
+  const device::DeviceTraits& resolved_traits() const {
+    return device_override ? *device_override : device::traits(device);
+  }
+};
+
+/// Projected figures of merit (SI units).
+struct CamFom {
+  double area_m2 = 0.0;
+  double search_latency = 0.0;
+  double search_energy = 0.0;  ///< per search of the whole memory
+  double write_latency = 0.0;  ///< per word
+  double write_energy = 0.0;   ///< per word
+  double leakage_power = 0.0;
+  std::size_t mismatch_limit = 0;   ///< distinguishable distance steps per matchline
+  std::size_t max_ml_columns = 0;   ///< sense-margin-limited matchline width
+  /// As above but with device variation folded into the margins (equal to
+  /// the nominal values when device_sigma_rel == 0).
+  std::size_t mismatch_limit_with_variation = 0;
+  std::size_t max_ml_columns_with_variation = 0;
+};
+
+class EvaCam {
+ public:
+  explicit EvaCam(CamDesignSpec spec);
+
+  const CamDesignSpec& spec() const noexcept { return spec_; }
+
+  /// Full projection for the configured design.
+  CamFom evaluate() const;
+
+  /// Effective cell pull-down conductance of a *one-step* mismatch (S) —
+  /// the full on-state for single-bit cells, the single-level step for
+  /// multi-bit cells.
+  double mismatch_conductance() const;
+
+  /// Per-cell leakage conductance on a matching cell (S).
+  double match_leak_conductance() const;
+
+  /// Cells needed to store one entry (bits / bits_per_cell, rounded up).
+  std::size_t cells_per_word() const;
+
+  /// Number of subarrays (mats) in the memory.
+  std::size_t mat_count() const;
+
+  /// Default cell area for a topology, in F^2.
+  static double default_cell_area_f2(CellType cell);
+
+ private:
+  double resolved_cell_area_f2() const;
+  double resolved_pitch_f() const;
+  double resolved_v_search() const;
+  double access_resistance() const;
+
+  CamDesignSpec spec_;
+};
+
+}  // namespace xlds::evacam

@@ -1,0 +1,112 @@
+#include "evacam/presets.hpp"
+
+#include "util/error.hpp"
+
+namespace xlds::evacam {
+
+namespace {
+
+// RRAM 2T2R TCAM at 40 nm (Fig. 5 row 1).  Published: area 98000 um^2
+// (array + peripherals only), search latency >= 5 ns (silicon) / 2-4.4 ns
+// (tool), search energy 270 pJ.  We model a 256 Kb macro (2048 words x 128
+// bits) of 2T2R cells; the ~190 F^2 cell footprint follows 40 nm 2T2R TCAM
+// publications.
+ValidationChip rram_chip() {
+  ValidationChip chip;
+  chip.name = "RRAM 2T2R 40nm";
+  CamDesignSpec s;
+  s.device = device::DeviceKind::kRram;
+  s.cell = CellType::k2T2R;
+  s.match = cam::MatchType::kExact;
+  s.tech = "40nm";
+  s.words = 2048;
+  s.bits = 128;
+  s.subarray_rows = 256;
+  s.subarray_cols = 128;
+  s.access_tx_width_um = 0.24;  // wide access devices, low series resistance
+  s.sl_activity = 1.0;          // differential SL pairs toggle every search
+  s.sensing_clock_phases = 2;   // clocked self-referenced sensing
+  chip.spec = s;
+  chip.area_um2 = {98000.0, 86600.0};
+  chip.search_latency_ns = {5.0, 3.2};  // paper prints the tool range 2-4.4
+  chip.search_energy_pj = {270.0, 268.5};
+  chip.note = "actual area includes RRAM array and peripherals only";
+  return chip;
+}
+
+// PCM 2T2R TCAM at 90 nm (Fig. 5 row 2).  Only search latency is published:
+// 1.9 ns silicon, 2.1 ns tool.  1 Mb macro with two-bit-encoded 2T-2R cells.
+ValidationChip pcm_chip() {
+  ValidationChip chip;
+  chip.name = "PCM 2T2R 90nm";
+  CamDesignSpec s;
+  s.device = device::DeviceKind::kPcm;
+  s.cell = CellType::k2T2R;
+  s.match = cam::MatchType::kExact;
+  s.tech = "90nm";
+  s.words = 16384;
+  s.bits = 64;
+  s.subarray_rows = 512;
+  s.subarray_cols = 64;
+  s.access_tx_width_um = 0.5;  // 90 nm: wide access devices
+  s.sensing_clock_phases = 1;  // single-phase clocked self-reference
+  chip.spec = s;
+  chip.search_latency_ns = {1.9, 2.1};
+  chip.note = "only latency published";
+  return chip;
+}
+
+// MRAM 4T2R CAM at 90 nm (Fig. 5 row 3).  Published: area 17200 um^2 /
+// 18270 um^2, latency 2.5 / 2.72 (the table prints "ps"; the 8.6 % error
+// column is consistent with either unit — we read ns, as a sub-3 ps CAM
+// search is not physical).  Modelled as a 16 Kb macro; the small MTJ on/off
+// ratio is what stretches the self-referenced sensing.
+ValidationChip mram_chip() {
+  ValidationChip chip;
+  chip.name = "MRAM 4T2R 90nm";
+  CamDesignSpec s;
+  s.device = device::DeviceKind::kMram;
+  s.cell = CellType::k4T2R;
+  s.match = cam::MatchType::kExact;
+  s.tech = "90nm";
+  s.words = 128;
+  s.bits = 128;
+  s.subarray_rows = 128;
+  s.subarray_cols = 128;
+  chip.spec = s;
+  chip.area_um2 = {17200.0, 18270.0};
+  chip.search_latency_ns = {2.5, 2.72};
+  chip.note = "latency unit printed as ps in Fig. 5; read as ns";
+  return chip;
+}
+
+}  // namespace
+
+const std::vector<ValidationChip>& fig5_chips() {
+  static const std::vector<ValidationChip> chips = {rram_chip(), pcm_chip(), mram_chip()};
+  return chips;
+}
+
+CamDesignSpec preset_spec(const std::string& name) {
+  if (name == "rram-2t2r-40nm") return rram_chip().spec;
+  if (name == "pcm-2t2r-90nm") return pcm_chip().spec;
+  if (name == "mram-4t2r-90nm") return mram_chip().spec;
+  if (name == "fefet-2t-28nm") {
+    CamDesignSpec s;
+    s.device = device::DeviceKind::kFeFet;
+    s.cell = CellType::k2FeFET;
+    s.match = cam::MatchType::kBest;
+    s.tech = "28nm";
+    s.words = 1024;
+    s.bits = 64;
+    s.subarray_rows = 64;
+    s.subarray_cols = 64;
+    // BE-match sensing: the adjacent-count margin shrinks ~1/k, so 4
+    // distinguishable steps is what a 50 mV sense amp supports.
+    s.min_distinguishable_steps = 4;
+    return s;
+  }
+  XLDS_REQUIRE_MSG(false, "unknown Eva-CAM preset '" << name << "'");
+}
+
+}  // namespace xlds::evacam

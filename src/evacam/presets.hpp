@@ -1,0 +1,37 @@
+// Validation presets: the fabricated CAM chips Eva-CAM was validated
+// against in Fig. 5 of the paper, with the published reference numbers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "evacam/evacam.hpp"
+
+namespace xlds::evacam {
+
+/// One published reference value with the unit used in Fig. 5.
+struct Reference {
+  std::optional<double> actual;        ///< measured silicon (as printed)
+  std::optional<double> paper_evacam;  ///< the paper tool's projection
+};
+
+struct ValidationChip {
+  std::string name;        ///< e.g. "RRAM 2T2R 40nm"
+  CamDesignSpec spec;      ///< our modelled design for that chip
+  Reference area_um2;
+  Reference search_latency_ns;
+  Reference search_energy_pj;
+  std::string note;
+};
+
+/// The three Fig. 5 chips.  Notes record where the printed table is
+/// ambiguous (the MRAM row prints "ps", which we — like the error column —
+/// read as ns).
+const std::vector<ValidationChip>& fig5_chips();
+
+/// Convenience: preset spec by name ("rram-2t2r-40nm", "pcm-2t2r-90nm",
+/// "mram-4t2r-90nm", "fefet-2t-28nm").
+CamDesignSpec preset_spec(const std::string& name);
+
+}  // namespace xlds::evacam

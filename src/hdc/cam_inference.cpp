@@ -1,0 +1,80 @@
+#include "hdc/cam_inference.hpp"
+
+#include <cmath>
+
+#include "hdc/encoder.hpp"
+#include "util/error.hpp"
+
+namespace xlds::hdc {
+
+namespace {
+
+cam::PartitionedCamConfig make_partition_config(const HdcModel& model,
+                                                const CamInferenceConfig& config) {
+  XLDS_REQUIRE_MSG(config.subarray.fefet.bits == model.config().element_bits,
+                   "CAM cell stores " << config.subarray.fefet.bits
+                                      << " bits but the model quantises to "
+                                      << model.config().element_bits);
+  cam::PartitionedCamConfig pc;
+  pc.subarray = config.subarray;
+  pc.subarray.rows = model.n_classes();
+  pc.total_width = model.config().hv_dim;
+  pc.aggregation = config.aggregation;
+  return pc;
+}
+
+}  // namespace
+
+HdcCamInference::HdcCamInference(const HdcModel& model, CamInferenceConfig config, Rng& rng)
+    : model_(model), config_(config), cam_(make_partition_config(model, config), rng) {
+  for (std::size_t cls = 0; cls < model_.n_classes(); ++cls)
+    cam_.write_word(cls, model_.class_digits(cls));
+
+  if (config_.analog_encode) {
+    const auto* projection_encoder = dynamic_cast<const HdcEncoder*>(&model_.encoder());
+    XLDS_REQUIRE_MSG(projection_encoder != nullptr,
+                     "analog encode needs the random-projection encoder");
+    encoder_.emplace(config_.encoder_tiles, projection_encoder->input_dim(),
+                     projection_encoder->hv_dim(), rng);
+    encoder_->program_weights(projection_encoder->projection());
+    // The model encodes mean-centred features: y = P(x - mu)/sqrt(F).  The
+    // crossbar sees raw x in [0, 1]; the constant P mu / sqrt(F) term is
+    // subtracted digitally (it is exactly encode(mu)).
+    encode_bias_ = projection_encoder->encode(model_.feature_mean());
+  }
+}
+
+std::vector<int> HdcCamInference::query_digits(const std::vector<double>& x) const {
+  if (!encoder_.has_value()) return model_.query_digits(x);
+  std::vector<double> y = encoder_->mvm(x);
+  const double scale =
+      1.0 / std::sqrt(static_cast<double>(model_.encoder().input_dim()));
+  for (std::size_t d = 0; d < y.size(); ++d) y[d] = y[d] * scale - encode_bias_[d];
+  return model_.quantiser().digits(y);
+}
+
+std::size_t HdcCamInference::classify(const std::vector<double>& x) const {
+  return cam_.search(query_digits(x)).best_row;
+}
+
+xbar::MvmCost HdcCamInference::encode_cost() const {
+  return encoder_.has_value() ? encoder_->mvm_cost() : xbar::MvmCost{};
+}
+
+double HdcCamInference::accuracy(const std::vector<std::vector<double>>& xs,
+                                 const std::vector<std::size_t>& ys) const {
+  XLDS_REQUIRE(xs.size() == ys.size());
+  XLDS_REQUIRE(!xs.empty());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    if (classify(xs[i]) == ys[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(xs.size());
+}
+
+cam::SearchCost HdcCamInference::search_cost() const {
+  // One representative query: all segments fire in parallel.
+  const std::vector<int> zeros(model_.config().hv_dim, 0);
+  return cam_.search(zeros).cost;
+}
+
+}  // namespace xlds::hdc

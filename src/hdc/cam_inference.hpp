@@ -1,0 +1,66 @@
+// Hardware-mapped HDC inference: the associative-search stage of a trained
+// HdcModel executed on the FeFET MCAM simulator (Sec. III).
+//
+// Class hypervectors are written into a subarray-partitioned CAM; queries
+// are quantised to CAM digits and searched.  All the hardware effects the
+// paper studies flow through here: programming variation (Fig. 3G-ii),
+// subarray aggregation error (Fig. 3F), sensing quantisation, and the
+// search latency/energy that feed the platform comparison (Fig. 3H).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include <optional>
+
+#include "cam/partitioned.hpp"
+#include "hdc/model.hpp"
+#include "util/rng.hpp"
+#include "xbar/tiled.hpp"
+
+namespace xlds::hdc {
+
+struct CamInferenceConfig {
+  cam::FeFetCamConfig subarray;  ///< per-subarray geometry; fefet.bits must
+                                 ///< match the model's element_bits
+  cam::Aggregation aggregation = cam::Aggregation::kVote;
+  /// Encode on analog crossbar tiles instead of in software (the Fig. 2D
+  /// path): the bipolar projection is programmed onto differential tiles;
+  /// the mean-projection offset is subtracted digitally.  Requires the
+  /// model's encoder to be the random-projection kind.
+  bool analog_encode = false;
+  xbar::TiledConfig encoder_tiles;  ///< tile geometry/non-idealities
+};
+
+class HdcCamInference {
+ public:
+  /// Builds the partitioned CAM and programs every class hypervector.
+  HdcCamInference(const HdcModel& model, CamInferenceConfig config, Rng& rng);
+
+  /// Classify an input end-to-end (software encode, CAM search).
+  std::size_t classify(const std::vector<double>& x) const;
+
+  double accuracy(const std::vector<std::vector<double>>& xs,
+                  const std::vector<std::size_t>& ys) const;
+
+  /// Circuit cost of one query's associative search.
+  cam::SearchCost search_cost() const;
+
+  /// Cost of one analog encode (zero-cost when encoding in software —
+  /// callers then use the platform models for the digital encode).
+  xbar::MvmCost encode_cost() const;
+
+  std::size_t segments() const noexcept { return cam_.segments(); }
+  bool analog_encode() const noexcept { return encoder_.has_value(); }
+
+ private:
+  std::vector<int> query_digits(const std::vector<double>& x) const;
+
+  const HdcModel& model_;
+  CamInferenceConfig config_;
+  cam::PartitionedCam cam_;
+  std::optional<xbar::TiledCrossbar> encoder_;
+  std::vector<double> encode_bias_;  ///< projection of the feature mean
+};
+
+}  // namespace xlds::hdc

@@ -1,0 +1,106 @@
+#include "hdc/encoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xlds::hdc {
+
+HdcEncoder::HdcEncoder(std::size_t input_dim, std::size_t hv_dim, Rng& rng)
+    : input_dim_(input_dim), hv_dim_(hv_dim), p_(input_dim, hv_dim) {
+  XLDS_REQUIRE(input_dim >= 1 && hv_dim >= 1);
+  for (double& v : p_.data()) v = rng.bernoulli(0.5) ? 1.0 : -1.0;
+}
+
+std::vector<double> HdcEncoder::encode(const std::vector<double>& x) const {
+  XLDS_REQUIRE_MSG(x.size() == input_dim_, "encode: input " << x.size() << " != " << input_dim_);
+  std::vector<double> y = p_.matvec_transposed(x);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(input_dim_));
+  for (double& v : y) v *= scale;
+  return y;
+}
+
+IdLevelEncoder::IdLevelEncoder(std::size_t input_dim, std::size_t hv_dim,
+                               std::size_t quant_levels, Rng& rng, double lo, double hi)
+    : input_dim_(input_dim), hv_dim_(hv_dim), quant_levels_(quant_levels), lo_(lo), hi_(hi) {
+  XLDS_REQUIRE(input_dim >= 1 && hv_dim >= 8);
+  XLDS_REQUIRE(quant_levels >= 2);
+  XLDS_REQUIRE(hi > lo);
+
+  ids_.resize(input_dim_);
+  for (auto& id : ids_) {
+    id.resize(hv_dim_);
+    for (double& v : id) v = rng.bernoulli(0.5) ? 1.0 : -1.0;
+  }
+
+  // Flip construction: L0 is random; each subsequent level flips a fresh
+  // slice, with hv_dim/2 elements flipped in total across the range, so L0
+  // and L_{max} end up ~orthogonal while neighbours stay maximally similar.
+  levels_.resize(quant_levels_);
+  levels_[0].resize(hv_dim_);
+  for (double& v : levels_[0]) v = rng.bernoulli(0.5) ? 1.0 : -1.0;
+  const std::vector<std::size_t> flip_order = rng.permutation(hv_dim_);
+  const std::size_t total_flips = hv_dim_ / 2;
+  const std::size_t per_level = total_flips / (quant_levels_ - 1);
+  for (std::size_t l = 1; l < quant_levels_; ++l) {
+    levels_[l] = levels_[l - 1];
+    const std::size_t begin = (l - 1) * per_level;
+    const std::size_t end = l + 1 == quant_levels_ ? total_flips : begin + per_level;
+    for (std::size_t i = begin; i < end && i < hv_dim_; ++i)
+      levels_[l][flip_order[i]] = -levels_[l][flip_order[i]];
+  }
+}
+
+std::size_t IdLevelEncoder::level_of(double v) const {
+  const double t = std::clamp((v - lo_) / (hi_ - lo_), 0.0, 1.0);
+  return std::min(static_cast<std::size_t>(t * static_cast<double>(quant_levels_)),
+                  quant_levels_ - 1);
+}
+
+double IdLevelEncoder::level_similarity(std::size_t a, std::size_t b) const {
+  XLDS_REQUIRE(a < quant_levels_ && b < quant_levels_);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < hv_dim_; ++i)
+    if (levels_[a][i] == levels_[b][i]) ++same;
+  return static_cast<double>(same) / static_cast<double>(hv_dim_);
+}
+
+std::vector<double> IdLevelEncoder::encode(const std::vector<double>& x) const {
+  XLDS_REQUIRE_MSG(x.size() == input_dim_, "encode: input " << x.size() << " != " << input_dim_);
+  std::vector<double> y(hv_dim_, 0.0);
+  for (std::size_t f = 0; f < input_dim_; ++f) {
+    const auto& level = levels_[level_of(x[f])];
+    const auto& id = ids_[f];
+    for (std::size_t d = 0; d < hv_dim_; ++d) y[d] += id[d] * level[d];
+  }
+  const double scale = 1.0 / std::sqrt(static_cast<double>(input_dim_));
+  for (double& v : y) v *= scale;
+  return y;
+}
+
+ElementQuantiser::ElementQuantiser(int bits, double range) : bits_(bits), range_(range) {
+  XLDS_REQUIRE(bits >= 1 && bits <= 16);
+  XLDS_REQUIRE(range > 0.0);
+}
+
+int ElementQuantiser::digit(double v) const {
+  const int n = levels();
+  const double t = (std::clamp(v, -range_, range_) + range_) / (2.0 * range_);
+  const int d = static_cast<int>(t * n);
+  return std::clamp(d, 0, n - 1);
+}
+
+std::vector<int> ElementQuantiser::digits(const std::vector<double>& v) const {
+  std::vector<int> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = digit(v[i]);
+  return out;
+}
+
+double ElementQuantiser::value(int d) const {
+  XLDS_REQUIRE(d >= 0 && d < levels());
+  const double bucket = 2.0 * range_ / static_cast<double>(levels());
+  return -range_ + (static_cast<double>(d) + 0.5) * bucket;
+}
+
+}  // namespace xlds::hdc

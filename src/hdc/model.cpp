@@ -1,0 +1,228 @@
+#include "hdc/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace xlds::hdc {
+
+namespace {
+std::unique_ptr<Encoder> make_encoder(const HdcConfig& config, std::size_t input_dim, Rng& rng) {
+  switch (config.encoder) {
+    case EncoderKind::kRandomProjection:
+      return std::make_unique<HdcEncoder>(input_dim, config.hv_dim, rng);
+    case EncoderKind::kIdLevel:
+      // Inputs arrive centred (per-dimension mean removed): level HVs span a
+      // symmetric band around zero.
+      // Inputs arrive z-scored for this encoder: +-3 sigma covers the range.
+      return std::make_unique<IdLevelEncoder>(input_dim, config.hv_dim, config.id_level_quant,
+                                              rng, -3.0, 3.0);
+  }
+  XLDS_ASSERT(false);
+}
+}  // namespace
+
+HdcModel::HdcModel(HdcConfig config, std::size_t input_dim, std::size_t n_classes, Rng& rng)
+    : config_(config),
+      n_classes_(n_classes),
+      encoder_(make_encoder(config, input_dim, rng)),
+      acc_(n_classes, std::vector<double>(config.hv_dim, 0.0)),
+      acc_scale_(n_classes, 0.0),
+      digits_(n_classes) {
+  XLDS_REQUIRE(n_classes >= 2);
+  XLDS_REQUIRE(config_.hv_dim >= 8);
+  XLDS_REQUIRE(config_.element_bits >= 1 && config_.element_bits <= 16);
+}
+
+ElementQuantiser HdcModel::quantiser() const {
+  return ElementQuantiser(config_.element_bits, quant_range_);
+}
+
+void HdcModel::refresh_quantiser() {
+  const ElementQuantiser q(config_.element_bits, quant_range_);
+  for (std::size_t cls = 0; cls < n_classes_; ++cls) {
+    const double scale = std::max(acc_scale_[cls], 1.0);
+    std::vector<int>& d = digits_[cls];
+    d.resize(config_.hv_dim);
+    for (std::size_t i = 0; i < config_.hv_dim; ++i) d[i] = q.digit(acc_[cls][i] / scale);
+  }
+}
+
+std::vector<double> HdcModel::centred(const std::vector<double>& x) const {
+  XLDS_REQUIRE_MSG(x.size() == feature_mean_.size(), "feature width mismatch");
+  std::vector<double> out(x.size());
+  const bool zscore = config_.encoder == EncoderKind::kIdLevel;
+  for (std::size_t d = 0; d < x.size(); ++d) {
+    out[d] = x[d] - feature_mean_[d];
+    if (zscore) out[d] *= feature_inv_std_[d];
+  }
+  return out;
+}
+
+void HdcModel::train(const std::vector<std::vector<double>>& xs,
+                     const std::vector<std::size_t>& ys) {
+  XLDS_REQUIRE(xs.size() == ys.size());
+  XLDS_REQUIRE(!xs.empty());
+
+  // Pass 0: per-dimension feature mean (the encoder centres on it).
+  feature_mean_.assign(xs.front().size(), 0.0);
+  for (const auto& x : xs) {
+    XLDS_REQUIRE(x.size() == feature_mean_.size());
+    for (std::size_t d = 0; d < x.size(); ++d) feature_mean_[d] += x[d];
+  }
+  for (double& m : feature_mean_) m /= static_cast<double>(xs.size());
+  std::vector<double> var(feature_mean_.size(), 0.0);
+  for (const auto& x : xs)
+    for (std::size_t d = 0; d < x.size(); ++d) {
+      const double delta = x[d] - feature_mean_[d];
+      var[d] += delta * delta;
+    }
+  feature_inv_std_.assign(feature_mean_.size(), 1.0);
+  for (std::size_t d = 0; d < var.size(); ++d) {
+    const double sd = std::sqrt(var[d] / static_cast<double>(xs.size()));
+    feature_inv_std_[d] = sd > 1e-12 ? 1.0 / sd : 1.0;
+  }
+
+  // Pass 1: bundle and collect element statistics for the quantiser range.
+  std::vector<std::vector<double>> encoded(xs.size());
+  RunningStats element_stats;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    XLDS_REQUIRE(ys[i] < n_classes_);
+    encoded[i] = encoder_->encode(centred(xs[i]));
+    for (double v : encoded[i]) element_stats.add(v);
+    auto& a = acc_[ys[i]];
+    for (std::size_t d = 0; d < config_.hv_dim; ++d) a[d] += encoded[i][d];
+    acc_scale_[ys[i]] += 1.0;
+  }
+  quant_range_ = std::max(3.0 * element_stats.stddev(), 1e-9);
+  trained_ = true;
+  refresh_quantiser();
+
+  // Perceptron-style retraining on the quantised model.
+  const ElementQuantiser q(config_.element_bits, quant_range_);
+  for (std::size_t epoch = 0; epoch < config_.retrain_epochs; ++epoch) {
+    std::size_t errors = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const std::size_t pred = classify_encoded(encoded[i]);
+      if (pred == ys[i]) continue;
+      ++errors;
+      auto& good = acc_[ys[i]];
+      auto& bad = acc_[pred];
+      for (std::size_t d = 0; d < config_.hv_dim; ++d) {
+        good[d] += config_.retrain_rate * encoded[i][d];
+        bad[d] -= config_.retrain_rate * encoded[i][d];
+      }
+      acc_scale_[ys[i]] += config_.retrain_rate;
+      acc_scale_[pred] = std::max(1.0, acc_scale_[pred] - config_.retrain_rate);
+      // Only the two touched classes need requantising.
+      for (std::size_t cls : {ys[i], pred}) {
+        const double scale = std::max(acc_scale_[cls], 1.0);
+        for (std::size_t d = 0; d < config_.hv_dim; ++d)
+          digits_[cls][d] = q.digit(acc_[cls][d] / scale);
+      }
+    }
+    if (errors == 0) break;
+  }
+}
+
+namespace {
+double cosine(const std::vector<double>& a, const std::vector<double>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+}  // namespace
+
+std::size_t HdcModel::classify_encoded(const std::vector<double>& y) const {
+  XLDS_REQUIRE_MSG(trained_, "classify before train()");
+  const ElementQuantiser q(config_.element_bits, quant_range_);
+  std::size_t best = 0;
+  double best_score = -HUGE_VAL;
+  switch (config_.similarity) {
+    case Similarity::kCosineReal: {
+      for (std::size_t cls = 0; cls < n_classes_; ++cls) {
+        const double scale = std::max(acc_scale_[cls], 1.0);
+        std::vector<double> m(config_.hv_dim);
+        for (std::size_t d = 0; d < config_.hv_dim; ++d) m[d] = acc_[cls][d] / scale;
+        const double s = cosine(y, m);
+        if (s > best_score) {
+          best_score = s;
+          best = cls;
+        }
+      }
+      break;
+    }
+    case Similarity::kCosineQuantised: {
+      const std::vector<int> qd = q.digits(y);
+      std::vector<double> qv(config_.hv_dim);
+      for (std::size_t d = 0; d < config_.hv_dim; ++d) qv[d] = q.value(qd[d]);
+      for (std::size_t cls = 0; cls < n_classes_; ++cls) {
+        std::vector<double> cv(config_.hv_dim);
+        for (std::size_t d = 0; d < config_.hv_dim; ++d) cv[d] = q.value(digits_[cls][d]);
+        const double s = cosine(qv, cv);
+        if (s > best_score) {
+          best_score = s;
+          best = cls;
+        }
+      }
+      break;
+    }
+    case Similarity::kSquaredEuclideanDigits: {
+      const std::vector<int> qd = q.digits(y);
+      for (std::size_t cls = 0; cls < n_classes_; ++cls) {
+        double dist = 0.0;
+        for (std::size_t d = 0; d < config_.hv_dim; ++d) {
+          const double delta = static_cast<double>(qd[d] - digits_[cls][d]);
+          dist += delta * delta;
+        }
+        if (-dist > best_score) {
+          best_score = -dist;
+          best = cls;
+        }
+      }
+      break;
+    }
+  }
+  return best;
+}
+
+std::size_t HdcModel::classify(const std::vector<double>& x) const {
+  XLDS_REQUIRE_MSG(trained_, "classify before train()");
+  return classify_encoded(encoder_->encode(centred(x)));
+}
+
+double HdcModel::accuracy(const std::vector<std::vector<double>>& xs,
+                          const std::vector<std::size_t>& ys) const {
+  XLDS_REQUIRE(xs.size() == ys.size());
+  XLDS_REQUIRE(!xs.empty());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    if (classify(xs[i]) == ys[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(xs.size());
+}
+
+std::vector<int> HdcModel::class_digits(std::size_t cls) const {
+  XLDS_REQUIRE_MSG(trained_, "class_digits before train()");
+  XLDS_REQUIRE(cls < n_classes_);
+  return digits_[cls];
+}
+
+std::vector<int> HdcModel::query_digits(const std::vector<double>& x) const {
+  XLDS_REQUIRE_MSG(trained_, "query_digits before train()");
+  const ElementQuantiser q(config_.element_bits, quant_range_);
+  return q.digits(encoder_->encode(centred(x)));
+}
+
+const std::vector<double>& HdcModel::class_accumulator(std::size_t cls) const {
+  XLDS_REQUIRE(cls < n_classes_);
+  return acc_[cls];
+}
+
+}  // namespace xlds::hdc

@@ -1,0 +1,114 @@
+// Locality-sensitive hashing, software and crossbar-based (Sec. IV, Fig. 4B).
+//
+// LSH signs random projections: inputs that are close in angle are likely to
+// hash to the same bits.  The RRAM realisation programs a crossbar with
+// random HRS-state conductances (the intrinsic device-to-device spread *is*
+// the random matrix) and takes each signature bit from the sign of the
+// difference between two adjacent column currents — a zero-mean random
+// projection without computing one explicitly.
+//
+// Ternary LSH (TLSH) marks a bit "don't care" when the projection lands too
+// close to the hashing plane (|difference| below a threshold): exactly the
+// bits that conductance relaxation flips.  Stored as X in the ternary CAM,
+// they contribute zero Hamming distance regardless of the query (Fig. 4C).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cam/types.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace xlds::mann {
+
+/// A hash signature: entries 0, 1 or cam::kDontCare (TLSH only).
+using Signature = std::vector<int>;
+
+/// Fraction of don't-care bits in a signature.
+double dont_care_fraction(const Signature& s);
+
+/// Ternary-aware Hamming distance (X matches everything).
+std::size_t signature_distance(const Signature& a, const Signature& b);
+
+/// Software (ideal) LSH: dense Gaussian random projection.
+class SoftwareLsh {
+ public:
+  SoftwareLsh(std::size_t input_dim, std::size_t bits, Rng& rng);
+
+  std::size_t bits() const noexcept { return bits_; }
+
+  /// Binary signature: sign of each projection.
+  Signature hash(const std::vector<double>& x) const;
+
+  /// Ternary signature: bits with |projection| < margin * sigma_proj become X,
+  /// where sigma_proj is the projection's scale for this input.
+  Signature hash_ternary(const std::vector<double>& x, double margin) const;
+
+  /// Raw projection values (for correlation studies).
+  std::vector<double> project(const std::vector<double>& x) const;
+
+  /// Centre the effective projection: subtract mean(x) * (column sums of R)
+  /// from every projection — the software analogue of the crossbar's
+  /// all-ones calibration.
+  void calibrate_centering();
+  bool centering_calibrated() const noexcept { return !ones_response_.empty(); }
+
+ private:
+  std::size_t input_dim_;
+  std::size_t bits_;
+  MatrixD r_;  ///< [input_dim x bits]
+  std::vector<double> ones_response_;
+};
+
+/// RRAM-crossbar LSH: stochastic HRS conductances + adjacent-column
+/// differencing.  Signature bit i compares physical columns 2i and 2i+1.
+class CrossbarLsh {
+ public:
+  /// `bits` signature bits need 2*bits physical columns; the config's
+  /// rows must equal the input dimensionality.  Tiles are not supported —
+  /// the paper's prototype used single 64x64 arrays per hash block, and a
+  /// block's columns must share an array for the differencing to cancel
+  /// common-mode IR drop.
+  CrossbarLsh(xbar::CrossbarConfig config, std::size_t bits, Rng& rng);
+
+  std::size_t bits() const noexcept { return bits_; }
+  xbar::Crossbar& crossbar() noexcept { return xbar_; }
+  const xbar::Crossbar& crossbar() const noexcept { return xbar_; }
+
+  Signature hash(const std::vector<double>& x) const;
+
+  /// TLSH: X when |I_{2i} - I_{2i+1}| < threshold_fraction * median(|diff|)
+  /// measured on this input.
+  Signature hash_ternary(const std::vector<double>& x, double threshold_fraction) const;
+
+  /// Fixed-count TLSH: exactly the `n_dont_care` least-confident bits become
+  /// X.  Keeping the X count identical across stored rows removes the
+  /// distance bias a TCAM would otherwise see between rows with different
+  /// don't-care populations.
+  Signature hash_ternary_fixed(const std::vector<double>& x, std::size_t n_dont_care) const;
+
+  /// One-time calibration: measure the array's response to the all-ones
+  /// input and subtract mean(x) * that response from every projection.
+  /// This centres the effective projection (P(x - x_bar * 1)), recovering
+  /// angular resolution for non-negative, angle-compressed inputs (post-ReLU
+  /// feature vectors) at the cost of one extra stored current vector.
+  void calibrate_centering();
+  bool centering_calibrated() const noexcept { return !ones_response_.empty(); }
+
+  /// Column-current differences (the analog pre-sign values).
+  std::vector<double> project(const std::vector<double>& x) const;
+
+  /// Apply conductance relaxation (destabilises near-plane bits).
+  void age(double dt);
+
+  xbar::MvmCost hash_cost() const { return xbar_.mvm_cost(); }
+
+ private:
+  std::size_t bits_;
+  xbar::Crossbar xbar_;
+  std::vector<double> ones_response_;  ///< per-bit diff for the all-ones input
+};
+
+}  // namespace xlds::mann

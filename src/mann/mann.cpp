@@ -1,0 +1,235 @@
+#include "mann/mann.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xlds::mann {
+
+std::string to_string(Backend b) {
+  switch (b) {
+    case Backend::kSoftwareCosine: return "software-cosine";
+    case Backend::kSoftwareLsh: return "software-LSH";
+    case Backend::kRramLsh: return "RRAM-LSH";
+    case Backend::kRramTlsh: return "RRAM-TLSH";
+    case Backend::kFeFetTlsh: return "FeFET-TLSH";
+  }
+  return "?";
+}
+
+MannPipeline::MannPipeline(MannConfig config, Rng& rng)
+    : config_(config),
+      rng_(rng.fork(0x3A22)),
+      cnn_(nn::make_small_cnn(config.image_side, /*classes=*/16, config.embedding, rng_)) {
+  XLDS_REQUIRE(config_.embedding >= 8);
+  XLDS_REQUIRE(config_.signature_bits >= 8);
+  XLDS_REQUIRE_MSG(config_.am.cols == config_.signature_bits,
+                   "AM width " << config_.am.cols << " != signature " << config_.signature_bits);
+  if (config_.backend == Backend::kSoftwareLsh) {
+    sw_lsh_.emplace(config_.embedding, config_.signature_bits, rng_);
+    if (config_.centered_hashing) sw_lsh_->calibrate_centering();
+  } else if (config_.backend == Backend::kRramLsh || config_.backend == Backend::kRramTlsh ||
+             config_.backend == Backend::kFeFetTlsh) {
+    XLDS_REQUIRE_MSG(config_.hash_xbar.rows == config_.embedding,
+                     "hash crossbar rows " << config_.hash_xbar.rows << " != embedding "
+                                           << config_.embedding);
+    if (config_.backend == Backend::kFeFetTlsh) {
+      XLDS_REQUIRE_MSG(config_.fefet_am.fefet.bits == 1,
+                       "the FeFET AM stores binary signatures (1-bit cells)");
+      XLDS_REQUIRE_MSG(config_.fefet_am.cols == config_.signature_bits,
+                       "FeFET AM width " << config_.fefet_am.cols << " != signature "
+                                         << config_.signature_bits);
+    }
+    hw_lsh_.emplace(config_.hash_xbar, config_.signature_bits, rng_);
+    if (config_.centered_hashing) hw_lsh_->calibrate_centering();
+  }
+}
+
+double MannPipeline::pretrain(workload::FewShotGenerator& gen, std::size_t classes,
+                              std::size_t per_class, std::size_t epochs, double learning_rate) {
+  XLDS_REQUIRE_MSG(classes <= 16, "the CNN head has 16 logits; pretrain on <= 16 classes");
+  std::vector<std::vector<double>> xs;
+  std::vector<std::size_t> ys;
+  gen.sample_flat(classes, per_class, xs, ys);
+  for (std::size_t e = 0; e < epochs; ++e) cnn_.train_epoch(xs, ys, learning_rate, rng_);
+  pretrained_ = true;
+  return cnn_.accuracy(xs, ys);
+}
+
+std::vector<double> MannPipeline::features(const std::vector<double>& image) {
+  XLDS_REQUIRE(image.size() == config_.image_side * config_.image_side);
+  // Embedding = output of the dense layer before the classifier head
+  // (skip the final Dense; keep its preceding ReLU): drop 1 layer.
+  std::vector<double> fv = cnn_.forward_until(image, 1);
+  double norm = 0.0;
+  for (double v : fv) norm += v * v;
+  norm = std::sqrt(norm);
+  if (norm > 0.0)
+    for (double& v : fv) v /= norm;
+  return fv;
+}
+
+Signature MannPipeline::stored_signature(const std::vector<double>& fv) const {
+  switch (config_.backend) {
+    case Backend::kSoftwareCosine: XLDS_ASSERT(false);
+    case Backend::kSoftwareLsh: return sw_lsh_->hash(fv);
+    case Backend::kRramLsh: return hw_lsh_->hash(fv);
+    case Backend::kRramTlsh:
+    case Backend::kFeFetTlsh: {
+      // Fixed X count per stored row: ~threshold/2 of the bits (the fraction
+      // a median-relative threshold of the same value would mask on average)
+      // so TCAM rows stay bias-free against each other.
+      const auto k = static_cast<std::size_t>(0.5 * config_.tlsh_threshold *
+                                              static_cast<double>(config_.signature_bits));
+      return hw_lsh_->hash_ternary_fixed(fv, k);
+    }
+  }
+  XLDS_ASSERT(false);
+}
+
+Signature MannPipeline::query_signature(const std::vector<double>& fv) const {
+  // Queries are always binary: don't-care lives in the *stored* word.
+  switch (config_.backend) {
+    case Backend::kSoftwareCosine: XLDS_ASSERT(false);
+    case Backend::kSoftwareLsh: return sw_lsh_->hash(fv);
+    case Backend::kRramLsh:
+    case Backend::kRramTlsh:
+    case Backend::kFeFetTlsh: return hw_lsh_->hash(fv);
+  }
+  XLDS_ASSERT(false);
+}
+
+EpisodeResult MannPipeline::run_episode(const workload::Episode& episode) {
+  XLDS_REQUIRE_MSG(pretrained_, "pretrain() the feature extractor first");
+  XLDS_REQUIRE(!episode.support_x.empty() && !episode.query_x.empty());
+
+  EpisodeResult result;
+  result.queries = episode.query_x.size();
+
+  std::vector<std::vector<double>> support_fv(episode.support_x.size());
+  for (std::size_t i = 0; i < episode.support_x.size(); ++i)
+    support_fv[i] = features(episode.support_x[i]);
+
+  if (config_.backend == Backend::kSoftwareCosine) {
+    std::size_t correct = 0;
+    for (std::size_t q = 0; q < episode.query_x.size(); ++q) {
+      const std::vector<double> fv = features(episode.query_x[q]);
+      std::size_t best = 0;
+      double best_dot = -HUGE_VAL;
+      for (std::size_t s = 0; s < support_fv.size(); ++s) {
+        double dot = 0.0;
+        for (std::size_t d = 0; d < fv.size(); ++d) dot += fv[d] * support_fv[s][d];
+        if (dot > best_dot) {
+          best_dot = dot;
+          best = s;
+        }
+      }
+      if (episode.support_y[best] == episode.query_y[q]) ++correct;
+    }
+    result.accuracy = static_cast<double>(correct) / static_cast<double>(result.queries);
+    return result;
+  }
+
+  // Fresh episode, fresh devices: the prototype reprogrammed arrays between
+  // tasks, so the stochastic projection is redrawn and relaxation restarts
+  // (and the centering calibration re-measured).
+  if (hw_lsh_.has_value()) {
+    hw_lsh_->crossbar().program_stochastic_hrs();
+    if (config_.centered_hashing) hw_lsh_->calibrate_centering();
+  }
+
+  // Hash the support set and store it.
+  std::vector<Signature> stored(support_fv.size());
+  double dc_sum = 0.0;
+  for (std::size_t s = 0; s < support_fv.size(); ++s) {
+    stored[s] = stored_signature(support_fv[s]);
+    dc_sum += dont_care_fraction(stored[s]);
+  }
+  result.mean_dont_care = dc_sum / static_cast<double>(stored.size());
+
+  if (config_.backend == Backend::kSoftwareLsh) {
+    std::size_t correct = 0;
+    for (std::size_t q = 0; q < episode.query_x.size(); ++q) {
+      const Signature qs = query_signature(features(episode.query_x[q]));
+      std::size_t best = 0;
+      std::size_t best_d = stored.front().size() + 1;
+      for (std::size_t s = 0; s < stored.size(); ++s) {
+        const std::size_t d = signature_distance(stored[s], qs);
+        if (d < best_d) {
+          best_d = d;
+          best = s;
+        }
+      }
+      if (episode.support_y[best] == episode.query_y[q]) ++correct;
+    }
+    result.accuracy = static_cast<double>(correct) / static_cast<double>(result.queries);
+    return result;
+  }
+
+  if (config_.backend == Backend::kFeFetTlsh) {
+    // FeFET TCAM AM: binary signatures as 1-bit digits; X stays don't-care.
+    cam::FeFetCamConfig am_cfg = config_.fefet_am;
+    am_cfg.rows = stored.size();
+    cam::FeFetCamArray am(am_cfg, rng_);
+    for (std::size_t s = 0; s < stored.size(); ++s) am.write_word(s, stored[s]);
+    if (config_.relaxation_s > 0.0) hw_lsh_->age(config_.relaxation_s);
+    // FeFET V_th states do not relax the way RRAM filaments do: the AM side
+    // keeps its programmed values (the ref-[31] selling point).
+    std::size_t correct = 0;
+    for (std::size_t q = 0; q < episode.query_x.size(); ++q) {
+      const Signature qs = query_signature(features(episode.query_x[q]));
+      const cam::SearchResult res = am.search(qs);
+      if (episode.support_y[res.best_row] == episode.query_y[q]) ++correct;
+    }
+    result.accuracy = static_cast<double>(correct) / static_cast<double>(result.queries);
+    return result;
+  }
+
+  // RRAM backends: write signatures into a fresh TCAM sized to the episode.
+  cam::RramTcamConfig am_cfg = config_.am;
+  am_cfg.rows = stored.size();
+  cam::RramTcamArray am(am_cfg, rng_);
+  for (std::size_t s = 0; s < stored.size(); ++s) am.write_word(s, stored[s]);
+
+  if (config_.relaxation_s > 0.0) {
+    am.age(config_.relaxation_s);
+    hw_lsh_->age(config_.relaxation_s);
+  }
+
+  std::size_t correct = 0;
+  for (std::size_t q = 0; q < episode.query_x.size(); ++q) {
+    const Signature qs = query_signature(features(episode.query_x[q]));
+    const cam::SearchResult res = am.search(qs);
+    if (episode.support_y[res.best_row] == episode.query_y[q]) ++correct;
+  }
+  result.accuracy = static_cast<double>(correct) / static_cast<double>(result.queries);
+  return result;
+}
+
+double MannPipeline::evaluate(workload::FewShotGenerator& gen, std::size_t n_episodes,
+                              std::size_t n_way, std::size_t k_shot,
+                              std::size_t queries_per_class) {
+  XLDS_REQUIRE(n_episodes >= 1);
+  double sum = 0.0;
+  for (std::size_t e = 0; e < n_episodes; ++e)
+    sum += run_episode(gen.sample_episode(n_way, k_shot, queries_per_class)).accuracy;
+  return sum / static_cast<double>(n_episodes);
+}
+
+cam::SearchCost MannPipeline::hardware_query_cost(std::size_t support_rows) const {
+  XLDS_REQUIRE_MSG(hw_lsh_.has_value(), "hardware cost applies to the RRAM backends");
+  const xbar::MvmCost hash = hw_lsh_->hash_cost();
+  cam::RramTcamConfig am_cfg = config_.am;
+  am_cfg.rows = std::max<std::size_t>(support_rows, 1);
+  Rng tmp(1);
+  const cam::RramTcamArray am(am_cfg, tmp);
+  cam::SearchCost cost = am.search_cost();
+  cost.latency += hash.latency;
+  cost.energy += hash.energy;
+  return cost;
+}
+
+std::size_t MannPipeline::cnn_macs() const { return cnn_.total_counts().macs; }
+
+}  // namespace xlds::mann

@@ -1,0 +1,106 @@
+// Memory-augmented neural network for few-shot learning (Sec. IV, Fig. 4A).
+//
+// Pipeline: CNN feature extractor (pre-trained on background classes) ->
+// LSH/TLSH hashing of the feature vector -> associative memory storing the
+// support set's signatures -> nearest-neighbour classification of queries.
+// Backends swap the hashing + search substrate:
+//   * kSoftwareCosine — float cosine distance on feature vectors (the
+//     software reference the paper measures degradation against),
+//   * kSoftwareLsh    — ideal Gaussian LSH + exact Hamming distance,
+//   * kRramLsh        — stochastic-conductance crossbar hashing + RRAM TCAM
+//     search (binary signatures),
+//   * kRramTlsh       — ternary crossbar hashing: near-plane bits stored as
+//     don't-care in the TCAM (the Fig. 4C mitigation).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cam/fefet_cam.hpp"
+#include "cam/rram_tcam.hpp"
+#include "mann/lsh.hpp"
+#include "nn/network.hpp"
+#include "util/rng.hpp"
+#include "workload/fewshot.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace xlds::mann {
+
+enum class Backend {
+  kSoftwareCosine,
+  kSoftwareLsh,
+  kRramLsh,
+  kRramTlsh,
+  /// Crossbar TLSH hashing with a FeFET TCAM associative memory — the
+  /// one-shot-learning AM alternative the paper cites (ref [31]).
+  kFeFetTlsh,
+};
+
+std::string to_string(Backend b);
+
+struct MannConfig {
+  std::size_t image_side = 20;
+  std::size_t embedding = 64;        ///< CNN feature-vector length
+  std::size_t signature_bits = 128;  ///< hash length (paper prototype: 128)
+  double tlsh_threshold = 0.35;      ///< X-bit threshold, fraction of median |diff|
+  Backend backend = Backend::kRramTlsh;
+  xbar::CrossbarConfig hash_xbar;    ///< rows must equal `embedding`
+  cam::RramTcamConfig am;            ///< cols must equal `signature_bits`
+  cam::FeFetCamConfig fefet_am;      ///< kFeFetTlsh only; 1-bit cells
+  /// Conductance relaxation time between writing the support set and
+  /// querying (0 = fresh devices).  Destabilises near-plane bits.
+  double relaxation_s = 0.0;
+  /// Centre the hash projections on the feature-vector mean (the all-ones
+  /// calibration read): recovers angular resolution for post-ReLU features.
+  bool centered_hashing = true;
+};
+
+struct EpisodeResult {
+  double accuracy = 0.0;
+  std::size_t queries = 0;
+  double mean_dont_care = 0.0;  ///< fraction of X bits in stored signatures
+};
+
+class MannPipeline {
+ public:
+  MannPipeline(MannConfig config, Rng& rng);
+
+  const MannConfig& config() const noexcept { return config_; }
+
+  /// Train the CNN feature extractor on background classes of the generator.
+  /// Returns the final training accuracy.
+  double pretrain(workload::FewShotGenerator& gen, std::size_t classes, std::size_t per_class,
+                  std::size_t epochs, double learning_rate);
+
+  /// Feature vector of an image (CNN embedding, L2-normalised).
+  std::vector<double> features(const std::vector<double>& image);
+
+  /// Run one episode through the configured backend.
+  EpisodeResult run_episode(const workload::Episode& episode);
+
+  /// Mean accuracy over `n_episodes` fresh episodes.
+  double evaluate(workload::FewShotGenerator& gen, std::size_t n_episodes, std::size_t n_way,
+                  std::size_t k_shot, std::size_t queries_per_class);
+
+  /// Hardware cost of one query (hash MVM + AM search), for the architecture
+  /// models.  Only meaningful for the RRAM backends.
+  cam::SearchCost hardware_query_cost(std::size_t support_rows) const;
+
+  /// MAC count of one CNN feature extraction (for platform models).
+  std::size_t cnn_macs() const;
+
+ private:
+  Signature stored_signature(const std::vector<double>& fv) const;
+  Signature query_signature(const std::vector<double>& fv) const;
+
+  MannConfig config_;
+  Rng rng_;
+  nn::Network cnn_;
+  std::optional<SoftwareLsh> sw_lsh_;
+  std::optional<CrossbarLsh> hw_lsh_;
+  bool pretrained_ = false;
+};
+
+}  // namespace xlds::mann

@@ -1,0 +1,219 @@
+#include "nn/layer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xlds::nn {
+
+// ---- DenseLayer -----------------------------------------------------------
+
+DenseLayer::DenseLayer(std::size_t in, std::size_t out, Rng& rng)
+    : in_(in),
+      out_(out),
+      w_(in, out),
+      b_(out, 0.0),
+      gw_(in, out),
+      gb_(out, 0.0),
+      vw_(in, out),
+      vb_(out, 0.0) {
+  XLDS_REQUIRE(in >= 1 && out >= 1);
+  // He initialisation, appropriate for the ReLU nets we build.
+  const double scale = std::sqrt(2.0 / static_cast<double>(in));
+  for (double& w : w_.data()) w = rng.normal(0.0, scale);
+}
+
+std::vector<double> DenseLayer::forward(const std::vector<double>& input) {
+  XLDS_REQUIRE_MSG(input.size() == in_, "dense: input " << input.size() << " != " << in_);
+  last_input_ = input;
+  std::vector<double> out = w_.matvec_transposed(input);
+  for (std::size_t j = 0; j < out_; ++j) out[j] += b_[j];
+  return out;
+}
+
+std::vector<double> DenseLayer::backward(const std::vector<double>& grad_output) {
+  XLDS_REQUIRE(grad_output.size() == out_);
+  XLDS_REQUIRE_MSG(!last_input_.empty(), "backward before forward");
+  for (std::size_t i = 0; i < in_; ++i) {
+    const double x = last_input_[i];
+    double* grow = gw_.row_data(i);
+    for (std::size_t j = 0; j < out_; ++j) grow[j] += x * grad_output[j];
+  }
+  for (std::size_t j = 0; j < out_; ++j) gb_[j] += grad_output[j];
+  return w_.matvec(grad_output);
+}
+
+void DenseLayer::update(double learning_rate, double momentum, double weight_decay) {
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    const double grad = gw_.data()[i] + weight_decay * w_.data()[i];
+    vw_.data()[i] = momentum * vw_.data()[i] - learning_rate * grad;
+    w_.data()[i] += vw_.data()[i];
+    gw_.data()[i] = 0.0;
+  }
+  for (std::size_t j = 0; j < out_; ++j) {
+    vb_[j] = momentum * vb_[j] - learning_rate * gb_[j];
+    b_[j] += vb_[j];
+    gb_[j] = 0.0;
+  }
+}
+
+LayerCounts DenseLayer::counts() const { return {in_ * out_, in_ * out_ + out_}; }
+
+// ---- ReluLayer ------------------------------------------------------------
+
+std::vector<double> ReluLayer::forward(const std::vector<double>& input) {
+  XLDS_REQUIRE(input.size() == size_);
+  last_input_ = input;
+  std::vector<double> out(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) out[i] = std::max(0.0, input[i]);
+  return out;
+}
+
+std::vector<double> ReluLayer::backward(const std::vector<double>& grad_output) {
+  XLDS_REQUIRE(grad_output.size() == size_);
+  std::vector<double> grad(grad_output.size());
+  for (std::size_t i = 0; i < grad.size(); ++i)
+    grad[i] = last_input_[i] > 0.0 ? grad_output[i] : 0.0;
+  return grad;
+}
+
+// ---- Conv2dLayer ----------------------------------------------------------
+
+Conv2dLayer::Conv2dLayer(std::size_t in_c, std::size_t in_h, std::size_t in_w, std::size_t out_c,
+                         std::size_t kernel, Rng& rng)
+    : in_c_(in_c), in_h_(in_h), in_w_(in_w), out_c_(out_c), k_(kernel) {
+  XLDS_REQUIRE(in_h >= kernel && in_w >= kernel && kernel >= 1);
+  out_h_ = in_h_ - k_ + 1;
+  out_w_ = in_w_ - k_ + 1;
+  const std::size_t n_w = out_c_ * in_c_ * k_ * k_;
+  w_.resize(n_w);
+  b_.assign(out_c_, 0.0);
+  gw_.assign(n_w, 0.0);
+  gb_.assign(out_c_, 0.0);
+  vw_.assign(n_w, 0.0);
+  vb_.assign(out_c_, 0.0);
+  const double scale = std::sqrt(2.0 / static_cast<double>(in_c_ * k_ * k_));
+  for (double& w : w_) w = rng.normal(0.0, scale);
+}
+
+double& Conv2dLayer::kernel_at(std::size_t oc, std::size_t ic, std::size_t ky, std::size_t kx) {
+  return w_[((oc * in_c_ + ic) * k_ + ky) * k_ + kx];
+}
+double Conv2dLayer::kernel_at(std::size_t oc, std::size_t ic, std::size_t ky,
+                              std::size_t kx) const {
+  return w_[((oc * in_c_ + ic) * k_ + ky) * k_ + kx];
+}
+
+std::vector<double> Conv2dLayer::forward(const std::vector<double>& input) {
+  XLDS_REQUIRE_MSG(input.size() == in_c_ * in_h_ * in_w_,
+                   "conv: input " << input.size() << " != " << in_c_ * in_h_ * in_w_);
+  last_input_ = input;
+  std::vector<double> out(output_size(), 0.0);
+  for (std::size_t oc = 0; oc < out_c_; ++oc) {
+    for (std::size_t oy = 0; oy < out_h_; ++oy) {
+      for (std::size_t ox = 0; ox < out_w_; ++ox) {
+        double acc = b_[oc];
+        for (std::size_t ic = 0; ic < in_c_; ++ic) {
+          for (std::size_t ky = 0; ky < k_; ++ky) {
+            for (std::size_t kx = 0; kx < k_; ++kx) {
+              acc += kernel_at(oc, ic, ky, kx) *
+                     input[(ic * in_h_ + oy + ky) * in_w_ + ox + kx];
+            }
+          }
+        }
+        out[(oc * out_h_ + oy) * out_w_ + ox] = acc;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Conv2dLayer::backward(const std::vector<double>& grad_output) {
+  XLDS_REQUIRE(grad_output.size() == output_size());
+  XLDS_REQUIRE_MSG(!last_input_.empty(), "backward before forward");
+  std::vector<double> grad_in(last_input_.size(), 0.0);
+  for (std::size_t oc = 0; oc < out_c_; ++oc) {
+    for (std::size_t oy = 0; oy < out_h_; ++oy) {
+      for (std::size_t ox = 0; ox < out_w_; ++ox) {
+        const double go = grad_output[(oc * out_h_ + oy) * out_w_ + ox];
+        if (go == 0.0) continue;
+        gb_[oc] += go;
+        for (std::size_t ic = 0; ic < in_c_; ++ic) {
+          for (std::size_t ky = 0; ky < k_; ++ky) {
+            for (std::size_t kx = 0; kx < k_; ++kx) {
+              const std::size_t in_idx = (ic * in_h_ + oy + ky) * in_w_ + ox + kx;
+              gw_[((oc * in_c_ + ic) * k_ + ky) * k_ + kx] += go * last_input_[in_idx];
+              grad_in[in_idx] += go * kernel_at(oc, ic, ky, kx);
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+void Conv2dLayer::update(double learning_rate, double momentum, double weight_decay) {
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    vw_[i] = momentum * vw_[i] - learning_rate * (gw_[i] + weight_decay * w_[i]);
+    w_[i] += vw_[i];
+    gw_[i] = 0.0;
+  }
+  for (std::size_t j = 0; j < out_c_; ++j) {
+    vb_[j] = momentum * vb_[j] - learning_rate * gb_[j];
+    b_[j] += vb_[j];
+    gb_[j] = 0.0;
+  }
+}
+
+LayerCounts Conv2dLayer::counts() const {
+  LayerCounts c;
+  c.params = w_.size() + b_.size();
+  c.macs = out_c_ * out_h_ * out_w_ * in_c_ * k_ * k_;
+  return c;
+}
+
+// ---- MaxPoolLayer ---------------------------------------------------------
+
+MaxPoolLayer::MaxPoolLayer(std::size_t channels, std::size_t in_h, std::size_t in_w)
+    : c_(channels), in_h_(in_h), in_w_(in_w), out_h_(in_h / 2), out_w_(in_w / 2) {
+  XLDS_REQUIRE(in_h >= 2 && in_w >= 2);
+}
+
+std::vector<double> MaxPoolLayer::forward(const std::vector<double>& input) {
+  XLDS_REQUIRE(input.size() == c_ * in_h_ * in_w_);
+  std::vector<double> out(output_size());
+  argmax_.assign(output_size(), 0);
+  for (std::size_t ch = 0; ch < c_; ++ch) {
+    for (std::size_t oy = 0; oy < out_h_; ++oy) {
+      for (std::size_t ox = 0; ox < out_w_; ++ox) {
+        double best = -HUGE_VAL;
+        std::size_t best_idx = 0;
+        for (std::size_t dy = 0; dy < 2; ++dy) {
+          for (std::size_t dx = 0; dx < 2; ++dx) {
+            const std::size_t idx = (ch * in_h_ + 2 * oy + dy) * in_w_ + 2 * ox + dx;
+            if (input[idx] > best) {
+              best = input[idx];
+              best_idx = idx;
+            }
+          }
+        }
+        const std::size_t out_idx = (ch * out_h_ + oy) * out_w_ + ox;
+        out[out_idx] = best;
+        argmax_[out_idx] = best_idx;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> MaxPoolLayer::backward(const std::vector<double>& grad_output) {
+  XLDS_REQUIRE(grad_output.size() == output_size());
+  XLDS_REQUIRE_MSG(!argmax_.empty(), "backward before forward");
+  std::vector<double> grad_in(c_ * in_h_ * in_w_, 0.0);
+  for (std::size_t i = 0; i < grad_output.size(); ++i) grad_in[argmax_[i]] += grad_output[i];
+  return grad_in;
+}
+
+}  // namespace xlds::nn

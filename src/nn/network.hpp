@@ -1,0 +1,67 @@
+// Network container: a layer stack with softmax-cross-entropy training and
+// convenience builders for the MLP / small-CNN configurations used by the
+// case studies.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace xlds::nn {
+
+std::vector<double> softmax(const std::vector<double>& logits);
+
+class Network {
+ public:
+  Network() = default;
+
+  /// Append a layer; returns *this for chaining.
+  Network& add(std::unique_ptr<Layer> layer);
+
+  /// Forward through all layers; returns the logits.
+  std::vector<double> forward(const std::vector<double>& input);
+
+  /// Index of the highest logit.
+  std::size_t predict(const std::vector<double>& input);
+
+  /// One SGD step on a single example with softmax-cross-entropy loss;
+  /// returns the loss value.
+  double train_step(const std::vector<double>& input, std::size_t label, double learning_rate,
+                    double momentum = 0.9, double weight_decay = 0.0);
+
+  /// One epoch over a dataset (shuffled); returns the mean loss.
+  double train_epoch(const std::vector<std::vector<double>>& inputs,
+                     const std::vector<std::size_t>& labels, double learning_rate, Rng& rng,
+                     double momentum = 0.9, double weight_decay = 0.0);
+
+  /// Classification accuracy over a dataset.
+  double accuracy(const std::vector<std::vector<double>>& inputs,
+                  const std::vector<std::size_t>& labels);
+
+  /// Output of the layer stack up to (and excluding) layer `n_last` — used to
+  /// extract embeddings/feature vectors from a trained classifier.
+  std::vector<double> forward_until(const std::vector<double>& input, std::size_t n_last);
+
+  LayerCounts total_counts() const;
+  std::size_t layer_count() const noexcept { return layers_.size(); }
+
+  /// Visit every trainable weight across all layers (fault injection,
+  /// quantised export, weight statistics).
+  void visit_weights(const std::function<void(double&)>& fn);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// MLP: input -> hidden(ReLU) x N -> classes logits.
+Network make_mlp(std::size_t input, const std::vector<std::size_t>& hidden, std::size_t classes,
+                 Rng& rng);
+
+/// Small CNN for [1 x side x side] images: conv(k5) -> pool -> conv(k3) ->
+/// pool -> dense(embedding) -> ReLU -> dense(classes).  The dense(embedding)
+/// output is the feature vector the MANN pipeline hashes.
+Network make_small_cnn(std::size_t side, std::size_t classes, std::size_t embedding, Rng& rng);
+
+}  // namespace xlds::nn

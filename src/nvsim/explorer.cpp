@@ -1,0 +1,92 @@
+#include "nvsim/explorer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xlds::nvsim {
+
+double FaultModel::bit_error_rate(const device::DeviceTraits& dev, double age_s,
+                                  double writes) const {
+  XLDS_REQUIRE(age_s >= 0.0 && writes >= 0.0);
+  double ber = base_ber;
+  if (dev.retention_s > 0.0)
+    ber += base_ber * std::expm1(retention_alpha * age_s / dev.retention_s);
+  if (dev.endurance_cycles > 0.0)
+    ber += base_ber * std::expm1(endurance_beta * writes / dev.endurance_cycles);
+  return std::min(ber, 0.5);
+}
+
+NvmExplorer::NvmExplorer(NvRamConfig memory, FaultModel faults, TrafficProfile traffic)
+    : memory_(std::move(memory)), faults_(faults), traffic_(traffic) {
+  XLDS_REQUIRE(traffic_.write_bytes_per_s >= 0.0 && traffic_.read_bytes_per_s >= 0.0);
+}
+
+ExplorerReport NvmExplorer::report() const {
+  const NvRamModel model(memory_);
+  ExplorerReport rep;
+  rep.memory = model.evaluate();
+
+  // Perfect wear-levelling: every cell sees traffic / capacity writes per
+  // second; lifetime is the time to the endurance spec.
+  const auto& dev = memory_.resolved_traits();
+  const double capacity_bytes = static_cast<double>(memory_.capacity_bits) / 8.0;
+  const double writes_per_cell_per_s =
+      traffic_.write_bytes_per_s > 0.0 ? traffic_.write_bytes_per_s / capacity_bytes : 0.0;
+  rep.lifetime_s = writes_per_cell_per_s > 0.0 ? dev.endurance_cycles / writes_per_cell_per_s
+                                               : HUGE_VAL;
+
+  const double word_bytes = static_cast<double>(memory_.io_width) / 8.0;
+  rep.read_power_w = rep.memory.read_energy * (traffic_.read_bytes_per_s / word_bytes);
+  rep.write_power_w = rep.memory.write_energy * (traffic_.write_bytes_per_s / word_bytes);
+  return rep;
+}
+
+double NvmExplorer::ber_at(double age_s) const {
+  const auto& dev = memory_.resolved_traits();
+  const double capacity_bytes = static_cast<double>(memory_.capacity_bits) / 8.0;
+  const double writes = traffic_.write_bytes_per_s / capacity_bytes * age_s;
+  return faults_.bit_error_rate(dev, age_s, writes);
+}
+
+std::size_t inject_weight_faults(nn::Network& net, double ber, Rng& rng) {
+  XLDS_REQUIRE(ber >= 0.0 && ber <= 0.5);
+  if (ber == 0.0) return 0;
+  // Weights stored as int8 over a symmetric [-max|w|, +max|w|] scale.
+  double w_max = 0.0;
+  net.visit_weights([&](double& w) { w_max = std::max(w_max, std::abs(w)); });
+  if (w_max == 0.0) return 0;
+  const double scale = w_max / 127.0;
+
+  std::size_t flipped = 0;
+  net.visit_weights([&](double& w) {
+    auto code = static_cast<std::int8_t>(
+        std::clamp(std::lround(w / scale), long{-127}, long{127}));
+    auto bits = static_cast<std::uint8_t>(code);
+    for (int b = 0; b < 8; ++b) {
+      if (rng.bernoulli(ber)) {
+        bits ^= static_cast<std::uint8_t>(1u << b);
+        ++flipped;
+      }
+    }
+    w = static_cast<double>(static_cast<std::int8_t>(bits)) * scale;
+  });
+  return flipped;
+}
+
+double NvmExplorer::dnn_accuracy_at(nn::Network& net,
+                                    const std::vector<std::vector<double>>& xs,
+                                    const std::vector<std::size_t>& ys, double age_s,
+                                    Rng& rng) const {
+  // Snapshot, corrupt, evaluate, restore.
+  std::vector<double> snapshot;
+  net.visit_weights([&](double& w) { snapshot.push_back(w); });
+  inject_weight_faults(net, ber_at(age_s), rng);
+  const double acc = net.accuracy(xs, ys);
+  std::size_t i = 0;
+  net.visit_weights([&](double& w) { w = snapshot[i++]; });
+  return acc;
+}
+
+}  // namespace xlds::nvsim

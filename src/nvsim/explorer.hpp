@@ -1,0 +1,73 @@
+// NVMExplorer lane (Sec. VI): cross-stack evaluation of an embedded NVM —
+// memory performance (via the NVSim-lane model), a fault model, memory
+// lifetime under a write-traffic profile, and the *application-level*
+// accuracy of a DNN whose quantised weights live in the faulty memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/network.hpp"
+#include "nvsim/nvram.hpp"
+#include "util/rng.hpp"
+
+namespace xlds::nvsim {
+
+/// Raw-bit-error-rate model.  Two wear mechanisms compound the programming
+/// floor: retention loss (grows exponentially as storage age approaches the
+/// device's retention spec) and endurance wear (grows exponentially as the
+/// per-cell write count approaches the endurance spec).
+struct FaultModel {
+  double base_ber = 1e-9;        ///< as-programmed error floor
+  double retention_alpha = 12.0; ///< exponent scale: ber*e^alpha at age == retention
+  double endurance_beta = 12.0;  ///< exponent scale at writes == endurance
+
+  /// Raw BER for a cell aged `age_s` seconds with `writes` program cycles.
+  double bit_error_rate(const device::DeviceTraits& dev, double age_s, double writes) const;
+};
+
+/// Write-traffic profile of the application using the memory.
+struct TrafficProfile {
+  double write_bytes_per_s = 1e6;
+  double read_bytes_per_s = 100e6;
+};
+
+struct ExplorerReport {
+  ArrayFom memory;          ///< perf/energy/area from the NVSim lane
+  double lifetime_s = 0.0;  ///< time until per-cell writes hit endurance
+  double read_power_w = 0.0;   ///< dynamic read power at the traffic profile
+  double write_power_w = 0.0;  ///< dynamic write power at the traffic profile
+};
+
+class NvmExplorer {
+ public:
+  NvmExplorer(NvRamConfig memory, FaultModel faults, TrafficProfile traffic);
+
+  const NvRamConfig& memory_config() const noexcept { return memory_; }
+
+  /// Memory-level report: FOM + lifetime + traffic power.
+  ExplorerReport report() const;
+
+  /// BER of the stored bits at storage age `age_s` (uniform wear-levelled
+  /// write count accumulated at the traffic profile's rate).
+  double ber_at(double age_s) const;
+
+  /// Application-level accuracy: quantise the network's weights to int8 as
+  /// stored in this memory, flip stored bits at ber_at(age_s), evaluate, and
+  /// restore the weights.  This is the NVMExplorer "DNN accuracy from memory
+  /// traffic and faults" loop.
+  double dnn_accuracy_at(nn::Network& net, const std::vector<std::vector<double>>& xs,
+                         const std::vector<std::size_t>& ys, double age_s, Rng& rng) const;
+
+ private:
+  NvRamConfig memory_;
+  FaultModel faults_;
+  TrafficProfile traffic_;
+};
+
+/// Standalone utility: int8-quantise every weight, flip each stored bit with
+/// probability `ber`, dequantise back.  Returns the number of flipped bits.
+/// The caller restores the weights (or uses dnn_accuracy_at which does).
+std::size_t inject_weight_faults(nn::Network& net, double ber, Rng& rng);
+
+}  // namespace xlds::nvsim

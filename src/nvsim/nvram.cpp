@@ -1,0 +1,146 @@
+#include "nvsim/nvram.hpp"
+
+#include <cmath>
+
+#include "circuit/senseamp.hpp"
+#include "circuit/wire.hpp"
+#include "util/error.hpp"
+
+namespace xlds::nvsim {
+
+namespace {
+
+// Peripheral sizing constants (NVSim-style defaults).
+constexpr double kDecoderStageDelayFo4 = 3.0;   // FO4s per decoder stage
+constexpr double kSenseAmpAreaF2 = 800.0;       // per column pair
+constexpr double kDecoderAreaF2PerRow = 60.0;   // row drivers + predecode
+constexpr double kHtreeAreaOverhead = 0.25;     // fraction of subarray area
+constexpr double kLeakagePerSubarrayW = 2.0e-6; // decoder + SA leakage
+
+double fo4_delay(const device::TechNode& node) {
+  // Classic approximation: FO4 ~ 0.5 ps per nm of feature size.
+  return 0.5e-12 * (node.feature_m / 1e-9);
+}
+
+}  // namespace
+
+NvRamModel::NvRamModel(NvRamConfig config) : config_(config) {
+  XLDS_REQUIRE(config_.capacity_bits > 0);
+  XLDS_REQUIRE(config_.subarray_rows >= 8 && config_.subarray_cols >= 8);
+  const auto& t = config_.resolved_traits();
+  XLDS_REQUIRE_MSG(config_.bits_per_cell >= 1 && config_.bits_per_cell <= t.max_bits_per_cell,
+                   device::to_string(config_.device)
+                       << " supports at most " << t.max_bits_per_cell << " bits/cell, asked for "
+                       << config_.bits_per_cell);
+  XLDS_REQUIRE(config_.io_width >= 1);
+  XLDS_REQUIRE(config_.layers_3d >= 1 && config_.layers_3d <= 16);
+  if (config_.layers_3d > 1) {
+    const bool beol = config_.device == device::DeviceKind::kRram ||
+                      config_.device == device::DeviceKind::kPcm;
+    XLDS_REQUIRE_MSG(beol, device::to_string(config_.device)
+                               << " is not BEOL-stackable; only RRAM/PCM support monolithic 3D");
+  }
+}
+
+std::size_t NvRamModel::subarray_count() const {
+  const std::size_t bits_per_subarray =
+      config_.subarray_rows * config_.subarray_cols * static_cast<std::size_t>(config_.bits_per_cell);
+  return (config_.capacity_bits + bits_per_subarray - 1) / bits_per_subarray;
+}
+
+ArrayFom NvRamModel::subarray_fom() const {
+  const auto& node = device::tech_node(config_.tech);
+  const auto& dev = config_.resolved_traits();
+
+  // --- geometry -------------------------------------------------------------
+  const double cell_area = dev.cell_area_f2 * node.feature_m * node.feature_m;
+  const double cell_edge = std::sqrt(dev.cell_area_f2) * node.feature_m;
+  const double array_area =
+      cell_area * static_cast<double>(config_.subarray_rows * config_.subarray_cols);
+  const double periph_area =
+      (kSenseAmpAreaF2 * static_cast<double>(config_.subarray_cols) / 2.0 +
+       kDecoderAreaF2PerRow * static_cast<double>(config_.subarray_rows)) *
+      node.feature_m * node.feature_m;
+
+  // --- wires ------------------------------------------------------------
+  const circuit::WireModel wl_wire(node, cell_edge / node.feature_m);
+  const circuit::WireSegment wordline = wl_wire.span(config_.subarray_cols);
+  const circuit::WireSegment bitline = wl_wire.span(config_.subarray_rows);
+
+  // Wordline delay: driver + distributed RC, loaded with one gate per column.
+  const double wl_cap =
+      wordline.capacitance +
+      static_cast<double>(config_.subarray_cols) * node.tx_gate_cap(node.min_tx_width_um);
+  const double wl_delay = 0.5 * wordline.resistance * wl_cap + 2.2 * 1.0e3 * wl_cap;
+
+  // Bitline development: the accessed cell (dis)charges the bitline through
+  // its on-resistance to the sense threshold (10 % swing for SA sensing).
+  const double bl_cap = bitline.capacitance + static_cast<double>(config_.subarray_rows) *
+                                                  node.tx_drain_cap(node.min_tx_width_um);
+  const double bl_delay = (dev.on_resistance + bitline.resistance / 2.0) * bl_cap *
+                          std::log(1.0 / 0.9);
+
+  // Decoder: log2(rows) stages of FO4-ish logic.
+  const double decoder_delay =
+      kDecoderStageDelayFo4 * fo4_delay(node) * std::ceil(std::log2(config_.subarray_rows));
+
+  const circuit::SenseAmp sa(circuit::SenseAmpParams{});
+
+  ArrayFom fom;
+  fom.area_m2 = array_area + periph_area;
+  fom.read_latency = decoder_delay + wl_delay + bl_delay + sa.latency() + dev.read_latency;
+  fom.write_latency = decoder_delay + wl_delay + dev.write_latency;
+
+  // Energies: switched-line CV^2 plus sensing / cell write energy.  Reads
+  // sense io_width columns; writes drive io_width cells.
+  const double io_cols = static_cast<double>(config_.io_width) /
+                         static_cast<double>(config_.bits_per_cell);
+  fom.read_energy = wl_cap * node.vdd * node.vdd +
+                    io_cols * (0.1 * bl_cap * node.vdd * node.vdd + sa.energy());
+  fom.write_energy = wl_cap * node.vdd * node.vdd +
+                     io_cols * (bl_cap * dev.write_voltage * dev.write_voltage + dev.write_energy);
+  fom.leakage_power = kLeakagePerSubarrayW;
+  return fom;
+}
+
+ArrayFom NvRamModel::evaluate() const {
+  ArrayFom sub = subarray_fom();
+  const auto n_sub = static_cast<double>(subarray_count());
+  const auto layers = static_cast<double>(config_.layers_3d);
+
+  if (config_.layers_3d > 1) {
+    // Monolithic 3D: cell layers share the footprint (peripherals stay on
+    // the base layer); inter-layer vias add ~5 % RC per layer to the access.
+    const double via_penalty = 1.0 + 0.05 * (layers - 1.0);
+    const auto& node = device::tech_node(config_.tech);
+    const auto& dev = config_.resolved_traits();
+    const double cell_area = dev.cell_area_f2 * node.feature_m * node.feature_m *
+                             static_cast<double>(config_.subarray_rows * config_.subarray_cols);
+    sub.area_m2 -= cell_area * (1.0 - 1.0 / layers);  // stacked cells
+    sub.read_latency *= via_penalty;
+    sub.write_latency *= via_penalty;
+    sub.read_energy *= via_penalty;
+    sub.write_energy *= via_penalty;
+  }
+
+  ArrayFom total;
+  total.area_m2 = sub.area_m2 * n_sub * (1.0 + kHtreeAreaOverhead);
+
+  // H-tree: route from the edge to the centre of the farthest subarray —
+  // half the die edge, at repeated-wire velocity (~100 ps/mm at these nodes).
+  const double die_edge = std::sqrt(total.area_m2);
+  const double htree_delay = 100e-12 * (die_edge / 2.0) / 1e-3;
+  const double htree_energy =
+      0.5 * die_edge * device::tech_node(config_.tech).wire_c_per_m *
+      device::tech_node(config_.tech).vdd * device::tech_node(config_.tech).vdd *
+      static_cast<double>(config_.io_width);
+
+  total.read_latency = sub.read_latency + htree_delay;
+  total.write_latency = sub.write_latency + htree_delay;
+  total.read_energy = sub.read_energy + htree_energy;
+  total.write_energy = sub.write_energy + htree_energy;
+  total.leakage_power = sub.leakage_power * n_sub;
+  return total;
+}
+
+}  // namespace xlds::nvsim

@@ -1,0 +1,78 @@
+// NVSim-lane analytical model (Sec. VI): performance, energy and area of a
+// conventionally organised (random-access) memory array built from a chosen
+// device technology.  This covers the "new device replaces an existing
+// technology in an existing architecture" lane of Fig. 1 — e.g. "how does an
+// FeFET or RRAM main-memory/cache array compare to SRAM at the same node?"
+//
+// The model follows the NVSim decomposition: a memory is a grid of subarrays
+// (mats); a access touches one subarray through an H-tree; subarray latency
+// = decoder + wordline RC + bitline development + sensing; energies are CV^2
+// on the switched lines plus the device write energy.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "device/device.hpp"
+#include "device/technology.hpp"
+
+namespace xlds::nvsim {
+
+struct NvRamConfig {
+  device::DeviceKind device = device::DeviceKind::kSram;
+  std::string tech = "40nm";
+  std::size_t capacity_bits = 8ull * 1024 * 1024;  ///< total capacity
+  std::size_t subarray_rows = 256;
+  std::size_t subarray_cols = 256;
+  int bits_per_cell = 1;      ///< multi-level cells shrink the array
+  std::size_t io_width = 64;  ///< bits returned per access
+  /// Monolithic 3D stacking (the DESTINY lane, Sec. VI): layers share the
+  /// footprint; each extra layer adds an inter-layer-via RC penalty to the
+  /// bit/word lines.  1 = planar.  Only BEOL-compatible NVMs (RRAM, PCM)
+  /// can stack.
+  std::size_t layers_3d = 1;
+  /// What-if device: overrides the canonical trait preset (the Fig. 6
+  /// materials-lever hook).  The kind still controls structural rules.
+  std::optional<device::DeviceTraits> device_override;
+
+  const device::DeviceTraits& resolved_traits() const {
+    return device_override ? *device_override : device::traits(device);
+  }
+};
+
+/// Array-level figures of merit (SI units).
+struct ArrayFom {
+  double area_m2 = 0.0;
+  double read_latency = 0.0;
+  double write_latency = 0.0;
+  double read_energy = 0.0;
+  double write_energy = 0.0;
+  double leakage_power = 0.0;
+
+  double read_bandwidth(std::size_t io_bits) const {
+    return static_cast<double>(io_bits) / read_latency;
+  }
+};
+
+class NvRamModel {
+ public:
+  explicit NvRamModel(NvRamConfig config);
+
+  const NvRamConfig& config() const noexcept { return config_; }
+
+  /// Number of subarrays required for the configured capacity.
+  std::size_t subarray_count() const;
+
+  /// Full-array figures of merit.
+  ArrayFom evaluate() const;
+
+  /// FOM of a single subarray (before H-tree overheads) — used by Eva-CAM
+  /// for its mat-level estimates and exposed for tests.
+  ArrayFom subarray_fom() const;
+
+ private:
+  NvRamConfig config_;
+};
+
+}  // namespace xlds::nvsim

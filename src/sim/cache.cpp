@@ -1,0 +1,100 @@
+#include "sim/cache.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace xlds::sim {
+
+Cache::Cache(CacheConfig config) : config_(config) {
+  XLDS_REQUIRE(config_.line_bytes >= 8 && std::has_single_bit(config_.line_bytes));
+  XLDS_REQUIRE(config_.ways >= 1);
+  XLDS_REQUIRE(config_.size_bytes >= config_.line_bytes * config_.ways);
+  sets_ = config_.size_bytes / (config_.line_bytes * config_.ways);
+  XLDS_REQUIRE_MSG(std::has_single_bit(sets_), "set count must be a power of two, got " << sets_);
+  ways_.assign(sets_ * config_.ways, Way{});
+}
+
+bool Cache::access(Addr addr) {
+  const Addr line = addr / config_.line_bytes;
+  const std::size_t set = static_cast<std::size_t>(line) & (sets_ - 1);
+  const Addr tag = line / sets_;
+  Way* base = &ways_[set * config_.ways];
+  ++tick_;
+  // Hit?
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].lru = tick_;
+      ++stats_.hits;
+      return true;
+    }
+  }
+  // Miss: fill into the LRU way.
+  ++stats_.misses;
+  std::size_t victim = 0;
+  for (std::size_t w = 1; w < config_.ways; ++w) {
+    if (!base[w].valid) {
+      victim = w;
+      break;
+    }
+    if (base[w].lru < base[victim].lru) victim = w;
+  }
+  base[victim] = Way{tag, true, tick_};
+  return false;
+}
+
+MemoryHierarchy::MemoryHierarchy(CacheConfig l1, CacheConfig l2, DramConfig dram)
+    : l1_(l1), l2_(l2), dram_(dram) {
+  XLDS_REQUIRE(l2.size_bytes >= l1.size_bytes);
+  XLDS_REQUIRE(dram.bandwidth_bytes_per_s > 0.0);
+}
+
+double MemoryHierarchy::access(Addr addr) {
+  if (l1_.access(addr)) return l1_.config().hit_latency_s;
+  if (l2_.access(addr)) return l1_.config().hit_latency_s + l2_.config().hit_latency_s;
+  ++dram_accesses_;
+  const double fill = static_cast<double>(l2_.config().line_bytes) / dram_.bandwidth_bytes_per_s;
+  return l1_.config().hit_latency_s + l2_.config().hit_latency_s + dram_.latency_s + fill;
+}
+
+SharedMemoryHierarchy::SharedMemoryHierarchy(std::size_t cores, CacheConfig l1, CacheConfig l2,
+                                             DramConfig dram)
+    : l2_(l2), dram_(dram) {
+  XLDS_REQUIRE(cores >= 1);
+  XLDS_REQUIRE(l2.size_bytes >= l1.size_bytes);
+  l1s_.reserve(cores);
+  for (std::size_t c = 0; c < cores; ++c) l1s_.emplace_back(l1);
+}
+
+const Cache& SharedMemoryHierarchy::l1(std::size_t core) const {
+  XLDS_REQUIRE(core < l1s_.size());
+  return l1s_[core];
+}
+
+double SharedMemoryHierarchy::access(std::size_t core, Addr addr) {
+  XLDS_REQUIRE(core < l1s_.size());
+  if (l1s_[core].access(addr)) return l1s_[core].config().hit_latency_s;
+  if (l2_.access(addr)) return l1s_[core].config().hit_latency_s + l2_.config().hit_latency_s;
+  ++dram_accesses_;
+  const double fill = static_cast<double>(l2_.config().line_bytes) / dram_.bandwidth_bytes_per_s;
+  return l1s_[core].config().hit_latency_s + l2_.config().hit_latency_s + dram_.latency_s + fill;
+}
+
+double SharedMemoryHierarchy::stream_access(std::size_t core, Addr addr) {
+  XLDS_REQUIRE(core < l1s_.size());
+  if (l1s_[core].access(addr)) return l1s_[core].config().hit_latency_s;
+  if (l2_.access(addr)) return l1s_[core].config().hit_latency_s + l2_.config().hit_latency_s;
+  ++dram_accesses_;
+  return static_cast<double>(l2_.config().line_bytes) / dram_.bandwidth_bytes_per_s;
+}
+
+double MemoryHierarchy::stream_access(Addr addr) {
+  if (l1_.access(addr)) return l1_.config().hit_latency_s;
+  if (l2_.access(addr)) return l1_.config().hit_latency_s + l2_.config().hit_latency_s;
+  ++dram_accesses_;
+  // Prefetched stream: the line costs its bandwidth share, not the full
+  // DRAM round trip.
+  return static_cast<double>(l2_.config().line_bytes) / dram_.bandwidth_bytes_per_s;
+}
+
+}  // namespace xlds::sim

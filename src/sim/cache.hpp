@@ -1,0 +1,121 @@
+// Set-associative cache hierarchy with true LRU, fed with synthetic address
+// streams by the core model.  Latencies are returned per access so the core
+// can charge cycles; miss traffic propagates to the next level (DRAM at the
+// bottom, bandwidth-limited).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xlds::sim {
+
+using Addr = std::uint64_t;
+
+struct CacheConfig {
+  std::string name = "L1";
+  std::size_t size_bytes = 32 * 1024;
+  std::size_t line_bytes = 64;
+  std::size_t ways = 4;
+  double hit_latency_s = 1.0e-9;
+};
+
+struct DramConfig {
+  double latency_s = 60e-9;
+  double bandwidth_bytes_per_s = 25.6e9;
+};
+
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+
+  double hit_rate() const {
+    const std::size_t total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+class Cache {
+ public:
+  explicit Cache(CacheConfig config);
+
+  /// Access one address; returns true on hit (and updates LRU), false on
+  /// miss (and fills the line, possibly evicting).
+  bool access(Addr addr);
+
+  const CacheConfig& config() const noexcept { return config_; }
+  const CacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  struct Way {
+    Addr tag = 0;
+    bool valid = false;
+    std::uint64_t lru = 0;
+  };
+
+  CacheConfig config_;
+  std::size_t sets_;
+  std::vector<Way> ways_;  ///< [sets_ x config_.ways]
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+/// Two-level hierarchy over DRAM.  `access` returns the time charged for the
+/// access (hit latency of the level that served it; DRAM adds a
+/// bandwidth-dependent component for the line fill).
+class MemoryHierarchy {
+ public:
+  MemoryHierarchy(CacheConfig l1, CacheConfig l2, DramConfig dram);
+
+  /// Time (seconds) to serve a read/write of one word at `addr`.
+  double access(Addr addr);
+
+  /// Time to serve one line of a *sequential stream* at `addr`: misses are
+  /// charged at DRAM bandwidth (the prefetcher hides the access latency on
+  /// streams), hits at the serving level's latency.  Cache state updates
+  /// exactly as with access().
+  double stream_access(Addr addr);
+
+  const Cache& l1() const noexcept { return l1_; }
+  const Cache& l2() const noexcept { return l2_; }
+  std::size_t dram_accesses() const noexcept { return dram_accesses_; }
+  /// Total bytes pulled from DRAM.
+  std::size_t dram_bytes() const noexcept { return dram_accesses_ * l2_.config().line_bytes; }
+
+ private:
+  Cache l1_;
+  Cache l2_;
+  DramConfig dram_;
+  std::size_t dram_accesses_ = 0;
+};
+
+/// Multi-core hierarchy: private L1 per core, one shared L2, shared DRAM —
+/// the gem5-X-style many-core memory system at this model's fidelity.
+class SharedMemoryHierarchy {
+ public:
+  SharedMemoryHierarchy(std::size_t cores, CacheConfig l1, CacheConfig l2, DramConfig dram);
+
+  std::size_t cores() const noexcept { return l1s_.size(); }
+
+  /// Demand access by `core` (hit latency of the serving level).
+  double access(std::size_t core, Addr addr);
+
+  /// Sequential-stream access by `core` (misses at DRAM bandwidth).
+  double stream_access(std::size_t core, Addr addr);
+
+  const Cache& l1(std::size_t core) const;
+  const Cache& shared_l2() const noexcept { return l2_; }
+  std::size_t dram_accesses() const noexcept { return dram_accesses_; }
+  std::size_t dram_bytes() const noexcept { return dram_accesses_ * l2_.config().line_bytes; }
+
+ private:
+  std::vector<Cache> l1s_;
+  Cache l2_;
+  DramConfig dram_;
+  std::size_t dram_accesses_ = 0;
+};
+
+}  // namespace xlds::sim

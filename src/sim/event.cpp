@@ -1,0 +1,40 @@
+#include "sim/event.hpp"
+
+#include "util/error.hpp"
+
+namespace xlds::sim {
+
+void EventQueue::schedule(Tick when, std::function<void()> fn) {
+  XLDS_REQUIRE_MSG(when >= now_, "cannot schedule in the past (" << when << " < " << now_ << ")");
+  queue_.push(Event{when, seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(Tick delay, std::function<void()> fn) {
+  schedule(now_ + delay, std::move(fn));
+}
+
+Tick EventQueue::run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+Tick EventQueue::run_until(Tick deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+  }
+  if (now_ < deadline && queue_.empty()) return now_;
+  now_ = deadline;
+  return now_;
+}
+
+}  // namespace xlds::sim

@@ -1,0 +1,55 @@
+// Discrete-event kernel for the system simulator (Sec. V).
+//
+// gem5-class simulators are event-driven: components schedule callbacks at
+// future timestamps and a central queue executes them in time order.  This
+// kernel is the same discipline at small scale; determinism is guaranteed by
+// breaking timestamp ties with insertion order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace xlds::sim {
+
+using Tick = std::uint64_t;  ///< picoseconds
+
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `when` (>= now).
+  void schedule(Tick when, std::function<void()> fn);
+
+  /// Schedule `fn` `delay` ticks from now.
+  void schedule_in(Tick delay, std::function<void()> fn);
+
+  /// Run until the queue drains; returns the final time.
+  Tick run();
+
+  /// Run until `deadline` or the queue drains, whichever first.
+  Tick run_until(Tick deadline);
+
+  Tick now() const noexcept { return now_; }
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    Tick when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Tick now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::size_t executed_ = 0;
+};
+
+}  // namespace xlds::sim

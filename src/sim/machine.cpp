@@ -1,0 +1,137 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xlds::sim {
+
+namespace {
+constexpr double kTicksPerSecond = 1e12;  // 1 tick = 1 ps
+
+Tick to_ticks(double seconds) {
+  return static_cast<Tick>(std::llround(seconds * kTicksPerSecond));
+}
+}  // namespace
+
+Machine::Machine(CoreConfig core, CacheConfig l1, CacheConfig l2, DramConfig dram,
+                 AcceleratorConfig accel, EnergyConfig energy)
+    : core_(core), l1_cfg_(l1), l2_cfg_(l2), dram_cfg_(dram), accel_(accel), energy_(energy) {
+  XLDS_REQUIRE(core_.freq_hz > 0.0 && core_.ipc > 0.0 && core_.macs_per_cycle > 0.0);
+  if (accel_.present) {
+    XLDS_REQUIRE(accel_.parallel_tiles >= 1);
+    XLDS_REQUIRE(accel_.tile_rows >= 1 && accel_.tile_cols >= 1);
+    XLDS_REQUIRE(accel_.bus_bandwidth > 0.0);
+  }
+}
+
+double Machine::mem_stream_time(MemoryHierarchy& mem, Addr base, std::size_t bytes) const {
+  const std::size_t line = l1_cfg_.line_bytes;
+  // One DRAM round trip to start the stream; after that the prefetcher keeps
+  // the pipe full and misses cost bandwidth only.
+  double t = dram_cfg_.latency_s;
+  for (Addr a = base; a < base + bytes; a += line) t += mem.stream_access(a);
+  return t;
+}
+
+RunStats Machine::run(const Program& program) {
+  EventQueue queue;
+  MemoryHierarchy mem(l1_cfg_, l2_cfg_, dram_cfg_);
+  RunStats stats;
+  Tick accel_busy_until = 0;
+  std::size_t pc = 0;
+
+  // The core is a single process: each op schedules the event that starts
+  // the next one.  The accelerator is a shared resource represented by its
+  // busy-until horizon (offloads queue behind it).
+  std::function<void()> step = [&] {
+    if (pc >= program.size()) return;
+    const Op& op = program[pc++];
+    ++stats.ops_executed;
+    double duration = 0.0;
+    switch (op.kind) {
+      case OpKind::kCompute: {
+        duration = static_cast<double>(op.scalar_ops) / (core_.ipc * core_.freq_hz);
+        stats.compute_time += duration;
+        stats.core_energy += static_cast<double>(op.scalar_ops) * energy_.core_energy_per_op;
+        break;
+      }
+      case OpKind::kMemStream: {
+        duration = mem_stream_time(mem, op.base, op.bytes);
+        stats.memory_time += duration;
+        break;
+      }
+      case OpKind::kMvm: {
+        const std::size_t macs = op.rows * op.cols * op.repeat;
+        if (accel_.present && op.offloadable) {
+          // Offload: setup + activations over the bus + tiled analog MVMs.
+          const std::size_t io_bytes = (op.rows + op.cols) * 4 * op.repeat;
+          const double transfer =
+              accel_.setup_time + static_cast<double>(io_bytes) / accel_.bus_bandwidth;
+          const std::size_t tiles = ((op.rows + accel_.tile_rows - 1) / accel_.tile_rows) *
+                                    ((op.cols + accel_.tile_cols - 1) / accel_.tile_cols) *
+                                    op.repeat;
+          const double busy =
+              std::ceil(static_cast<double>(tiles) / static_cast<double>(accel_.parallel_tiles)) *
+              accel_.tile_cost.latency;
+          // Queue behind any outstanding accelerator work.
+          const Tick request = queue.now() + to_ticks(transfer);
+          const Tick start = std::max(request, accel_busy_until);
+          const Tick done = start + to_ticks(busy);
+          accel_busy_until = done;
+          duration = static_cast<double>(done - queue.now()) / kTicksPerSecond;
+          stats.transfer_time += transfer;
+          stats.accel_time += busy;
+          stats.transfer_energy += energy_.offload_setup_energy +
+                                   static_cast<double>(io_bytes) * energy_.bus_energy_per_byte;
+          stats.accel_energy += static_cast<double>(tiles) * accel_.tile_cost.energy;
+          ++stats.offloads;
+        } else {
+          // On-core execution: SIMD MACs + weight streaming through caches.
+          const double compute =
+              static_cast<double>(macs) / (core_.macs_per_cycle * core_.freq_hz);
+          const double memory = mem_stream_time(
+              mem, op.weight_base, op.rows * op.cols * op.weight_bytes_per_el);
+          duration = std::max(compute, memory);  // SIMD overlaps the prefetch
+          stats.mvm_core_time += duration;
+          stats.core_energy += static_cast<double>(macs) * energy_.core_energy_per_mac;
+        }
+        break;
+      }
+    }
+    queue.schedule_in(std::max<Tick>(to_ticks(duration), 1), step);
+  };
+
+  queue.schedule(0, step);
+  const Tick end = queue.run();
+  stats.total_time = static_cast<double>(end) / kTicksPerSecond;
+  stats.dram_bytes = mem.dram_bytes();
+  stats.l1_hit_rate = mem.l1().stats().hit_rate();
+  stats.l2_hit_rate = mem.l2().stats().hit_rate();
+  stats.events = queue.executed();
+
+  // Memory-system and static energy from the event counts (the McPAT step).
+  const auto l1_accesses = mem.l1().stats().hits + mem.l1().stats().misses;
+  const auto l2_accesses = mem.l2().stats().hits + mem.l2().stats().misses;
+  stats.memory_energy = static_cast<double>(l1_accesses) * energy_.l1_access_energy +
+                        static_cast<double>(l2_accesses) * energy_.l2_access_energy +
+                        static_cast<double>(mem.dram_bytes()) * energy_.dram_energy_per_byte;
+  stats.static_energy = energy_.static_power * stats.total_time;
+  return stats;
+}
+
+double accelerator_speedup(const CoreConfig& core, const CacheConfig& l1, const CacheConfig& l2,
+                           const DramConfig& dram, const AcceleratorConfig& accel,
+                           const Program& program) {
+  Machine baseline(core, l1, l2, dram, AcceleratorConfig{});
+  AcceleratorConfig with = accel;
+  with.present = true;
+  Machine accelerated(core, l1, l2, dram, with);
+  const double t0 = baseline.run(program).total_time;
+  const double t1 = accelerated.run(program).total_time;
+  XLDS_ASSERT(t1 > 0.0);
+  return t0 / t1;
+}
+
+}  // namespace xlds::sim

@@ -1,0 +1,131 @@
+// System model: in-order core + cache hierarchy + optional memory-mapped
+// analog crossbar accelerator, executing a trace-driven program (Sec. V).
+//
+// This is the gem5-X-style experiment at triage fidelity: the same program
+// runs with the accelerator absent (MVMs execute on the core, streaming
+// weights through the caches) or present (MVMs are offloaded over a bus to a
+// tiled crossbar engine).  The end-to-end speedup is Amdahl-limited by the
+// non-MVM work — data reshaping, activations, cache misses — which is
+// exactly the effect the paper says system simulation exposes ahead of
+// detailed hardware design.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/event.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace xlds::sim {
+
+enum class OpKind {
+  kCompute,    ///< scalar/SIMD ALU work
+  kMemStream,  ///< streaming memory traffic through the hierarchy
+  kMvm,        ///< matrix-vector multiply (offloadable)
+};
+
+struct Op {
+  OpKind kind = OpKind::kCompute;
+  std::string label;
+  // kCompute
+  std::size_t scalar_ops = 0;
+  // kMemStream
+  Addr base = 0;
+  std::size_t bytes = 0;
+  // kMvm: `repeat` MVMs of [rows x cols] sharing resident weights
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t repeat = 1;
+  std::size_t weight_bytes_per_el = 1;
+  bool offloadable = true;
+  Addr weight_base = 0;
+};
+
+using Program = std::vector<Op>;
+
+struct CoreConfig {
+  double freq_hz = 2.0e9;
+  double ipc = 2.0;              ///< scalar ops per cycle
+  double macs_per_cycle = 4.0;   ///< SIMD MAC throughput
+};
+
+/// Energy coefficients (the McPAT axis of an Eva-CiM-style evaluation):
+/// per-event energies for the core and the memory system, plus static power
+/// integrated over the run.
+struct EnergyConfig {
+  double core_energy_per_op = 5.0e-12;   ///< J per scalar op
+  double core_energy_per_mac = 2.0e-12;  ///< J per SIMD MAC
+  double l1_access_energy = 0.5e-12;     ///< J per L1 access
+  double l2_access_energy = 2.5e-12;     ///< J per L2 access
+  double dram_energy_per_byte = 20.0e-12;  ///< J per DRAM byte
+  double bus_energy_per_byte = 1.0e-12;  ///< J per offload byte
+  double offload_setup_energy = 50.0e-9; ///< J per accelerator invocation
+  double static_power = 0.020;           ///< W, leakage + clocks
+};
+
+struct AcceleratorConfig {
+  bool present = false;
+  double setup_time = 2.0e-6;        ///< driver + MMIO programming per offload
+  double bus_bandwidth = 8.0e9;      ///< B/s, input/output activation transfer
+  xbar::MvmCost tile_cost{5.0e-9, 2.0e-10};  ///< one 64x64-tile analog MVM
+  std::size_t tile_rows = 64;
+  std::size_t tile_cols = 64;
+  std::size_t parallel_tiles = 16;   ///< tiles operating concurrently
+};
+
+struct RunStats {
+  double total_time = 0.0;      ///< s
+  double compute_time = 0.0;    ///< core ALU
+  double memory_time = 0.0;     ///< cache/DRAM stalls
+  double mvm_core_time = 0.0;   ///< MVMs executed on the core
+  double accel_time = 0.0;      ///< accelerator busy time
+  double transfer_time = 0.0;   ///< offload setup + bus transfers
+  std::size_t dram_bytes = 0;
+  double l1_hit_rate = 0.0;
+  double l2_hit_rate = 0.0;
+  std::size_t events = 0;
+  std::size_t ops_executed = 0;
+  std::size_t offloads = 0;
+
+  // Energy breakdown (J) — the Eva-CiM axis.
+  double core_energy = 0.0;      ///< scalar ops + on-core MACs
+  double memory_energy = 0.0;    ///< cache accesses + DRAM traffic
+  double accel_energy = 0.0;     ///< analog tile operations
+  double transfer_energy = 0.0;  ///< offload setup + bus bytes
+  double static_energy = 0.0;    ///< static power x total time
+  double total_energy() const {
+    return core_energy + memory_energy + accel_energy + transfer_energy + static_energy;
+  }
+};
+
+class Machine {
+ public:
+  Machine(CoreConfig core, CacheConfig l1, CacheConfig l2, DramConfig dram,
+          AcceleratorConfig accel, EnergyConfig energy = {});
+
+  /// Execute a program to completion; each call starts from cold caches.
+  RunStats run(const Program& program);
+
+  const AcceleratorConfig& accelerator() const noexcept { return accel_; }
+  const EnergyConfig& energy() const noexcept { return energy_; }
+
+ private:
+  double mem_stream_time(MemoryHierarchy& mem, Addr base, std::size_t bytes) const;
+
+  CoreConfig core_;
+  CacheConfig l1_cfg_;
+  CacheConfig l2_cfg_;
+  DramConfig dram_cfg_;
+  AcceleratorConfig accel_;
+  EnergyConfig energy_;
+};
+
+/// Convenience: run the same program with and without the accelerator and
+/// return the speedup (baseline_time / accelerated_time).
+double accelerator_speedup(const CoreConfig& core, const CacheConfig& l1, const CacheConfig& l2,
+                           const DramConfig& dram, const AcceleratorConfig& accel,
+                           const Program& program);
+
+}  // namespace xlds::sim

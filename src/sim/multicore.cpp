@@ -1,0 +1,148 @@
+#include "sim/multicore.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xlds::sim {
+
+namespace {
+constexpr double kTicksPerSecond = 1e12;
+
+Tick to_ticks(double seconds) {
+  return static_cast<Tick>(std::llround(seconds * kTicksPerSecond));
+}
+}  // namespace
+
+MulticoreMachine::MulticoreMachine(MulticoreConfig config) : config_(config) {
+  XLDS_REQUIRE(config_.cores >= 1 && config_.cores <= 64);
+  XLDS_REQUIRE(config_.core.freq_hz > 0.0 && config_.core.ipc > 0.0 &&
+               config_.core.macs_per_cycle > 0.0);
+  if (config_.accel.present) {
+    XLDS_REQUIRE(config_.accel.parallel_tiles >= 1);
+    XLDS_REQUIRE(config_.accel.bus_bandwidth > 0.0);
+  }
+}
+
+MulticoreStats MulticoreMachine::run(const std::vector<Program>& programs) {
+  XLDS_REQUIRE_MSG(programs.size() == config_.cores,
+                   programs.size() << " programs for " << config_.cores << " cores");
+  EventQueue queue;
+  SharedMemoryHierarchy mem(config_.cores, config_.l1, config_.l2, config_.dram);
+
+  MulticoreStats stats;
+  stats.per_core.resize(config_.cores);
+  std::vector<std::size_t> pc(config_.cores, 0);
+  std::vector<Tick> finished_at(config_.cores, 0);
+  Tick accel_busy_until = 0;
+
+  const auto& core_cfg = config_.core;
+  const auto& accel = config_.accel;
+  const auto& energy = config_.energy;
+
+  // One process per core; all share the queue, the L2, the DRAM counters and
+  // the accelerator busy horizon.
+  std::vector<std::function<void()>> steps(config_.cores);
+  for (std::size_t c = 0; c < config_.cores; ++c) {
+    steps[c] = [&, c] {
+      RunStats& rs = stats.per_core[c];
+      if (pc[c] >= programs[c].size()) {
+        finished_at[c] = queue.now();
+        return;
+      }
+      const Op& op = programs[c][pc[c]++];
+      ++rs.ops_executed;
+      double duration = 0.0;
+      switch (op.kind) {
+        case OpKind::kCompute: {
+          duration = static_cast<double>(op.scalar_ops) / (core_cfg.ipc * core_cfg.freq_hz);
+          rs.compute_time += duration;
+          rs.core_energy += static_cast<double>(op.scalar_ops) * energy.core_energy_per_op;
+          break;
+        }
+        case OpKind::kMemStream: {
+          double t = config_.dram.latency_s;
+          for (Addr a = op.base; a < op.base + op.bytes; a += config_.l1.line_bytes)
+            t += mem.stream_access(c, a);
+          duration = t;
+          rs.memory_time += duration;
+          break;
+        }
+        case OpKind::kMvm: {
+          const std::size_t macs = op.rows * op.cols * op.repeat;
+          if (accel.present && op.offloadable) {
+            const std::size_t io_bytes = (op.rows + op.cols) * 4 * op.repeat;
+            const double transfer =
+                accel.setup_time + static_cast<double>(io_bytes) / accel.bus_bandwidth;
+            const std::size_t tiles = ((op.rows + accel.tile_rows - 1) / accel.tile_rows) *
+                                      ((op.cols + accel.tile_cols - 1) / accel.tile_cols) *
+                                      op.repeat;
+            const double busy = std::ceil(static_cast<double>(tiles) /
+                                          static_cast<double>(accel.parallel_tiles)) *
+                                accel.tile_cost.latency;
+            const Tick request = queue.now() + to_ticks(transfer);
+            const Tick start = std::max(request, accel_busy_until);
+            const Tick done = start + to_ticks(busy);
+            // Queueing delay behind other cores' offloads: the contention
+            // signal this model exists to expose.
+            stats.accel_wait_time += static_cast<double>(start - request) / kTicksPerSecond;
+            accel_busy_until = done;
+            duration = static_cast<double>(done - queue.now()) / kTicksPerSecond;
+            rs.transfer_time += transfer;
+            rs.accel_time += busy;
+            rs.transfer_energy += energy.offload_setup_energy +
+                                  static_cast<double>(io_bytes) * energy.bus_energy_per_byte;
+            rs.accel_energy += static_cast<double>(tiles) * accel.tile_cost.energy;
+            ++rs.offloads;
+          } else {
+            const double compute =
+                static_cast<double>(macs) / (core_cfg.macs_per_cycle * core_cfg.freq_hz);
+            double memory = config_.dram.latency_s;
+            const std::size_t bytes = op.rows * op.cols * op.weight_bytes_per_el;
+            for (Addr a = op.weight_base; a < op.weight_base + bytes;
+                 a += config_.l1.line_bytes)
+              memory += mem.stream_access(c, a);
+            duration = std::max(compute, memory);
+            rs.mvm_core_time += duration;
+            rs.core_energy += static_cast<double>(macs) * energy.core_energy_per_mac;
+          }
+          break;
+        }
+      }
+      queue.schedule_in(std::max<Tick>(to_ticks(duration), 1), steps[c]);
+    };
+  }
+  for (std::size_t c = 0; c < config_.cores; ++c) queue.schedule(0, steps[c]);
+  queue.run();
+
+  Tick makespan = 0;
+  for (std::size_t c = 0; c < config_.cores; ++c) {
+    stats.per_core[c].total_time = static_cast<double>(finished_at[c]) / kTicksPerSecond;
+    makespan = std::max(makespan, finished_at[c]);
+  }
+  stats.total_time = static_cast<double>(makespan) / kTicksPerSecond;
+  stats.dram_bytes = mem.dram_bytes();
+  stats.shared_l2_hit_rate = mem.shared_l2().stats().hit_rate();
+
+  // Shared-system energy: per-core dynamic sums + memory + static power of
+  // the whole chip over the makespan.
+  double dynamic = 0.0;
+  for (const RunStats& rs : stats.per_core)
+    dynamic += rs.core_energy + rs.accel_energy + rs.transfer_energy;
+  std::size_t l1_accesses = 0;
+  for (std::size_t c = 0; c < config_.cores; ++c)
+    l1_accesses += mem.l1(c).stats().hits + mem.l1(c).stats().misses;
+  const std::size_t l2_accesses =
+      mem.shared_l2().stats().hits + mem.shared_l2().stats().misses;
+  const double memory_energy =
+      static_cast<double>(l1_accesses) * energy.l1_access_energy +
+      static_cast<double>(l2_accesses) * energy.l2_access_energy +
+      static_cast<double>(mem.dram_bytes()) * energy.dram_energy_per_byte;
+  stats.total_energy = dynamic + memory_energy +
+                       energy.static_power * static_cast<double>(config_.cores) *
+                           stats.total_time;
+  return stats;
+}
+
+}  // namespace xlds::sim

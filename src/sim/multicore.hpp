@@ -1,0 +1,49 @@
+// Many-core heterogeneous system model (the gem5-X claim of Sec. V, and the
+// accelerator-level-parallelism question of the paper's introduction).
+//
+// N in-order cores, each running its own program, with private L1s, a shared
+// L2, shared DRAM, and ONE shared analog-crossbar accelerator reached over
+// MMIO.  Cores queue for the accelerator — the contention that decides how
+// many cores one IMC macro can feed, which a single-core model cannot see.
+#pragma once
+
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace xlds::sim {
+
+struct MulticoreConfig {
+  std::size_t cores = 4;
+  CoreConfig core;
+  CacheConfig l1;  ///< private, per core
+  CacheConfig l2;  ///< shared
+  DramConfig dram;
+  AcceleratorConfig accel;  ///< shared; .present gates offloading
+  EnergyConfig energy;
+};
+
+struct MulticoreStats {
+  std::vector<RunStats> per_core;
+  double total_time = 0.0;      ///< makespan (s)
+  double total_energy = 0.0;    ///< J, all cores + shared resources
+  double accel_wait_time = 0.0; ///< s, summed queueing delay behind the accel
+  std::size_t dram_bytes = 0;
+  double shared_l2_hit_rate = 0.0;
+};
+
+class MulticoreMachine {
+ public:
+  explicit MulticoreMachine(MulticoreConfig config);
+
+  /// Run one program per core (programs.size() must equal cores) to
+  /// completion; cores interleave through the shared event queue.
+  MulticoreStats run(const std::vector<Program>& programs);
+
+  const MulticoreConfig& config() const noexcept { return config_; }
+
+ private:
+  MulticoreConfig config_;
+};
+
+}  // namespace xlds::sim

@@ -1,0 +1,244 @@
+#include "sim/trace.hpp"
+
+#include "util/error.hpp"
+
+namespace xlds::sim {
+
+namespace {
+
+// Address-space layout for the synthetic traces: weights, activations and
+// scratch live in distinct regions so cache behaviour is realistic (weights
+// stream with no reuse within a layer; activations have short-range reuse).
+constexpr Addr kWeightBase = 0x1000'0000;
+constexpr Addr kActBase = 0x4000'0000;
+constexpr Addr kScratchBase = 0x7000'0000;
+
+}  // namespace
+
+Program make_cnn_program(const CnnSpec& spec) {
+  XLDS_REQUIRE(!spec.convs.empty());
+  XLDS_REQUIRE(spec.batch >= 1);
+  Program prog;
+  Addr weight_cursor = kWeightBase;
+  for (std::size_t b = 0; b < spec.batch; ++b) {
+    Addr act_cursor = kActBase;
+    for (std::size_t li = 0; li < spec.convs.size(); ++li) {
+      const ConvLayerSpec& l = spec.convs[li];
+      const std::size_t out_h = l.same_padding ? l.in_h : l.in_h - l.kernel + 1;
+      const std::size_t out_w = l.same_padding ? l.in_w : l.in_w - l.kernel + 1;
+      const std::size_t pixels = out_h * out_w;
+      const std::size_t patch = l.kernel * l.kernel * l.in_c;
+      const std::string tag = "conv" + std::to_string(li);
+
+      // im2col: read the input feature map, write the patch matrix.
+      Op im2col;
+      im2col.kind = OpKind::kMemStream;
+      im2col.label = tag + ":im2col";
+      im2col.base = act_cursor;
+      im2col.bytes = pixels * patch * 1 + l.in_h * l.in_w * l.in_c * 1;
+      prog.push_back(im2col);
+
+      // The layer MVM: one [patch x out_c] matrix applied per output pixel.
+      Op mvm;
+      mvm.kind = OpKind::kMvm;
+      mvm.label = tag + ":mvm";
+      mvm.rows = patch;
+      mvm.cols = l.out_c;
+      mvm.repeat = pixels;
+      mvm.weight_base = weight_cursor;
+      prog.push_back(mvm);
+      weight_cursor += patch * l.out_c;
+
+      // Activation + write-back of the output feature map.
+      Op act;
+      act.kind = OpKind::kCompute;
+      act.label = tag + ":relu";
+      act.scalar_ops = pixels * l.out_c;
+      prog.push_back(act);
+
+      Op wb;
+      wb.kind = OpKind::kMemStream;
+      wb.label = tag + ":writeback";
+      wb.base = kScratchBase + static_cast<Addr>(li) * 0x100000;
+      wb.bytes = pixels * l.out_c;
+      prog.push_back(wb);
+      act_cursor += l.in_h * l.in_w * l.in_c;
+    }
+
+    Op fc;
+    fc.kind = OpKind::kMvm;
+    fc.label = "fc";
+    fc.rows = spec.fc_in;
+    fc.cols = spec.fc_out;
+    fc.repeat = 1;
+    fc.weight_base = weight_cursor;
+    prog.push_back(fc);
+
+    Op softmax;
+    softmax.kind = OpKind::kCompute;
+    softmax.label = "softmax";
+    softmax.scalar_ops = spec.fc_out * 8;
+    prog.push_back(softmax);
+  }
+  return prog;
+}
+
+CnnSpec cifar_cnn(std::size_t depth) {
+  XLDS_REQUIRE(depth >= 2 && depth <= 12);
+  // VGG-style stack: same-padded 3x3 convolutions, channel count doubling
+  // every two layers (capped at 256), 2x2 pooling after every second layer.
+  CnnSpec spec;
+  std::size_t c = 3, h = 32, w = 32;
+  for (std::size_t i = 0; i < depth; ++i) {
+    ConvLayerSpec l;
+    l.in_c = c;
+    l.out_c = std::min<std::size_t>(32 << (i / 2), 256);
+    l.in_h = h;
+    l.in_w = w;
+    l.kernel = 3;
+    spec.convs.push_back(l);
+    c = l.out_c;
+    if (i % 2 == 1 && h > 4) {
+      h /= 2;
+      w /= 2;
+    }
+  }
+  spec.fc_in = c * h * w;
+  spec.fc_out = 10;
+  return spec;
+}
+
+Program make_lstm_program(const LstmSpec& spec) {
+  XLDS_REQUIRE(spec.timesteps >= 1);
+  Program prog;
+  for (std::size_t t = 0; t < spec.timesteps; ++t) {
+    const std::string tag = "t" + std::to_string(t);
+    Op mvm;
+    mvm.kind = OpKind::kMvm;
+    mvm.label = tag + ":gates";
+    mvm.rows = spec.input + spec.hidden;
+    mvm.cols = 4 * spec.hidden;
+    mvm.repeat = 1;
+    mvm.weight_base = kWeightBase;  // weights are reused across timesteps
+    prog.push_back(mvm);
+
+    Op gates;
+    gates.kind = OpKind::kCompute;
+    gates.label = tag + ":pointwise";
+    gates.scalar_ops = 12 * spec.hidden;  // sigmoids/tanh/hadamards
+    prog.push_back(gates);
+
+    Op state;
+    state.kind = OpKind::kMemStream;
+    state.label = tag + ":state";
+    state.base = kActBase;
+    state.bytes = 2 * spec.hidden * 4;
+    prog.push_back(state);
+  }
+  return prog;
+}
+
+Program make_transformer_program(const TransformerSpec& spec) {
+  XLDS_REQUIRE(spec.layers >= 1);
+  Program prog;
+  Addr weight_cursor = kWeightBase;
+  for (std::size_t l = 0; l < spec.layers; ++l) {
+    const std::string tag = "layer" + std::to_string(l);
+    // QKV + output projections: 4 [d_model x d_model] MVMs per token.
+    Op proj;
+    proj.kind = OpKind::kMvm;
+    proj.label = tag + ":proj";
+    proj.rows = spec.d_model;
+    proj.cols = 4 * spec.d_model;
+    proj.repeat = spec.seq_len;
+    proj.weight_base = weight_cursor;
+    prog.push_back(proj);
+    weight_cursor += proj.rows * proj.cols;
+
+    // Attention scores + softmax stay on the core: seq^2 * d ops.
+    Op attn;
+    attn.kind = OpKind::kCompute;
+    attn.label = tag + ":attention";
+    attn.scalar_ops = 2 * spec.seq_len * spec.seq_len * spec.d_model;
+    prog.push_back(attn);
+
+    // FFN: two MVMs per token.
+    Op ffn1;
+    ffn1.kind = OpKind::kMvm;
+    ffn1.label = tag + ":ffn1";
+    ffn1.rows = spec.d_model;
+    ffn1.cols = spec.d_ff;
+    ffn1.repeat = spec.seq_len;
+    ffn1.weight_base = weight_cursor;
+    prog.push_back(ffn1);
+    weight_cursor += ffn1.rows * ffn1.cols;
+
+    Op ffn2;
+    ffn2.kind = OpKind::kMvm;
+    ffn2.label = tag + ":ffn2";
+    ffn2.rows = spec.d_ff;
+    ffn2.cols = spec.d_model;
+    ffn2.repeat = spec.seq_len;
+    ffn2.weight_base = weight_cursor;
+    prog.push_back(ffn2);
+    weight_cursor += ffn2.rows * ffn2.cols;
+
+    Op norm;
+    norm.kind = OpKind::kMemStream;
+    norm.label = tag + ":residual";
+    norm.base = kActBase;
+    norm.bytes = spec.seq_len * spec.d_model * 4;
+    prog.push_back(norm);
+  }
+  return prog;
+}
+
+Program make_hdc_program(const HdcTraceSpec& spec) {
+  XLDS_REQUIRE(spec.queries >= 1);
+  Program prog;
+  for (std::size_t q = 0; q < spec.queries; ++q) {
+    const std::string tag = "q" + std::to_string(q);
+
+    Op fetch;
+    fetch.kind = OpKind::kMemStream;
+    fetch.label = tag + ":input";
+    fetch.base = kActBase;
+    fetch.bytes = spec.input_dim * 4;
+    prog.push_back(fetch);
+
+    Op encode;
+    encode.kind = OpKind::kMvm;
+    encode.label = tag + ":encode";
+    encode.rows = spec.input_dim;
+    encode.cols = spec.hv_dim;
+    encode.repeat = 1;
+    encode.weight_base = kWeightBase;  // the projection matrix, reused
+    prog.push_back(encode);
+
+    Op search;
+    search.kind = OpKind::kMvm;
+    search.label = tag + ":search";
+    search.rows = spec.hv_dim;
+    search.cols = spec.am_entries;
+    search.repeat = 1;
+    search.offloadable = spec.search_offloadable;
+    search.weight_base = kWeightBase + 0x4000000;  // the AM contents
+    prog.push_back(search);
+
+    Op argmax;
+    argmax.kind = OpKind::kCompute;
+    argmax.label = tag + ":argmax";
+    argmax.scalar_ops = spec.am_entries * 2;
+    prog.push_back(argmax);
+  }
+  return prog;
+}
+
+std::size_t program_macs(const Program& program) {
+  std::size_t macs = 0;
+  for (const Op& op : program)
+    if (op.kind == OpKind::kMvm) macs += op.rows * op.cols * op.repeat;
+  return macs;
+}
+
+}  // namespace xlds::sim

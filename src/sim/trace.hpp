@@ -1,0 +1,74 @@
+// Trace builders: the ML workloads the Sec.-V studies run on the system
+// simulator (CNNs, LSTMs and transformer blocks).  Each builder lowers a
+// network description into the Machine's op vocabulary: per layer, an
+// im2col/reshape memory stream, the MVM work (offloadable), and the
+// activation pass (never offloadable — that is the Amdahl tail).
+#pragma once
+
+#include <cstddef>
+
+#include "sim/machine.hpp"
+
+namespace xlds::sim {
+
+struct ConvLayerSpec {
+  std::size_t in_c = 3, out_c = 32;
+  std::size_t in_h = 32, in_w = 32;
+  std::size_t kernel = 3;
+  bool same_padding = true;  ///< keep the spatial size (VGG-style stacks)
+};
+
+struct CnnSpec {
+  std::vector<ConvLayerSpec> convs;
+  std::size_t fc_in = 1024;
+  std::size_t fc_out = 10;
+  std::size_t batch = 1;
+};
+
+/// A representative small CNN (CIFAR-class) as a simulator program.
+Program make_cnn_program(const CnnSpec& spec);
+
+/// Preset CIFAR-class CNN with `depth` conv layers.
+CnnSpec cifar_cnn(std::size_t depth = 6);
+
+struct LstmSpec {
+  std::size_t input = 256;
+  std::size_t hidden = 512;
+  std::size_t timesteps = 32;
+};
+
+/// LSTM: per timestep, the 4-gate MVM plus elementwise gate math.
+Program make_lstm_program(const LstmSpec& spec);
+
+struct TransformerSpec {
+  std::size_t d_model = 256;
+  std::size_t d_ff = 1024;
+  std::size_t seq_len = 64;
+  std::size_t layers = 2;
+};
+
+/// Transformer encoder blocks: QKV/out projections + FFN as MVMs; the
+/// attention score math stays on the core.
+Program make_transformer_program(const TransformerSpec& spec);
+
+struct HdcTraceSpec {
+  std::size_t input_dim = 617;
+  std::size_t hv_dim = 2048;
+  std::size_t am_entries = 520;
+  std::size_t queries = 16;
+  /// Associative search as an MVM is *not* crossbar-offloadable in a
+  /// crossbar-only SoC (it needs a CAM); flipping this models adding one.
+  bool search_offloadable = false;
+};
+
+/// HDC inference as a system-simulator program: per query, the encode MVM
+/// (offloadable to a crossbar), the associative search (offloadable only if
+/// a CAM engine exists) and the top-1 reduction on the core.  Running this
+/// on a crossbar-only machine shows the Amdahl cap the Sec.-III CAM argument
+/// rests on.
+Program make_hdc_program(const HdcTraceSpec& spec);
+
+/// Total MAC count of a program's MVM ops (for reporting).
+std::size_t program_macs(const Program& program);
+
+}  // namespace xlds::sim

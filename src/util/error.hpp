@@ -1,0 +1,62 @@
+// Error-handling helpers for the XLDS framework.
+//
+// Precondition violations are programming errors at the API boundary and are
+// reported with exceptions carrying an actionable message (Core Guidelines
+// I.10 / E.2).  Internal invariants use XLDS_ASSERT which compiles to a hard
+// check in all build types: modelling code silently producing wrong numbers
+// is far worse than an aborted run.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace xlds {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  explicit PreconditionError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Thrown when a model is asked to operate outside its validated envelope
+/// (e.g. an Eva-CAM preset with no data for the requested figure of merit).
+class ModelDomainError : public std::domain_error {
+ public:
+  explicit ModelDomainError(const std::string& what) : std::domain_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file, int line,
+                                            const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+}  // namespace detail
+
+}  // namespace xlds
+
+/// Check a documented precondition of a public API; throws PreconditionError.
+#define XLDS_REQUIRE(expr)                                                      \
+  do {                                                                          \
+    if (!(expr)) ::xlds::detail::throw_precondition(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// As XLDS_REQUIRE but with a human-oriented explanation streamed in.
+#define XLDS_REQUIRE_MSG(expr, msg)                                             \
+  do {                                                                          \
+    if (!(expr)) {                                                              \
+      std::ostringstream xlds_os_;                                              \
+      xlds_os_ << msg;                                                          \
+      ::xlds::detail::throw_precondition(#expr, __FILE__, __LINE__, xlds_os_.str()); \
+    }                                                                           \
+  } while (false)
+
+/// Internal invariant; failure indicates a bug in XLDS itself.
+#define XLDS_ASSERT(expr)                                                       \
+  do {                                                                          \
+    if (!(expr)) throw std::logic_error(std::string("XLDS internal invariant failed: ") + \
+                                        #expr + " at " + __FILE__);             \
+  } while (false)

@@ -1,0 +1,100 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xlds {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) noexcept : state_(0), inc_((stream << 1u) | 1u) {
+  // Standard PCG32 seeding sequence.
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+std::uint32_t Rng::next_u32() noexcept {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+}
+
+std::uint32_t Rng::uniform_u32(std::uint32_t bound) noexcept {
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t m = static_cast<std::uint64_t>(next_u32()) * bound;
+  auto lo = static_cast<std::uint32_t>(m);
+  if (lo < bound) {
+    const std::uint32_t threshold = -bound % bound;
+    while (lo < threshold) {
+      m = static_cast<std::uint64_t>(next_u32()) * bound;
+      lo = static_cast<std::uint32_t>(m);
+    }
+  }
+  return static_cast<std::uint32_t>(m >> 32);
+}
+
+double Rng::uniform() noexcept {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+double Rng::normal() noexcept {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * mul;
+  has_spare_ = true;
+  return u * mul;
+}
+
+double Rng::normal(double mean, double sigma) noexcept { return mean + sigma * normal(); }
+
+bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+double Rng::lognormal(double mu, double sigma) noexcept { return std::exp(normal(mu, sigma)); }
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = uniform_u32(static_cast<std::uint32_t>(i));
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  XLDS_REQUIRE_MSG(k <= n, "cannot sample " << k << " distinct items from " << n);
+  // Partial Fisher-Yates: O(n) memory but only k swaps.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + uniform_u32(static_cast<std::uint32_t>(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Rng Rng::fork(std::uint64_t stream_tag) noexcept {
+  // A fork derives its seed from our stream so that sibling forks differ.
+  return Rng(next_u64(), stream_tag);
+}
+
+}  // namespace xlds

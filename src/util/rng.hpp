@@ -1,0 +1,71 @@
+// Deterministic random-number generation for XLDS.
+//
+// Every stochastic model in the framework (device programming variation,
+// RRAM conductance relaxation, dataset synthesis, LSH projections...) draws
+// from an explicitly seeded Rng instance that is passed down the call chain.
+// There is deliberately no global generator: reproducibility of a design-space
+// evaluation is a core requirement, and hidden global state breaks it the
+// moment two evaluations interleave.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace xlds {
+
+/// PCG32 (O'Neill, "PCG: A Family of Simple Fast Space-Efficient Statistically
+/// Good Algorithms for Random Number Generation").  Small state, excellent
+/// statistical quality, and — unlike std::mt19937 — identical output across
+/// standard-library implementations, which keeps golden test values portable.
+class Rng {
+ public:
+  /// Seed with a stream id so that independent subsystems can derive
+  /// non-overlapping generators from one experiment seed.
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0) noexcept;
+
+  /// Uniform 32-bit integer.
+  std::uint32_t next_u32() noexcept;
+
+  /// Uniform 64-bit integer.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform integer in [0, bound) with Lemire rejection (unbiased).
+  /// Precondition: bound > 0.
+  std::uint32_t uniform_u32(std::uint32_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Standard normal via the polar (Marsaglia) method; caches the spare value.
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation (sigma >= 0).
+  double normal(double mean, double sigma) noexcept;
+
+  /// Bernoulli trial with probability p of true.
+  bool bernoulli(double p) noexcept;
+
+  /// Lognormal draw: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Fisher-Yates shuffle of an index range [0, n); returns the permutation.
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  /// Derive an independent child generator (used to give each subsystem its
+  /// own stream while keeping a single user-facing experiment seed).
+  Rng fork(std::uint64_t stream_tag) noexcept;
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace xlds

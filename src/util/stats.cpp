@@ -1,0 +1,156 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace xlds {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_ + other.n_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) * static_cast<double>(other.n_) / n;
+  mean_ += delta * static_cast<double>(other.n_) / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  XLDS_REQUIRE(x.size() == y.size());
+  XLDS_REQUIRE(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+std::vector<double> ranks_of(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+}  // namespace
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  XLDS_REQUIRE(x.size() == y.size());
+  XLDS_REQUIRE(x.size() >= 2);
+  const auto rx = ranks_of(x);
+  const auto ry = ranks_of(y);
+  return pearson(rx, ry);
+}
+
+double percentile(std::span<const double> xs, double p) {
+  XLDS_REQUIRE(!xs.empty());
+  XLDS_REQUIRE(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean_of(std::span<const double> xs) {
+  XLDS_REQUIRE(!xs.empty());
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double stddev_of(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.stddev();
+}
+
+Histogram Histogram::build(std::span<const double> xs, double lo, double hi, std::size_t nbins) {
+  XLDS_REQUIRE(nbins > 0);
+  XLDS_REQUIRE(hi > lo);
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.bins.assign(nbins, 0);
+  const double w = (hi - lo) / static_cast<double>(nbins);
+  for (double x : xs) {
+    auto idx = static_cast<long long>(std::floor((x - lo) / w));
+    idx = std::clamp<long long>(idx, 0, static_cast<long long>(nbins) - 1);
+    ++h.bins[static_cast<std::size_t>(idx)];
+  }
+  return h;
+}
+
+std::size_t Histogram::total() const noexcept {
+  return std::accumulate(bins.begin(), bins.end(), std::size_t{0});
+}
+
+double Histogram::density(std::size_t i) const noexcept {
+  const std::size_t t = total();
+  if (t == 0 || i >= bins.size()) return 0.0;
+  return static_cast<double>(bins[i]) / static_cast<double>(t);
+}
+
+double phi(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double gaussian_overlap_error(double mu0, double mu1, double sigma) {
+  XLDS_REQUIRE(sigma >= 0.0);
+  if (sigma == 0.0) return mu0 == mu1 ? 0.5 : 0.0;
+  const double d = std::abs(mu1 - mu0) / 2.0;
+  // Either state crossing the midpoint threshold: symmetric, so the per-state
+  // error probability equals 1 - Phi(d / sigma).
+  return 1.0 - phi(d / sigma);
+}
+
+}  // namespace xlds

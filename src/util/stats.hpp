@@ -1,0 +1,75 @@
+// Small statistics toolkit used throughout the framework: accuracy
+// aggregation, correlation studies (Fig. 4D), distribution summaries of
+// device-state populations (Fig. 3G-i), and Monte-Carlo confidence reporting.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace xlds {
+
+/// Numerically stable single-pass accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Pearson linear correlation coefficient of two equal-length series.
+/// Returns 0 when either series is constant.  Precondition: sizes match,
+/// size >= 2.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (Pearson on ranks, average ranks for ties).
+double spearman(std::span<const double> x, std::span<const double> y);
+
+/// p-th percentile (0..100) with linear interpolation; copies + sorts.
+/// Precondition: non-empty input, 0 <= p <= 100.
+double percentile(std::span<const double> xs, double p);
+
+/// Mean of a series; precondition: non-empty.
+double mean_of(std::span<const double> xs);
+
+/// Sample standard deviation of a series; 0 for fewer than two samples.
+double stddev_of(std::span<const double> xs);
+
+/// Equal-width histogram used by device state-distribution studies.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> bins;
+
+  /// Build over [lo, hi] with the given number of bins.  Values outside the
+  /// range are clamped to the edge bins so no sample is silently lost.
+  static Histogram build(std::span<const double> xs, double lo, double hi, std::size_t nbins);
+
+  std::size_t total() const noexcept;
+  /// Fraction of samples in bin i.
+  double density(std::size_t i) const noexcept;
+};
+
+/// Probability that two Gaussians N(mu0, sigma) and N(mu1, sigma) with a
+/// midpoint decision threshold misclassify a sample — the "state overlap"
+/// metric for multi-level cell programming (Fig. 3G-i).
+double gaussian_overlap_error(double mu0, double mu1, double sigma);
+
+/// Standard normal CDF.
+double phi(double z);
+
+}  // namespace xlds

@@ -1,0 +1,62 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace xlds {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  XLDS_REQUIRE(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  XLDS_REQUIRE_MSG(cells.size() == headers_.size(),
+                   "row arity " << cells.size() << " != header arity " << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << v;
+  return os.str();
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << ' ' << row[c] << std::string(widths[c] - row[c].size() + 1, ' ') << '|';
+    os << '\n';
+  };
+  rule();
+  emit(headers_);
+  rule();
+  for (const auto& row : rows_) emit(row);
+  rule();
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) { return os << t.str(); }
+
+void print_banner(std::ostream& os, const std::string& title, const std::string& subtitle) {
+  os << '\n' << "== " << title << " ==\n";
+  if (!subtitle.empty()) os << subtitle << '\n';
+  os << '\n';
+}
+
+}  // namespace xlds

@@ -1,0 +1,36 @@
+// ASCII table printer used by the benchmark harness so every reproduced
+// figure/table prints in a uniform, diffable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xlds {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with column alignment and +---+ rules.
+  std::string str() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner for a reproduced figure ("== Fig. 3C ... ==").
+void print_banner(std::ostream& os, const std::string& title, const std::string& subtitle = "");
+
+}  // namespace xlds

@@ -1,0 +1,49 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <sstream>
+
+namespace xlds {
+
+std::string si_format(double value, const std::string& unit, int precision) {
+  struct Prefix {
+    double scale;
+    const char* name;
+  };
+  static constexpr std::array<Prefix, 11> kPrefixes{{{1e12, "T"},
+                                                     {1e9, "G"},
+                                                     {1e6, "M"},
+                                                     {1e3, "k"},
+                                                     {1.0, ""},
+                                                     {1e-3, "m"},
+                                                     {1e-6, "u"},
+                                                     {1e-9, "n"},
+                                                     {1e-12, "p"},
+                                                     {1e-15, "f"},
+                                                     {1e-18, "a"}}};
+  std::ostringstream os;
+  os.precision(precision);
+  if (value == 0.0 || !std::isfinite(value)) {
+    os << value << ' ' << unit;
+    return os.str();
+  }
+  const double mag = std::abs(value);
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.scale) {
+      os << std::fixed << value / p.scale << ' ' << p.name << unit;
+      return os.str();
+    }
+  }
+  os << std::scientific << value << ' ' << unit;
+  return os.str();
+}
+
+std::string fixed_format(double value, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << value;
+  return os.str();
+}
+
+}  // namespace xlds

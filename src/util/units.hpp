@@ -1,0 +1,52 @@
+// Unit conventions and engineering-notation formatting.
+//
+// All internal model quantities use SI base units (seconds, joules, metres,
+// ohms, farads, volts).  Conversions to the units papers quote (ns, pJ, um^2,
+// F^2) happen only at the presentation edge, through the helpers below, so a
+// unit error cannot hide inside a model.
+#pragma once
+
+#include <string>
+
+namespace xlds {
+
+// ---- scale constants ------------------------------------------------------
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kPico = 1e-12;
+inline constexpr double kFemto = 1e-15;
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+// ---- conversions to paper-facing units -------------------------------------
+inline constexpr double to_ns(double seconds) { return seconds / kNano; }
+inline constexpr double to_ps(double seconds) { return seconds / kPico; }
+inline constexpr double to_us(double seconds) { return seconds / kMicro; }
+inline constexpr double to_ms(double seconds) { return seconds / kMilli; }
+inline constexpr double to_pj(double joules) { return joules / kPico; }
+inline constexpr double to_fj(double joules) { return joules / kFemto; }
+inline constexpr double to_nj(double joules) { return joules / kNano; }
+inline constexpr double to_um2(double m2) { return m2 / (kMicro * kMicro); }
+inline constexpr double to_mm2(double m2) { return m2 / (kMilli * kMilli); }
+
+inline constexpr double from_ns(double ns) { return ns * kNano; }
+inline constexpr double from_ps(double ps) { return ps * kPico; }
+inline constexpr double from_pj(double pj) { return pj * kPico; }
+inline constexpr double from_um2(double um2) { return um2 * kMicro * kMicro; }
+inline constexpr double from_nm(double nm) { return nm * kNano; }
+
+/// Area of n "F squared" at a feature size (metres): n * F^2.
+inline constexpr double f2_area(double feature_m, double n_f2) {
+  return n_f2 * feature_m * feature_m;
+}
+
+/// Format a value with an SI prefix and unit suffix, e.g. 2.4e-9 s -> "2.40 ns".
+std::string si_format(double value, const std::string& unit, int precision = 3);
+
+/// Fixed-precision plain formatting helper ("12.34").
+std::string fixed_format(double value, int precision = 2);
+
+}  // namespace xlds

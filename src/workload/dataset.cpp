@@ -1,0 +1,154 @@
+#include "workload/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xlds::workload {
+
+Dataset make_gaussian_clusters(const GaussianClustersSpec& spec, std::uint64_t seed) {
+  XLDS_REQUIRE(spec.n_classes >= 2);
+  XLDS_REQUIRE(spec.dim >= 2);
+  XLDS_REQUIRE(spec.train_per_class >= 1 && spec.test_per_class >= 1);
+  XLDS_REQUIRE(spec.within_sigma > 0.0);
+
+  Rng rng(seed, 0xDA7A);
+  Dataset ds;
+  ds.name = spec.name;
+  ds.n_classes = spec.n_classes;
+  ds.dim = spec.dim;
+
+  // Class means: random directions scaled so the expected pairwise mean
+  // distance is `separation * within_sigma` (dimension-independent task
+  // difficulty).  Random directions at radius r have expected pairwise
+  // distance r*sqrt(2); solve for r.
+  const double radius = spec.separation * spec.within_sigma / std::sqrt(2.0);
+  std::vector<std::vector<double>> means(spec.n_classes, std::vector<double>(spec.dim));
+  for (auto& mean : means) {
+    double norm = 0.0;
+    for (double& m : mean) {
+      m = rng.normal();
+      norm += m * m;
+    }
+    norm = std::sqrt(norm);
+    for (double& m : mean) m = 0.5 + m / norm * radius;
+  }
+
+  auto emit = [&](std::size_t cls, std::vector<std::vector<double>>& xs,
+                  std::vector<std::size_t>& ys) {
+    std::vector<double> x(spec.dim);
+    for (std::size_t d = 0; d < spec.dim; ++d)
+      x[d] = std::clamp(rng.normal(means[cls][d], spec.within_sigma), 0.0, 1.0);
+    xs.push_back(std::move(x));
+    ys.push_back(cls);
+  };
+
+  for (std::size_t cls = 0; cls < spec.n_classes; ++cls) {
+    for (std::size_t i = 0; i < spec.train_per_class; ++i) emit(cls, ds.train_x, ds.train_y);
+    for (std::size_t i = 0; i < spec.test_per_class; ++i) emit(cls, ds.test_x, ds.test_y);
+  }
+  return ds;
+}
+
+namespace {
+
+GaussianClustersSpec preset_spec(const std::string& name) {
+  GaussianClustersSpec s;
+  s.name = name;
+  if (name == "isolet-like") {
+    s.n_classes = 26;
+    s.dim = 617;
+    s.train_per_class = 20;
+    s.test_per_class = 12;
+    s.separation = 9.0;
+  } else if (name == "ucihar-like") {
+    s.n_classes = 6;
+    s.dim = 561;
+    s.train_per_class = 30;
+    s.test_per_class = 20;
+    s.separation = 8.5;
+  } else if (name == "mnist-like") {
+    s.n_classes = 10;
+    s.dim = 784;
+    s.train_per_class = 25;
+    s.test_per_class = 15;
+    s.separation = 8.5;
+  } else if (name == "face-like") {
+    s.n_classes = 2;
+    s.dim = 608;
+    s.train_per_class = 40;
+    s.test_per_class = 30;
+    s.separation = 8.0;
+  } else if (name == "language-like") {
+    s.n_classes = 21;
+    s.dim = 128;
+    s.train_per_class = 25;
+    s.test_per_class = 15;
+    s.separation = 9.0;
+  } else {
+    XLDS_REQUIRE_MSG(false, "unknown dataset preset '" << name << "'");
+  }
+  return s;
+}
+
+}  // namespace
+
+Dataset make_named_dataset(const std::string& name, std::uint64_t seed) {
+  return make_gaussian_clusters(preset_spec(name), seed);
+}
+
+const std::vector<std::string>& named_dataset_presets() {
+  static const std::vector<std::string> names = {"isolet-like", "ucihar-like", "mnist-like",
+                                                 "face-like", "language-like"};
+  return names;
+}
+
+Standardiser Standardiser::fit(const std::vector<std::vector<double>>& xs) {
+  XLDS_REQUIRE(!xs.empty());
+  const std::size_t dim = xs.front().size();
+  Standardiser s;
+  s.mean_.assign(dim, 0.0);
+  s.inv_std_.assign(dim, 1.0);
+  for (const auto& x : xs) {
+    XLDS_REQUIRE(x.size() == dim);
+    for (std::size_t d = 0; d < dim; ++d) s.mean_[d] += x[d];
+  }
+  for (double& m : s.mean_) m /= static_cast<double>(xs.size());
+  std::vector<double> var(dim, 0.0);
+  for (const auto& x : xs)
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double delta = x[d] - s.mean_[d];
+      var[d] += delta * delta;
+    }
+  for (std::size_t d = 0; d < dim; ++d) {
+    const double sd = std::sqrt(var[d] / static_cast<double>(xs.size()));
+    s.inv_std_[d] = sd > 1e-12 ? 1.0 / sd : 1.0;
+  }
+  return s;
+}
+
+std::vector<double> Standardiser::apply(const std::vector<double>& x) const {
+  XLDS_REQUIRE(x.size() == mean_.size());
+  std::vector<double> out(x.size());
+  for (std::size_t d = 0; d < x.size(); ++d) out[d] = (x[d] - mean_[d]) * inv_std_[d];
+  return out;
+}
+
+std::vector<std::vector<double>> Standardiser::apply_all(
+    const std::vector<std::vector<double>>& xs) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(xs.size());
+  for (const auto& x : xs) out.push_back(apply(x));
+  return out;
+}
+
+Dataset standardised(const Dataset& ds) {
+  const Standardiser s = Standardiser::fit(ds.train_x);
+  Dataset out = ds;
+  out.train_x = s.apply_all(ds.train_x);
+  out.test_x = s.apply_all(ds.test_x);
+  return out;
+}
+
+}  // namespace xlds::workload

@@ -1,0 +1,76 @@
+// Synthetic classification datasets.
+//
+// The paper's accuracy experiments (Figs. 3C/E/F/G) use public datasets we
+// do not ship; what those experiments measure, though, is *relative*
+// degradation under precision loss, device variation and subarray
+// aggregation — behaviour governed by class separability and dimensionality,
+// which a Gaussian-cluster generator controls exactly.  Presets mirror the
+// shape (dimensionality / class count) of the datasets the HDC literature
+// uses, and every dataset is fully determined by its seed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace xlds::workload {
+
+struct Dataset {
+  std::string name;
+  std::size_t n_classes = 0;
+  std::size_t dim = 0;
+  std::vector<std::vector<double>> train_x;  ///< features in [0, 1]
+  std::vector<std::size_t> train_y;
+  std::vector<std::vector<double>> test_x;
+  std::vector<std::size_t> test_y;
+};
+
+struct GaussianClustersSpec {
+  std::string name = "synthetic";
+  std::size_t n_classes = 10;
+  std::size_t dim = 64;
+  std::size_t train_per_class = 30;
+  std::size_t test_per_class = 20;
+  /// Expected Euclidean distance between class means, in units of the
+  /// within-class sigma (a Mahalanobis-style distance, *not* per-dimension:
+  /// the pairwise Bayes error is roughly Phi(-separation/2) independent of
+  /// dimensionality).  ~5-6 gives high-but-not-perfect separability, the
+  /// regime where the paper's degradation studies are informative.
+  double separation = 5.0;
+  double within_sigma = 0.08;
+};
+
+/// Generate a dataset from the spec; deterministic in `seed`.
+Dataset make_gaussian_clusters(const GaussianClustersSpec& spec, std::uint64_t seed);
+
+/// Presets shaped like the datasets named in the HDC literature the paper
+/// builds on.  Supported names: "isolet-like" (617-d, 26 classes),
+/// "ucihar-like" (561-d, 6 classes), "mnist-like" (784-d, 10 classes),
+/// "face-like" (608-d, 2 classes), "language-like" (128-d, 21 classes).
+Dataset make_named_dataset(const std::string& name, std::uint64_t seed);
+
+/// All preset names (for sweeps over "different datasets", Fig. 3E).
+const std::vector<std::string>& named_dataset_presets();
+
+/// Per-dimension z-scoring fitted on a training set.  Gradient-based models
+/// (the MLP/CNN baselines) need it: the raw features carry a large common
+/// offset that swamps the class signal and stalls training.
+class Standardiser {
+ public:
+  static Standardiser fit(const std::vector<std::vector<double>>& xs);
+
+  std::vector<double> apply(const std::vector<double>& x) const;
+  std::vector<std::vector<double>> apply_all(const std::vector<std::vector<double>>& xs) const;
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+/// Convenience: a copy of the dataset with train statistics applied to both
+/// splits.
+Dataset standardised(const Dataset& ds);
+
+}  // namespace xlds::workload

@@ -1,0 +1,320 @@
+#include "xbar/crossbar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xlds::xbar {
+
+namespace {
+constexpr std::uint64_t kXbarStreamTag = 0xC205BA2;
+}
+
+std::string to_string(IrDropMode mode) {
+  switch (mode) {
+    case IrDropMode::kNone: return "none";
+    case IrDropMode::kAnalytic: return "analytic";
+    case IrDropMode::kNodal: return "nodal";
+  }
+  return "?";
+}
+
+Crossbar::Crossbar(CrossbarConfig config, Rng& rng)
+    : config_(config),
+      model_(config.rram),
+      wire_r_per_cell_(device::tech_node(config.tech).wire_r_per_m * config.cell_pitch_f *
+                       device::tech_node(config.tech).feature_m),
+      rng_(rng.fork(kXbarStreamTag)),
+      g_(config.rows, config.cols, config.rram.g_min),
+      stuck_(config.rows, config.cols, 0) {
+  XLDS_REQUIRE(config_.rows >= 1 && config_.cols >= 1);
+  XLDS_REQUIRE(config_.read_voltage > 0.0);
+  XLDS_REQUIRE(config_.adcs_per_array >= 1);
+  XLDS_REQUIRE(config_.settle_time > 0.0);
+}
+
+void Crossbar::program_conductances(const MatrixD& targets) {
+  XLDS_REQUIRE_MSG(targets.rows() == config_.rows && targets.cols() == config_.cols,
+                   "conductance matrix " << targets.rows() << 'x' << targets.cols()
+                                         << " does not fit " << config_.rows << 'x'
+                                         << config_.cols << " array");
+  const auto& p = model_.params();
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    for (std::size_t c = 0; c < config_.cols; ++c) {
+      if (stuck_(r, c)) continue;  // defects ignore programming
+      const double target = std::clamp(targets(r, c), p.g_min, p.g_max);
+      g_(r, c) = config_.apply_variation ? model_.program_verify(target, rng_) : target;
+    }
+  }
+  weights_ = MatrixD{};
+}
+
+void Crossbar::program_weights(const MatrixD& weights) {
+  XLDS_REQUIRE_MSG(weights.cols() * 2 == config_.cols,
+                   "differential weights need " << weights.cols() * 2 << " physical columns, have "
+                                                << config_.cols);
+  XLDS_REQUIRE(weights.rows() == config_.rows);
+  const auto& p = model_.params();
+  MatrixD targets(config_.rows, config_.cols, p.g_min);
+  for (std::size_t r = 0; r < weights.rows(); ++r) {
+    for (std::size_t j = 0; j < weights.cols(); ++j) {
+      const double w = std::clamp(weights(r, j), -1.0, 1.0);
+      targets(r, 2 * j) = p.g_min + (p.g_max - p.g_min) * std::max(w, 0.0);
+      targets(r, 2 * j + 1) = p.g_min + (p.g_max - p.g_min) * std::max(-w, 0.0);
+    }
+  }
+  program_conductances(targets);
+  weights_ = weights;
+}
+
+void Crossbar::program_stochastic_hrs() {
+  for (std::size_t r = 0; r < config_.rows; ++r)
+    for (std::size_t c = 0; c < config_.cols; ++c)
+      if (!stuck_(r, c)) g_(r, c) = model_.sample_hrs(rng_);
+  weights_ = MatrixD{};
+}
+
+void Crossbar::age(double dt) {
+  XLDS_REQUIRE(dt >= 0.0);
+  for (std::size_t r = 0; r < config_.rows; ++r)
+    for (std::size_t c = 0; c < config_.cols; ++c)
+      if (!stuck_(r, c)) g_(r, c) = model_.relax(g_(r, c), dt, rng_);
+}
+
+void Crossbar::inject_stuck_fault(std::size_t row, std::size_t col, double g_stuck) {
+  XLDS_REQUIRE(row < config_.rows && col < config_.cols);
+  XLDS_REQUIRE(g_stuck >= 0.0);
+  stuck_(row, col) = 1;
+  g_(row, col) = std::clamp(g_stuck, config_.rram.g_min, config_.rram.g_max);
+}
+
+std::size_t Crossbar::inject_random_stuck_faults(double fraction, double g_stuck) {
+  XLDS_REQUIRE(fraction >= 0.0 && fraction <= 1.0);
+  std::size_t count = 0;
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    for (std::size_t c = 0; c < config_.cols; ++c) {
+      if (!stuck_(r, c) && rng_.bernoulli(fraction)) {
+        inject_stuck_fault(r, c, g_stuck);
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+std::size_t Crossbar::stuck_cell_count() const {
+  std::size_t n = 0;
+  for (std::uint8_t v : stuck_.data()) n += v;
+  return n;
+}
+
+double Crossbar::conductance(std::size_t row, std::size_t col) const {
+  XLDS_REQUIRE(row < config_.rows && col < config_.cols);
+  return g_(row, col);
+}
+
+std::vector<double> Crossbar::currents_ideal(const std::vector<double>& v_in) const {
+  std::vector<double> out(config_.cols, 0.0);
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    const double v = v_in[r];
+    if (v == 0.0) continue;
+    const double* row = g_.row_data(r);
+    for (std::size_t c = 0; c < config_.cols; ++c) out[c] += row[c] * v;
+  }
+  return out;
+}
+
+std::vector<double> Crossbar::currents_analytic(const std::vector<double>& v_in) const {
+  // Two-pass fixed point: compute cell currents at nominal voltages, derive
+  // row/column wire drops from the accumulated currents, then recompute cell
+  // currents at the depressed voltages.  Captures the first-order IR-drop
+  // signature (far corner sees the largest deficit) at O(RC) cost.
+  const std::size_t R = config_.rows, C = config_.cols;
+  MatrixD i_cell(R, C, 0.0);
+  for (std::size_t r = 0; r < R; ++r)
+    for (std::size_t c = 0; c < C; ++c) i_cell(r, c) = g_(r, c) * v_in[r];
+
+  std::vector<double> out(C, 0.0);
+  // Row drops: driver on the left; segment k carries the suffix sum of
+  // currents at columns >= k.
+  MatrixD v_eff(R, C, 0.0);
+  for (std::size_t r = 0; r < R; ++r) {
+    std::vector<double> suffix(C + 1, 0.0);
+    for (std::size_t c = C; c-- > 0;) suffix[c] = suffix[c + 1] + i_cell(r, c);
+    double drop = 0.0;
+    for (std::size_t c = 0; c < C; ++c) {
+      drop += wire_r_per_cell_ * suffix[c];
+      v_eff(r, c) = v_in[r] - drop;
+    }
+  }
+  // Column drops: ADC (virtual ground) at the bottom; segment below row k
+  // carries the prefix sum of currents at rows <= k.
+  for (std::size_t c = 0; c < C; ++c) {
+    std::vector<double> prefix(R + 1, 0.0);
+    for (std::size_t r = 0; r < R; ++r) prefix[r + 1] = prefix[r] + i_cell(r, c);
+    double drop = 0.0;
+    for (std::size_t r = R; r-- > 0;) {
+      drop += wire_r_per_cell_ * prefix[r + 1];
+      v_eff(r, c) -= drop;
+    }
+  }
+  for (std::size_t r = 0; r < R; ++r)
+    for (std::size_t c = 0; c < C; ++c)
+      out[c] += g_(r, c) * std::max(v_eff(r, c), 0.0);
+  return out;
+}
+
+std::vector<double> Crossbar::currents_nodal(const std::vector<double>& v_in) const {
+  // Gauss-Seidel nodal solve of the two-wire-layer resistive network.
+  const std::size_t R = config_.rows, C = config_.cols;
+  const double gw = 1.0 / wire_r_per_cell_;
+  MatrixD v(R, C, 0.0);  // row-wire node voltages
+  MatrixD u(R, C, 0.0);  // column-wire node voltages
+  for (std::size_t r = 0; r < R; ++r)
+    for (std::size_t c = 0; c < C; ++c) v(r, c) = v_in[r];
+
+  constexpr int kMaxIters = 2000;
+  constexpr double kTol = 1e-7;
+  for (int iter = 0; iter < kMaxIters; ++iter) {
+    double max_delta = 0.0;
+    for (std::size_t r = 0; r < R; ++r) {
+      for (std::size_t c = 0; c < C; ++c) {
+        const double gc = g_(r, c);
+        // Row node: neighbours along the row wire; the c==0 node ties to the
+        // driver (ideal source v_in) through one wire segment.
+        double num = gc * u(r, c);
+        double den = gc;
+        if (c == 0) {
+          num += gw * v_in[r];
+          den += gw;
+        } else {
+          num += gw * v(r, c - 1);
+          den += gw;
+        }
+        if (c + 1 < C) {
+          num += gw * v(r, c + 1);
+          den += gw;
+        }
+        const double nv = num / den;
+        max_delta = std::max(max_delta, std::abs(nv - v(r, c)));
+        v(r, c) = nv;
+
+        // Column node: neighbours along the column wire; the bottom node ties
+        // to the ADC virtual ground through one segment.
+        double cnum = gc * v(r, c);
+        double cden = gc;
+        if (r > 0) {
+          cnum += gw * u(r - 1, c);
+          cden += gw;
+        }
+        if (r + 1 < R) {
+          cnum += gw * u(r + 1, c);
+          cden += gw;
+        } else {
+          cnum += gw * 0.0;  // virtual ground
+          cden += gw;
+        }
+        const double nu = cnum / cden;
+        max_delta = std::max(max_delta, std::abs(nu - u(r, c)));
+        u(r, c) = nu;
+      }
+    }
+    if (max_delta < kTol * config_.read_voltage) break;
+  }
+  // Read the column current as the sum of cell currents: identical to the
+  // bottom-segment current at convergence, but far better conditioned than
+  // u_last * g_wire (a tiny voltage times a huge conductance).
+  std::vector<double> out(C, 0.0);
+  for (std::size_t c = 0; c < C; ++c) {
+    double i_col = 0.0;
+    for (std::size_t r = 0; r < R; ++r) i_col += g_(r, c) * (v(r, c) - u(r, c));
+    out[c] = i_col;
+  }
+  return out;
+}
+
+std::vector<double> Crossbar::column_currents(const std::vector<double>& input) const {
+  XLDS_REQUIRE_MSG(input.size() == config_.rows,
+                   "input length " << input.size() << " != " << config_.rows << " rows");
+  std::vector<double> v_in(config_.rows);
+  circuit::DacModel dac(config_.dac);
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    XLDS_REQUIRE_MSG(input[r] >= 0.0 && input[r] <= 1.0, "input " << input[r] << " not in [0,1]");
+    v_in[r] = dac.quantise(input[r], 0.0, 1.0) * config_.read_voltage;
+  }
+
+  std::vector<double> currents;
+  switch (config_.ir_drop) {
+    case IrDropMode::kNone: currents = currents_ideal(v_in); break;
+    case IrDropMode::kAnalytic: currents = currents_analytic(v_in); break;
+    case IrDropMode::kNodal: currents = currents_nodal(v_in); break;
+  }
+  if (config_.read_noise_rel > 0.0) {
+    // Peripheral read noise scales with the measured current (shot noise +
+    // ADC reference error are both signal-proportional), with a floor set by
+    // the minimum column current the array can present.
+    const double i_floor = config_.rram.g_min * config_.read_voltage *
+                           std::sqrt(static_cast<double>(config_.rows));
+    for (double& i : currents) {
+      const double sigma = config_.read_noise_rel * (i + i_floor);
+      i = std::max(0.0, i + rng_.normal(0.0, sigma));
+    }
+  }
+  return currents;
+}
+
+std::vector<double> Crossbar::mvm(const std::vector<double>& input) const {
+  XLDS_REQUIRE_MSG(!weights_.empty(), "mvm() requires program_weights(); use column_currents() "
+                                      "for raw-conductance arrays");
+  const std::vector<double> currents = column_currents(input);
+  circuit::AdcModel adc(config_.adc);
+  const double i_fs =
+      config_.rram.g_max * config_.read_voltage * static_cast<double>(config_.rows);
+  const double unit = config_.read_voltage * (config_.rram.g_max - config_.rram.g_min);
+  std::vector<double> out(weights_.cols());
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    const double ip = adc.quantise(currents[2 * j], 0.0, i_fs);
+    const double in = adc.quantise(currents[2 * j + 1], 0.0, i_fs);
+    // Baseline g_min contributions cancel in the differential pair.
+    out[j] = (ip - in) / unit;
+  }
+  return out;
+}
+
+std::vector<double> Crossbar::ideal_mvm(const std::vector<double>& input) const {
+  XLDS_REQUIRE_MSG(!weights_.empty(), "ideal_mvm() requires program_weights()");
+  XLDS_REQUIRE(input.size() == config_.rows);
+  return weights_.matvec_transposed(input);
+}
+
+MvmCost Crossbar::mvm_cost() const {
+  circuit::AdcModel adc(config_.adc);
+  circuit::DacModel dac(config_.dac);
+  MvmCost cost;
+  const auto rounds = static_cast<double>(
+      (config_.cols + config_.adcs_per_array - 1) / config_.adcs_per_array);
+  cost.latency = dac.latency() + config_.settle_time + rounds * adc.latency_per_conversion();
+
+  double g_sum = 0.0;
+  for (double g : g_.data()) g_sum += g;
+  const double v = config_.read_voltage;
+  cost.energy = static_cast<double>(config_.rows) * dac.energy_per_conversion() +
+                static_cast<double>(config_.cols) * adc.energy_per_conversion() +
+                g_sum * v * v * config_.settle_time;
+  return cost;
+}
+
+double Crossbar::ir_drop_worst_case() const {
+  std::vector<double> ones(config_.rows, config_.read_voltage);
+  const std::vector<double> ideal = currents_ideal(ones);
+  const std::vector<double> actual = currents_analytic(ones);
+  double worst = 0.0;
+  for (std::size_t c = 0; c < config_.cols; ++c) {
+    if (ideal[c] <= 0.0) continue;
+    worst = std::max(worst, (ideal[c] - actual[c]) / ideal[c]);
+  }
+  return worst;
+}
+
+}  // namespace xlds::xbar

@@ -1,0 +1,129 @@
+// Analog crossbar MVM simulator (Fig. 2D, Secs. II-B2 and IV).
+//
+// Inputs are row voltages, weights are crosspoint conductances, and the MAC
+// result is the summed column current.  The model layers the non-idealities
+// the paper's co-design studies depend on:
+//   * conductance programming variation and stochasticity (RRAM model),
+//   * DAC-quantised inputs and ADC-quantised outputs,
+//   * IR drop along row/column wires — either a fast two-pass analytic
+//     estimate or an iterative nodal (Gauss-Seidel) solve for validation,
+//   * conductance relaxation over time (age()), which is what destabilises
+//     near-plane LSH bits in Fig. 4C,
+//   * differential column pairs for signed weights.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/converter.hpp"
+#include "device/rram.hpp"
+#include "device/technology.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace xlds::xbar {
+
+enum class IrDropMode {
+  kNone,      ///< ideal wires
+  kAnalytic,  ///< two-pass fixed-point estimate (fast, default)
+  kNodal,     ///< Gauss-Seidel nodal solve (accurate, for validation)
+};
+
+std::string to_string(IrDropMode mode);
+
+struct CrossbarConfig {
+  device::RramParams rram;
+  std::size_t rows = 64;
+  std::size_t cols = 64;  ///< physical columns (differential pairs use two each)
+  std::string tech = "40nm";
+  double cell_pitch_f = 4.0;    ///< crosspoint pitch, F
+  double read_voltage = 0.2;    ///< full-scale row voltage, V
+  circuit::AdcParams adc;       ///< output converter
+  circuit::DacParams dac;       ///< input converter
+  std::size_t adcs_per_array = 8;  ///< ADCs shared across columns (serialised)
+  bool apply_variation = true;
+  IrDropMode ir_drop = IrDropMode::kAnalytic;
+  double read_noise_rel = 0.005;  ///< column-current read noise, fraction of the measured current
+  double settle_time = 1.0e-9;    ///< analog settling window per MVM, s
+};
+
+/// Cost of one analog MVM through the array.
+struct MvmCost {
+  double latency = 0.0;  ///< s
+  double energy = 0.0;   ///< J
+};
+
+class Crossbar {
+ public:
+  Crossbar(CrossbarConfig config, Rng& rng);
+
+  std::size_t rows() const noexcept { return config_.rows; }
+  std::size_t cols() const noexcept { return config_.cols; }
+  const CrossbarConfig& config() const noexcept { return config_; }
+  const device::RramModel& device_model() const noexcept { return model_; }
+
+  /// Program explicit conductance targets (S).  Values are clamped to the
+  /// device range; program-and-verify with variation when enabled.
+  void program_conductances(const MatrixD& targets);
+
+  /// Program signed weights in [-1, 1] onto differential column pairs:
+  /// physical column 2j carries the positive part of logical column j,
+  /// 2j+1 the negative part.  Requires weights.cols() * 2 == cols.
+  void program_weights(const MatrixD& weights);
+
+  /// Program every crosspoint with an independent draw from the HRS
+  /// population — the stochastic LSH projection of Sec. IV.
+  void program_stochastic_hrs();
+
+  /// Apply conductance relaxation for `dt` seconds to every device.
+  void age(double dt);
+
+  /// Fault injection: pin the crosspoint at `g_stuck` siemens.  Stuck cells
+  /// ignore all subsequent programming and relaxation — the stuck-at-LRS /
+  /// stuck-at-HRS defects defect-aware training works around.
+  void inject_stuck_fault(std::size_t row, std::size_t col, double g_stuck);
+
+  /// Pin `fraction` of the crosspoints (chosen by the internal RNG) at the
+  /// given conductance.  Returns the number of cells stuck.
+  std::size_t inject_random_stuck_faults(double fraction, double g_stuck);
+
+  std::size_t stuck_cell_count() const;
+
+  /// Raw column currents (A) for an input of per-row voltages in [0, 1]
+  /// (scaled by read_voltage internally), DAC-quantised, with IR drop and
+  /// read noise applied.
+  std::vector<double> column_currents(const std::vector<double>& input) const;
+
+  /// Signed MVM using differential pairs: returns ADC-quantised dot products
+  /// scaled back to weight×input units.  Input entries in [0, 1].
+  std::vector<double> mvm(const std::vector<double>& input) const;
+
+  /// Ideal result of the programmed weights (no analog effects): W^T x.
+  std::vector<double> ideal_mvm(const std::vector<double>& input) const;
+
+  /// Per-MVM circuit cost (converters + array dissipation + settling).
+  MvmCost mvm_cost() const;
+
+  /// Programmed conductance at a crosspoint (for tests/inspection).
+  double conductance(std::size_t row, std::size_t col) const;
+
+  /// Worst-case relative IR-drop error for an all-ones input at the current
+  /// programming — a diagnostic the co-optimisation studies use.
+  double ir_drop_worst_case() const;
+
+ private:
+  std::vector<double> currents_ideal(const std::vector<double>& v_in) const;
+  std::vector<double> currents_analytic(const std::vector<double>& v_in) const;
+  std::vector<double> currents_nodal(const std::vector<double>& v_in) const;
+
+  CrossbarConfig config_;
+  device::RramModel model_;
+  double wire_r_per_cell_;  ///< ohm per crosspoint pitch
+  mutable Rng rng_;
+  MatrixD g_;               ///< programmed conductances [rows x cols]
+  Matrix<std::uint8_t> stuck_;  ///< 1 = crosspoint pinned by a defect
+  MatrixD weights_;         ///< logical weights (when program_weights used)
+};
+
+}  // namespace xlds::xbar

@@ -1,0 +1,226 @@
+// Unit tests for the platform models and the HDC/MANN architecture mappings.
+#include <gtest/gtest.h>
+
+#include "arch/hdc_mapping.hpp"
+#include "arch/mann_mapping.hpp"
+#include "arch/platform.hpp"
+#include "arch/soc.hpp"
+#include "util/error.hpp"
+
+namespace xlds::arch {
+namespace {
+
+// ---- kernel model ----------------------------------------------------------
+
+TEST(Platform, ComputeBoundVsMemoryBound) {
+  const Platform& p = gpu();
+  // Huge MACs, tiny bytes: compute bound; scale MACs -> scale latency.
+  const KernelCost c1 = dense_kernel(p, 1'000'000'000, 64);
+  const KernelCost c2 = dense_kernel(p, 2'000'000'000, 64);
+  EXPECT_NEAR((c2.latency - p.launch_overhead) / (c1.latency - p.launch_overhead), 2.0, 0.01);
+  // Tiny MACs, huge bytes: memory bound.
+  const KernelCost m1 = dense_kernel(p, 64, 1'000'000'000);
+  const KernelCost m2 = dense_kernel(p, 64, 2'000'000'000);
+  EXPECT_NEAR((m2.latency - p.launch_overhead) / (m1.latency - p.launch_overhead), 2.0, 0.01);
+}
+
+TEST(Platform, LaunchOverheadFloorsSmallKernels) {
+  const Platform& p = gpu();
+  const KernelCost c = dense_kernel(p, 10, 10);
+  EXPECT_GE(c.latency, p.launch_overhead);
+}
+
+TEST(Platform, HostTransferLatencyAndBandwidth) {
+  const Platform& p = gpu();
+  const KernelCost small = host_transfer(p, 64);
+  const KernelCost large = host_transfer(p, 1'600'000'000);
+  EXPECT_NEAR(small.latency, p.link_latency, 1e-6);
+  EXPECT_NEAR(large.latency, 0.1 + p.link_latency, 0.01);
+}
+
+TEST(Platform, PresetsAreOrdered) {
+  EXPECT_GT(tpu().peak_macs_per_s, gpu().peak_macs_per_s);
+  EXPECT_GT(gpu().peak_macs_per_s, cpu().peak_macs_per_s);
+  EXPECT_GT(gpu().mem_bandwidth, edge_gpu().mem_bandwidth);
+}
+
+// ---- HDC mapping -------------------------------------------------------------
+
+HdcWorkload hdc_workload() {
+  HdcWorkload w;
+  w.input_dim = 617;
+  w.hv_dim = 4096;
+  w.am_entries = 520;
+  w.elem_bytes = 1;
+  return w;
+}
+
+TEST(HdcMapping, BatchAmortisesPerQueryLatency) {
+  const HdcWorkload w = hdc_workload();
+  const KernelCost b1 = hdc_gpu_inference(gpu(), w, 1);
+  const KernelCost b1000 = hdc_gpu_inference(gpu(), w, 1000);
+  EXPECT_LT(b1000.latency / 1000.0, b1.latency);  // Fig. 3H: 1000-query bar
+  EXPECT_GT(b1000.latency, b1.latency);           // but total time grows
+}
+
+TEST(HdcMapping, HybridBeatsGpuAtLargeBatch) {
+  const HdcWorkload w = hdc_workload();
+  const KernelCost gpu_only = hdc_gpu_inference(gpu(), w, 1000);
+  const KernelCost hybrid = hdc_hybrid_inference(tpu(), gpu(), w, 1000);
+  EXPECT_LT(hybrid.latency, gpu_only.latency);
+}
+
+TEST(HdcMapping, HybridHopHurtsAtBatchOne) {
+  const HdcWorkload w = hdc_workload();
+  const KernelCost gpu_only = hdc_gpu_inference(gpu(), w, 1);
+  const KernelCost hybrid = hdc_hybrid_inference(tpu(), gpu(), w, 1);
+  // The extra device-to-device hop cannot be amortised by one query.
+  EXPECT_GT(hybrid.latency, 0.8 * gpu_only.latency);
+}
+
+TEST(HdcMapping, CamPipelinePipelinesBatch) {
+  xbar::MvmCost encode{200e-9, 1e-9};
+  cam::SearchCost search{100e-9, 2e-9};
+  const KernelCost b1 = hdc_cam_inference(encode, search, 1);
+  const KernelCost b10 = hdc_cam_inference(encode, search, 10);
+  EXPECT_NEAR(b1.latency, 300e-9, 1e-12);
+  // 9 extra queries at the 200 ns beat.
+  EXPECT_NEAR(b10.latency, 300e-9 + 9 * 200e-9, 1e-12);
+  EXPECT_NEAR(b10.energy, 10 * b1.energy, 1e-15);
+}
+
+TEST(HdcMapping, CamOrdersOfMagnitudeFasterThanGpuAtBatchOne) {
+  // Fig. 3H's headline: the CAM pipeline dodges transfer + launch overheads.
+  const HdcWorkload w = hdc_workload();
+  const KernelCost gpu_b1 = hdc_gpu_inference(gpu(), w, 1);
+  xbar::MvmCost encode{200e-9, 1e-9};
+  cam::SearchCost search{100e-9, 2e-9};
+  const KernelCost cam_b1 = hdc_cam_inference(encode, search, 1);
+  EXPECT_GT(gpu_b1.latency / cam_b1.latency, 10.0);
+}
+
+TEST(HdcMapping, SearchFractionSubstantialAndGrowsWithAm) {
+  HdcWorkload w = hdc_workload();
+  const double f_small = gpu_search_fraction(gpu(), w, 1);
+  w.am_entries = 5000;
+  const double f_large = gpu_search_fraction(gpu(), w, 1);
+  EXPECT_GT(f_small, 0.1);
+  EXPECT_LT(f_small, 0.95);
+  EXPECT_GT(f_large, f_small);
+}
+
+TEST(HdcMapping, NvmBackedRemovesWeightStreaming) {
+  HdcWorkload w = hdc_workload();
+  // On an edge platform whose DRAM bus is the bottleneck, an on-chip NVM
+  // bank several times faster than DRAM must win at batch 1.
+  const KernelCost dram = hdc_gpu_inference(edge_gpu(), w, 1);
+  const KernelCost nvm =
+      hdc_nvm_backed_inference(edge_gpu(), w, 1, /*bw=*/300e9, /*epb=*/5e-12);
+  EXPECT_LT(nvm.latency, dram.latency);
+  // A bank *slower* than the platform's own DRAM cannot help.
+  const KernelCost slow_nvm =
+      hdc_nvm_backed_inference(edge_gpu(), w, 1, /*bw=*/5e9, /*epb=*/5e-12);
+  EXPECT_GT(slow_nvm.latency, nvm.latency);
+  EXPECT_THROW(hdc_nvm_backed_inference(edge_gpu(), w, 1, 0.0, 1e-12), PreconditionError);
+}
+
+TEST(HdcMapping, MlpBaselinePositive) {
+  const KernelCost c = mlp_gpu_inference(gpu(), 500'000, 500'000, 1);
+  EXPECT_GT(c.latency, 0.0);
+  EXPECT_GT(c.energy, 0.0);
+}
+
+// ---- MANN mapping -----------------------------------------------------------
+
+TEST(MannMapping, GpuInferencePositiveAndBatchAmortises) {
+  MannWorkload w;
+  const KernelCost b1 = mann_gpu_inference(gpu(), w, 1);
+  const KernelCost b100 = mann_gpu_inference(gpu(), w, 100);
+  EXPECT_GT(b1.latency, 0.0);
+  EXPECT_LT(b100.latency / 100.0, b1.latency);
+}
+
+TEST(MannMapping, RramPipelineScalesWithLayers) {
+  xbar::MvmCost stage{50e-9, 0.5e-9};
+  xbar::MvmCost hash{30e-9, 0.2e-9};
+  cam::SearchCost search{20e-9, 0.1e-9};
+  const KernelCost l4 = mann_rram_inference(stage, 4, hash, search, 1);
+  const KernelCost l8 = mann_rram_inference(stage, 8, hash, search, 1);
+  EXPECT_NEAR(l8.latency - l4.latency, 4 * 50e-9, 1e-12);
+}
+
+TEST(MannMapping, RramBeatsGpuAtBatchOne) {
+  MannWorkload w;
+  const KernelCost digital = mann_gpu_inference(gpu(), w, 1);
+  xbar::MvmCost stage{50e-9, 0.5e-9};
+  xbar::MvmCost hash{30e-9, 0.2e-9};
+  cam::SearchCost search{20e-9, 0.1e-9};
+  const KernelCost rram = mann_rram_inference(stage, 6, hash, search, 1);
+  EXPECT_GT(digital.latency / rram.latency, 10.0);
+}
+
+TEST(MannMapping, ZeroBatchRejected) {
+  MannWorkload w;
+  EXPECT_THROW(mann_gpu_inference(gpu(), w, 0), PreconditionError);
+}
+
+// ---- SoC template (open-hardware platform, Sec. V) ---------------------------
+
+TEST(Soc, BareTemplateFitsWithUnitSpeedup) {
+  SocInstance soc(SocTemplate::ultra_low_power());
+  const SocReport r = soc.integrate(0.8);
+  EXPECT_TRUE(r.fits);
+  EXPECT_DOUBLE_EQ(r.application_speedup, 1.0);  // nothing to offload to
+  EXPECT_EQ(r.bus_utilisation, 0.0);
+}
+
+TEST(Soc, AcceleratorGivesAmdahlSpeedup) {
+  SocInstance soc(SocTemplate::ultra_low_power());
+  soc.attach(crossbar_macro_ip());
+  const SocReport r = soc.integrate(0.9);
+  ASSERT_TRUE(r.fits) << r.violation;
+  // Amdahl with f = 0.9, s = 18, contention = max(1, 0.8/1.6) = 1.
+  EXPECT_NEAR(r.application_speedup, 1.0 / (0.1 + 0.9 / 18.0), 1e-9);
+  EXPECT_LT(r.application_speedup, 18.0);
+}
+
+TEST(Soc, AreaBudgetViolationReported) {
+  SocInstance soc(SocTemplate::ultra_low_power());
+  for (int i = 0; i < 4; ++i) soc.attach(cgra_ip());  // 4 x 0.6 mm^2 on a 2.5 mm^2 budget
+  const SocReport r = soc.integrate(0.5);
+  EXPECT_FALSE(r.fits);
+  EXPECT_NE(r.violation.find("area"), std::string::npos);
+}
+
+TEST(Soc, BusContentionDegradesSpeedup) {
+  SocTemplate narrow = SocTemplate::ultra_low_power();
+  narrow.bus_bandwidth = 0.2e9;  // crossbar demands 0.8 GB/s -> 4x contention
+  SocInstance soc(narrow);
+  soc.attach(crossbar_macro_ip());
+  const SocReport congested = soc.integrate(0.9);
+  ASSERT_TRUE(congested.fits);
+
+  SocInstance wide(SocTemplate::ultra_low_power());
+  wide.attach(crossbar_macro_ip());
+  EXPECT_LT(congested.application_speedup, wide.integrate(0.9).application_speedup);
+  EXPECT_GT(congested.bus_utilisation, 1.0);
+}
+
+TEST(Soc, OffloadFractionBounds) {
+  SocInstance soc(SocTemplate::ultra_low_power());
+  soc.attach(in_sram_compute_ip());
+  EXPECT_THROW(soc.integrate(-0.1), PreconditionError);
+  EXPECT_THROW(soc.integrate(1.1), PreconditionError);
+  const SocReport all = soc.integrate(1.0);
+  EXPECT_NEAR(all.application_speedup, 4.0, 1e-9);  // pure kernel speedup
+}
+
+TEST(Soc, IpPresetsAreOrdered) {
+  // The crossbar macro is the aggressive option; in-SRAM compute the
+  // bus-frugal one.
+  EXPECT_GT(crossbar_macro_ip().kernel_speedup, cgra_ip().kernel_speedup);
+  EXPECT_LT(in_sram_compute_ip().bus_demand, cgra_ip().bus_demand);
+}
+
+}  // namespace
+}  // namespace xlds::arch

@@ -1,0 +1,549 @@
+// Unit tests for the associative-memory simulators: FeFET MCAM, RRAM TCAM,
+// analog CAM and subarray partitioning.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cam/acam.hpp"
+#include "cam/fefet_cam.hpp"
+#include "cam/partitioned.hpp"
+#include "cam/processor.hpp"
+#include "cam/rram_tcam.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace xlds::cam {
+namespace {
+
+FeFetCamConfig ideal_config(std::size_t rows, std::size_t cols, int bits) {
+  FeFetCamConfig cfg;
+  cfg.fefet.bits = bits;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  cfg.apply_variation = false;
+  cfg.sense_noise_rel = 0.0;
+  cfg.sense_levels = 256;
+  return cfg;
+}
+
+// ---- FeFetCamArray ---------------------------------------------------------
+
+TEST(FeFetCam, ExactMatchFindsStoredWord) {
+  Rng rng(1);
+  FeFetCamArray cam(ideal_config(4, 8, 3), rng);
+  cam.write_word(0, {0, 1, 2, 3, 4, 5, 6, 7});
+  cam.write_word(1, {7, 6, 5, 4, 3, 2, 1, 0});
+  cam.write_word(2, {1, 1, 1, 1, 1, 1, 1, 1});
+  cam.write_word(3, {0, 0, 0, 0, 0, 0, 0, 7});
+  const auto hits = cam.exact_match({7, 6, 5, 4, 3, 2, 1, 0});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1u);
+}
+
+TEST(FeFetCam, BestMatchTracksIdealDistance) {
+  Rng rng(2);
+  FeFetCamArray cam(ideal_config(8, 16, 2), rng);
+  Rng data(3);
+  std::vector<std::vector<int>> words(8, std::vector<int>(16));
+  for (auto& w : words)
+    for (int& d : w) d = static_cast<int>(data.uniform_u32(4));
+  for (std::size_t r = 0; r < words.size(); ++r) cam.write_word(r, words[r]);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> q(16);
+    for (int& d : q) d = static_cast<int>(data.uniform_u32(4));
+    const SearchResult res = cam.search(q);
+    // The sensed winner must be within sensing resolution of the ideal
+    // winner's distance (the sensing saturates, so exact identity can break
+    // for far queries; near queries must agree).
+    std::size_t ideal_best = 0;
+    double best_d = 1e18;
+    for (std::size_t r = 0; r < words.size(); ++r) {
+      const double d = cam.ideal_distance(r, q);
+      if (d < best_d) {
+        best_d = d;
+        ideal_best = r;
+      }
+    }
+    if (best_d < static_cast<double>(cam.mismatch_limit()) / 2.0) {
+      EXPECT_EQ(res.best_row, ideal_best) << "trial " << trial;
+    }
+  }
+}
+
+TEST(FeFetCam, SensedDistanceMonotoneInIdealDistance) {
+  Rng rng(4);
+  FeFetCamArray cam(ideal_config(3, 8, 3), rng);
+  cam.write_word(0, {4, 4, 4, 4, 4, 4, 4, 4});
+  cam.write_word(1, {4, 4, 4, 4, 4, 4, 4, 5});  // distance 1
+  cam.write_word(2, {4, 4, 4, 4, 4, 4, 5, 5});  // distance 2
+  const SearchResult res = cam.search({4, 4, 4, 4, 4, 4, 4, 4});
+  EXPECT_LT(res.sensed_distance[0], res.sensed_distance[1]);
+  EXPECT_LT(res.sensed_distance[1], res.sensed_distance[2]);
+  EXPECT_EQ(res.best_row, 0u);
+}
+
+TEST(FeFetCam, QuadraticCellTransfer) {
+  // Fig. 3D: a one-step mismatch conducts ~4x less than a two-step mismatch.
+  Rng rng(5);
+  FeFetCamArray cam(ideal_config(1, 1, 3), rng);
+  cam.write_word(0, {4});
+  const SearchResult d1 = cam.search({5});
+  const SearchResult d2 = cam.search({6});
+  EXPECT_GT(d2.sensed_distance[0], 2.5 * std::max(d1.sensed_distance[0], 1e-9));
+}
+
+TEST(FeFetCam, TransferCurveIsValleyAtStoredLevel) {
+  Rng rng(6);
+  const FeFetCamConfig cfg = ideal_config(1, 1, 3);
+  FeFetCamArray cam(cfg, rng);
+  const auto& fefet = cam.device_model();
+  const int stored = 3;
+  const double v_store = fefet.search_voltage(stored);
+  const double g_at_store = cam.cell_transfer_conductance(v_store, stored);
+  const double g_below = cam.cell_transfer_conductance(v_store - 0.4, stored);
+  const double g_above = cam.cell_transfer_conductance(v_store + 0.4, stored);
+  EXPECT_GT(g_below, 10.0 * g_at_store);
+  EXPECT_GT(g_above, 10.0 * g_at_store);
+}
+
+TEST(FeFetCam, DontCareCellsNeverDischarge) {
+  Rng rng(7);
+  FeFetCamArray cam(ideal_config(2, 4, 2), rng);
+  cam.write_word(0, {kDontCare, kDontCare, kDontCare, kDontCare});
+  cam.write_word(1, {0, 0, 0, 0});
+  const SearchResult res = cam.search({3, 3, 3, 3});
+  EXPECT_NEAR(res.sensed_distance[0], 0.0, 1e-9);
+  EXPECT_GT(res.sensed_distance[1], 0.0);
+}
+
+TEST(FeFetCam, ThresholdMatchReturnsCloseRows) {
+  Rng rng(8);
+  FeFetCamArray cam(ideal_config(3, 8, 3), rng);
+  cam.write_word(0, {4, 4, 4, 4, 4, 4, 4, 4});
+  cam.write_word(1, {4, 4, 4, 4, 4, 4, 4, 5});
+  cam.write_word(2, {0, 0, 0, 0, 0, 0, 0, 0});
+  const auto rows = cam.threshold_match({4, 4, 4, 4, 4, 4, 4, 4}, 2.0);
+  EXPECT_EQ(rows, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(FeFetCam, ReadbackMatchesStoredWithoutVariation) {
+  Rng rng(9);
+  FeFetCamArray cam(ideal_config(1, 8, 3), rng);
+  cam.write_word(0, {0, 1, 2, 3, 4, 5, 6, 7});
+  for (std::size_t c = 0; c < 8; ++c) EXPECT_EQ(cam.readback_digit(0, c), static_cast<int>(c));
+}
+
+TEST(FeFetCam, VariationCausesLevelErrorsAtHighSigma) {
+  FeFetCamConfig cfg = ideal_config(16, 64, 3);
+  cfg.apply_variation = true;
+  cfg.fefet.sigma_program = 0.25;  // far beyond the 94 mV the paper measured
+  Rng rng(10);
+  FeFetCamArray cam(cfg, rng);
+  std::vector<int> word(64, 3);
+  int errors = 0;
+  for (std::size_t r = 0; r < 16; ++r) {
+    cam.write_word(r, word);
+    for (std::size_t c = 0; c < 64; ++c)
+      if (cam.readback_digit(r, c) != 3) ++errors;
+  }
+  EXPECT_GT(errors, 0);
+}
+
+TEST(FeFetCam, SearchCostScalesWithGeometry) {
+  Rng rng(11);
+  FeFetCamArray small(ideal_config(16, 32, 2), rng);
+  FeFetCamArray big(ideal_config(128, 128, 2), rng);
+  EXPECT_GT(big.search_cost().energy, small.search_cost().energy);
+  EXPECT_GT(big.search_cost().latency, 0.0);
+}
+
+TEST(FeFetCam, MismatchLimitPositiveAndBounded) {
+  Rng rng(12);
+  FeFetCamArray cam(ideal_config(8, 64, 3), rng);
+  EXPECT_GE(cam.mismatch_limit(), 1u);
+}
+
+TEST(FeFetCam, RejectsBadInput) {
+  Rng rng(13);
+  FeFetCamArray cam(ideal_config(2, 4, 2), rng);
+  EXPECT_THROW(cam.write_word(5, {0, 0, 0, 0}), PreconditionError);
+  EXPECT_THROW(cam.write_word(0, {0, 0, 0}), PreconditionError);
+  EXPECT_THROW(cam.write_word(0, {0, 0, 0, 9}), PreconditionError);
+  cam.write_word(0, {0, 0, 0, 0});
+  cam.write_word(1, {0, 0, 0, 0});
+  EXPECT_THROW(cam.search({0, 0}), PreconditionError);
+  EXPECT_THROW(cam.search({0, 0, 0, 4}), PreconditionError);
+}
+
+// Property sweep over cell precisions: without variation/noise the sensed
+// winner equals the ideal winner for near queries.
+class FeFetCamBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(FeFetCamBits, IdealSearchCorrectAcrossPrecisions) {
+  const int bits = GetParam();
+  const int levels = 1 << bits;
+  Rng rng(14);
+  FeFetCamArray cam(ideal_config(6, 12, bits), rng);
+  Rng data(15);
+  std::vector<std::vector<int>> words(6, std::vector<int>(12));
+  for (auto& w : words)
+    for (int& d : w) d = static_cast<int>(data.uniform_u32(levels));
+  for (std::size_t r = 0; r < words.size(); ++r) cam.write_word(r, words[r]);
+  for (std::size_t r = 0; r < words.size(); ++r) {
+    std::vector<int> q = words[r];
+    q[0] = std::min(levels - 1, q[0] + 1);  // one-step perturbation
+    const SearchResult res = cam.search(q);
+    EXPECT_EQ(res.best_row, r) << "bits=" << bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, FeFetCamBits, ::testing::Values(1, 2, 3, 4));
+
+// ---- RramTcamArray --------------------------------------------------------
+
+RramTcamConfig ideal_tcam(std::size_t rows, std::size_t cols) {
+  RramTcamConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  cfg.apply_variation = false;
+  cfg.sense_noise_rel = 0.0;
+  cfg.sense_levels = 256;
+  return cfg;
+}
+
+TEST(RramTcam, HammingDistanceExactWithoutNoise) {
+  Rng rng(16);
+  RramTcamArray tcam(ideal_tcam(4, 16), rng);
+  const std::vector<int> base(16, 1);
+  tcam.write_word(0, base);
+  std::vector<int> w1 = base;
+  w1[3] = 0;
+  tcam.write_word(1, w1);
+  std::vector<int> w2 = base;
+  w2[0] = w2[1] = w2[2] = 0;
+  tcam.write_word(2, w2);
+  tcam.write_word(3, std::vector<int>(16, 0));
+  const SearchResult res = tcam.search(base);
+  EXPECT_NEAR(res.sensed_distance[0], 0.0, 0.26);
+  EXPECT_NEAR(res.sensed_distance[1], 1.0, 0.26);
+  EXPECT_NEAR(res.sensed_distance[2], 3.0, 0.26);
+  EXPECT_NEAR(res.sensed_distance[3], 16.0, 0.26);
+  EXPECT_EQ(res.best_row, 0u);
+}
+
+TEST(RramTcam, DontCareContributesZero) {
+  Rng rng(17);
+  RramTcamArray tcam(ideal_tcam(2, 8), rng);
+  tcam.write_word(0, {1, 1, 1, 1, kDontCare, kDontCare, kDontCare, kDontCare});
+  tcam.write_word(1, {1, 1, 1, 1, 0, 0, 0, 0});
+  const SearchResult res = tcam.search({1, 1, 1, 1, 1, 1, 1, 1});
+  EXPECT_NEAR(res.sensed_distance[0], 0.0, 0.3);
+  EXPECT_NEAR(res.sensed_distance[1], 4.0, 0.3);
+}
+
+TEST(RramTcam, IdealDistanceCountsMismatches) {
+  Rng rng(18);
+  RramTcamArray tcam(ideal_tcam(1, 6), rng);
+  tcam.write_word(0, {1, 0, kDontCare, 1, 0, 1});
+  EXPECT_EQ(tcam.ideal_distance(0, {1, 0, 1, 1, 0, 1}), 0u);
+  EXPECT_EQ(tcam.ideal_distance(0, {0, 1, 0, 0, 1, 0}), 5u);
+}
+
+TEST(RramTcam, VariationPerturbsSensedDistances) {
+  RramTcamConfig cfg = ideal_tcam(8, 64);
+  cfg.apply_variation = true;
+  cfg.sense_levels = 1024;
+  Rng rng(19);
+  RramTcamArray tcam(cfg, rng);
+  Rng data(20);
+  std::vector<int> word(64);
+  for (int& b : word) b = data.bernoulli(0.5) ? 1 : 0;
+  for (std::size_t r = 0; r < 8; ++r) tcam.write_word(r, word);
+  const SearchResult res = tcam.search(word);
+  // All rows store the same word; with device variation the sensed values
+  // spread around 0 but must stay small.
+  for (double d : res.sensed_distance) EXPECT_LT(d, 4.0);
+}
+
+TEST(RramTcam, AgingDriftsDistances) {
+  RramTcamConfig cfg = ideal_tcam(1, 128);
+  cfg.apply_variation = true;
+  Rng rng(21);
+  RramTcamArray tcam(cfg, rng);
+  Rng data(22);
+  std::vector<int> word(128);
+  for (int& b : word) b = data.bernoulli(0.5) ? 1 : 0;
+  tcam.write_word(0, word);
+  const double before = tcam.search(word).sensed_distance[0];
+  tcam.age(1.0e4);
+  const double after = tcam.search(word).sensed_distance[0];
+  EXPECT_GE(after, before);  // relaxation can only blur toward mid states
+}
+
+TEST(RramTcam, VariationAwareMappingKeepsMarginUsable) {
+  // With the high-variation band centred mid-range, the co-optimised mapping
+  // must still produce a clean Hamming staircase.
+  RramTcamConfig cfg = ideal_tcam(3, 32);
+  cfg.variation_aware_mapping = true;
+  Rng rng(23);
+  RramTcamArray tcam(cfg, rng);
+  const std::vector<int> base(32, 1);
+  tcam.write_word(0, base);
+  std::vector<int> w1 = base;
+  w1[0] = 0;
+  tcam.write_word(1, w1);
+  std::vector<int> w2 = base;
+  w2[0] = w2[1] = 0;
+  tcam.write_word(2, w2);
+  const SearchResult res = tcam.search(base);
+  EXPECT_LT(res.sensed_distance[0], res.sensed_distance[1]);
+  EXPECT_LT(res.sensed_distance[1], res.sensed_distance[2]);
+}
+
+TEST(RramTcam, RejectsBadBits) {
+  Rng rng(24);
+  RramTcamArray tcam(ideal_tcam(1, 4), rng);
+  EXPECT_THROW(tcam.write_word(0, {0, 1, 2, 0}), PreconditionError);
+  tcam.write_word(0, {0, 1, 0, 1});
+  EXPECT_THROW(tcam.search({0, 1, 3, 1}), PreconditionError);  // not 0/1/X
+  EXPECT_NO_THROW(tcam.search({0, 1, kDontCare, 1}));  // masked queries are legal
+}
+
+TEST(RramTcam, MaskedQuerySkipsColumns) {
+  Rng rng(60);
+  RramTcamArray tcam(ideal_tcam(2, 8), rng);
+  tcam.write_word(0, {1, 1, 1, 1, 0, 0, 0, 0});
+  tcam.write_word(1, {1, 1, 0, 0, 0, 0, 0, 0});
+  // Mask the disagreeing columns: both rows exact-match.
+  std::vector<int> q = {1, 1, kDontCare, kDontCare, 0, 0, 0, 0};
+  EXPECT_EQ(tcam.exact_match(q).size(), 2u);
+  // Unmask one disagreeing column: only row 0 matches.
+  q[2] = 1;
+  const auto rows = tcam.exact_match(q);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 0u);
+  // Fully masked queries are rejected.
+  EXPECT_THROW(tcam.search(std::vector<int>(8, kDontCare)), PreconditionError);
+}
+
+TEST(RramTcam, WriteCellUpdatesSingleBit) {
+  Rng rng(61);
+  RramTcamArray tcam(ideal_tcam(1, 4), rng);
+  tcam.write_word(0, {0, 0, 0, 0});
+  tcam.write_cell(0, 2, 1);
+  EXPECT_EQ(tcam.stored_bit(0, 2), 1);
+  EXPECT_EQ(tcam.stored_bit(0, 1), 0);
+  EXPECT_EQ(tcam.ideal_distance(0, {0, 0, 1, 0}), 0u);
+}
+
+// ---- CamProcessor (CAPE-style general-purpose compute) ----------------------
+
+RramTcamConfig processor_config(std::size_t rows, std::size_t cols) {
+  RramTcamConfig cfg = ideal_tcam(rows, cols);
+  cfg.sense_levels = 256;
+  return cfg;
+}
+
+TEST(CamProcessor, BitwiseTruthTablesAcrossAllRows) {
+  Rng rng(62);
+  CamProcessor proc(processor_config(4, 6), rng);
+  // Columns: 0 = a, 1 = b, 2 = AND, 3 = OR, 4 = XOR, 5 = NOT a.
+  const int a_bits[4] = {0, 0, 1, 1};
+  const int b_bits[4] = {0, 1, 0, 1};
+  for (std::size_t r = 0; r < 4; ++r)
+    proc.load_row(r, {a_bits[r], b_bits[r], 0, 0, 0, 0});
+
+  proc.apply(2, {0, 1}, {0, 0, 0, 1});  // AND
+  proc.apply(3, {0, 1}, {0, 1, 1, 1});  // OR
+  proc.apply(4, {0, 1}, {0, 1, 1, 0});  // XOR
+  proc.apply(5, {0}, {1, 0});           // NOT
+
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(proc.bit(r, 2), a_bits[r] & b_bits[r]) << "AND row " << r;
+    EXPECT_EQ(proc.bit(r, 3), a_bits[r] | b_bits[r]) << "OR row " << r;
+    EXPECT_EQ(proc.bit(r, 4), a_bits[r] ^ b_bits[r]) << "XOR row " << r;
+    EXPECT_EQ(proc.bit(r, 5), 1 - a_bits[r]) << "NOT row " << r;
+  }
+}
+
+TEST(CamProcessor, RowParallelAdderCorrectOnRandomOperands) {
+  constexpr std::size_t kRows = 16;
+  constexpr std::size_t kWidth = 4;
+  // Layout: a[0..3], b[4..7], out[8..11], carry=12, scratch=13.
+  Rng rng(63);
+  CamProcessor proc(processor_config(kRows, 14), rng);
+  Rng data(64);
+  std::vector<unsigned> a_vals(kRows), b_vals(kRows);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    a_vals[r] = data.uniform_u32(16);
+    b_vals[r] = data.uniform_u32(16);
+    std::vector<int> row(14, 0);
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      row[i] = static_cast<int>((a_vals[r] >> i) & 1u);
+      row[4 + i] = static_cast<int>((b_vals[r] >> i) & 1u);
+    }
+    proc.load_row(r, row);
+  }
+  proc.add_words({0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10, 11}, 12, 13);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    unsigned sum = 0;
+    for (std::size_t i = 0; i < kWidth; ++i)
+      sum |= static_cast<unsigned>(proc.bit(r, 8 + i)) << i;
+    const unsigned carry = static_cast<unsigned>(proc.bit(r, 12));
+    EXPECT_EQ(sum | (carry << kWidth), a_vals[r] + b_vals[r]) << "row " << r;
+  }
+}
+
+TEST(CamProcessor, CostAccountingCountsPasses) {
+  Rng rng(65);
+  CamProcessor proc(processor_config(4, 4), rng);
+  proc.load_row(0, {1, 1, 0, 0});
+  proc.reset_cost();
+  proc.apply(2, {0, 1}, {0, 0, 0, 1});  // AND: 1 clear + 1 minterm
+  EXPECT_EQ(proc.cost().searches, 1u);
+  EXPECT_EQ(proc.cost().writes, 2u);  // clear + set pass
+  EXPECT_GT(proc.cost().total.latency, 0.0);
+  EXPECT_GT(proc.cost().total.energy, 0.0);
+}
+
+TEST(CamProcessor, RejectsBadArguments) {
+  Rng rng(66);
+  CamProcessor proc(processor_config(2, 4), rng);
+  EXPECT_THROW(proc.apply(0, {0}, {1, 0}), PreconditionError);        // dst == src
+  EXPECT_THROW(proc.apply(1, {0}, {1, 0, 1}), PreconditionError);     // bad table size
+  EXPECT_THROW(proc.load_row(0, {0, 1, 2, 0}), PreconditionError);    // non-binary data
+}
+
+// ---- FeFetAcamArray -----------------------------------------------------
+
+TEST(Acam, MatchesInsideStoredRange) {
+  AcamConfig cfg;
+  cfg.rows = 2;
+  cfg.cols = 2;
+  cfg.apply_variation = false;
+  Rng rng(25);
+  FeFetAcamArray acam(cfg, rng);
+  acam.write_word(0, {{0.2, 0.4}, {0.6, 0.9}});
+  acam.write_word(1, {{0.0, 0.1}, {0.0, 0.1}});
+  const auto hits = acam.exact_match({0.3, 0.7});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 0u);
+  EXPECT_TRUE(acam.exact_match({0.5, 0.5}).empty());
+}
+
+TEST(Acam, VariationShiftsBounds) {
+  AcamConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = 1;
+  cfg.apply_variation = true;
+  cfg.fefet.sigma_program = 0.15;
+  Rng rng(26);
+  FeFetAcamArray acam(cfg, rng);
+  acam.write_word(0, {{0.4, 0.6}});
+  const AnalogRange pr = acam.programmed_range(0, 0);
+  EXPECT_NE(pr.lo, 0.4);  // variation applied
+  EXPECT_LE(pr.lo, pr.hi);
+  EXPECT_GE(pr.lo, 0.0);
+  EXPECT_LE(pr.hi, 1.0);
+}
+
+TEST(Acam, RejectsInvalidRanges) {
+  AcamConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = 1;
+  Rng rng(27);
+  FeFetAcamArray acam(cfg, rng);
+  EXPECT_THROW(acam.write_word(0, {{0.7, 0.3}}), PreconditionError);
+  EXPECT_THROW(acam.write_word(0, {{-0.1, 0.5}}), PreconditionError);
+}
+
+// ---- PartitionedCam --------------------------------------------------------
+
+PartitionedCamConfig partition_config(std::size_t rows, std::size_t seg_cols,
+                                      std::size_t total_width, Aggregation agg) {
+  PartitionedCamConfig cfg;
+  cfg.subarray = ideal_config(rows, seg_cols, 2);
+  cfg.total_width = total_width;
+  cfg.aggregation = agg;
+  return cfg;
+}
+
+TEST(PartitionedCam, SegmentCountCeils) {
+  Rng rng(28);
+  PartitionedCam cam(partition_config(4, 32, 100, Aggregation::kVote), rng);
+  EXPECT_EQ(cam.segments(), 4u);  // ceil(100/32)
+}
+
+TEST(PartitionedCam, SingleSegmentAgreesWithIdeal) {
+  Rng rng(29);
+  PartitionedCam cam(partition_config(6, 64, 64, Aggregation::kSumSensed), rng);
+  Rng data(30);
+  std::vector<std::vector<int>> words(6, std::vector<int>(64));
+  for (auto& w : words)
+    for (int& d : w) d = static_cast<int>(data.uniform_u32(4));
+  for (std::size_t r = 0; r < 6; ++r) cam.write_word(r, words[r]);
+  for (std::size_t r = 0; r < 6; ++r) {
+    std::vector<int> q = words[r];
+    q[5] = (q[5] + 1) % 4;
+    EXPECT_EQ(cam.search(q).best_row, cam.ideal_best_match(q));
+  }
+}
+
+TEST(PartitionedCam, VoteAggregationCanDisagreeWithIdeal) {
+  // The Fig. 3F-i construction: row 0 is globally closest but loses most
+  // segments 'narrowly'; row 1 wins more segment votes.
+  Rng rng(31);
+  PartitionedCam cam(partition_config(2, 4, 12, Aggregation::kVote), rng);
+  //          |  seg 0    |  seg 1    |  seg 2    |
+  // Row 0 differs from the query by 2 in one segment only -> wins 1 segment.
+  // Row 1 differs by 1 in every segment -> wins 2 segments by a hair... but
+  // globally row 1 distance = 3 > row 0 distance = 4? Construct numerically:
+  // query:   0 0 0 0 | 0 0 0 0 | 0 0 0 0
+  // row 0:   0 0 0 0 | 0 0 0 0 | 2 2 0 0   (SE distance 8, wins segs 0,1)
+  // row 1:   1 0 0 0 | 1 0 0 0 | 0 0 0 0   (SE distance 2, wins seg 2)
+  cam.write_word(0, {0, 0, 0, 0, 0, 0, 0, 0, 2, 2, 0, 0});
+  cam.write_word(1, {1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0});
+  const std::vector<int> q(12, 0);
+  EXPECT_EQ(cam.ideal_best_match(q), 1u);
+  EXPECT_EQ(cam.search(q).best_row, 0u);  // vote aggregation picks the wrong row
+}
+
+TEST(PartitionedCam, SumSensedFixesTheVoteFailure) {
+  Rng rng(32);
+  PartitionedCam cam(partition_config(2, 4, 12, Aggregation::kSumSensed), rng);
+  cam.write_word(0, {0, 0, 0, 0, 0, 0, 0, 0, 2, 2, 0, 0});
+  cam.write_word(1, {1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0});
+  EXPECT_EQ(cam.search(std::vector<int>(12, 0)).best_row, 1u);
+}
+
+TEST(PartitionedCam, PaddedTailIsNeutral) {
+  Rng rng(33);
+  PartitionedCam cam(partition_config(2, 8, 10, Aggregation::kSumSensed), rng);
+  cam.write_word(0, {0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+  cam.write_word(1, {3, 3, 3, 3, 3, 3, 3, 3, 3, 3});
+  const SearchResult res = cam.search(std::vector<int>(10, 0));
+  EXPECT_EQ(res.best_row, 0u);
+  EXPECT_NEAR(res.sensed_distance[0], 0.0, 0.5);
+}
+
+TEST(PartitionedCam, ParallelSegmentsLatencyIsMax) {
+  Rng rng(34);
+  PartitionedCam one(partition_config(2, 32, 32, Aggregation::kVote), rng);
+  PartitionedCam four(partition_config(2, 32, 128, Aggregation::kVote), rng);
+  std::vector<int> w32(32, 1), w128(128, 1);
+  one.write_word(0, w32);
+  one.write_word(1, w32);
+  four.write_word(0, w128);
+  four.write_word(1, w128);
+  const double lat1 = one.search(w32).cost.latency;
+  const double lat4 = four.search(w128).cost.latency;
+  const double en1 = one.search(w32).cost.energy;
+  const double en4 = four.search(w128).cost.energy;
+  EXPECT_NEAR(lat4, lat1, 0.2 * lat1);   // parallel: same beat
+  EXPECT_NEAR(en4, 4.0 * en1, 0.2 * en4);  // energy: per segment
+}
+
+}  // namespace
+}  // namespace xlds::cam

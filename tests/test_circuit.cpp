@@ -1,0 +1,274 @@
+// Unit tests for the circuit models: wires, matchline discharge, sense
+// amplifiers and data converters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "circuit/converter.hpp"
+#include "circuit/matchline.hpp"
+#include "circuit/senseamp.hpp"
+#include "circuit/transient.hpp"
+#include "circuit/wire.hpp"
+#include "device/technology.hpp"
+#include "util/error.hpp"
+
+namespace xlds::circuit {
+namespace {
+
+const device::TechNode& node40() { return device::tech_node("40nm"); }
+
+// ---- WireModel -------------------------------------------------------------
+
+TEST(WireModel, ParasiticsScaleLinearly) {
+  WireModel w(node40(), 10.0);
+  const WireSegment one = w.span(1);
+  const WireSegment hundred = w.span(100);
+  EXPECT_NEAR(hundred.resistance, 100.0 * one.resistance, 1e-9);
+  EXPECT_NEAR(hundred.capacitance, 100.0 * one.capacitance, 1e-20);
+}
+
+TEST(WireModel, ElmoreQuadraticInLength) {
+  WireModel w(node40(), 10.0);
+  EXPECT_NEAR(w.elmore_delay(200) / w.elmore_delay(100), 4.0, 1e-9);
+}
+
+TEST(WireModel, FinerNodesHaveHigherResistancePerCell) {
+  WireModel coarse(device::tech_node("90nm"), 10.0);
+  WireModel fine(device::tech_node("22nm"), 10.0);
+  // Same pitch in F, but F shrinks faster than R/m grows? No: R/m grows ~1/F^2
+  // while length shrinks ~F, so per-cell resistance grows at finer nodes.
+  EXPECT_GT(fine.per_cell().resistance, coarse.per_cell().resistance);
+}
+
+// ---- MatchlineModel -------------------------------------------------------
+
+MatchlineParams ml_params() {
+  MatchlineParams p;
+  p.v_precharge = 1.0;
+  p.v_sense = 0.5;
+  p.cell_drain_cap = 0.1e-15;
+  p.leak_conductance_per_cell = 1e-9;
+  return p;
+}
+
+TEST(Matchline, DischargeTimeInverselyProportionalToConductance) {
+  WireModel w(node40(), 10.0);
+  MatchlineModel ml(ml_params(), w, 64);
+  const double t1 = ml.discharge_time(10e-6);
+  const double t2 = ml.discharge_time(20e-6);
+  EXPECT_NEAR(t1 / t2, 2.0, 1e-9);
+}
+
+TEST(Matchline, ZeroConductanceNeverDischarges) {
+  WireModel w(node40(), 10.0);
+  MatchlineModel ml(ml_params(), w, 64);
+  EXPECT_TRUE(std::isinf(ml.discharge_time(0.0)));
+}
+
+TEST(Matchline, VoltageDecaysExponentially) {
+  WireModel w(node40(), 10.0);
+  MatchlineModel ml(ml_params(), w, 64);
+  const double g = 10e-6;
+  const double tau = ml.capacitance() / g;
+  EXPECT_NEAR(ml.voltage_at(tau, g), 1.0 / std::numbers::e, 1e-9);
+  EXPECT_DOUBLE_EQ(ml.voltage_at(0.0, g), 1.0);
+}
+
+TEST(Matchline, DischargeTimeConsistentWithVoltage) {
+  WireModel w(node40(), 10.0);
+  MatchlineModel ml(ml_params(), w, 64);
+  const double g = 5e-6;
+  EXPECT_NEAR(ml.voltage_at(ml.discharge_time(g), g), 0.5, 1e-9);
+}
+
+TEST(Matchline, CapacitanceGrowsWithColumns) {
+  WireModel w(node40(), 10.0);
+  MatchlineModel small(ml_params(), w, 32);
+  MatchlineModel large(ml_params(), w, 256);
+  EXPECT_GT(large.capacitance(), small.capacitance());
+  EXPECT_GT(large.search_energy(), small.search_energy());
+}
+
+TEST(Matchline, SenseMarginPositiveAndPeaks) {
+  WireModel w(node40(), 10.0);
+  MatchlineModel ml(ml_params(), w, 64);
+  const double g = 40e-6;
+  const double t = ml.discharge_time(ml.total_conductance(2.0 * g));
+  EXPECT_GT(ml.sense_margin(1, 2, g, t), 0.0);
+}
+
+TEST(Matchline, MismatchLimitShrinksWithRequiredMargin) {
+  WireModel w(node40(), 10.0);
+  MatchlineModel ml(ml_params(), w, 64);
+  const double g = 40e-6;
+  const std::size_t loose = ml.mismatch_limit(g, 0.01);
+  const std::size_t tight = ml.mismatch_limit(g, 0.15);
+  EXPECT_GE(loose, tight);
+  EXPECT_GE(loose, 1u);
+}
+
+TEST(Matchline, MismatchLimitShrinksWithLeakage) {
+  WireModel w(node40(), 10.0);
+  MatchlineParams leaky = ml_params();
+  leaky.leak_conductance_per_cell = 5e-6;  // MRAM-like tiny on/off ratio
+  MatchlineModel clean(ml_params(), w, 64);
+  MatchlineModel dirty(leaky, w, 64);
+  const double g = 40e-6;
+  EXPECT_LT(dirty.mismatch_limit(g, 0.05), clean.mismatch_limit(g, 0.05));
+}
+
+// Property sweep: the discharge time is strictly decreasing in the number of
+// mismatching cells, the physical basis of distance sensing (Fig. 2A).
+class MatchlineMonotonicity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MatchlineMonotonicity, DischargeFasterWithMoreMismatches) {
+  WireModel w(node40(), 10.0);
+  MatchlineModel ml(ml_params(), w, GetParam());
+  const double g = 40e-6;
+  double prev = ml.discharge_time(ml.total_conductance(0.0));
+  for (std::size_t k = 1; k <= GetParam(); ++k) {
+    const double t = ml.discharge_time(ml.total_conductance(static_cast<double>(k) * g));
+    EXPECT_LT(t, prev) << "k=" << k;
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MatchlineMonotonicity, ::testing::Values(8, 32, 64, 128));
+
+// ---- SenseAmp -----------------------------------------------------------
+
+TEST(SenseAmp, ResolvesAboveMargin) {
+  SenseAmp sa(SenseAmpParams{});
+  EXPECT_TRUE(sa.resolves_voltage(0.10));
+  EXPECT_FALSE(sa.resolves_voltage(0.01));
+  EXPECT_TRUE(sa.resolves_time(1e-9));
+  EXPECT_FALSE(sa.resolves_time(1e-12));
+}
+
+TEST(SenseAmp, CompareWithOffset) {
+  SenseAmp sa(SenseAmpParams{});
+  EXPECT_TRUE(sa.compare(0.6, 0.5));
+  EXPECT_FALSE(sa.compare(0.4, 0.5));
+  EXPECT_TRUE(sa.compare(0.45, 0.5, 0.1));  // offset flips the decision
+}
+
+TEST(WinnerTakeAll, LogarithmicLatencyLinearEnergy) {
+  WinnerTakeAll wta;
+  EXPECT_NEAR(wta.latency(1024) / wta.latency(32), 2.0, 1e-9);
+  EXPECT_NEAR(wta.energy(1025) / wta.energy(129), 8.0, 1e-9);
+  EXPECT_GT(wta.latency(1), 0.0);
+}
+
+// ---- ADC / DAC ----------------------------------------------------------
+
+TEST(Adc, CodeCoversRangeAndClamps) {
+  AdcModel adc(AdcParams{.bits = 4});
+  EXPECT_EQ(adc.code(-10.0, 0.0, 1.0), 0u);
+  EXPECT_EQ(adc.code(10.0, 0.0, 1.0), 15u);
+  EXPECT_EQ(adc.code(0.5, 0.0, 1.0), 8u);
+}
+
+TEST(Adc, QuantisationErrorBounded) {
+  AdcModel adc(AdcParams{.bits = 6});
+  const double step = 1.0 / 64.0;
+  for (double x = 0.0; x < 1.0; x += 0.013) {
+    EXPECT_LE(std::abs(adc.quantise(x, 0.0, 1.0) - x), step / 2.0 + 1e-12) << x;
+  }
+}
+
+TEST(Adc, EnergyDoublesPerBit) {
+  AdcModel a4(AdcParams{.bits = 4});
+  AdcModel a5(AdcParams{.bits = 5});
+  EXPECT_NEAR(a5.energy_per_conversion() / a4.energy_per_conversion(), 2.0, 1e-9);
+  EXPECT_GT(a5.latency_per_conversion(), a4.latency_per_conversion());
+}
+
+TEST(Dac, LevelsSpanRangeInclusive) {
+  DacModel dac(DacParams{.bits = 3});
+  EXPECT_DOUBLE_EQ(dac.level(0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(dac.level(7, 0.0, 1.0), 1.0);
+  EXPECT_THROW(dac.level(8, 0.0, 1.0), PreconditionError);
+}
+
+TEST(Dac, QuantiseSnapsToNearest) {
+  DacModel dac(DacParams{.bits = 2});  // levels at 0, 1/3, 2/3, 1
+  EXPECT_NEAR(dac.quantise(0.30, 0.0, 1.0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(dac.quantise(0.95, 0.0, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(dac.quantise(-0.5, 0.0, 1.0), 0.0, 1e-12);
+}
+
+// ---- SPICE-lite transient solver ---------------------------------------------
+
+TEST(Transient, LinearDischargeMatchesAnalyticExponential) {
+  // Constant conductance G: V(t) = V0 exp(-tG/C); crossing of V0/2 at
+  // t = C/G ln 2 — the analytical matchline formula.
+  TransientConfig cfg;
+  cfg.capacitance = 10e-15;
+  cfg.v_initial = 1.0;
+  cfg.v_target = 0.5;
+  cfg.t_end = 5e-9;
+  cfg.dt = 0.5e-12;
+  const double g = 20e-6;
+  const double t_cross = transient_crossing_time(cfg, [g](double v) { return g * v; });
+  const double analytic = cfg.capacitance / g * std::log(2.0);
+  EXPECT_NEAR(t_cross, analytic, 0.01 * analytic);
+}
+
+TEST(Transient, WaveformMonotoneAndBounded) {
+  TransientConfig cfg;
+  cfg.t_end = 2e-9;
+  const TransientResult res =
+      simulate_discharge(cfg, [](double v) { return 50e-6 * v * v; });  // nonlinear
+  ASSERT_GT(res.voltage.size(), 10u);
+  for (std::size_t i = 1; i < res.voltage.size(); ++i) {
+    EXPECT_LE(res.voltage[i], res.voltage[i - 1] + 1e-12);
+    EXPECT_GE(res.voltage[i], -1e-9);
+  }
+  EXPECT_GT(res.steps, 100u);
+}
+
+TEST(Transient, ConstantCurrentDischargeIsLinear) {
+  TransientConfig cfg;
+  cfg.capacitance = 10e-15;
+  cfg.v_initial = 1.0;
+  cfg.v_target = 0.5;
+  cfg.t_end = 10e-9;
+  // Constant 2 uA: dV/dt = -I/C, crossing at C*dV/I = 2.5 ns.
+  const double t_cross = transient_crossing_time(cfg, [](double) { return 2e-6; });
+  EXPECT_NEAR(t_cross, 2.5e-9, 0.02e-9);
+}
+
+TEST(Transient, NoCrossingReportsInfinity) {
+  TransientConfig cfg;
+  cfg.t_end = 1e-9;
+  cfg.v_target = 0.0;  // leakless floor never reached
+  const double t = transient_crossing_time(cfg, [](double v) { return 1e-9 * v; });
+  EXPECT_TRUE(std::isinf(t));
+}
+
+TEST(Transient, MatchlineAnalyticWithinBandOfTransient) {
+  // The validation the analytical lane rests on: the matchline model's
+  // discharge time vs the 'SPICE' integration of the same RC.
+  WireModel w(node40(), 10.0);
+  MatchlineModel ml(ml_params(), w, 64);
+  const double g = ml.total_conductance(40e-6);
+  TransientConfig cfg;
+  cfg.capacitance = ml.capacitance();
+  cfg.v_initial = ml.params().v_precharge;
+  cfg.v_target = ml.params().v_sense;
+  cfg.t_end = 50e-9;
+  cfg.dt = 1e-12;
+  const double spice = transient_crossing_time(cfg, [g](double v) { return g * v; });
+  EXPECT_NEAR(ml.discharge_time(g), spice, 0.02 * spice);
+}
+
+TEST(Driver, EnergyAndLatencyScaleWithLoad) {
+  DriverModel d1{.load_capacitance = 1e-15, .drive_resistance = 1e3, .swing = 1.0};
+  DriverModel d2{.load_capacitance = 2e-15, .drive_resistance = 1e3, .swing = 1.0};
+  EXPECT_NEAR(d2.energy() / d1.energy(), 2.0, 1e-9);
+  EXPECT_NEAR(d2.latency() / d1.latency(), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace xlds::circuit

@@ -1,0 +1,358 @@
+// Unit tests for the DSE core: enumeration/culling, FOM evaluation, Pareto
+// extraction and triage ranking.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/cim.hpp"
+#include "core/design_space.hpp"
+#include "core/evaluate.hpp"
+#include "core/pareto.hpp"
+#include "core/profiler.hpp"
+#include "core/report.hpp"
+#include "util/error.hpp"
+
+namespace xlds::core {
+namespace {
+
+// ---- enumeration / culling ---------------------------------------------------
+
+TEST(DesignSpace, EnumerationNonEmptyAndCulled) {
+  const auto survivors = enumerate_design_space("isolet-like");
+  const auto all = enumerate_design_space("isolet-like", /*include_culled=*/true);
+  EXPECT_GT(survivors.size(), 8u);
+  EXPECT_GT(all.size(), survivors.size());
+  for (const auto& ep : survivors) EXPECT_FALSE(ep.culled_because.has_value());
+}
+
+TEST(DesignSpace, PaperExampleCulls) {
+  // SRAM is volatile: no crossbar weights.
+  DesignPoint p;
+  p.device = device::DeviceKind::kSram;
+  p.arch = ArchKind::kCrossbarAccelerator;
+  p.algo = AlgoKind::kCnn;
+  EXPECT_TRUE(incompatibility(p).has_value());
+
+  // MRAM's on/off ratio blocks CAM matchline sensing.
+  p.device = device::DeviceKind::kMram;
+  p.arch = ArchKind::kCamAccelerator;
+  p.algo = AlgoKind::kHdc;
+  EXPECT_TRUE(incompatibility(p).has_value());
+
+  // FeFET CAM + crossbar hybrid for HDC: the Sec.-III design survives.
+  p.device = device::DeviceKind::kFeFet;
+  p.arch = ArchKind::kCamXbarHybrid;
+  p.algo = AlgoKind::kHdc;
+  EXPECT_FALSE(incompatibility(p).has_value());
+
+  // RRAM all-crossbar MANN (Sec. IV) needs the hybrid, not CAM alone.
+  p.device = device::DeviceKind::kRram;
+  p.algo = AlgoKind::kMann;
+  p.arch = ArchKind::kCamAccelerator;
+  EXPECT_TRUE(incompatibility(p).has_value());
+  p.arch = ArchKind::kCamXbarHybrid;
+  EXPECT_FALSE(incompatibility(p).has_value());
+}
+
+TEST(DesignSpace, DigitalPlatformsCollapseDeviceAxis) {
+  DesignPoint p;
+  p.device = device::DeviceKind::kRram;
+  p.arch = ArchKind::kGpu;
+  p.algo = AlgoKind::kHdc;
+  EXPECT_TRUE(incompatibility(p).has_value());
+  p.device = device::DeviceKind::kSram;
+  EXPECT_FALSE(incompatibility(p).has_value());
+}
+
+TEST(DesignSpace, ToStringRoundtrips) {
+  DesignPoint p;
+  p.device = device::DeviceKind::kFeFet;
+  p.arch = ArchKind::kCamXbarHybrid;
+  p.algo = AlgoKind::kHdc;
+  p.application = "isolet-like";
+  EXPECT_EQ(p.to_string(), "FeFET/XBar+CAM/HDC/isolet-like");
+}
+
+// ---- profiles ---------------------------------------------------------------
+
+TEST(Profiles, AllPresetsHaveProfiles) {
+  for (const char* name : {"isolet-like", "ucihar-like", "mnist-like", "face-like",
+                           "language-like", "omniglot-like"}) {
+    const AppProfile p = profile_for(name);
+    EXPECT_GT(p.input_dim, 0u) << name;
+    EXPECT_GT(p.n_classes, 1u) << name;
+  }
+  EXPECT_THROW(profile_for("unknown-app"), PreconditionError);
+}
+
+// ---- evaluation ---------------------------------------------------------------
+
+TEST(Evaluator, DigitalAndInMemoryBothScore) {
+  Evaluator ev;
+  const AppProfile profile = profile_for("isolet-like");
+
+  DesignPoint gpu_point;
+  gpu_point.device = device::DeviceKind::kSram;
+  gpu_point.arch = ArchKind::kGpu;
+  gpu_point.algo = AlgoKind::kHdc;
+  const Fom gpu_fom = ev.evaluate(gpu_point, profile);
+  EXPECT_GT(gpu_fom.latency, 0.0);
+  EXPECT_GT(gpu_fom.energy, 0.0);
+  EXPECT_EQ(gpu_fom.area_mm2, 0.0);
+
+  DesignPoint cam_point;
+  cam_point.device = device::DeviceKind::kFeFet;
+  cam_point.arch = ArchKind::kCamXbarHybrid;
+  cam_point.algo = AlgoKind::kHdc;
+  const Fom cam_fom = ev.evaluate(cam_point, profile);
+  EXPECT_GT(cam_fom.latency, 0.0);
+  EXPECT_GT(cam_fom.area_mm2, 0.0);
+
+  // The headline of Sec. III: the in-memory pipeline is orders faster at
+  // batch 1 than the GPU software path.
+  EXPECT_GT(gpu_fom.latency / cam_fom.latency, 10.0);
+}
+
+TEST(Evaluator, EnduranceCullsWriteHeavyFlash) {
+  Evaluator ev;
+  AppProfile profile = profile_for("omniglot-like");
+  profile.writes_per_inference = 10.0;  // write-heavy online learning
+  DesignPoint p;
+  p.device = device::DeviceKind::kFlash;
+  p.arch = ArchKind::kCamAccelerator;  // flash CAN build CAMs (Sec. II-B1)
+  p.algo = AlgoKind::kHdc;
+  ASSERT_FALSE(incompatibility(p).has_value());
+  const Fom fom = ev.evaluate(p, profile);
+  EXPECT_FALSE(fom.feasible);
+  EXPECT_NE(fom.note.find("endurance"), std::string::npos);
+}
+
+TEST(Evaluator, AccuracyOracleIsPluggable) {
+  Evaluator ev([](const DesignPoint&, const AppProfile&) { return 0.42; });
+  DesignPoint p;
+  p.device = device::DeviceKind::kSram;
+  p.arch = ArchKind::kGpu;
+  p.algo = AlgoKind::kMlp;
+  EXPECT_DOUBLE_EQ(ev.evaluate(p, profile_for("isolet-like")).accuracy, 0.42);
+}
+
+TEST(Evaluator, DefaultOracleBitPenalties) {
+  const AppProfile profile = profile_for("isolet-like");
+  DesignPoint fefet;
+  fefet.device = device::DeviceKind::kFeFet;  // 3-bit cells
+  fefet.arch = ArchKind::kCamXbarHybrid;
+  fefet.algo = AlgoKind::kHdc;
+  DesignPoint sram;
+  sram.device = device::DeviceKind::kSram;  // 1-bit cells
+  sram.arch = ArchKind::kCamAccelerator;
+  sram.algo = AlgoKind::kHdc;
+  EXPECT_GT(default_accuracy_oracle(fefet, profile), default_accuracy_oracle(sram, profile));
+}
+
+// ---- measured profiler (the Fig. 6 inset) ----------------------------------------
+
+TEST(Profiler, MeasuredCountsAreExact) {
+  const MeasuredProfile m = profile_hdc_application("ucihar-like", 512, 3);
+  EXPECT_EQ(m.input_dim, 561u);
+  EXPECT_EQ(m.n_classes, 6u);
+  EXPECT_EQ(m.hv_dim, 512u);
+  EXPECT_EQ(m.encode_macs, 561u * 512u);
+  EXPECT_EQ(m.search_macs, m.am_entries * 512u);
+  EXPECT_EQ(m.am_entries, 6u * 30u);  // the preset's training split
+  EXPECT_GT(m.software_accuracy, 0.8);
+  EXPECT_GT(m.measured_search_fraction, 0.0);
+  EXPECT_LT(m.measured_search_fraction, 1.0);
+}
+
+TEST(Profiler, ConvertsToAppProfile) {
+  const MeasuredProfile m = profile_hdc_application("language-like", 512, 4);
+  const AppProfile p = to_app_profile(m, 10);
+  EXPECT_EQ(p.input_dim, m.input_dim);
+  EXPECT_EQ(p.am_entries, m.am_entries);
+  EXPECT_EQ(p.hv_dim, 512u);
+  EXPECT_EQ(p.batch, 10u);
+  // The converted profile must drive the evaluator end to end.
+  DesignPoint point;
+  point.device = device::DeviceKind::kFeFet;
+  point.arch = ArchKind::kCamXbarHybrid;
+  point.algo = AlgoKind::kHdc;
+  const Fom fom = Evaluator{}.evaluate(point, p);
+  EXPECT_GT(fom.latency, 0.0);
+  EXPECT_TRUE(fom.feasible);
+}
+
+TEST(Profiler, EmptyProfileRejected) {
+  MeasuredProfile empty;
+  EXPECT_THROW(to_app_profile(empty), PreconditionError);
+}
+
+// ---- Eva-CiM favourability ------------------------------------------------------
+
+TEST(CimFavorability, MvmDominatedProgramIsFavourable) {
+  sim::Op mvm;
+  mvm.kind = sim::OpKind::kMvm;
+  mvm.rows = 512;
+  mvm.cols = 512;
+  mvm.repeat = 50;
+  sim::AcceleratorConfig accel;
+  accel.present = true;
+  const CimFavorability r = evaluate_cim_favorability(
+      {mvm}, sim::CoreConfig{}, sim::CacheConfig{},
+      sim::CacheConfig{.name = "L2", .size_bytes = 512 * 1024, .ways = 8, .hit_latency_s = 5e-9},
+      sim::DramConfig{}, accel);
+  EXPECT_TRUE(r.favourable);
+  EXPECT_GT(r.speedup, 1.5);
+  EXPECT_GT(r.energy_ratio, 1.2);
+  EXPECT_GT(r.offloadable_fraction, 0.9);
+}
+
+TEST(CimFavorability, ScalarProgramIsNot) {
+  sim::Op compute;
+  compute.kind = sim::OpKind::kCompute;
+  compute.scalar_ops = 10'000'000;
+  sim::AcceleratorConfig accel;
+  accel.present = true;
+  const CimFavorability r = evaluate_cim_favorability(
+      {compute}, sim::CoreConfig{}, sim::CacheConfig{},
+      sim::CacheConfig{.name = "L2", .size_bytes = 512 * 1024, .ways = 8, .hit_latency_s = 5e-9},
+      sim::DramConfig{}, accel);
+  EXPECT_FALSE(r.favourable);
+  EXPECT_NEAR(r.speedup, 1.0, 0.05);
+  EXPECT_EQ(r.offloadable_fraction, 0.0);
+}
+
+TEST(CimFavorability, ThresholdsSteerTheVerdict) {
+  sim::Op mvm;
+  mvm.kind = sim::OpKind::kMvm;
+  mvm.rows = 256;
+  mvm.cols = 256;
+  mvm.repeat = 20;
+  sim::AcceleratorConfig accel;
+  accel.present = true;
+  CimThresholds impossible;
+  impossible.min_speedup = 1e9;
+  const CimFavorability r = evaluate_cim_favorability(
+      {mvm}, sim::CoreConfig{}, sim::CacheConfig{},
+      sim::CacheConfig{.name = "L2", .size_bytes = 512 * 1024, .ways = 8, .hit_latency_s = 5e-9},
+      sim::DramConfig{}, accel, sim::EnergyConfig{}, impossible);
+  EXPECT_FALSE(r.favourable);
+  EXPECT_GT(r.speedup, 1.0);  // the measurement itself is unaffected
+}
+
+// ---- Pareto / triage -----------------------------------------------------------
+
+std::vector<ScoredPoint> synthetic_points() {
+  auto mk = [](double lat, double en, double area, double acc, bool feasible = true) {
+    ScoredPoint sp;
+    sp.fom.latency = lat;
+    sp.fom.energy = en;
+    sp.fom.area_mm2 = area;
+    sp.fom.accuracy = acc;
+    sp.fom.feasible = feasible;
+    return sp;
+  };
+  return {
+      mk(1.0, 1.0, 1.0, 0.90),   // 0: fast/efficient, decent accuracy
+      mk(2.0, 2.0, 2.0, 0.95),   // 1: slower but most accurate
+      mk(3.0, 3.0, 3.0, 0.90),   // 2: dominated by 0
+      mk(0.5, 5.0, 1.0, 0.80),   // 3: fastest, hungry, least accurate
+      mk(0.1, 0.1, 0.1, 0.99, false),  // 4: infeasible superpoint
+  };
+}
+
+TEST(Pareto, FrontExcludesDominatedAndInfeasible) {
+  const auto points = synthetic_points();
+  const auto front = pareto_front(points);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(Pareto, FrontMembersNotDominatedByEachOther) {
+  const auto points = synthetic_points();
+  const auto front = pareto_front(points);
+  for (std::size_t i : front) {
+    for (std::size_t j : front) {
+      if (i == j) continue;
+      const auto& a = points[i].fom;
+      const auto& b = points[j].fom;
+      const bool dominates = a.latency <= b.latency && a.energy <= b.energy &&
+                             a.area_mm2 <= b.area_mm2 && a.accuracy >= b.accuracy &&
+                             (a.latency < b.latency || a.energy < b.energy ||
+                              a.area_mm2 < b.area_mm2 || a.accuracy > b.accuracy);
+      EXPECT_FALSE(dominates);
+    }
+  }
+}
+
+TEST(Triage, RankingPrefersDominatingPoints) {
+  const auto points = synthetic_points();
+  const auto order = triage_ranking(points);
+  ASSERT_EQ(order.size(), 4u);  // infeasible excluded
+  // Point 0 dominates point 2, so 0 must rank strictly earlier.
+  const auto pos = [&](std::size_t idx) {
+    return std::find(order.begin(), order.end(), idx) - order.begin();
+  };
+  EXPECT_LT(pos(0), pos(2));
+}
+
+TEST(Triage, AccuracyWeightSteersTheWinner) {
+  const auto points = synthetic_points();
+  TriageWeights acc_heavy;
+  acc_heavy.accuracy = 1000.0;
+  EXPECT_EQ(triage_ranking(points, acc_heavy).front(), 1u);  // most accurate wins
+  TriageWeights speed_heavy;
+  speed_heavy.accuracy = 0.0;
+  speed_heavy.energy = 0.0;
+  speed_heavy.area = 0.0;
+  EXPECT_EQ(triage_ranking(points, speed_heavy).front(), 3u);  // fastest wins
+}
+
+// ---- report rendering -----------------------------------------------------------
+
+TEST(Report, ShortlistRespectsMaxRowsAndMarksPareto) {
+  Evaluator ev;
+  std::vector<ScoredPoint> scored;
+  (void)triage_report("ucihar-like", ev, {}, &scored);
+  const auto ranking = triage_ranking(scored);
+  const auto front = pareto_front(scored);
+  ShortlistOptions opts;
+  opts.max_rows = 3;
+  const Table t = format_shortlist(scored, ranking, front, opts);
+  EXPECT_EQ(t.row_count(), 3u);
+  // The table must contain a Pareto star somewhere in its render.
+  EXPECT_NE(t.str().find("*"), std::string::npos);
+}
+
+TEST(Report, TriageReportEndToEnd) {
+  Evaluator ev;
+  const Table t = triage_report("language-like", ev);
+  EXPECT_GT(t.row_count(), 4u);
+  EXPECT_NE(t.str().find("language-like"), std::string::npos);
+}
+
+TEST(Report, BadRankingIndexRejected) {
+  std::vector<ScoredPoint> scored(2);
+  EXPECT_THROW(format_shortlist(scored, {5}, {}), PreconditionError);
+}
+
+TEST(Triage, EndToEndSweepProducesFiniteScores) {
+  Evaluator ev;
+  const AppProfile profile = profile_for("isolet-like");
+  std::vector<ScoredPoint> scored;
+  for (const auto& ep : enumerate_design_space("isolet-like")) {
+    ScoredPoint sp;
+    sp.point = ep.point;
+    sp.fom = ev.evaluate(ep.point, profile);
+    scored.push_back(sp);
+  }
+  const auto front = pareto_front(scored);
+  const auto ranking = triage_ranking(scored);
+  EXPECT_FALSE(front.empty());
+  EXPECT_FALSE(ranking.empty());
+  EXPECT_LE(front.size(), scored.size());
+  // Every Pareto member must appear in the ranking.
+  for (std::size_t idx : front)
+    EXPECT_NE(std::find(ranking.begin(), ranking.end(), idx), ranking.end());
+}
+
+}  // namespace
+}  // namespace xlds::core

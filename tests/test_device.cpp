@@ -1,0 +1,393 @@
+// Unit tests for the device models: technology nodes, trait presets, FeFET
+// multi-level behaviour, the statistical RRAM model, and the two-state
+// resistive models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/device.hpp"
+#include "device/fefet.hpp"
+#include "device/materials.hpp"
+#include "device/resistive.hpp"
+#include "device/rram.hpp"
+#include "device/technology.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace xlds::device {
+namespace {
+
+// ---- technology ---------------------------------------------------------
+
+TEST(TechNode, LookupKnownNodes) {
+  EXPECT_DOUBLE_EQ(tech_node("40nm").feature_m, 40e-9);
+  EXPECT_DOUBLE_EQ(tech_node("90nm").feature_m, 90e-9);
+  EXPECT_EQ(tech_node("16nm").name, "16nm");
+}
+
+TEST(TechNode, UnknownNodeThrows) { EXPECT_THROW(tech_node("3nm"), PreconditionError); }
+
+TEST(TechNode, ScalingIsMonotonic) {
+  const auto& nodes = all_tech_nodes();
+  ASSERT_GE(nodes.size(), 3u);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LT(nodes[i].feature_m, nodes[i - 1].feature_m) << nodes[i].name;
+    EXPECT_LE(nodes[i].vdd, nodes[i - 1].vdd) << nodes[i].name;
+    EXPECT_GT(nodes[i].wire_r_per_m, nodes[i - 1].wire_r_per_m) << nodes[i].name;
+  }
+}
+
+TEST(TechNode, TransistorModels) {
+  const TechNode& n = tech_node("40nm");
+  // Wider transistors: lower resistance, higher capacitance.
+  EXPECT_GT(n.tx_on_resistance(0.1), n.tx_on_resistance(0.2));
+  EXPECT_LT(n.tx_gate_cap(0.1), n.tx_gate_cap(0.2));
+  EXPECT_LT(n.tx_drain_cap(0.1), n.tx_gate_cap(0.1));
+  EXPECT_THROW(n.tx_on_resistance(0.0), PreconditionError);
+}
+
+// ---- traits -------------------------------------------------------------
+
+TEST(DeviceTraits, AllKindsHavePresets) {
+  for (DeviceKind k : all_device_kinds()) {
+    const DeviceTraits& t = traits(k);
+    EXPECT_EQ(t.kind, k);
+    EXPECT_GT(t.cell_area_f2, 0.0) << to_string(k);
+    EXPECT_GT(t.on_resistance, 0.0);
+    EXPECT_GT(t.off_resistance, t.on_resistance);
+    EXPECT_GE(t.max_bits_per_cell, 1);
+  }
+}
+
+TEST(DeviceTraits, NarrativeOrderings) {
+  // The paper's qualitative claims about the technologies.
+  EXPECT_FALSE(traits(DeviceKind::kSram).nonvolatile);
+  EXPECT_TRUE(traits(DeviceKind::kFeFet).nonvolatile);
+  // Flash: high write voltage, low endurance (Sec. II-B1).
+  EXPECT_GT(traits(DeviceKind::kFlash).write_voltage, traits(DeviceKind::kRram).write_voltage);
+  EXPECT_LT(traits(DeviceKind::kFlash).endurance_cycles,
+            traits(DeviceKind::kRram).endurance_cycles);
+  // MRAM: small on/off ratio (limits matchline sense margin, Sec. VI).
+  EXPECT_LT(traits(DeviceKind::kMram).on_off_ratio(), 5.0);
+  EXPECT_GT(traits(DeviceKind::kFeFet).on_off_ratio(), 1e3);
+  // FeFETs demonstrated 3-bit cells (Fig. 3D).
+  EXPECT_GE(traits(DeviceKind::kFeFet).max_bits_per_cell, 3);
+  // Dense crosspoint RRAM.
+  EXPECT_LT(traits(DeviceKind::kRram).cell_area_f2, traits(DeviceKind::kSram).cell_area_f2);
+}
+
+TEST(VariationSpec, TotalCombinesInQuadrature) {
+  VariationSpec v{0.03, 0.04};
+  EXPECT_NEAR(v.total_sigma(), 0.05, 1e-12);
+}
+
+// ---- FeFET ---------------------------------------------------------------
+
+class FeFetTest : public ::testing::Test {
+ protected:
+  FeFetParams params_;  // defaults: 3-bit, 94 mV sigma
+};
+
+TEST_F(FeFetTest, LevelsEvenlySpaced) {
+  FeFetModel m(params_);
+  const double w = params_.level_window();
+  for (int l = 0; l + 1 < params_.levels(); ++l)
+    EXPECT_NEAR(m.level_vth(l + 1) - m.level_vth(l), w, 1e-12);
+  EXPECT_DOUBLE_EQ(m.level_vth(0), params_.vth_low);
+  EXPECT_DOUBLE_EQ(m.level_vth(params_.levels() - 1), params_.vth_high);
+}
+
+TEST_F(FeFetTest, LevelOutOfRangeThrows) {
+  FeFetModel m(params_);
+  EXPECT_THROW(m.level_vth(-1), PreconditionError);
+  EXPECT_THROW(m.level_vth(8), PreconditionError);
+}
+
+TEST_F(FeFetTest, ProgrammingVariationMatchesSigma) {
+  FeFetModel m(params_);
+  Rng rng(1);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(m.program_vth(3, rng));
+  EXPECT_NEAR(s.mean(), m.level_vth(3), 0.003);
+  EXPECT_NEAR(s.stddev(), params_.sigma_program, 0.003);
+}
+
+TEST_F(FeFetTest, ReadbackRecoversNominalLevels) {
+  FeFetModel m(params_);
+  for (int l = 0; l < params_.levels(); ++l) EXPECT_EQ(m.readback_level(m.level_vth(l)), l);
+}
+
+TEST_F(FeFetTest, ReadbackClampsOutOfWindow) {
+  FeFetModel m(params_);
+  EXPECT_EQ(m.readback_level(params_.vth_low - 1.0), 0);
+  EXPECT_EQ(m.readback_level(params_.vth_high + 1.0), params_.levels() - 1);
+}
+
+TEST_F(FeFetTest, CurrentMonotonicInOverdrive) {
+  FeFetModel m(params_);
+  double prev = 0.0;
+  for (double vgs = 0.0; vgs <= 2.5; vgs += 0.05) {
+    const double i = m.drain_current(vgs, 1.0);
+    EXPECT_GE(i, prev);
+    prev = i;
+  }
+}
+
+TEST_F(FeFetTest, SquareLawAboveThreshold) {
+  FeFetModel m(params_);
+  const double i1 = m.drain_current(1.2, 1.0);  // 0.2 V overdrive
+  const double i2 = m.drain_current(1.4, 1.0);  // 0.4 V overdrive
+  EXPECT_NEAR(i2 / i1, 4.0, 0.01);
+}
+
+TEST_F(FeFetTest, OffStateFloorsAtLeakage) {
+  FeFetModel m(params_);
+  EXPECT_DOUBLE_EQ(m.drain_current(0.0, 1.8), params_.ioff);
+}
+
+TEST_F(FeFetTest, SearchVoltageKeepsMatchingCellOff) {
+  FeFetModel m(params_);
+  for (int l = 0; l < params_.levels(); ++l) {
+    // Searching the stored level: the device must remain subthreshold.
+    EXPECT_LT(m.search_voltage(l), m.level_vth(l));
+  }
+}
+
+TEST_F(FeFetTest, LevelErrorGrowsWithSigmaAndLevels) {
+  FeFetParams lo = params_;
+  lo.sigma_program = 0.05;
+  FeFetParams hi = params_;
+  hi.sigma_program = 0.15;
+  EXPECT_LT(FeFetModel(lo).level_error_probability(3),
+            FeFetModel(hi).level_error_probability(3));
+
+  FeFetParams b2 = params_;
+  b2.bits = 2;
+  // Fewer levels -> wider windows -> lower error at the same sigma.
+  EXPECT_LT(FeFetModel(b2).level_error_probability(1),
+            FeFetModel(params_).level_error_probability(1));
+}
+
+TEST_F(FeFetTest, EdgeLevelsErrOnlyInward) {
+  FeFetModel m(params_);
+  EXPECT_NEAR(m.level_error_probability(0), m.level_error_probability(3) / 2.0, 1e-12);
+}
+
+TEST_F(FeFetTest, ZeroSigmaZeroError) {
+  FeFetParams p = params_;
+  p.sigma_program = 0.0;
+  EXPECT_EQ(FeFetModel(p).level_error_probability(2), 0.0);
+}
+
+TEST_F(FeFetTest, MonteCarloAgreesWithAnalyticOverlap) {
+  FeFetModel m(params_);
+  Rng rng(2);
+  int errors = 0;
+  constexpr int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i)
+    if (m.readback_level(m.program_vth(4, rng)) != 4) ++errors;
+  EXPECT_NEAR(static_cast<double>(errors) / kTrials, m.level_error_probability(4), 0.01);
+}
+
+// ---- RRAM ------------------------------------------------------------------
+
+class RramTest : public ::testing::Test {
+ protected:
+  RramParams params_;
+};
+
+TEST_F(RramTest, LevelConductancesSpanRange) {
+  RramModel m(params_);
+  EXPECT_DOUBLE_EQ(m.level_conductance(0), params_.g_min);
+  EXPECT_DOUBLE_EQ(m.level_conductance(params_.levels() - 1), params_.g_max);
+  for (int l = 0; l + 1 < params_.levels(); ++l)
+    EXPECT_LT(m.level_conductance(l), m.level_conductance(l + 1));
+}
+
+TEST_F(RramTest, SigmaHasMidRangeBump) {
+  RramModel m(params_);
+  const double at_peak = m.sigma_at(params_.g_peak_centre);
+  const double at_min = m.sigma_at(params_.g_min);
+  const double at_max = m.sigma_at(params_.g_max);
+  EXPECT_GT(at_peak, 2.0 * at_min);
+  EXPECT_GT(at_peak, at_max);
+}
+
+TEST_F(RramTest, ProgramOnceClampsToRange) {
+  RramModel m(params_);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const double g = m.program_once(params_.g_max, rng);
+    EXPECT_GE(g, params_.g_min);
+    EXPECT_LE(g, params_.g_max);
+  }
+}
+
+TEST_F(RramTest, ProgramVerifyTightensDistribution) {
+  RramModel m(params_);
+  Rng rng(4);
+  const double target = params_.g_peak_centre;  // worst-case sigma region
+  RunningStats open_loop, closed_loop;
+  for (int i = 0; i < 3000; ++i) {
+    open_loop.add(std::abs(m.program_once(target, rng) - target));
+    closed_loop.add(std::abs(m.program_verify(target, rng) - target));
+  }
+  EXPECT_LT(closed_loop.mean(), open_loop.mean());
+  // The verify loop should land most cells inside the tolerance.
+  EXPECT_LT(closed_loop.mean(), params_.verify_tolerance);
+}
+
+TEST_F(RramTest, RelaxationGrowsWithTime) {
+  RramModel m(params_);
+  Rng rng(5);
+  RunningStats short_t, long_t;
+  const double g0 = 30e-6;
+  for (int i = 0; i < 4000; ++i) {
+    short_t.add(std::abs(m.relax(g0, 0.1, rng) - g0));
+    long_t.add(std::abs(m.relax(g0, 100.0, rng) - g0));
+  }
+  EXPECT_LT(short_t.mean(), long_t.mean());
+}
+
+TEST_F(RramTest, RelaxationZeroTimeIsIdentity) {
+  RramModel m(params_);
+  Rng rng(6);
+  EXPECT_DOUBLE_EQ(m.relax(10e-6, 0.0, rng), 10e-6);
+}
+
+TEST_F(RramTest, HrsSamplesSkewLow) {
+  RramModel m(params_);
+  Rng rng(7);
+  RunningStats s;
+  for (int i = 0; i < 5000; ++i) {
+    const double g = m.sample_hrs(rng);
+    EXPECT_GE(g, params_.g_min);
+    EXPECT_LE(g, params_.g_max);
+    s.add(g);
+  }
+  // HRS population lives near the bottom of the conductance range.
+  EXPECT_LT(s.mean(), 0.25 * params_.g_max);
+}
+
+TEST_F(RramTest, VariationAwareMappingAvoidsBump) {
+  RramModel m(params_);
+  const int levels = 4;
+  double naive_sigma = 0.0, aware_sigma = 0.0;
+  for (int l = 0; l < levels; ++l) {
+    const double g_naive =
+        params_.g_min + (params_.g_max - params_.g_min) * l / double(levels - 1);
+    naive_sigma += m.sigma_at(g_naive);
+    aware_sigma += m.sigma_at(m.variation_aware_level_conductance(l, levels));
+  }
+  EXPECT_LE(aware_sigma, naive_sigma);
+}
+
+TEST_F(RramTest, VariationAwareMappingIsMonotone) {
+  RramModel m(params_);
+  for (int levels : {2, 4, 8}) {
+    double prev = -1.0;
+    for (int l = 0; l < levels; ++l) {
+      const double g = m.variation_aware_level_conductance(l, levels);
+      EXPECT_GT(g, prev);
+      prev = g;
+    }
+  }
+}
+
+// ---- resistive -----------------------------------------------------------
+
+TEST(Resistive, PresetsFollowTraits) {
+  for (DeviceKind k : {DeviceKind::kRram, DeviceKind::kPcm, DeviceKind::kMram}) {
+    const ResistiveParams p = resistive_params_for(k);
+    EXPECT_DOUBLE_EQ(p.r_on, traits(k).on_resistance);
+    EXPECT_DOUBLE_EQ(p.r_off, traits(k).off_resistance);
+  }
+}
+
+TEST(Resistive, SamplesArePositiveAndCentred) {
+  ResistiveModel m(resistive_params_for(DeviceKind::kPcm));
+  Rng rng(8);
+  RunningStats on, off;
+  for (int i = 0; i < 5000; ++i) {
+    const double r_on = m.sample_resistance(true, rng);
+    const double r_off = m.sample_resistance(false, rng);
+    EXPECT_GT(r_on, 0.0);
+    EXPECT_GT(r_off, 0.0);
+    on.add(r_on);
+    off.add(r_off);
+  }
+  EXPECT_NEAR(on.mean(), m.nominal_resistance(true), 0.05 * m.nominal_resistance(true));
+  EXPECT_GT(off.mean(), on.mean());
+}
+
+TEST(Resistive, PcmDriftRaisesHrsFasterThanLrs) {
+  ResistiveModel pcm(resistive_params_for(DeviceKind::kPcm));
+  const double r_on = pcm.nominal_resistance(true);
+  const double r_off = pcm.nominal_resistance(false);
+  constexpr double kDay = 86400.0;
+  const double on_drift = pcm.drifted_resistance(r_on, true, kDay) / r_on;
+  const double off_drift = pcm.drifted_resistance(r_off, false, kDay) / r_off;
+  EXPECT_GT(off_drift, 2.0);        // amorphous state drifts hard (t^0.1)
+  EXPECT_LT(on_drift, 1.1);         // crystalline state barely moves
+  EXPECT_GT(off_drift, on_drift);
+  // Monotone in time.
+  EXPECT_GT(pcm.drifted_resistance(r_off, false, 10 * kDay),
+            pcm.drifted_resistance(r_off, false, kDay));
+}
+
+TEST(Resistive, NonPcmDevicesDoNotDrift) {
+  ResistiveModel rram(resistive_params_for(DeviceKind::kRram));
+  EXPECT_DOUBLE_EQ(rram.drifted_resistance(1e5, false, 1e7), 1e5);
+  ResistiveModel mram(resistive_params_for(DeviceKind::kMram));
+  EXPECT_DOUBLE_EQ(mram.drifted_resistance(5e3, true, 1e7), 5e3);
+}
+
+TEST(Resistive, MramSpreadTighterThanPcm) {
+  const auto mram = resistive_params_for(DeviceKind::kMram);
+  const auto pcm = resistive_params_for(DeviceKind::kPcm);
+  EXPECT_LT(mram.sigma_off_rel, pcm.sigma_off_rel);
+}
+
+// ---- materials levers (Fig. 6) -----------------------------------------------
+
+TEST(Materials, ApplyLeverScalesTraits) {
+  const DeviceTraits base = traits(DeviceKind::kMram);
+  MaterialsLever lever;
+  lever.name = "test";
+  lever.write_energy_x = 0.5;
+  lever.on_off_ratio_x = 2.0;
+  lever.endurance_x = 10.0;
+  const DeviceTraits t = apply_lever(base, lever);
+  EXPECT_DOUBLE_EQ(t.write_energy, 0.5 * base.write_energy);
+  EXPECT_DOUBLE_EQ(t.off_resistance, 2.0 * base.off_resistance);
+  EXPECT_DOUBLE_EQ(t.endurance_cycles, 10.0 * base.endurance_cycles);
+  EXPECT_DOUBLE_EQ(t.on_resistance, base.on_resistance);  // untouched
+  EXPECT_NEAR(t.on_off_ratio(), 2.0 * base.on_off_ratio(), 1e-9);
+}
+
+TEST(Materials, InvalidLeverRejected) {
+  MaterialsLever lever;
+  lever.write_energy_x = 0.0;
+  EXPECT_THROW(apply_lever(traits(DeviceKind::kMram), lever), PreconditionError);
+}
+
+TEST(Materials, PresetsPopulated) {
+  EXPECT_GE(spin_device_levers().size(), 3u);
+  EXPECT_GE(ferroelectric_levers().size(), 2u);
+  for (const auto& l : spin_device_levers()) {
+    EXPECT_FALSE(l.name.empty());
+    EXPECT_FALSE(l.mechanism.empty());
+  }
+}
+
+TEST(Materials, SotLeverCutsWriteCost) {
+  const DeviceTraits base = traits(DeviceKind::kMram);
+  const auto& sot = spin_device_levers().front();  // "SOT switching"
+  const DeviceTraits t = apply_lever(base, sot);
+  EXPECT_LT(t.write_energy, base.write_energy);
+  EXPECT_LT(t.write_latency, base.write_latency);
+  EXPECT_GT(t.endurance_cycles, base.endurance_cycles);
+}
+
+}  // namespace
+}  // namespace xlds::device

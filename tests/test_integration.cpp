@@ -1,0 +1,161 @@
+// Cross-module integration tests: the end-to-end flows the paper's case
+// studies run, at reduced scale.
+#include <gtest/gtest.h>
+
+#include "core/design_space.hpp"
+#include "core/evaluate.hpp"
+#include "core/pareto.hpp"
+#include "evacam/evacam.hpp"
+#include "evacam/presets.hpp"
+#include "hdc/cam_inference.hpp"
+#include "hdc/model.hpp"
+#include "mann/mann.hpp"
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
+#include "workload/dataset.hpp"
+#include "workload/fewshot.hpp"
+
+namespace xlds {
+namespace {
+
+// Sec. III end-to-end at small scale: train HDC, map the search stage onto
+// the FeFET MCAM with variation at the paper's measured sigma, confirm
+// iso-accuracy, and confirm the CAM pipeline is faster than the GPU model.
+TEST(Integration, HdcCaseStudyFlow) {
+  workload::GaussianClustersSpec spec;
+  spec.n_classes = 8;
+  spec.dim = 64;
+  spec.train_per_class = 20;
+  spec.test_per_class = 12;
+  spec.separation = 5.5;
+  const auto ds = workload::make_gaussian_clusters(spec, 21);
+
+  Rng rng(22);
+  hdc::HdcConfig cfg;
+  cfg.hv_dim = 512;
+  cfg.element_bits = 3;
+  hdc::HdcModel model(cfg, ds.dim, ds.n_classes, rng);
+  model.train(ds.train_x, ds.train_y);
+  const double sw_acc = model.accuracy(ds.test_x, ds.test_y);
+  ASSERT_GT(sw_acc, 0.8);
+
+  hdc::CamInferenceConfig hw;
+  hw.subarray.fefet.bits = 3;
+  hw.subarray.fefet.sigma_program = 0.094;
+  hw.subarray.cols = 64;
+  hw.subarray.apply_variation = true;
+  hw.aggregation = cam::Aggregation::kSumSensed;
+  hdc::HdcCamInference cam_inf(model, hw, rng);
+  const double hw_acc = cam_inf.accuracy(ds.test_x, ds.test_y);
+  EXPECT_NEAR(hw_acc, sw_acc, 0.08);  // iso-accuracy at the measured sigma
+
+  const cam::SearchCost cost = cam_inf.search_cost();
+  EXPECT_LT(cost.latency, 1e-6);  // far below any GPU round trip
+}
+
+// Sec. IV end-to-end at small scale: CNN features, crossbar TLSH, TCAM
+// search, compared against the software-cosine reference.
+TEST(Integration, MannCaseStudyFlow) {
+  workload::FewShotSpec fs;
+  fs.image_side = 16;
+  fs.n_classes = 40;
+  workload::FewShotGenerator gen(fs, 23);
+
+  auto make_config = [](mann::Backend backend) {
+    mann::MannConfig cfg;
+    cfg.image_side = 16;
+    cfg.embedding = 32;
+    cfg.signature_bits = 64;
+    cfg.backend = backend;
+    cfg.hash_xbar.rows = 32;
+    cfg.hash_xbar.cols = 128;
+    cfg.hash_xbar.read_noise_rel = 0.0;
+    cfg.am.cols = 64;
+    return cfg;
+  };
+
+  Rng rng_sw(24), rng_hw(24);
+  mann::MannPipeline software(make_config(mann::Backend::kSoftwareCosine), rng_sw);
+  mann::MannPipeline hardware(make_config(mann::Backend::kRramTlsh), rng_hw);
+  software.pretrain(gen, 8, 12, 12, 0.001);
+  {
+    workload::FewShotGenerator gen2(fs, 23);
+    hardware.pretrain(gen2, 8, 12, 12, 0.001);
+  }
+
+  workload::FewShotGenerator eval_sw(fs, 25), eval_hw(fs, 25);
+  const double acc_sw = software.evaluate(eval_sw, 8, 5, 1, 3);
+  const double acc_hw = hardware.evaluate(eval_hw, 8, 5, 1, 3);
+  EXPECT_GT(acc_sw, 0.4);
+  EXPECT_GT(acc_hw, 0.35);
+  EXPECT_GT(acc_hw, acc_sw - 0.25);  // hashing costs some accuracy, not all
+}
+
+// Sec. VI flow: the analytical tool and the functional CAM must rank designs
+// the same way (bigger arrays cost more energy; MRAM narrower than RRAM).
+TEST(Integration, AnalyticalAndFunctionalCamAgreeOnOrdering) {
+  evacam::CamDesignSpec small = evacam::preset_spec("rram-2t2r-40nm");
+  small.words = 256;
+  evacam::CamDesignSpec large = small;
+  large.words = 4096;
+  const auto f_small = evacam::EvaCam(small).evaluate();
+  const auto f_large = evacam::EvaCam(large).evaluate();
+  EXPECT_GT(f_large.search_energy, f_small.search_energy);
+  EXPECT_GT(f_large.area_m2, f_small.area_m2);
+
+  Rng rng(26);
+  cam::RramTcamConfig small_arr;
+  small_arr.rows = 16;
+  small_arr.cols = 64;
+  cam::RramTcamConfig large_arr = small_arr;
+  large_arr.rows = 128;
+  cam::RramTcamArray a(small_arr, rng), b(large_arr, rng);
+  EXPECT_GT(b.search_cost().energy, a.search_cost().energy);
+}
+
+// Sec. VII top-down flow: profile -> enumerate -> evaluate -> triage, with
+// the Sec.-III winner surviving to the Pareto front.
+TEST(Integration, TriageFlowSurfacesTechnologyEnabledDesigns) {
+  core::Evaluator ev;
+  const core::AppProfile profile = core::profile_for("isolet-like");
+  std::vector<core::ScoredPoint> scored;
+  for (const auto& ep : core::enumerate_design_space("isolet-like")) {
+    core::ScoredPoint sp;
+    sp.point = ep.point;
+    sp.fom = ev.evaluate(ep.point, profile);
+    scored.push_back(sp);
+  }
+  const auto front = core::pareto_front(scored);
+  ASSERT_FALSE(front.empty());
+  bool in_memory_on_front = false;
+  for (std::size_t idx : front) {
+    const auto arch = scored[idx].point.arch;
+    if (arch == core::ArchKind::kCamXbarHybrid || arch == core::ArchKind::kCamAccelerator)
+      in_memory_on_front = true;
+  }
+  EXPECT_TRUE(in_memory_on_front);
+}
+
+// Sec. V flow feeding Sec. VI numbers: accelerator tile cost from the xbar
+// module plugged into the system simulator.
+TEST(Integration, SystemSimulationUsesCrossbarCosts) {
+  Rng rng(27);
+  xbar::CrossbarConfig tile;
+  tile.rows = 64;
+  tile.cols = 64;
+  tile.apply_variation = false;
+  tile.read_noise_rel = 0.0;
+  const xbar::MvmCost tile_cost = xbar::Crossbar(tile, rng).mvm_cost();
+
+  sim::AcceleratorConfig accel;
+  accel.present = true;
+  accel.tile_cost = tile_cost;
+  const double speedup = sim::accelerator_speedup(
+      sim::CoreConfig{}, sim::CacheConfig{.name = "L1"},
+      sim::CacheConfig{.name = "L2", .size_bytes = 512 * 1024, .ways = 8, .hit_latency_s = 6e-9},
+      sim::DramConfig{}, accel, sim::make_cnn_program(sim::cifar_cnn(6)));
+  EXPECT_GT(speedup, 2.0);
+}
+
+}  // namespace
+}  // namespace xlds

@@ -1,0 +1,345 @@
+// Unit tests for the MANN module: LSH/TLSH (software + crossbar) and the
+// few-shot pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mann/lsh.hpp"
+#include "mann/mann.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "workload/fewshot.hpp"
+
+namespace xlds::mann {
+namespace {
+
+std::vector<double> random_unit_vector(std::size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  double norm = 0.0;
+  for (double& x : v) {
+    x = std::abs(rng.normal());  // feature vectors are post-ReLU: non-negative
+    norm += x * x;
+  }
+  norm = std::sqrt(norm);
+  for (double& x : v) x /= norm;
+  return v;
+}
+
+double cosine(const std::vector<double>& a, const std::vector<double>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  return dot / std::sqrt(na * nb);
+}
+
+// ---- signature helpers ------------------------------------------------------
+
+TEST(Signature, DistanceIgnoresDontCare) {
+  const Signature a = {1, 0, cam::kDontCare, 1};
+  const Signature b = {0, 0, 1, cam::kDontCare};
+  EXPECT_EQ(signature_distance(a, b), 1u);
+  EXPECT_DOUBLE_EQ(dont_care_fraction(a), 0.25);
+}
+
+TEST(Signature, MismatchedLengthThrows) {
+  EXPECT_THROW(signature_distance({1, 0}, {1}), PreconditionError);
+}
+
+// ---- SoftwareLsh -----------------------------------------------------------
+
+TEST(SoftwareLsh, SameInputSameHash) {
+  Rng rng(1);
+  SoftwareLsh lsh(32, 64, rng);
+  Rng data(2);
+  const auto x = random_unit_vector(32, data);
+  EXPECT_EQ(lsh.hash(x), lsh.hash(x));
+}
+
+TEST(SoftwareLsh, HammingTracksAngle) {
+  Rng rng(3);
+  SoftwareLsh lsh(64, 256, rng);
+  Rng data(4);
+  const auto a = random_unit_vector(64, data);
+  // near: small perturbation; far: independent vector.
+  std::vector<double> near = a;
+  for (double& v : near) v += 0.05 * std::abs(data.normal());
+  const auto far = random_unit_vector(64, data);
+  const auto ha = lsh.hash(a);
+  EXPECT_LT(signature_distance(ha, lsh.hash(near)), signature_distance(ha, lsh.hash(far)));
+}
+
+TEST(SoftwareLsh, CorrelationWithCosineDistance) {
+  // Fig. 4D's underlying property: hashed Hamming distance correlates with
+  // cosine distance across random pairs.
+  Rng rng(5);
+  SoftwareLsh lsh(64, 512, rng);
+  Rng data(6);
+  std::vector<double> cos_d, ham_d;
+  for (int i = 0; i < 60; ++i) {
+    const auto a = random_unit_vector(64, data);
+    auto b = a;
+    const double blend = data.uniform();
+    const auto r = random_unit_vector(64, data);
+    for (std::size_t k = 0; k < b.size(); ++k) b[k] = (1 - blend) * b[k] + blend * r[k];
+    cos_d.push_back(1.0 - cosine(a, b));
+    ham_d.push_back(static_cast<double>(signature_distance(lsh.hash(a), lsh.hash(b))));
+  }
+  EXPECT_GT(pearson(cos_d, ham_d), 0.85);
+}
+
+TEST(SoftwareLsh, TernaryMarginGrowsDontCares) {
+  Rng rng(7);
+  SoftwareLsh lsh(32, 256, rng);
+  Rng data(8);
+  const auto x = random_unit_vector(32, data);
+  const double f_small = dont_care_fraction(lsh.hash_ternary(x, 0.1));
+  const double f_large = dont_care_fraction(lsh.hash_ternary(x, 0.8));
+  EXPECT_LT(f_small, f_large);
+  EXPECT_EQ(dont_care_fraction(lsh.hash_ternary(x, 0.0)), 0.0);
+}
+
+// ---- CrossbarLsh -----------------------------------------------------------
+
+xbar::CrossbarConfig hash_xbar_config(std::size_t rows, std::size_t bits) {
+  xbar::CrossbarConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = 2 * bits;
+  cfg.read_noise_rel = 0.0;  // deterministic for unit tests
+  cfg.ir_drop = xbar::IrDropMode::kNone;
+  return cfg;
+}
+
+TEST(CrossbarLsh, DeterministicWithoutNoise) {
+  Rng rng(9);
+  CrossbarLsh lsh(hash_xbar_config(32, 64), 64, rng);
+  Rng data(10);
+  const auto x = random_unit_vector(32, data);
+  EXPECT_EQ(lsh.hash(x), lsh.hash(x));
+}
+
+TEST(CrossbarLsh, PreservesLocality) {
+  Rng rng(11);
+  CrossbarLsh lsh(hash_xbar_config(64, 128), 128, rng);
+  Rng data(12);
+  const auto a = random_unit_vector(64, data);
+  std::vector<double> near = a;
+  for (double& v : near) v = std::min(1.0, v + 0.02);
+  const auto far = random_unit_vector(64, data);
+  const auto ha = lsh.hash(a);
+  EXPECT_LE(signature_distance(ha, lsh.hash(near)), signature_distance(ha, lsh.hash(far)));
+}
+
+TEST(CrossbarLsh, InsufficientColumnsThrows) {
+  Rng rng(13);
+  EXPECT_THROW(CrossbarLsh(hash_xbar_config(32, 16), 32, rng), PreconditionError);
+}
+
+TEST(CrossbarLsh, TernaryThresholdMarksNearPlaneBits) {
+  Rng rng(14);
+  CrossbarLsh lsh(hash_xbar_config(32, 128), 128, rng);
+  Rng data(15);
+  const auto x = random_unit_vector(32, data);
+  const double f0 = dont_care_fraction(lsh.hash_ternary(x, 0.0));
+  const double f1 = dont_care_fraction(lsh.hash_ternary(x, 0.5));
+  EXPECT_EQ(f0, 0.0);
+  EXPECT_GT(f1, 0.05);
+  EXPECT_LT(f1, 0.6);
+}
+
+TEST(CrossbarLsh, FixedCountTernaryMasksExactlyK) {
+  Rng rng(50);
+  CrossbarLsh lsh(hash_xbar_config(32, 128), 128, rng);
+  Rng data(51);
+  const auto x = random_unit_vector(32, data);
+  for (std::size_t k : {0u, 16u, 64u}) {
+    const Signature s = lsh.hash_ternary_fixed(x, k);
+    std::size_t masked = 0;
+    for (int b : s)
+      if (b == cam::kDontCare) ++masked;
+    EXPECT_EQ(masked, k);
+  }
+  EXPECT_THROW(lsh.hash_ternary_fixed(x, 128), PreconditionError);
+}
+
+TEST(CrossbarLsh, FixedCountMasksTheSmallestMagnitudes) {
+  Rng rng(52);
+  CrossbarLsh lsh(hash_xbar_config(32, 64), 64, rng);
+  Rng data(53);
+  const auto x = random_unit_vector(32, data);
+  const auto proj = lsh.project(x);
+  const Signature s = lsh.hash_ternary_fixed(x, 8);
+  double max_masked = 0.0, min_kept = 1e300;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == cam::kDontCare)
+      max_masked = std::max(max_masked, std::abs(proj[i]));
+    else
+      min_kept = std::min(min_kept, std::abs(proj[i]));
+  }
+  EXPECT_LE(max_masked, min_kept);
+}
+
+TEST(Lsh, CenteringImprovesAngularResolution) {
+  // Post-ReLU-style vectors cluster in the positive orthant; centering the
+  // projection must improve the hash's correlation with cosine distance.
+  Rng rng(54);
+  SoftwareLsh plain(48, 512, rng);
+  Rng rng2(54);
+  SoftwareLsh centred(48, 512, rng2);
+  centred.calibrate_centering();
+  ASSERT_TRUE(centred.centering_calibrated());
+
+  Rng data(55);
+  std::vector<double> cos_d, d_plain, d_centred;
+  auto cosine = [](const std::vector<double>& a, const std::vector<double>& b) {
+    double dot = 0, na = 0, nb = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      dot += a[i] * b[i];
+      na += a[i] * a[i];
+      nb += b[i] * b[i];
+    }
+    return 1.0 - dot / std::sqrt(na * nb);
+  };
+  // Strongly clustered population (a dominant common direction, like CNN
+  // embeddings sharing activation statistics): this is where plain sign
+  // hashing loses angular resolution.
+  auto clustered = [&]() {
+    std::vector<double> v(48);
+    for (std::size_t i = 0; i < 48; ++i) v[i] = 0.8 + 0.2 * std::abs(data.normal());
+    return v;
+  };
+  for (int p = 0; p < 80; ++p) {
+    const auto a = clustered();
+    auto b = a;
+    const double blend = data.uniform();
+    const auto r = clustered();
+    for (std::size_t k = 0; k < b.size(); ++k) b[k] = (1 - blend) * b[k] + blend * r[k];
+    cos_d.push_back(cosine(a, b));
+    d_plain.push_back(static_cast<double>(signature_distance(plain.hash(a), plain.hash(b))));
+    d_centred.push_back(
+        static_cast<double>(signature_distance(centred.hash(a), centred.hash(b))));
+  }
+  EXPECT_GT(pearson(cos_d, d_centred), pearson(cos_d, d_plain) + 0.02);
+}
+
+TEST(CrossbarLsh, CenteringZeroesTheOnesProjection) {
+  Rng rng(56);
+  CrossbarLsh lsh(hash_xbar_config(32, 64), 64, rng);
+  lsh.calibrate_centering();
+  // The all-ones input's centred projection must be ~0 (it IS the offset).
+  const auto p = lsh.project(std::vector<double>(32, 1.0));
+  for (double v : p) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(CrossbarLsh, RelaxationFlipsMostlyNearPlaneBits) {
+  // The Fig. 4C mechanism: age the crossbar, see which signature bits flip,
+  // and check flipped bits had smaller |projection| than stable bits.
+  Rng rng(16);
+  CrossbarLsh lsh(hash_xbar_config(64, 256), 256, rng);
+  Rng data(17);
+  const auto x = random_unit_vector(64, data);
+  const auto before = lsh.hash(x);
+  const auto proj = lsh.project(x);
+  lsh.age(1.0e4);
+  const auto after = lsh.hash(x);
+  RunningStats flipped_mag, stable_mag;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    (before[i] != after[i] ? flipped_mag : stable_mag).add(std::abs(proj[i]));
+  }
+  if (flipped_mag.count() >= 5) {
+    EXPECT_LT(flipped_mag.mean(), stable_mag.mean());
+  }
+}
+
+// ---- pipeline ----------------------------------------------------------------
+
+MannConfig pipeline_config(Backend backend) {
+  MannConfig cfg;
+  cfg.image_side = 16;
+  cfg.embedding = 32;
+  cfg.signature_bits = 64;
+  cfg.backend = backend;
+  cfg.hash_xbar = hash_xbar_config(32, 64);
+  cfg.am.cols = 64;
+  cfg.am.apply_variation = false;
+  cfg.am.sense_noise_rel = 0.0;
+  cfg.fefet_am.fefet.bits = 1;
+  cfg.fefet_am.cols = 64;
+  cfg.fefet_am.apply_variation = false;
+  cfg.fefet_am.sense_noise_rel = 0.0;
+  return cfg;
+}
+
+TEST(MannPipeline, PretrainReachesTrainingAccuracy) {
+  workload::FewShotGenerator gen(workload::FewShotSpec{.image_side = 16, .n_classes = 40}, 18);
+  Rng rng(19);
+  MannPipeline pipe(pipeline_config(Backend::kSoftwareCosine), rng);
+  const double acc = pipe.pretrain(gen, 8, 12, 12, 0.001);
+  EXPECT_GT(acc, 0.7);
+}
+
+TEST(MannPipeline, EpisodeBeforePretrainThrows) {
+  workload::FewShotGenerator gen(workload::FewShotSpec{.image_side = 16, .n_classes = 40}, 20);
+  Rng rng(21);
+  MannPipeline pipe(pipeline_config(Backend::kSoftwareCosine), rng);
+  const auto ep = gen.sample_episode(5, 1, 2);
+  EXPECT_THROW(pipe.run_episode(ep), PreconditionError);
+}
+
+class BackendSweep : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(BackendSweep, FewShotAboveChance) {
+  workload::FewShotGenerator gen(workload::FewShotSpec{.image_side = 16, .n_classes = 40}, 22);
+  Rng rng(23);
+  MannPipeline pipe(pipeline_config(GetParam()), rng);
+  pipe.pretrain(gen, 8, 12, 12, 0.001);
+  const double acc = pipe.evaluate(gen, 6, 5, 1, 3);
+  EXPECT_GT(acc, 0.35) << to_string(GetParam());  // chance = 0.2 for 5-way
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendSweep,
+                         ::testing::Values(Backend::kSoftwareCosine, Backend::kSoftwareLsh,
+                                           Backend::kRramLsh, Backend::kRramTlsh,
+                                           Backend::kFeFetTlsh));
+
+TEST(MannPipeline, TlshStoresDontCares) {
+  workload::FewShotGenerator gen(workload::FewShotSpec{.image_side = 16, .n_classes = 40}, 24);
+  Rng rng(25);
+  MannConfig cfg = pipeline_config(Backend::kRramTlsh);
+  cfg.tlsh_threshold = 0.4;
+  MannPipeline pipe(cfg, rng);
+  pipe.pretrain(gen, 8, 10, 10, 0.001);
+  const EpisodeResult res = pipe.run_episode(gen.sample_episode(5, 1, 2));
+  EXPECT_GT(res.mean_dont_care, 0.02);
+}
+
+TEST(MannPipeline, HardwareCostPositive) {
+  Rng rng(26);
+  MannPipeline pipe(pipeline_config(Backend::kRramTlsh), rng);
+  const cam::SearchCost cost = pipe.hardware_query_cost(25);
+  EXPECT_GT(cost.latency, 0.0);
+  EXPECT_GT(cost.energy, 0.0);
+  EXPECT_GT(pipe.cnn_macs(), 10000u);
+}
+
+TEST(MannPipeline, FeFetAmRequiresBinaryCells) {
+  Rng rng(28);
+  MannConfig cfg = pipeline_config(Backend::kFeFetTlsh);
+  cfg.fefet_am.fefet.bits = 3;
+  EXPECT_THROW(MannPipeline(cfg, rng), PreconditionError);
+  cfg.fefet_am.fefet.bits = 1;
+  cfg.fefet_am.cols = 32;  // != signature_bits
+  EXPECT_THROW(MannPipeline(cfg, rng), PreconditionError);
+}
+
+TEST(MannPipeline, MismatchedAmWidthThrows) {
+  Rng rng(27);
+  MannConfig cfg = pipeline_config(Backend::kRramLsh);
+  cfg.am.cols = 32;  // != signature_bits
+  EXPECT_THROW(MannPipeline(cfg, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace xlds::mann

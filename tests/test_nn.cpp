@@ -1,0 +1,236 @@
+// Unit tests for the NN substrate: layer numerics (including numerical
+// gradient checks), the network container and the builders.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/layer.hpp"
+#include "nn/network.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace xlds::nn {
+namespace {
+
+// ---- DenseLayer ---------------------------------------------------------
+
+TEST(Dense, ForwardKnownValues) {
+  Rng rng(1);
+  DenseLayer d(2, 2, rng);
+  auto& w = d.mutable_weights();
+  w(0, 0) = 1.0;
+  w(0, 1) = 2.0;
+  w(1, 0) = 3.0;
+  w(1, 1) = 4.0;
+  const auto y = d.forward({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(y[0], 7.0);   // 1*1 + 2*3
+  EXPECT_DOUBLE_EQ(y[1], 10.0);  // 1*2 + 2*4
+}
+
+TEST(Dense, CountsMacsAndParams) {
+  Rng rng(2);
+  DenseLayer d(10, 5, rng);
+  EXPECT_EQ(d.counts().macs, 50u);
+  EXPECT_EQ(d.counts().params, 55u);
+}
+
+// Numerical gradient check: perturb each weight, compare loss delta with the
+// analytic gradient accumulated by backward().
+TEST(Dense, GradientMatchesNumerical) {
+  Rng rng(3);
+  DenseLayer d(3, 2, rng);
+  const std::vector<double> x = {0.5, -0.2, 0.8};
+  const std::vector<double> grad_out = {1.0, -0.5};  // dL/dy
+
+  auto loss = [&](DenseLayer& layer) {
+    const auto y = layer.forward(x);
+    return grad_out[0] * y[0] + grad_out[1] * y[1];  // linear functional
+  };
+
+  d.forward(x);
+  const auto grad_in = d.backward(grad_out);
+
+  // Input gradient check.
+  constexpr double kEps = 1e-6;
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::vector<double> xp = x, xm = x;
+    xp[i] += kEps;
+    xm[i] -= kEps;
+    const auto yp = d.forward(xp);
+    const auto ym = d.forward(xm);
+    const double num = ((grad_out[0] * yp[0] + grad_out[1] * yp[1]) -
+                        (grad_out[0] * ym[0] + grad_out[1] * ym[1])) /
+                       (2 * kEps);
+    EXPECT_NEAR(grad_in[i], num, 1e-6);
+  }
+
+  // Weight gradient check: apply update with lr=1, momentum=0; the weight
+  // moves by -grad, so loss must decrease to first order.
+  const double before = loss(d);
+  d.forward(x);
+  d.backward(grad_out);
+  d.update(1e-3, 0.0, 0.0);
+  const double after = loss(d);
+  EXPECT_LT(after, before);
+}
+
+// ---- ReluLayer --------------------------------------------------------
+
+TEST(Relu, ForwardAndBackwardMask) {
+  ReluLayer r(4);
+  const auto y = r.forward({-1.0, 2.0, 0.0, 3.0});
+  EXPECT_EQ(y, (std::vector<double>{0.0, 2.0, 0.0, 3.0}));
+  const auto g = r.backward({1.0, 1.0, 1.0, 1.0});
+  EXPECT_EQ(g, (std::vector<double>{0.0, 1.0, 0.0, 1.0}));
+}
+
+// ---- Conv2dLayer --------------------------------------------------------
+
+TEST(Conv, OutputShapeAndIdentityKernel) {
+  Rng rng(4);
+  Conv2dLayer conv(1, 4, 4, 1, 3, rng);
+  EXPECT_EQ(conv.out_h(), 2u);
+  EXPECT_EQ(conv.out_w(), 2u);
+  EXPECT_EQ(conv.output_size(), 4u);
+  EXPECT_EQ(conv.counts().macs, 2u * 2u * 9u);
+}
+
+TEST(Conv, GradientDecreasesLoss) {
+  Rng rng(5);
+  Conv2dLayer conv(1, 6, 6, 2, 3, rng);
+  Rng data(6);
+  std::vector<double> x(36);
+  for (double& v : x) v = data.uniform();
+  std::vector<double> grad_out(conv.output_size(), 1.0);
+
+  auto loss = [&] {
+    double s = 0.0;
+    for (double v : conv.forward(x)) s += v;
+    return s;
+  };
+  const double before = loss();
+  conv.forward(x);
+  conv.backward(grad_out);
+  conv.update(1e-3, 0.0, 0.0);
+  EXPECT_LT(loss(), before);
+}
+
+TEST(Conv, InputGradientMatchesNumerical) {
+  Rng rng(7);
+  Conv2dLayer conv(1, 5, 5, 1, 3, rng);
+  Rng data(8);
+  std::vector<double> x(25);
+  for (double& v : x) v = data.uniform();
+  conv.forward(x);
+  std::vector<double> grad_out(conv.output_size(), 1.0);
+  const auto grad_in = conv.backward(grad_out);
+
+  constexpr double kEps = 1e-6;
+  for (std::size_t i : {0u, 7u, 12u, 24u}) {
+    std::vector<double> xp = x, xm = x;
+    xp[i] += kEps;
+    xm[i] -= kEps;
+    double sp = 0.0, sm = 0.0;
+    for (double v : conv.forward(xp)) sp += v;
+    for (double v : conv.forward(xm)) sm += v;
+    EXPECT_NEAR(grad_in[i], (sp - sm) / (2 * kEps), 1e-5) << "pixel " << i;
+  }
+}
+
+// ---- MaxPoolLayer -------------------------------------------------------
+
+TEST(MaxPool, SelectsMaximaAndRoutesGradient) {
+  MaxPoolLayer pool(1, 4, 4);
+  std::vector<double> x(16, 0.0);
+  x[5] = 3.0;   // (1,1) in the top-left window? window (0..1, 0..1) has idx 0,1,4,5
+  x[10] = 7.0;  // (2,2) in the bottom-right-ish window
+  const auto y = pool.forward(x);
+  ASSERT_EQ(y.size(), 4u);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[3], 7.0);
+  const auto g = pool.backward({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(g[5], 1.0);
+  EXPECT_DOUBLE_EQ(g[10], 4.0);
+}
+
+// ---- Network -----------------------------------------------------------
+
+TEST(Network, SoftmaxNormalises) {
+  const auto p = softmax({1.0, 2.0, 3.0});
+  double sum = 0.0;
+  for (double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(p[2], p[1]);
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(Network, TrainsLinearlySeparableProblem) {
+  Rng rng(9);
+  Network net = make_mlp(2, {16}, 2, rng);
+  // Class 0: x0 > x1; class 1 otherwise.
+  std::vector<std::vector<double>> xs;
+  std::vector<std::size_t> ys;
+  Rng data(10);
+  for (int i = 0; i < 200; ++i) {
+    const double a = data.uniform(), b = data.uniform();
+    xs.push_back({a, b});
+    ys.push_back(a > b ? 0 : 1);
+  }
+  for (int e = 0; e < 30; ++e) net.train_epoch(xs, ys, 0.05, rng);
+  EXPECT_GT(net.accuracy(xs, ys), 0.95);
+}
+
+TEST(Network, TrainStepReducesLossOnAverage) {
+  Rng rng(11);
+  Network net = make_mlp(4, {8}, 3, rng);
+  const std::vector<double> x = {0.1, 0.9, 0.4, 0.2};
+  double first = 0.0, last = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const double loss = net.train_step(x, 1, 0.05);
+    if (i == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, first);
+}
+
+TEST(Network, ForwardUntilSkipsHead) {
+  Rng rng(12);
+  Network net = make_mlp(4, {8}, 3, rng);
+  // Dropping the final Dense leaves the 8-wide hidden activation.
+  EXPECT_EQ(net.forward_until({0.1, 0.2, 0.3, 0.4}, 1).size(), 8u);
+  EXPECT_EQ(net.forward({0.1, 0.2, 0.3, 0.4}).size(), 3u);
+}
+
+TEST(Network, SmallCnnShapesAndTrains) {
+  Rng rng(13);
+  Network net = make_small_cnn(16, 4, 32, rng);
+  std::vector<double> img(256, 0.5);
+  EXPECT_EQ(net.forward(img).size(), 4u);
+  EXPECT_EQ(net.forward_until(img, 1).size(), 32u);
+  EXPECT_GT(net.total_counts().macs, 10000u);
+  EXPECT_NO_THROW(net.train_step(img, 2, 0.01));
+}
+
+TEST(Network, EmptyNetworkThrows) {
+  Network net;
+  EXPECT_THROW(net.forward({1.0}), PreconditionError);
+}
+
+TEST(Network, WeightDecayShrinksWeights) {
+  Rng rng(14);
+  DenseLayer d(4, 4, rng);
+  const std::vector<double> zero_grad(4, 0.0);
+  double norm_before = 0.0;
+  for (double w : d.weights().data()) norm_before += w * w;
+  // No data gradient, only decay: weights must shrink toward zero.
+  d.forward({0.0, 0.0, 0.0, 0.0});
+  d.backward(zero_grad);
+  d.update(0.1, 0.0, 0.5);
+  double norm_after = 0.0;
+  for (double w : d.weights().data()) norm_after += w * w;
+  EXPECT_LT(norm_after, norm_before);
+}
+
+}  // namespace
+}  // namespace xlds::nn

@@ -1,0 +1,223 @@
+// Unit tests for the NVSim-lane RAM array model.
+#include <gtest/gtest.h>
+
+#include "nvsim/explorer.hpp"
+#include "nvsim/nvram.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace xlds::nvsim {
+namespace {
+
+NvRamConfig base_config() {
+  NvRamConfig cfg;
+  cfg.device = device::DeviceKind::kRram;
+  cfg.tech = "40nm";
+  cfg.capacity_bits = 8ull * 1024 * 1024;
+  return cfg;
+}
+
+TEST(NvRam, SubarrayCountCeils) {
+  NvRamConfig cfg = base_config();
+  cfg.subarray_rows = 256;
+  cfg.subarray_cols = 256;
+  NvRamModel m(cfg);
+  EXPECT_EQ(m.subarray_count(), 128u);  // 8 Mb / 64 Kb
+  cfg.capacity_bits += 1;
+  EXPECT_EQ(NvRamModel(cfg).subarray_count(), 129u);
+}
+
+TEST(NvRam, AllFomsPositive) {
+  NvRamModel m(base_config());
+  const ArrayFom f = m.evaluate();
+  EXPECT_GT(f.area_m2, 0.0);
+  EXPECT_GT(f.read_latency, 0.0);
+  EXPECT_GT(f.write_latency, 0.0);
+  EXPECT_GT(f.read_energy, 0.0);
+  EXPECT_GT(f.write_energy, 0.0);
+  EXPECT_GT(f.leakage_power, 0.0);
+}
+
+TEST(NvRam, AreaScalesWithCapacity) {
+  NvRamConfig small = base_config();
+  NvRamConfig big = base_config();
+  big.capacity_bits *= 4;
+  const double ratio = NvRamModel(big).evaluate().area_m2 / NvRamModel(small).evaluate().area_m2;
+  EXPECT_NEAR(ratio, 4.0, 0.2);
+}
+
+TEST(NvRam, MultiLevelCellsShrinkArray) {
+  NvRamConfig slc = base_config();
+  NvRamConfig mlc = base_config();
+  mlc.bits_per_cell = 2;
+  EXPECT_LT(NvRamModel(mlc).evaluate().area_m2, NvRamModel(slc).evaluate().area_m2);
+  EXPECT_LT(NvRamModel(mlc).subarray_count(), NvRamModel(slc).subarray_count());
+}
+
+TEST(NvRam, UnsupportedMlcThrows) {
+  NvRamConfig cfg = base_config();
+  cfg.device = device::DeviceKind::kMram;  // 1 bit/cell max
+  cfg.bits_per_cell = 2;
+  EXPECT_THROW(NvRamModel{cfg}, PreconditionError);
+}
+
+TEST(NvRam, TechnologyOrderings) {
+  // The paper's lane-1 question: how does a new cell compare in a
+  // conventional organisation?  SRAM reads fastest; flash writes slowest and
+  // biggest write energy; RRAM denser than SRAM.
+  NvRamConfig cfg = base_config();
+  cfg.device = device::DeviceKind::kSram;
+  const ArrayFom sram = NvRamModel(cfg).evaluate();
+  cfg.device = device::DeviceKind::kRram;
+  const ArrayFom rram = NvRamModel(cfg).evaluate();
+  cfg.device = device::DeviceKind::kFlash;
+  const ArrayFom flash = NvRamModel(cfg).evaluate();
+
+  EXPECT_LT(sram.read_latency, flash.read_latency);
+  EXPECT_LT(rram.area_m2, sram.area_m2);
+  EXPECT_GT(flash.write_latency, rram.write_latency);
+  EXPECT_GT(flash.write_latency, 1e-6);  // the "ill-suited as main memory" cull
+  EXPECT_GT(flash.write_energy, rram.write_energy);
+}
+
+TEST(NvRam, BiggerSubarraysSlowTheArray) {
+  NvRamConfig small = base_config();
+  small.subarray_rows = 128;
+  small.subarray_cols = 128;
+  NvRamConfig big = base_config();
+  big.subarray_rows = 1024;
+  big.subarray_cols = 1024;
+  EXPECT_LT(NvRamModel(small).subarray_fom().read_latency,
+            NvRamModel(big).subarray_fom().read_latency);
+}
+
+TEST(NvRam, FinerNodeShrinksArea) {
+  NvRamConfig n40 = base_config();
+  NvRamConfig n16 = base_config();
+  n16.tech = "16nm";
+  EXPECT_LT(NvRamModel(n16).evaluate().area_m2, NvRamModel(n40).evaluate().area_m2);
+}
+
+TEST(NvRam3d, StackingShrinksAreaMonotonically) {
+  NvRamConfig cfg = base_config();
+  double prev_area = 1e9;
+  for (std::size_t layers : {1u, 2u, 4u, 8u}) {
+    cfg.layers_3d = layers;
+    const ArrayFom f = NvRamModel(cfg).evaluate();
+    EXPECT_LT(f.area_m2, prev_area) << layers << " layers";
+    prev_area = f.area_m2;
+  }
+}
+
+TEST(NvRam3d, ViaPenaltySlowsAccess) {
+  NvRamConfig planar = base_config();
+  NvRamConfig stacked = base_config();
+  stacked.layers_3d = 8;
+  EXPECT_GT(NvRamModel(stacked).evaluate().read_latency,
+            NvRamModel(planar).evaluate().read_latency);
+  EXPECT_GT(NvRamModel(stacked).evaluate().write_energy,
+            NvRamModel(planar).evaluate().write_energy);
+}
+
+TEST(NvRam3d, OnlyBeolDevicesStack) {
+  NvRamConfig cfg = base_config();
+  cfg.layers_3d = 4;
+  cfg.device = device::DeviceKind::kSram;
+  EXPECT_THROW(NvRamModel{cfg}, PreconditionError);
+  cfg.device = device::DeviceKind::kFeFet;
+  EXPECT_THROW(NvRamModel{cfg}, PreconditionError);
+  cfg.device = device::DeviceKind::kPcm;
+  EXPECT_NO_THROW(NvRamModel{cfg});
+}
+
+TEST(NvRam3d, AreaFloorIsPeripheryBound) {
+  // Stacking only the cells: the area saving saturates toward the periphery
+  // footprint.
+  NvRamConfig cfg = base_config();
+  cfg.layers_3d = 2;
+  const double a2 = NvRamModel(cfg).evaluate().area_m2;
+  cfg.layers_3d = 16;
+  const double a16 = NvRamModel(cfg).evaluate().area_m2;
+  EXPECT_GT(a16, 0.1 * a2);  // far from 8x shrink: periphery does not stack
+}
+
+// ---- NVMExplorer lane ---------------------------------------------------------
+
+TEST(NvmExplorer, BerGrowsWithAgeAndWrites) {
+  const nvsim::FaultModel fm;
+  const auto& rram = device::traits(device::DeviceKind::kRram);
+  const double fresh = fm.bit_error_rate(rram, 0.0, 0.0);
+  const double old_age = fm.bit_error_rate(rram, rram.retention_s, 0.0);
+  const double worn = fm.bit_error_rate(rram, 0.0, rram.endurance_cycles);
+  EXPECT_NEAR(fresh, fm.base_ber, 1e-12);
+  EXPECT_GT(old_age, 100.0 * fresh);
+  EXPECT_GT(worn, 100.0 * fresh);
+  // Saturates at 0.5 (a fully random bit).
+  EXPECT_LE(fm.bit_error_rate(rram, 100.0 * rram.retention_s, 0.0), 0.5);
+}
+
+TEST(NvmExplorer, LifetimeScalesInverselyWithTraffic) {
+  NvRamConfig mem = base_config();
+  nvsim::TrafficProfile light{.write_bytes_per_s = 1e3, .read_bytes_per_s = 1e6};
+  nvsim::TrafficProfile heavy{.write_bytes_per_s = 1e6, .read_bytes_per_s = 1e6};
+  const double t_light = nvsim::NvmExplorer(mem, {}, light).report().lifetime_s;
+  const double t_heavy = nvsim::NvmExplorer(mem, {}, heavy).report().lifetime_s;
+  EXPECT_NEAR(t_light / t_heavy, 1000.0, 1.0);
+}
+
+TEST(NvmExplorer, FlashWearsOutFirst) {
+  NvRamConfig mem = base_config();
+  nvsim::TrafficProfile traffic{.write_bytes_per_s = 50e3, .read_bytes_per_s = 1e6};
+  mem.device = device::DeviceKind::kFlash;
+  const double t_flash = nvsim::NvmExplorer(mem, {}, traffic).report().lifetime_s;
+  mem.device = device::DeviceKind::kMram;
+  const double t_mram = nvsim::NvmExplorer(mem, {}, traffic).report().lifetime_s;
+  EXPECT_LT(t_flash * 1e6, t_mram);
+}
+
+TEST(NvmExplorer, WeightFaultInjectionFlipsAndDegrades) {
+  Rng rng(40);
+  nn::Network net = nn::make_mlp(8, {16}, 3, rng);
+  // Zero BER: no flips, identical behaviour.
+  EXPECT_EQ(nvsim::inject_weight_faults(net, 0.0, rng), 0u);
+  // Heavy BER: many flips.
+  std::vector<double> before;
+  net.visit_weights([&](double& w) { before.push_back(w); });
+  const std::size_t flips = nvsim::inject_weight_faults(net, 0.1, rng);
+  EXPECT_GT(flips, 50u);
+  std::size_t changed = 0, i = 0;
+  net.visit_weights([&](double& w) {
+    if (w != before[i++]) ++changed;
+  });
+  EXPECT_GT(changed, 20u);
+}
+
+TEST(NvmExplorer, DnnAccuracyRestoresWeights) {
+  Rng rng(41);
+  nn::Network net = nn::make_mlp(6, {12}, 2, rng);
+  std::vector<std::vector<double>> xs = {{0.1, 0.2, 0.3, 0.4, 0.5, 0.6},
+                                         {0.6, 0.5, 0.4, 0.3, 0.2, 0.1}};
+  std::vector<std::size_t> ys = {0, 1};
+  std::vector<double> before;
+  net.visit_weights([&](double& w) { before.push_back(w); });
+
+  NvRamConfig mem = base_config();
+  nvsim::TrafficProfile traffic{.write_bytes_per_s = 1e3, .read_bytes_per_s = 1e6};
+  nvsim::NvmExplorer explorer(mem, {}, traffic);
+  (void)explorer.dnn_accuracy_at(net, xs, ys, 20.0 * 365 * 24 * 3600, rng);
+
+  std::size_t i = 0;
+  bool identical = true;
+  net.visit_weights([&](double& w) { identical = identical && w == before[i++]; });
+  EXPECT_TRUE(identical);  // evaluation must not leave corruption behind
+}
+
+TEST(NvRam, ReadBandwidthSane) {
+  const ArrayFom f = NvRamModel(base_config()).evaluate();
+  const double bw = f.read_bandwidth(64);
+  EXPECT_GT(bw, 1e9);   // > ~1 Gb/s
+  EXPECT_LT(bw, 1e13);  // < 10 Tb/s
+}
+
+}  // namespace
+}  // namespace xlds::nvsim

@@ -1,0 +1,395 @@
+// Unit tests for the event-driven system simulator: event kernel, caches,
+// the machine model and the workload traces.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/event.hpp"
+#include "sim/machine.hpp"
+#include "sim/multicore.hpp"
+#include "sim/trace.hpp"
+#include "util/error.hpp"
+
+namespace xlds::sim {
+namespace {
+
+// ---- EventQueue -------------------------------------------------------------
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+  EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(5, [&] { order.push_back(1); });
+  q.schedule(5, [&] { order.push_back(2); });
+  q.schedule(5, [&] { order.push_back(3); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 5) q.schedule_in(10, chain);
+  };
+  q.schedule(0, chain);
+  q.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(EventQueue, PastSchedulingThrows) {
+  EventQueue q;
+  q.schedule(10, [&] { EXPECT_THROW(q.schedule(5, [] {}), PreconditionError); });
+  q.run();
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(10, [&] { ++fired; });
+  q.schedule(100, [&] { ++fired; });
+  q.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 50u);
+  q.run();
+  EXPECT_EQ(fired, 2);
+}
+
+// ---- Cache -----------------------------------------------------------------
+
+TEST(Cache, HitsAfterFill) {
+  Cache c(CacheConfig{.name = "L1", .size_bytes = 1024, .line_bytes = 64, .ways = 2});
+  EXPECT_FALSE(c.access(0x100));
+  EXPECT_TRUE(c.access(0x100));
+  EXPECT_TRUE(c.access(0x104));  // same line
+  EXPECT_EQ(c.stats().hits, 2u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, LruEviction) {
+  // 2 ways, 8 sets: three lines mapping to the same set evict the oldest.
+  Cache c(CacheConfig{.name = "L1", .size_bytes = 1024, .line_bytes = 64, .ways = 2});
+  const Addr set_stride = 8 * 64;  // same set, different tags
+  c.access(0x0);
+  c.access(set_stride);
+  c.access(2 * set_stride);       // evicts 0x0
+  EXPECT_FALSE(c.access(0x0));    // miss again
+  EXPECT_TRUE(c.access(2 * set_stride));
+}
+
+TEST(Cache, StreamLargerThanCacheMostlyMisses) {
+  Cache c(CacheConfig{.name = "L1", .size_bytes = 4096, .line_bytes = 64, .ways = 4});
+  for (Addr a = 0; a < 1 << 20; a += 64) c.access(a);
+  EXPECT_LT(c.stats().hit_rate(), 0.01);
+}
+
+TEST(Cache, RepeatedWorkingSetFitsAndHits) {
+  Cache c(CacheConfig{.name = "L1", .size_bytes = 8192, .line_bytes = 64, .ways = 4});
+  for (int pass = 0; pass < 4; ++pass)
+    for (Addr a = 0; a < 4096; a += 64) c.access(a);
+  EXPECT_GT(c.stats().hit_rate(), 0.7);
+}
+
+TEST(MemoryHierarchy, LatencyOrdering) {
+  MemoryHierarchy mem(CacheConfig{.name = "L1", .size_bytes = 1024, .line_bytes = 64, .ways = 2,
+                                  .hit_latency_s = 1e-9},
+                      CacheConfig{.name = "L2", .size_bytes = 65536, .line_bytes = 64, .ways = 8,
+                                  .hit_latency_s = 5e-9},
+                      DramConfig{});
+  const double t_miss = mem.access(0x5000);  // cold: DRAM
+  const double t_hit = mem.access(0x5000);   // L1 hit
+  EXPECT_GT(t_miss, 50e-9);
+  EXPECT_NEAR(t_hit, 1e-9, 1e-12);
+  EXPECT_EQ(mem.dram_accesses(), 1u);
+  EXPECT_EQ(mem.dram_bytes(), 64u);
+}
+
+// ---- Machine ----------------------------------------------------------------
+
+CoreConfig core_config() { return CoreConfig{.freq_hz = 1e9, .ipc = 1.0, .macs_per_cycle = 2.0}; }
+CacheConfig l1_config() {
+  return CacheConfig{.name = "L1", .size_bytes = 32 * 1024, .line_bytes = 64, .ways = 4,
+                     .hit_latency_s = 1e-9};
+}
+CacheConfig l2_config() {
+  return CacheConfig{.name = "L2", .size_bytes = 512 * 1024, .line_bytes = 64, .ways = 8,
+                     .hit_latency_s = 6e-9};
+}
+
+TEST(Machine, ComputeOpTiming) {
+  Machine m(core_config(), l1_config(), l2_config(), DramConfig{}, AcceleratorConfig{});
+  Op op;
+  op.kind = OpKind::kCompute;
+  op.scalar_ops = 1'000'000;
+  const RunStats stats = m.run({op});
+  EXPECT_NEAR(stats.total_time, 1e-3, 1e-5);  // 1M ops / (1 IPC * 1 GHz)
+  EXPECT_EQ(stats.ops_executed, 1u);
+}
+
+TEST(Machine, MemStreamChargesHierarchy) {
+  Machine m(core_config(), l1_config(), l2_config(), DramConfig{}, AcceleratorConfig{});
+  Op op;
+  op.kind = OpKind::kMemStream;
+  op.base = 0x10000000;
+  op.bytes = 1 << 20;  // 1 MiB cold stream
+  const RunStats stats = m.run({op});
+  // Bandwidth-limited stream: ~1 MiB / 25.6 GB/s = ~41 us.
+  EXPECT_GT(stats.memory_time, 3e-5);
+  EXPECT_LT(stats.memory_time, 3e-4);
+  EXPECT_GT(stats.dram_bytes, 1u << 19);
+}
+
+TEST(Machine, MvmOnCoreVsOffload) {
+  Op mvm;
+  mvm.kind = OpKind::kMvm;
+  mvm.rows = 512;
+  mvm.cols = 512;
+  mvm.repeat = 100;
+
+  Machine baseline(core_config(), l1_config(), l2_config(), DramConfig{}, AcceleratorConfig{});
+  AcceleratorConfig accel;
+  accel.present = true;
+  Machine accelerated(core_config(), l1_config(), l2_config(), DramConfig{}, accel);
+
+  const RunStats s0 = baseline.run({mvm});
+  const RunStats s1 = accelerated.run({mvm});
+  EXPECT_GT(s0.mvm_core_time, 0.0);
+  EXPECT_EQ(s0.offloads, 0u);
+  EXPECT_EQ(s1.offloads, 1u);
+  EXPECT_GT(s1.accel_time, 0.0);
+  EXPECT_LT(s1.total_time, s0.total_time);
+}
+
+TEST(Machine, NonOffloadableMvmStaysOnCore) {
+  Op mvm;
+  mvm.kind = OpKind::kMvm;
+  mvm.rows = 256;
+  mvm.cols = 256;
+  mvm.offloadable = false;
+  AcceleratorConfig accel;
+  accel.present = true;
+  Machine m(core_config(), l1_config(), l2_config(), DramConfig{}, accel);
+  const RunStats s = m.run({mvm});
+  EXPECT_EQ(s.offloads, 0u);
+  EXPECT_GT(s.mvm_core_time, 0.0);
+}
+
+TEST(Machine, StatsAccountForTotal) {
+  AcceleratorConfig accel;
+  accel.present = true;
+  Machine m(core_config(), l1_config(), l2_config(), DramConfig{}, accel);
+  const Program prog = make_cnn_program(cifar_cnn(4));
+  const RunStats s = m.run(prog);
+  const double parts =
+      s.compute_time + s.memory_time + s.mvm_core_time + s.accel_time + s.transfer_time;
+  // Sequential core + blocking offload: parts must cover ~all of total time
+  // (event-tick rounding allows a tiny slack).
+  EXPECT_NEAR(parts, s.total_time, 0.02 * s.total_time);
+}
+
+// ---- multi-core machine --------------------------------------------------------
+
+MulticoreConfig multicore_config(std::size_t cores, bool accel_present) {
+  MulticoreConfig cfg;
+  cfg.cores = cores;
+  cfg.core = core_config();
+  cfg.l1 = l1_config();
+  cfg.l2 = l2_config();
+  cfg.accel.present = accel_present;
+  return cfg;
+}
+
+TEST(Multicore, SingleCoreMatchesMachine) {
+  const Program prog = make_cnn_program(cifar_cnn(4));
+  Machine single(core_config(), l1_config(), l2_config(), DramConfig{}, AcceleratorConfig{});
+  const RunStats ref = single.run(prog);
+  MulticoreMachine multi(multicore_config(1, false));
+  const MulticoreStats s = multi.run({prog});
+  EXPECT_NEAR(s.total_time, ref.total_time, 0.01 * ref.total_time);
+  EXPECT_EQ(s.per_core[0].ops_executed, ref.ops_executed);
+}
+
+TEST(Multicore, IndependentComputeScalesPerfectly) {
+  Op compute;
+  compute.kind = OpKind::kCompute;
+  compute.scalar_ops = 10'000'000;
+  MulticoreMachine one(multicore_config(1, false));
+  MulticoreMachine four(multicore_config(4, false));
+  const double t1 = one.run({{compute}}).total_time;
+  const double t4 = four.run({{compute}, {compute}, {compute}, {compute}}).total_time;
+  // Compute-only work has no shared resource: the makespan is unchanged.
+  EXPECT_NEAR(t4, t1, 0.01 * t1);
+}
+
+TEST(Multicore, SharedAcceleratorQueues) {
+  Op mvm;
+  mvm.kind = OpKind::kMvm;
+  mvm.rows = 512;
+  mvm.cols = 512;
+  mvm.repeat = 200;
+  MulticoreMachine four(multicore_config(4, true));
+  const MulticoreStats s = four.run({{mvm}, {mvm}, {mvm}, {mvm}});
+  // All four cores contend for one crossbar engine: someone must wait.
+  EXPECT_GT(s.accel_wait_time, 0.0);
+  std::size_t offloads = 0;
+  for (const auto& rs : s.per_core) offloads += rs.offloads;
+  EXPECT_EQ(offloads, 4u);
+}
+
+TEST(Multicore, AccelThroughputSaturatesWithCores) {
+  Op mvm;
+  mvm.kind = OpKind::kMvm;
+  mvm.rows = 512;
+  mvm.cols = 512;
+  mvm.repeat = 400;
+  auto makespan = [&](std::size_t cores) {
+    MulticoreConfig cfg = multicore_config(cores, true);
+    cfg.accel.parallel_tiles = 1;  // busy time dominates: contention must bite
+    MulticoreMachine m(cfg);
+    return m.run(std::vector<Program>(cores, Program{mvm})).total_time;
+  };
+  const double t1 = makespan(1);
+  const double t8 = makespan(8);
+  // 8 cores' worth of offloads through one engine: the makespan must grow
+  // well beyond a single core's, approaching serialisation of the busy time.
+  EXPECT_GT(t8, 2.0 * t1);
+}
+
+TEST(Multicore, SharedL2VisibleInStats) {
+  Op stream;
+  stream.kind = OpKind::kMemStream;
+  stream.base = 0x1000'0000;
+  stream.bytes = 64 * 1024;  // fits the shared L2
+  MulticoreMachine two(multicore_config(2, false));
+  // Both cores stream the same region: the second pass hits in shared L2.
+  const MulticoreStats s = two.run({{stream, stream}, {stream, stream}});
+  EXPECT_GT(s.shared_l2_hit_rate, 0.0);
+  EXPECT_GT(s.dram_bytes, 0u);
+  EXPECT_GT(s.total_energy, 0.0);
+}
+
+TEST(Multicore, ProgramCountMustMatchCores) {
+  MulticoreMachine two(multicore_config(2, false));
+  Op compute;
+  compute.kind = OpKind::kCompute;
+  compute.scalar_ops = 10;
+  EXPECT_THROW(two.run({{compute}}), PreconditionError);
+}
+
+// ---- energy accounting --------------------------------------------------------
+
+TEST(MachineEnergy, BreakdownPositiveAndConsistent) {
+  AcceleratorConfig accel;
+  accel.present = true;
+  Machine m(core_config(), l1_config(), l2_config(), DramConfig{}, accel);
+  const RunStats s = m.run(make_cnn_program(cifar_cnn(4)));
+  EXPECT_GT(s.core_energy, 0.0);
+  EXPECT_GT(s.memory_energy, 0.0);
+  EXPECT_GT(s.accel_energy, 0.0);
+  EXPECT_GT(s.transfer_energy, 0.0);
+  EXPECT_GT(s.static_energy, 0.0);
+  EXPECT_NEAR(s.total_energy(),
+              s.core_energy + s.memory_energy + s.accel_energy + s.transfer_energy +
+                  s.static_energy,
+              1e-12);
+}
+
+TEST(MachineEnergy, ComputeOpEnergyExact) {
+  EnergyConfig energy;
+  Machine m(core_config(), l1_config(), l2_config(), DramConfig{}, AcceleratorConfig{}, energy);
+  Op op;
+  op.kind = OpKind::kCompute;
+  op.scalar_ops = 1'000'000;
+  const RunStats s = m.run({op});
+  EXPECT_NEAR(s.core_energy, 1e6 * energy.core_energy_per_op, 1e-12);
+  EXPECT_NEAR(s.static_energy, energy.static_power * s.total_time, 1e-12);
+}
+
+TEST(MachineEnergy, AcceleratorCutsMvmEnergy) {
+  Op mvm;
+  mvm.kind = OpKind::kMvm;
+  mvm.rows = 512;
+  mvm.cols = 512;
+  mvm.repeat = 100;
+  Machine baseline(core_config(), l1_config(), l2_config(), DramConfig{}, AcceleratorConfig{});
+  AcceleratorConfig accel;
+  accel.present = true;
+  Machine accelerated(core_config(), l1_config(), l2_config(), DramConfig{}, accel);
+  EXPECT_GT(baseline.run({mvm}).total_energy(), 3.0 * accelerated.run({mvm}).total_energy());
+}
+
+// ---- traces -----------------------------------------------------------------
+
+TEST(Traces, CnnProgramHasWorkAndMacs) {
+  const Program prog = make_cnn_program(cifar_cnn(6));
+  EXPECT_GT(prog.size(), 20u);
+  EXPECT_GT(program_macs(prog), 10'000'000u);
+}
+
+TEST(Traces, LstmAndTransformerBuild) {
+  EXPECT_GT(program_macs(make_lstm_program(LstmSpec{})), 1'000'000u);
+  EXPECT_GT(program_macs(make_transformer_program(TransformerSpec{})), 1'000'000u);
+}
+
+TEST(Traces, HdcProgramRespectsSearchOffloadability) {
+  HdcTraceSpec spec;
+  spec.queries = 4;
+  AcceleratorConfig accel;
+  accel.present = true;
+
+  spec.search_offloadable = false;
+  Machine m(core_config(), l1_config(), l2_config(), DramConfig{}, accel);
+  const RunStats crossbar_only = m.run(make_hdc_program(spec));
+  EXPECT_EQ(crossbar_only.offloads, 4u);          // encode only
+  EXPECT_GT(crossbar_only.mvm_core_time, 0.0);    // search stays on the core
+
+  spec.search_offloadable = true;
+  Machine m2(core_config(), l1_config(), l2_config(), DramConfig{}, accel);
+  const RunStats with_cam = m2.run(make_hdc_program(spec));
+  EXPECT_EQ(with_cam.offloads, 8u);               // encode + search
+  EXPECT_LT(with_cam.total_time, crossbar_only.total_time);
+}
+
+TEST(Traces, AcceleratorSpeedsUpCnnSubstantially) {
+  // The Sec.-V experiment in miniature: crossbar offload must produce a
+  // multi-x speedup on a conv-heavy workload, Amdahl-limited well below the
+  // raw MVM ratio.
+  AcceleratorConfig accel;
+  accel.present = true;
+  const double speedup = accelerator_speedup(core_config(), l1_config(), l2_config(),
+                                             DramConfig{}, accel, make_cnn_program(cifar_cnn(6)));
+  EXPECT_GT(speedup, 3.0);
+  EXPECT_LT(speedup, 200.0);
+}
+
+TEST(Traces, SpeedupDependsOnWorkload) {
+  AcceleratorConfig accel;
+  accel.present = true;
+  const double cnn = accelerator_speedup(core_config(), l1_config(), l2_config(), DramConfig{},
+                                         accel, make_cnn_program(cifar_cnn(8)));
+  TransformerSpec tf;
+  const double xformer = accelerator_speedup(core_config(), l1_config(), l2_config(),
+                                             DramConfig{}, accel, make_transformer_program(tf));
+  const double lstm = accelerator_speedup(core_config(), l1_config(), l2_config(), DramConfig{},
+                                          accel, make_lstm_program(LstmSpec{}));
+  // The transformer keeps attention on the core: lower speedup than the CNN.
+  EXPECT_GT(cnn, xformer);
+  // The LSTM's runtime is almost purely the gate MVM: it gains the most.
+  EXPECT_GT(lstm, cnn);
+}
+
+}  // namespace
+}  // namespace xlds::sim

@@ -1,0 +1,350 @@
+// Unit tests for the analog crossbar simulator: programming, MVM fidelity,
+// IR drop (analytic vs nodal), quantisation, stochastic LSH programming,
+// relaxation and tiling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "xbar/crossbar.hpp"
+#include "xbar/tiled.hpp"
+
+namespace xlds::xbar {
+namespace {
+
+CrossbarConfig ideal_config(std::size_t rows, std::size_t cols) {
+  CrossbarConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  cfg.apply_variation = false;
+  cfg.read_noise_rel = 0.0;
+  cfg.ir_drop = IrDropMode::kNone;
+  cfg.adc.bits = 12;
+  cfg.dac.bits = 8;
+  return cfg;
+}
+
+MatrixD random_weights(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  MatrixD w(rows, cols);
+  for (double& v : w.data()) v = rng.uniform(-1.0, 1.0);
+  return w;
+}
+
+std::vector<double> random_input(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.uniform();
+  return x;
+}
+
+// ---- programming ---------------------------------------------------------
+
+TEST(Crossbar, ProgramConductancesClampsToDeviceRange) {
+  Rng rng(1);
+  Crossbar xb(ideal_config(4, 4), rng);
+  MatrixD g(4, 4, 1.0);  // 1 S: far above g_max
+  xb.program_conductances(g);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_DOUBLE_EQ(xb.conductance(r, c), xb.config().rram.g_max);
+}
+
+TEST(Crossbar, ProgramWeightsUsesDifferentialPairs) {
+  Rng rng(2);
+  Crossbar xb(ideal_config(2, 4), rng);
+  xb.program_weights(MatrixD::from_rows({{1.0, -1.0}, {0.0, 0.5}}));
+  const auto& p = xb.config().rram;
+  EXPECT_DOUBLE_EQ(xb.conductance(0, 0), p.g_max);  // +1 -> positive col at LRS
+  EXPECT_DOUBLE_EQ(xb.conductance(0, 1), p.g_min);
+  EXPECT_DOUBLE_EQ(xb.conductance(0, 2), p.g_min);  // -1 -> negative col at LRS
+  EXPECT_DOUBLE_EQ(xb.conductance(0, 3), p.g_max);
+  EXPECT_DOUBLE_EQ(xb.conductance(1, 0), p.g_min);  // 0 -> both at HRS
+  EXPECT_DOUBLE_EQ(xb.conductance(1, 1), p.g_min);
+}
+
+TEST(Crossbar, WrongShapeThrows) {
+  Rng rng(3);
+  Crossbar xb(ideal_config(4, 8), rng);
+  EXPECT_THROW(xb.program_weights(MatrixD(4, 8)), PreconditionError);  // needs 16 phys cols
+  EXPECT_THROW(xb.program_conductances(MatrixD(3, 8)), PreconditionError);
+}
+
+// ---- MVM fidelity -----------------------------------------------------------
+
+TEST(Crossbar, IdealMvmMatchesSoftware) {
+  Rng rng(4);
+  Crossbar xb(ideal_config(16, 16), rng);
+  const MatrixD w = random_weights(16, 8, 5);
+  xb.program_weights(w);
+  const auto x = random_input(16, 6);
+  const auto sw = w.matvec_transposed(x);
+  const auto ideal = xb.ideal_mvm(x);
+  for (std::size_t j = 0; j < 8; ++j) EXPECT_NEAR(ideal[j], sw[j], 1e-12);
+}
+
+TEST(Crossbar, AnalogMvmTracksIdealWithinQuantisation) {
+  Rng rng(7);
+  CrossbarConfig cfg = ideal_config(32, 32);
+  Crossbar xb(cfg, rng);
+  const MatrixD w = random_weights(32, 16, 8);
+  xb.program_weights(w);
+  const auto x = random_input(32, 9);
+  const auto analog = xb.mvm(x);
+  const auto ideal = xb.ideal_mvm(x);
+  // ADC full scale spans g_max*rows; 12-bit quantisation of each column plus
+  // DAC input quantisation bounds the error to a few LSB in weight units.
+  const double lsb = 32.0 * cfg.rram.g_max / (cfg.rram.g_max - cfg.rram.g_min) / 4096.0;
+  for (std::size_t j = 0; j < 16; ++j) EXPECT_NEAR(analog[j], ideal[j], 8.0 * lsb + 0.02);
+}
+
+TEST(Crossbar, MvmWithoutWeightsThrows) {
+  Rng rng(10);
+  Crossbar xb(ideal_config(4, 4), rng);
+  EXPECT_THROW(xb.mvm(random_input(4, 11)), PreconditionError);
+  xb.program_stochastic_hrs();
+  EXPECT_THROW(xb.mvm(random_input(4, 11)), PreconditionError);  // raw-only
+  EXPECT_NO_THROW(xb.column_currents(random_input(4, 11)));
+}
+
+TEST(Crossbar, InputOutOfRangeThrows) {
+  Rng rng(12);
+  Crossbar xb(ideal_config(4, 4), rng);
+  xb.program_stochastic_hrs();
+  std::vector<double> bad = {0.5, 1.5, 0.0, 0.0};
+  EXPECT_THROW(xb.column_currents(bad), PreconditionError);
+}
+
+TEST(Crossbar, ColumnCurrentsScaleWithInput) {
+  Rng rng(13);
+  Crossbar xb(ideal_config(8, 8), rng);
+  MatrixD g(8, 8, 20e-6);
+  xb.program_conductances(g);
+  const auto half = xb.column_currents(std::vector<double>(8, 0.5));
+  const auto full = xb.column_currents(std::vector<double>(8, 1.0));
+  for (std::size_t c = 0; c < 8; ++c) EXPECT_NEAR(full[c] / half[c], 2.0, 0.05);
+}
+
+// ---- IR drop ----------------------------------------------------------------
+
+TEST(Crossbar, IrDropReducesCurrents) {
+  Rng rng(14);
+  CrossbarConfig cfg = ideal_config(64, 64);
+  MatrixD g(64, 64, cfg.rram.g_max);  // worst case: all LRS
+
+  cfg.ir_drop = IrDropMode::kNone;
+  Crossbar none(cfg, rng);
+  none.program_conductances(g);
+  cfg.ir_drop = IrDropMode::kAnalytic;
+  Crossbar analytic(cfg, rng);
+  analytic.program_conductances(g);
+
+  const auto x = std::vector<double>(64, 1.0);
+  const auto i_none = none.column_currents(x);
+  const auto i_drop = analytic.column_currents(x);
+  for (std::size_t c = 0; c < 64; ++c) EXPECT_LT(i_drop[c], i_none[c]);
+}
+
+TEST(Crossbar, AnalyticAgreesWithNodal) {
+  Rng rng(15);
+  CrossbarConfig cfg = ideal_config(32, 32);
+  MatrixD g(32, 32, 0.5 * cfg.rram.g_max);
+
+  cfg.ir_drop = IrDropMode::kAnalytic;
+  Crossbar analytic(cfg, rng);
+  analytic.program_conductances(g);
+  cfg.ir_drop = IrDropMode::kNodal;
+  Crossbar nodal(cfg, rng);
+  nodal.program_conductances(g);
+
+  const auto x = std::vector<double>(32, 1.0);
+  const auto ia = analytic.column_currents(x);
+  const auto in = nodal.column_currents(x);
+  for (std::size_t c = 0; c < 32; ++c)
+    EXPECT_NEAR(ia[c], in[c], 0.05 * in[c]) << "col " << c;
+}
+
+TEST(Crossbar, IrDropWorseForLargerArrays) {
+  Rng rng(16);
+  CrossbarConfig small = ideal_config(16, 16);
+  small.ir_drop = IrDropMode::kAnalytic;
+  CrossbarConfig large = ideal_config(128, 128);
+  large.ir_drop = IrDropMode::kAnalytic;
+  Crossbar xs(small, rng), xl(large, rng);
+  MatrixD gs(16, 16, small.rram.g_max), gl(128, 128, large.rram.g_max);
+  xs.program_conductances(gs);
+  xl.program_conductances(gl);
+  EXPECT_LT(xs.ir_drop_worst_case(), xl.ir_drop_worst_case());
+  EXPECT_GT(xl.ir_drop_worst_case(), 0.0);
+}
+
+// ---- stochastic programming / relaxation ------------------------------------
+
+TEST(Crossbar, StochasticHrsProgrammingIsRandomLowConductance) {
+  Rng rng(17);
+  CrossbarConfig cfg = ideal_config(32, 32);
+  Crossbar xb(cfg, rng);
+  xb.program_stochastic_hrs();
+  RunningStats s;
+  for (std::size_t r = 0; r < 32; ++r)
+    for (std::size_t c = 0; c < 32; ++c) s.add(xb.conductance(r, c));
+  EXPECT_LT(s.mean(), 0.3 * cfg.rram.g_max);
+  EXPECT_GT(s.stddev(), 0.0);
+}
+
+TEST(Crossbar, AgeDriftsConductances) {
+  Rng rng(18);
+  CrossbarConfig cfg = ideal_config(8, 8);
+  Crossbar xb(cfg, rng);
+  MatrixD g(8, 8, 25e-6);
+  xb.program_conductances(g);
+  xb.age(100.0);
+  int changed = 0;
+  for (std::size_t r = 0; r < 8; ++r)
+    for (std::size_t c = 0; c < 8; ++c)
+      if (std::abs(xb.conductance(r, c) - 25e-6) > 1e-9) ++changed;
+  EXPECT_GT(changed, 50);
+}
+
+// ---- fault injection ----------------------------------------------------------
+
+TEST(Crossbar, StuckCellsIgnoreProgramming) {
+  Rng rng(40);
+  CrossbarConfig cfg = ideal_config(8, 8);
+  Crossbar xb(cfg, rng);
+  xb.inject_stuck_fault(2, 3, cfg.rram.g_max);
+  MatrixD g(8, 8, 10e-6);
+  xb.program_conductances(g);
+  EXPECT_DOUBLE_EQ(xb.conductance(2, 3), cfg.rram.g_max);  // pinned
+  EXPECT_DOUBLE_EQ(xb.conductance(0, 0), 10e-6);
+  xb.age(1e4);
+  EXPECT_DOUBLE_EQ(xb.conductance(2, 3), cfg.rram.g_max);  // aging skips it too
+  EXPECT_EQ(xb.stuck_cell_count(), 1u);
+}
+
+TEST(Crossbar, RandomStuckFractionApproximate) {
+  Rng rng(41);
+  CrossbarConfig cfg = ideal_config(64, 64);
+  Crossbar xb(cfg, rng);
+  const std::size_t n = xb.inject_random_stuck_faults(0.1, cfg.rram.g_min);
+  EXPECT_EQ(n, xb.stuck_cell_count());
+  EXPECT_NEAR(static_cast<double>(n), 0.1 * 64 * 64, 80.0);
+}
+
+TEST(Crossbar, FewStuckCellsPerturbMvmBoundedly) {
+  Rng rng(42);
+  CrossbarConfig cfg = ideal_config(32, 32);
+  Crossbar clean(cfg, rng);
+  Crossbar faulty(cfg, rng);
+  faulty.inject_random_stuck_faults(0.02, cfg.rram.g_min);  // 2 % stuck-at-HRS
+  const MatrixD w = random_weights(32, 16, 43);
+  clean.program_weights(w);
+  faulty.program_weights(w);
+  const auto x = random_input(32, 44);
+  const auto yc = clean.mvm(x);
+  const auto yf = faulty.mvm(x);
+  double worst = 0.0;
+  for (std::size_t j = 0; j < yc.size(); ++j) worst = std::max(worst, std::abs(yc[j] - yf[j]));
+  // A stuck-at-HRS cell can remove at most ~1 weight-unit of contribution.
+  EXPECT_GT(worst, 0.0);
+  EXPECT_LT(worst, 3.0);
+}
+
+TEST(Crossbar, StuckFaultBoundsChecked) {
+  Rng rng(45);
+  Crossbar xb(ideal_config(4, 4), rng);
+  EXPECT_THROW(xb.inject_stuck_fault(4, 0, 1e-6), PreconditionError);
+  EXPECT_THROW(xb.inject_random_stuck_faults(1.5, 1e-6), PreconditionError);
+}
+
+// ---- cost model -------------------------------------------------------------
+
+TEST(Crossbar, CostScalesWithAdcSharing) {
+  Rng rng(19);
+  CrossbarConfig few = ideal_config(32, 32);
+  few.adcs_per_array = 2;
+  CrossbarConfig many = ideal_config(32, 32);
+  many.adcs_per_array = 32;
+  Crossbar xf(few, rng), xm(many, rng);
+  EXPECT_GT(xf.mvm_cost().latency, xm.mvm_cost().latency);
+  // Energy is conversion-count bound, not sharing bound.
+  EXPECT_NEAR(xf.mvm_cost().energy, xm.mvm_cost().energy, 1e-12);
+}
+
+TEST(Crossbar, HigherAdcResolutionCostsMore) {
+  Rng rng(20);
+  CrossbarConfig lo = ideal_config(16, 16);
+  lo.adc.bits = 4;
+  CrossbarConfig hi = ideal_config(16, 16);
+  hi.adc.bits = 10;
+  Crossbar xl(lo, rng), xh(hi, rng);
+  EXPECT_GT(xh.mvm_cost().energy, xl.mvm_cost().energy);
+  EXPECT_GT(xh.mvm_cost().latency, xl.mvm_cost().latency);
+}
+
+// ---- tiled crossbar ----------------------------------------------------------
+
+TEST(TiledCrossbar, TileGridCoversLogicalShape) {
+  TiledConfig cfg;
+  cfg.tile = ideal_config(64, 64);  // 32 logical cols per tile
+  Rng rng(21);
+  TiledCrossbar t(cfg, 150, 70, rng);
+  // ceil(150/64) = 3 row tiles, ceil(70/32) = 3 col tiles.
+  EXPECT_EQ(t.tile_count(), 9u);
+  EXPECT_EQ(t.device_count(), 9u * 64 * 64);
+}
+
+TEST(TiledCrossbar, IdealMvmMatchesSoftwareAcrossTiles) {
+  TiledConfig cfg;
+  cfg.tile = ideal_config(32, 32);
+  Rng rng(22);
+  TiledCrossbar t(cfg, 70, 40, rng);
+  const MatrixD w = random_weights(70, 40, 23);
+  t.program_weights(w);
+  const auto x = random_input(70, 24);
+  const auto sw = w.matvec_transposed(x);
+  const auto got = t.ideal_mvm(x);
+  for (std::size_t j = 0; j < 40; ++j) EXPECT_NEAR(got[j], sw[j], 1e-12);
+}
+
+TEST(TiledCrossbar, AnalogMvmTracksSoftware) {
+  TiledConfig cfg;
+  cfg.tile = ideal_config(32, 32);
+  cfg.tile.adc.bits = 12;
+  Rng rng(25);
+  TiledCrossbar t(cfg, 60, 20, rng);
+  const MatrixD w = random_weights(60, 20, 26);
+  t.program_weights(w);
+  const auto x = random_input(60, 27);
+  const auto sw = w.matvec_transposed(x);
+  const auto got = t.mvm(x);
+  for (std::size_t j = 0; j < 20; ++j) EXPECT_NEAR(got[j], sw[j], 0.25) << j;
+}
+
+TEST(TiledCrossbar, CostAggregation) {
+  TiledConfig cfg;
+  cfg.tile = ideal_config(64, 64);
+  Rng rng(28);
+  TiledCrossbar one(cfg, 64, 32, rng);
+  TiledCrossbar grid(cfg, 256, 128, rng);
+  const MvmCost c1 = one.mvm_cost();
+  const MvmCost cg = grid.mvm_cost();
+  EXPECT_GT(cg.energy, 10.0 * c1.energy);            // 16 tiles
+  EXPECT_LT(cg.latency, 2.0 * c1.latency);           // parallel tiles
+}
+
+TEST(TiledCrossbar, ShapeMismatchThrows) {
+  TiledConfig cfg;
+  cfg.tile = ideal_config(32, 32);
+  Rng rng(29);
+  TiledCrossbar t(cfg, 60, 20, rng);
+  EXPECT_THROW(t.program_weights(MatrixD(20, 60)), PreconditionError);
+  t.program_weights(random_weights(60, 20, 30));
+  EXPECT_THROW(t.mvm(random_input(59, 31)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace xlds::xbar
