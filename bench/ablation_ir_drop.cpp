@@ -7,6 +7,7 @@
 #include <chrono>
 #include <iostream>
 
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -40,9 +41,11 @@ MatrixD dense_conductances(std::size_t n, double density, const device::RramPara
 int main() {
   print_banner(std::cout, "Ablation — IR-drop model fidelity and impact",
                "two-pass analytic estimate vs nodal solve; error induced in column currents");
+  std::cout << "Nodal solver: red-black Gauss-Seidel on " << parallel_thread_count()
+            << " thread(s) (XLDS_THREADS; results thread-count independent).\n\n";
 
   Table table({"array", "LRS density", "worst-case drop (analytic)", "analytic vs nodal",
-               "analytic time", "nodal time"});
+               "analytic time", "nodal time", "GS iters"});
 
   for (std::size_t n : {32u, 64u, 128u}) {
     for (double density : {0.25, 1.0}) {
@@ -70,7 +73,8 @@ int main() {
       table.add_row({std::to_string(n) + "x" + std::to_string(n), Table::num(density, 2),
                      Table::num(100.0 * analytic.ir_drop_worst_case(), 2) + " %",
                      Table::num(100.0 * rel_err.mean(), 2) + " % mean err",
-                     Table::num(ta * 1e6, 1) + " us", Table::num(tn * 1e6, 1) + " us"});
+                     Table::num(ta * 1e6, 1) + " us", Table::num(tn * 1e6, 1) + " us",
+                     std::to_string(nodal.last_nodal_iterations())});
     }
   }
   std::cout << table;

@@ -9,7 +9,7 @@
 
 #include "cam/rram_tcam.hpp"
 #include "device/rram.hpp"
-#include "util/stats.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 using namespace xlds;
@@ -24,7 +24,9 @@ struct ProgrammingFidelity {
 /// Single-pulse-program every level of an n-level mapping repeatedly and
 /// measure the achieved error and the nearest-level confusion rate (closed-
 /// loop program-verify would mask the mapping difference — and costs write
-/// time/energy the co-optimisation is meant to avoid).
+/// time/energy the co-optimisation is meant to avoid).  The Monte Carlo
+/// trials run in parallel chunks on forked RNG streams; error sums combine
+/// in chunk order, so the result is identical at any XLDS_THREADS.
 ProgrammingFidelity programming_fidelity(const device::RramModel& model, int levels,
                                          bool variation_aware, Rng& rng) {
   const auto& p = model.params();
@@ -34,21 +36,37 @@ ProgrammingFidelity programming_fidelity(const device::RramModel& model, int lev
                      ? model.variation_aware_level_conductance(l, levels)
                      : p.g_min + (p.g_max - p.g_min) * l / static_cast<double>(levels - 1);
   }
-  RunningStats err;
-  std::size_t confused = 0, trials = 0;
-  for (int l = 0; l < levels; ++l) {
-    for (int i = 0; i < 4000; ++i) {
-      const double g = model.program_once(targets[l], rng);  // single-pulse write
-      err.add(std::abs(g - targets[l]));
+  constexpr std::size_t kTrialsPerLevel = 4000;
+  constexpr std::size_t kChunk = 500;
+  const std::size_t trials = kTrialsPerLevel * static_cast<std::size_t>(levels);
+  const std::size_t n_chunks = (trials + kChunk - 1) / kChunk;
+  std::vector<double> chunk_err(n_chunks, 0.0);
+  std::vector<std::size_t> chunk_confused(n_chunks, 0);
+  parallel_for_rng(rng, trials, kChunk,
+                   [&](Rng& trial_rng, std::size_t begin, std::size_t end, std::size_t ci) {
+    double err_sum = 0.0;
+    std::size_t confused = 0;
+    for (std::size_t t = begin; t < end; ++t) {
+      const int l = static_cast<int>(t / kTrialsPerLevel);
+      const double g = model.program_once(targets[l], trial_rng);  // single-pulse write
+      err_sum += std::abs(g - targets[l]);
       // Read back as the nearest level of the same mapping.
       int best = 0;
       for (int m = 1; m < levels; ++m)
         if (std::abs(g - targets[m]) < std::abs(g - targets[best])) best = m;
       if (best != l) ++confused;
-      ++trials;
     }
+    chunk_err[ci] = err_sum;
+    chunk_confused[ci] = confused;
+  });
+  double err_total = 0.0;
+  std::size_t confused = 0;
+  for (std::size_t ci = 0; ci < n_chunks; ++ci) {
+    err_total += chunk_err[ci];
+    confused += chunk_confused[ci];
   }
-  return {err.mean() * 1e6, static_cast<double>(confused) / static_cast<double>(trials)};
+  return {err_total / static_cast<double>(trials) * 1e6,
+          static_cast<double>(confused) / static_cast<double>(trials)};
 }
 
 }  // namespace

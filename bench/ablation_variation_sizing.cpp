@@ -9,6 +9,7 @@
 
 #include "evacam/evacam.hpp"
 #include "evacam/presets.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 using namespace xlds;
@@ -20,16 +21,22 @@ int main() {
   Table table({"design", "sigma_rel", "mismatch limit (nominal)", "with variation",
                "max columns (nominal)", "with variation"});
 
-  for (const char* name : {"rram-2t2r-40nm", "pcm-2t2r-90nm", "fefet-2t-28nm"}) {
-    for (double sigma : {0.0, 0.05, 0.10, 0.20}) {
-      evacam::CamDesignSpec spec = evacam::preset_spec(name);
-      spec.device_sigma_rel = sigma;
-      const evacam::CamFom fom = evacam::EvaCam(spec).evaluate();
-      table.add_row({name, Table::num(sigma, 2), std::to_string(fom.mismatch_limit),
-                     std::to_string(fom.mismatch_limit_with_variation),
-                     std::to_string(fom.max_ml_columns),
-                     std::to_string(fom.max_ml_columns_with_variation)});
-    }
+  // Every (preset, sigma) projection is independent and deterministic —
+  // evaluate the grid in parallel, emit rows in grid order.
+  const std::vector<const char*> names = {"rram-2t2r-40nm", "pcm-2t2r-90nm", "fefet-2t-28nm"};
+  const std::vector<double> sigmas = {0.0, 0.05, 0.10, 0.20};
+  const auto foms = parallel_map<evacam::CamFom>(names.size() * sigmas.size(), [&](std::size_t i) {
+    evacam::CamDesignSpec spec = evacam::preset_spec(names[i / sigmas.size()]);
+    spec.device_sigma_rel = sigmas[i % sigmas.size()];
+    return evacam::EvaCam(spec).evaluate();
+  });
+  for (std::size_t i = 0; i < foms.size(); ++i) {
+    const evacam::CamFom& fom = foms[i];
+    table.add_row({names[i / sigmas.size()], Table::num(sigmas[i % sigmas.size()], 2),
+                   std::to_string(fom.mismatch_limit),
+                   std::to_string(fom.mismatch_limit_with_variation),
+                   std::to_string(fom.max_ml_columns),
+                   std::to_string(fom.max_ml_columns_with_variation)});
   }
   std::cout << table;
   std::cout << "\nExpected shape: the variation-integrated limits shrink monotonically with\n"

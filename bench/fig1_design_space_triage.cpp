@@ -50,13 +50,11 @@ int main() {
   std::cout << culls << '\n';
 
   core::Evaluator ev;
+  const auto foms = ev.evaluate_all(all, profile);  // parallel sweep, memoised
   std::vector<core::ScoredPoint> scored;
-  for (const auto& ep : all) {
-    if (ep.culled_because) continue;
-    core::ScoredPoint sp;
-    sp.point = ep.point;
-    sp.fom = ev.evaluate(ep.point, profile);
-    scored.push_back(sp);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i].culled_because) continue;
+    scored.push_back(core::ScoredPoint{all[i].point, foms[i]});
   }
 
   const auto front = core::pareto_front(scored);

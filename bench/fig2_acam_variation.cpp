@@ -10,6 +10,7 @@
 
 #include "cam/acam.hpp"
 #include "device/fefet.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 using namespace xlds;
@@ -18,29 +19,38 @@ namespace {
 
 /// Error rate of interval membership: cells store the i-th of `n_intervals`
 /// equal slices of [0, 1]; queries at slice centres must match exactly their
-/// own row.
+/// own row.  Trials run in parallel chunks, each on its own forked RNG
+/// stream — the result is identical at any XLDS_THREADS.
 double acam_error(std::size_t n_intervals, double sigma, Rng& rng) {
   cam::AcamConfig cfg;
   cfg.rows = n_intervals;
   cfg.cols = 1;
   cfg.apply_variation = sigma > 0.0;
   cfg.fefet.sigma_program = sigma;
-  constexpr int kTrials = 400;
+  constexpr std::size_t kTrials = 400;
+  constexpr std::size_t kChunk = 25;
+  std::vector<std::size_t> chunk_errors((kTrials + kChunk - 1) / kChunk, 0);
+  parallel_for_rng(rng, kTrials, kChunk,
+                   [&](Rng& trial_rng, std::size_t begin, std::size_t end, std::size_t ci) {
+    std::size_t errors = 0;
+    for (std::size_t t = begin; t < end; ++t) {
+      cam::FeFetAcamArray acam(cfg, trial_rng);
+      const double width = 1.0 / static_cast<double>(n_intervals);
+      for (std::size_t i = 0; i < n_intervals; ++i)
+        acam.write_word(i, {{i * width, (i + 1) * width}});
+      // Query the centre of a random slice: a correct ACAM returns exactly
+      // that row.
+      const std::size_t target = trial_rng.uniform_u32(static_cast<std::uint32_t>(n_intervals));
+      const double q = (static_cast<double>(target) + 0.5) * width;
+      const auto hits = acam.exact_match({q});
+      const bool ok = hits.size() == 1 && hits[0] == target;
+      if (!ok) ++errors;
+    }
+    chunk_errors[ci] = errors;
+  });
   std::size_t errors = 0;
-  for (int t = 0; t < kTrials; ++t) {
-    cam::FeFetAcamArray acam(cfg, rng);
-    const double width = 1.0 / static_cast<double>(n_intervals);
-    for (std::size_t i = 0; i < n_intervals; ++i)
-      acam.write_word(i, {{i * width, (i + 1) * width}});
-    // Query the centre of a random slice: a correct ACAM returns exactly
-    // that row.
-    const std::size_t target = rng.uniform_u32(static_cast<std::uint32_t>(n_intervals));
-    const double q = (static_cast<double>(target) + 0.5) * width;
-    const auto hits = acam.exact_match({q});
-    const bool ok = hits.size() == 1 && hits[0] == target;
-    if (!ok) ++errors;
-  }
-  return static_cast<double>(errors) / kTrials;
+  for (std::size_t e : chunk_errors) errors += e;
+  return static_cast<double>(errors) / static_cast<double>(kTrials);
 }
 
 /// MCAM reference: probability a discrete level is programmed/read wrongly.

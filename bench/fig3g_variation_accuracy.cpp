@@ -6,10 +6,12 @@
 // (94 mV) even for 3-bit cells, because no single hypervector element
 // carries significant weight.
 #include <iostream>
+#include <memory>
 
 #include "device/fefet.hpp"
 #include "hdc/cam_inference.hpp"
 #include "hdc/model.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workload/dataset.hpp"
@@ -30,10 +32,20 @@ int main() {
     device::FeFetModel model(params);
     const int mid = params.levels() / 2;
     Rng rng(7);
-    int errors = 0;
-    constexpr int kTrials = 20000;
-    for (int i = 0; i < kTrials; ++i)
-      if (model.readback_level(model.program_vth(mid, rng)) != mid) ++errors;
+    constexpr std::size_t kTrials = 20000;
+    constexpr std::size_t kChunk = 500;
+    // Chunked Monte Carlo on forked RNG streams: deterministic at any
+    // XLDS_THREADS.
+    std::vector<std::size_t> chunk_errors((kTrials + kChunk - 1) / kChunk, 0);
+    parallel_for_rng(rng, kTrials, kChunk,
+                     [&](Rng& trial_rng, std::size_t begin, std::size_t end, std::size_t ci) {
+      std::size_t errors = 0;
+      for (std::size_t t = begin; t < end; ++t)
+        if (model.readback_level(model.program_vth(mid, trial_rng)) != mid) ++errors;
+      chunk_errors[ci] = errors;
+    });
+    std::size_t errors = 0;
+    for (std::size_t e : chunk_errors) errors += e;
     overlap.add_row({std::to_string(bits), std::to_string(params.levels()),
                      Table::num(params.level_window() * 1e3, 0),
                      Table::num(model.level_error_probability(mid), 4),
@@ -52,25 +64,36 @@ int main() {
   const std::vector<double> sigmas = {0.0, 0.025, 0.050, 0.094, 0.150, 0.250};
   std::vector<std::vector<double>> acc(sigmas.size(), std::vector<double>(3, 0.0));
 
-  for (int bits = 1; bits <= 3; ++bits) {
+  // Train the three precision variants concurrently (independent seeds), then
+  // sweep the full (bits x sigma) grid in parallel — every cell owns its CAM
+  // arrays and RNG, so the grid is embarrassingly parallel and deterministic.
+  const auto models = parallel_map<std::unique_ptr<hdc::HdcModel>>(3, [&](std::size_t i) {
+    const int bits = static_cast<int>(i) + 1;
     Rng rng(60 + bits);
     hdc::HdcConfig cfg;
     cfg.hv_dim = kHvDim;
     cfg.element_bits = bits;
-    hdc::HdcModel model(cfg, ds.dim, ds.n_classes, rng);
-    model.train(ds.train_x, ds.train_y);
-    for (std::size_t s = 0; s < sigmas.size(); ++s) {
-      hdc::CamInferenceConfig hw;
-      hw.subarray.fefet.bits = bits;
-      hw.subarray.fefet.sigma_program = sigmas[s];
-      hw.subarray.cols = 128;
-      hw.subarray.apply_variation = sigmas[s] > 0.0;
-      hw.aggregation = cam::Aggregation::kSumSensed;
-      Rng hw_rng(70 + bits);
-      hdc::HdcCamInference inf(model, hw, hw_rng);
-      acc[s][bits - 1] = inf.accuracy(ds.test_x, ds.test_y);
-    }
-  }
+    auto model = std::make_unique<hdc::HdcModel>(cfg, ds.dim, ds.n_classes, rng);
+    model->train(ds.train_x, ds.train_y);
+    return model;
+  });
+
+  const auto cell_acc = parallel_map<double>(3 * sigmas.size(), [&](std::size_t idx) {
+    const int bits = static_cast<int>(idx / sigmas.size()) + 1;
+    const std::size_t s = idx % sigmas.size();
+    hdc::CamInferenceConfig hw;
+    hw.subarray.fefet.bits = bits;
+    hw.subarray.fefet.sigma_program = sigmas[s];
+    hw.subarray.cols = 128;
+    hw.subarray.apply_variation = sigmas[s] > 0.0;
+    hw.aggregation = cam::Aggregation::kSumSensed;
+    Rng hw_rng(70 + bits);
+    const hdc::HdcCamInference inf(*models[bits - 1], hw, hw_rng);
+    return inf.accuracy(ds.test_x, ds.test_y);
+  });
+  for (int bits = 1; bits <= 3; ++bits)
+    for (std::size_t s = 0; s < sigmas.size(); ++s)
+      acc[s][bits - 1] = cell_acc[(bits - 1) * sigmas.size() + s];
   for (std::size_t s = 0; s < sigmas.size(); ++s) {
     table.add_row({Table::num(sigmas[s] * 1e3, 0), Table::num(acc[s][0], 3),
                    Table::num(acc[s][1], 3), Table::num(acc[s][2], 3)});

@@ -2,11 +2,23 @@
 // search, crossbar MVM (per IR-drop mode), HDC encode and TCAM search.
 // These bound the simulator's own throughput — how many design points per
 // second a triage sweep can afford.
+//
+// After the google-benchmark suite, main() measures the Monte-Carlo-sweep
+// throughput of the deterministic parallel layer (the fig3g variation-sweep
+// kernel) at 1/2/4/8 threads and writes BENCH_parallel_sweep.json so the
+// perf trajectory is tracked across PRs.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <thread>
 
 #include "cam/fefet_cam.hpp"
 #include "cam/rram_tcam.hpp"
+#include "device/fefet.hpp"
 #include "hdc/encoder.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "xbar/crossbar.hpp"
 
@@ -105,6 +117,95 @@ void BM_HdcEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_HdcEncode)->Arg(1024)->Arg(4096);
 
+// ---- Monte-Carlo-sweep throughput of the parallel layer ---------------------
+
+/// The fig3g_variation_accuracy Monte Carlo kernel: program-and-read-back a
+/// mid level of a 3-bit FeFET cell under the measured 94 mV sigma.  Returns
+/// the error count — the determinism checksum across thread counts.
+std::size_t run_mc_sweep(std::size_t trials) {
+  device::FeFetParams params;
+  params.bits = 3;
+  params.sigma_program = 0.094;
+  const device::FeFetModel model(params);
+  const int mid = params.levels() / 2;
+  constexpr std::size_t kChunk = 500;  // thread-count-independent chunking
+  Rng rng(7);
+  std::vector<std::size_t> chunk_errors((trials + kChunk - 1) / kChunk, 0);
+  parallel_for_rng(rng, trials, kChunk,
+                   [&](Rng& trial_rng, std::size_t begin, std::size_t end, std::size_t ci) {
+    std::size_t errors = 0;
+    for (std::size_t t = begin; t < end; ++t)
+      if (model.readback_level(model.program_vth(mid, trial_rng)) != mid) ++errors;
+    chunk_errors[ci] = errors;
+  });
+  std::size_t errors = 0;
+  for (std::size_t e : chunk_errors) errors += e;
+  return errors;
+}
+
+void emit_parallel_sweep_json() {
+  constexpr std::size_t kTrials = 500'000;
+  constexpr int kReps = 3;
+  struct Point {
+    std::size_t threads = 0;
+    double seconds = 0.0;
+    std::size_t checksum = 0;
+  };
+  std::vector<Point> points;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    set_parallel_threads(threads);
+    Point pt;
+    pt.threads = threads;
+    pt.seconds = 1e30;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::size_t checksum = run_mc_sweep(kTrials);
+      const auto t1 = std::chrono::steady_clock::now();
+      pt.seconds = std::min(pt.seconds, std::chrono::duration<double>(t1 - t0).count());
+      pt.checksum = checksum;
+    }
+    points.push_back(pt);
+  }
+  set_parallel_threads(0);  // back to XLDS_THREADS / hardware default
+
+  bool deterministic = true;
+  for (const Point& pt : points) deterministic &= pt.checksum == points.front().checksum;
+  const double t1s = points.front().seconds;
+
+  std::ofstream json("BENCH_parallel_sweep.json");
+  json << "{\n"
+       << "  \"bench\": \"fig3g_variation_accuracy_mc_sweep\",\n"
+       << "  \"kernel\": \"3-bit FeFET program+readback @ 94 mV sigma\",\n"
+       << "  \"trials\": " << kTrials << ",\n"
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n"
+       << "  \"deterministic_across_thread_counts\": " << (deterministic ? "true" : "false")
+       << ",\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& pt = points[i];
+    json << "    {\"threads\": " << pt.threads << ", \"seconds\": " << pt.seconds
+         << ", \"trials_per_sec\": " << static_cast<double>(kTrials) / pt.seconds
+         << ", \"speedup_vs_1t\": " << t1s / pt.seconds << ", \"checksum\": " << pt.checksum
+         << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  std::cout << "\nParallel Monte-Carlo sweep (" << kTrials << " trials, fig3g kernel):\n";
+  for (const Point& pt : points)
+    std::cout << "  " << pt.threads << " thread(s): " << pt.seconds * 1e3 << " ms, "
+              << static_cast<double>(kTrials) / pt.seconds / 1e6 << " Mtrials/s, speedup "
+              << t1s / pt.seconds << "x, checksum " << pt.checksum << "\n";
+  std::cout << "  determinism across thread counts: " << (deterministic ? "OK" : "VIOLATED")
+            << "\n  -> BENCH_parallel_sweep.json\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_parallel_sweep_json();
+  return 0;
+}

@@ -34,13 +34,13 @@ int main(int argc, char** argv) {
             << " culled structurally.\n\n";
 
   core::Evaluator evaluator;
+  // Parallel, memoised sweep: XLDS_THREADS controls the pool width; results
+  // are bit-identical at any setting.
+  const auto foms = evaluator.evaluate_all(enumerated, profile);
   std::vector<core::ScoredPoint> scored;
-  for (const auto& ep : enumerated) {
-    if (ep.culled_because) continue;
-    core::ScoredPoint sp;
-    sp.point = ep.point;
-    sp.fom = evaluator.evaluate(ep.point, profile);
-    scored.push_back(sp);
+  for (std::size_t i = 0; i < enumerated.size(); ++i) {
+    if (enumerated[i].culled_because) continue;
+    scored.push_back(core::ScoredPoint{enumerated[i].point, foms[i]});
   }
 
   const auto front = core::pareto_front(scored);

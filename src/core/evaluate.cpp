@@ -1,13 +1,17 @@
 #include "core/evaluate.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <mutex>
+#include <unordered_map>
 
 #include "arch/hdc_mapping.hpp"
 #include "arch/mann_mapping.hpp"
 #include "arch/platform.hpp"
 #include "evacam/evacam.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/units.hpp"
 #include "xbar/crossbar.hpp"
 
@@ -21,7 +25,20 @@ constexpr std::size_t kTileLogicalCols = 32;  // 64 physical, differential
 constexpr std::size_t kParallelTiles = 32;
 constexpr double kLifetimeInferences = 1e9;  // deployment horizon for endurance
 
-xbar::MvmCost canonical_tile_cost(device::DeviceKind dev) {
+// Memo caches.  Both cached computations are pure functions of their key, so
+// a miss computed concurrently by two threads produces the same value — the
+// mutex only protects the map structure, and work is done outside it.
+std::mutex g_tile_cache_mutex;
+std::unordered_map<int, xbar::MvmCost> g_tile_cache;
+std::atomic<std::size_t> g_tile_lookups{0};
+std::atomic<std::size_t> g_tile_hits{0};
+
+std::mutex g_cam_cache_mutex;
+std::unordered_map<evacam::CamDesignSpec, evacam::CamFom, evacam::CamSpecHash> g_cam_cache;
+std::atomic<std::size_t> g_cam_lookups{0};
+std::atomic<std::size_t> g_cam_hits{0};
+
+xbar::MvmCost compute_tile_cost(device::DeviceKind dev) {
   xbar::CrossbarConfig cfg;
   cfg.rows = kTileRows;
   cfg.cols = 2 * kTileLogicalCols;
@@ -32,6 +49,39 @@ xbar::MvmCost canonical_tile_cost(device::DeviceKind dev) {
   (void)dev;
   Rng rng(1);
   return xbar::Crossbar(cfg, rng).mvm_cost();
+}
+
+xbar::MvmCost canonical_tile_cost(device::DeviceKind dev) {
+  const int key = static_cast<int>(dev);
+  g_tile_lookups.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(g_tile_cache_mutex);
+    const auto it = g_tile_cache.find(key);
+    if (it != g_tile_cache.end()) {
+      g_tile_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  const xbar::MvmCost cost = compute_tile_cost(dev);
+  std::lock_guard<std::mutex> lk(g_tile_cache_mutex);
+  g_tile_cache.emplace(key, cost);
+  return cost;
+}
+
+evacam::CamFom cached_cam_fom(const evacam::CamDesignSpec& spec) {
+  g_cam_lookups.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(g_cam_cache_mutex);
+    const auto it = g_cam_cache.find(spec);
+    if (it != g_cam_cache.end()) {
+      g_cam_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  const evacam::CamFom fom = evacam::EvaCam(spec).evaluate();  // expensive; outside the lock
+  std::lock_guard<std::mutex> lk(g_cam_cache_mutex);
+  g_cam_cache.emplace(spec, fom);
+  return fom;
 }
 
 /// Latency/energy of `macs` worth of MVM work on tiled crossbars.
@@ -194,7 +244,7 @@ Fom Evaluator::evaluate_in_memory(const DesignPoint& p, const AppProfile& profil
   const bool needs_cam =
       p.arch == ArchKind::kCamAccelerator || p.arch == ArchKind::kCamXbarHybrid;
   if (needs_cam) {
-    cam_fom = evacam::EvaCam(cam_spec_for(p, profile)).evaluate();
+    cam_fom = cached_cam_fom(cam_spec_for(p, profile));
     if (cam_fom.max_ml_columns < 16) {
       fom.feasible = false;
       fom.note = "sense margin limits matchline to " +
@@ -256,6 +306,44 @@ Fom Evaluator::evaluate(const DesignPoint& p, const AppProfile& profile) const {
                          p.arch == ArchKind::kCrossbarAccelerator ||
                          p.arch == ArchKind::kCamXbarHybrid;
   return in_memory ? evaluate_in_memory(p, profile) : evaluate_digital(p, profile);
+}
+
+std::vector<Fom> Evaluator::evaluate_all(const std::vector<EnumeratedPoint>& points,
+                                         const AppProfile& profile) const {
+  return parallel_map<Fom>(points.size(), [&](std::size_t i) {
+    const EnumeratedPoint& ep = points[i];
+    if (ep.culled_because) {
+      Fom fom;
+      fom.feasible = false;
+      fom.note = *ep.culled_because;
+      return fom;
+    }
+    return evaluate(ep.point, profile);
+  });
+}
+
+EvalCacheStats evaluation_cache_stats() {
+  EvalCacheStats s;
+  s.tile_cost_lookups = g_tile_lookups.load(std::memory_order_relaxed);
+  s.tile_cost_hits = g_tile_hits.load(std::memory_order_relaxed);
+  s.cam_fom_lookups = g_cam_lookups.load(std::memory_order_relaxed);
+  s.cam_fom_hits = g_cam_hits.load(std::memory_order_relaxed);
+  return s;
+}
+
+void clear_evaluation_caches() {
+  {
+    std::lock_guard<std::mutex> lk(g_tile_cache_mutex);
+    g_tile_cache.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lk(g_cam_cache_mutex);
+    g_cam_cache.clear();
+  }
+  g_tile_lookups.store(0, std::memory_order_relaxed);
+  g_tile_hits.store(0, std::memory_order_relaxed);
+  g_cam_lookups.store(0, std::memory_order_relaxed);
+  g_cam_hits.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace xlds::core

@@ -46,6 +46,21 @@ using AccuracyOracle = std::function<double(const DesignPoint&, const AppProfile
 
 double default_accuracy_oracle(const DesignPoint& p, const AppProfile& profile);
 
+/// Hit counters of the process-wide evaluation memo caches: the canonical
+/// crossbar tile cost (keyed by device kind) and Eva-CAM projections (keyed
+/// by the full CamDesignSpec).  Both caches are shared by every Evaluator
+/// and thread-safe; entries are pure functions of their key, so caching
+/// never changes results — only the sweep's wall clock.
+struct EvalCacheStats {
+  std::size_t tile_cost_lookups = 0;
+  std::size_t tile_cost_hits = 0;
+  std::size_t cam_fom_lookups = 0;
+  std::size_t cam_fom_hits = 0;
+};
+
+EvalCacheStats evaluation_cache_stats();
+void clear_evaluation_caches();
+
 class Evaluator {
  public:
   explicit Evaluator(AccuracyOracle oracle = default_accuracy_oracle);
@@ -53,6 +68,13 @@ class Evaluator {
   /// Score one point.  Points that fail workload-dependent feasibility
   /// (e.g. endurance vs write traffic) come back with feasible = false.
   Fom evaluate(const DesignPoint& p, const AppProfile& profile) const;
+
+  /// Score every enumerated point in parallel (the triage sweep hot path).
+  /// Returns one Fom per input index; culled points come back infeasible
+  /// with the cull reason as the note.  Results are bit-identical at any
+  /// XLDS_THREADS as long as the oracle is a pure function (the default is).
+  std::vector<Fom> evaluate_all(const std::vector<EnumeratedPoint>& points,
+                                const AppProfile& profile) const;
 
  private:
   Fom evaluate_digital(const DesignPoint& p, const AppProfile& profile) const;

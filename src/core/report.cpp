@@ -36,11 +36,14 @@ Table format_shortlist(const std::vector<ScoredPoint>& scored,
 Table triage_report(const std::string& application, const Evaluator& evaluator,
                     const TriageWeights& weights, std::vector<ScoredPoint>* scored_out) {
   const AppProfile profile = profile_for(application);
+  const auto enumerated = enumerate_design_space(application);
+  const auto foms = evaluator.evaluate_all(enumerated, profile);
   std::vector<ScoredPoint> scored;
-  for (const auto& ep : enumerate_design_space(application)) {
+  scored.reserve(enumerated.size());
+  for (std::size_t i = 0; i < enumerated.size(); ++i) {
     ScoredPoint sp;
-    sp.point = ep.point;
-    sp.fom = evaluator.evaluate(ep.point, profile);
+    sp.point = enumerated[i].point;
+    sp.fom = foms[i];
     scored.push_back(std::move(sp));
   }
   const auto front = pareto_front(scored);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "circuit/converter.hpp"
 #include "circuit/wire.hpp"
@@ -83,6 +84,95 @@ std::size_t mismatch_limit_with_variation(const circuit::MatchlineModel& ml, dou
 }
 
 }  // namespace
+
+namespace {
+
+bool traits_equal(const device::DeviceTraits& a, const device::DeviceTraits& b) {
+  return a.kind == b.kind && a.terminals == b.terminals && a.nonvolatile == b.nonvolatile &&
+         a.cell_area_f2 == b.cell_area_f2 && a.max_bits_per_cell == b.max_bits_per_cell &&
+         a.read_voltage == b.read_voltage && a.write_voltage == b.write_voltage &&
+         a.write_latency == b.write_latency && a.write_energy == b.write_energy &&
+         a.read_latency == b.read_latency && a.on_resistance == b.on_resistance &&
+         a.off_resistance == b.off_resistance && a.endurance_cycles == b.endurance_cycles &&
+         a.retention_s == b.retention_s;
+}
+
+bool sense_equal(const circuit::SenseAmpParams& a, const circuit::SenseAmpParams& b) {
+  return a.offset_sigma_v == b.offset_sigma_v && a.min_margin_v == b.min_margin_v &&
+         a.latency == b.latency && a.energy == b.energy &&
+         a.time_resolution == b.time_resolution;
+}
+
+void hash_combine(std::size_t& seed, std::size_t h) {
+  seed ^= h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+void hash_double(std::size_t& seed, double v) { hash_combine(seed, std::hash<double>{}(v)); }
+
+void hash_traits(std::size_t& seed, const device::DeviceTraits& t) {
+  hash_combine(seed, static_cast<std::size_t>(t.kind));
+  hash_combine(seed, static_cast<std::size_t>(t.terminals));
+  hash_combine(seed, t.nonvolatile ? 1u : 0u);
+  hash_double(seed, t.cell_area_f2);
+  hash_combine(seed, static_cast<std::size_t>(t.max_bits_per_cell));
+  hash_double(seed, t.read_voltage);
+  hash_double(seed, t.write_voltage);
+  hash_double(seed, t.write_latency);
+  hash_double(seed, t.write_energy);
+  hash_double(seed, t.read_latency);
+  hash_double(seed, t.on_resistance);
+  hash_double(seed, t.off_resistance);
+  hash_double(seed, t.endurance_cycles);
+  hash_double(seed, t.retention_s);
+}
+
+}  // namespace
+
+bool operator==(const CamDesignSpec& a, const CamDesignSpec& b) {
+  if (a.device != b.device || a.cell != b.cell || a.match != b.match || a.tech != b.tech ||
+      a.words != b.words || a.bits != b.bits || a.bits_per_cell != b.bits_per_cell ||
+      a.subarray_rows != b.subarray_rows || a.subarray_cols != b.subarray_cols ||
+      a.cell_area_f2 != b.cell_area_f2 || a.cell_pitch_f != b.cell_pitch_f ||
+      a.v_search != b.v_search || a.sl_activity != b.sl_activity ||
+      a.access_tx_width_um != b.access_tx_width_um ||
+      a.min_distinguishable_steps != b.min_distinguishable_steps ||
+      a.sensing_clock_phases != b.sensing_clock_phases || a.clock_period != b.clock_period ||
+      a.device_sigma_rel != b.device_sigma_rel || a.sigma_confidence != b.sigma_confidence)
+    return false;
+  if (!sense_equal(a.sense, b.sense)) return false;
+  if (a.device_override.has_value() != b.device_override.has_value()) return false;
+  return !a.device_override || traits_equal(*a.device_override, *b.device_override);
+}
+
+std::size_t CamSpecHash::operator()(const CamDesignSpec& spec) const {
+  std::size_t seed = 0;
+  hash_combine(seed, static_cast<std::size_t>(spec.device));
+  hash_combine(seed, static_cast<std::size_t>(spec.cell));
+  hash_combine(seed, static_cast<std::size_t>(spec.match));
+  hash_combine(seed, std::hash<std::string>{}(spec.tech));
+  hash_combine(seed, spec.words);
+  hash_combine(seed, spec.bits);
+  hash_combine(seed, static_cast<std::size_t>(spec.bits_per_cell));
+  hash_combine(seed, spec.subarray_rows);
+  hash_combine(seed, spec.subarray_cols);
+  hash_double(seed, spec.cell_area_f2);
+  hash_double(seed, spec.cell_pitch_f);
+  hash_double(seed, spec.v_search);
+  hash_double(seed, spec.sl_activity);
+  hash_double(seed, spec.access_tx_width_um);
+  hash_combine(seed, spec.min_distinguishable_steps);
+  hash_combine(seed, spec.sensing_clock_phases);
+  hash_double(seed, spec.clock_period);
+  hash_double(seed, spec.device_sigma_rel);
+  hash_double(seed, spec.sigma_confidence);
+  hash_double(seed, spec.sense.offset_sigma_v);
+  hash_double(seed, spec.sense.min_margin_v);
+  hash_double(seed, spec.sense.latency);
+  hash_double(seed, spec.sense.energy);
+  hash_double(seed, spec.sense.time_resolution);
+  if (spec.device_override) hash_traits(seed, *spec.device_override);
+  return seed;
+}
 
 std::string to_string(CellType t) {
   switch (t) {

@@ -86,6 +86,16 @@ struct CamDesignSpec {
   }
 };
 
+/// Field-wise equality / hashing so CamDesignSpec can key a memo cache:
+/// EvaCam::evaluate() is a pure function of the spec, and design-space sweeps
+/// re-request the same handful of specs thousands of times.
+bool operator==(const CamDesignSpec& a, const CamDesignSpec& b);
+inline bool operator!=(const CamDesignSpec& a, const CamDesignSpec& b) { return !(a == b); }
+
+struct CamSpecHash {
+  std::size_t operator()(const CamDesignSpec& spec) const;
+};
+
 /// Projected figures of merit (SI units).
 struct CamFom {
   double area_m2 = 0.0;

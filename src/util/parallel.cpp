@@ -1,0 +1,239 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace xlds {
+
+namespace {
+
+/// Set while a thread is executing pool work: nested parallel_for calls from
+/// inside a task run inline (deterministic by construction — see header).
+thread_local bool t_in_pool_task = false;
+
+std::size_t env_thread_count() {
+  if (const char* env = std::getenv("XLDS_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// One dispatched batch of tasks.  Heap-allocated and shared with every
+/// participating thread, so a worker waking up late can never claim indices
+/// from a job it was not dispatched for: a drained job's claim counter stays
+/// past `total` forever, and the claim check runs before any dereference.
+struct Job {
+  explicit Job(const std::function<void(std::size_t)>& t, std::size_t n) : task(t), total(n) {}
+
+  const std::function<void(std::size_t)>& task;
+  const std::size_t total;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;  ///< first exception; guarded by the pool's job_mutex_
+};
+
+/// Lazily-started pool: one job at a time, indices claimed via an atomic
+/// counter.  Dynamic claiming is fine under the determinism contract because
+/// every task is self-contained (rule 2 in the header): which thread runs a
+/// chunk never influences the chunk's result.
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  std::size_t lanes() {
+    std::lock_guard<std::mutex> lk(config_mutex_);
+    ensure_started_locked();
+    return workers_.size() + 1;  // workers plus the calling thread
+  }
+
+  void resize(std::size_t n) {
+    std::lock_guard<std::mutex> run_lk(run_mutex_);  // wait out any in-flight job
+    std::lock_guard<std::mutex> lk(config_mutex_);
+    stop_workers_locked();
+    started_ = true;
+    target_lanes_ = n == 0 ? env_thread_count() : n;
+    start_workers_locked();
+  }
+
+  /// Run task(i) for every i in [0, n), block until all complete, rethrow
+  /// the first recorded exception.
+  void run_tasks(std::size_t n, const std::function<void(std::size_t)>& task) {
+    if (n == 0) return;
+    bool have_workers;
+    {
+      std::lock_guard<std::mutex> lk(config_mutex_);
+      ensure_started_locked();
+      have_workers = !workers_.empty();
+    }
+    // Serialise jobs; if a job is already running (another user thread) or we
+    // are inside a pool task, execute inline — same chunks, same results.
+    if (t_in_pool_task || !have_workers || n == 1 || !run_mutex_.try_lock()) {
+      for (std::size_t i = 0; i < n; ++i) task(i);
+      return;
+    }
+    std::lock_guard<std::mutex> run_lk(run_mutex_, std::adopt_lock);
+    auto job = std::make_shared<Job>(task, n);
+    {
+      std::lock_guard<std::mutex> lk(job_mutex_);
+      current_job_ = job;
+      ++job_generation_;
+    }
+    job_cv_.notify_all();
+    work_on(*job);  // the calling thread participates
+    {
+      std::unique_lock<std::mutex> lk(job_mutex_);
+      done_cv_.wait(lk, [&] { return job->done.load(std::memory_order_acquire) >= job->total; });
+      current_job_.reset();
+      if (job->error) {
+        std::exception_ptr err = job->error;
+        lk.unlock();
+        std::rethrow_exception(err);
+      }
+    }
+  }
+
+ private:
+  ThreadPool() = default;
+
+  ~ThreadPool() {
+    std::lock_guard<std::mutex> lk(config_mutex_);
+    stop_workers_locked();
+  }
+
+  void ensure_started_locked() {
+    if (started_) return;
+    started_ = true;
+    target_lanes_ = env_thread_count();
+    start_workers_locked();
+  }
+
+  void start_workers_locked() {
+    const std::size_t n_workers = target_lanes_ > 0 ? target_lanes_ - 1 : 0;
+    workers_.reserve(n_workers);
+    for (std::size_t i = 0; i < n_workers; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  void stop_workers_locked() {
+    {
+      std::lock_guard<std::mutex> lk(job_mutex_);
+      stopping_ = true;
+    }
+    job_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+    workers_.clear();
+    {
+      std::lock_guard<std::mutex> lk(job_mutex_);
+      stopping_ = false;
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_generation = 0;
+    std::unique_lock<std::mutex> lk(job_mutex_);
+    for (;;) {
+      job_cv_.wait(lk, [&] { return stopping_ || job_generation_ != seen_generation; });
+      if (stopping_) return;
+      seen_generation = job_generation_;
+      const std::shared_ptr<Job> job = current_job_;
+      lk.unlock();
+      if (job) {
+        t_in_pool_task = true;
+        work_on(*job);
+        t_in_pool_task = false;
+      }
+      lk.lock();
+    }
+  }
+
+  void work_on(Job& job) {
+    for (;;) {
+      const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job.total) break;
+      if (!job.failed.load(std::memory_order_relaxed)) {
+        try {
+          job.task(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(job_mutex_);
+          if (!job.error) {
+            job.error = std::current_exception();
+            job.failed.store(true, std::memory_order_relaxed);
+          }
+        }
+      }
+      if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.total) {
+        std::lock_guard<std::mutex> lk(job_mutex_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex config_mutex_;  ///< guards started_/target_lanes_/workers_
+  std::mutex run_mutex_;     ///< held for the duration of one job
+  bool started_ = false;
+  std::size_t target_lanes_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex job_mutex_;  ///< guards current_job_/job_generation_/stopping_/Job::error
+  std::condition_variable job_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t job_generation_ = 0;
+  bool stopping_ = false;
+  std::shared_ptr<Job> current_job_;
+};
+
+}  // namespace
+
+std::size_t parallel_thread_count() { return ThreadPool::instance().lanes(); }
+
+void set_parallel_threads(std::size_t n) { ThreadPool::instance().resize(n); }
+
+std::size_t default_parallel_chunk(std::size_t n) {
+  // Aim for ~64 chunks (fine-grained enough to balance, coarse enough to
+  // amortise dispatch) — a function of n only, so chunk boundaries and the
+  // per-chunk RNG stream assignment survive any thread-count change.
+  return std::max<std::size_t>(1, (n + 63) / 64);
+}
+
+void parallel_for(std::size_t n, std::size_t chunk,
+                  const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (chunk == 0) chunk = default_parallel_chunk(n);
+  const std::size_t n_chunks = (n + chunk - 1) / chunk;
+  ThreadPool::instance().run_tasks(n_chunks, [&](std::size_t ci) {
+    const std::size_t begin = ci * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    body(begin, end, ci);
+  });
+}
+
+void parallel_for_rng(Rng& rng, std::size_t n, std::size_t chunk,
+                      const std::function<void(Rng&, std::size_t, std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (chunk == 0) chunk = default_parallel_chunk(n);
+  const std::size_t n_chunks = (n + chunk - 1) / chunk;
+  // Fork every chunk's stream up front, in chunk order, on this thread: the
+  // stream a trial draws from depends only on its chunk index, never on the
+  // thread count or execution order.
+  std::vector<Rng> streams;
+  streams.reserve(n_chunks);
+  for (std::size_t ci = 0; ci < n_chunks; ++ci) streams.push_back(rng.fork(ci));
+  parallel_for(n, chunk, [&](std::size_t begin, std::size_t end, std::size_t ci) {
+    body(streams[ci], begin, end, ci);
+  });
+}
+
+}  // namespace xlds

@@ -1,0 +1,93 @@
+// Deterministic parallel execution for design-space sweeps.
+//
+// The framework's throughput story (evaluations/second gates design-space
+// coverage) needs the Monte Carlo trial loops and per-point evaluator sweeps
+// to run on all cores — but reproducibility is a core requirement, so the
+// parallel layer guarantees a stronger invariant than "thread safe":
+//
+//   results are bit-identical regardless of the thread count.
+//
+// Three rules make that hold:
+//   1. Work is split into chunks whose boundaries depend only on (n, chunk),
+//      never on how many threads execute them.
+//   2. Stochastic chunks each get their own Rng forked *sequentially on the
+//      calling thread* (parallel_for_rng), so stream assignment is a pure
+//      function of the chunk index — no shared sequential generator.
+//   3. Reductions are performed per chunk and combined in chunk-index order
+//      by the caller (floating-point sums stay order-stable).
+//
+// The pool is lazily started; its width comes from the XLDS_THREADS
+// environment variable (default: hardware_concurrency) and can be changed at
+// runtime with set_parallel_threads() — e.g. by benchmarks measuring scaling.
+// Nested parallel_for calls (from inside a pool task) degrade to inline
+// serial execution, which is safe because of rule 1.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace xlds {
+
+/// Current pool width (total execution lanes including the calling thread).
+/// Starts the pool on first use.
+std::size_t parallel_thread_count();
+
+/// Resize the pool: n lanes, or 0 to re-read XLDS_THREADS / fall back to
+/// hardware_concurrency.  Blocks until any in-flight job finishes.  Changing
+/// the width never changes results — only wall-clock time.
+void set_parallel_threads(std::size_t n);
+
+/// Chunk size used when parallel_for is called with chunk == 0.  Depends only
+/// on n (never on the thread count), preserving the determinism contract.
+std::size_t default_parallel_chunk(std::size_t n);
+
+/// Run body(begin, end, chunk_index) over [0, n) split into fixed chunks of
+/// `chunk` indices (last chunk ragged; chunk == 0 selects
+/// default_parallel_chunk(n)).  Blocks until every chunk completes.  The
+/// first exception thrown by any chunk is rethrown on the calling thread
+/// (remaining chunks are skipped once an exception is recorded).
+void parallel_for(std::size_t n, std::size_t chunk,
+                  const std::function<void(std::size_t begin, std::size_t end,
+                                           std::size_t chunk_index)>& body);
+
+/// parallel_for with a private Rng stream per chunk: the streams are forked
+/// from `rng` sequentially (chunk 0 first) on the calling thread before any
+/// chunk runs, so the draw each trial sees is a pure function of its chunk —
+/// the replacement for sharing one sequential generator across a trial loop.
+void parallel_for_rng(Rng& rng, std::size_t n, std::size_t chunk,
+                      const std::function<void(Rng& chunk_rng, std::size_t begin,
+                                               std::size_t end, std::size_t chunk_index)>& body);
+
+/// Map fn over [0, n) into a vector (out[i] = fn(i)), preserving index order.
+/// T must be default-constructible and move-assignable.
+template <class T, class Fn>
+std::vector<T> parallel_map(std::size_t n, Fn&& fn, std::size_t chunk = 1) {
+  std::vector<T> out(n);
+  parallel_for(n, chunk, [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
+  });
+  return out;
+}
+
+/// Order-stable parallel sum: each chunk accumulates locally, partial sums
+/// combine in chunk-index order — deterministic at any thread count.
+/// fn(i) -> double.
+template <class Fn>
+double parallel_sum(std::size_t n, std::size_t chunk, Fn&& fn) {
+  if (chunk == 0) chunk = default_parallel_chunk(n);
+  const std::size_t n_chunks = n == 0 ? 0 : (n + chunk - 1) / chunk;
+  std::vector<double> partial(n_chunks, 0.0);
+  parallel_for(n, chunk, [&](std::size_t begin, std::size_t end, std::size_t ci) {
+    double s = 0.0;
+    for (std::size_t i = begin; i < end; ++i) s += fn(i);
+    partial[ci] = s;
+  });
+  double total = 0.0;
+  for (double s : partial) total += s;
+  return total;
+}
+
+}  // namespace xlds

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace xlds::xbar {
 
@@ -137,25 +138,28 @@ std::vector<double> Crossbar::currents_analytic(const std::vector<double>& v_in)
 
   std::vector<double> out(C, 0.0);
   // Row drops: driver on the left; segment k carries the suffix sum of
-  // currents at columns >= k.
+  // currents at columns >= k.  One scratch vector serves every row (and is
+  // reused for the column pass below) — the per-row allocation was O(R+C)
+  // vectors per MVM on the hottest sweep path.
   MatrixD v_eff(R, C, 0.0);
+  std::vector<double> partial(std::max(R, C) + 1, 0.0);
   for (std::size_t r = 0; r < R; ++r) {
-    std::vector<double> suffix(C + 1, 0.0);
-    for (std::size_t c = C; c-- > 0;) suffix[c] = suffix[c + 1] + i_cell(r, c);
+    partial[C] = 0.0;
+    for (std::size_t c = C; c-- > 0;) partial[c] = partial[c + 1] + i_cell(r, c);
     double drop = 0.0;
     for (std::size_t c = 0; c < C; ++c) {
-      drop += wire_r_per_cell_ * suffix[c];
+      drop += wire_r_per_cell_ * partial[c];
       v_eff(r, c) = v_in[r] - drop;
     }
   }
   // Column drops: ADC (virtual ground) at the bottom; segment below row k
   // carries the prefix sum of currents at rows <= k.
   for (std::size_t c = 0; c < C; ++c) {
-    std::vector<double> prefix(R + 1, 0.0);
-    for (std::size_t r = 0; r < R; ++r) prefix[r + 1] = prefix[r] + i_cell(r, c);
+    partial[0] = 0.0;
+    for (std::size_t r = 0; r < R; ++r) partial[r + 1] = partial[r] + i_cell(r, c);
     double drop = 0.0;
     for (std::size_t r = R; r-- > 0;) {
-      drop += wire_r_per_cell_ * prefix[r + 1];
+      drop += wire_r_per_cell_ * partial[r + 1];
       v_eff(r, c) -= drop;
     }
   }
@@ -166,7 +170,13 @@ std::vector<double> Crossbar::currents_analytic(const std::vector<double>& v_in)
 }
 
 std::vector<double> Crossbar::currents_nodal(const std::vector<double>& v_in) const {
-  // Gauss-Seidel nodal solve of the two-wire-layer resistive network.
+  // Red-black Gauss-Seidel nodal solve of the two-wire-layer resistive
+  // network.  Nodes are coloured by (r + c) parity; within one colour the
+  // row-node update only reads same-cell and same-row opposite-colour
+  // neighbours, and the column-node update only reads opposite-colour
+  // neighbours in adjacent rows — so all rows of one colour can relax
+  // concurrently with no races, and the update order (hence the iterate
+  // sequence and iteration count) is fixed regardless of thread count.
   const std::size_t R = config_.rows, C = config_.cols;
   const double gw = 1.0 / wire_r_per_cell_;
   MatrixD v(R, C, 0.0);  // row-wire node voltages
@@ -174,51 +184,68 @@ std::vector<double> Crossbar::currents_nodal(const std::vector<double>& v_in) co
   for (std::size_t r = 0; r < R; ++r)
     for (std::size_t c = 0; c < C; ++c) v(r, c) = v_in[r];
 
+  // Relax every cell of `colour` in row r (v first, then u) and return the
+  // row's largest update.
+  const auto relax_row = [&](std::size_t r, std::size_t colour) {
+    double row_delta = 0.0;
+    for (std::size_t c = (r + colour) & 1u; c < C; c += 2) {
+      const double gc = g_(r, c);
+      // Row node: neighbours along the row wire; the c==0 node ties to the
+      // driver (ideal source v_in) through one wire segment.
+      double num = gc * u(r, c);
+      double den = gc;
+      if (c == 0) {
+        num += gw * v_in[r];
+        den += gw;
+      } else {
+        num += gw * v(r, c - 1);
+        den += gw;
+      }
+      if (c + 1 < C) {
+        num += gw * v(r, c + 1);
+        den += gw;
+      }
+      const double nv = num / den;
+      row_delta = std::max(row_delta, std::abs(nv - v(r, c)));
+      v(r, c) = nv;
+
+      // Column node: neighbours along the column wire; the bottom node ties
+      // to the ADC virtual ground through one segment.
+      double cnum = gc * v(r, c);
+      double cden = gc;
+      if (r > 0) {
+        cnum += gw * u(r - 1, c);
+        cden += gw;
+      }
+      if (r + 1 < R) {
+        cnum += gw * u(r + 1, c);
+        cden += gw;
+      } else {
+        cnum += gw * 0.0;  // virtual ground
+        cden += gw;
+      }
+      const double nu = cnum / cden;
+      row_delta = std::max(row_delta, std::abs(nu - u(r, c)));
+      u(r, c) = nu;
+    }
+    return row_delta;
+  };
+
   constexpr int kMaxIters = 2000;
   constexpr double kTol = 1e-7;
+  // Chunk size is a function of R only — determinism contract.
+  const std::size_t row_chunk = std::max<std::size_t>(8, R / 16);
+  std::vector<double> row_delta(R, 0.0);
+  nodal_iterations_ = 0;
   for (int iter = 0; iter < kMaxIters; ++iter) {
+    ++nodal_iterations_;
     double max_delta = 0.0;
-    for (std::size_t r = 0; r < R; ++r) {
-      for (std::size_t c = 0; c < C; ++c) {
-        const double gc = g_(r, c);
-        // Row node: neighbours along the row wire; the c==0 node ties to the
-        // driver (ideal source v_in) through one wire segment.
-        double num = gc * u(r, c);
-        double den = gc;
-        if (c == 0) {
-          num += gw * v_in[r];
-          den += gw;
-        } else {
-          num += gw * v(r, c - 1);
-          den += gw;
-        }
-        if (c + 1 < C) {
-          num += gw * v(r, c + 1);
-          den += gw;
-        }
-        const double nv = num / den;
-        max_delta = std::max(max_delta, std::abs(nv - v(r, c)));
-        v(r, c) = nv;
-
-        // Column node: neighbours along the column wire; the bottom node ties
-        // to the ADC virtual ground through one segment.
-        double cnum = gc * v(r, c);
-        double cden = gc;
-        if (r > 0) {
-          cnum += gw * u(r - 1, c);
-          cden += gw;
-        }
-        if (r + 1 < R) {
-          cnum += gw * u(r + 1, c);
-          cden += gw;
-        } else {
-          cnum += gw * 0.0;  // virtual ground
-          cden += gw;
-        }
-        const double nu = cnum / cden;
-        max_delta = std::max(max_delta, std::abs(nu - u(r, c)));
-        u(r, c) = nu;
-      }
+    for (std::size_t colour = 0; colour < 2; ++colour) {
+      parallel_for(R, row_chunk, [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t r = begin; r < end; ++r) row_delta[r] = relax_row(r, colour);
+      });
+      // max() over a fixed index order: bit-identical at any thread count.
+      for (std::size_t r = 0; r < R; ++r) max_delta = std::max(max_delta, row_delta[r]);
     }
     if (max_delta < kTol * config_.read_voltage) break;
   }

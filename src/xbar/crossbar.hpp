@@ -112,6 +112,11 @@ class Crossbar {
   /// programming — a diagnostic the co-optimisation studies use.
   double ir_drop_worst_case() const;
 
+  /// Gauss-Seidel iterations the most recent nodal solve took — the
+  /// iteration-count parity check for the red-black ordering (identical at
+  /// any thread count).
+  std::size_t last_nodal_iterations() const noexcept { return nodal_iterations_; }
+
  private:
   std::vector<double> currents_ideal(const std::vector<double>& v_in) const;
   std::vector<double> currents_analytic(const std::vector<double>& v_in) const;
@@ -121,6 +126,7 @@ class Crossbar {
   device::RramModel model_;
   double wire_r_per_cell_;  ///< ohm per crosspoint pitch
   mutable Rng rng_;
+  mutable std::size_t nodal_iterations_ = 0;  ///< iterations of the last nodal solve
   MatrixD g_;               ///< programmed conductances [rows x cols]
   Matrix<std::uint8_t> stuck_;  ///< 1 = crosspoint pinned by a defect
   MatrixD weights_;         ///< logical weights (when program_weights used)
