@@ -1,0 +1,119 @@
+// Ablation — cross-layer fault resilience of both case studies.
+//
+// Sweeps a foundry-style defect-mechanism mix along a stuck-cell-rate axis at
+// three storage ages and reports the application accuracy of the HDC-CAM
+// classifier (Sec. III) and the few-shot MANN (Sec. IV), plus Monte-Carlo
+// array yield and the FOM cost of the enabled graceful-degradation policies.
+// The full grid is written to BENCH_fault_resilience.json for plotting.
+#include <fstream>
+#include <iostream>
+
+#include "fault/resilience.hpp"
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+
+using namespace xlds;
+
+namespace {
+
+fault::ResilienceConfig sweep_config(bool with_policies) {
+  fault::ResilienceConfig cfg;
+  cfg.fault_rates = {0.0, 0.005, 0.01, 0.02, 0.05, 0.1};
+  cfg.time_points_s = {0.0, 1.0e4, 1.0e7};
+  cfg.seeds = 3;
+  cfg.base_seed = 20230417;
+  if (with_policies) {
+    cfg.policies.spare_rows = 2;
+    cfg.policies.spare_cols = 2;
+    cfg.policies.requery_votes = 3;
+    cfg.policies.exclude_subarrays = true;
+  }
+  return cfg;
+}
+
+void print_report(const fault::ResilienceConfig& cfg, const fault::ResilienceReport& rep) {
+  Table table({"stuck-cell rate", "t = 0", "t = 1e4 s", "t = 1e7 s", "yield",
+               "residual frac"});
+  const std::size_t n_times = cfg.time_points_s.size();
+  for (std::size_t ri = 0; ri < cfg.fault_rates.size(); ++ri) {
+    std::vector<std::string> row{Table::num(cfg.fault_rates[ri], 3)};
+    for (std::size_t ti = 0; ti < n_times; ++ti) {
+      const auto& pt = rep.at(ri, ti, n_times);
+      row.push_back("HDC " + Table::num(100.0 * pt.hdc_accuracy, 1) + " % / MANN " +
+                    Table::num(100.0 * pt.mann_accuracy, 1) + " %");
+    }
+    row.push_back(Table::num(100.0 * rep.yield[ri].yield, 1) + " %");
+    row.push_back(Table::num(rep.at(ri, 0, n_times).residual_fraction, 4));
+    table.add_row(row);
+  }
+  std::cout << table;
+}
+
+void emit_json(const fault::ResilienceConfig& bare_cfg, const fault::ResilienceReport& bare,
+               const fault::ResilienceConfig& pol_cfg, const fault::ResilienceReport& pol) {
+  std::ofstream json("BENCH_fault_resilience.json");
+  json << "{\n  \"bench\": \"ablation_fault_resilience\",\n"
+       << "  \"mechanism_mix\": \"foundry mixed (45/45 stuck on/off + line + SA faults)\",\n"
+       << "  \"seeds\": " << bare_cfg.seeds << ",\n  \"variants\": [\n";
+  const auto emit_variant = [&json](const char* name, const fault::ResilienceConfig& cfg,
+                                    const fault::ResilienceReport& rep, bool last) {
+    const std::size_t n_times = cfg.time_points_s.size();
+    json << "    {\"policies\": \"" << name << "\",\n"
+         << "     \"cost\": {\"area_factor\": " << rep.cost.area_factor
+         << ", \"latency_factor\": " << rep.cost.latency_factor
+         << ", \"energy_factor\": " << rep.cost.energy_factor << "},\n"
+         << "     \"points\": [\n";
+    for (std::size_t ri = 0; ri < cfg.fault_rates.size(); ++ri) {
+      for (std::size_t ti = 0; ti < n_times; ++ti) {
+        const auto& pt = rep.at(ri, ti, n_times);
+        json << "       {\"fault_rate\": " << pt.fault_rate << ", \"time_s\": " << pt.time_s
+             << ", \"hdc_accuracy\": " << pt.hdc_accuracy
+             << ", \"mann_accuracy\": " << pt.mann_accuracy
+             << ", \"residual_fraction\": " << pt.residual_fraction << "}"
+             << (ri + 1 < cfg.fault_rates.size() || ti + 1 < n_times ? "," : "") << "\n";
+      }
+    }
+    json << "     ],\n     \"yield\": [\n";
+    for (std::size_t ri = 0; ri < rep.yield.size(); ++ri)
+      json << "       {\"fault_rate\": " << cfg.fault_rates[ri]
+           << ", \"yield\": " << rep.yield[ri].yield
+           << ", \"mean_residual_fraction\": " << rep.yield[ri].mean_residual_fraction << "}"
+           << (ri + 1 < rep.yield.size() ? "," : "") << "\n";
+    json << "     ]}" << (last ? "" : ",") << "\n";
+  };
+  emit_variant("none", bare_cfg, bare, false);
+  emit_variant("spares+requery+exclusion", pol_cfg, pol, true);
+  json << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "Ablation — cross-layer fault resilience",
+               "accuracy vs stuck-cell rate at three storage ages, both case studies");
+  std::cout << "Grid runs under deterministic forked streams on " << parallel_thread_count()
+            << " thread(s) (XLDS_THREADS; results thread-count independent).\n\n";
+
+  const fault::ResilienceConfig bare_cfg = sweep_config(/*with_policies=*/false);
+  const fault::ResilienceReport bare = fault::ResilienceEvaluator(bare_cfg).run();
+  std::cout << "No mitigation policies:\n";
+  print_report(bare_cfg, bare);
+
+  const fault::ResilienceConfig pol_cfg = sweep_config(/*with_policies=*/true);
+  const fault::ResilienceReport pol = fault::ResilienceEvaluator(pol_cfg).run();
+  std::cout << "\nSpare lines (2+2) + 3-vote re-query + subarray exclusion (area x"
+            << Table::num(pol.cost.area_factor, 3) << ", latency x"
+            << Table::num(pol.cost.latency_factor, 1) << "):\n";
+  print_report(pol_cfg, pol);
+
+  const fault::ResilienceCacheStats cache = fault::resilience_cache_stats();
+  std::cout << "\nContext cache: " << cache.hits << "/" << cache.lookups
+            << " lookups served from memo (policy variant rebuilt nothing).\n";
+
+  emit_json(bare_cfg, bare, pol_cfg, pol);
+  std::cout << "\nExpected shape: accuracy is flat to ~1 % stuck cells, then degrades\n"
+               "monotonically with rate and further with age; the policy variant holds\n"
+               "accuracy and yield higher at every non-zero rate, paying its area and\n"
+               "latency factors.  -> BENCH_fault_resilience.json\n";
+  return 0;
+}

@@ -18,7 +18,8 @@ FeFetAcamArray::FeFetAcamArray(AcamConfig config, Rng& rng)
       wire_(device::tech_node(config.tech), config.cell_pitch_f),
       sense_(config.sense),
       rng_(rng.fork(kAcamStreamTag)),
-      cells_(config.rows, std::vector<Cell>(config.cols)) {
+      cells_(config.rows, std::vector<Cell>(config.cols)),
+      row_sense_dead_(config.rows, 0) {
   XLDS_REQUIRE(config_.rows >= 1 && config_.cols >= 1);
 }
 
@@ -37,6 +38,7 @@ void FeFetAcamArray::write_word(std::size_t row, const std::vector<AnalogRange>&
                      "invalid range [" << r.lo << ", " << r.hi << "]");
     Cell& cell = cells_[row][c];
     cell.intended = r;
+    if (cell.fault != fault::CellFault::kNone) continue;  // pinned by the defect
     if (config_.apply_variation) {
       const double s = bound_sigma();
       cell.programmed.lo = std::clamp(rng_.normal(r.lo, s), 0.0, 1.0);
@@ -55,9 +57,16 @@ std::vector<std::size_t> FeFetAcamArray::exact_match(const std::vector<double>& 
   for (double q : query) XLDS_REQUIRE_MSG(q >= 0.0 && q <= 1.0, "query value " << q);
   std::vector<std::size_t> matches;
   for (std::size_t r = 0; r < config_.rows; ++r) {
+    if (row_sense_dead_[r]) continue;  // a dead amp can't report a match
     bool all = true;
     for (std::size_t c = 0; c < config_.cols; ++c) {
-      const AnalogRange& pr = cells_[r][c].programmed;
+      const Cell& cell = cells_[r][c];
+      if (cell.fault == fault::CellFault::kStuckOn) {
+        all = false;  // permanent pull-down: mismatches every query
+        break;
+      }
+      if (cell.fault != fault::CellFault::kNone) continue;  // never conducts
+      const AnalogRange& pr = cell.programmed;
       if (query[c] < pr.lo || query[c] > pr.hi) {
         all = false;
         break;
@@ -66,6 +75,45 @@ std::vector<std::size_t> FeFetAcamArray::exact_match(const std::vector<double>& 
     if (all) matches.push_back(r);
   }
   return matches;
+}
+
+void FeFetAcamArray::apply_fault_map(const fault::FaultMap& map) {
+  XLDS_REQUIRE_MSG(map.rows() == config_.rows && map.cols() == config_.cols,
+                   "fault map " << map.rows() << "x" << map.cols() << " != array "
+                                << config_.rows << "x" << config_.cols);
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    for (std::size_t c = 0; c < config_.cols; ++c)
+      cells_[r][c].fault = map.effective(r, c);
+    row_sense_dead_[r] = map.row_sense_dead(r) ? 1 : 0;
+  }
+}
+
+void FeFetAcamArray::age(double dt) {
+  XLDS_REQUIRE(dt >= 0.0);
+  if (dt == 0.0) return;
+  const auto& p = model_.params();
+  const double window = p.vth_high - p.vth_low;
+  const auto drift_bound = [&](double bound) {
+    const double vth = p.vth_low + bound * window;
+    return std::clamp((model_.retain(vth, dt, rng_) - p.vth_low) / window, 0.0, 1.0);
+  };
+  for (auto& row : cells_) {
+    for (Cell& cell : row) {
+      if (cell.fault != fault::CellFault::kNone) continue;
+      cell.programmed.lo = drift_bound(cell.programmed.lo);
+      cell.programmed.hi = drift_bound(cell.programmed.hi);
+      if (cell.programmed.lo > cell.programmed.hi)
+        std::swap(cell.programmed.lo, cell.programmed.hi);
+    }
+  }
+}
+
+std::size_t FeFetAcamArray::faulty_cell_count() const {
+  std::size_t n = 0;
+  for (const auto& row : cells_)
+    for (const Cell& cell : row)
+      if (cell.fault != fault::CellFault::kNone) ++n;
+  return n;
 }
 
 AnalogRange FeFetAcamArray::programmed_range(std::size_t row, std::size_t col) const {

@@ -16,6 +16,7 @@
 #include "circuit/wire.hpp"
 #include "device/fefet.hpp"
 #include "device/technology.hpp"
+#include "fault/fault_map.hpp"
 #include "util/rng.hpp"
 
 namespace xlds::cam {
@@ -54,12 +55,24 @@ class FeFetAcamArray {
   /// The programmed (post-variation) interval of a cell.
   AnalogRange programmed_range(std::size_t row, std::size_t col) const;
 
+  /// Apply a defect map: stuck-on cells mismatch every query, stuck-off and
+  /// open cells match every query, and rows with a dead sense amp never
+  /// report a match.  Consumes no RNG.
+  void apply_fault_map(const fault::FaultMap& map);
+
+  /// Apply `dt` seconds of retention loss: each stored bound drifts through
+  /// the FeFET retention model mapped into the [0, 1] input domain.
+  void age(double dt);
+
+  std::size_t faulty_cell_count() const;
+
   SearchCost search_cost() const;
 
  private:
   struct Cell {
     AnalogRange intended;
     AnalogRange programmed;
+    fault::CellFault fault = fault::CellFault::kNone;
   };
 
   /// Variation of a normalised bound: V_th sigma mapped into the [0, 1]
@@ -72,6 +85,7 @@ class FeFetAcamArray {
   circuit::SenseAmp sense_;
   mutable Rng rng_;
   std::vector<std::vector<Cell>> cells_;
+  std::vector<std::uint8_t> row_sense_dead_;  ///< 1 = matchline SA dead
 };
 
 }  // namespace xlds::cam

@@ -35,7 +35,8 @@ FeFetCamArray::FeFetCamArray(FeFetCamConfig config, Rng& rng)
           wire_, config.cols),
       sense_(config.sense),
       rng_(rng.fork(kCamStreamTag)),
-      cells_(config.rows, std::vector<Cell>(config.cols)) {
+      cells_(config.rows, std::vector<Cell>(config.cols)),
+      row_sense_dead_(config.rows, 0) {
   XLDS_REQUIRE(config_.rows >= 1 && config_.cols >= 1);
   XLDS_REQUIRE(config_.sense_levels >= 2);
   XLDS_REQUIRE(config_.sense_noise_rel >= 0.0);
@@ -52,6 +53,7 @@ void FeFetCamArray::write_word(std::size_t row, const std::vector<int>& digits) 
                      "digit " << d << " invalid for " << n_levels << "-level cell");
     Cell& cell = cells_[row][c];
     cell.stored = d;
+    if (cell.fault != fault::CellFault::kNone) continue;
     if (d == kDontCare) {
       // Both devices at the highest V_th: never conduct for any legal query.
       const double top = model_.params().vth_high;
@@ -78,10 +80,58 @@ int FeFetCamArray::readback_digit(std::size_t row, std::size_t col) const {
 }
 
 double FeFetCamArray::cell_conductance(const Cell& cell, int query_digit) const {
+  switch (cell.fault) {
+    case fault::CellFault::kStuckOn: return stuck_on_conductance();
+    case fault::CellFault::kStuckOff:
+    case fault::CellFault::kOpen: return 0.0;
+    case fault::CellFault::kNone: break;
+  }
   const int n_levels = levels();
   const double v_a = model_.search_voltage(query_digit);
   const double v_b = model_.search_voltage(n_levels - 1 - query_digit);
   return model_.conductance(v_a, cell.vth_a) + model_.conductance(v_b, cell.vth_b);
+}
+
+double FeFetCamArray::stuck_on_conductance() const {
+  return 2.0 * model_.conductance(model_.search_voltage(levels() - 1), model_.level_vth(0));
+}
+
+void FeFetCamArray::apply_fault_map(const fault::FaultMap& map) {
+  XLDS_REQUIRE_MSG(map.rows() == config_.rows && map.cols() == config_.cols,
+                   "fault map " << map.rows() << "x" << map.cols() << " != array "
+                                << config_.rows << "x" << config_.cols);
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    for (std::size_t c = 0; c < config_.cols; ++c)
+      cells_[r][c].fault = map.effective(r, c);
+    row_sense_dead_[r] = map.row_sense_dead(r) ? 1 : 0;
+  }
+}
+
+void FeFetCamArray::age(double dt) {
+  XLDS_REQUIRE(dt >= 0.0);
+  if (dt == 0.0) return;
+  for (auto& row : cells_) {
+    for (Cell& cell : row) {
+      if (cell.fault != fault::CellFault::kNone) continue;
+      cell.vth_a = model_.retain(cell.vth_a, dt, rng_);
+      cell.vth_b = model_.retain(cell.vth_b, dt, rng_);
+    }
+  }
+}
+
+std::size_t FeFetCamArray::faulty_cell_count() const {
+  std::size_t n = 0;
+  for (const auto& row : cells_)
+    for (const Cell& cell : row)
+      if (cell.fault != fault::CellFault::kNone) ++n;
+  return n;
+}
+
+std::size_t FeFetCamArray::dead_sense_rows() const {
+  std::size_t n = 0;
+  for (auto dead : row_sense_dead_)
+    if (dead) ++n;
+  return n;
 }
 
 double FeFetCamArray::cell_transfer_conductance(double v_in, int stored_level) const {
@@ -168,12 +218,17 @@ SearchResult FeFetCamArray::search(const std::vector<int>& query) const {
       const double code = std::round(std::log(metric / kFloor) / log_step);
       sensed = kFloor * std::exp(code * log_step);
     }
+    // A dead matchline sense amp reads full scale regardless of the match
+    // state; the row can never win.  (The metric/noise path above still runs
+    // so the RNG stream is identical with and without dead amps.)
+    if (row_sense_dead_[r]) sensed = full_scale;
     result.sensed_distance[r] = sensed;
-    if (sensed < best) {
+    if (!row_sense_dead_[r] && sensed < best) {
       best = sensed;
       result.best_row = r;
     }
   }
+  if (result.best_row >= config_.rows) result.best_row = 0;  // every amp dead
   result.cost = search_cost();
   return result;
 }

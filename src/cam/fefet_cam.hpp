@@ -25,6 +25,7 @@
 #include "circuit/wire.hpp"
 #include "device/fefet.hpp"
 #include "device/technology.hpp"
+#include "fault/fault_map.hpp"
 #include "util/rng.hpp"
 
 namespace xlds::cam {
@@ -56,8 +57,22 @@ class FeFetCamArray {
 
   /// Program a word: `digits` holds one level in [0, levels) or kDontCare per
   /// cell.  Programming variation is sampled here (write-time, not search-
-  /// time, matching physical behaviour).
+  /// time, matching physical behaviour).  Faulted cells record the intended
+  /// digit but are not programmed (their conductance stays pinned).
   void write_word(std::size_t row, const std::vector<int>& digits);
+
+  /// Apply a defect map (same geometry as the array).  Stuck-on cells pull
+  /// the matchline permanently (a mismatch for every query), stuck-off and
+  /// open cells never conduct (a permanent match), and rows whose matchline
+  /// sense amp is dead sense full scale and are excluded from best-row
+  /// selection.  Consumes no RNG.
+  void apply_fault_map(const fault::FaultMap& map);
+
+  /// Apply `dt` seconds of retention loss to every non-faulted device.
+  void age(double dt);
+
+  std::size_t faulty_cell_count() const;
+  std::size_t dead_sense_rows() const;
 
   /// Stored digit as it would be *read back* level-wise (post-variation).
   int readback_digit(std::size_t row, std::size_t col) const;
@@ -94,9 +109,13 @@ class FeFetCamArray {
     int stored = kDontCare;
     double vth_a = 0.0;  ///< programmed V_th of the "upper" device
     double vth_b = 0.0;  ///< programmed V_th of the complementary device
+    fault::CellFault fault = fault::CellFault::kNone;
   };
 
   double cell_conductance(const Cell& cell, int query_digit) const;
+  /// Pull-down of a stuck-on defect: both devices fully on at the maximum
+  /// gate overdrive — a worst-case, query-independent mismatch.
+  double stuck_on_conductance() const;
   /// Conductance of a nominally matching cell (both devices at the
   /// sub-threshold bias) — the self-reference the sensing subtracts.
   double match_baseline_conductance() const;
@@ -112,6 +131,7 @@ class FeFetCamArray {
   circuit::WinnerTakeAll wta_;
   mutable Rng rng_;
   std::vector<std::vector<Cell>> cells_;  ///< [row][col]
+  std::vector<std::uint8_t> row_sense_dead_;  ///< 1 = matchline SA dead
 };
 
 }  // namespace xlds::cam

@@ -22,7 +22,60 @@ PartitionedCam::PartitionedCam(PartitionedCamConfig config, Rng& rng) : config_(
       (config_.total_width + config_.subarray.cols - 1) / config_.subarray.cols;
   segments_.reserve(n_seg);
   for (std::size_t s = 0; s < n_seg; ++s) segments_.emplace_back(config_.subarray, rng);
+  segment_enabled_.assign(n_seg, 1);
   stored_words_.assign(config_.subarray.rows, {});
+}
+
+fault::FaultInjectionStats PartitionedCam::inject_faults(const fault::FaultSpec& spec,
+                                                         const fault::GracefulPolicies& policies,
+                                                         Rng& rng) {
+  fault::FaultInjectionStats stats;
+  const std::size_t seg_cells = config_.subarray.rows * config_.subarray.cols;
+  std::vector<double> residual_fraction(segments_.size(), 0.0);
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    const fault::RemapOutcome out = fault::remapped_fault_map(
+        config_.subarray.rows, config_.subarray.cols, spec, policies, rng);
+    segments_[s].apply_fault_map(out.residual);
+    stats.injected_cells += out.unrepaired_faults;
+    stats.residual_cells += out.residual.fault_count();
+    stats.remapped_rows += out.plan.remapped_rows;
+    stats.remapped_cols += out.plan.remapped_cols;
+    residual_fraction[s] = static_cast<double>(out.plan.residual_faults) /
+                           static_cast<double>(seg_cells);
+  }
+  segment_enabled_.assign(segments_.size(), 1);
+  if (policies.exclude_subarrays) {
+    for (std::size_t s = 0; s < segments_.size(); ++s)
+      if (residual_fraction[s] > policies.exclusion_threshold) segment_enabled_[s] = 0;
+    // Aggregation needs at least one live segment; keep the cleanest.
+    if (std::find(segment_enabled_.begin(), segment_enabled_.end(), 1) ==
+        segment_enabled_.end()) {
+      const std::size_t best = static_cast<std::size_t>(
+          std::min_element(residual_fraction.begin(), residual_fraction.end()) -
+          residual_fraction.begin());
+      segment_enabled_[best] = 1;
+    }
+    for (auto enabled : segment_enabled_)
+      if (!enabled) ++stats.excluded_segments;
+  }
+  return stats;
+}
+
+void PartitionedCam::age(double dt) {
+  for (FeFetCamArray& seg : segments_) seg.age(dt);
+}
+
+std::size_t PartitionedCam::enabled_segments() const {
+  std::size_t n = 0;
+  for (auto enabled : segment_enabled_)
+    if (enabled) ++n;
+  return n;
+}
+
+std::size_t PartitionedCam::faulty_cell_count() const {
+  std::size_t n = 0;
+  for (const FeFetCamArray& seg : segments_) n += seg.faulty_cell_count();
+  return n;
 }
 
 std::vector<int> PartitionedCam::segment_slice(const std::vector<int>& full, std::size_t seg,
@@ -52,12 +105,12 @@ SearchResult PartitionedCam::search(const std::vector<int>& query) const {
   combined.sensed_distance.assign(n_rows, 0.0);
   std::vector<double> votes(n_rows, 0.0);
   double max_latency = 0.0;
-  for (const FeFetCamArray& seg : segments_) {
+  for (std::size_t seg_index = 0; seg_index < segments_.size(); ++seg_index) {
+    if (!segment_enabled_[seg_index]) continue;  // excluded by the fault policy
     // Queries into padded tail cells use level 0; the stored pad cells are
     // don't-care so they contribute no conductance either way.
-    const std::size_t seg_index = static_cast<std::size_t>(&seg - segments_.data());
     const std::vector<int> q = segment_slice(query, seg_index, 0);
-    const SearchResult res = seg.search(q);
+    const SearchResult res = segments_[seg_index].search(q);
     max_latency = std::max(max_latency, res.cost.latency);
     combined.cost.energy += res.cost.energy;
     for (std::size_t r = 0; r < n_rows; ++r) combined.sensed_distance[r] += res.sensed_distance[r];

@@ -19,6 +19,7 @@
 
 #include "cam/fefet_cam.hpp"
 #include "cam/types.hpp"
+#include "fault/policy.hpp"
 #include "util/rng.hpp"
 
 namespace xlds::cam {
@@ -57,12 +58,28 @@ class PartitionedCam {
   /// Ideal (software) best match: exact summed distance over the full word.
   std::size_t ideal_best_match(const std::vector<int>& query) const;
 
+  /// Sample one defect map per segment from `spec`, apply spare remapping per
+  /// the policies, load the residual maps into the subarrays, and (when
+  /// subarray exclusion is enabled) disable segments whose residual fault
+  /// fraction exceeds the threshold — always keeping at least one segment.
+  /// One map is drawn per segment in index order from `rng`, so the stream
+  /// advance is thread-count independent.
+  fault::FaultInjectionStats inject_faults(const fault::FaultSpec& spec,
+                                           const fault::GracefulPolicies& policies, Rng& rng);
+
+  /// Apply `dt` seconds of retention loss to every segment.
+  void age(double dt);
+
+  std::size_t enabled_segments() const;
+  std::size_t faulty_cell_count() const;
+
  private:
   std::vector<int> segment_slice(const std::vector<int>& full, std::size_t seg,
                                  int pad_value) const;
 
   PartitionedCamConfig config_;
   std::vector<FeFetCamArray> segments_;
+  std::vector<std::uint8_t> segment_enabled_;  ///< 0 = excluded by policy
   std::vector<std::vector<int>> stored_words_;  ///< intended digits per row
 };
 

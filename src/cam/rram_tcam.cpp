@@ -46,7 +46,8 @@ RramTcamArray::RramTcamArray(RramTcamConfig config, Rng& rng)
       wire_(device::tech_node(config.tech), config.cell_pitch_f),
       sense_(config.sense),
       rng_(rng.fork(kTcamStreamTag)),
-      cells_(config.rows, std::vector<Cell>(config.cols)) {
+      cells_(config.rows, std::vector<Cell>(config.cols)),
+      row_sense_dead_(config.rows, 0) {
   XLDS_REQUIRE(config_.rows >= 1 && config_.cols >= 1);
   XLDS_REQUIRE(config_.read_voltage > 0.0);
   XLDS_REQUIRE(config_.sense_levels >= 2);
@@ -72,6 +73,7 @@ void RramTcamArray::write_cell(std::size_t row, std::size_t col, int bit) {
   const double g_hrs = hrs_conductance();
   Cell& cell = cells_[row][col];
   cell.stored = bit;
+  if (cell.fault != fault::CellFault::kNone) return;  // pinned by the defect
   // Mismatch conducts: stored 1 puts LRS on the query==0 searchline.
   double target_true = g_hrs;   // device sampled when query bit == 1
   double target_false = g_hrs;  // device sampled when query bit == 0
@@ -101,10 +103,52 @@ void RramTcamArray::age(double dt) {
   XLDS_REQUIRE(dt >= 0.0);
   for (auto& row : cells_) {
     for (Cell& cell : row) {
+      if (cell.fault != fault::CellFault::kNone) continue;
       cell.g_true = model_.relax(cell.g_true, dt, rng_);
       cell.g_false = model_.relax(cell.g_false, dt, rng_);
     }
   }
+}
+
+void RramTcamArray::apply_fault_map(const fault::FaultMap& map) {
+  XLDS_REQUIRE_MSG(map.rows() == config_.rows && map.cols() == config_.cols,
+                   "fault map " << map.rows() << "x" << map.cols() << " != array "
+                                << config_.rows << "x" << config_.cols);
+  const double g_lrs = lrs_conductance();
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    for (std::size_t c = 0; c < config_.cols; ++c) {
+      Cell& cell = cells_[r][c];
+      cell.fault = map.effective(r, c);
+      switch (cell.fault) {
+        case fault::CellFault::kStuckOn:
+          cell.g_true = g_lrs;
+          cell.g_false = g_lrs;
+          break;
+        case fault::CellFault::kStuckOff:
+        case fault::CellFault::kOpen:
+          cell.g_true = 0.0;
+          cell.g_false = 0.0;
+          break;
+        case fault::CellFault::kNone: break;
+      }
+    }
+    row_sense_dead_[r] = map.row_sense_dead(r) ? 1 : 0;
+  }
+}
+
+std::size_t RramTcamArray::faulty_cell_count() const {
+  std::size_t n = 0;
+  for (const auto& row : cells_)
+    for (const Cell& cell : row)
+      if (cell.fault != fault::CellFault::kNone) ++n;
+  return n;
+}
+
+std::size_t RramTcamArray::dead_sense_rows() const {
+  std::size_t n = 0;
+  for (auto dead : row_sense_dead_)
+    if (dead) ++n;
+  return n;
 }
 
 SearchResult RramTcamArray::search(const std::vector<int>& query) const {
@@ -139,13 +183,17 @@ SearchResult RramTcamArray::search(const std::vector<int>& query) const {
     if (config_.sense_noise_rel > 0.0)
       metric += rng_.normal(0.0, config_.sense_noise_rel * full_scale);
     metric = std::clamp(metric, 0.0, full_scale);
-    const double sensed = std::round(metric / step) * step;
+    double sensed = std::round(metric / step) * step;
+    // A dead matchline sense amp reads full scale and can never win.  (The
+    // noise draw above still happens so the RNG stream is unchanged.)
+    if (row_sense_dead_[r]) sensed = full_scale;
     result.sensed_distance[r] = sensed;
-    if (sensed < best) {
+    if (!row_sense_dead_[r] && sensed < best) {
       best = sensed;
       result.best_row = r;
     }
   }
+  if (result.best_row >= config_.rows) result.best_row = 0;  // every amp dead
   result.cost = search_cost();
   return result;
 }

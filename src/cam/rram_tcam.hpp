@@ -22,6 +22,7 @@
 #include "circuit/wire.hpp"
 #include "device/rram.hpp"
 #include "device/technology.hpp"
+#include "fault/fault_map.hpp"
 #include "util/rng.hpp"
 
 namespace xlds::cam {
@@ -60,8 +61,18 @@ class RramTcamArray {
   /// Stored (intended) bit of a cell.
   int stored_bit(std::size_t row, std::size_t col) const;
 
-  /// Apply conductance relaxation to every device for `dt` seconds.
+  /// Apply conductance relaxation to every non-faulted device for `dt`
+  /// seconds.
   void age(double dt);
+
+  /// Apply a defect map (same geometry as the array).  Stuck-on cells put
+  /// LRS on both searchlines (a mismatch for every query), stuck-off and
+  /// open cells never conduct (a permanent match), and rows with a dead
+  /// matchline sense amp read full scale and never win.  Consumes no RNG.
+  void apply_fault_map(const fault::FaultMap& map);
+
+  std::size_t faulty_cell_count() const;
+  std::size_t dead_sense_rows() const;
 
   /// Search with a ternary query: 0/1 compare, kDontCare masks the column
   /// (both searchlines held off — the standard TCAM global-mask feature).
@@ -85,6 +96,7 @@ class RramTcamArray {
     int stored = kDontCare;
     double g_true = 0.0;   ///< device on the "query==1" searchline, S
     double g_false = 0.0;  ///< device on the "query==0" searchline, S
+    fault::CellFault fault = fault::CellFault::kNone;
   };
 
   double lrs_conductance() const;
@@ -97,6 +109,7 @@ class RramTcamArray {
   circuit::WinnerTakeAll wta_;
   mutable Rng rng_;
   std::vector<std::vector<Cell>> cells_;
+  std::vector<std::uint8_t> row_sense_dead_;  ///< 1 = matchline SA dead
 };
 
 }  // namespace xlds::cam

@@ -18,6 +18,9 @@ FeFetModel::FeFetModel(FeFetParams params) : params_(params) {
   XLDS_REQUIRE(params_.sigma_program >= 0.0);
   XLDS_REQUIRE(params_.k_sat > 0.0);
   XLDS_REQUIRE(params_.vds_read > 0.0);
+  XLDS_REQUIRE(params_.retention_drift_sigma >= 0.0);
+  XLDS_REQUIRE(params_.retention_depol >= 0.0);
+  XLDS_REQUIRE(params_.retention_t0 > 0.0);
 }
 
 double FeFetModel::level_vth(int level) const {
@@ -78,6 +81,19 @@ double FeFetModel::level_error_probability(int level) const {
   const bool interior = level > 0 && level < params_.levels() - 1;
   const double one_side = 1.0 - phi(z);
   return interior ? 2.0 * one_side : one_side;
+}
+
+double FeFetModel::retain(double vth, double dt, Rng& rng) const {
+  XLDS_REQUIRE(dt >= 0.0);
+  if (dt == 0.0) return vth;
+  const double scale = std::sqrt(std::log1p(dt / params_.retention_t0));
+  const double centre = 0.5 * (params_.vth_low + params_.vth_high);
+  const double drift = rng.normal(0.0, params_.retention_drift_sigma * scale);
+  // Depolarisation pulls proportionally to the distance from the window
+  // centre, normalised by the half window: deep states decay fastest.
+  const double half_window = 0.5 * (params_.vth_high - params_.vth_low);
+  const double pull = params_.retention_depol * scale * (centre - vth) / half_window;
+  return vth + drift + pull;
 }
 
 }  // namespace xlds::device

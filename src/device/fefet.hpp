@@ -29,6 +29,14 @@ struct FeFetParams {
   double ioff = 1.0e-10;   ///< off-state leakage floor, A
   double subthreshold_swing = 0.060;  ///< V/decade
 
+  // Retention: the programmed polarisation decays by depolarisation-field
+  // creep, seen as a V_th random walk growing ~sqrt(ln(1 + t/t0)) plus a
+  // slow drift of both states toward the window centre (partial
+  // depolarisation) — the FeFET analogue of RRAM conductance relaxation.
+  double retention_drift_sigma = 0.015;  ///< V_th walk amplitude at the unit scale, V
+  double retention_depol = 0.004;        ///< centre-pull fraction at the unit scale
+  double retention_t0 = 1.0;             ///< s, reference time
+
   int levels() const { return 1 << bits; }
   /// V_th separation between adjacent levels ("memory window" per level).
   double level_window() const;
@@ -72,6 +80,11 @@ class FeFetModel {
   /// a *different* level, given programming sigma (state-overlap metric of
   /// Fig. 3G-i).  Exact for the Gaussian model.
   double level_error_probability(int level) const;
+
+  /// V_th after `dt` seconds of retention loss: random-walk drift with
+  /// sqrt(ln(1 + dt/t0)) amplitude plus weak depolarisation toward the
+  /// window centre.  dt == 0 returns `vth` unchanged without consuming RNG.
+  double retain(double vth, double dt, Rng& rng) const;
 
  private:
   FeFetParams params_;

@@ -1,0 +1,275 @@
+#include "fault/fault_map.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace xlds::fault {
+
+namespace {
+
+constexpr std::uint64_t kLineStreamTag = 0xFA017111E;
+constexpr std::uint64_t kSenseStreamTag = 0xFA0175A;
+
+void require_rate(double rate, const char* name) {
+  XLDS_REQUIRE_MSG(rate >= 0.0 && rate <= 1.0, name << " rate " << rate << " not in [0, 1]");
+}
+
+}  // namespace
+
+std::string to_string(CellFault f) {
+  switch (f) {
+    case CellFault::kNone: return "none";
+    case CellFault::kStuckOn: return "stuck-on";
+    case CellFault::kStuckOff: return "stuck-off";
+    case CellFault::kOpen: return "open";
+  }
+  return "?";
+}
+
+std::string to_string(LineFault f) {
+  switch (f) {
+    case LineFault::kNone: return "none";
+    case LineFault::kOpen: return "open";
+    case LineFault::kShort: return "short";
+  }
+  return "?";
+}
+
+FaultSpec FaultSpec::scaled(double factor) const {
+  XLDS_REQUIRE(factor >= 0.0);
+  const auto clamp01 = [](double r) { return std::min(r, 1.0); };
+  FaultSpec s;
+  s.stuck_on_rate = clamp01(stuck_on_rate * factor);
+  s.stuck_off_rate = clamp01(stuck_off_rate * factor);
+  // Keep the cell-mechanism split valid even when clamping bites.
+  if (s.stuck_on_rate + s.stuck_off_rate > 1.0) {
+    const double total = s.stuck_on_rate + s.stuck_off_rate;
+    s.stuck_on_rate /= total;
+    s.stuck_off_rate /= total;
+  }
+  s.wordline_open_rate = clamp01(wordline_open_rate * factor);
+  s.wordline_short_rate = clamp01(wordline_short_rate * factor);
+  if (s.wordline_open_rate + s.wordline_short_rate > 1.0) {
+    const double total = s.wordline_open_rate + s.wordline_short_rate;
+    s.wordline_open_rate /= total;
+    s.wordline_short_rate /= total;
+  }
+  s.bitline_open_rate = clamp01(bitline_open_rate * factor);
+  s.bitline_short_rate = clamp01(bitline_short_rate * factor);
+  if (s.bitline_open_rate + s.bitline_short_rate > 1.0) {
+    const double total = s.bitline_open_rate + s.bitline_short_rate;
+    s.bitline_open_rate /= total;
+    s.bitline_short_rate /= total;
+  }
+  s.senseamp_dead_rate = clamp01(senseamp_dead_rate * factor);
+  return s;
+}
+
+FaultSpec FaultSpec::uniform_stuck(double rate) {
+  require_rate(rate, "stuck-cell");
+  FaultSpec s;
+  s.stuck_on_rate = rate / 2.0;
+  s.stuck_off_rate = rate / 2.0;
+  return s;
+}
+
+FaultSpec FaultSpec::mixed(double cell_rate) {
+  require_rate(cell_rate, "cell-fault");
+  FaultSpec s;
+  s.stuck_on_rate = 0.5 * cell_rate;
+  s.stuck_off_rate = 0.5 * cell_rate;
+  s.wordline_open_rate = 0.04 * cell_rate;
+  s.wordline_short_rate = 0.01 * cell_rate;
+  s.bitline_open_rate = 0.04 * cell_rate;
+  s.bitline_short_rate = 0.01 * cell_rate;
+  s.senseamp_dead_rate = 0.03 * cell_rate;
+  return s;
+}
+
+FaultMap::FaultMap(std::size_t rows, std::size_t cols)
+    : rows_(rows),
+      cols_(cols),
+      cell_(rows, cols, static_cast<std::uint8_t>(CellFault::kNone)),
+      row_line_(rows, static_cast<std::uint8_t>(LineFault::kNone)),
+      col_line_(cols, static_cast<std::uint8_t>(LineFault::kNone)),
+      row_break_(rows, 0),
+      col_break_(cols, 0),
+      row_sa_dead_(rows, 0),
+      col_sa_dead_(cols, 0) {
+  XLDS_REQUIRE(rows >= 1 && cols >= 1);
+}
+
+FaultMap FaultMap::generate(std::size_t rows, std::size_t cols, const FaultSpec& spec, Rng& rng) {
+  require_rate(spec.stuck_on_rate, "stuck-on");
+  require_rate(spec.stuck_off_rate, "stuck-off");
+  XLDS_REQUIRE_MSG(spec.cell_fault_rate() <= 1.0,
+                   "stuck-on + stuck-off rate " << spec.cell_fault_rate() << " exceeds 1");
+  require_rate(spec.wordline_open_rate, "wordline-open");
+  require_rate(spec.wordline_short_rate, "wordline-short");
+  require_rate(spec.bitline_open_rate, "bitline-open");
+  require_rate(spec.bitline_short_rate, "bitline-short");
+  require_rate(spec.senseamp_dead_rate, "senseamp-dead");
+
+  FaultMap map(rows, cols);
+
+  // Line and sense-amp populations are O(R + C): drawn sequentially on the
+  // calling thread from dedicated forked streams.
+  Rng line_rng = rng.fork(kLineStreamTag);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double u = line_rng.uniform();
+    if (u < spec.wordline_open_rate) {
+      map.row_line_[r] = static_cast<std::uint8_t>(LineFault::kOpen);
+      map.row_break_[r] = line_rng.uniform_u32(static_cast<std::uint32_t>(cols));
+    } else if (u < spec.wordline_open_rate + spec.wordline_short_rate) {
+      map.row_line_[r] = static_cast<std::uint8_t>(LineFault::kShort);
+    }
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    const double u = line_rng.uniform();
+    if (u < spec.bitline_open_rate) {
+      map.col_line_[c] = static_cast<std::uint8_t>(LineFault::kOpen);
+      map.col_break_[c] = line_rng.uniform_u32(static_cast<std::uint32_t>(rows));
+    } else if (u < spec.bitline_open_rate + spec.bitline_short_rate) {
+      map.col_line_[c] = static_cast<std::uint8_t>(LineFault::kShort);
+    }
+  }
+  Rng sense_rng = rng.fork(kSenseStreamTag);
+  for (std::size_t r = 0; r < rows; ++r)
+    map.row_sa_dead_[r] = sense_rng.bernoulli(spec.senseamp_dead_rate) ? 1 : 0;
+  for (std::size_t c = 0; c < cols; ++c)
+    map.col_sa_dead_[c] = sense_rng.bernoulli(spec.senseamp_dead_rate) ? 1 : 0;
+
+  // Per-cell population is O(R*C): row-chunked with one uniform per cell so
+  // every chunk's draws are a pure function of its chunk index.
+  const double p_on = spec.stuck_on_rate;
+  const double p_any = spec.stuck_on_rate + spec.stuck_off_rate;
+  if (p_any > 0.0) {
+    parallel_for_rng(rng, rows, 0,
+                     [&](Rng& chunk_rng, std::size_t begin, std::size_t end, std::size_t) {
+                       for (std::size_t r = begin; r < end; ++r) {
+                         auto* row = map.cell_.row_data(r);
+                         for (std::size_t c = 0; c < cols; ++c) {
+                           const double u = chunk_rng.uniform();
+                           if (u < p_on)
+                             row[c] = static_cast<std::uint8_t>(CellFault::kStuckOn);
+                           else if (u < p_any)
+                             row[c] = static_cast<std::uint8_t>(CellFault::kStuckOff);
+                         }
+                       }
+                     });
+  }
+  return map;
+}
+
+CellFault FaultMap::cell(std::size_t r, std::size_t c) const {
+  XLDS_REQUIRE(r < rows_ && c < cols_);
+  return static_cast<CellFault>(cell_(r, c));
+}
+
+CellFault FaultMap::effective(std::size_t r, std::size_t c) const {
+  XLDS_REQUIRE(r < rows_ && c < cols_);
+  const auto rf = static_cast<LineFault>(row_line_[r]);
+  if (rf == LineFault::kShort || (rf == LineFault::kOpen && c >= row_break_[r]))
+    return CellFault::kOpen;
+  const auto cf = static_cast<LineFault>(col_line_[c]);
+  if (cf == LineFault::kShort || (cf == LineFault::kOpen && r >= col_break_[c]))
+    return CellFault::kOpen;
+  return static_cast<CellFault>(cell_(r, c));
+}
+
+LineFault FaultMap::row_fault(std::size_t r) const {
+  XLDS_REQUIRE(r < rows_);
+  return static_cast<LineFault>(row_line_[r]);
+}
+
+LineFault FaultMap::col_fault(std::size_t c) const {
+  XLDS_REQUIRE(c < cols_);
+  return static_cast<LineFault>(col_line_[c]);
+}
+
+std::size_t FaultMap::row_break(std::size_t r) const {
+  XLDS_REQUIRE(r < rows_);
+  return row_break_[r];
+}
+
+std::size_t FaultMap::col_break(std::size_t c) const {
+  XLDS_REQUIRE(c < cols_);
+  return col_break_[c];
+}
+
+bool FaultMap::row_sense_dead(std::size_t r) const {
+  XLDS_REQUIRE(r < rows_);
+  return row_sa_dead_[r] != 0;
+}
+
+bool FaultMap::col_sense_dead(std::size_t c) const {
+  XLDS_REQUIRE(c < cols_);
+  return col_sa_dead_[c] != 0;
+}
+
+void FaultMap::set_cell(std::size_t r, std::size_t c, CellFault f) {
+  XLDS_REQUIRE(r < rows_ && c < cols_);
+  cell_(r, c) = static_cast<std::uint8_t>(f);
+}
+
+void FaultMap::set_row_fault(std::size_t r, LineFault f, std::size_t break_at) {
+  XLDS_REQUIRE(r < rows_);
+  XLDS_REQUIRE(f != LineFault::kOpen || break_at < cols_);
+  row_line_[r] = static_cast<std::uint8_t>(f);
+  row_break_[r] = static_cast<std::uint32_t>(f == LineFault::kOpen ? break_at : 0);
+}
+
+void FaultMap::set_col_fault(std::size_t c, LineFault f, std::size_t break_at) {
+  XLDS_REQUIRE(c < cols_);
+  XLDS_REQUIRE(f != LineFault::kOpen || break_at < rows_);
+  col_line_[c] = static_cast<std::uint8_t>(f);
+  col_break_[c] = static_cast<std::uint32_t>(f == LineFault::kOpen ? break_at : 0);
+}
+
+void FaultMap::set_row_sense_dead(std::size_t r, bool dead) {
+  XLDS_REQUIRE(r < rows_);
+  row_sa_dead_[r] = dead ? 1 : 0;
+}
+
+void FaultMap::set_col_sense_dead(std::size_t c, bool dead) {
+  XLDS_REQUIRE(c < cols_);
+  col_sa_dead_[c] = dead ? 1 : 0;
+}
+
+std::size_t FaultMap::fault_count() const { return fault_count_in(rows_, cols_); }
+
+std::size_t FaultMap::fault_count_in(std::size_t rows, std::size_t cols) const {
+  XLDS_REQUIRE(rows <= rows_ && cols <= cols_);
+  std::size_t n = 0;
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      if (effective(r, c) != CellFault::kNone) ++n;
+  return n;
+}
+
+std::size_t FaultMap::dead_row_sense_count() const {
+  std::size_t n = 0;
+  for (std::uint8_t d : row_sa_dead_) n += d;
+  return n;
+}
+
+std::size_t FaultMap::dead_col_sense_count() const {
+  std::size_t n = 0;
+  for (std::uint8_t d : col_sa_dead_) n += d;
+  return n;
+}
+
+bool FaultMap::fault_free() const {
+  return fault_count() == 0 && dead_row_sense_count() == 0 && dead_col_sense_count() == 0;
+}
+
+bool operator==(const FaultMap& a, const FaultMap& b) {
+  return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.cell_.data() == b.cell_.data() &&
+         a.row_line_ == b.row_line_ && a.col_line_ == b.col_line_ &&
+         a.row_break_ == b.row_break_ && a.col_break_ == b.col_break_ &&
+         a.row_sa_dead_ == b.row_sa_dead_ && a.col_sa_dead_ == b.col_sa_dead_;
+}
+
+}  // namespace xlds::fault

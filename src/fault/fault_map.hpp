@@ -1,0 +1,146 @@
+// Cross-layer hard-fault model (robustness axis of the paper's assessment).
+//
+// The paper's predictive-assessment argument is that device-level
+// non-idealities must be propagated to application accuracy before a
+// technology can be judged.  Variation and relaxation already flow end-to-end
+// through the device models; this module adds the *hard* failure mechanisms a
+// fabricated array exhibits:
+//   * stuck-at cells — a crosspoint pinned at G_on (always conducts) or
+//     G_off (never conducts), immune to programming and relaxation;
+//   * open / shorted word- and bit-lines — a broken line disconnects every
+//     cell beyond the break, a shorted line disables the whole row/column;
+//   * dead sense amplifiers — a matchline sensing chain (CAM rows) or ADC
+//     lane (crossbar columns) that never resolves.
+//
+// A `FaultMap` is a pure description of one array's defects, generated from a
+// `FaultSpec` (per-mechanism rates) with the deterministic forked-RNG streams
+// of util/parallel.hpp: the map is bit-identical at any XLDS_THREADS.  The
+// array simulators (xbar::Crossbar, the cam:: arrays) consume maps through
+// their `apply_fault_map` hooks; policies (spare remapping, re-query,
+// subarray exclusion) live in fault/policy.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace xlds::fault {
+
+/// Defect state of one crosspoint / CAM cell.
+enum class CellFault : std::uint8_t {
+  kNone = 0,
+  kStuckOn,   ///< pinned fully conducting (stuck-at-G_on / stuck-LRS)
+  kStuckOff,  ///< pinned non-conducting at the device's off state (stuck-HRS)
+  kOpen,      ///< electrically disconnected (zero conductance)
+};
+
+/// Defect state of a word- or bit-line.
+enum class LineFault : std::uint8_t {
+  kNone = 0,
+  kOpen,   ///< line broken at a position; cells beyond it are disconnected
+  kShort,  ///< line shorted to a neighbour/supply; the whole line is unusable
+};
+
+std::string to_string(CellFault f);
+std::string to_string(LineFault f);
+
+/// Per-mechanism defect rates.  Cell rates are per crosspoint, line rates per
+/// line, sense-amp rates per sensing chain.  All rates are probabilities in
+/// [0, 1] and stuck_on_rate + stuck_off_rate must not exceed 1.
+struct FaultSpec {
+  double stuck_on_rate = 0.0;
+  double stuck_off_rate = 0.0;
+  double wordline_open_rate = 0.0;
+  double wordline_short_rate = 0.0;
+  double bitline_open_rate = 0.0;
+  double bitline_short_rate = 0.0;
+  double senseamp_dead_rate = 0.0;
+
+  double cell_fault_rate() const { return stuck_on_rate + stuck_off_rate; }
+
+  /// Every rate multiplied by `factor` and clamped to [0, 1] — the sweep
+  /// helper: a mechanism *mix* scaled along a single fault-rate axis.
+  FaultSpec scaled(double factor) const;
+
+  /// Pure stuck-cell population at the given rate, split evenly between
+  /// stuck-on and stuck-off (no line or sense-amp faults).
+  static FaultSpec uniform_stuck(double rate);
+
+  /// A representative foundry mix, normalised so the *cell* fault rate equals
+  /// `cell_rate`: 45/45 stuck-on/off, with line opens/shorts and dead sense
+  /// amps at a few percent of the cell rate each.
+  static FaultSpec mixed(double cell_rate);
+};
+
+/// Immutable-after-generation defect map of one rows x cols array.
+class FaultMap {
+ public:
+  FaultMap() = default;
+
+  /// A fault-free map of the given geometry.
+  FaultMap(std::size_t rows, std::size_t cols);
+
+  /// Sample a map from the spec.  Line and sense-amp draws come from streams
+  /// forked off `rng` on the calling thread; per-cell draws run under
+  /// parallel_for_rng with row-chunked streams — the result is a pure
+  /// function of (rows, cols, spec, rng state), never the thread count.
+  static FaultMap generate(std::size_t rows, std::size_t cols, const FaultSpec& spec, Rng& rng);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  /// Raw per-cell defect (line faults not folded in).
+  CellFault cell(std::size_t r, std::size_t c) const;
+
+  /// Defect seen by the cell once line faults are folded in: a shorted line
+  /// disables every cell on it, an open line disconnects cells at or beyond
+  /// the break position.  Line-level disconnection overrides the cell state.
+  CellFault effective(std::size_t r, std::size_t c) const;
+
+  LineFault row_fault(std::size_t r) const;
+  LineFault col_fault(std::size_t c) const;
+  /// Break position of an open line (first disconnected cell index).
+  std::size_t row_break(std::size_t r) const;
+  std::size_t col_break(std::size_t c) const;
+
+  /// Dead matchline sensing chain of a row (CAM orientation).
+  bool row_sense_dead(std::size_t r) const;
+  /// Dead ADC/sensing lane of a column (crossbar orientation).
+  bool col_sense_dead(std::size_t c) const;
+
+  // Builders for hand-constructed and remapped (residual) maps.
+  void set_cell(std::size_t r, std::size_t c, CellFault f);
+  void set_row_fault(std::size_t r, LineFault f, std::size_t break_at = 0);
+  void set_col_fault(std::size_t c, LineFault f, std::size_t break_at = 0);
+  void set_row_sense_dead(std::size_t r, bool dead);
+  void set_col_sense_dead(std::size_t c, bool dead);
+
+  /// Crosspoints whose effective() state is not kNone.
+  std::size_t fault_count() const;
+  /// Same, restricted to the top-left rows x cols window.
+  std::size_t fault_count_in(std::size_t rows, std::size_t cols) const;
+  std::size_t dead_row_sense_count() const;
+  std::size_t dead_col_sense_count() const;
+  /// No effective cell faults and no dead sensing chains anywhere.
+  bool fault_free() const;
+
+  friend bool operator==(const FaultMap& a, const FaultMap& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  Matrix<std::uint8_t> cell_;
+  std::vector<std::uint8_t> row_line_;
+  std::vector<std::uint8_t> col_line_;
+  std::vector<std::uint32_t> row_break_;
+  std::vector<std::uint32_t> col_break_;
+  std::vector<std::uint8_t> row_sa_dead_;
+  std::vector<std::uint8_t> col_sa_dead_;
+};
+
+}  // namespace xlds::fault

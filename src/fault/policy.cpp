@@ -1,0 +1,160 @@
+#include "fault/policy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace xlds::fault {
+
+namespace {
+
+constexpr std::uint64_t kYieldStreamTag = 0x11E1DFA7;
+
+/// Row-local badness: the row line, its sensing chain, or any of its cells.
+/// Column problems are the column pass's job, so raw cell states are used
+/// (folding column-line faults in here would mark every row bad at once).
+bool row_bad(const FaultMap& map, std::size_t r) {
+  if (map.row_fault(r) != LineFault::kNone || map.row_sense_dead(r)) return true;
+  for (std::size_t c = 0; c < map.cols(); ++c)
+    if (map.cell(r, c) != CellFault::kNone) return true;
+  return false;
+}
+
+bool col_bad(const FaultMap& map, std::size_t c, const std::vector<std::size_t>& selected_rows) {
+  if (map.col_fault(c) != LineFault::kNone || map.col_sense_dead(c)) return true;
+  for (std::size_t pr : selected_rows) {
+    if (map.cell(pr, c) != CellFault::kNone) return true;
+    // A row-line open reaching this column is a per-(row, col) disconnect the
+    // row pass may have accepted (spares exhausted); swapping the column
+    // cannot fix it, so it does not make the column bad.
+  }
+  return false;
+}
+
+}  // namespace
+
+RemapPlan plan_spare_remap(const FaultMap& physical, std::size_t logical_rows,
+                           std::size_t logical_cols) {
+  XLDS_REQUIRE(logical_rows >= 1 && logical_cols >= 1);
+  XLDS_REQUIRE_MSG(physical.rows() >= logical_rows && physical.cols() >= logical_cols,
+                   "physical map " << physical.rows() << 'x' << physical.cols()
+                                   << " smaller than logical " << logical_rows << 'x'
+                                   << logical_cols);
+  RemapPlan plan;
+  plan.row_of.resize(logical_rows);
+  plan.col_of.resize(logical_cols);
+
+  // Row pass: steer bad logical rows onto clean spare rows, in index order.
+  std::vector<std::size_t> spare_rows;
+  for (std::size_t r = logical_rows; r < physical.rows(); ++r)
+    if (!row_bad(physical, r)) spare_rows.push_back(r);
+  std::size_t next_spare_row = 0;
+  for (std::size_t lr = 0; lr < logical_rows; ++lr) {
+    if (row_bad(physical, lr) && next_spare_row < spare_rows.size()) {
+      plan.row_of[lr] = spare_rows[next_spare_row++];
+      ++plan.remapped_rows;
+    } else {
+      plan.row_of[lr] = lr;
+    }
+  }
+
+  // Column pass over the selected rows.
+  std::vector<std::size_t> spare_cols;
+  for (std::size_t c = logical_cols; c < physical.cols(); ++c)
+    if (!col_bad(physical, c, plan.row_of)) spare_cols.push_back(c);
+  std::size_t next_spare_col = 0;
+  for (std::size_t lc = 0; lc < logical_cols; ++lc) {
+    if (col_bad(physical, lc, plan.row_of) && next_spare_col < spare_cols.size()) {
+      plan.col_of[lc] = spare_cols[next_spare_col++];
+      ++plan.remapped_cols;
+    } else {
+      plan.col_of[lc] = lc;
+    }
+  }
+
+  for (std::size_t lr = 0; lr < logical_rows; ++lr)
+    for (std::size_t lc = 0; lc < logical_cols; ++lc)
+      if (physical.effective(plan.row_of[lr], plan.col_of[lc]) != CellFault::kNone)
+        ++plan.residual_faults;
+  for (std::size_t lr = 0; lr < logical_rows; ++lr)
+    if (physical.row_sense_dead(plan.row_of[lr])) ++plan.residual_faults;
+  for (std::size_t lc = 0; lc < logical_cols; ++lc)
+    if (physical.col_sense_dead(plan.col_of[lc])) ++plan.residual_faults;
+  return plan;
+}
+
+FaultMap residual_fault_map(const FaultMap& physical, const RemapPlan& plan) {
+  XLDS_REQUIRE(!plan.row_of.empty() && !plan.col_of.empty());
+  FaultMap logical(plan.row_of.size(), plan.col_of.size());
+  for (std::size_t lr = 0; lr < plan.row_of.size(); ++lr) {
+    for (std::size_t lc = 0; lc < plan.col_of.size(); ++lc) {
+      // Line faults fold into per-cell states here: a column permutation has
+      // no meaningful "break position" in the logical frame.
+      const CellFault f = physical.effective(plan.row_of[lr], plan.col_of[lc]);
+      if (f != CellFault::kNone) logical.set_cell(lr, lc, f);
+    }
+    logical.set_row_sense_dead(lr, physical.row_sense_dead(plan.row_of[lr]));
+  }
+  for (std::size_t lc = 0; lc < plan.col_of.size(); ++lc)
+    logical.set_col_sense_dead(lc, physical.col_sense_dead(plan.col_of[lc]));
+  return logical;
+}
+
+RemapOutcome remapped_fault_map(std::size_t rows, std::size_t cols, const FaultSpec& spec,
+                                const GracefulPolicies& policies, Rng& rng) {
+  const FaultMap physical =
+      FaultMap::generate(rows + policies.spare_rows, cols + policies.spare_cols, spec, rng);
+  RemapOutcome out;
+  out.unrepaired_faults = physical.fault_count_in(rows, cols);
+  out.plan = plan_spare_remap(physical, rows, cols);
+  out.residual = residual_fault_map(physical, out.plan);
+  return out;
+}
+
+PolicyCost policy_cost(const GracefulPolicies& policies, std::size_t rows, std::size_t cols) {
+  XLDS_REQUIRE(rows >= 1 && cols >= 1);
+  XLDS_REQUIRE_MSG(policies.requery_votes >= 1 && policies.requery_votes % 2 == 1,
+                   "requery_votes must be odd and >= 1, got " << policies.requery_votes);
+  PolicyCost cost;
+  cost.area_factor = static_cast<double>((rows + policies.spare_rows) *
+                                         (cols + policies.spare_cols)) /
+                     static_cast<double>(rows * cols);
+  cost.latency_factor = static_cast<double>(policies.requery_votes);
+  cost.energy_factor = static_cast<double>(policies.requery_votes);
+  return cost;
+}
+
+YieldEstimate estimate_yield(std::size_t rows, std::size_t cols, const FaultSpec& spec,
+                             const GracefulPolicies& policies, double max_residual_fraction,
+                             std::size_t n_arrays, Rng& rng) {
+  XLDS_REQUIRE(n_arrays >= 1);
+  XLDS_REQUIRE(max_residual_fraction >= 0.0);
+  Rng yield_rng = rng.fork(kYieldStreamTag);
+  const std::size_t chunk = default_parallel_chunk(n_arrays);
+  const std::size_t n_chunks = (n_arrays + chunk - 1) / chunk;
+  std::vector<std::size_t> usable(n_chunks, 0);
+  std::vector<double> frac_sum(n_chunks, 0.0);
+  const double logical_cells = static_cast<double>(rows * cols);
+  parallel_for_rng(yield_rng, n_arrays, chunk,
+                   [&](Rng& chunk_rng, std::size_t begin, std::size_t end, std::size_t ci) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                       const RemapOutcome out =
+                           remapped_fault_map(rows, cols, spec, policies, chunk_rng);
+                       const double frac =
+                           static_cast<double>(out.plan.residual_faults) / logical_cells;
+                       frac_sum[ci] += frac;
+                       if (frac <= max_residual_fraction) ++usable[ci];
+                     }
+                   });
+  YieldEstimate est;
+  est.arrays = n_arrays;
+  const auto n_usable = std::accumulate(usable.begin(), usable.end(), std::size_t{0});
+  est.yield = static_cast<double>(n_usable) / static_cast<double>(n_arrays);
+  est.mean_residual_fraction =
+      std::accumulate(frac_sum.begin(), frac_sum.end(), 0.0) / static_cast<double>(n_arrays);
+  return est;
+}
+
+}  // namespace xlds::fault

@@ -1,0 +1,111 @@
+// Graceful-degradation policies over defect maps.
+//
+// Three standard mitigations, each toggleable so its cost shows up in the
+// evaluator / Eva-CAM figures of merit:
+//   * spare row/column remapping — the array is fabricated with spare lines;
+//     faulty logical lines are steered onto clean spares (laser-fuse style),
+//     paying area for yield;
+//   * match-line majority re-query — a search is repeated an odd number of
+//     times and the majority winner taken, paying latency/energy to average
+//     out sensing noise on marginal (partially faulty) rows;
+//   * subarray exclusion — a partitioned array drops segments whose residual
+//     fault fraction exceeds a threshold, paying capacity/aggregation signal.
+//
+// `plan_spare_remap` produces a logical->physical line assignment from a
+// physical FaultMap; `residual_fault_map` projects the physical defects the
+// plan could not hide into the logical array's coordinate frame, which is
+// what the array simulators actually consume.  `estimate_yield` Monte-Carlo
+// samples arrays from a FaultSpec and reports the fraction usable under the
+// policies — the array-yield axis of the resilience sweeps.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fault/fault_map.hpp"
+#include "util/rng.hpp"
+
+namespace xlds::fault {
+
+struct GracefulPolicies {
+  std::size_t spare_rows = 0;
+  std::size_t spare_cols = 0;
+  /// Odd number of repeated searches per query; 1 disables re-query.
+  std::size_t requery_votes = 1;
+  /// Drop partitioned-CAM segments whose residual faulty-cell fraction
+  /// exceeds `exclusion_threshold` (at least one segment always stays).
+  bool exclude_subarrays = false;
+  double exclusion_threshold = 0.05;
+};
+
+/// Logical->physical line assignment chosen by the spare allocator.
+struct RemapPlan {
+  std::vector<std::size_t> row_of;  ///< physical row of each logical row
+  std::vector<std::size_t> col_of;  ///< physical column of each logical column
+  std::size_t remapped_rows = 0;
+  std::size_t remapped_cols = 0;
+  /// Effective cell faults + dead sensing chains left inside the logical
+  /// window after remapping.
+  std::size_t residual_faults = 0;
+};
+
+/// Greedy spare allocation on a physical map whose geometry includes the
+/// spares (physical.rows() >= logical_rows, physical.cols() >= logical_cols).
+/// Rows are repaired first (a logical row moves to a clean spare row when its
+/// own line, sense amp, or any of its cells is faulty), then columns over the
+/// selected rows.  Faulty lines beyond the spare budget stay in place.
+RemapPlan plan_spare_remap(const FaultMap& physical, std::size_t logical_rows,
+                           std::size_t logical_cols);
+
+/// The logical-frame defect map left after applying `plan`: per-cell faults
+/// are physical.effective() at the remapped coordinates (line faults folded
+/// in), and sensing-chain states follow the selected lines.
+FaultMap residual_fault_map(const FaultMap& physical, const RemapPlan& plan);
+
+/// Convenience bundle: sample a physical map (geometry grown by the policy's
+/// spares), plan the remap, and return the logical residual map.
+struct RemapOutcome {
+  FaultMap residual;
+  RemapPlan plan;
+  /// Effective cell faults in the unremapped logical window (what the array
+  /// would have suffered with no spares).
+  std::size_t unrepaired_faults = 0;
+};
+
+RemapOutcome remapped_fault_map(std::size_t rows, std::size_t cols, const FaultSpec& spec,
+                                const GracefulPolicies& policies, Rng& rng);
+
+/// What a fault-injection pass over a (possibly partitioned) array did.
+struct FaultInjectionStats {
+  std::size_t injected_cells = 0;  ///< effective cell faults before remapping
+  std::size_t residual_cells = 0;  ///< faults the spare remap could not hide
+  std::size_t remapped_rows = 0;
+  std::size_t remapped_cols = 0;
+  std::size_t excluded_segments = 0;
+};
+
+/// Multiplicative figure-of-merit overheads of the enabled policies, for
+/// folding into Eva-CAM style array FOMs.
+struct PolicyCost {
+  double area_factor = 1.0;     ///< spare lines enlarge the array
+  double latency_factor = 1.0;  ///< serial re-queries
+  double energy_factor = 1.0;   ///< re-query energy per effective search
+};
+
+PolicyCost policy_cost(const GracefulPolicies& policies, std::size_t rows, std::size_t cols);
+
+struct YieldEstimate {
+  double yield = 0.0;  ///< usable arrays / sampled arrays
+  double mean_residual_fraction = 0.0;  ///< residual faults / logical cells, mean
+  std::size_t arrays = 0;
+};
+
+/// Monte-Carlo array yield at a fault spec: sample `n_arrays` physical maps
+/// (with the policy's spares), remap, and count arrays whose residual fault
+/// fraction is at most `max_residual_fraction`.  Parallelised with the
+/// deterministic chunked streams: identical at any XLDS_THREADS.
+YieldEstimate estimate_yield(std::size_t rows, std::size_t cols, const FaultSpec& spec,
+                             const GracefulPolicies& policies, double max_residual_fraction,
+                             std::size_t n_arrays, Rng& rng);
+
+}  // namespace xlds::fault

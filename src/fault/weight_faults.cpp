@@ -1,0 +1,64 @@
+#include "fault/weight_faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xlds::fault {
+
+double WearoutBer::at(double age_fraction, double wear_fraction) const {
+  XLDS_REQUIRE(age_fraction >= 0.0 && wear_fraction >= 0.0);
+  double ber = base_ber;
+  if (age_fraction > 0.0) ber += base_ber * std::expm1(retention_alpha * age_fraction);
+  if (wear_fraction > 0.0) ber += base_ber * std::expm1(endurance_beta * wear_fraction);
+  return std::min(ber, 0.5);
+}
+
+std::size_t flip_quantised_weight_bits(nn::Network& net, double ber, Rng& rng) {
+  XLDS_REQUIRE(ber >= 0.0 && ber <= 0.5);
+  if (ber == 0.0) return 0;
+  // Weights stored as int8 over a symmetric [-max|w|, +max|w|] scale.
+  double w_max = 0.0;
+  net.visit_weights([&](double& w) { w_max = std::max(w_max, std::abs(w)); });
+  if (w_max == 0.0) return 0;
+  const double scale = w_max / 127.0;
+
+  std::size_t flipped = 0;
+  net.visit_weights([&](double& w) {
+    auto code = static_cast<std::int8_t>(
+        std::clamp(std::lround(w / scale), long{-127}, long{127}));
+    auto bits = static_cast<std::uint8_t>(code);
+    for (int b = 0; b < 8; ++b) {
+      if (rng.bernoulli(ber)) {
+        bits ^= static_cast<std::uint8_t>(1u << b);
+        ++flipped;
+      }
+    }
+    w = static_cast<double>(static_cast<std::int8_t>(bits)) * scale;
+  });
+  return flipped;
+}
+
+WeightFaultCounts pin_stuck_weights(nn::Network& net, double stuck_on_rate,
+                                    double stuck_off_rate, Rng& rng) {
+  XLDS_REQUIRE(stuck_on_rate >= 0.0 && stuck_off_rate >= 0.0);
+  XLDS_REQUIRE(stuck_on_rate + stuck_off_rate <= 1.0);
+  double w_max = 0.0;
+  net.visit_weights([&](double& w) { w_max = std::max(w_max, std::abs(w)); });
+
+  WeightFaultCounts counts;
+  net.visit_weights([&](double& w) {
+    const double u = rng.uniform();
+    if (u < stuck_on_rate) {
+      w = std::copysign(w_max, w);
+      ++counts.stuck_on;
+    } else if (u < stuck_on_rate + stuck_off_rate) {
+      w = 0.0;
+      ++counts.stuck_off;
+    }
+  });
+  return counts;
+}
+
+}  // namespace xlds::fault

@@ -1,0 +1,45 @@
+// Application-layer fault injection for networks stored in NVM: the single
+// bit-flip / stuck-weight implementation the repo's memory lanes share
+// (nvsim::inject_weight_faults is a thin wrapper over these primitives).
+// Injection goes through nn::Layer::visit_weights, so every layer kind —
+// dense, convolutional, whatever is added later — is covered by one hook.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/network.hpp"
+#include "util/rng.hpp"
+
+namespace xlds::fault {
+
+/// Raw-bit-error-rate wear model: a programming-error floor compounded by
+/// retention loss and endurance wear, each growing exponentially as the
+/// respective fraction-of-spec approaches 1.  Mirrors the NVMExplorer-style
+/// lifetime model; capped at 0.5 (a fully scrambled bit).
+struct WearoutBer {
+  double base_ber = 1e-9;
+  double retention_alpha = 12.0;  ///< ber multiplies by ~e^alpha at age == retention spec
+  double endurance_beta = 12.0;   ///< ...and by ~e^beta at writes == endurance spec
+
+  /// BER at `age_fraction` = age / retention spec and `wear_fraction` =
+  /// writes / endurance spec (pass 0 for mechanisms without a spec).
+  double at(double age_fraction, double wear_fraction) const;
+};
+
+/// Int8-quantise every weight (symmetric [-max|w|, max|w|] scale), flip each
+/// stored bit with probability `ber`, dequantise back.  Returns the number of
+/// flipped bits; the caller restores weights from a snapshot if needed.
+std::size_t flip_quantised_weight_bits(nn::Network& net, double ber, Rng& rng);
+
+struct WeightFaultCounts {
+  std::size_t stuck_on = 0;   ///< weights pinned at full magnitude
+  std::size_t stuck_off = 0;  ///< weights pinned at zero
+};
+
+/// Stuck-cell faults at the weight level: a stuck-on cell pins the weight at
+/// the array's full-scale magnitude (sign preserved — the differential pair's
+/// healthy half still sets polarity), a stuck-off/open cell zeroes it.
+WeightFaultCounts pin_stuck_weights(nn::Network& net, double stuck_on_rate,
+                                    double stuck_off_rate, Rng& rng);
+
+}  // namespace xlds::fault

@@ -57,6 +57,25 @@ std::size_t HdcCamInference::classify(const std::vector<double>& x) const {
   return cam_.search(query_digits(x)).best_row;
 }
 
+std::size_t HdcCamInference::classify(const std::vector<double>& x, std::size_t votes) const {
+  XLDS_REQUIRE_MSG(votes >= 1 && votes % 2 == 1, "votes must be odd, got " << votes);
+  if (votes == 1) return classify(x);
+  const std::vector<int> q = query_digits(x);
+  std::vector<std::size_t> tally(model_.n_classes(), 0);
+  for (std::size_t v = 0; v < votes; ++v) ++tally[cam_.search(q).best_row];
+  std::size_t best = 0;
+  for (std::size_t cls = 1; cls < tally.size(); ++cls)
+    if (tally[cls] > tally[best]) best = cls;
+  return best;
+}
+
+fault::FaultInjectionStats HdcCamInference::inject_faults(
+    const fault::FaultSpec& spec, const fault::GracefulPolicies& policies, Rng& rng) {
+  return cam_.inject_faults(spec, policies, rng);
+}
+
+void HdcCamInference::age(double dt) { cam_.age(dt); }
+
 xbar::MvmCost HdcCamInference::encode_cost() const {
   return encoder_.has_value() ? encoder_->mvm_cost() : xbar::MvmCost{};
 }
@@ -68,6 +87,16 @@ double HdcCamInference::accuracy(const std::vector<std::vector<double>>& xs,
   std::size_t correct = 0;
   for (std::size_t i = 0; i < xs.size(); ++i)
     if (classify(xs[i]) == ys[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(xs.size());
+}
+
+double HdcCamInference::accuracy(const std::vector<std::vector<double>>& xs,
+                                 const std::vector<std::size_t>& ys, std::size_t votes) const {
+  XLDS_REQUIRE(xs.size() == ys.size());
+  XLDS_REQUIRE(!xs.empty());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    if (classify(xs[i], votes) == ys[i]) ++correct;
   return static_cast<double>(correct) / static_cast<double>(xs.size());
 }
 

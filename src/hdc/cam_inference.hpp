@@ -40,8 +40,24 @@ class HdcCamInference {
   /// Classify an input end-to-end (software encode, CAM search).
   std::size_t classify(const std::vector<double>& x) const;
 
+  /// Majority-of-`votes` classification (odd; 1 = single search) — the
+  /// match-line re-query degradation policy.  Ties break toward the lowest
+  /// class index.
+  std::size_t classify(const std::vector<double>& x, std::size_t votes) const;
+
   double accuracy(const std::vector<std::vector<double>>& xs,
                   const std::vector<std::size_t>& ys) const;
+
+  double accuracy(const std::vector<std::vector<double>>& xs,
+                  const std::vector<std::size_t>& ys, std::size_t votes) const;
+
+  /// Inject defects into the underlying partitioned CAM (see
+  /// cam::PartitionedCam::inject_faults).
+  fault::FaultInjectionStats inject_faults(const fault::FaultSpec& spec,
+                                           const fault::GracefulPolicies& policies, Rng& rng);
+
+  /// Apply `dt` seconds of retention loss to the CAM arrays.
+  void age(double dt);
 
   /// Circuit cost of one query's associative search.
   cam::SearchCost search_cost() const;

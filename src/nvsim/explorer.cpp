@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fault/weight_faults.hpp"
 #include "util/error.hpp"
 
 namespace xlds::nvsim {
@@ -10,12 +11,16 @@ namespace xlds::nvsim {
 double FaultModel::bit_error_rate(const device::DeviceTraits& dev, double age_s,
                                   double writes) const {
   XLDS_REQUIRE(age_s >= 0.0 && writes >= 0.0);
-  double ber = base_ber;
-  if (dev.retention_s > 0.0)
-    ber += base_ber * std::expm1(retention_alpha * age_s / dev.retention_s);
-  if (dev.endurance_cycles > 0.0)
-    ber += base_ber * std::expm1(endurance_beta * writes / dev.endurance_cycles);
-  return std::min(ber, 0.5);
+  // Delegates to the fault-subsystem wearout curve; the device traits only
+  // normalise age/writes to the spec fractions.
+  fault::WearoutBer ber;
+  ber.base_ber = base_ber;
+  ber.retention_alpha = retention_alpha;
+  ber.endurance_beta = endurance_beta;
+  const double age_fraction = dev.retention_s > 0.0 ? age_s / dev.retention_s : 0.0;
+  const double wear_fraction =
+      dev.endurance_cycles > 0.0 ? writes / dev.endurance_cycles : 0.0;
+  return ber.at(age_fraction, wear_fraction);
 }
 
 NvmExplorer::NvmExplorer(NvRamConfig memory, FaultModel faults, TrafficProfile traffic)
@@ -51,28 +56,7 @@ double NvmExplorer::ber_at(double age_s) const {
 }
 
 std::size_t inject_weight_faults(nn::Network& net, double ber, Rng& rng) {
-  XLDS_REQUIRE(ber >= 0.0 && ber <= 0.5);
-  if (ber == 0.0) return 0;
-  // Weights stored as int8 over a symmetric [-max|w|, +max|w|] scale.
-  double w_max = 0.0;
-  net.visit_weights([&](double& w) { w_max = std::max(w_max, std::abs(w)); });
-  if (w_max == 0.0) return 0;
-  const double scale = w_max / 127.0;
-
-  std::size_t flipped = 0;
-  net.visit_weights([&](double& w) {
-    auto code = static_cast<std::int8_t>(
-        std::clamp(std::lround(w / scale), long{-127}, long{127}));
-    auto bits = static_cast<std::uint8_t>(code);
-    for (int b = 0; b < 8; ++b) {
-      if (rng.bernoulli(ber)) {
-        bits ^= static_cast<std::uint8_t>(1u << b);
-        ++flipped;
-      }
-    }
-    w = static_cast<double>(static_cast<std::int8_t>(bits)) * scale;
-  });
-  return flipped;
+  return fault::flip_quantised_weight_bits(net, ber, rng);
 }
 
 double NvmExplorer::dnn_accuracy_at(nn::Network& net,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iostream>
 
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -28,11 +29,13 @@ Crossbar::Crossbar(CrossbarConfig config, Rng& rng)
                        device::tech_node(config.tech).feature_m),
       rng_(rng.fork(kXbarStreamTag)),
       g_(config.rows, config.cols, config.rram.g_min),
-      stuck_(config.rows, config.cols, 0) {
+      stuck_(config.rows, config.cols, 0),
+      adc_dead_(config.cols, 0) {
   XLDS_REQUIRE(config_.rows >= 1 && config_.cols >= 1);
   XLDS_REQUIRE(config_.read_voltage > 0.0);
   XLDS_REQUIRE(config_.adcs_per_array >= 1);
   XLDS_REQUIRE(config_.settle_time > 0.0);
+  XLDS_REQUIRE(config_.nodal_max_iters >= 1);
 }
 
 void Crossbar::program_conductances(const MatrixD& targets) {
@@ -87,7 +90,32 @@ void Crossbar::inject_stuck_fault(std::size_t row, std::size_t col, double g_stu
   XLDS_REQUIRE(row < config_.rows && col < config_.cols);
   XLDS_REQUIRE(g_stuck >= 0.0);
   stuck_(row, col) = 1;
-  g_(row, col) = std::clamp(g_stuck, config_.rram.g_min, config_.rram.g_max);
+  // Lower bound is 0 (an open cell draws no current), upper the device max.
+  g_(row, col) = std::clamp(g_stuck, 0.0, config_.rram.g_max);
+}
+
+void Crossbar::apply_fault_map(const fault::FaultMap& map) {
+  XLDS_REQUIRE_MSG(map.rows() == config_.rows && map.cols() == config_.cols,
+                   "fault map " << map.rows() << 'x' << map.cols() << " does not fit "
+                                << config_.rows << 'x' << config_.cols << " array");
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    for (std::size_t c = 0; c < config_.cols; ++c) {
+      switch (map.effective(r, c)) {
+        case fault::CellFault::kNone: break;
+        case fault::CellFault::kStuckOn: inject_stuck_fault(r, c, config_.rram.g_max); break;
+        case fault::CellFault::kStuckOff: inject_stuck_fault(r, c, config_.rram.g_min); break;
+        case fault::CellFault::kOpen: inject_stuck_fault(r, c, 0.0); break;
+      }
+    }
+  }
+  for (std::size_t c = 0; c < config_.cols; ++c)
+    if (map.col_sense_dead(c)) adc_dead_[c] = 1;
+}
+
+std::size_t Crossbar::dead_adc_lanes() const {
+  std::size_t n = 0;
+  for (std::uint8_t d : adc_dead_) n += d;
+  return n;
 }
 
 std::size_t Crossbar::inject_random_stuck_faults(double fraction, double g_stuck) {
@@ -231,14 +259,13 @@ std::vector<double> Crossbar::currents_nodal(const std::vector<double>& v_in) co
     return row_delta;
   };
 
-  constexpr int kMaxIters = 2000;
   constexpr double kTol = 1e-7;
   // Chunk size is a function of R only — determinism contract.
   const std::size_t row_chunk = std::max<std::size_t>(8, R / 16);
   std::vector<double> row_delta(R, 0.0);
-  nodal_iterations_ = 0;
-  for (int iter = 0; iter < kMaxIters; ++iter) {
-    ++nodal_iterations_;
+  nodal_status_ = SolveStatus{};
+  for (int iter = 0; iter < config_.nodal_max_iters; ++iter) {
+    ++nodal_status_.iterations;
     double max_delta = 0.0;
     for (std::size_t colour = 0; colour < 2; ++colour) {
       parallel_for(R, row_chunk, [&](std::size_t begin, std::size_t end, std::size_t) {
@@ -247,7 +274,25 @@ std::vector<double> Crossbar::currents_nodal(const std::vector<double>& v_in) co
       // max() over a fixed index order: bit-identical at any thread count.
       for (std::size_t r = 0; r < R; ++r) max_delta = std::max(max_delta, row_delta[r]);
     }
-    if (max_delta < kTol * config_.read_voltage) break;
+    nodal_status_.residual = max_delta;
+    if (max_delta < kTol * config_.read_voltage) {
+      nodal_status_.converged = true;
+      break;
+    }
+  }
+  if (!nodal_status_.converged) {
+    // An unconverged iterate is a silently wrong answer; the two-pass analytic
+    // estimate is a bounded-error approximation of the same network, so fall
+    // back to it and say so (once per array — sweeps reuse the instance).
+    nodal_status_.used_fallback = true;
+    if (!nodal_warned_) {
+      nodal_warned_ = true;
+      std::cerr << "[xlds] warning: nodal solve did not converge after "
+                << nodal_status_.iterations << " iterations (residual "
+                << nodal_status_.residual << " V on a " << R << 'x' << C
+                << " array); falling back to the analytic IR-drop estimate\n";
+    }
+    return currents_analytic(v_in);
   }
   // Read the column current as the sum of cell currents: identical to the
   // bottom-segment current at convergence, but far better conditioned than
@@ -288,6 +333,9 @@ std::vector<double> Crossbar::column_currents(const std::vector<double>& input) 
       i = std::max(0.0, i + rng_.normal(0.0, sigma));
     }
   }
+  // A dead sensing lane resolves nothing: the column reads as zero current.
+  for (std::size_t c = 0; c < config_.cols; ++c)
+    if (adc_dead_[c]) currents[c] = 0.0;
   return currents;
 }
 

@@ -19,6 +19,7 @@
 #include "circuit/converter.hpp"
 #include "device/rram.hpp"
 #include "device/technology.hpp"
+#include "fault/fault_map.hpp"
 #include "util/matrix.hpp"
 #include "util/rng.hpp"
 
@@ -46,6 +47,15 @@ struct CrossbarConfig {
   IrDropMode ir_drop = IrDropMode::kAnalytic;
   double read_noise_rel = 0.005;  ///< column-current read noise, fraction of the measured current
   double settle_time = 1.0e-9;    ///< analog settling window per MVM, s
+  int nodal_max_iters = 2000;     ///< Gauss-Seidel iteration budget (kNodal mode)
+};
+
+/// Outcome of the most recent nodal (Gauss-Seidel) solve.
+struct SolveStatus {
+  bool converged = false;
+  std::size_t iterations = 0;
+  double residual = 0.0;      ///< largest node-voltage update of the last sweep, V
+  bool used_fallback = false; ///< analytic estimate substituted for an unconverged solve
 };
 
 /// Cost of one analog MVM through the array.
@@ -79,10 +89,20 @@ class Crossbar {
   /// Apply conductance relaxation for `dt` seconds to every device.
   void age(double dt);
 
-  /// Fault injection: pin the crosspoint at `g_stuck` siemens.  Stuck cells
-  /// ignore all subsequent programming and relaxation — the stuck-at-LRS /
+  /// Fault injection: pin the crosspoint at `g_stuck` siemens (0 models an
+  /// open cell; values are clamped to [0, g_max]).  Stuck cells ignore all
+  /// subsequent programming and relaxation — the stuck-at-LRS /
   /// stuck-at-HRS defects defect-aware training works around.
   void inject_stuck_fault(std::size_t row, std::size_t col, double g_stuck);
+
+  /// Apply a defect map (same geometry as the array): stuck-on cells pin at
+  /// g_max, stuck-off at g_min, opens (including cells cut off by line
+  /// faults) at zero conductance, and dead column sense lanes force the
+  /// corresponding column current to read 0.  Consumes no RNG.
+  void apply_fault_map(const fault::FaultMap& map);
+
+  /// Columns whose ADC/sensing lane is dead.
+  std::size_t dead_adc_lanes() const;
 
   /// Pin `fraction` of the crosspoints (chosen by the internal RNG) at the
   /// given conductance.  Returns the number of cells stuck.
@@ -115,7 +135,13 @@ class Crossbar {
   /// Gauss-Seidel iterations the most recent nodal solve took — the
   /// iteration-count parity check for the red-black ordering (identical at
   /// any thread count).
-  std::size_t last_nodal_iterations() const noexcept { return nodal_iterations_; }
+  std::size_t last_nodal_iterations() const noexcept { return nodal_status_.iterations; }
+
+  /// Full status of the most recent nodal solve.  When the iteration budget
+  /// runs out before convergence, column_currents falls back to the analytic
+  /// estimate (used_fallback is set) instead of returning unconverged
+  /// currents, and a warning is logged once per array.
+  const SolveStatus& last_nodal_status() const noexcept { return nodal_status_; }
 
  private:
   std::vector<double> currents_ideal(const std::vector<double>& v_in) const;
@@ -126,9 +152,11 @@ class Crossbar {
   device::RramModel model_;
   double wire_r_per_cell_;  ///< ohm per crosspoint pitch
   mutable Rng rng_;
-  mutable std::size_t nodal_iterations_ = 0;  ///< iterations of the last nodal solve
+  mutable SolveStatus nodal_status_;  ///< outcome of the last nodal solve
+  mutable bool nodal_warned_ = false; ///< non-convergence warning throttle
   MatrixD g_;               ///< programmed conductances [rows x cols]
   Matrix<std::uint8_t> stuck_;  ///< 1 = crosspoint pinned by a defect
+  std::vector<std::uint8_t> adc_dead_;  ///< 1 = the column's sensing lane is dead
   MatrixD weights_;         ///< logical weights (when program_weights used)
 };
 
