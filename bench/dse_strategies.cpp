@@ -1,0 +1,90 @@
+// DSE — budgeted search strategies vs brute-force enumeration.
+//
+// The exploration engine's headline claim (and the acceptance bar in
+// tests/test_dse.cpp): a guided search that pays for a fraction of the
+// design space recovers nearly all of the brute-force Pareto front.  This
+// bench sweeps every registered driver across a ladder of budgets on the
+// fig1 triage space and reports front recovery, charges spent, and how the
+// successive-halving driver distributes a multi-fidelity budget.
+#include <iostream>
+#include <set>
+#include <string>
+
+#include "dse/engine.hpp"
+#include "util/argparse.hpp"
+#include "util/table.hpp"
+
+using namespace xlds;
+
+namespace {
+
+std::set<std::string> front_designs(const dse::ExplorationResult& r) {
+  std::set<std::string> keys;
+  for (const std::size_t f : r.front) keys.insert(r.evaluated[f].point.to_string());
+  return keys;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParse args("dse_strategies",
+                      "front recovery of budgeted search drivers vs brute force");
+  util::add_bench_options(args, /*default_seed=*/1);
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
+  util::apply_bench_options(args);
+
+  print_banner(std::cout, "DSE — search strategies vs brute force",
+               "front recovery per driver at 10/15/20 % of the full-grid budget");
+
+  // Reference: exhaustive single-tier enumeration of the fig1 space.
+  dse::EngineConfig brute;
+  brute.strategy = "lhs";
+  brute.budget = 0;  // one charge per viable point
+  brute.seed = args.uinteger("seed");
+  const dse::ExplorationResult full = dse::explore(brute);
+  const std::set<std::string> want = front_designs(full);
+  std::cout << "Brute force: " << full.stats.charges << " evaluations, front size "
+            << want.size() << ".\n\n";
+
+  Table table({"strategy", "budget", "charges", "front recovered", "distinct designs"});
+  // Budget fractions are of the *raw grid* (the acceptance bar's basis):
+  // 20 % of the 168-point fig1 grid is 33 charges against 42 viable points.
+  const std::size_t grid = dse::SearchSpace().size();
+  const std::size_t viable = full.stats.charges;
+  for (const std::string& strategy : dse::driver_names()) {
+    for (const double fraction : {0.10, 0.15, 0.20}) {
+      dse::EngineConfig config;
+      config.strategy = strategy;
+      config.budget = static_cast<std::size_t>(fraction * static_cast<double>(grid));
+      config.seed = args.uinteger("seed");
+      const dse::ExplorationResult got = dse::explore(config);
+
+      std::size_t recovered = 0;
+      for (const std::string& k : front_designs(got)) recovered += want.count(k);
+      table.add_row({strategy, Table::num(100.0 * fraction, 0) + " %",
+                     std::to_string(got.stats.charges),
+                     std::to_string(recovered) + "/" + std::to_string(want.size()),
+                     std::to_string(got.evaluated.size())});
+    }
+  }
+  std::cout << table;
+
+  // Successive halving is the multi-fidelity specialist: same budget, but
+  // spread across the analytic -> nodal -> Monte-Carlo ladder.
+  dse::EngineConfig ladder;
+  ladder.strategy = "halving";
+  ladder.budget = viable;
+  ladder.seed = args.uinteger("seed");
+  ladder.fidelity.max_fidelity = dse::Fidelity::kMonteCarlo;
+  const dse::ExplorationResult hv = dse::explore(ladder);
+  std::cout << "\nHalving across the full fidelity ladder (budget " << hv.stats.charges
+            << "): analytic " << hv.stats.charges_by_tier[0] << ", nodal "
+            << hv.stats.charges_by_tier[1] << ", MC " << hv.stats.charges_by_tier[2]
+            << " charges.\n";
+
+  std::cout << "\nExpected shape: nsga2 recovers (nearly) the whole front by 20 %\n"
+               "budget — the tests pin >= 90 % — while random/lhs climb roughly\n"
+               "linearly with budget; halving pushes most charges to the cheap\n"
+               "analytic rung and promotes a shrinking cohort up the ladder.\n";
+  return 0;
+}

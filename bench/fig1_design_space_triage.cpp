@@ -4,6 +4,7 @@
 // an application, cull the structurally broken combinations (with reasons),
 // score the survivors analytically, extract the Pareto front and print the
 // ranked shortlist a deep-dive would start from.
+#include <fstream>
 #include <iostream>
 
 #include "core/design_space.hpp"
@@ -11,18 +12,27 @@
 #include "core/pareto.hpp"
 #include "core/profiler.hpp"
 #include "core/report.hpp"
+#include "util/argparse.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
 using namespace xlds;
 
-int main() {
+int main(int argc, char** argv) {
+  util::ArgParse args("fig1_design_space_triage",
+                      "enumerate -> cull -> evaluate -> Pareto -> ranked shortlist");
+  args.add_option("app", "application preset to triage", "isolet-like");
+  util::add_bench_options(args, /*default_seed=*/7);
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
+  util::apply_bench_options(args);
+
   print_banner(std::cout, "Fig. 1 — design-space triage",
                "enumerate -> cull -> evaluate -> Pareto -> ranked shortlist");
 
-  const std::string app = "isolet-like";
+  const std::string app = args.str("app");
   // Step 0 (the Fig. 6 inset): profile the actual software implementation.
-  const core::MeasuredProfile measured = core::profile_hdc_application(app, 2048, 7);
+  const core::MeasuredProfile measured =
+      core::profile_hdc_application(app, 2048, args.uinteger("seed"));
   const core::AppProfile profile = core::to_app_profile(measured);
   std::cout << "Measured profile: encode " << measured.encode_macs << " MACs/query, search "
             << measured.search_macs << " MACs/query over " << measured.am_entries
@@ -63,6 +73,10 @@ int main() {
   std::cout << core::format_shortlist(scored, ranking, front);
   std::cout << "\nPareto front size: " << front.size() << " of " << scored.size()
             << " evaluated points.\n\n";
+  if (!args.str("out").empty()) {
+    std::ofstream(args.str("out")) << core::format_shortlist(scored, ranking, front);
+    std::cout << "Shortlist written to " << args.str("out") << ".\n\n";
+  }
 
   // The same triage across every application preset: the per-app winner.
   Table winners({"application", "top-ranked design", "latency/query", "est. accuracy"});

@@ -108,11 +108,105 @@ std::optional<std::string> incompatibility(const DesignPoint& p) {
 
 std::vector<EnumeratedPoint> enumerate_design_space(const std::string& application,
                                                     bool include_culled) {
+  return enumerate_space(SpaceAxes{}, application, include_culled);
+}
+
+namespace {
+
+template <class T>
+std::size_t value_index(const std::vector<T>& axis, T value) {
+  for (std::size_t i = 0; i < axis.size(); ++i)
+    if (axis[i] == value) return i;
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+SpaceAxes SpaceAxes::resolved() const {
+  SpaceAxes r = *this;
+  if (r.devices.empty()) r.devices = device::all_device_kinds();
+  if (r.archs.empty()) r.archs = all_arch_kinds();
+  if (r.algos.empty()) r.algos = all_algo_kinds();
+  return r;
+}
+
+std::size_t space_size(const SpaceAxes& axes) {
+  const SpaceAxes r = axes.resolved();
+  XLDS_REQUIRE(!r.devices.empty() && !r.archs.empty() && !r.algos.empty());
+  return r.devices.size() * r.archs.size() * r.algos.size();
+}
+
+std::size_t point_index(const SpaceAxes& axes, const DesignPoint& p) {
+  const SpaceAxes r = axes.resolved();
+  const std::size_t di = value_index(r.devices, p.device);
+  const std::size_t ai = value_index(r.archs, p.arch);
+  const std::size_t gi = value_index(r.algos, p.algo);
+  if (di == static_cast<std::size_t>(-1) || ai == static_cast<std::size_t>(-1) ||
+      gi == static_cast<std::size_t>(-1))
+    return static_cast<std::size_t>(-1);
+  return (di * r.archs.size() + ai) * r.algos.size() + gi;
+}
+
+DesignPoint point_at(const SpaceAxes& axes, std::size_t index, const std::string& application) {
+  const SpaceAxes r = axes.resolved();
+  XLDS_REQUIRE(index < space_size(r));
+  DesignPoint p;
+  p.algo = r.algos[index % r.algos.size()];
+  index /= r.algos.size();
+  p.arch = r.archs[index % r.archs.size()];
+  p.device = r.devices[index / r.archs.size()];
+  p.application = application;
+  return p;
+}
+
+DesignPoint sample_point(const SpaceAxes& axes, const std::string& application, Rng& rng) {
+  const SpaceAxes r = axes.resolved();
+  const std::size_t n = space_size(r);
+  return point_at(r, rng.uniform_u32(static_cast<std::uint32_t>(n)), application);
+}
+
+DesignPoint mutate_point(const SpaceAxes& axes, const DesignPoint& p, Rng& rng) {
+  const SpaceAxes r = axes.resolved();
+  DesignPoint m = p;
+  // A different value on a singleton axis does not exist; draw the axis first
+  // so the choice distribution is independent of which axes are mutable (a
+  // fixed consumption pattern keeps forked-stream replay stable).
+  const std::uint32_t axis = rng.uniform_u32(3);
+  const auto reassign = [&rng](auto& field, const auto& values) {
+    if (values.size() < 2) return;
+    const std::size_t i = value_index(values, field);
+    if (i == static_cast<std::size_t>(-1)) {  // off-axis: every value differs
+      field = values[rng.uniform_u32(static_cast<std::uint32_t>(values.size()))];
+      return;
+    }
+    const std::size_t j = rng.uniform_u32(static_cast<std::uint32_t>(values.size() - 1));
+    field = values[j + (j >= i ? 1 : 0)];
+  };
+  switch (axis) {
+    case 0: reassign(m.device, r.devices); break;
+    case 1: reassign(m.arch, r.archs); break;
+    default: reassign(m.algo, r.algos); break;
+  }
+  return m;
+}
+
+DesignPoint crossover_points(const DesignPoint& a, const DesignPoint& b, Rng& rng) {
+  DesignPoint c = a;
+  if (rng.bernoulli(0.5)) c.device = b.device;
+  if (rng.bernoulli(0.5)) c.arch = b.arch;
+  if (rng.bernoulli(0.5)) c.algo = b.algo;
+  return c;
+}
+
+std::vector<EnumeratedPoint> enumerate_space(const SpaceAxes& axes,
+                                             const std::string& application,
+                                             bool include_culled) {
   XLDS_REQUIRE(!application.empty());
+  const SpaceAxes r = axes.resolved();
   std::vector<EnumeratedPoint> points;
-  for (device::DeviceKind dev : device::all_device_kinds()) {
-    for (ArchKind arch : all_arch_kinds()) {
-      for (AlgoKind algo : all_algo_kinds()) {
+  for (device::DeviceKind dev : r.devices) {
+    for (ArchKind arch : r.archs) {
+      for (AlgoKind algo : r.algos) {
         DesignPoint p;
         p.device = dev;
         p.arch = arch;

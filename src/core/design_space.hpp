@@ -7,11 +7,13 @@
 // reasons*, and the evaluator (evaluate.hpp) scores the survivors.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "device/device.hpp"
+#include "util/rng.hpp"
 
 namespace xlds::core {
 
@@ -64,5 +66,47 @@ struct EnumeratedPoint {
 
 std::vector<EnumeratedPoint> enumerate_design_space(const std::string& application,
                                                     bool include_culled = false);
+
+/// Axis subsets for guided search (the DSE layer's sampling/mutation hooks).
+/// An empty vector means "every value of that axis"; resolve() normalises.
+/// Points are indexed device-major over the resolved axes, so an index is a
+/// stable identity for journaling and deduplication.
+struct SpaceAxes {
+  std::vector<device::DeviceKind> devices;
+  std::vector<ArchKind> archs;
+  std::vector<AlgoKind> algos;
+
+  /// Copy with empty axes replaced by the full value lists.
+  SpaceAxes resolved() const;
+};
+
+/// Number of raw combinations in the (resolved) axes — the "full enumeration"
+/// a search budget is measured against.  Requires non-empty resolved axes.
+std::size_t space_size(const SpaceAxes& axes);
+
+/// Device-major index of a point within the axes, or SIZE_MAX when any of
+/// its coordinates is not on the corresponding axis.
+std::size_t point_index(const SpaceAxes& axes, const DesignPoint& p);
+
+/// Inverse of point_index.  Requires index < space_size(axes).
+DesignPoint point_at(const SpaceAxes& axes, std::size_t index, const std::string& application);
+
+/// Uniform random point over the axes (culled points included — callers that
+/// want viable points filter through incompatibility(), which is free).
+DesignPoint sample_point(const SpaceAxes& axes, const std::string& application, Rng& rng);
+
+/// Reassign one uniformly chosen axis to a *different* value on that axis
+/// (identity when every axis is singleton) — the evolutionary-search
+/// mutation hook.
+DesignPoint mutate_point(const SpaceAxes& axes, const DesignPoint& p, Rng& rng);
+
+/// Uniform per-axis crossover: each coordinate comes from parent a or b with
+/// equal probability; the application is inherited from a.
+DesignPoint crossover_points(const DesignPoint& a, const DesignPoint& b, Rng& rng);
+
+/// enumerate_design_space restricted to the axes, in point_index order.
+std::vector<EnumeratedPoint> enumerate_space(const SpaceAxes& axes,
+                                             const std::string& application,
+                                             bool include_culled = false);
 
 }  // namespace xlds::core

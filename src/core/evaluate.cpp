@@ -95,7 +95,18 @@ xbar::MvmCost tiled_mvm_cost(device::DeviceKind dev, double macs) {
   return cost;
 }
 
-evacam::CamDesignSpec cam_spec_for(const DesignPoint& p, const AppProfile& profile) {
+const arch::Platform& platform_for(ArchKind arch) {
+  switch (arch) {
+    case ArchKind::kCpu: return arch::cpu();
+    case ArchKind::kGpu: return arch::gpu();
+    case ArchKind::kTpu: return arch::tpu();
+    default: return arch::gpu();
+  }
+}
+
+}  // namespace
+
+evacam::CamDesignSpec cam_spec_for_point(const DesignPoint& p, const AppProfile& profile) {
   evacam::CamDesignSpec spec;
   spec.device = p.device;
   spec.cell = device::traits(p.device).terminals == 3 ? evacam::CellType::k2FeFET
@@ -111,17 +122,6 @@ evacam::CamDesignSpec cam_spec_for(const DesignPoint& p, const AppProfile& profi
   spec.min_distinguishable_steps = 4;
   return spec;
 }
-
-const arch::Platform& platform_for(ArchKind arch) {
-  switch (arch) {
-    case ArchKind::kCpu: return arch::cpu();
-    case ArchKind::kGpu: return arch::gpu();
-    case ArchKind::kTpu: return arch::tpu();
-    default: return arch::gpu();
-  }
-}
-
-}  // namespace
 
 AppProfile profile_for(const std::string& application) {
   AppProfile p;
@@ -244,7 +244,7 @@ Fom Evaluator::evaluate_in_memory(const DesignPoint& p, const AppProfile& profil
   const bool needs_cam =
       p.arch == ArchKind::kCamAccelerator || p.arch == ArchKind::kCamXbarHybrid;
   if (needs_cam) {
-    cam_fom = cached_cam_fom(cam_spec_for(p, profile));
+    cam_fom = cached_cam_fom(cam_spec_for_point(p, profile));
     if (cam_fom.max_ml_columns < 16) {
       fom.feasible = false;
       fom.note = "sense margin limits matchline to " +

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/design_space.hpp"
+#include "evacam/evacam.hpp"
 
 namespace xlds::core {
 
@@ -60,6 +61,12 @@ struct EvalCacheStats {
 
 EvalCacheStats evaluation_cache_stats();
 void clear_evaluation_caches();
+
+/// The canonical CAM macro a design point's associative-search stage maps to
+/// (capacity from the profile, cell topology from the device).  Shared with
+/// the DSE fidelity ladder so higher-fidelity refinements analyse the same
+/// macro the analytic tier costed.
+evacam::CamDesignSpec cam_spec_for_point(const DesignPoint& p, const AppProfile& profile);
 
 class Evaluator {
  public:

@@ -2,12 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 #include "util/error.hpp"
 
 namespace xlds::core {
 
 namespace {
+
+/// NaN in any objective makes a point incomparable; treat it as infeasible
+/// everywhere (front, ranking, cohort bests) rather than letting the NaN's
+/// always-false comparisons smuggle it onto the front.
+bool comparable(const Fom& f) {
+  return !(std::isnan(f.latency) || std::isnan(f.energy) || std::isnan(f.area_mm2) ||
+           std::isnan(f.accuracy));
+}
+
+bool usable(const Fom& f) { return f.feasible && comparable(f); }
 
 bool dominates(const Fom& a, const Fom& b) {
   const bool no_worse = a.latency <= b.latency && a.energy <= b.energy &&
@@ -22,10 +33,10 @@ bool dominates(const Fom& a, const Fom& b) {
 std::vector<std::size_t> pareto_front(const std::vector<ScoredPoint>& points) {
   std::vector<std::size_t> front;
   for (std::size_t i = 0; i < points.size(); ++i) {
-    if (!points[i].fom.feasible) continue;
+    if (!usable(points[i].fom)) continue;
     bool dominated = false;
     for (std::size_t j = 0; j < points.size(); ++j) {
-      if (i == j || !points[j].fom.feasible) continue;
+      if (i == j || !usable(points[j].fom)) continue;
       if (dominates(points[j].fom, points[i].fom)) {
         dominated = true;
         break;
@@ -36,6 +47,16 @@ std::vector<std::size_t> pareto_front(const std::vector<ScoredPoint>& points) {
   return front;
 }
 
+std::vector<std::size_t> dedup_points(const std::vector<ScoredPoint>& points) {
+  std::unordered_set<std::string> seen;
+  seen.reserve(points.size());
+  std::vector<std::size_t> kept;
+  kept.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    if (seen.insert(points[i].point.to_string()).second) kept.push_back(i);
+  return kept;
+}
+
 std::vector<std::size_t> triage_ranking(const std::vector<ScoredPoint>& points,
                                         const TriageWeights& weights) {
   XLDS_REQUIRE(weights.latency >= 0.0 && weights.energy >= 0.0 && weights.area >= 0.0 &&
@@ -43,7 +64,7 @@ std::vector<std::size_t> triage_ranking(const std::vector<ScoredPoint>& points,
   // Cohort bests (feasible only).
   double best_lat = HUGE_VAL, best_en = HUGE_VAL, best_area = HUGE_VAL, best_acc = 0.0;
   for (const ScoredPoint& sp : points) {
-    if (!sp.fom.feasible) continue;
+    if (!usable(sp.fom)) continue;
     best_lat = std::min(best_lat, sp.fom.latency);
     best_en = std::min(best_en, sp.fom.energy);
     best_area = std::min(best_area, sp.fom.area_mm2);
@@ -64,7 +85,7 @@ std::vector<std::size_t> triage_ranking(const std::vector<ScoredPoint>& points,
 
   std::vector<std::size_t> order;
   for (std::size_t i = 0; i < points.size(); ++i)
-    if (points[i].fom.feasible) order.push_back(i);
+    if (usable(points[i].fom)) order.push_back(i);
   std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     return score(points[a].fom) < score(points[b].fom);
   });

@@ -17,10 +17,23 @@ struct ScoredPoint {
 };
 
 /// Indices of the Pareto-optimal points: minimise latency, energy and area,
-/// maximise accuracy.  Infeasible points never make the front.  A point is
-/// dominated if another is no worse on every objective and strictly better
-/// on at least one.
+/// maximise accuracy.  Infeasible points never make the front, and a point
+/// with a NaN objective is treated as infeasible (a NaN would otherwise be
+/// incomparable, so it could never be dominated and would pollute the front).
+/// A point is dominated if another is no worse on every objective and
+/// strictly better on at least one.
+///
+/// Exact duplicates do not dominate each other, so every copy of a
+/// non-dominated point lands on the front — callers feeding stochastic
+/// search output should dedup_points() first.
 std::vector<std::size_t> pareto_front(const std::vector<ScoredPoint>& points);
+
+/// Indices of the first occurrence of each distinct DesignPoint (device,
+/// arch, algo, application), in input order.  Stochastic search revisits
+/// points; duplicates bloat the Pareto front with copies and multiply-count
+/// designs in any downstream aggregation, so dedup before front extraction
+/// and ranking.
+std::vector<std::size_t> dedup_points(const std::vector<ScoredPoint>& points);
 
 /// Triage weights for scalarised ranking (all >= 0).  Latency/energy/area
 /// enter as log-ratios to the cohort's best feasible value, accuracy as a
@@ -33,7 +46,8 @@ struct TriageWeights {
 };
 
 /// Rank feasible points by ascending triage score (best first).  Returns
-/// indices into `points`.
+/// indices into `points`.  NaN objectives are treated as infeasible, both
+/// for ranking and for the cohort-best normalisation.
 std::vector<std::size_t> triage_ranking(const std::vector<ScoredPoint>& points,
                                         const TriageWeights& weights = {});
 

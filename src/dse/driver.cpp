@@ -1,0 +1,88 @@
+#include "dse/driver.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "dse/driver_util.hpp"
+#include "util/error.hpp"
+
+namespace xlds::dse {
+
+namespace detail {
+
+std::vector<std::size_t> viable_indices(const SearchSpace& space) {
+  std::vector<std::size_t> out;
+  out.reserve(space.viable_count());
+  for (std::size_t i = 0; i < space.size(); ++i)
+    if (!space.culled(i)) out.push_back(i);
+  return out;
+}
+
+std::vector<std::size_t> lhs_indices(const SearchSpace& space, std::size_t n, Rng& rng) {
+  const auto& axes = space.axes();
+  const std::size_t nd = axes.devices.size();
+  const std::size_t na = axes.archs.size();
+  const std::size_t ng = axes.algos.size();
+  std::vector<std::size_t> out;
+  if (n == 0) return out;
+
+  // Stratified draw: slot s covers stratum [s/n, (s+1)/n) of each axis, and
+  // each axis walks its strata in an independent permutation.
+  const auto perm_d = rng.permutation(n);
+  const auto perm_a = rng.permutation(n);
+  const auto perm_g = rng.permutation(n);
+  std::unordered_set<std::size_t> used;
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::size_t di = perm_d[s] * nd / n;
+    const std::size_t ai = perm_a[s] * na / n;
+    const std::size_t gi = perm_g[s] * ng / n;
+    const std::size_t index = (di * na + ai) * ng + gi;
+    if (space.culled(index) || !used.insert(index).second) continue;
+    out.push_back(index);
+  }
+
+  // Categorical collisions shrink the sample; top up uniformly from the
+  // unused viable points so callers get the coverage they budgeted for.
+  if (out.size() < n) {
+    std::vector<std::size_t> rest;
+    for (const std::size_t i : viable_indices(space))
+      if (!used.count(i)) rest.push_back(i);
+    const std::size_t need = std::min(n - out.size(), rest.size());
+    for (const std::size_t j : rng.sample_without_replacement(rest.size(), need))
+      out.push_back(rest[j]);
+  }
+  return out;
+}
+
+std::vector<std::size_t> fresh_for_budget(const EvaluationBackend& backend, Fidelity tier,
+                                          const std::vector<std::size_t>& candidates) {
+  std::vector<std::size_t> fresh;
+  std::unordered_set<std::size_t> in_batch;
+  const std::size_t cap = backend.remaining_budget();
+  for (const std::size_t i : candidates) {
+    if (fresh.size() >= cap) break;
+    if (backend.requested(i, tier) || !in_batch.insert(i).second) continue;
+    fresh.push_back(i);
+  }
+  return fresh;
+}
+
+}  // namespace detail
+
+const std::vector<std::string>& driver_names() {
+  static const std::vector<std::string> names = {"random", "lhs", "nsga2", "halving"};
+  return names;
+}
+
+std::unique_ptr<SearchDriver> make_driver(const std::string& strategy,
+                                          const DriverParams& params) {
+  if (strategy == "random") return detail::make_random_driver(params);
+  if (strategy == "lhs") return detail::make_lhs_driver(params);
+  if (strategy == "nsga2") return detail::make_nsga2_driver(params);
+  if (strategy == "halving") return detail::make_halving_driver(params);
+  XLDS_REQUIRE_MSG(false, "unknown search strategy '"
+                              << strategy << "' (random | lhs | nsga2 | halving)");
+  return nullptr;
+}
+
+}  // namespace xlds::dse

@@ -1,0 +1,37 @@
+// Internal helpers shared by the driver implementations.  Not installed
+// API: include only from src/dse/*.cpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dse/driver.hpp"
+#include "dse/space.hpp"
+#include "util/rng.hpp"
+
+namespace xlds::dse::detail {
+
+/// Indices of every structurally viable point, ascending.
+std::vector<std::size_t> viable_indices(const SearchSpace& space);
+
+/// Up to `n` distinct viable point indices by discrete Latin-hypercube
+/// sampling: each axis is cut into `n` strata and visited in an independent
+/// random permutation, so small samples still cover every device, arch and
+/// algo family.  Collisions and culled combinations are dropped (LHS on a
+/// categorical grid cannot guarantee exactly n), then the sample is topped
+/// up uniformly from the unused viable points.
+std::vector<std::size_t> lhs_indices(const SearchSpace& space, std::size_t n, Rng& rng);
+
+/// Filter `candidates` for evaluate(): drop in-batch duplicates and pairs
+/// this run already paid for, then truncate to the remaining budget.
+std::vector<std::size_t> fresh_for_budget(const EvaluationBackend& backend, Fidelity tier,
+                                          const std::vector<std::size_t>& candidates);
+
+/// Per-strategy factories (defined next to each implementation; dispatched
+/// by make_driver in driver.cpp).
+std::unique_ptr<SearchDriver> make_random_driver(const DriverParams& params);
+std::unique_ptr<SearchDriver> make_lhs_driver(const DriverParams& params);
+std::unique_ptr<SearchDriver> make_nsga2_driver(const DriverParams& params);
+std::unique_ptr<SearchDriver> make_halving_driver(const DriverParams& params);
+
+}  // namespace xlds::dse::detail

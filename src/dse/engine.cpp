@@ -1,0 +1,189 @@
+#include "dse/engine.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "dse/journal.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace xlds::dse {
+
+namespace {
+
+/// Composite memo key for a (point index, tier) pair.
+std::uint64_t pair_key(std::size_t index, Fidelity tier) {
+  return static_cast<std::uint64_t>(index) * kFidelityTiers +
+         static_cast<std::uint64_t>(tier);
+}
+
+class Backend final : public EvaluationBackend {
+ public:
+  Backend(const SearchSpace& space, const FidelityLadder& ladder, std::size_t budget,
+          Journal* journal, std::size_t abort_after_computed)
+      : space_(space),
+        ladder_(ladder),
+        budget_(budget),
+        journal_(journal),
+        abort_after_computed_(abort_after_computed) {
+    if (journal_ != nullptr)
+      for (const Journal::Record& r : journal_->records()) {
+        XLDS_REQUIRE_MSG(r.fidelity < kFidelityTiers && r.key < space_.size(),
+                         "journal record out of range for this space");
+        memo_[pair_key(r.key, static_cast<Fidelity>(r.fidelity))] = r.fom;
+      }
+  }
+
+  const SearchSpace& space() const override { return space_; }
+  Fidelity max_fidelity() const override { return ladder_.config().max_fidelity; }
+  std::size_t remaining_budget() const override { return budget_ - stats_.charges; }
+
+  bool requested(std::size_t index, Fidelity tier) const override {
+    return charged_.count(pair_key(index, tier)) != 0;
+  }
+
+  std::vector<Evaluation> evaluate(const std::vector<std::size_t>& indices,
+                                   Fidelity tier) override {
+    // Pass 1: the budget ledger.  Charge pairs new to this run; pick out the
+    // ones the memo (journal) cannot serve for computation.
+    std::vector<std::size_t> to_compute;
+    for (const std::size_t i : indices) {
+      XLDS_REQUIRE(i < space_.size());
+      if (space_.culled(i)) {
+        ++stats_.culled_requests;
+        continue;
+      }
+      const std::uint64_t key = pair_key(i, tier);
+      if (charged_.count(key)) {
+        ++stats_.repeat_requests;
+        continue;
+      }
+      XLDS_REQUIRE_MSG(remaining_budget() > 0, "driver requested past its budget");
+      ++stats_.charges;
+      ++stats_.charges_by_tier[static_cast<std::size_t>(tier)];
+      charged_.insert(key);
+      charge_order_.emplace_back(i, tier);
+      if (memo_.count(key))
+        ++stats_.journal_hits;
+      else
+        to_compute.push_back(i);
+    }
+
+    // Pass 2: compute the misses, sharded on the pool.  The FOM of a
+    // (point, tier) pair is a pure function of the job, so the shard layout
+    // cannot change values, only wall clock.
+    if (!to_compute.empty()) {
+      const std::vector<core::Fom> foms = parallel_map<core::Fom>(
+          to_compute.size(),
+          [&](std::size_t j) { return ladder_.evaluate(space_.at(to_compute[j]), tier); });
+      for (std::size_t j = 0; j < to_compute.size(); ++j) {
+        memo_[pair_key(to_compute[j], tier)] = foms[j];
+        if (journal_ != nullptr)
+          journal_->append({to_compute[j], static_cast<std::uint32_t>(tier), foms[j]});
+        ++stats_.computed;
+        // Crash simulation: bail after the Nth durable append, exactly as a
+        // kill would — later results in this batch are lost.
+        if (abort_after_computed_ != 0 && stats_.computed >= abort_after_computed_)
+          throw AbortInjected("injected abort after " + std::to_string(stats_.computed) +
+                              " computed evaluations");
+      }
+    }
+
+    // Pass 3: results in input order.
+    std::vector<Evaluation> out;
+    out.reserve(indices.size());
+    for (const std::size_t i : indices) {
+      Evaluation e{i, tier, {}};
+      if (space_.culled(i)) {
+        e.fom.feasible = false;
+        e.fom.accuracy = 0.0;
+        e.fom.note = "culled: " + *core::incompatibility(space_.at(i));
+      } else {
+        e.fom = memo_.at(pair_key(i, tier));
+      }
+      out.push_back(std::move(e));
+    }
+    return out;
+  }
+
+  const ExplorationStats& stats() const { return stats_; }
+  const std::vector<std::pair<std::size_t, Fidelity>>& charge_order() const {
+    return charge_order_;
+  }
+  const core::Fom& fom(std::size_t index, Fidelity tier) const {
+    return memo_.at(pair_key(index, tier));
+  }
+
+ private:
+  const SearchSpace& space_;
+  const FidelityLadder& ladder_;
+  std::size_t budget_;
+  Journal* journal_;
+  std::size_t abort_after_computed_;
+  std::unordered_set<std::uint64_t> charged_;
+  std::vector<std::pair<std::size_t, Fidelity>> charge_order_;
+  std::unordered_map<std::uint64_t, core::Fom> memo_;
+  ExplorationStats stats_;
+};
+
+}  // namespace
+
+std::uint64_t job_hash(const SearchSpace& space, const FidelityLadder& ladder) {
+  return ladder.hash(space.hash());
+}
+
+ExplorationResult explore(const EngineConfig& config) {
+  const SearchSpace space(config.axes, config.application);
+  XLDS_REQUIRE_MSG(space.viable_count() > 0, "search space has no viable points");
+  const FidelityLadder ladder(config.fidelity, core::profile_for(config.application));
+  const std::size_t budget = config.budget != 0 ? config.budget : space.viable_count();
+
+  std::optional<Journal> journal;
+  if (!config.journal_path.empty())
+    journal.emplace(config.journal_path, job_hash(space, ladder));
+
+  Backend backend(space, ladder, budget, journal ? &*journal : nullptr,
+                  config.abort_after_computed);
+  const std::unique_ptr<SearchDriver> driver = make_driver(config.strategy, config.driver);
+  // The driver stream is forked off the job seed so future engine-level
+  // randomness (shard jitter, restarts) can never alias with it.
+  Rng rng = Rng(config.seed).fork(0x647365ull);  // "dse"
+  driver->run(backend, rng);
+
+  ExplorationResult result;
+  result.strategy = config.strategy;
+  result.seed = config.seed;
+  result.budget = budget;
+  result.job_hash = job_hash(space, ladder);
+
+  // Collapse the charge stream: one entry per distinct point, first-charge
+  // order, FOM from the highest tier that point reached.
+  std::unordered_map<std::size_t, std::size_t> slot_of;
+  for (const auto& [index, tier] : backend.charge_order()) {
+    const auto it = slot_of.find(index);
+    if (it == slot_of.end()) {
+      slot_of.emplace(index, result.evaluated.size());
+      result.evaluated.push_back({space.at(index), backend.fom(index, tier)});
+      result.tiers.push_back(tier);
+    } else if (tier > result.tiers[it->second]) {
+      result.evaluated[it->second].fom = backend.fom(index, tier);
+      result.tiers[it->second] = tier;
+    }
+  }
+
+  result.front = core::pareto_front(result.evaluated);
+  result.ranking = core::triage_ranking(result.evaluated, config.weights);
+  result.stats = backend.stats();
+  if (journal) {
+    result.stats.resumed = journal->open_info().existed;
+    result.stats.journal_replayed = journal->open_info().replayed;
+    result.stats.journal_dropped_bytes = journal->open_info().dropped_bytes;
+  }
+  return result;
+}
+
+}  // namespace xlds::dse

@@ -1,0 +1,231 @@
+#include "dse/fidelity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "dse/space.hpp"
+#include "fault/resilience.hpp"
+#include "nvsim/explorer.hpp"
+#include "util/error.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace xlds::dse {
+
+namespace {
+
+bool uses_crossbar(core::ArchKind a) {
+  return a == core::ArchKind::kCrossbarAccelerator || a == core::ArchKind::kCamXbarHybrid;
+}
+
+bool uses_cam(core::ArchKind a) {
+  return a == core::ArchKind::kCamAccelerator || a == core::ArchKind::kCamXbarHybrid;
+}
+
+bool is_in_memory(core::ArchKind a) { return uses_crossbar(a) || uses_cam(a); }
+
+std::string percent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", 100.0 * fraction);
+  return buf;
+}
+
+// --- nodal tier: IR-drop model error on the canonical 64x64 tile ----------
+//
+// The analytic triage model costs MVMs with the two-pass IR-drop estimate;
+// the nodal rung measures how far that estimate sits from the Gauss-Seidel
+// ground truth on a half-loaded tile and charges the gap against accuracy
+// (unmodelled IR drop is computation error, not just delay).  One solve per
+// device kind, memoised process-wide: the solve is a pure function of the
+// device, and a search promotes many points per device.
+std::mutex g_ir_cache_mutex;
+std::map<int, double> g_ir_error_cache;
+
+constexpr std::uint64_t kTileSeed = 0x9e3779b97f4a7c15ull;
+
+double nodal_ir_error_uncached(device::DeviceKind dev) {
+  xbar::CrossbarConfig cfg;
+  cfg.rows = 64;
+  cfg.cols = 64;
+  cfg.apply_variation = false;
+  cfg.read_noise_rel = 0.0;
+  // A half-loaded 64x64 tile needs more Gauss-Seidel sweeps than the
+  // default budget; an unconverged solve would fall back to the analytic
+  // estimate and silently zero the rung's signal.
+  cfg.nodal_max_iters = 20000;
+  Rng fill(kTileSeed ^ static_cast<std::uint64_t>(dev));
+  MatrixD g(cfg.rows, cfg.cols, cfg.rram.g_min);
+  for (double& v : g.data())
+    if (fill.bernoulli(0.5)) v = cfg.rram.g_max;
+
+  Rng rng_a(1), rng_n(1);
+  cfg.ir_drop = xbar::IrDropMode::kAnalytic;
+  xbar::Crossbar analytic(cfg, rng_a);
+  cfg.ir_drop = xbar::IrDropMode::kNodal;
+  xbar::Crossbar nodal(cfg, rng_n);
+  analytic.program_conductances(g);
+  nodal.program_conductances(g);
+
+  const std::vector<double> ones(cfg.rows, 1.0);
+  const std::vector<double> ia = analytic.column_currents(ones);
+  const std::vector<double> in = nodal.column_currents(ones);
+  double err = 0.0;
+  std::size_t n = 0;
+  for (std::size_t c = 0; c < ia.size(); ++c) {
+    if (in[c] <= 0.0) continue;
+    err += std::fabs(ia[c] - in[c]) / in[c];
+    ++n;
+  }
+  return n > 0 ? err / static_cast<double>(n) : 0.0;
+}
+
+double nodal_ir_error(device::DeviceKind dev) {
+  const int key = static_cast<int>(dev);
+  {
+    std::lock_guard<std::mutex> lk(g_ir_cache_mutex);
+    const auto it = g_ir_error_cache.find(key);
+    if (it != g_ir_error_cache.end()) return it->second;
+  }
+  const double err = nodal_ir_error_uncached(dev);
+  std::lock_guard<std::mutex> lk(g_ir_cache_mutex);
+  g_ir_error_cache.emplace(key, err);
+  return err;
+}
+
+// --- Monte-Carlo tier: resilience probe, memoised per (rate, age, seed) ---
+std::mutex g_probe_mutex;
+std::map<std::tuple<double, double, std::uint64_t>, fault::ResilienceReport> g_probe_cache;
+
+const fault::ResilienceReport& probe_report(double rate, double age_s, std::uint64_t seed) {
+  std::lock_guard<std::mutex> lk(g_probe_mutex);
+  const auto key = std::make_tuple(rate, age_s, seed);
+  auto it = g_probe_cache.find(key);
+  if (it == g_probe_cache.end()) {
+    // Computed under the lock: the probe runs once per ladder config and the
+    // nested parallel_for degrades to inline-serial inside pool workers, so
+    // holding the lock cannot deadlock the pool.
+    fault::ResilienceEvaluator probe(fault::dse_probe_config(rate, age_s, seed));
+    it = g_probe_cache.emplace(key, probe.run()).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+std::string to_string(Fidelity f) {
+  switch (f) {
+    case Fidelity::kAnalytic: return "analytic";
+    case Fidelity::kNodal: return "nodal";
+    case Fidelity::kMonteCarlo: return "mc";
+  }
+  return "?";
+}
+
+Fidelity fidelity_from_string(const std::string& name) {
+  if (name == "analytic") return Fidelity::kAnalytic;
+  if (name == "nodal") return Fidelity::kNodal;
+  if (name == "mc" || name == "monte-carlo") return Fidelity::kMonteCarlo;
+  XLDS_REQUIRE_MSG(false, "unknown fidelity '" << name << "' (analytic | nodal | mc)");
+  return Fidelity::kAnalytic;
+}
+
+FidelityLadder::FidelityLadder(FidelityConfig config, core::AppProfile profile,
+                               core::AccuracyOracle oracle)
+    : config_(config), profile_(std::move(profile)), evaluator_(std::move(oracle)) {
+  XLDS_REQUIRE(config_.variation_sigma_rel >= 0.0);
+  XLDS_REQUIRE(config_.mc_fault_rate >= 0.0 && config_.mc_fault_rate <= 1.0);
+  XLDS_REQUIRE(config_.mc_age_s >= 0.0);
+}
+
+core::Fom FidelityLadder::evaluate(const core::DesignPoint& p, Fidelity tier) const {
+  XLDS_REQUIRE_MSG(tier <= config_.max_fidelity,
+                   "tier " << dse::to_string(tier) << " above the ladder's max_fidelity");
+  core::Fom fom = evaluator_.evaluate(p, profile_);
+  if (tier >= Fidelity::kNodal) fom = refine_nodal(p, fom);
+  if (tier >= Fidelity::kMonteCarlo) fom = refine_monte_carlo(p, fom);
+  return fom;
+}
+
+core::Fom FidelityLadder::refine_nodal(const core::DesignPoint& p, core::Fom fom) const {
+  // Infeasible analytic points stay infeasible (they cannot reach a front);
+  // digital platforms have no in-memory physics to re-model.
+  if (!fom.feasible || !is_in_memory(p.arch)) return fom;
+
+  if (uses_crossbar(p.arch)) {
+    const double err = nodal_ir_error(p.device);
+    fom.accuracy *= std::max(0.0, 1.0 - config_.ir_drop_sensitivity * err);
+    fom.note += "; nodal IR err " + percent(err) + " %";
+  }
+  if (uses_cam(p.arch)) {
+    const evacam::CamFom var = evacam::evaluate_with_variation(
+        core::cam_spec_for_point(p, profile_), config_.variation_sigma_rel);
+    if (var.max_ml_columns_with_variation < 16) {
+      fom.feasible = false;
+      fom.note += "; variation shrinks matchline to " +
+                  std::to_string(var.max_ml_columns_with_variation) + " columns";
+      return fom;
+    }
+    if (var.max_ml_columns_with_variation < var.max_ml_columns) {
+      // Narrower matchlines mean more segments sensed per search.
+      const double bits = 128.0;
+      const double seg_nom = std::ceil(bits / static_cast<double>(var.max_ml_columns));
+      const double seg_var = std::ceil(bits / static_cast<double>(var.max_ml_columns_with_variation));
+      const double scale = seg_var / seg_nom;
+      fom.latency *= scale;
+      fom.energy *= scale;
+      fom.note += "; variation margins x" + percent(scale / 100.0) + " segments";
+    }
+  }
+  return fom;
+}
+
+core::Fom FidelityLadder::refine_monte_carlo(const core::DesignPoint& p, core::Fom fom) const {
+  if (!fom.feasible || !is_in_memory(p.arch)) return fom;
+
+  const auto& traits = device::traits(p.device);
+  // Deployment-horizon program cycles per cell (matches the analytic
+  // endurance model's 1e9-inference horizon).
+  const double writes = profile_.writes_per_inference * 1e9;
+
+  if (p.algo == core::AlgoKind::kHdc || p.algo == core::AlgoKind::kMann) {
+    const fault::ResilienceReport& rep =
+        probe_report(config_.mc_fault_rate, config_.mc_age_s, config_.mc_seed);
+    const std::size_t n_times = 2;  // probe grid is {0, rate} x {0, age}
+    const auto& clean = rep.at(0, 0, n_times);
+    const auto& faulty = rep.at(1, 1, n_times);
+    const double clean_acc =
+        p.algo == core::AlgoKind::kHdc ? clean.hdc_accuracy : clean.mann_accuracy;
+    const double faulty_acc =
+        p.algo == core::AlgoKind::kHdc ? faulty.hdc_accuracy : faulty.mann_accuracy;
+    const double ratio =
+        clean_acc > 0.0 ? std::clamp(faulty_acc / clean_acc, 0.0, 1.0) : 1.0;
+    fom.accuracy *= ratio;
+    fom.note += "; MC fault ratio " + percent(ratio) + " %";
+  }
+  if (uses_crossbar(p.arch) || p.algo == core::AlgoKind::kMlp ||
+      p.algo == core::AlgoKind::kCnn) {
+    const double derate = nvsim::ber_accuracy_derate(traits, config_.mc_age_s, writes);
+    fom.accuracy *= derate;
+    fom.note += "; BER derate " + percent(derate) + " %";
+  }
+  return fom;
+}
+
+std::uint64_t FidelityLadder::hash(std::uint64_t h) const {
+  h = fnv1a64("xlds-ladder-v1", 14, h);
+  const auto mix = [&h](double v) { h = fnv1a64(&v, sizeof v, h); };
+  h = fnv1a64(&config_.max_fidelity, sizeof config_.max_fidelity, h);
+  mix(config_.variation_sigma_rel);
+  mix(config_.ir_drop_sensitivity);
+  mix(config_.mc_fault_rate);
+  mix(config_.mc_age_s);
+  h = fnv1a64(&config_.mc_seed, sizeof config_.mc_seed, h);
+  return fnv1a64(profile_.name.data(), profile_.name.size(), h);
+}
+
+}  // namespace xlds::dse

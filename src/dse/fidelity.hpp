@@ -1,0 +1,87 @@
+// The fidelity ladder: the same design point costed at three model tiers.
+//
+// The codebase has always contained cheap-to-expensive models of the same
+// physics — the analytic triage FOMs (core::Evaluator), the Gauss-Seidel
+// nodal IR-drop solve and the variation-aware Eva-CAM margins, and the
+// Monte-Carlo fault/variation accuracy measurements (fault::
+// ResilienceEvaluator) — but only ever ran them in separate benches.  The
+// ladder stacks them so a search can spend almost all of its budget at the
+// ~microsecond analytic tier and promote only shortlisted survivors up the
+// rungs, the way XBTorch/LASANA-style co-design flows make large analog
+// spaces tractable:
+//
+//   kAnalytic    analytic FOM projection (the brute-force triage model)
+//   kNodal       + nodal IR-drop error on the crossbar tile, + Eva-CAM
+//                sense margins re-derived under device variation
+//   kMonteCarlo  + measured fault/aging accuracy ratio from the resilience
+//                probe grid and the BER-derived weight-storage derate
+//
+// Each rung is a pure function of (point, tier, config, profile): no hidden
+// state, so values are journal-cacheable and bit-identical at any
+// XLDS_THREADS.  Digital platform points refine to themselves — there is no
+// in-memory physics to re-model — which keeps ladder comparisons fair: the
+// baselines never pay fictitious penalties.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/design_space.hpp"
+#include "core/evaluate.hpp"
+
+namespace xlds::dse {
+
+enum class Fidelity : std::uint32_t {
+  kAnalytic = 0,
+  kNodal = 1,
+  kMonteCarlo = 2,
+};
+
+constexpr std::size_t kFidelityTiers = 3;
+
+std::string to_string(Fidelity f);
+Fidelity fidelity_from_string(const std::string& name);
+
+struct FidelityConfig {
+  Fidelity max_fidelity = Fidelity::kAnalytic;
+  /// kNodal: relative device-to-device conductance spread folded into the
+  /// Eva-CAM sense-margin analysis.
+  double variation_sigma_rel = 0.05;
+  /// kNodal: accuracy sensitivity to the nodal-vs-analytic column-current
+  /// error (fractional accuracy lost per unit relative error).
+  double ir_drop_sensitivity = 0.2;
+  /// kMonteCarlo: stuck-cell rate and storage age of the resilience probe.
+  double mc_fault_rate = 0.02;
+  double mc_age_s = 1.0e7;
+  /// kMonteCarlo: probe stream.  Deliberately independent of the *search*
+  /// seed: FOM values must not change when only the search trajectory does,
+  /// or journals could never be shared across strategies/seeds.
+  std::uint64_t mc_seed = 99;
+};
+
+class FidelityLadder {
+ public:
+  FidelityLadder(FidelityConfig config, core::AppProfile profile,
+                 core::AccuracyOracle oracle = core::default_accuracy_oracle);
+
+  const FidelityConfig& config() const noexcept { return config_; }
+  const core::AppProfile& profile() const noexcept { return profile_; }
+
+  /// Evaluate `p` at `tier` (refining every rung below it).  Pure function
+  /// of (p, tier) for a fixed ladder; results are thread-count independent.
+  core::Fom evaluate(const core::DesignPoint& p, Fidelity tier) const;
+
+  /// Identity hash of everything evaluate() depends on besides the point —
+  /// folded into the journal job hash.
+  std::uint64_t hash(std::uint64_t h) const;
+
+ private:
+  core::Fom refine_nodal(const core::DesignPoint& p, core::Fom fom) const;
+  core::Fom refine_monte_carlo(const core::DesignPoint& p, core::Fom fom) const;
+
+  FidelityConfig config_;
+  core::AppProfile profile_;
+  core::Evaluator evaluator_;
+};
+
+}  // namespace xlds::dse

@@ -1,0 +1,86 @@
+// Successive halving across the fidelity ladder.
+//
+// A wide cohort is costed at the cheap analytic rung, the triage ranking
+// keeps the best ~1/eta, and the survivors climb one fidelity tier — so the
+// expensive nodal and Monte-Carlo models only ever run on designs the cheap
+// model already likes.  The base-rung width is sized so one full bracket
+// (n0 + n0/eta + n0/eta^2 + ...) fits the remaining budget; leftover budget
+// buys additional brackets over still-unseen points.
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/pareto.hpp"
+#include "dse/driver.hpp"
+#include "dse/driver_util.hpp"
+#include "util/error.hpp"
+
+namespace xlds::dse {
+
+namespace {
+
+class HalvingDriver final : public SearchDriver {
+ public:
+  explicit HalvingDriver(const DriverParams& params) : params_(params) {
+    XLDS_REQUIRE_MSG(params_.halving_eta > 1.0, "successive halving needs eta > 1");
+  }
+  std::string name() const override { return "halving"; }
+
+  void run(EvaluationBackend& backend, Rng& rng) override {
+    while (backend.remaining_budget() > 0)
+      if (bracket(backend, rng) == 0) return;  // nothing fresh left to buy
+  }
+
+ private:
+  /// One halving bracket; returns the number of (point, tier) pairs charged.
+  std::size_t bracket(EvaluationBackend& backend, Rng& rng) const {
+    const SearchSpace& space = backend.space();
+    const std::size_t rungs = static_cast<std::size_t>(backend.max_fidelity()) + 1;
+    const double eta = params_.halving_eta;
+
+    double denom = 0.0;
+    for (std::size_t r = 0; r < rungs; ++r) denom += std::pow(eta, -static_cast<double>(r));
+    const std::size_t budget = backend.remaining_budget();
+    std::size_t n0 = static_cast<std::size_t>(static_cast<double>(budget) / denom);
+    n0 = std::max<std::size_t>(1, std::min(n0, space.viable_count()));
+
+    std::size_t charged = 0;
+    std::vector<std::size_t> cohort = detail::lhs_indices(space, n0, rng);
+    for (std::size_t r = 0; r < rungs; ++r) {
+      const auto tier = static_cast<Fidelity>(r);
+      const auto fresh = detail::fresh_for_budget(backend, tier, cohort);
+      if (fresh.empty()) break;
+      const std::vector<Evaluation> evals = backend.evaluate(fresh, tier);
+      charged += fresh.size();
+      if (r + 1 == rungs) break;
+
+      // Promote the triage-best ceil(n/eta) survivors to the next rung.
+      std::vector<core::ScoredPoint> pts;
+      pts.reserve(evals.size());
+      for (const Evaluation& e : evals) pts.push_back({space.at(e.index), e.fom});
+      const std::vector<std::size_t> ranking = core::triage_ranking(pts);
+      if (ranking.empty()) break;  // every survivor infeasible at this rung
+      const auto keep = static_cast<std::size_t>(
+          std::ceil(static_cast<double>(evals.size()) / eta));
+      cohort.clear();
+      for (std::size_t j = 0; j < std::min(keep, ranking.size()); ++j)
+        cohort.push_back(evals[ranking[j]].index);
+    }
+    return charged;
+  }
+
+  DriverParams params_;
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<SearchDriver> make_halving_driver(const DriverParams& params) {
+  return std::make_unique<HalvingDriver>(params);
+}
+
+}  // namespace detail
+
+}  // namespace xlds::dse

@@ -1,0 +1,155 @@
+#include "dse/journal.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <iterator>
+#include <type_traits>
+
+#include "dse/space.hpp"
+#include "util/error.hpp"
+
+namespace xlds::dse {
+
+namespace {
+
+constexpr char kMagic[8] = {'X', 'L', 'D', 'S', 'J', 'N', 'L', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderSize = sizeof(kMagic) + sizeof(std::uint32_t) + sizeof(std::uint64_t);
+// Sanity bound on one record: a note longer than this is a corrupt length
+// field, not a real note.
+constexpr std::uint32_t kMaxBodyLen = 1u << 20;
+
+template <class T>
+void append_raw(std::string& buf, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const char* p = reinterpret_cast<const char*>(&v);
+  buf.append(p, sizeof v);
+}
+
+template <class T>
+bool read_raw(const std::string& buf, std::size_t& pos, T& out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (pos + sizeof out > buf.size()) return false;
+  std::memcpy(&out, buf.data() + pos, sizeof out);
+  pos += sizeof out;
+  return true;
+}
+
+std::string encode_body(const Journal::Record& r) {
+  std::string body;
+  body.reserve(57 + r.fom.note.size());
+  append_raw(body, r.key);
+  append_raw(body, r.fidelity);
+  append_raw(body, static_cast<std::uint8_t>(r.fom.feasible ? 1 : 0));
+  body.append(3, '\0');
+  append_raw(body, r.fom.latency);
+  append_raw(body, r.fom.energy);
+  append_raw(body, r.fom.area_mm2);
+  append_raw(body, r.fom.accuracy);
+  append_raw(body, static_cast<std::uint32_t>(r.fom.note.size()));
+  body.append(r.fom.note);
+  return body;
+}
+
+bool decode_body(const std::string& body, Journal::Record& r) {
+  std::size_t pos = 0;
+  std::uint8_t feasible = 0;
+  std::uint32_t note_len = 0;
+  if (!read_raw(body, pos, r.key) || !read_raw(body, pos, r.fidelity) ||
+      !read_raw(body, pos, feasible))
+    return false;
+  pos += 3;  // padding
+  if (pos > body.size() || !read_raw(body, pos, r.fom.latency) ||
+      !read_raw(body, pos, r.fom.energy) || !read_raw(body, pos, r.fom.area_mm2) ||
+      !read_raw(body, pos, r.fom.accuracy) || !read_raw(body, pos, note_len))
+    return false;
+  if (pos + note_len != body.size()) return false;
+  r.fom.feasible = feasible != 0;
+  r.fom.note.assign(body, pos, note_len);
+  return true;
+}
+
+}  // namespace
+
+Journal::Journal(std::string path, std::uint64_t job_hash)
+    : path_(std::move(path)), job_hash_(job_hash) {
+  XLDS_REQUIRE(!path_.empty());
+
+  std::string contents;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (in) {
+      open_info_.existed = true;
+      contents.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+    }
+  }
+
+  std::size_t good_end = 0;
+  if (open_info_.existed) {
+    XLDS_REQUIRE_MSG(contents.size() >= kHeaderSize &&
+                         std::memcmp(contents.data(), kMagic, sizeof kMagic) == 0,
+                     "'" << path_ << "' is not an XLDS journal");
+    std::size_t pos = sizeof kMagic;
+    std::uint32_t version = 0;
+    std::uint64_t stored_hash = 0;
+    read_raw(contents, pos, version);
+    read_raw(contents, pos, stored_hash);
+    XLDS_REQUIRE_MSG(version == kVersion,
+                     "journal '" << path_ << "' has format version " << version
+                                 << ", this build reads " << kVersion);
+    XLDS_REQUIRE_MSG(stored_hash == job_hash_,
+                     "journal '" << path_ << "' belongs to a different job "
+                                 << "(space/application/fidelity settings changed); "
+                                 << "delete it or point --journal elsewhere");
+    good_end = pos;
+
+    // Replay the intact record prefix; stop at the first torn or corrupt
+    // record and truncate the file there.
+    while (pos < contents.size()) {
+      std::uint32_t body_len = 0;
+      std::size_t scan = pos;
+      if (!read_raw(contents, scan, body_len) || body_len > kMaxBodyLen ||
+          scan + body_len + sizeof(std::uint64_t) > contents.size())
+        break;  // torn tail
+      const std::string body = contents.substr(scan, body_len);
+      scan += body_len;
+      std::uint64_t checksum = 0;
+      read_raw(contents, scan, checksum);
+      Record r;
+      if (checksum != fnv1a64(body.data(), body.size()) || !decode_body(body, r))
+        break;  // corrupt record: distrust everything after it
+      records_.push_back(std::move(r));
+      pos = scan;
+      good_end = pos;
+    }
+    open_info_.replayed = records_.size();
+    open_info_.dropped_bytes = contents.size() - good_end;
+    if (open_info_.dropped_bytes > 0) std::filesystem::resize_file(path_, good_end);
+  }
+
+  out_.open(path_, std::ios::binary | std::ios::app);
+  XLDS_REQUIRE_MSG(out_.is_open(), "cannot open journal '" << path_ << "' for append");
+  if (!open_info_.existed) {
+    std::string header;
+    header.append(kMagic, sizeof kMagic);
+    append_raw(header, kVersion);
+    append_raw(header, job_hash_);
+    out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+    out_.flush();
+  }
+}
+
+void Journal::append(const Record& r) {
+  const std::string body = encode_body(r);
+  std::string framed;
+  framed.reserve(body.size() + 12);
+  append_raw(framed, static_cast<std::uint32_t>(body.size()));
+  framed.append(body);
+  append_raw(framed, fnv1a64(body.data(), body.size()));
+  out_.write(framed.data(), static_cast<std::streamsize>(framed.size()));
+  out_.flush();
+  XLDS_REQUIRE_MSG(out_.good(), "journal append to '" << path_ << "' failed");
+  ++appended_;
+}
+
+}  // namespace xlds::dse

@@ -1,0 +1,80 @@
+// Crash-safe append-only result journal for design-space exploration.
+//
+// An exploration that dies — OOM-killed on a shared box, pre-empted in CI,
+// ^C'd by an impatient user — must not re-pay for the evaluations it already
+// finished: the expensive tiers of the fidelity ladder cost seconds per
+// point.  The journal makes every completed evaluation durable the moment it
+// finishes:
+//
+//   header:  magic "XLDSJNL1" | format version u32 | job hash u64
+//   record:  body length u32 | body | FNV-1a-64 checksum of the body
+//   body:    point key u64 | fidelity u32 | feasible u8 | pad[3]
+//            | latency f64 | energy f64 | area_mm2 f64 | accuracy f64
+//            | note length u32 | note bytes
+//
+// Append is write + flush; there is no in-place mutation, so the only
+// possible corruption is a torn tail from a mid-write crash.  Opening an
+// existing journal replays records until the first torn or checksum-failed
+// one and truncates the file there — everything before it is trusted,
+// everything after is garbage by construction.  The job hash (space, app,
+// fidelity settings — everything a FOM value depends on, deliberately *not*
+// the search seed/strategy/budget, which only affect which points get
+// visited) stops a journal from one job from silently poisoning another.
+//
+// Records are keyed by (point index, fidelity tier): replaying a journal
+// into a memo map is exactly the dedup a stochastic search needs, and a
+// resumed run that re-requests the same (key, tier) sequence gets
+// bit-identical FOMs without recomputing any of them.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/evaluate.hpp"
+
+namespace xlds::dse {
+
+class Journal {
+ public:
+  struct Record {
+    std::uint64_t key = 0;      ///< SearchSpace point index
+    std::uint32_t fidelity = 0; ///< ladder tier the FOM was computed at
+    core::Fom fom;
+  };
+
+  struct OpenInfo {
+    bool existed = false;          ///< file was present (resume)
+    std::size_t replayed = 0;      ///< intact records recovered
+    std::size_t dropped_bytes = 0; ///< torn/corrupt tail truncated away
+  };
+
+  /// Open `path` for append, creating it (with a header) when absent.  An
+  /// existing file must carry a matching job hash (PreconditionError
+  /// otherwise — resuming a different job is always a bug); its intact
+  /// record prefix is replayed into records() and any torn tail truncated.
+  Journal(std::string path, std::uint64_t job_hash);
+
+  const std::string& path() const noexcept { return path_; }
+  const OpenInfo& open_info() const noexcept { return open_info_; }
+
+  /// Records replayed at open time (append() does not extend this view;
+  /// the writer already holds them in its own archive).
+  const std::vector<Record>& records() const noexcept { return records_; }
+
+  /// Durably append one finished evaluation (write + flush).
+  void append(const Record& r);
+
+  std::size_t appended() const noexcept { return appended_; }
+
+ private:
+  std::string path_;
+  std::uint64_t job_hash_ = 0;
+  OpenInfo open_info_;
+  std::vector<Record> records_;
+  std::ofstream out_;
+  std::size_t appended_ = 0;
+};
+
+}  // namespace xlds::dse

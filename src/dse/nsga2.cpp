@@ -1,0 +1,301 @@
+// NSGA-II-style multi-objective evolutionary search over the design grid.
+//
+// Classic shape — non-dominated sorting (rank), crowding distance, binary
+// tournament, uniform crossover plus single-axis mutation — specialised to a
+// small categorical space: children that hit a structural cull are re-mutated
+// a few times (culls are free) before falling back to their parent, and every
+// tie anywhere is broken by point index so the trajectory is a pure function
+// of the seed.  Ranking reuses core::pareto_front as the peeling primitive,
+// so the driver's notion of domination is identical to the brute-force
+// enumeration it is benchmarked against.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pareto.hpp"
+#include "dse/driver.hpp"
+#include "dse/driver_util.hpp"
+
+namespace xlds::dse {
+
+namespace {
+
+struct Ranked {
+  std::size_t index = 0;      ///< point index in the SearchSpace
+  core::Fom fom;
+  std::size_t rank = 0;       ///< 0 = best front; infeasible points rank last
+  double crowding = 0.0;
+};
+
+// Non-dominated sorting by repeated pareto_front peeling, then crowding
+// distance within each front.  Infeasible/NaN points (which can never enter
+// a front) share a final rank with zero crowding.
+void rank_and_crowd(std::vector<Ranked>& pop) {
+  std::vector<std::size_t> remaining(pop.size());
+  for (std::size_t i = 0; i < pop.size(); ++i) remaining[i] = i;
+
+  std::size_t rank = 0;
+  std::vector<std::vector<std::size_t>> fronts;
+  while (!remaining.empty()) {
+    std::vector<core::ScoredPoint> pts;
+    pts.reserve(remaining.size());
+    for (const std::size_t i : remaining)
+      pts.push_back({core::DesignPoint{}, pop[i].fom});
+    const std::vector<std::size_t> front = core::pareto_front(pts);
+    if (front.empty()) break;  // only infeasible points left
+
+    std::vector<std::size_t> members;
+    std::vector<bool> in_front(remaining.size(), false);
+    for (const std::size_t f : front) {
+      in_front[f] = true;
+      members.push_back(remaining[f]);
+    }
+    std::vector<std::size_t> next;
+    for (std::size_t i = 0; i < remaining.size(); ++i)
+      if (!in_front[i]) next.push_back(remaining[i]);
+    for (const std::size_t m : members) pop[m].rank = rank;
+    fronts.push_back(std::move(members));
+    remaining = std::move(next);
+    ++rank;
+  }
+  for (const std::size_t i : remaining) {
+    pop[i].rank = rank;
+    pop[i].crowding = 0.0;
+  }
+
+  const auto objective = [](const core::Fom& f, int k) {
+    switch (k) {
+      case 0: return f.latency;
+      case 1: return f.energy;
+      case 2: return f.area_mm2;
+      default: return -f.accuracy;
+    }
+  };
+  for (const auto& front : fronts) {
+    for (const std::size_t m : front) pop[m].crowding = 0.0;
+    for (int k = 0; k < 4; ++k) {
+      std::vector<std::size_t> order = front;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        const double va = objective(pop[a].fom, k), vb = objective(pop[b].fom, k);
+        if (va != vb) return va < vb;
+        return pop[a].index < pop[b].index;
+      });
+      const double lo = objective(pop[order.front()].fom, k);
+      const double hi = objective(pop[order.back()].fom, k);
+      pop[order.front()].crowding = std::numeric_limits<double>::infinity();
+      pop[order.back()].crowding = std::numeric_limits<double>::infinity();
+      if (hi <= lo) continue;
+      for (std::size_t j = 1; j + 1 < order.size(); ++j)
+        pop[order[j]].crowding += (objective(pop[order[j + 1]].fom, k) -
+                                   objective(pop[order[j - 1]].fom, k)) /
+                                  (hi - lo);
+    }
+  }
+}
+
+/// Every point one axis reassignment away, in deterministic axis/value order.
+std::vector<core::DesignPoint> axis_neighbours(const core::SpaceAxes& axes,
+                                               const core::DesignPoint& p) {
+  std::vector<core::DesignPoint> out;
+  for (const auto d : axes.devices)
+    if (d != p.device) {
+      core::DesignPoint n = p;
+      n.device = d;
+      out.push_back(n);
+    }
+  for (const auto a : axes.archs)
+    if (a != p.arch) {
+      core::DesignPoint n = p;
+      n.arch = a;
+      out.push_back(n);
+    }
+  for (const auto g : axes.algos)
+    if (g != p.algo) {
+      core::DesignPoint n = p;
+      n.algo = g;
+      out.push_back(n);
+    }
+  return out;
+}
+
+/// (rank asc, crowding desc, index asc) — the NSGA-II preference order with
+/// a deterministic final tie-break.
+bool preferred(const Ranked& a, const Ranked& b) {
+  if (a.rank != b.rank) return a.rank < b.rank;
+  if (a.crowding != b.crowding) return a.crowding > b.crowding;
+  return a.index < b.index;
+}
+
+class Nsga2Driver final : public SearchDriver {
+ public:
+  explicit Nsga2Driver(const DriverParams& params) : params_(params) {}
+  std::string name() const override { return "nsga2"; }
+
+  void run(EvaluationBackend& backend, Rng& rng) override {
+    const SearchSpace& space = backend.space();
+    const Fidelity tier = backend.max_fidelity();
+    // A small population is deliberate: on a tight budget every init sample
+    // competes with the neighbourhood sweeps below, and the sweeps are what
+    // actually close out the front.  Clamp to a quarter of the budget so a
+    // generous default population cannot eat the whole allowance on init.
+    const std::size_t pop_size = std::max<std::size_t>(
+        2, std::min({params_.population, space.viable_count(),
+                     std::max<std::size_t>(2, backend.remaining_budget() / 4)}));
+
+    // archive: every FOM this driver has seen, keyed by point index.
+    std::unordered_map<std::size_t, core::Fom> archive;
+    const auto request = [&](const std::vector<std::size_t>& candidates) {
+      const auto fresh = detail::fresh_for_budget(backend, tier, candidates);
+      if (!fresh.empty())
+        for (const Evaluation& e : backend.evaluate(fresh, tier)) archive[e.index] = e.fom;
+      return fresh.size();
+    };
+
+    // Unseen viable single-axis neighbours of the current archive front, in
+    // deterministic (front member, axis, value) order.  Front points of a
+    // categorical grid cluster under single-axis moves, so each discovered
+    // member cascades along its whole axis-connected front component — and
+    // because already-requested neighbours are filtered out, re-sweeping an
+    // unchanged front is free.
+    const auto front_proposals = [&]() {
+      std::vector<std::size_t> keys;
+      keys.reserve(archive.size());
+      for (const auto& [index, fom] : archive) keys.push_back(index);
+      std::sort(keys.begin(), keys.end());
+      std::vector<core::ScoredPoint> pts;
+      pts.reserve(keys.size());
+      for (const std::size_t i : keys) pts.push_back({core::DesignPoint{}, archive.at(i)});
+      std::vector<std::size_t> proposals;
+      for (const std::size_t f : core::pareto_front(pts))
+        for (const core::DesignPoint& n : axis_neighbours(space.axes(), space.at(keys[f]))) {
+          if (core::incompatibility(n)) continue;
+          const std::size_t index = space.index_of(n);
+          if (!backend.requested(index, tier)) proposals.push_back(index);
+        }
+      return proposals;
+    };
+
+    request(detail::lhs_indices(space, pop_size, rng));
+    std::vector<Ranked> pop;
+    for (const auto& [index, fom] : archive) pop.push_back({index, fom, 0, 0.0});
+    std::sort(pop.begin(), pop.end(),
+              [](const Ranked& a, const Ranked& b) { return a.index < b.index; });
+    if (pop.empty()) return;
+
+    std::size_t stall = 0;
+    while (backend.remaining_budget() > 0 && stall < params_.stall_generations) {
+      rank_and_crowd(pop);
+
+      // Candidate order is priority order — fresh_for_budget truncates from
+      // the back when the budget runs short, so sweeps outrank offspring,
+      // which outrank immigrants.
+      //
+      // 1. One neighbourhood-sweep pass over the archive front.  One pass
+      //    per generation (rather than closure-to-fixpoint) keeps the broad
+      //    mediocre front of the first samples from fanning out and burning
+      //    the budget before any selection pressure exists.
+      std::vector<std::size_t> offspring = front_proposals();
+      offspring.reserve(offspring.size() + pop_size + pop_size / 4);
+
+      // 2. Genetic offspring: binary tournament, crossover, mutation.
+      for (std::size_t c = 0; c < pop_size; ++c) {
+        const Ranked& pa = tournament(pop, rng);
+        const Ranked& pb = tournament(pop, rng);
+        core::DesignPoint child =
+            rng.bernoulli(params_.crossover_prob)
+                ? core::crossover_points(space.at(pa.index), space.at(pb.index), rng)
+                : space.at(pa.index);
+        child = core::mutate_point(space.axes(), child, rng);
+        // Culls are free, so spend a few retries steering back into the
+        // viable region before giving up and re-submitting the parent.
+        for (int attempt = 0; attempt < 8 && core::incompatibility(child); ++attempt)
+          child = core::mutate_point(space.axes(), space.at(pa.index), rng);
+        const std::size_t index =
+            core::incompatibility(child) ? pa.index : space.index_of(child);
+        offspring.push_back(index);
+      }
+
+      // 3. Random immigrants: a quarter of each generation samples uniformly
+      //    from the not-yet-requested viable points.  Pure recombination of a
+      //    categorical grid can wall off corners of the space (a lineage that
+      //    never contains, say, a TPU parent can only reach TPU designs by a
+      //    lucky single-axis mutation); immigrants guarantee the whole grid
+      //    stays reachable, and crowding keeps any extreme point they find.
+      {
+        std::vector<std::size_t> unseen;
+        for (std::size_t i = 0; i < space.size(); ++i)
+          if (!space.culled(i) && !backend.requested(i, tier)) unseen.push_back(i);
+        const std::size_t count =
+            std::min(unseen.size(), std::max<std::size_t>(1, pop_size / 4));
+        if (count > 0)
+          for (const std::size_t j : rng.sample_without_replacement(unseen.size(), count))
+            offspring.push_back(unseen[j]);
+      }
+
+      stall = request(offspring) == 0 ? stall + 1 : 0;
+
+      // Environmental selection over parents + evaluated offspring.
+      std::vector<Ranked> merged = pop;
+      {
+        std::unordered_map<std::size_t, bool> have;
+        for (const Ranked& r : pop) have[r.index] = true;
+        std::vector<std::size_t> added;
+        for (const std::size_t i : offspring)
+          if (archive.count(i) && !have[i]) {
+            have[i] = true;
+            added.push_back(i);
+          }
+        std::sort(added.begin(), added.end());
+        for (const std::size_t i : added) merged.push_back({i, archive.at(i), 0, 0.0});
+      }
+      rank_and_crowd(merged);
+      std::sort(merged.begin(), merged.end(), preferred);
+      if (merged.size() > pop_size) merged.resize(pop_size);
+      pop = std::move(merged);
+    }
+
+    // Endgame — Pareto closure to fixpoint over the archive front (the
+    // archive, not the population: a small population truncates true front
+    // members by crowding before their neighbourhoods get explored), then
+    // spend whatever is left on uniform samples of still-unseen points,
+    // which can seed a new front component and restart the sweep.
+    while (backend.remaining_budget() > 0) {
+      if (request(front_proposals()) > 0) continue;
+
+      std::vector<std::size_t> unseen;
+      for (std::size_t i = 0; i < space.size(); ++i)
+        if (!space.culled(i) && !backend.requested(i, tier)) unseen.push_back(i);
+      if (unseen.empty()) break;
+      const std::size_t count = std::min({unseen.size(), backend.remaining_budget(),
+                                          std::max<std::size_t>(1, pop_size / 2)});
+      std::vector<std::size_t> fill;
+      for (const std::size_t j : rng.sample_without_replacement(unseen.size(), count))
+        fill.push_back(unseen[j]);
+      if (request(fill) == 0) break;
+    }
+  }
+
+ private:
+  const Ranked& tournament(const std::vector<Ranked>& pop, Rng& rng) const {
+    const std::size_t a = rng.uniform_u32(static_cast<std::uint32_t>(pop.size()));
+    const std::size_t b = rng.uniform_u32(static_cast<std::uint32_t>(pop.size()));
+    return preferred(pop[a], pop[b]) ? pop[a] : pop[b];
+  }
+
+  DriverParams params_;
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<SearchDriver> make_nsga2_driver(const DriverParams& params) {
+  return std::make_unique<Nsga2Driver>(params);
+}
+
+}  // namespace detail
+
+}  // namespace xlds::dse

@@ -1,0 +1,93 @@
+// Baseline samplers: uniform random and discrete Latin-hypercube search.
+// Both evaluate straight at the job's top fidelity — they are the "no
+// cleverness" reference points the evolutionary and multi-fidelity
+// strategies must beat.
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "dse/driver.hpp"
+#include "dse/driver_util.hpp"
+
+namespace xlds::dse {
+
+namespace {
+
+constexpr std::size_t kBatch = 16;
+
+class RandomDriver final : public SearchDriver {
+ public:
+  explicit RandomDriver(const DriverParams&) {}
+  std::string name() const override { return "random"; }
+
+  void run(EvaluationBackend& backend, Rng& rng) override {
+    const SearchSpace& space = backend.space();
+    const Fidelity tier = backend.max_fidelity();
+    while (backend.remaining_budget() > 0) {
+      // Propose a batch by rejection; bail out once the viable space is
+      // saturated (every viable point already charged).
+      std::vector<std::size_t> batch;
+      std::unordered_set<std::size_t> in_batch;
+      const std::size_t want = std::min(backend.remaining_budget(), kBatch);
+      std::size_t attempts = 0;
+      const std::size_t max_attempts = 16 * space.size() + 64;
+      while (batch.size() < want && attempts < max_attempts) {
+        ++attempts;
+        const std::size_t i = rng.uniform_u32(static_cast<std::uint32_t>(space.size()));
+        if (space.culled(i) || backend.requested(i, tier) || !in_batch.insert(i).second)
+          continue;
+        batch.push_back(i);
+      }
+      if (batch.empty()) {
+        if (saturated(backend, tier)) return;
+        continue;  // unlucky streak, not saturation: keep drawing
+      }
+      backend.evaluate(batch, tier);
+    }
+  }
+
+ private:
+  static bool saturated(const EvaluationBackend& backend, Fidelity tier) {
+    const SearchSpace& space = backend.space();
+    for (std::size_t i = 0; i < space.size(); ++i)
+      if (!space.culled(i) && !backend.requested(i, tier)) return false;
+    return true;
+  }
+};
+
+class LhsDriver final : public SearchDriver {
+ public:
+  explicit LhsDriver(const DriverParams&) {}
+  std::string name() const override { return "lhs"; }
+
+  void run(EvaluationBackend& backend, Rng& rng) override {
+    const Fidelity tier = backend.max_fidelity();
+    // Repeated stratified rounds: each round spreads its sample across every
+    // axis, and fresh_for_budget drops points earlier rounds already bought.
+    while (backend.remaining_budget() > 0) {
+      const std::size_t want =
+          std::min(backend.remaining_budget(), backend.space().viable_count());
+      const auto sample = detail::lhs_indices(backend.space(), want, rng);
+      const auto fresh = detail::fresh_for_budget(backend, tier, sample);
+      if (fresh.empty()) return;  // the viable space is exhausted
+      backend.evaluate(fresh, tier);
+    }
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<SearchDriver> make_random_driver(const DriverParams& params) {
+  return std::make_unique<RandomDriver>(params);
+}
+
+std::unique_ptr<SearchDriver> make_lhs_driver(const DriverParams& params) {
+  return std::make_unique<LhsDriver>(params);
+}
+
+}  // namespace detail
+
+}  // namespace xlds::dse

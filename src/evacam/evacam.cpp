@@ -421,4 +421,10 @@ CamFom EvaCam::evaluate() const {
   return fom;
 }
 
+CamFom evaluate_with_variation(CamDesignSpec spec, double sigma_rel) {
+  XLDS_REQUIRE(sigma_rel >= 0.0);
+  spec.device_sigma_rel = sigma_rel;
+  return EvaCam(std::move(spec)).evaluate();
+}
+
 }  // namespace xlds::evacam

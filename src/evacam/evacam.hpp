@@ -147,4 +147,12 @@ class EvaCam {
   CamDesignSpec spec_;
 };
 
+/// Fidelity-ladder adapter (DSE tier 1): re-project the design with
+/// device-to-device variation folded into the sense-margin analysis at
+/// `sigma_rel` relative conductance spread.  Returns the variation-aware
+/// figures of merit; the *_with_variation margin fields are the ones the
+/// ladder compares against the nominal projection to decide whether a
+/// triage-level winner survives a realistic programming spread.
+CamFom evaluate_with_variation(CamDesignSpec spec, double sigma_rel);
+
 }  // namespace xlds::evacam

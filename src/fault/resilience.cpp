@@ -363,6 +363,21 @@ ResilienceReport ResilienceEvaluator::run() const {
   return report;
 }
 
+ResilienceConfig dse_probe_config(double fault_rate, double age_s, std::uint64_t seed) {
+  XLDS_REQUIRE(fault_rate >= 0.0 && fault_rate <= 1.0 && age_s >= 0.0);
+  ResilienceConfig cfg;
+  cfg.fault_rates = {0.0, fault_rate};
+  cfg.time_points_s = {0.0, age_s};
+  cfg.seeds = 1;
+  cfg.base_seed = seed;
+  // Shrink the per-point work below the sweep defaults: the ladder runs one
+  // probe per shortlisted point, not one sweep per figure.
+  cfg.hdc.max_test_samples = 32;
+  cfg.mann.episodes = 1;
+  cfg.yield_trials = 1;  // estimate_yield requires >= 1; the ladder ignores yield
+  return cfg;
+}
+
 ResilienceCacheStats resilience_cache_stats() {
   ResilienceCacheStats stats;
   stats.lookups = g_ctx_lookups.load(std::memory_order_relaxed);

@@ -131,6 +131,14 @@ class ResilienceEvaluator {
   ResilienceConfig config_;
 };
 
+/// Fidelity-ladder adapter (DSE Monte-Carlo tier): a minimal two-rate,
+/// two-time probe grid — {0, fault_rate} x {0, age_s} at one seed — sized so
+/// a search can afford one run per shortlisted point.  The ladder uses the
+/// accuracy *ratio* between the faulty corner and the clean corner, so the
+/// tiny synthetic tasks' absolute accuracy never leaks into the FOMs.  Every
+/// probe at the same (rate, age) shares the process-wide context caches.
+ResilienceConfig dse_probe_config(double fault_rate, double age_s, std::uint64_t seed);
+
 /// Hit counters of the process-wide resilience context caches.
 struct ResilienceCacheStats {
   std::size_t lookups = 0;

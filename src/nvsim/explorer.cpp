@@ -73,4 +73,17 @@ double NvmExplorer::dnn_accuracy_at(nn::Network& net,
   return acc;
 }
 
+double ber_accuracy_derate(const device::DeviceTraits& dev, double age_s, double writes,
+                           const FaultModel& model) {
+  const double ber = model.bit_error_rate(dev, age_s, writes);
+  // Per-int8-weight corruption probability; the high bits dominate the
+  // perturbation so one flip ~= one damaged weight.
+  const double p_weight = 1.0 - std::pow(1.0 - ber, 8.0);
+  // Measured dnn_accuracy_at() curves stay flat to ~1e-3 damaged weights and
+  // lose roughly half their margin per decade beyond; exp(-k p) with k
+  // matched at the 1e-2 point reproduces that knee.
+  constexpr double kSensitivity = 25.0;
+  return std::exp(-kSensitivity * p_weight);
+}
+
 }  // namespace xlds::nvsim

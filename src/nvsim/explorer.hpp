@@ -70,4 +70,14 @@ class NvmExplorer {
 /// The caller restores the weights (or uses dnn_accuracy_at which does).
 std::size_t inject_weight_faults(nn::Network& net, double ber, Rng& rng);
 
+/// Fidelity-ladder adapter (DSE Monte-Carlo tier, MLP/CNN branch):
+/// multiplicative accuracy factor in (0, 1] for a network whose int8 weights
+/// live in memory built from `dev`, aged `age_s` seconds with `writes`
+/// program cycles per cell.  Calibrated against the dnn_accuracy_at()
+/// measurements: accuracy is flat until the per-weight error probability
+/// approaches ~1e-3, then decays exponentially — the cheap analytic stand-in
+/// when a full Monte-Carlo weight-fault run is not worth a ladder rung.
+double ber_accuracy_derate(const device::DeviceTraits& dev, double age_s, double writes,
+                           const FaultModel& model = {});
+
 }  // namespace xlds::nvsim

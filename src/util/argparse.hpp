@@ -1,0 +1,77 @@
+// Tiny command-line option parser for the benches and tools.
+//
+// Every bench used to hard-code its seed, thread count and output path; the
+// DSE CLI needs real options, so the common pattern lives here once:
+// registered options take `--name value` or `--name=value`, `--help` prints a
+// generated usage block, and unknown arguments are an error (a typo silently
+// ignored in a sweep costs hours).  add_bench_options()/apply_bench_options()
+// wire up the three flags shared by the whole fleet: --seed, --threads
+// (forwarded to the deterministic pool — results never change, only wall
+// clock) and --out.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xlds::util {
+
+class ArgParse {
+ public:
+  ArgParse(std::string prog, std::string description);
+
+  /// Register a value-taking option (without the leading "--").
+  ArgParse& add_option(const std::string& name, const std::string& help,
+                       const std::string& default_value = "");
+  /// Register a boolean flag (present => true).
+  ArgParse& add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv.  Returns false when parsing should stop: on --help (usage
+  /// printed to out, help_requested() == true) or on an error (message +
+  /// usage printed to err).  Typical exit: `return args.help_requested() ? 0 : 2;`
+  bool parse(int argc, const char* const* argv, std::ostream& out, std::ostream& err);
+  bool parse(int argc, const char* const* argv);  ///< std::cout / std::cerr
+
+  bool help_requested() const noexcept { return help_requested_; }
+  bool provided(const std::string& name) const;
+
+  /// Typed getters (registered name required; value errors throw
+  /// PreconditionError with the offending option named).
+  std::string str(const std::string& name) const;
+  bool flag(const std::string& name) const;
+  double num(const std::string& name) const;
+  std::int64_t integer(const std::string& name) const;
+  std::uint64_t uinteger(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string name;
+    std::string help;
+    std::string value;
+    bool is_flag = false;
+    bool provided = false;
+  };
+
+  Option* find(const std::string& name);
+  const Option* find(const std::string& name) const;
+
+  std::string prog_;
+  std::string description_;
+  std::vector<Option> options_;
+  bool help_requested_ = false;
+};
+
+/// Register the fleet-wide bench options: --seed (experiment seed), --threads
+/// (pool width; 0 = XLDS_THREADS / hardware), --out (result file path; empty
+/// keeps the bench's default).
+void add_bench_options(ArgParse& args, std::uint64_t default_seed,
+                       const std::string& default_out = "");
+
+/// Apply the parsed bench options' side effects (currently: resize the
+/// parallel pool when --threads was given).
+void apply_bench_options(const ArgParse& args);
+
+}  // namespace xlds::util

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "core/cim.hpp"
 #include "core/design_space.hpp"
@@ -281,6 +282,56 @@ TEST(Pareto, FrontMembersNotDominatedByEachOther) {
       EXPECT_FALSE(dominates);
     }
   }
+}
+
+TEST(Pareto, AllInfeasibleCohortYieldsEmptyFrontAndRanking) {
+  std::vector<ScoredPoint> points = synthetic_points();
+  for (auto& sp : points) sp.fom.feasible = false;
+  EXPECT_TRUE(pareto_front(points).empty());
+  EXPECT_TRUE(triage_ranking(points).empty());
+}
+
+TEST(Pareto, ExactTiesAllLandOnTheFront) {
+  // Identical objectives: neither copy dominates the other (domination needs
+  // a strict improvement somewhere), so both survive — dedup is the caller's
+  // job, not the front's.
+  std::vector<ScoredPoint> points = {synthetic_points()[0], synthetic_points()[0]};
+  EXPECT_EQ(pareto_front(points), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Pareto, SinglePointInput) {
+  const std::vector<ScoredPoint> one = {synthetic_points()[0]};
+  EXPECT_EQ(pareto_front(one), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(triage_ranking(one), (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(pareto_front({}).empty());
+  EXPECT_TRUE(triage_ranking({}).empty());
+}
+
+TEST(Pareto, NanObjectivesAreTreatedAsInfeasible) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  auto points = synthetic_points();
+  points[1].fom.accuracy = nan;  // would otherwise be incomparable -> never dominated
+  points[3].fom.latency = nan;
+  const auto front = pareto_front(points);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0}));
+  // NaN points are excluded from the ranking *and* from the cohort-best
+  // normalisation (a NaN best would poison every score).
+  const auto order = triage_ranking(points);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 2u);
+}
+
+TEST(Pareto, DedupKeepsFirstOccurrenceOfEachDesign) {
+  auto points = synthetic_points();
+  // 2 revisits 0's design with a different (dominated) score; 3 is distinct.
+  points[0].point.device = device::DeviceKind::kFeFet;
+  points[2].point.device = device::DeviceKind::kFeFet;
+  points[3].point.device = device::DeviceKind::kRram;
+  points[4].point.device = device::DeviceKind::kRram;
+  points[4].point.application = "mnist-like";  // application is part of identity
+  EXPECT_EQ(dedup_points(points), (std::vector<std::size_t>{0, 1, 3, 4}));
+  EXPECT_TRUE(dedup_points({}).empty());
 }
 
 TEST(Triage, RankingPrefersDominatingPoints) {

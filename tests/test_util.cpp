@@ -5,8 +5,11 @@
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <sstream>
 
+#include "util/argparse.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/matrix.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -334,6 +337,105 @@ TEST(Error, RequireMacroThrowsWithMessage) {
   } catch (const PreconditionError& e) {
     EXPECT_NE(std::string(e.what()).find("custom detail 42"), std::string::npos);
   }
+}
+
+// ---- JSON ----------------------------------------------------------------------
+
+TEST(Json, ParsesEveryValueKind) {
+  const util::Json doc = util::Json::parse(
+      R"({"s": "a\n\"b\"", "n": -2.5e3, "i": 42, "t": true, "f": false,
+          "z": null, "arr": [1, [2], {}], "nested": {"k": "v"}})");
+  EXPECT_EQ(doc.at("s").as_string(), "a\n\"b\"");
+  EXPECT_DOUBLE_EQ(doc.at("n").as_number(), -2500.0);
+  EXPECT_DOUBLE_EQ(doc.at("i").as_number(), 42.0);
+  EXPECT_TRUE(doc.at("t").as_bool());
+  EXPECT_FALSE(doc.at("f").as_bool());
+  EXPECT_TRUE(doc.at("z").is_null());
+  EXPECT_EQ(doc.at("arr").size(), 3u);
+  EXPECT_EQ(doc.at("arr").as_array()[1].as_array()[0].as_number(), 2.0);
+  EXPECT_EQ(doc.at("nested").at("k").as_string(), "v");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW(doc.at("missing"), PreconditionError);
+  EXPECT_THROW(doc.at("s").as_number(), PreconditionError);  // kind mismatch
+}
+
+TEST(Json, MalformedInputThrowsWithPosition) {
+  for (const char* bad : {"{", "[1,]", "{\"a\": }", "tru", "\"unterminated",
+                          "{\"a\": 1} trailing", "01", "{\"a\" 1}"}) {
+    EXPECT_THROW(util::Json::parse(bad), PreconditionError) << bad;
+  }
+  try {
+    util::Json::parse("{\n  \"a\": oops\n}");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("2:"), std::string::npos);  // line 2
+  }
+}
+
+TEST(Json, DumpIsStableAndRoundTrips) {
+  util::Json doc = util::Json::object();
+  doc.set("b", 2).set("a", 1.5).set("list", util::Json::array());
+  doc.set("b", 3);  // replace in place: insertion order must survive
+  const std::string text = doc.dump();
+  EXPECT_EQ(text, R"({"b":3,"a":1.5,"list":[]})");  // integral 3 prints as 3
+  EXPECT_EQ(util::Json::parse(text).dump(), text);
+  EXPECT_EQ(util::Json::parse(doc.dump(2)).dump(), text);  // pretty round-trip
+}
+
+// ---- ArgParse ------------------------------------------------------------------
+
+TEST(ArgParse, ParsesOptionsFlagsAndDefaults) {
+  util::ArgParse args("prog", "test");
+  args.add_option("seed", "the seed", "7").add_option("out", "path").add_flag("fast", "go fast");
+  const char* argv[] = {"prog", "--seed=99", "--fast"};
+  std::ostringstream out, err;
+  ASSERT_TRUE(args.parse(3, argv, out, err));
+  EXPECT_EQ(args.uinteger("seed"), 99u);
+  EXPECT_TRUE(args.provided("seed"));
+  EXPECT_EQ(args.str("out"), "");  // default kept
+  EXPECT_FALSE(args.provided("out"));
+  EXPECT_TRUE(args.flag("fast"));
+}
+
+TEST(ArgParse, SeparateValueFormAndTypedErrors) {
+  util::ArgParse args("prog", "test");
+  args.add_option("threads", "width", "0");
+  const char* argv[] = {"prog", "--threads", "12"};
+  ASSERT_TRUE(args.parse(3, argv));
+  EXPECT_EQ(args.integer("threads"), 12);
+  EXPECT_THROW(args.str("unregistered"), PreconditionError);
+
+  util::ArgParse bad("prog", "test");
+  bad.add_option("n", "number", "not-a-number");
+  const char* only[] = {"prog"};
+  ASSERT_TRUE(bad.parse(1, only));
+  EXPECT_THROW(bad.num("n"), PreconditionError);
+}
+
+TEST(ArgParse, UnknownArgumentFailsAndHelpStops) {
+  util::ArgParse args("prog", "test");
+  args.add_option("seed", "the seed", "1");
+  const char* typo[] = {"prog", "--sede", "3"};
+  std::ostringstream out, err;
+  EXPECT_FALSE(args.parse(3, typo, out, err));
+  EXPECT_FALSE(args.help_requested());
+  EXPECT_NE(err.str().find("--sede"), std::string::npos);
+
+  util::ArgParse help("prog", "test");
+  const char* ask[] = {"prog", "--help"};
+  std::ostringstream hout, herr;
+  EXPECT_FALSE(help.parse(2, ask, hout, herr));
+  EXPECT_TRUE(help.help_requested());
+  EXPECT_NE(hout.str().find("usage: prog"), std::string::npos);
+}
+
+TEST(ArgParse, MissingValueIsAnError) {
+  util::ArgParse args("prog", "test");
+  args.add_option("out", "path");
+  const char* argv[] = {"prog", "--out"};
+  std::ostringstream out, err;
+  EXPECT_FALSE(args.parse(2, argv, out, err));
+  EXPECT_FALSE(args.help_requested());
 }
 
 }  // namespace
