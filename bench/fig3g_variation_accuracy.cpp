@@ -11,6 +11,7 @@
 #include "device/fefet.hpp"
 #include "hdc/cam_inference.hpp"
 #include "hdc/model.hpp"
+#include "kernels/sampler.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -33,16 +34,20 @@ int main() {
     const int mid = params.levels() / 2;
     Rng rng(7);
     constexpr std::size_t kTrials = 20000;
-    constexpr std::size_t kChunk = 500;
+    constexpr std::size_t kChunk = 2000;
     // Chunked Monte Carlo on forked RNG streams: deterministic at any
-    // XLDS_THREADS.
+    // XLDS_THREADS.  Each chunk draws its programmed-V_th block with the
+    // batched inverse-CDF sampler and classifies it in one vectorised
+    // readback pass — the kernels-layer fast path (same estimator, its own
+    // documented draw sequence).
+    const double mid_vth = model.level_vth(mid);
     std::vector<std::size_t> chunk_errors((kTrials + kChunk - 1) / kChunk, 0);
     parallel_for_rng(rng, kTrials, kChunk,
                      [&](Rng& trial_rng, std::size_t begin, std::size_t end, std::size_t ci) {
-      std::size_t errors = 0;
-      for (std::size_t t = begin; t < end; ++t)
-        if (model.readback_level(model.program_vth(mid, trial_rng)) != mid) ++errors;
-      chunk_errors[ci] = errors;
+      std::vector<double> vth(end - begin);
+      kernels::fill_normal_fast(trial_rng, vth.data(), vth.size(), mid_vth,
+                                params.sigma_program);
+      chunk_errors[ci] = model.readback_errors(mid, vth.data(), vth.size());
     });
     std::size_t errors = 0;
     for (std::size_t e : chunk_errors) errors += e;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/sampler.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -37,6 +38,16 @@ int FeFetModel::readback_level(double vth) const {
   const double idx = (vth - params_.vth_low) / params_.level_window();
   const int level = static_cast<int>(std::lround(idx));
   return std::clamp(level, 0, params_.levels() - 1);
+}
+
+std::size_t FeFetModel::readback_errors(int level, const double* vth, std::size_t n) const {
+  // Same division and the same rounding decision as readback_level: lround
+  // rounds half away from zero, the kernel rounds half up via trunc(x + 0.5),
+  // and the two only disagree for values that clamp to level 0 either way
+  // (see kernels::count_quantize_errors); the vectorised loop lives in the
+  // kernel layer so it compiles at -O3.
+  return kernels::count_quantize_errors(vth, n, params_.vth_low, params_.level_window(), level,
+                                        params_.levels() - 1);
 }
 
 double FeFetModel::drain_current(double vgs, double vth) const {

@@ -59,6 +59,13 @@ class FeFetModel {
   /// midpoint thresholds) — models a program-verify readout.
   int readback_level(double vth) const;
 
+  /// Batched readback over a block of measured V_th values: the number that
+  /// would NOT read back as `level`.  Decision-identical to calling
+  /// readback_level per element (floor(idx + 0.5) equals lround once the
+  /// result is clamped to [0, levels-1]), but restructured as one pass over a
+  /// contiguous block so Monte-Carlo trial loops vectorise.
+  std::size_t readback_errors(int level, const double* vth, std::size_t n) const;
+
   /// Drain current at gate-source voltage `vgs` for a device with threshold
   /// `vth`: subthreshold exponential below, square-law saturation above, with
   /// a leakage floor.  Monotonic in (vgs - vth).

@@ -9,6 +9,7 @@
 
 #include "dse/space.hpp"
 #include "fault/resilience.hpp"
+#include "kernels/sampler.hpp"
 #include "nvsim/explorer.hpp"
 #include "util/error.hpp"
 #include "util/matrix.hpp"
@@ -60,8 +61,11 @@ double nodal_ir_error_uncached(device::DeviceKind dev) {
   cfg.nodal_max_iters = 20000;
   Rng fill(kTileSeed ^ static_cast<std::uint64_t>(dev));
   MatrixD g(cfg.rows, cfg.cols, cfg.rram.g_min);
-  for (double& v : g.data())
-    if (fill.bernoulli(0.5)) v = cfg.rram.g_max;
+  // Block Bernoulli draw (same stream consumption as the per-cell loop).
+  std::vector<std::uint8_t> on(g.size());
+  kernels::fill_bernoulli(fill, on.data(), on.size(), 0.5);
+  for (std::size_t i = 0; i < on.size(); ++i)
+    if (on[i]) g.data()[i] = cfg.rram.g_max;
 
   Rng rng_a(1), rng_n(1);
   cfg.ir_drop = xbar::IrDropMode::kAnalytic;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "kernels/sampler.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -135,11 +136,11 @@ FaultMap FaultMap::generate(std::size_t rows, std::size_t cols, const FaultSpec&
       map.col_line_[c] = static_cast<std::uint8_t>(LineFault::kShort);
     }
   }
+  // Block Bernoulli fills: the same draws in the same order as the old
+  // per-element loops, so generated maps are unchanged.
   Rng sense_rng = rng.fork(kSenseStreamTag);
-  for (std::size_t r = 0; r < rows; ++r)
-    map.row_sa_dead_[r] = sense_rng.bernoulli(spec.senseamp_dead_rate) ? 1 : 0;
-  for (std::size_t c = 0; c < cols; ++c)
-    map.col_sa_dead_[c] = sense_rng.bernoulli(spec.senseamp_dead_rate) ? 1 : 0;
+  kernels::fill_bernoulli(sense_rng, map.row_sa_dead_.data(), rows, spec.senseamp_dead_rate);
+  kernels::fill_bernoulli(sense_rng, map.col_sa_dead_.data(), cols, spec.senseamp_dead_rate);
 
   // Per-cell population is O(R*C): row-chunked with one uniform per cell so
   // every chunk's draws are a pure function of its chunk index.
@@ -148,13 +149,16 @@ FaultMap FaultMap::generate(std::size_t rows, std::size_t cols, const FaultSpec&
   if (p_any > 0.0) {
     parallel_for_rng(rng, rows, 0,
                      [&](Rng& chunk_rng, std::size_t begin, std::size_t end, std::size_t) {
+                       // One uniform per cell, same order as before; the block
+                       // fill just separates the draws from the thresholding.
+                       std::vector<double> u(cols);
                        for (std::size_t r = begin; r < end; ++r) {
                          auto* row = map.cell_.row_data(r);
+                         kernels::fill_uniform(chunk_rng, u.data(), cols);
                          for (std::size_t c = 0; c < cols; ++c) {
-                           const double u = chunk_rng.uniform();
-                           if (u < p_on)
+                           if (u[c] < p_on)
                              row[c] = static_cast<std::uint8_t>(CellFault::kStuckOn);
-                           else if (u < p_any)
+                           else if (u[c] < p_any)
                              row[c] = static_cast<std::uint8_t>(CellFault::kStuckOff);
                          }
                        }

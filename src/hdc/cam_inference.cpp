@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "hdc/encoder.hpp"
+#include "kernels/mvm.hpp"
 #include "util/error.hpp"
 
 namespace xlds::hdc {
@@ -49,7 +50,7 @@ std::vector<int> HdcCamInference::query_digits(const std::vector<double>& x) con
   std::vector<double> y = encoder_->mvm(x);
   const double scale =
       1.0 / std::sqrt(static_cast<double>(model_.encoder().input_dim()));
-  for (std::size_t d = 0; d < y.size(); ++d) y[d] = y[d] * scale - encode_bias_[d];
+  kernels::scale_sub(y.data(), scale, encode_bias_.data(), y.data(), y.size());
   return model_.quantiser().digits(y);
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/mvm.hpp"
 #include "util/error.hpp"
 
 namespace xlds::hdc {
@@ -15,7 +16,8 @@ HdcEncoder::HdcEncoder(std::size_t input_dim, std::size_t hv_dim, Rng& rng)
 
 std::vector<double> HdcEncoder::encode(const std::vector<double>& x) const {
   XLDS_REQUIRE_MSG(x.size() == input_dim_, "encode: input " << x.size() << " != " << input_dim_);
-  std::vector<double> y = p_.matvec_transposed(x);
+  std::vector<double> y(hv_dim_);
+  kernels::matvec_t(p_.data().data(), input_dim_, hv_dim_, x.data(), y.data());
   const double scale = 1.0 / std::sqrt(static_cast<double>(input_dim_));
   for (double& v : y) v *= scale;
   return y;
@@ -71,8 +73,7 @@ std::vector<double> IdLevelEncoder::encode(const std::vector<double>& x) const {
   std::vector<double> y(hv_dim_, 0.0);
   for (std::size_t f = 0; f < input_dim_; ++f) {
     const auto& level = levels_[level_of(x[f])];
-    const auto& id = ids_[f];
-    for (std::size_t d = 0; d < hv_dim_; ++d) y[d] += id[d] * level[d];
+    kernels::mul_add(ids_[f].data(), level.data(), y.data(), hv_dim_);
   }
   const double scale = 1.0 / std::sqrt(static_cast<double>(input_dim_));
   for (double& v : y) v *= scale;

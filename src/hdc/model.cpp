@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/bitpack.hpp"
+#include "kernels/mvm.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -30,7 +32,12 @@ HdcModel::HdcModel(HdcConfig config, std::size_t input_dim, std::size_t n_classe
       encoder_(make_encoder(config, input_dim, rng)),
       acc_(n_classes, std::vector<double>(config.hv_dim, 0.0)),
       acc_scale_(n_classes, 0.0),
-      digits_(n_classes) {
+      digits_(n_classes),
+      unit_(n_classes),
+      unit_norm2_(n_classes, 0.0),
+      dequant_(n_classes),
+      dequant_norm2_(n_classes, 0.0),
+      packed_digits_(n_classes) {
   XLDS_REQUIRE(n_classes >= 2);
   XLDS_REQUIRE(config_.hv_dim >= 8);
   XLDS_REQUIRE(config_.element_bits >= 1 && config_.element_bits <= 16);
@@ -41,12 +48,45 @@ ElementQuantiser HdcModel::quantiser() const {
 }
 
 void HdcModel::refresh_quantiser() {
+  for (std::size_t cls = 0; cls < n_classes_; ++cls) refresh_class_cache(cls);
+}
+
+void HdcModel::refresh_class_cache(std::size_t cls) {
   const ElementQuantiser q(config_.element_bits, quant_range_);
-  for (std::size_t cls = 0; cls < n_classes_; ++cls) {
-    const double scale = std::max(acc_scale_[cls], 1.0);
-    std::vector<int>& d = digits_[cls];
-    d.resize(config_.hv_dim);
-    for (std::size_t i = 0; i < config_.hv_dim; ++i) d[i] = q.digit(acc_[cls][i] / scale);
+  const double scale = std::max(acc_scale_[cls], 1.0);
+  std::vector<int>& d = digits_[cls];
+  d.resize(config_.hv_dim);
+  for (std::size_t i = 0; i < config_.hv_dim; ++i) d[i] = q.digit(acc_[cls][i] / scale);
+  switch (config_.similarity) {
+    case Similarity::kCosineReal: {
+      // Same division and the same i-ascending squared-sum order the query
+      // loop used, so the cached norm equals what cosine() recomputed.
+      std::vector<double>& m = unit_[cls];
+      m.resize(config_.hv_dim);
+      double n2 = 0.0;
+      for (std::size_t i = 0; i < config_.hv_dim; ++i) {
+        m[i] = acc_[cls][i] / scale;
+        n2 += m[i] * m[i];
+      }
+      unit_norm2_[cls] = n2;
+      break;
+    }
+    case Similarity::kCosineQuantised: {
+      std::vector<double>& cv = dequant_[cls];
+      cv.resize(config_.hv_dim);
+      double n2 = 0.0;
+      for (std::size_t i = 0; i < config_.hv_dim; ++i) {
+        cv[i] = q.value(d[i]);
+        n2 += cv[i] * cv[i];
+      }
+      dequant_norm2_[cls] = n2;
+      break;
+    }
+    case Similarity::kSquaredEuclideanDigits:
+      // Binary digits compare by Hamming distance (delta^2 is 0 or 1), so
+      // the CAM-native metric runs on packed words.
+      if (config_.element_bits == 1) packed_digits_[cls] = kernels::pack_bits(d);
+      break;
   }
 }
 
@@ -101,7 +141,6 @@ void HdcModel::train(const std::vector<std::vector<double>>& xs,
   refresh_quantiser();
 
   // Perceptron-style retraining on the quantised model.
-  const ElementQuantiser q(config_.element_bits, quant_range_);
   for (std::size_t epoch = 0; epoch < config_.retrain_epochs; ++epoch) {
     std::size_t errors = 0;
     for (std::size_t i = 0; i < xs.size(); ++i) {
@@ -116,27 +155,28 @@ void HdcModel::train(const std::vector<std::vector<double>>& xs,
       }
       acc_scale_[ys[i]] += config_.retrain_rate;
       acc_scale_[pred] = std::max(1.0, acc_scale_[pred] - config_.retrain_rate);
-      // Only the two touched classes need requantising.
-      for (std::size_t cls : {ys[i], pred}) {
-        const double scale = std::max(acc_scale_[cls], 1.0);
-        for (std::size_t d = 0; d < config_.hv_dim; ++d)
-          digits_[cls][d] = q.digit(acc_[cls][d] / scale);
-      }
+      // Only the two touched classes need requantising (and re-caching).
+      for (std::size_t cls : {ys[i], pred}) refresh_class_cache(cls);
     }
     if (errors == 0) break;
   }
 }
 
 namespace {
-double cosine(const std::vector<double>& a, const std::vector<double>& b) {
-  double dot = 0.0, na = 0.0, nb = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    dot += a[i] * b[i];
-    na += a[i] * a[i];
-    nb += b[i] * b[i];
-  }
+// Cosine against a cached class vector whose squared norm is precomputed.
+// The dot, the query-norm sum and the cached-norm sum all accumulate in
+// ascending index order with independent accumulators — exactly what the old
+// three-way fused loop produced — so the score is bit-identical.
+double cosine_cached(const std::vector<double>& a, double na, const std::vector<double>& b,
+                     double nb) {
   if (na == 0.0 || nb == 0.0) return 0.0;
-  return dot / std::sqrt(na * nb);
+  return kernels::dot(a.data(), b.data(), a.size()) / std::sqrt(na * nb);
+}
+
+double norm2(const std::vector<double>& v) {
+  double n2 = 0.0;
+  for (double x : v) n2 += x * x;
+  return n2;
 }
 }  // namespace
 
@@ -147,11 +187,9 @@ std::size_t HdcModel::classify_encoded(const std::vector<double>& y) const {
   double best_score = -HUGE_VAL;
   switch (config_.similarity) {
     case Similarity::kCosineReal: {
+      const double na = norm2(y);  // once per query, not once per class
       for (std::size_t cls = 0; cls < n_classes_; ++cls) {
-        const double scale = std::max(acc_scale_[cls], 1.0);
-        std::vector<double> m(config_.hv_dim);
-        for (std::size_t d = 0; d < config_.hv_dim; ++d) m[d] = acc_[cls][d] / scale;
-        const double s = cosine(y, m);
+        const double s = cosine_cached(y, na, unit_[cls], unit_norm2_[cls]);
         if (s > best_score) {
           best_score = s;
           best = cls;
@@ -163,10 +201,9 @@ std::size_t HdcModel::classify_encoded(const std::vector<double>& y) const {
       const std::vector<int> qd = q.digits(y);
       std::vector<double> qv(config_.hv_dim);
       for (std::size_t d = 0; d < config_.hv_dim; ++d) qv[d] = q.value(qd[d]);
+      const double na = norm2(qv);
       for (std::size_t cls = 0; cls < n_classes_; ++cls) {
-        std::vector<double> cv(config_.hv_dim);
-        for (std::size_t d = 0; d < config_.hv_dim; ++d) cv[d] = q.value(digits_[cls][d]);
-        const double s = cosine(qv, cv);
+        const double s = cosine_cached(qv, na, dequant_[cls], dequant_norm2_[cls]);
         if (s > best_score) {
           best_score = s;
           best = cls;
@@ -176,10 +213,26 @@ std::size_t HdcModel::classify_encoded(const std::vector<double>& y) const {
     }
     case Similarity::kSquaredEuclideanDigits: {
       const std::vector<int> qd = q.digits(y);
+      if (config_.element_bits == 1) {
+        // Binary digits: squared-Euclidean is Hamming (delta^2 is 0 or 1) and
+        // both sums are exact small integers, so the packed path picks the
+        // same argmin with the same first-wins tie handling.
+        const kernels::PackedBits pq = kernels::pack_bits(qd);
+        for (std::size_t cls = 0; cls < n_classes_; ++cls) {
+          const double dist = static_cast<double>(kernels::hamming(pq, packed_digits_[cls]));
+          if (-dist > best_score) {
+            best_score = -dist;
+            best = cls;
+          }
+        }
+        break;
+      }
       for (std::size_t cls = 0; cls < n_classes_; ++cls) {
+        const int* __restrict pd = digits_[cls].data();
+        const int* __restrict pq = qd.data();
         double dist = 0.0;
         for (std::size_t d = 0; d < config_.hv_dim; ++d) {
-          const double delta = static_cast<double>(qd[d] - digits_[cls][d]);
+          const double delta = static_cast<double>(pq[d] - pd[d]);
           dist += delta * delta;
         }
         if (-dist > best_score) {

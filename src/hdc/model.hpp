@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "hdc/encoder.hpp"
+#include "kernels/bitpack.hpp"
 #include "util/rng.hpp"
 #include "workload/dataset.hpp"
 
@@ -77,6 +78,9 @@ class HdcModel {
  private:
   std::size_t classify_encoded(const std::vector<double>& y) const;
   void refresh_quantiser();
+  /// Rebuild the per-class derived state (digits plus whichever similarity
+  /// cache the configured metric reads) after acc_/acc_scale_ changed.
+  void refresh_class_cache(std::size_t cls);
   /// Normalise features with per-dimension training statistics: mean-centred
   /// for the projection encoder (the common-mode offset would otherwise drown
   /// the class signal), fully z-scored for the record encoder (whose level
@@ -91,6 +95,16 @@ class HdcModel {
   std::vector<std::vector<double>> acc_;     ///< real class accumulators
   std::vector<double> acc_scale_;            ///< per-class normalisation
   std::vector<std::vector<int>> digits_;     ///< quantised class HVs
+  // Similarity caches, refreshed alongside digits_.  Without them every
+  // cosine query recomputed every class norm (and kCosineReal re-divided the
+  // whole accumulator); the cached values are produced by the exact loops the
+  // query path used, so scores are bit-identical.  Only the cache the
+  // configured similarity reads is populated.
+  std::vector<std::vector<double>> unit_;    ///< acc/scale (kCosineReal)
+  std::vector<double> unit_norm2_;           ///< |unit|^2 per class
+  std::vector<std::vector<double>> dequant_; ///< q.value(digits) (kCosineQuantised)
+  std::vector<double> dequant_norm2_;        ///< |dequant|^2 per class
+  std::vector<kernels::PackedBits> packed_digits_;  ///< 1-bit digits (SQE path)
   double quant_range_ = 1.0;
   bool trained_ = false;
 };

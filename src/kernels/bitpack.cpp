@@ -1,0 +1,112 @@
+#include "kernels/bitpack.hpp"
+
+#include "util/error.hpp"
+
+namespace xlds::kernels {
+
+namespace {
+
+inline std::size_t popcount_words(const std::uint64_t* a, const std::uint64_t* b,
+                                  std::size_t n_words) {
+  // XOR + popcount over whole words; tails are zero by construction so no
+  // mask is needed.  Four-way unrolled accumulators let the popcounts retire
+  // in parallel instead of serialising on one running sum.
+  std::size_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  std::size_t w = 0;
+  for (; w + 4 <= n_words; w += 4) {
+    s0 += static_cast<std::size_t>(__builtin_popcountll(a[w] ^ b[w]));
+    s1 += static_cast<std::size_t>(__builtin_popcountll(a[w + 1] ^ b[w + 1]));
+    s2 += static_cast<std::size_t>(__builtin_popcountll(a[w + 2] ^ b[w + 2]));
+    s3 += static_cast<std::size_t>(__builtin_popcountll(a[w + 3] ^ b[w + 3]));
+  }
+  for (; w < n_words; ++w)
+    s0 += static_cast<std::size_t>(__builtin_popcountll(a[w] ^ b[w]));
+  return s0 + s1 + s2 + s3;
+}
+
+}  // namespace
+
+PackedBits pack_signs(const double* v, std::size_t n) {
+  PackedBits p;
+  p.bits = n;
+  p.words.assign(word_count(n), 0);
+  for (std::size_t i = 0; i < n; ++i)
+    if (v[i] >= 0.0) p.words[i >> 6] |= std::uint64_t{1} << (i & 63u);
+  return p;
+}
+
+PackedBits pack_signs(const std::vector<double>& v) { return pack_signs(v.data(), v.size()); }
+
+PackedBits pack_bits(const int* d, std::size_t n) {
+  PackedBits p;
+  p.bits = n;
+  p.words.assign(word_count(n), 0);
+  for (std::size_t i = 0; i < n; ++i)
+    if (d[i] != 0) p.words[i >> 6] |= std::uint64_t{1} << (i & 63u);
+  return p;
+}
+
+PackedBits pack_bits(const std::vector<int>& d) { return pack_bits(d.data(), d.size()); }
+
+std::vector<int> unpack_bits(const PackedBits& p) {
+  std::vector<int> out(p.bits);
+  for (std::size_t i = 0; i < p.bits; ++i) out[i] = p.bit(i);
+  return out;
+}
+
+std::size_t hamming(const PackedBits& a, const PackedBits& b) {
+  XLDS_REQUIRE_MSG(a.bits == b.bits, "packed Hamming: " << a.bits << " vs " << b.bits << " bits");
+  return popcount_words(a.words.data(), b.words.data(), a.words.size());
+}
+
+long long sign_dot(const PackedBits& a, const PackedBits& b) {
+  const auto h = static_cast<long long>(hamming(a, b));
+  return static_cast<long long>(a.bits) - 2 * h;
+}
+
+std::size_t hamming_ref(const double* a, const double* b, std::size_t n) {
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if ((a[i] >= 0.0) != (b[i] >= 0.0)) ++d;
+  return d;
+}
+
+std::size_t hamming_digits_ref(const int* a, const int* b, std::size_t n) {
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (a[i] != b[i]) ++d;
+  return d;
+}
+
+PackedTernary pack_ternary(const int* d, std::size_t n, int dont_care) {
+  PackedTernary p;
+  p.value.bits = n;
+  p.value.words.assign(word_count(n), 0);
+  p.care.bits = n;
+  p.care.words.assign(word_count(n), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (d[i] == dont_care) continue;
+    p.care.words[i >> 6] |= std::uint64_t{1} << (i & 63u);
+    if (d[i] != 0) p.value.words[i >> 6] |= std::uint64_t{1} << (i & 63u);
+  }
+  return p;
+}
+
+PackedTernary pack_ternary(const std::vector<int>& d, int dont_care) {
+  return pack_ternary(d.data(), d.size(), dont_care);
+}
+
+std::size_t ternary_distance(const PackedTernary& a, const PackedTernary& b) {
+  XLDS_REQUIRE_MSG(a.bits() == b.bits(),
+                   "ternary distance: " << a.bits() << " vs " << b.bits() << " bits");
+  const std::uint64_t* va = a.value.words.data();
+  const std::uint64_t* vb = b.value.words.data();
+  const std::uint64_t* ca = a.care.words.data();
+  const std::uint64_t* cb = b.care.words.data();
+  std::size_t d = 0;
+  for (std::size_t w = 0; w < a.value.words.size(); ++w)
+    d += static_cast<std::size_t>(__builtin_popcountll((va[w] ^ vb[w]) & ca[w] & cb[w]));
+  return d;
+}
+
+}  // namespace xlds::kernels

@@ -1,0 +1,93 @@
+#include "kernels/mvm.hpp"
+
+#include <algorithm>
+
+namespace xlds::kernels {
+
+namespace {
+// Column tiling keeps the active slice of y cache-resident while the row loop
+// streams the matrix through — but each extra tile is another strided pass
+// over A, which costs memory bandwidth on matrices that spill the LLC.  So
+// tile only when y itself is too large to stay resident (> kMaxResidentCols
+// doubles, 128 KiB); below that a single sequential pass over A wins.  The
+// cutover never reorders the per-column accumulation (tiling only changes the
+// loop nest), so results are bit-identical for every problem size and policy.
+constexpr std::size_t kColTile = 1024;
+constexpr std::size_t kMaxResidentCols = 16384;
+}  // namespace
+
+void matvec_t(const double* a, std::size_t rows, std::size_t cols, const double* x, double* y) {
+  std::fill(y, y + cols, 0.0);
+  const std::size_t tile = cols <= kMaxResidentCols ? cols : kColTile;
+  for (std::size_t c0 = 0; c0 < cols; c0 += tile) {
+    const std::size_t c1 = std::min(cols, c0 + tile);
+    double* __restrict yt = y + c0;
+    const std::size_t width = c1 - c0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double xr = x[r];
+      if (xr == 0.0) continue;
+      const double* __restrict row = a + r * cols + c0;
+      for (std::size_t c = 0; c < width; ++c) yt[c] += row[c] * xr;
+    }
+  }
+}
+
+void matvec_t_ref(const double* a, std::size_t rows, std::size_t cols, const double* x,
+                  double* y) {
+  std::fill(y, y + cols, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    const double* row = a + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) y[c] += row[c] * xr;
+  }
+}
+
+void matvec(const double* a, std::size_t rows, std::size_t cols, const double* x, double* y) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* __restrict row = a + r * cols;
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+double dot(const double* a, const double* b, std::size_t n) {
+  const double* __restrict pa = a;
+  const double* __restrict pb = b;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += pa[i] * pb[i];
+  return acc;
+}
+
+void mul_add(const double* a, const double* b, double* y, std::size_t n) {
+  const double* __restrict pa = a;
+  const double* __restrict pb = b;
+  double* __restrict py = y;
+  for (std::size_t i = 0; i < n; ++i) py[i] += pa[i] * pb[i];
+}
+
+void scale(const double* x, double s, double* y, std::size_t n) {
+  const double* __restrict px = x;
+  double* __restrict py = y;
+  for (std::size_t i = 0; i < n; ++i) py[i] = px[i] * s;
+}
+
+void scale_sub(const double* x, double s, const double* b, double* y, std::size_t n) {
+  const double* __restrict pb = b;
+  for (std::size_t i = 0; i < n; ++i) y[i] = x[i] * s - pb[i];
+}
+
+void accumulate(const double* x, double* y, std::size_t n) {
+  const double* __restrict px = x;
+  double* __restrict py = y;
+  for (std::size_t i = 0; i < n; ++i) py[i] += px[i];
+}
+
+void diff_pairs(const double* v, std::size_t n_pairs, double s, double* out) {
+  const double* __restrict pv = v;
+  double* __restrict po = out;
+  for (std::size_t j = 0; j < n_pairs; ++j) po[j] = (pv[2 * j] - pv[2 * j + 1]) * s;
+}
+
+}  // namespace xlds::kernels

@@ -1,0 +1,55 @@
+// Dense matrix-vector kernels for the crossbar / encoder hot paths.
+//
+// The simulator's MVMs all have the same shape: a row-major matrix A
+// (conductances, projection weights) applied as y = A^T x — iterate rows,
+// y[c] += A[r][c] * x[r].  These kernels keep that *exact accumulation
+// order* (per output element, contributions arrive in increasing row index),
+// so adopting them is bit-identical to the loops they replace — the golden
+// figure tables and the util::parallel determinism contract survive.  The
+// speedup comes from restrict-qualified contiguous spans (the compiler can
+// finally vectorise: the aliasing of `out` against `g` was the blocker),
+// column tiling that keeps the active slice of y in L1 for wide
+// hypervector-sized outputs, and skipping all-zero input rows.
+//
+// kernels::matvec_t_ref is the untiled naive loop — the scalar reference the
+// tests and the bench-smoke gate compare against (equal results, slower).
+#pragma once
+
+#include <cstddef>
+
+namespace xlds::kernels {
+
+/// y = A^T x for row-major A[rows x cols]: y[c] = sum_r A[r][c] * x[r].
+/// y is fully overwritten.  Rows with x[r] == 0.0 are skipped (exact: a zero
+/// input contributes +0.0 to every column).
+void matvec_t(const double* a, std::size_t rows, std::size_t cols, const double* x, double* y);
+
+/// Scalar reference for matvec_t (same accumulation order, no tiling).
+void matvec_t_ref(const double* a, std::size_t rows, std::size_t cols, const double* x,
+                  double* y);
+
+/// y = A x for row-major A[rows x cols]: y[r] = dot(A[r], x).
+void matvec(const double* a, std::size_t rows, std::size_t cols, const double* x, double* y);
+
+/// Strict left-to-right dot product (single accumulator — the exact order the
+/// scalar similarity loops used, so scores stay bit-identical).
+double dot(const double* a, const double* b, std::size_t n);
+
+/// y[i] += a[i] * b[i] — the bind-and-bundle inner loop of ID×LEVEL encoding.
+void mul_add(const double* a, const double* b, double* y, std::size_t n);
+
+/// y[i] = x[i] * s.
+void scale(const double* x, double s, double* y, std::size_t n);
+
+/// y[i] = x[i] * s - b[i] — fused scale-and-bias-subtract (analog encode
+/// readout: digital removal of the mean-projection term).  In-place safe for
+/// y == x (b must not alias).
+void scale_sub(const double* x, double s, const double* b, double* y, std::size_t n);
+
+/// y[i] += x[i] — tile-partial accumulation (TiledCrossbar reduce).
+void accumulate(const double* x, double* y, std::size_t n);
+
+/// out[j] = (v[2j] - v[2j+1]) * s — differential column-pair reduction.
+void diff_pairs(const double* v, std::size_t n_pairs, double s, double* out);
+
+}  // namespace xlds::kernels

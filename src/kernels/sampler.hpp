@@ -1,0 +1,65 @@
+// Batched structure-of-arrays sampling on top of util::Rng.
+//
+// Monte-Carlo hot paths drew device variation one rng.normal()/bernoulli()
+// call per cell; these kernels fill whole blocks so trial loops pay the
+// generator cost once per vector, not once per element, and the consuming
+// arithmetic (readback classification, fault thresholding) runs over
+// contiguous arrays the compiler can vectorise.
+//
+// Two sequence contracts, chosen per call site:
+//
+//  * fill_uniform / fill_normal / fill_bernoulli consume the underlying Rng
+//    EXACTLY as the equivalent per-element call loop would (same draws, same
+//    order, same spare-normal caching).  Swapping a per-cell loop for one of
+//    these is bit-identical — golden figure tables survive.
+//
+//  * fill_normal_fast defines its OWN draw sequence: one 32-bit PCG output
+//    per sample mapped through a high-accuracy inverse normal CDF
+//    (Acklam's rational approximation, |relative error| < 1.15e-9 — orders
+//    of magnitude below any modelled device sigma).  One uniform per normal,
+//    no rejection loop, branch-free central region: this is the ≥3×
+//    Monte-Carlo kernel.  Deterministic (a pure function of the Rng state),
+//    but NOT sequence-compatible with rng.normal(); adopt it where the
+//    stream is already versioned per chunk (util::parallel_for_rng) and the
+//    checksum is regenerated, never under a pinned golden value.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace xlds::kernels {
+
+/// out[i] = rng.uniform(), in call order.
+void fill_uniform(Rng& rng, double* out, std::size_t n);
+
+/// out[i] = rng.normal(mean, sigma), in call order (polar method, spare
+/// cached across calls exactly as the scalar path does).
+void fill_normal(Rng& rng, double* out, std::size_t n, double mean = 0.0, double sigma = 1.0);
+
+/// out[i] = rng.bernoulli(p) ? 1 : 0, in call order.
+void fill_bernoulli(Rng& rng, std::uint8_t* out, std::size_t n, double p);
+
+/// Fast batched Gaussian block: one 32-bit draw per sample through the
+/// inverse normal CDF.  Own documented sequence (see header comment).
+void fill_normal_fast(Rng& rng, double* out, std::size_t n, double mean = 0.0,
+                      double sigma = 1.0);
+
+/// Acklam's inverse standard-normal CDF; the scalar core of
+/// fill_normal_fast, exported for accuracy/monotonicity tests.
+/// Precondition: 0 < p < 1.
+double normal_icdf(double p);
+
+/// Counting reduction over a sampled block: how many p[i] do NOT quantise to
+/// `level` under uniform mid-rise binning, i.e.
+///   clamp(floor((p[i] - lo) / window + 0.5), 0, max_level) != level.
+/// Implemented with truncation instead of floor — identical under the clamp,
+/// because every idx + 0.5 < 1 (where trunc and floor can disagree) lands at
+/// or below 0 either way.  Exactly the decision rule of
+/// device::FeFetModel::readback_level (which delegates its batch form here);
+/// kept in the kernel layer so the division/convert loop vectorises at -O3.
+std::size_t count_quantize_errors(const double* p, std::size_t n, double lo, double window,
+                                  int level, int max_level);
+
+}  // namespace xlds::kernels

@@ -3,9 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/mvm.hpp"
 #include "util/error.hpp"
 
 namespace xlds::mann {
+
+PackedSignature pack_signature(const Signature& s) {
+  return kernels::pack_ternary(s, cam::kDontCare);
+}
+
+std::size_t signature_distance(const PackedSignature& a, const PackedSignature& b) {
+  return kernels::ternary_distance(a, b);
+}
 
 double dont_care_fraction(const Signature& s) {
   XLDS_REQUIRE(!s.empty());
@@ -34,12 +43,15 @@ SoftwareLsh::SoftwareLsh(std::size_t input_dim, std::size_t bits, Rng& rng)
 }
 
 void SoftwareLsh::calibrate_centering() {
-  ones_response_ = r_.matvec_transposed(std::vector<double>(input_dim_, 1.0));
+  const std::vector<double> ones(input_dim_, 1.0);
+  ones_response_.resize(bits_);
+  kernels::matvec_t(r_.data().data(), input_dim_, bits_, ones.data(), ones_response_.data());
 }
 
 std::vector<double> SoftwareLsh::project(const std::vector<double>& x) const {
   XLDS_REQUIRE_MSG(x.size() == input_dim_, "project: " << x.size() << " != " << input_dim_);
-  std::vector<double> p = r_.matvec_transposed(x);
+  std::vector<double> p(bits_);
+  kernels::matvec_t(r_.data().data(), input_dim_, bits_, x.data(), p.data());
   if (!ones_response_.empty()) {
     double x_bar = 0.0;
     for (double v : x) x_bar += v;
@@ -100,7 +112,7 @@ void CrossbarLsh::calibrate_centering() {
 std::vector<double> CrossbarLsh::project(const std::vector<double>& x) const {
   const std::vector<double> currents = xbar_.column_currents(x);
   std::vector<double> diffs(bits_);
-  for (std::size_t i = 0; i < bits_; ++i) diffs[i] = currents[2 * i] - currents[2 * i + 1];
+  kernels::diff_pairs(currents.data(), bits_, 1.0, diffs.data());
   if (!ones_response_.empty()) {
     double x_bar = 0.0;
     for (double v : x) x_bar += v;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cam/types.hpp"
+#include "kernels/bitpack.hpp"
 #include "util/matrix.hpp"
 #include "util/rng.hpp"
 #include "xbar/crossbar.hpp"
@@ -26,11 +27,22 @@ namespace xlds::mann {
 /// A hash signature: entries 0, 1 or cam::kDontCare (TLSH only).
 using Signature = std::vector<int>;
 
+/// Bit-packed signature (value + care planes, 64 bits per word).  Stored
+/// rows are packed once per episode; each query compare is then a handful of
+/// XOR/AND/popcount words instead of a loop over int digits.
+using PackedSignature = kernels::PackedTernary;
+
+/// Pack a signature (cam::kDontCare becomes a cleared care bit).
+PackedSignature pack_signature(const Signature& s);
+
 /// Fraction of don't-care bits in a signature.
 double dont_care_fraction(const Signature& s);
 
 /// Ternary-aware Hamming distance (X matches everything).
 std::size_t signature_distance(const Signature& a, const Signature& b);
+
+/// Packed overload — identical result to the digit-wise version.
+std::size_t signature_distance(const PackedSignature& a, const PackedSignature& b);
 
 /// Software (ideal) LSH: dense Gaussian random projection.
 class SoftwareLsh {

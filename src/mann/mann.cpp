@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/mvm.hpp"
 #include "util/error.hpp"
 
 namespace xlds::mann {
@@ -118,8 +119,7 @@ EpisodeResult MannPipeline::run_episode(const workload::Episode& episode) {
       std::size_t best = 0;
       double best_dot = -HUGE_VAL;
       for (std::size_t s = 0; s < support_fv.size(); ++s) {
-        double dot = 0.0;
-        for (std::size_t d = 0; d < fv.size(); ++d) dot += fv[d] * support_fv[s][d];
+        const double dot = kernels::dot(fv.data(), support_fv[s].data(), fv.size());
         if (dot > best_dot) {
           best_dot = dot;
           best = s;
@@ -149,13 +149,16 @@ EpisodeResult MannPipeline::run_episode(const workload::Episode& episode) {
   result.mean_dont_care = dc_sum / static_cast<double>(stored.size());
 
   if (config_.backend == Backend::kSoftwareLsh) {
+    // Pack the support set once; every query then compares packed words.
+    std::vector<PackedSignature> packed(stored.size());
+    for (std::size_t s = 0; s < stored.size(); ++s) packed[s] = pack_signature(stored[s]);
     std::size_t correct = 0;
     for (std::size_t q = 0; q < episode.query_x.size(); ++q) {
-      const Signature qs = query_signature(features(episode.query_x[q]));
+      const PackedSignature qs = pack_signature(query_signature(features(episode.query_x[q])));
       std::size_t best = 0;
       std::size_t best_d = stored.front().size() + 1;
-      for (std::size_t s = 0; s < stored.size(); ++s) {
-        const std::size_t d = signature_distance(stored[s], qs);
+      for (std::size_t s = 0; s < packed.size(); ++s) {
+        const std::size_t d = signature_distance(packed[s], qs);
         if (d < best_d) {
           best_d = d;
           best = s;

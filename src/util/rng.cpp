@@ -13,18 +13,6 @@ Rng::Rng(std::uint64_t seed, std::uint64_t stream) noexcept : state_(0), inc_((s
   next_u32();
 }
 
-std::uint32_t Rng::next_u32() noexcept {
-  const std::uint64_t old = state_;
-  state_ = old * 6364136223846793005ULL + inc_;
-  const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
-  const auto rot = static_cast<std::uint32_t>(old >> 59u);
-  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
-}
-
-std::uint64_t Rng::next_u64() noexcept {
-  return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
-}
-
 std::uint32_t Rng::uniform_u32(std::uint32_t bound) noexcept {
   // Lemire's nearly-divisionless unbiased bounded generation.
   std::uint64_t m = static_cast<std::uint64_t>(next_u32()) * bound;
@@ -38,13 +26,6 @@ std::uint32_t Rng::uniform_u32(std::uint32_t bound) noexcept {
   }
   return static_cast<std::uint32_t>(m >> 32);
 }
-
-double Rng::uniform() noexcept {
-  // 53 random bits into [0, 1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
 
 double Rng::normal() noexcept {
   if (has_spare_) {
@@ -64,8 +45,6 @@ double Rng::normal() noexcept {
 }
 
 double Rng::normal(double mean, double sigma) noexcept { return mean + sigma * normal(); }
-
-bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
 
 double Rng::lognormal(double mu, double sigma) noexcept { return std::exp(normal(mu, sigma)); }
 

@@ -23,6 +23,12 @@ class Rng {
   /// non-overlapping generators from one experiment seed.
   explicit Rng(std::uint64_t seed, std::uint64_t stream = 0) noexcept;
 
+  // The single-draw primitives are defined inline below: they sit in the
+  // innermost loop of every Monte-Carlo sweep, and keeping them in the header
+  // lets those loops (and the block samplers in kernels/sampler.hpp) inline
+  // the generator instead of paying a call per element.  The sequences are
+  // unchanged — this is purely a code-placement decision.
+
   /// Uniform 32-bit integer.
   std::uint32_t next_u32() noexcept;
 
@@ -67,5 +73,26 @@ class Rng {
   double spare_normal_ = 0.0;
   bool has_spare_ = false;
 };
+
+inline std::uint32_t Rng::next_u32() noexcept {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+inline std::uint64_t Rng::next_u64() noexcept {
+  return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+}
+
+inline double Rng::uniform() noexcept {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+inline double Rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+inline bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
 
 }  // namespace xlds

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "kernels/mvm.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -144,13 +145,10 @@ double Crossbar::conductance(std::size_t row, std::size_t col) const {
 }
 
 std::vector<double> Crossbar::currents_ideal(const std::vector<double>& v_in) const {
-  std::vector<double> out(config_.cols, 0.0);
-  for (std::size_t r = 0; r < config_.rows; ++r) {
-    const double v = v_in[r];
-    if (v == 0.0) continue;
-    const double* row = g_.row_data(r);
-    for (std::size_t c = 0; c < config_.cols; ++c) out[c] += row[c] * v;
-  }
+  // Same accumulation order (and zero-row skip) as the old in-place loop;
+  // the kernel adds the restrict qualification and column tiling.
+  std::vector<double> out(config_.cols);
+  kernels::matvec_t(g_.data().data(), config_.rows, config_.cols, v_in.data(), out.data());
   return out;
 }
 
@@ -162,7 +160,7 @@ std::vector<double> Crossbar::currents_analytic(const std::vector<double>& v_in)
   const std::size_t R = config_.rows, C = config_.cols;
   MatrixD i_cell(R, C, 0.0);
   for (std::size_t r = 0; r < R; ++r)
-    for (std::size_t c = 0; c < C; ++c) i_cell(r, c) = g_(r, c) * v_in[r];
+    kernels::scale(g_.row_data(r), v_in[r], i_cell.row_data(r), C);
 
   std::vector<double> out(C, 0.0);
   // Row drops: driver on the left; segment k carries the suffix sum of
@@ -191,9 +189,12 @@ std::vector<double> Crossbar::currents_analytic(const std::vector<double>& v_in)
       v_eff(r, c) -= drop;
     }
   }
-  for (std::size_t r = 0; r < R; ++r)
-    for (std::size_t c = 0; c < C; ++c)
-      out[c] += g_(r, c) * std::max(v_eff(r, c), 0.0);
+  for (std::size_t r = 0; r < R; ++r) {
+    const double* __restrict gr = g_.row_data(r);
+    const double* __restrict ve = v_eff.row_data(r);
+    double* __restrict po = out.data();
+    for (std::size_t c = 0; c < C; ++c) po[c] += gr[c] * std::max(ve[c], 0.0);
+  }
   return out;
 }
 
@@ -213,48 +214,57 @@ std::vector<double> Crossbar::currents_nodal(const std::vector<double>& v_in) co
     for (std::size_t c = 0; c < C; ++c) v(r, c) = v_in[r];
 
   // Relax every cell of `colour` in row r (v first, then u) and return the
-  // row's largest update.
+  // row's largest update.  Row-pointer sweep: within one colour pass the
+  // cells written stride by 2 and every neighbour read is the opposite
+  // colour, so hoisting the row base pointers (instead of going through the
+  // bounds-checked Matrix accessor per read) changes no arithmetic.
   const auto relax_row = [&](std::size_t r, std::size_t colour) {
     double row_delta = 0.0;
+    const double* gr = g_.row_data(r);
+    double* vr = v.row_data(r);
+    double* ur = u.row_data(r);
+    const double* u_above = r > 0 ? u.row_data(r - 1) : nullptr;
+    const double* u_below = r + 1 < R ? u.row_data(r + 1) : nullptr;
+    const double vin_r = v_in[r];
     for (std::size_t c = (r + colour) & 1u; c < C; c += 2) {
-      const double gc = g_(r, c);
+      const double gc = gr[c];
       // Row node: neighbours along the row wire; the c==0 node ties to the
       // driver (ideal source v_in) through one wire segment.
-      double num = gc * u(r, c);
+      double num = gc * ur[c];
       double den = gc;
       if (c == 0) {
-        num += gw * v_in[r];
+        num += gw * vin_r;
         den += gw;
       } else {
-        num += gw * v(r, c - 1);
+        num += gw * vr[c - 1];
         den += gw;
       }
       if (c + 1 < C) {
-        num += gw * v(r, c + 1);
+        num += gw * vr[c + 1];
         den += gw;
       }
       const double nv = num / den;
-      row_delta = std::max(row_delta, std::abs(nv - v(r, c)));
-      v(r, c) = nv;
+      row_delta = std::max(row_delta, std::abs(nv - vr[c]));
+      vr[c] = nv;
 
       // Column node: neighbours along the column wire; the bottom node ties
       // to the ADC virtual ground through one segment.
-      double cnum = gc * v(r, c);
+      double cnum = gc * vr[c];
       double cden = gc;
-      if (r > 0) {
-        cnum += gw * u(r - 1, c);
+      if (u_above != nullptr) {
+        cnum += gw * u_above[c];
         cden += gw;
       }
-      if (r + 1 < R) {
-        cnum += gw * u(r + 1, c);
+      if (u_below != nullptr) {
+        cnum += gw * u_below[c];
         cden += gw;
       } else {
         cnum += gw * 0.0;  // virtual ground
         cden += gw;
       }
       const double nu = cnum / cden;
-      row_delta = std::max(row_delta, std::abs(nu - u(r, c)));
-      u(r, c) = nu;
+      row_delta = std::max(row_delta, std::abs(nu - ur[c]));
+      ur[c] = nu;
     }
     return row_delta;
   };
@@ -300,7 +310,8 @@ std::vector<double> Crossbar::currents_nodal(const std::vector<double>& v_in) co
   std::vector<double> out(C, 0.0);
   for (std::size_t c = 0; c < C; ++c) {
     double i_col = 0.0;
-    for (std::size_t r = 0; r < R; ++r) i_col += g_(r, c) * (v(r, c) - u(r, c));
+    for (std::size_t r = 0; r < R; ++r)
+      i_col += g_.row_data(r)[c] * (v.row_data(r)[c] - u.row_data(r)[c]);
     out[c] = i_col;
   }
   return out;
@@ -360,7 +371,10 @@ std::vector<double> Crossbar::mvm(const std::vector<double>& input) const {
 std::vector<double> Crossbar::ideal_mvm(const std::vector<double>& input) const {
   XLDS_REQUIRE_MSG(!weights_.empty(), "ideal_mvm() requires program_weights()");
   XLDS_REQUIRE(input.size() == config_.rows);
-  return weights_.matvec_transposed(input);
+  std::vector<double> out(weights_.cols());
+  kernels::matvec_t(weights_.data().data(), weights_.rows(), weights_.cols(), input.data(),
+                    out.data());
+  return out;
 }
 
 MvmCost Crossbar::mvm_cost() const {

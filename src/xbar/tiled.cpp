@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/mvm.hpp"
 #include "util/error.hpp"
 
 namespace xlds::xbar {
@@ -50,10 +51,9 @@ std::vector<double> TiledCrossbar::mvm(const std::vector<double>& input) const {
     }
     for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
       const std::vector<double> partial = tiles_[rt * col_tiles_ + ct].mvm(slice);
-      for (std::size_t c = 0; c < partial.size(); ++c) {
-        const std::size_t gc = ct * logical_cols_per_tile_ + c;
-        if (gc < out_dim_) out[gc] += partial[c];
-      }
+      const std::size_t gc0 = ct * logical_cols_per_tile_;
+      kernels::accumulate(partial.data(), out.data() + gc0,
+                          std::min(partial.size(), out_dim_ - gc0));
     }
   }
   return out;
@@ -70,10 +70,9 @@ std::vector<double> TiledCrossbar::ideal_mvm(const std::vector<double>& input) c
     }
     for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
       const std::vector<double> partial = tiles_[rt * col_tiles_ + ct].ideal_mvm(slice);
-      for (std::size_t c = 0; c < partial.size(); ++c) {
-        const std::size_t gc = ct * logical_cols_per_tile_ + c;
-        if (gc < out_dim_) out[gc] += partial[c];
-      }
+      const std::size_t gc0 = ct * logical_cols_per_tile_;
+      kernels::accumulate(partial.data(), out.data() + gc0,
+                          std::min(partial.size(), out_dim_ - gc0));
     }
   }
   return out;
