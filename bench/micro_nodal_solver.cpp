@@ -1,0 +1,271 @@
+// Micro-benchmark — factorization-cached nodal IR-drop solver.
+//
+// Measures the repeated-query cost of the kNodal readout across array sizes
+// and solve strategies:
+//   * GS cold    — red-black Gauss-Seidel from a flat initial guess (the
+//                  pre-cache behaviour: every query pays the full iteration).
+//   * GS warm    — Gauss-Seidel warm-started from the previous iterate.
+//   * factorized — one cached Cholesky factorization per programming state,
+//                  a forward/back substitution per query.
+//   * batched    — the factorized multi-RHS path (readout_batch), which also
+//                  parallelises substitutions across the batch.
+//
+// Emits BENCH_nodal_solver.json.  `--nodal-smoke` is the CI gate: it fails
+// (nonzero exit) if the factorized repeated-query path is not faster than
+// cold-start Gauss-Seidel — the acceptance bar is 10x on 64x64; the gate
+// enforces a conservative >= 2x so CI jitter cannot mask a real regression
+// while a broken cache (or an accidentally disabled direct path) still trips
+// it instantly.
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/argparse.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "xbar/crossbar.hpp"
+
+using namespace xlds;
+
+namespace {
+
+xbar::CrossbarConfig base_config(std::size_t n) {
+  xbar::CrossbarConfig cfg;
+  cfg.rows = n;
+  cfg.cols = n;
+  cfg.apply_variation = false;
+  cfg.read_noise_rel = 0.0;
+  cfg.ir_drop = xbar::IrDropMode::kNodal;
+  cfg.nodal_max_iters = 50000;  // let the iterative reference converge
+  return cfg;
+}
+
+MatrixD half_loaded(std::size_t n, const device::RramParams& p, std::uint64_t seed) {
+  MatrixD g(n, n, p.g_min);
+  Rng fill(seed);
+  for (double& v : g.data())
+    if (fill.bernoulli(0.5)) v = p.g_max;
+  return g;
+}
+
+MatrixD query_batch(std::size_t batch, std::size_t n, std::uint64_t seed) {
+  MatrixD xs(batch, n);
+  Rng rng(seed);
+  for (double& v : xs.data()) v = rng.uniform(0.05, 0.95);
+  return xs;
+}
+
+double seconds_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+struct SizeResult {
+  std::size_t n = 0;
+  std::size_t queries = 0;
+  double gs_cold_s = 0.0;      ///< total, `queries` independent cold solves
+  double gs_warm_s = 0.0;      ///< total, warm-started repeated solves
+  double direct_build_s = 0.0; ///< one-time factorization (first query)
+  double direct_query_s = 0.0; ///< total, `queries` cached substitutions
+  double batch_s = 0.0;        ///< one readout_batch over `queries` vectors
+  double max_dev = 0.0;        ///< max |factorized - GS cold| column current, A
+  double gs_tol_current = 0.0; ///< GS accuracy in current units (see below)
+
+  double speedup_repeated() const {
+    return direct_query_s > 0.0 ? gs_cold_s / direct_query_s : 0.0;
+  }
+  double speedup_batched() const { return batch_s > 0.0 ? gs_cold_s / batch_s : 0.0; }
+};
+
+SizeResult run_size(std::size_t n, std::size_t queries, std::uint64_t seed) {
+  SizeResult res;
+  res.n = n;
+  res.queries = queries;
+  const MatrixD g = half_loaded(n, device::RramParams{}, seed);
+  const MatrixD xs = query_batch(queries, n, seed + 1);
+
+  // --- Gauss-Seidel, cold start every query (fresh instance per query kills
+  // both the warm-start iterate and any factorization). --------------------
+  auto gs_cfg = base_config(n);
+  gs_cfg.nodal_direct = false;
+  gs_cfg.nodal_warm_start = false;
+  std::vector<std::vector<double>> gs_currents(queries);
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t q = 0; q < queries; ++q) {
+      Rng rng(seed + 2);
+      xbar::Crossbar xb(gs_cfg, rng);
+      xb.program_conductances(g);
+      const std::vector<double> x(xs.row_data(q), xs.row_data(q) + n);
+      gs_currents[q] = xb.column_currents(x);
+    }
+    res.gs_cold_s = seconds_since(t0);
+  }
+
+  // --- Gauss-Seidel, warm-started across the query stream. ----------------
+  {
+    auto cfg = base_config(n);
+    cfg.nodal_direct = false;
+    cfg.nodal_warm_start = true;
+    Rng rng(seed + 2);
+    xbar::Crossbar xb(cfg, rng);
+    xb.program_conductances(g);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t q = 0; q < queries; ++q) {
+      const std::vector<double> x(xs.row_data(q), xs.row_data(q) + n);
+      (void)xb.column_currents(x);
+    }
+    res.gs_warm_s = seconds_since(t0);
+  }
+
+  // --- factorized: one build, then repeated single-query substitutions. ---
+  {
+    Rng rng(seed + 2);
+    xbar::Crossbar xb(base_config(n), rng);
+    xb.program_conductances(g);
+    const std::vector<double> x0(xs.row_data(0), xs.row_data(0) + n);
+    const auto tb = std::chrono::steady_clock::now();
+    (void)xb.column_currents(x0);  // factorizes lazily
+    res.direct_build_s = seconds_since(tb);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t q = 0; q < queries; ++q) {
+      const std::vector<double> x(xs.row_data(q), xs.row_data(q) + n);
+      const auto i = xb.column_currents(x);
+      for (std::size_t c = 0; c < n; ++c)
+        res.max_dev = std::max(res.max_dev, std::abs(i[c] - gs_currents[q][c]));
+    }
+    res.direct_query_s = seconds_since(t0);
+  }
+
+  // --- factorized, batched multi-RHS. --------------------------------------
+  {
+    Rng rng(seed + 2);
+    xbar::Crossbar xb(base_config(n), rng);
+    xb.program_conductances(g);
+    const std::vector<double> x0(xs.row_data(0), xs.row_data(0) + n);
+    (void)xb.column_currents(x0);  // factorize outside the timed region
+    const auto t0 = std::chrono::steady_clock::now();
+    const MatrixD out = xb.readout_batch(xs);
+    res.batch_s = seconds_since(t0);
+    (void)out;
+  }
+
+  // GS accuracy in current units: the iterative reference only locates node
+  // voltages to ~tol / (1 - rho) — the last-update criterion times the
+  // convergence-rate amplification, which grows as ~n^2/2 for red-black
+  // sweeps of an n x n resistor grid (a couple thousand at 64x64) — so it is
+  // the yardstick the factorized deviation must sit within.  A full column
+  // of LRS cells converts the voltage scale to current.
+  const device::RramParams p;
+  const double gs_amplification = 0.5 * static_cast<double>(n) * static_cast<double>(n);
+  res.gs_tol_current = static_cast<double>(n) * p.g_max * gs_amplification *
+                       xbar::kNodalTolRel * gs_cfg.read_voltage;
+  return res;
+}
+
+void print_results(const std::vector<SizeResult>& results) {
+  Table table({"array", "queries", "GS cold", "GS warm", "factorize", "per query",
+               "batched", "speedup", "batched speedup", "max dev"});
+  for (const SizeResult& r : results) {
+    table.add_row({std::to_string(r.n) + "x" + std::to_string(r.n), std::to_string(r.queries),
+                   Table::num(r.gs_cold_s * 1e3, 1) + " ms",
+                   Table::num(r.gs_warm_s * 1e3, 1) + " ms",
+                   Table::num(r.direct_build_s * 1e3, 1) + " ms",
+                   Table::num(r.direct_query_s * 1e3 / static_cast<double>(r.queries), 2) + " ms",
+                   Table::num(r.batch_s * 1e3, 1) + " ms",
+                   Table::num(r.speedup_repeated(), 1) + "x",
+                   Table::num(r.speedup_batched(), 1) + "x",
+                   Table::num(r.max_dev * 1e9, 2) + " nA"});
+  }
+  std::cout << table;
+}
+
+void emit_json(const std::vector<SizeResult>& results) {
+  std::ofstream json("BENCH_nodal_solver.json");
+  json << "{\n"
+       << "  \"bench\": \"nodal_solver\",\n"
+       << "  \"threads\": " << parallel_thread_count() << ",\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SizeResult& r = results[i];
+    json << "    {\"array\": " << r.n << ", \"queries\": " << r.queries
+         << ", \"gs_cold_seconds\": " << r.gs_cold_s
+         << ", \"gs_warm_seconds\": " << r.gs_warm_s
+         << ", \"factorize_seconds\": " << r.direct_build_s
+         << ", \"factorized_repeated_seconds\": " << r.direct_query_s
+         << ", \"factorized_batched_seconds\": " << r.batch_s
+         << ", \"speedup_repeated\": " << r.speedup_repeated()
+         << ", \"speedup_batched\": " << r.speedup_batched()
+         << ", \"max_column_current_deviation_amps\": " << r.max_dev
+         << ", \"gs_tolerance_amps\": " << r.gs_tol_current << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "\n  -> BENCH_nodal_solver.json\n";
+}
+
+/// CI gate: the factorized repeated-query path must beat cold-start
+/// Gauss-Seidel and agree with it within the iterative solver's accuracy.
+int run_nodal_smoke() {
+  std::cout << "nodal solver smoke (" << parallel_thread_count() << " thread(s)):\n";
+  const SizeResult r = run_size(64, /*queries=*/8, /*seed=*/2000);
+  std::cout << "  64x64, 8 queries: GS cold " << r.gs_cold_s * 1e3 << " ms, factorized "
+            << r.direct_query_s * 1e3 << " ms (+ " << r.direct_build_s * 1e3
+            << " ms one-time factorize), speedup " << r.speedup_repeated()
+            << "x, max deviation " << r.max_dev << " A (tolerance " << r.gs_tol_current
+            << " A)\n";
+  bool ok = true;
+  if (r.speedup_repeated() < 2.0) {
+    std::cout << "FAIL: factorized repeated-query path is not clearly faster than "
+                 "cold-start Gauss-Seidel\n";
+    ok = false;
+  }
+  if (r.max_dev > r.gs_tol_current) {
+    std::cout << "FAIL: factorized currents deviate from Gauss-Seidel beyond the "
+                 "solver tolerance\n";
+    ok = false;
+  }
+  std::cout << (ok ? "nodal smoke OK\n" : "nodal smoke FAILED\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--nodal-smoke") == 0) return run_nodal_smoke();
+
+  util::ArgParse args("micro_nodal_solver",
+                      "repeated-query nodal readout: Gauss-Seidel vs cached factorization");
+  util::add_bench_options(args, /*default_seed=*/2000);
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
+  util::apply_bench_options(args);
+  const std::uint64_t seed = args.uinteger("seed");
+
+  print_banner(std::cout, "Micro-benchmark — factorization-cached nodal solver",
+               "GS cold vs warm vs factorized (single and batched multi-RHS)");
+  std::cout << "Threads: " << parallel_thread_count() << " (XLDS_THREADS).\n\n";
+
+  std::vector<SizeResult> results;
+  for (std::size_t n : {16u, 32u, 64u, 128u})
+    results.push_back(run_size(n, /*queries=*/16, seed));
+
+  print_results(results);
+  emit_json(results);
+
+  std::cout << "\nExpected shape: cold-start Gauss-Seidel cost per query grows steeply\n"
+               "with array size; the cached factorization pays a one-time build and\n"
+               "then answers each query with a forward/back substitution — 10x+ faster\n"
+               "on repeated 64x64 queries — and the batched path adds parallel\n"
+               "substitutions on top.  Warm-started Gauss-Seidel only pays off when\n"
+               "consecutive queries are similar (it converges in a handful of sweeps\n"
+               "on a repeated input); on the decorrelated random queries measured\n"
+               "here the previous solution is a worse initial guess than the flat\n"
+               "nominal-voltage one, which is why the direct path — not warm\n"
+               "starting — is the default answer to repeated-query workloads.\n";
+  return 0;
+}

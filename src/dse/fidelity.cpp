@@ -55,9 +55,11 @@ double nodal_ir_error_uncached(device::DeviceKind dev) {
   cfg.cols = 64;
   cfg.apply_variation = false;
   cfg.read_noise_rel = 0.0;
-  // A half-loaded 64x64 tile needs more Gauss-Seidel sweeps than the
-  // default budget; an unconverged solve would fall back to the analytic
-  // estimate and silently zero the rung's signal.
+  // The cached direct solver answers this in one factorize + substitution.
+  // The iteration bump only matters on the Gauss-Seidel fallback path
+  // (nodal_direct off or declined): a half-loaded 64x64 tile needs more
+  // sweeps than the default budget, and an unconverged solve would fall
+  // back to the analytic estimate and silently zero the rung's signal.
   cfg.nodal_max_iters = 20000;
   Rng fill(kTileSeed ^ static_cast<std::uint64_t>(dev));
   MatrixD g(cfg.rows, cfg.cols, cfg.rram.g_min);
@@ -77,7 +79,9 @@ double nodal_ir_error_uncached(device::DeviceKind dev) {
 
   const std::vector<double> ones(cfg.rows, 1.0);
   const std::vector<double> ia = analytic.column_currents(ones);
-  const std::vector<double> in = nodal.column_currents(ones);
+  xbar::SolveStatus status;
+  const std::vector<double> in = nodal.column_currents(ones, status);
+  XLDS_ASSERT(status.converged || status.used_fallback);
   double err = 0.0;
   std::size_t n = 0;
   for (std::size_t c = 0; c < ia.size(); ++c) {

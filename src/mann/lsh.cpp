@@ -129,6 +129,37 @@ Signature CrossbarLsh::hash(const std::vector<double>& x) const {
   return s;
 }
 
+MatrixD CrossbarLsh::project_batch(const MatrixD& xs) const {
+  const MatrixD currents = xbar_.readout_batch(xs);
+  const std::size_t batch = xs.rows();
+  MatrixD diffs(batch, bits_);
+  for (std::size_t b = 0; b < batch; ++b)
+    kernels::diff_pairs(currents.row_data(b), bits_, 1.0, diffs.row_data(b));
+  if (!ones_response_.empty()) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      const double* x = xs.row_data(b);
+      double x_bar = 0.0;
+      for (std::size_t r = 0; r < xs.cols(); ++r) x_bar += x[r];
+      x_bar /= static_cast<double>(xs.cols());
+      double* d = diffs.row_data(b);
+      for (std::size_t i = 0; i < bits_; ++i) d[i] -= x_bar * ones_response_[i];
+    }
+  }
+  return diffs;
+}
+
+std::vector<Signature> CrossbarLsh::hash_batch(const MatrixD& xs) const {
+  const MatrixD d = project_batch(xs);
+  std::vector<Signature> out(xs.rows());
+  for (std::size_t b = 0; b < xs.rows(); ++b) {
+    const double* db = d.row_data(b);
+    Signature& s = out[b];
+    s.resize(bits_);
+    for (std::size_t i = 0; i < bits_; ++i) s[i] = db[i] >= 0.0 ? 1 : 0;
+  }
+  return out;
+}
+
 Signature CrossbarLsh::hash_ternary(const std::vector<double>& x,
                                     double threshold_fraction) const {
   XLDS_REQUIRE(threshold_fraction >= 0.0);

@@ -91,6 +91,16 @@ class CrossbarLsh {
 
   Signature hash(const std::vector<double>& x) const;
 
+  /// Batched hashing: xs is [batch x input_dim]; entry b is bit-identical to
+  /// hash(row b) issued sequentially.  All rows share the crossbar's cached
+  /// nodal factorization (kNodal mode), so hashing an episode's worth of
+  /// vectors costs one factorization plus cheap per-row substitutions.
+  std::vector<Signature> hash_batch(const MatrixD& xs) const;
+
+  /// Batched projection (see hash_batch): row b of the result equals
+  /// project(row b).
+  MatrixD project_batch(const MatrixD& xs) const;
+
   /// TLSH: X when |I_{2i} - I_{2i+1}| < threshold_fraction * median(|diff|)
   /// measured on this input.
   Signature hash_ternary(const std::vector<double>& x, double threshold_fraction) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iostream>
+#include <utility>
 
 #include "kernels/mvm.hpp"
 #include "util/error.hpp"
@@ -12,7 +13,12 @@ namespace xlds::xbar {
 
 namespace {
 constexpr std::uint64_t kXbarStreamTag = 0xC205BA2;
-}
+
+// SolveStatus <-> atomic flag byte (deprecated instance-level status).
+constexpr std::uint8_t kFlagConverged = 1u << 0;
+constexpr std::uint8_t kFlagFallback = 1u << 1;
+constexpr std::uint8_t kFlagDirect = 1u << 2;
+}  // namespace
 
 std::string to_string(IrDropMode mode) {
   switch (mode) {
@@ -39,6 +45,71 @@ Crossbar::Crossbar(CrossbarConfig config, Rng& rng)
   XLDS_REQUIRE(config_.nodal_max_iters >= 1);
 }
 
+Crossbar::Crossbar(const Crossbar& other)
+    : config_(other.config_),
+      model_(other.model_),
+      wire_r_per_cell_(other.wire_r_per_cell_),
+      rng_(other.rng_),
+      g_(other.g_),
+      stuck_(other.stuck_),
+      adc_dead_(other.adc_dead_),
+      weights_(other.weights_) {}
+
+Crossbar::Crossbar(Crossbar&& other) noexcept
+    : config_(std::move(other.config_)),
+      model_(std::move(other.model_)),
+      wire_r_per_cell_(other.wire_r_per_cell_),
+      rng_(other.rng_),
+      g_(std::move(other.g_)),
+      stuck_(std::move(other.stuck_)),
+      adc_dead_(std::move(other.adc_dead_)),
+      weights_(std::move(other.weights_)) {}
+
+void Crossbar::invalidate_nodal_cache() {
+  std::lock_guard<std::mutex> lk(nodal_cache_.mu);
+  nodal_cache_.solver.reset();
+  nodal_cache_.attempted = false;
+  nodal_cache_.warm = false;
+  nodal_cache_.warm_v = MatrixD{};
+  nodal_cache_.warm_u = MatrixD{};
+}
+
+const NodalSolver* Crossbar::ensure_factorized() const {
+  NodalCache& cache = nodal_cache_;
+  std::lock_guard<std::mutex> lk(cache.mu);
+  if (!cache.attempted) {
+    cache.attempted = true;
+    cache.solver.factorize(g_, 1.0 / wire_r_per_cell_, config_.nodal_direct_max_bytes);
+  }
+  return cache.solver.ready() ? &cache.solver : nullptr;
+}
+
+bool Crossbar::nodal_factorized() const {
+  std::lock_guard<std::mutex> lk(nodal_cache_.mu);
+  return nodal_cache_.solver.ready();
+}
+
+void Crossbar::store_last_status(const SolveStatus& s) const {
+  last_nodal_iters_.store(s.iterations, std::memory_order_relaxed);
+  last_nodal_residual_.store(s.residual, std::memory_order_relaxed);
+  std::uint8_t flags = 0;
+  if (s.converged) flags |= kFlagConverged;
+  if (s.used_fallback) flags |= kFlagFallback;
+  if (s.direct) flags |= kFlagDirect;
+  last_nodal_flags_.store(flags, std::memory_order_relaxed);
+}
+
+SolveStatus Crossbar::last_nodal_status() const noexcept {
+  SolveStatus s;
+  s.iterations = last_nodal_iters_.load(std::memory_order_relaxed);
+  s.residual = last_nodal_residual_.load(std::memory_order_relaxed);
+  const std::uint8_t flags = last_nodal_flags_.load(std::memory_order_relaxed);
+  s.converged = (flags & kFlagConverged) != 0;
+  s.used_fallback = (flags & kFlagFallback) != 0;
+  s.direct = (flags & kFlagDirect) != 0;
+  return s;
+}
+
 void Crossbar::program_conductances(const MatrixD& targets) {
   XLDS_REQUIRE_MSG(targets.rows() == config_.rows && targets.cols() == config_.cols,
                    "conductance matrix " << targets.rows() << 'x' << targets.cols()
@@ -53,6 +124,7 @@ void Crossbar::program_conductances(const MatrixD& targets) {
     }
   }
   weights_ = MatrixD{};
+  invalidate_nodal_cache();
 }
 
 void Crossbar::program_weights(const MatrixD& weights) {
@@ -78,6 +150,7 @@ void Crossbar::program_stochastic_hrs() {
     for (std::size_t c = 0; c < config_.cols; ++c)
       if (!stuck_(r, c)) g_(r, c) = model_.sample_hrs(rng_);
   weights_ = MatrixD{};
+  invalidate_nodal_cache();
 }
 
 void Crossbar::age(double dt) {
@@ -85,6 +158,7 @@ void Crossbar::age(double dt) {
   for (std::size_t r = 0; r < config_.rows; ++r)
     for (std::size_t c = 0; c < config_.cols; ++c)
       if (!stuck_(r, c)) g_(r, c) = model_.relax(g_(r, c), dt, rng_);
+  invalidate_nodal_cache();
 }
 
 void Crossbar::inject_stuck_fault(std::size_t row, std::size_t col, double g_stuck) {
@@ -93,6 +167,7 @@ void Crossbar::inject_stuck_fault(std::size_t row, std::size_t col, double g_stu
   stuck_(row, col) = 1;
   // Lower bound is 0 (an open cell draws no current), upper the device max.
   g_(row, col) = std::clamp(g_stuck, 0.0, config_.rram.g_max);
+  invalidate_nodal_cache();
 }
 
 void Crossbar::apply_fault_map(const fault::FaultMap& map) {
@@ -111,6 +186,7 @@ void Crossbar::apply_fault_map(const fault::FaultMap& map) {
   }
   for (std::size_t c = 0; c < config_.cols; ++c)
     if (map.col_sense_dead(c)) adc_dead_[c] = 1;
+  invalidate_nodal_cache();
 }
 
 std::size_t Crossbar::dead_adc_lanes() const {
@@ -198,7 +274,28 @@ std::vector<double> Crossbar::currents_analytic(const std::vector<double>& v_in)
   return out;
 }
 
-std::vector<double> Crossbar::currents_nodal(const std::vector<double>& v_in) const {
+std::vector<double> Crossbar::currents_nodal(const std::vector<double>& v_in,
+                                             SolveStatus& status) const {
+  if (config_.nodal_direct) {
+    if (const NodalSolver* solver = ensure_factorized()) {
+      std::vector<double> out(config_.cols);
+      NodalSolver::Workspace ws;
+      const NodalSolver::Result res = solver->solve(v_in.data(), out.data(), ws);
+      status = SolveStatus{};
+      status.direct = true;
+      status.residual = res.residual;
+      status.converged = res.residual < kNodalTolRel * config_.read_voltage;
+      if (status.converged) return out;
+      // Residual above the Gauss-Seidel acceptance bar (pathological
+      // conditioning): fall through to the iterative cross-check rather than
+      // return a worse answer than the tolerance promises.
+    }
+  }
+  return currents_nodal_gs(v_in, status);
+}
+
+std::vector<double> Crossbar::currents_nodal_gs(const std::vector<double>& v_in,
+                                                SolveStatus& status) const {
   // Red-black Gauss-Seidel nodal solve of the two-wire-layer resistive
   // network.  Nodes are coloured by (r + c) parity; within one colour the
   // row-node update only reads same-cell and same-row opposite-colour
@@ -210,8 +307,22 @@ std::vector<double> Crossbar::currents_nodal(const std::vector<double>& v_in) co
   const double gw = 1.0 / wire_r_per_cell_;
   MatrixD v(R, C, 0.0);  // row-wire node voltages
   MatrixD u(R, C, 0.0);  // column-wire node voltages
-  for (std::size_t r = 0; r < R; ++r)
-    for (std::size_t c = 0; c < C; ++c) v(r, c) = v_in[r];
+  bool warmed = false;
+  if (config_.nodal_warm_start) {
+    // Start from the previous converged iterate when one exists: repeated or
+    // similar queries then converge in a handful of sweeps instead of a cold
+    // climb from the flat initial guess.
+    std::lock_guard<std::mutex> lk(nodal_cache_.mu);
+    if (nodal_cache_.warm) {
+      v = nodal_cache_.warm_v;
+      u = nodal_cache_.warm_u;
+      warmed = true;
+    }
+  }
+  if (!warmed) {
+    for (std::size_t r = 0; r < R; ++r)
+      for (std::size_t c = 0; c < C; ++c) v(r, c) = v_in[r];
+  }
 
   // Relax every cell of `colour` in row r (v first, then u) and return the
   // row's largest update.  Row-pointer sweep: within one colour pass the
@@ -269,13 +380,12 @@ std::vector<double> Crossbar::currents_nodal(const std::vector<double>& v_in) co
     return row_delta;
   };
 
-  constexpr double kTol = 1e-7;
   // Chunk size is a function of R only — determinism contract.
   const std::size_t row_chunk = std::max<std::size_t>(8, R / 16);
   std::vector<double> row_delta(R, 0.0);
-  nodal_status_ = SolveStatus{};
+  status = SolveStatus{};
   for (int iter = 0; iter < config_.nodal_max_iters; ++iter) {
-    ++nodal_status_.iterations;
+    ++status.iterations;
     double max_delta = 0.0;
     for (std::size_t colour = 0; colour < 2; ++colour) {
       parallel_for(R, row_chunk, [&](std::size_t begin, std::size_t end, std::size_t) {
@@ -284,25 +394,30 @@ std::vector<double> Crossbar::currents_nodal(const std::vector<double>& v_in) co
       // max() over a fixed index order: bit-identical at any thread count.
       for (std::size_t r = 0; r < R; ++r) max_delta = std::max(max_delta, row_delta[r]);
     }
-    nodal_status_.residual = max_delta;
-    if (max_delta < kTol * config_.read_voltage) {
-      nodal_status_.converged = true;
+    status.residual = max_delta;
+    if (max_delta < kNodalTolRel * config_.read_voltage) {
+      status.converged = true;
       break;
     }
   }
-  if (!nodal_status_.converged) {
+  if (!status.converged) {
     // An unconverged iterate is a silently wrong answer; the two-pass analytic
     // estimate is a bounded-error approximation of the same network, so fall
     // back to it and say so (once per array — sweeps reuse the instance).
-    nodal_status_.used_fallback = true;
-    if (!nodal_warned_) {
-      nodal_warned_ = true;
+    status.used_fallback = true;
+    if (!nodal_warned_.exchange(true, std::memory_order_relaxed)) {
       std::cerr << "[xlds] warning: nodal solve did not converge after "
-                << nodal_status_.iterations << " iterations (residual "
-                << nodal_status_.residual << " V on a " << R << 'x' << C
+                << status.iterations << " iterations (residual "
+                << status.residual << " V on a " << R << 'x' << C
                 << " array); falling back to the analytic IR-drop estimate\n";
     }
     return currents_analytic(v_in);
+  }
+  if (config_.nodal_warm_start) {
+    std::lock_guard<std::mutex> lk(nodal_cache_.mu);
+    nodal_cache_.warm_v = v;
+    nodal_cache_.warm_u = u;
+    nodal_cache_.warm = true;
   }
   // Read the column current as the sum of cell currents: identical to the
   // bottom-segment current at convergence, but far better conditioned than
@@ -317,7 +432,31 @@ std::vector<double> Crossbar::currents_nodal(const std::vector<double>& v_in) co
   return out;
 }
 
-std::vector<double> Crossbar::column_currents(const std::vector<double>& input) const {
+void Crossbar::currents_nodal_batch(const NodalSolver& solver, const MatrixD& v_in,
+                                    MatrixD& out,
+                                    std::vector<SolveStatus>* statuses) const {
+  // One forward/back substitution per RHS against the shared factorization.
+  // Each solve touches only its own rows of v_in/out plus per-chunk scratch,
+  // so the batch parallelises with bit-identical per-vector results at any
+  // thread count (the factorization itself is read-only here).
+  const std::size_t batch = v_in.rows();
+  const double tol = kNodalTolRel * config_.read_voltage;
+  parallel_for(batch, 1, [&](std::size_t begin, std::size_t end, std::size_t) {
+    NodalSolver::Workspace ws;
+    for (std::size_t b = begin; b < end; ++b) {
+      const NodalSolver::Result res = solver.solve(v_in.row_data(b), out.row_data(b), ws);
+      if (statuses != nullptr) {
+        SolveStatus& s = (*statuses)[b];
+        s = SolveStatus{};
+        s.direct = true;
+        s.residual = res.residual;
+        s.converged = res.residual < tol;
+      }
+    }
+  });
+}
+
+std::vector<double> Crossbar::quantise_input(const std::vector<double>& input) const {
   XLDS_REQUIRE_MSG(input.size() == config_.rows,
                    "input length " << input.size() << " != " << config_.rows << " rows");
   std::vector<double> v_in(config_.rows);
@@ -326,28 +465,122 @@ std::vector<double> Crossbar::column_currents(const std::vector<double>& input) 
     XLDS_REQUIRE_MSG(input[r] >= 0.0 && input[r] <= 1.0, "input " << input[r] << " not in [0,1]");
     v_in[r] = dac.quantise(input[r], 0.0, 1.0) * config_.read_voltage;
   }
+  return v_in;
+}
 
-  std::vector<double> currents;
-  switch (config_.ir_drop) {
-    case IrDropMode::kNone: currents = currents_ideal(v_in); break;
-    case IrDropMode::kAnalytic: currents = currents_analytic(v_in); break;
-    case IrDropMode::kNodal: currents = currents_nodal(v_in); break;
-  }
+void Crossbar::apply_readout_noise(double* currents) const {
   if (config_.read_noise_rel > 0.0) {
     // Peripheral read noise scales with the measured current (shot noise +
     // ADC reference error are both signal-proportional), with a floor set by
     // the minimum column current the array can present.
     const double i_floor = config_.rram.g_min * config_.read_voltage *
                            std::sqrt(static_cast<double>(config_.rows));
-    for (double& i : currents) {
-      const double sigma = config_.read_noise_rel * (i + i_floor);
-      i = std::max(0.0, i + rng_.normal(0.0, sigma));
+    for (std::size_t c = 0; c < config_.cols; ++c) {
+      const double sigma = config_.read_noise_rel * (currents[c] + i_floor);
+      currents[c] = std::max(0.0, currents[c] + rng_.normal(0.0, sigma));
     }
   }
   // A dead sensing lane resolves nothing: the column reads as zero current.
   for (std::size_t c = 0; c < config_.cols; ++c)
     if (adc_dead_[c]) currents[c] = 0.0;
+}
+
+std::vector<double> Crossbar::column_currents(const std::vector<double>& input) const {
+  SolveStatus status;
+  return column_currents(input, status);
+}
+
+std::vector<double> Crossbar::column_currents(const std::vector<double>& input,
+                                              SolveStatus& status) const {
+  const std::vector<double> v_in = quantise_input(input);
+  status = SolveStatus{};
+  std::vector<double> currents;
+  switch (config_.ir_drop) {
+    case IrDropMode::kNone: currents = currents_ideal(v_in); break;
+    case IrDropMode::kAnalytic: currents = currents_analytic(v_in); break;
+    case IrDropMode::kNodal:
+      currents = currents_nodal(v_in, status);
+      store_last_status(status);
+      break;
+  }
+  apply_readout_noise(currents.data());
   return currents;
+}
+
+MatrixD Crossbar::readout_batch(const MatrixD& inputs,
+                                std::vector<SolveStatus>* statuses) const {
+  XLDS_REQUIRE_MSG(inputs.cols() == config_.rows,
+                   "batch inputs have " << inputs.cols() << " columns, need " << config_.rows
+                                        << " (one input vector per row)");
+  const std::size_t batch = inputs.rows();
+  if (statuses != nullptr) statuses->assign(batch, SolveStatus{});
+
+  // DAC quantisation is pure (no RNG): all rows up front.
+  MatrixD v_in(batch, config_.rows);
+  {
+    circuit::DacModel dac(config_.dac);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const double* in = inputs.row_data(b);
+      double* out = v_in.row_data(b);
+      for (std::size_t r = 0; r < config_.rows; ++r) {
+        XLDS_REQUIRE_MSG(in[r] >= 0.0 && in[r] <= 1.0,
+                         "input " << in[r] << " not in [0,1]");
+        out[r] = dac.quantise(in[r], 0.0, 1.0) * config_.read_voltage;
+      }
+    }
+  }
+
+  MatrixD out(batch, config_.cols, 0.0);
+  switch (config_.ir_drop) {
+    case IrDropMode::kNone:
+      parallel_for(batch, 1, [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t b = begin; b < end; ++b)
+          kernels::matvec_t(g_.data().data(), config_.rows, config_.cols, v_in.row_data(b),
+                            out.row_data(b));
+      });
+      break;
+    case IrDropMode::kAnalytic:
+      parallel_for(batch, 1, [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t b = begin; b < end; ++b) {
+          std::vector<double> v(v_in.row_data(b), v_in.row_data(b) + config_.rows);
+          const std::vector<double> i = currents_analytic(v);
+          std::copy(i.begin(), i.end(), out.row_data(b));
+        }
+      });
+      break;
+    case IrDropMode::kNodal: {
+      std::vector<SolveStatus> local(batch);
+      const NodalSolver* solver = config_.nodal_direct ? ensure_factorized() : nullptr;
+      if (solver != nullptr) {
+        currents_nodal_batch(*solver, v_in, out, &local);
+        // A direct solve that misses the tolerance falls back to the
+        // iterative path — sequentially, in index order, exactly as repeated
+        // single-query readouts would (warm-start state evolves identically).
+        for (std::size_t b = 0; b < batch; ++b) {
+          if (local[b].converged) continue;
+          std::vector<double> v(v_in.row_data(b), v_in.row_data(b) + config_.rows);
+          const std::vector<double> i = currents_nodal_gs(v, local[b]);
+          std::copy(i.begin(), i.end(), out.row_data(b));
+        }
+      } else {
+        // Iterative path: strictly sequential so the warm-start iterate each
+        // query sees matches the single-query sequence bit for bit.
+        for (std::size_t b = 0; b < batch; ++b) {
+          std::vector<double> v(v_in.row_data(b), v_in.row_data(b) + config_.rows);
+          const std::vector<double> i = currents_nodal_gs(v, local[b]);
+          std::copy(i.begin(), i.end(), out.row_data(b));
+        }
+      }
+      if (batch > 0) store_last_status(local.back());
+      if (statuses != nullptr) *statuses = std::move(local);
+      break;
+    }
+  }
+
+  // Read noise consumes the instance RNG: strictly in row order, so the draw
+  // sequence matches repeated single-query readouts.
+  for (std::size_t b = 0; b < batch; ++b) apply_readout_noise(out.row_data(b));
+  return out;
 }
 
 std::vector<double> Crossbar::mvm(const std::vector<double>& input) const {
@@ -365,6 +598,31 @@ std::vector<double> Crossbar::mvm(const std::vector<double>& input) const {
     // Baseline g_min contributions cancel in the differential pair.
     out[j] = (ip - in) / unit;
   }
+  return out;
+}
+
+MatrixD Crossbar::mvm_batch(const MatrixD& inputs) const {
+  XLDS_REQUIRE_MSG(!weights_.empty(), "mvm_batch() requires program_weights(); use "
+                                      "readout_batch() for raw-conductance arrays");
+  const MatrixD currents = readout_batch(inputs);
+  const std::size_t batch = inputs.rows();
+  circuit::AdcModel adc(config_.adc);
+  const double i_fs =
+      config_.rram.g_max * config_.read_voltage * static_cast<double>(config_.rows);
+  const double unit = config_.read_voltage * (config_.rram.g_max - config_.rram.g_min);
+  MatrixD out(batch, weights_.cols(), 0.0);
+  // ADC quantisation is pure — parallel over the batch, bit-identical per row.
+  parallel_for(batch, 1, [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t b = begin; b < end; ++b) {
+      const double* i_row = currents.row_data(b);
+      double* o_row = out.row_data(b);
+      for (std::size_t j = 0; j < weights_.cols(); ++j) {
+        const double ip = adc.quantise(i_row[2 * j], 0.0, i_fs);
+        const double in = adc.quantise(i_row[2 * j + 1], 0.0, i_fs);
+        o_row[j] = (ip - in) / unit;
+      }
+    }
+  });
   return out;
 }
 

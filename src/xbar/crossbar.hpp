@@ -6,13 +6,20 @@
 //   * conductance programming variation and stochasticity (RRAM model),
 //   * DAC-quantised inputs and ADC-quantised outputs,
 //   * IR drop along row/column wires — either a fast two-pass analytic
-//     estimate or an iterative nodal (Gauss-Seidel) solve for validation,
+//     estimate or an exact nodal solve for validation.  The nodal solve is
+//     served by a cached sparse Cholesky factorization of the two-layer
+//     conductance matrix (see nodal_solver.hpp): the matrix depends only on
+//     the programmed state, so repeated readouts amortise one factorization
+//     across every query, with red-black Gauss-Seidel kept as the fallback
+//     and cross-check,
 //   * conductance relaxation over time (age()), which is what destabilises
 //     near-plane LSH bits in Fig. 4C,
 //   * differential column pairs for signed weights.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,16 +29,23 @@
 #include "fault/fault_map.hpp"
 #include "util/matrix.hpp"
 #include "util/rng.hpp"
+#include "xbar/nodal_solver.hpp"
 
 namespace xlds::xbar {
 
 enum class IrDropMode {
   kNone,      ///< ideal wires
   kAnalytic,  ///< two-pass fixed-point estimate (fast, default)
-  kNodal,     ///< Gauss-Seidel nodal solve (accurate, for validation)
+  kNodal,     ///< exact nodal solve (factorized direct / Gauss-Seidel)
 };
 
 std::string to_string(IrDropMode mode);
+
+/// Nodal-solve convergence tolerance, relative to the read voltage: a solve
+/// is accepted when the largest node-voltage update (Gauss-Seidel sweep) or
+/// Jacobi-scaled residual (direct solve) falls below
+/// kNodalTolRel * read_voltage.
+inline constexpr double kNodalTolRel = 1e-7;
 
 struct CrossbarConfig {
   device::RramParams rram;
@@ -48,14 +62,30 @@ struct CrossbarConfig {
   double read_noise_rel = 0.005;  ///< column-current read noise, fraction of the measured current
   double settle_time = 1.0e-9;    ///< analog settling window per MVM, s
   int nodal_max_iters = 2000;     ///< Gauss-Seidel iteration budget (kNodal mode)
+  /// Use the factorization-cached direct nodal solver (kNodal mode).  The
+  /// factorization is built lazily on the first nodal readout after a
+  /// programming change and reused for every subsequent query; Gauss-Seidel
+  /// remains the fallback when disabled, declined (memory cap) or on numeric
+  /// breakdown.
+  bool nodal_direct = true;
+  /// Memory cap for the cached Cholesky factor; larger systems fall back to
+  /// Gauss-Seidel instead of allocating an oversized profile.
+  std::size_t nodal_direct_max_bytes = 256u << 20;
+  /// Warm-start Gauss-Seidel from the previous converged iterate (only used
+  /// where the direct path is off/unavailable).  Repeated or similar queries
+  /// then converge in a handful of sweeps.  Results stay within the solver
+  /// tolerance of a cold start but are not bit-identical to one, and depend
+  /// on the query order — disable for strict cold-start reproducibility.
+  bool nodal_warm_start = true;
 };
 
-/// Outcome of the most recent nodal (Gauss-Seidel) solve.
+/// Outcome of a nodal solve (kNodal mode).
 struct SolveStatus {
   bool converged = false;
-  std::size_t iterations = 0;
-  double residual = 0.0;      ///< largest node-voltage update of the last sweep, V
+  std::size_t iterations = 0;  ///< Gauss-Seidel sweeps (0 for a direct solve)
+  double residual = 0.0;      ///< largest node update / scaled residual, V
   bool used_fallback = false; ///< analytic estimate substituted for an unconverged solve
+  bool direct = false;        ///< solved via the cached factorization
 };
 
 /// Cost of one analog MVM through the array.
@@ -67,6 +97,13 @@ struct MvmCost {
 class Crossbar {
  public:
   Crossbar(CrossbarConfig config, Rng& rng);
+
+  /// Copies restart with a cold solver cache and cleared last-solve status
+  /// (both are per-instance scratch, rebuilt lazily).
+  Crossbar(const Crossbar& other);
+  Crossbar(Crossbar&& other) noexcept;
+  Crossbar& operator=(const Crossbar&) = delete;
+  Crossbar& operator=(Crossbar&&) = delete;
 
   std::size_t rows() const noexcept { return config_.rows; }
   std::size_t cols() const noexcept { return config_.cols; }
@@ -115,9 +152,28 @@ class Crossbar {
   /// read noise applied.
   std::vector<double> column_currents(const std::vector<double>& input) const;
 
+  /// As above, reporting the nodal solve outcome per call (the status is
+  /// only meaningful in kNodal mode; other modes leave it default).
+  std::vector<double> column_currents(const std::vector<double>& input,
+                                      SolveStatus& status) const;
+
+  /// Batched raw readout: inputs is [batch x rows], the result [batch x cols],
+  /// and row b is bit-identical to column_currents(row b of inputs) issued
+  /// sequentially in index order (read-noise draws are applied in that order).
+  /// In kNodal mode all vectors share one cached factorization and the
+  /// forward/back substitutions run in parallel over the batch via
+  /// util::parallel — per-vector results are thread-count invariant.  When
+  /// `statuses` is non-null it receives one SolveStatus per batch row.
+  MatrixD readout_batch(const MatrixD& inputs,
+                        std::vector<SolveStatus>* statuses = nullptr) const;
+
   /// Signed MVM using differential pairs: returns ADC-quantised dot products
   /// scaled back to weight×input units.  Input entries in [0, 1].
   std::vector<double> mvm(const std::vector<double>& input) const;
+
+  /// Batched mvm(): inputs [batch x rows] -> outputs [batch x weights.cols()],
+  /// row b bit-identical to mvm(row b) issued sequentially.
+  MatrixD mvm_batch(const MatrixD& inputs) const;
 
   /// Ideal result of the programmed weights (no analog effects): W^T x.
   std::vector<double> ideal_mvm(const std::vector<double>& input) const;
@@ -132,28 +188,73 @@ class Crossbar {
   /// programming — a diagnostic the co-optimisation studies use.
   double ir_drop_worst_case() const;
 
-  /// Gauss-Seidel iterations the most recent nodal solve took — the
-  /// iteration-count parity check for the red-black ordering (identical at
-  /// any thread count).
-  std::size_t last_nodal_iterations() const noexcept { return nodal_status_.iterations; }
+  /// True once the direct nodal factorization has been built for the current
+  /// programming state (kNodal readouts build it lazily).
+  bool nodal_factorized() const;
 
-  /// Full status of the most recent nodal solve.  When the iteration budget
-  /// runs out before convergence, column_currents falls back to the analytic
-  /// estimate (used_fallback is set) instead of returning unconverged
-  /// currents, and a warning is logged once per array.
-  const SolveStatus& last_nodal_status() const noexcept { return nodal_status_; }
+  /// Deprecated: Gauss-Seidel iterations of the most recent nodal solve
+  /// (0 when the direct path answered).  Prefer the per-call SolveStatus
+  /// overloads — this instance-level view is a race-free snapshot but mixes
+  /// fields across concurrent readouts.
+  std::size_t last_nodal_iterations() const noexcept {
+    return last_nodal_iters_.load(std::memory_order_relaxed);
+  }
+
+  /// Deprecated: status of the most recent nodal solve on this instance.
+  /// Prefer column_currents(input, status) / readout_batch(..., &statuses);
+  /// see last_nodal_iterations() for the concurrency caveat.  When the
+  /// Gauss-Seidel budget runs out before convergence, column_currents falls
+  /// back to the analytic estimate (used_fallback is set) instead of
+  /// returning unconverged currents, and a warning is logged once per array.
+  SolveStatus last_nodal_status() const noexcept;
 
  private:
+  // Solver cache + Gauss-Seidel warm-start state.  Guarded by `mu` so
+  // concurrent const readouts (the parallel evaluator shares arrays across
+  // worker threads) build the factorization exactly once without racing.
+  // Mutating the array (program/fault/age) while another thread reads is
+  // outside the contract, as it always was for the conductances themselves.
+  struct NodalCache {
+    std::mutex mu;
+    NodalSolver solver;
+    bool attempted = false;  ///< factorization tried since the last invalidation
+    MatrixD warm_v, warm_u;  ///< last converged Gauss-Seidel iterate
+    bool warm = false;
+  };
+
   std::vector<double> currents_ideal(const std::vector<double>& v_in) const;
   std::vector<double> currents_analytic(const std::vector<double>& v_in) const;
-  std::vector<double> currents_nodal(const std::vector<double>& v_in) const;
+  /// Dispatch: direct solve when enabled and factorizable, else Gauss-Seidel.
+  std::vector<double> currents_nodal(const std::vector<double>& v_in,
+                                     SolveStatus& status) const;
+  /// Iterative red-black Gauss-Seidel path (optionally warm-started).
+  std::vector<double> currents_nodal_gs(const std::vector<double>& v_in,
+                                        SolveStatus& status) const;
+  /// Factorized multi-RHS path; rhs/out are [batch x rows]/[batch x cols].
+  void currents_nodal_batch(const NodalSolver& solver, const MatrixD& v_in,
+                            MatrixD& out, std::vector<SolveStatus>* statuses) const;
+  /// DAC-quantised, read_voltage-scaled row voltages for one input vector.
+  std::vector<double> quantise_input(const std::vector<double>& input) const;
+  /// Lazily build (once per programming state) and return the cached direct
+  /// solver, or nullptr when disabled/declined.
+  const NodalSolver* ensure_factorized() const;
+  void invalidate_nodal_cache();
+  /// Read-noise + dead-lane post-processing (consumes the instance RNG).
+  void apply_readout_noise(double* currents) const;
+  void store_last_status(const SolveStatus& s) const;
 
   CrossbarConfig config_;
   device::RramModel model_;
   double wire_r_per_cell_;  ///< ohm per crosspoint pitch
   mutable Rng rng_;
-  mutable SolveStatus nodal_status_;  ///< outcome of the last nodal solve
-  mutable bool nodal_warned_ = false; ///< non-convergence warning throttle
+  mutable NodalCache nodal_cache_;
+  // Last-solve status for the deprecated accessors, packed into atomics so
+  // concurrent const readouts stay race-free (TSan-clean) without a lock on
+  // the hot path.
+  mutable std::atomic<std::uint64_t> last_nodal_iters_{0};
+  mutable std::atomic<double> last_nodal_residual_{0.0};
+  mutable std::atomic<std::uint8_t> last_nodal_flags_{0};
+  mutable std::atomic<bool> nodal_warned_{false};  ///< non-convergence warning throttle
   MatrixD g_;               ///< programmed conductances [rows x cols]
   Matrix<std::uint8_t> stuck_;  ///< 1 = crosspoint pinned by a defect
   std::vector<std::uint8_t> adc_dead_;  ///< 1 = the column's sensing lane is dead

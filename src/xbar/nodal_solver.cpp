@@ -1,0 +1,175 @@
+#include "xbar/nodal_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xlds::xbar {
+
+bool NodalSolver::factorize(const MatrixD& g, double g_wire, std::size_t max_bytes) {
+  reset();
+  if (!(g_wire > 0.0) || !std::isfinite(g_wire) || g.empty()) return false;
+  rows_ = g.rows();
+  cols_ = g.cols();
+  n_ = 2 * rows_ * cols_;
+  // Order cells along the shorter dimension: the only long-range coupling is
+  // between wire neighbours across consecutive cells of the *other*
+  // dimension, so this bounds the profile width at 2*min(rows, cols).
+  row_major_ = cols_ <= rows_;
+  g_wire_ = g_wire;
+  g_ = g;
+
+  // --- profile of the lower triangle ---------------------------------------
+  // Row v(r,c): couples below-diagonal only to v(r,c-1); row u(r,c): to
+  // v(r,c) (distance 1) and u(r-1,c).  The envelope Cholesky factor keeps
+  // exactly this row profile, so the v rows stay a few entries wide no
+  // matter the bandwidth.
+  start_.assign(n_, 0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const std::size_t iv = node_v(r, c), iu = node_u(r, c);
+      start_[iv] = c > 0 ? node_v(r, c - 1) : iv;
+      start_[iu] = r > 0 ? std::min(iu - 1, node_u(r - 1, c)) : iu - 1;
+    }
+  }
+  off_.assign(n_ + 1, 0);
+  for (std::size_t i = 0; i < n_; ++i) off_[i + 1] = off_[i] + (i - start_[i] + 1);
+  if (off_[n_] * sizeof(double) > max_bytes) {
+    reset();
+    return false;
+  }
+
+  // --- assembly -------------------------------------------------------------
+  vals_.assign(off_[n_], 0.0);
+  adiag_.assign(n_, 0.0);
+  const auto entry = [&](std::size_t i, std::size_t j) -> double& {
+    XLDS_ASSERT(j >= start_[i] && j <= i);
+    return vals_[off_[i] + (j - start_[i])];
+  };
+  const double gw = g_wire_;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const std::size_t iv = node_v(r, c), iu = node_u(r, c);
+      const double gc = g_(r, c);
+      // Row node: cell to u, one segment left (to the driver when c == 0),
+      // one segment right when a right neighbour exists.
+      const double dv = gc + gw + (c + 1 < cols_ ? gw : 0.0);
+      // Column node: cell to v, one segment down (to the ADC virtual ground
+      // at the bottom edge), one segment up when an upper neighbour exists.
+      const double du = gc + gw + (r > 0 ? gw : 0.0);
+      entry(iv, iv) = dv;
+      entry(iu, iu) = du;
+      adiag_[iv] = dv;
+      adiag_[iu] = du;
+      entry(iu, iv) = -gc;
+      if (c > 0) entry(iv, node_v(r, c - 1)) = -gw;
+      if (r > 0) entry(iu, node_u(r - 1, c)) = -gw;
+    }
+  }
+
+  // --- profile Cholesky, in place -------------------------------------------
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t si = start_[i];
+    double* ri = vals_.data() + off_[i];
+    for (std::size_t j = si; j <= i; ++j) {
+      const std::size_t sj = start_[j];
+      const std::size_t k0 = std::max(si, sj);
+      const double* a = ri + (k0 - si);
+      const double* b = vals_.data() + off_[j] + (k0 - sj);
+      const std::size_t len = j - k0;
+      double s = ri[j - si];
+      for (std::size_t t = 0; t < len; ++t) s -= a[t] * b[t];
+      if (j < i) {
+        ri[j - si] = s / vals_[off_[j] + (j - sj)];
+      } else {
+        // SPD by construction (a connected resistor network with every node
+        // tied to the driver or ground); a non-positive pivot means numeric
+        // breakdown — decline and let the caller use Gauss-Seidel.
+        if (!(s > 0.0) || !std::isfinite(s)) {
+          reset();
+          return false;
+        }
+        ri[j - si] = std::sqrt(s);
+      }
+    }
+  }
+  ready_ = true;
+  return true;
+}
+
+void NodalSolver::reset() noexcept {
+  ready_ = false;
+  rows_ = cols_ = n_ = 0;
+  g_wire_ = 0.0;
+  g_ = MatrixD{};
+  adiag_.clear();
+  adiag_.shrink_to_fit();
+  start_.clear();
+  start_.shrink_to_fit();
+  off_.clear();
+  off_.shrink_to_fit();
+  vals_.clear();
+  vals_.shrink_to_fit();
+}
+
+NodalSolver::Result NodalSolver::solve(const double* v_in, double* i_col,
+                                       Workspace& ws) const {
+  XLDS_REQUIRE_MSG(ready_, "NodalSolver::solve before a successful factorize");
+  const double gw = g_wire_;
+
+  // RHS: the driver ties inject gw * v_in[r] at each row's first node.
+  ws.y.assign(n_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) ws.y[node_v(r, 0)] = gw * v_in[r];
+
+  // Forward substitution L y = b (in place on ws.y).
+  double* y = ws.y.data();
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t si = start_[i];
+    const double* ri = vals_.data() + off_[i];
+    double s = y[i];
+    const std::size_t len = i - si;
+    const double* ys = y + si;
+    for (std::size_t t = 0; t < len; ++t) s -= ri[t] * ys[t];
+    y[i] = s / ri[len];
+  }
+
+  // Back substitution L^T x = y (row-saxpy form: contiguous profile rows).
+  ws.x.assign(y, y + n_);
+  double* x = ws.x.data();
+  for (std::size_t i = n_; i-- > 0;) {
+    const std::size_t si = start_[i];
+    const double* ri = vals_.data() + off_[i];
+    const double xi = x[i] / ri[i - si];
+    x[i] = xi;
+    double* xs = x + si;
+    const std::size_t len = i - si;
+    for (std::size_t t = 0; t < len; ++t) xs[t] -= ri[t] * xi;
+  }
+
+  // Residual in Gauss-Seidel units (largest Jacobi node update the iterative
+  // solver would still make), and the column currents as the sum of cell
+  // currents — same well-conditioned readout the iterative path uses.
+  Result res;
+  std::fill(i_col, i_col + cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const std::size_t iv = node_v(r, c), iu = node_u(r, c);
+      const double gc = g_(r, c);
+      const double xv = x[iv], xu = x[iu];
+      double ax_v = adiag_[iv] * xv - gc * xu;
+      if (c > 0) ax_v -= gw * x[node_v(r, c - 1)];
+      if (c + 1 < cols_) ax_v -= gw * x[node_v(r, c + 1)];
+      const double b_v = c == 0 ? gw * v_in[r] : 0.0;
+      double ax_u = adiag_[iu] * xu - gc * xv;
+      if (r > 0) ax_u -= gw * x[node_u(r - 1, c)];
+      if (r + 1 < rows_) ax_u -= gw * x[node_u(r + 1, c)];
+      res.residual = std::max(res.residual, std::abs(b_v - ax_v) / adiag_[iv]);
+      res.residual = std::max(res.residual, std::abs(0.0 - ax_u) / adiag_[iu]);
+      i_col[c] += gc * (xv - xu);
+    }
+  }
+  return res;
+}
+
+}  // namespace xlds::xbar

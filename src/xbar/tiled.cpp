@@ -59,6 +59,36 @@ std::vector<double> TiledCrossbar::mvm(const std::vector<double>& input) const {
   return out;
 }
 
+MatrixD TiledCrossbar::mvm_batch(const MatrixD& inputs) const {
+  XLDS_REQUIRE_MSG(inputs.cols() == in_dim_,
+                   "batch inputs have " << inputs.cols() << " columns, need " << in_dim_);
+  const std::size_t batch = inputs.rows();
+  MatrixD out(batch, out_dim_, 0.0);
+  // Tile-major, batch-minor: each tile sees the whole batch in index order,
+  // so its RNG draw sequence — and hence every output row — matches the
+  // sequential mvm() loop bit for bit, while the per-tile batch call reuses
+  // one nodal factorization and parallelises the substitutions.
+  for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
+    MatrixD slices(batch, config_.tile.rows, 0.0);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const double* in = inputs.row_data(b);
+      double* s = slices.row_data(b);
+      for (std::size_t r = 0; r < config_.tile.rows; ++r) {
+        const std::size_t gr = rt * config_.tile.rows + r;
+        if (gr < in_dim_) s[r] = in[gr];
+      }
+    }
+    for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
+      const MatrixD partial = tiles_[rt * col_tiles_ + ct].mvm_batch(slices);
+      const std::size_t gc0 = ct * logical_cols_per_tile_;
+      const std::size_t n = std::min(partial.cols(), out_dim_ - gc0);
+      for (std::size_t b = 0; b < batch; ++b)
+        kernels::accumulate(partial.row_data(b), out.row_data(b) + gc0, n);
+    }
+  }
+  return out;
+}
+
 std::vector<double> TiledCrossbar::ideal_mvm(const std::vector<double>& input) const {
   XLDS_REQUIRE(input.size() == in_dim_);
   std::vector<double> out(out_dim_, 0.0);

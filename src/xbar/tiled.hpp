@@ -32,6 +32,12 @@ class TiledCrossbar {
   /// Analog MVM: x (length in_dim, entries in [0, 1]) -> W^T x (length out_dim).
   std::vector<double> mvm(const std::vector<double>& input) const;
 
+  /// Batched MVM: inputs [batch x in_dim] -> outputs [batch x out_dim], row b
+  /// bit-identical to mvm(row b) issued sequentially (each tile consumes its
+  /// RNG in batch order, and in kNodal mode every tile amortises one cached
+  /// factorization across the whole batch).
+  MatrixD mvm_batch(const MatrixD& inputs) const;
+
   /// Ideal (software) result for comparison.
   std::vector<double> ideal_mvm(const std::vector<double>& input) const;
 

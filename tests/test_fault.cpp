@@ -290,6 +290,9 @@ TEST_F(FaultTest, NodalSolveFallsBackWhenBudgetExhausted) {
   cfg.apply_variation = false;
   cfg.read_noise_rel = 0.0;
   cfg.ir_drop = xbar::IrDropMode::kNodal;
+  // Starve the iterative path specifically — the direct solver would answer
+  // without consuming the iteration budget.
+  cfg.nodal_direct = false;
   cfg.nodal_max_iters = 1;
   Rng r1(52);
   xbar::Crossbar starved(cfg, r1);

@@ -1,0 +1,465 @@
+// Tests for the factorization-cached nodal IR-drop solver: agreement with
+// the Gauss-Seidel reference across shapes (including degenerate and
+// non-square arrays, faults and aged cells), the invalidation contract on
+// program/fault/age, batched-vs-single bit-equality, thread-count invariance
+// of readout_batch, and the deprecated status accessors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fault/fault_map.hpp"
+#include "mann/lsh.hpp"
+#include "util/matrix.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "xbar/crossbar.hpp"
+#include "xbar/nodal_solver.hpp"
+#include "xbar/tiled.hpp"
+
+namespace xlds {
+namespace {
+
+class NodalTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_parallel_threads(0); }
+};
+
+xbar::CrossbarConfig quiet_config(std::size_t rows, std::size_t cols) {
+  xbar::CrossbarConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  cfg.apply_variation = false;
+  cfg.read_noise_rel = 0.0;
+  cfg.ir_drop = xbar::IrDropMode::kNodal;
+  // Give the iterative reference enough budget to actually converge on the
+  // denser shapes; the direct path does not consume it.
+  cfg.nodal_max_iters = 50000;
+  return cfg;
+}
+
+MatrixD mixed_conductances(std::size_t rows, std::size_t cols, const device::RramParams& p,
+                           std::uint64_t seed) {
+  MatrixD g(rows, cols, p.g_min);
+  Rng fill(seed);
+  for (double& v : g.data())
+    if (fill.bernoulli(0.5)) v = p.g_max;
+  return g;
+}
+
+std::vector<double> ramp_input(std::size_t rows) {
+  std::vector<double> x(rows);
+  for (std::size_t r = 0; r < rows; ++r)
+    x[r] = 0.1 + 0.8 * static_cast<double>(r) / static_cast<double>(std::max<std::size_t>(rows - 1, 1));
+  return x;
+}
+
+// Direct and Gauss-Seidel answers agree within the iterative solver's real
+// accuracy.  The direct solve is machine-precision; Gauss-Seidel stops when
+// the last sweep's update drops below kNodalTolRel * V, which bounds the
+// remaining solution error only up to the convergence-rate amplification
+// (error ~ update / (1 - rho), with rho near 1 on the larger arrays) — a few
+// parts in 1e4 of the column magnitude in practice.
+void expect_currents_close(const std::vector<double>& a, const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  double scale = 0.0;
+  for (double v : a) scale = std::max(scale, std::abs(v));
+  ASSERT_GT(scale, 0.0);
+  for (std::size_t c = 0; c < a.size(); ++c)
+    EXPECT_NEAR(a[c], b[c], 1e-3 * scale) << "column " << c;
+}
+
+// ---- factorized vs Gauss-Seidel across shapes -------------------------------
+
+struct ShapeCase {
+  std::size_t rows, cols;
+};
+
+class NodalShapeTest : public NodalTest, public ::testing::WithParamInterface<ShapeCase> {};
+
+TEST_P(NodalShapeTest, DirectMatchesGaussSeidel) {
+  const auto [rows, cols] = GetParam();
+  auto cfg = quiet_config(rows, cols);
+  const MatrixD g = mixed_conductances(rows, cols, cfg.rram, 7 + rows * 131 + cols);
+  const std::vector<double> x = ramp_input(rows);
+
+  Rng r1(3);
+  xbar::Crossbar direct(cfg, r1);
+  direct.program_conductances(g);
+  xbar::SolveStatus ds;
+  const auto i_direct = direct.column_currents(x, ds);
+  EXPECT_TRUE(ds.direct);
+  EXPECT_TRUE(ds.converged);
+  EXPECT_EQ(ds.iterations, 0u);
+  EXPECT_FALSE(ds.used_fallback);
+  // The factorized residual must beat the Gauss-Seidel acceptance bar.
+  EXPECT_LT(ds.residual, xbar::kNodalTolRel * cfg.read_voltage);
+  EXPECT_TRUE(direct.nodal_factorized());
+
+  cfg.nodal_direct = false;
+  Rng r2(3);
+  xbar::Crossbar gs(cfg, r2);
+  gs.program_conductances(g);
+  xbar::SolveStatus gss;
+  const auto i_gs = gs.column_currents(x, gss);
+  ASSERT_TRUE(gss.converged);
+  EXPECT_FALSE(gss.direct);
+  EXPECT_GT(gss.iterations, 0u);
+
+  expect_currents_close(i_direct, i_gs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, NodalShapeTest,
+                         ::testing::Values(ShapeCase{1, 1}, ShapeCase{1, 8}, ShapeCase{8, 1},
+                                           ShapeCase{16, 16}, ShapeCase{64, 64},
+                                           ShapeCase{48, 32}, ShapeCase{32, 48}),
+                         [](const ::testing::TestParamInfo<ShapeCase>& info) {
+                           return std::to_string(info.param.rows) + "x" +
+                                  std::to_string(info.param.cols);
+                         });
+
+// ---- agreement with faults and aged cells -----------------------------------
+
+TEST_F(NodalTest, DirectMatchesGaussSeidelWithFaultsAndAging) {
+  auto cfg = quiet_config(24, 24);
+  const MatrixD g = mixed_conductances(24, 24, cfg.rram, 99);
+
+  const auto prepare = [&](xbar::Crossbar& xb) {
+    xb.program_conductances(g);
+    xb.inject_stuck_fault(0, 0, cfg.rram.g_max);  // stuck-on
+    xb.inject_stuck_fault(3, 7, 0.0);             // open cell
+    xb.inject_stuck_fault(23, 23, cfg.rram.g_min);
+    xb.age(3600.0);  // relax the surviving cells
+  };
+
+  Rng r1(11);
+  xbar::Crossbar direct(cfg, r1);
+  prepare(direct);
+  xbar::SolveStatus ds;
+  const auto i_direct = direct.column_currents(ramp_input(24), ds);
+  EXPECT_TRUE(ds.direct);
+  EXPECT_TRUE(ds.converged);
+
+  cfg.nodal_direct = false;
+  Rng r2(11);
+  xbar::Crossbar gs(cfg, r2);
+  prepare(gs);
+  xbar::SolveStatus gss;
+  const auto i_gs = gs.column_currents(ramp_input(24), gss);
+  ASSERT_TRUE(gss.converged);
+
+  expect_currents_close(i_direct, i_gs);
+}
+
+// ---- invalidation contract --------------------------------------------------
+
+TEST_F(NodalTest, ProgramFaultAndAgeInvalidateTheFactorization) {
+  auto cfg = quiet_config(8, 8);
+  Rng rng(5);
+  xbar::Crossbar xb(cfg, rng);
+  const MatrixD g = mixed_conductances(8, 8, cfg.rram, 21);
+  xb.program_conductances(g);
+  EXPECT_FALSE(xb.nodal_factorized());  // built lazily, not at program time
+
+  const std::vector<double> x(8, 1.0);
+  (void)xb.column_currents(x);
+  EXPECT_TRUE(xb.nodal_factorized());
+
+  xb.program_conductances(g);
+  EXPECT_FALSE(xb.nodal_factorized()) << "program_conductances must invalidate";
+  (void)xb.column_currents(x);
+  EXPECT_TRUE(xb.nodal_factorized());
+
+  xb.age(60.0);
+  EXPECT_FALSE(xb.nodal_factorized()) << "age must invalidate";
+  (void)xb.column_currents(x);
+  EXPECT_TRUE(xb.nodal_factorized());
+
+  xb.inject_stuck_fault(2, 2, 0.0);
+  EXPECT_FALSE(xb.nodal_factorized()) << "inject_stuck_fault must invalidate";
+  (void)xb.column_currents(x);
+  EXPECT_TRUE(xb.nodal_factorized());
+
+  fault::FaultMap map(8, 8);
+  map.set_cell(1, 1, fault::CellFault::kStuckOn);
+  xb.apply_fault_map(map);
+  EXPECT_FALSE(xb.nodal_factorized()) << "apply_fault_map must invalidate";
+
+  xb.program_stochastic_hrs();
+  (void)xb.column_currents(x);
+  EXPECT_TRUE(xb.nodal_factorized());
+}
+
+TEST_F(NodalTest, ReadoutAfterReprogramMatchesFreshInstance) {
+  // The cached factorization must never leak stale conductances: reprogram
+  // and compare against an instance that only ever saw the second state.
+  auto cfg = quiet_config(12, 12);
+  const MatrixD g1 = mixed_conductances(12, 12, cfg.rram, 31);
+  const MatrixD g2 = mixed_conductances(12, 12, cfg.rram, 32);
+  const std::vector<double> x = ramp_input(12);
+
+  Rng r1(9);
+  xbar::Crossbar reused(cfg, r1);
+  reused.program_conductances(g1);
+  (void)reused.column_currents(x);  // factorize against g1
+  reused.program_conductances(g2);
+  const auto i_reused = reused.column_currents(x);
+
+  Rng r2(9);
+  xbar::Crossbar fresh(cfg, r2);
+  fresh.program_conductances(g1);  // same RNG consumption, no readout
+  fresh.program_conductances(g2);
+  const auto i_fresh = fresh.column_currents(x);
+
+  for (std::size_t c = 0; c < 12; ++c) EXPECT_EQ(i_reused[c], i_fresh[c]) << "column " << c;
+}
+
+// ---- batched readout --------------------------------------------------------
+
+MatrixD batch_inputs(std::size_t batch, std::size_t rows, std::uint64_t seed) {
+  MatrixD xs(batch, rows);
+  Rng rng(seed);
+  for (double& v : xs.data()) v = rng.uniform();
+  return xs;
+}
+
+TEST_F(NodalTest, BatchedReadoutBitIdenticalToSequentialSingles) {
+  auto cfg = quiet_config(16, 16);
+  cfg.read_noise_rel = 0.005;  // noise on: the RNG draw order is part of the contract
+  const MatrixD g = mixed_conductances(16, 16, cfg.rram, 41);
+  const MatrixD xs = batch_inputs(5, 16, 42);
+
+  Rng r1(13);
+  xbar::Crossbar batched(cfg, r1);
+  batched.program_conductances(g);
+  std::vector<xbar::SolveStatus> statuses;
+  const MatrixD out = batched.readout_batch(xs, &statuses);
+  ASSERT_EQ(statuses.size(), 5u);
+  for (const auto& s : statuses) {
+    EXPECT_TRUE(s.direct);
+    EXPECT_TRUE(s.converged);
+  }
+
+  Rng r2(13);
+  xbar::Crossbar single(cfg, r2);
+  single.program_conductances(g);
+  for (std::size_t b = 0; b < xs.rows(); ++b) {
+    const std::vector<double> x(xs.row_data(b), xs.row_data(b) + 16);
+    const auto i = single.column_currents(x);
+    for (std::size_t c = 0; c < 16; ++c)
+      EXPECT_EQ(out(b, c), i[c]) << "batch row " << b << " column " << c;
+  }
+}
+
+TEST_F(NodalTest, BatchedReadoutBitIdenticalAcrossThreadCounts) {
+  const auto run = [](std::size_t threads) {
+    set_parallel_threads(threads);
+    auto cfg = quiet_config(32, 32);
+    Rng rng(17);
+    xbar::Crossbar xb(cfg, rng);
+    xb.program_conductances(mixed_conductances(32, 32, cfg.rram, 51));
+    return xb.readout_batch(batch_inputs(9, 32, 52));
+  };
+  const MatrixD out_1t = run(1);
+  const MatrixD out_8t = run(8);
+  ASSERT_EQ(out_1t.size(), out_8t.size());
+  for (std::size_t i = 0; i < out_1t.size(); ++i)
+    EXPECT_EQ(out_1t.data()[i], out_8t.data()[i]) << "flat index " << i;
+}
+
+TEST_F(NodalTest, BatchedReadoutCoversAllIrDropModes) {
+  for (const auto mode :
+       {xbar::IrDropMode::kNone, xbar::IrDropMode::kAnalytic, xbar::IrDropMode::kNodal}) {
+    auto cfg = quiet_config(8, 8);
+    cfg.ir_drop = mode;
+    cfg.read_noise_rel = 0.01;
+    const MatrixD g = mixed_conductances(8, 8, cfg.rram, 61);
+    const MatrixD xs = batch_inputs(4, 8, 62);
+
+    Rng r1(19);
+    xbar::Crossbar batched(cfg, r1);
+    batched.program_conductances(g);
+    const MatrixD out = batched.readout_batch(xs);
+
+    Rng r2(19);
+    xbar::Crossbar single(cfg, r2);
+    single.program_conductances(g);
+    for (std::size_t b = 0; b < xs.rows(); ++b) {
+      const std::vector<double> x(xs.row_data(b), xs.row_data(b) + 8);
+      const auto i = single.column_currents(x);
+      for (std::size_t c = 0; c < 8; ++c)
+        EXPECT_EQ(out(b, c), i[c]) << to_string(mode) << " row " << b << " col " << c;
+    }
+  }
+}
+
+TEST_F(NodalTest, BatchedMvmBitIdenticalToSequentialMvm) {
+  auto cfg = quiet_config(16, 16);
+  cfg.read_noise_rel = 0.005;
+  MatrixD w(16, 8);
+  Rng wfill(71);
+  for (double& v : w.data()) v = wfill.uniform(-1.0, 1.0);
+  const MatrixD xs = batch_inputs(4, 16, 72);
+
+  Rng r1(23);
+  xbar::Crossbar batched(cfg, r1);
+  batched.program_weights(w);
+  const MatrixD out = batched.mvm_batch(xs);
+  ASSERT_EQ(out.cols(), 8u);
+
+  Rng r2(23);
+  xbar::Crossbar single(cfg, r2);
+  single.program_weights(w);
+  for (std::size_t b = 0; b < xs.rows(); ++b) {
+    const std::vector<double> x(xs.row_data(b), xs.row_data(b) + 16);
+    const auto y = single.mvm(x);
+    for (std::size_t j = 0; j < 8; ++j) EXPECT_EQ(out(b, j), y[j]) << b << ',' << j;
+  }
+}
+
+// ---- Gauss-Seidel fallback and warm start -----------------------------------
+
+TEST_F(NodalTest, MemoryCapFallsBackToGaussSeidel) {
+  auto cfg = quiet_config(16, 16);
+  cfg.nodal_direct_max_bytes = 64;  // below any real factor size
+  Rng rng(29);
+  xbar::Crossbar xb(cfg, rng);
+  xb.program_conductances(mixed_conductances(16, 16, cfg.rram, 81));
+  xbar::SolveStatus s;
+  (void)xb.column_currents(ramp_input(16), s);
+  EXPECT_FALSE(s.direct);
+  EXPECT_TRUE(s.converged);
+  EXPECT_GT(s.iterations, 0u);
+  EXPECT_FALSE(xb.nodal_factorized());
+}
+
+TEST_F(NodalTest, WarmStartConvergesFasterOnRepeatedQueries) {
+  auto cfg = quiet_config(32, 32);
+  cfg.nodal_direct = false;
+  Rng rng(31);
+  xbar::Crossbar xb(cfg, rng);
+  xb.program_conductances(mixed_conductances(32, 32, cfg.rram, 91));
+  const std::vector<double> x = ramp_input(32);
+  xbar::SolveStatus cold, warm;
+  const auto i_cold = xb.column_currents(x, cold);
+  const auto i_warm = xb.column_currents(x, warm);
+  ASSERT_TRUE(cold.converged);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_LT(warm.iterations, cold.iterations);
+  expect_currents_close(i_cold, i_warm);
+}
+
+TEST_F(NodalTest, DeprecatedAccessorsReflectLastSolve) {
+  auto cfg = quiet_config(8, 8);
+  Rng rng(37);
+  xbar::Crossbar xb(cfg, rng);
+  xb.program_conductances(mixed_conductances(8, 8, cfg.rram, 101));
+  (void)xb.column_currents(ramp_input(8));
+  const xbar::SolveStatus s = xb.last_nodal_status();
+  EXPECT_TRUE(s.direct);
+  EXPECT_TRUE(s.converged);
+  EXPECT_FALSE(s.used_fallback);
+  EXPECT_EQ(xb.last_nodal_iterations(), 0u);
+  EXPECT_LT(s.residual, xbar::kNodalTolRel * cfg.read_voltage);
+}
+
+TEST_F(NodalTest, ConcurrentReadoutsOnSharedInstanceAgree) {
+  // The parallel evaluator shares const arrays across worker threads: many
+  // threads race to build the factorization (exactly once, under the cache
+  // mutex) and to store the deprecated last-solve status (atomics).  With
+  // read noise off, every thread must see the same currents.
+  set_parallel_threads(8);
+  auto cfg = quiet_config(16, 16);
+  Rng rng(53);
+  xbar::Crossbar xb(cfg, rng);
+  xb.program_conductances(mixed_conductances(16, 16, cfg.rram, 111));
+  const std::vector<double> x = ramp_input(16);
+  const auto reference = xb.column_currents(x);
+
+  xb.program_conductances(mixed_conductances(16, 16, cfg.rram, 112));  // invalidate
+  std::vector<std::vector<double>> results(16);
+  parallel_for(16, 1, [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) results[i] = xb.column_currents(x);
+  });
+  for (std::size_t i = 1; i < results.size(); ++i)
+    for (std::size_t c = 0; c < results[i].size(); ++c)
+      EXPECT_EQ(results[i][c], results[0][c]) << "thread result " << i << " column " << c;
+  EXPECT_TRUE(xb.nodal_factorized());
+  (void)reference;
+}
+
+// ---- NodalSolver unit behaviour ---------------------------------------------
+
+TEST_F(NodalTest, SolverDeclinesDegenerateInputs) {
+  xbar::NodalSolver solver;
+  EXPECT_FALSE(solver.factorize(MatrixD{}, 1.0, 1u << 20));
+  MatrixD g(4, 4, 1e-5);
+  EXPECT_FALSE(solver.factorize(g, 0.0, 1u << 20));  // no wire conductance
+  EXPECT_FALSE(solver.factorize(g, 1.0, 8));         // memory cap
+  EXPECT_FALSE(solver.ready());
+  EXPECT_TRUE(solver.factorize(g, 1.0, 1u << 20));
+  EXPECT_TRUE(solver.ready());
+  EXPECT_EQ(solver.node_count(), 32u);
+  solver.reset();
+  EXPECT_FALSE(solver.ready());
+}
+
+TEST_F(NodalTest, SolverIsBitwiseDeterministicAcrossInstances) {
+  MatrixD g(16, 12, 1e-5);
+  Rng fill(7);
+  for (double& v : g.data()) v = fill.uniform(1e-6, 1e-4);
+  const std::vector<double> v_in = ramp_input(16);
+
+  xbar::NodalSolver s1, s2;
+  ASSERT_TRUE(s1.factorize(g, 2.0e3, 1u << 24));
+  ASSERT_TRUE(s2.factorize(g, 2.0e3, 1u << 24));
+  std::vector<double> i1(12), i2(12);
+  xbar::NodalSolver::Workspace w1, w2;
+  const auto r1 = s1.solve(v_in.data(), i1.data(), w1);
+  const auto r2 = s2.solve(v_in.data(), i2.data(), w2);
+  EXPECT_EQ(r1.residual, r2.residual);
+  for (std::size_t c = 0; c < 12; ++c) EXPECT_EQ(i1[c], i2[c]);
+}
+
+// ---- downstream batch users -------------------------------------------------
+
+TEST_F(NodalTest, TiledBatchBitIdenticalToSequentialMvm) {
+  xbar::TiledConfig tcfg;
+  tcfg.tile = quiet_config(16, 16);
+  tcfg.tile.read_noise_rel = 0.005;
+  Rng r1(41), r2(41);
+  xbar::TiledCrossbar batched(tcfg, 24, 12, r1);
+  xbar::TiledCrossbar single(tcfg, 24, 12, r2);
+  MatrixD w(24, 12);
+  Rng wfill(43);
+  for (double& v : w.data()) v = wfill.uniform(-1.0, 1.0);
+  batched.program_weights(w);
+  single.program_weights(w);
+
+  const MatrixD xs = batch_inputs(3, 24, 44);
+  const MatrixD out = batched.mvm_batch(xs);
+  for (std::size_t b = 0; b < xs.rows(); ++b) {
+    const std::vector<double> x(xs.row_data(b), xs.row_data(b) + 24);
+    const auto y = single.mvm(x);
+    for (std::size_t j = 0; j < 12; ++j) EXPECT_EQ(out(b, j), y[j]) << b << ',' << j;
+  }
+}
+
+TEST_F(NodalTest, LshHashBatchBitIdenticalToSequentialHash) {
+  auto cfg = quiet_config(32, 32);
+  cfg.read_noise_rel = 0.005;
+  Rng r1(47), r2(47);
+  mann::CrossbarLsh batched(cfg, 16, r1);
+  mann::CrossbarLsh single(cfg, 16, r2);
+
+  const MatrixD xs = batch_inputs(4, 32, 48);
+  const auto sigs = batched.hash_batch(xs);
+  ASSERT_EQ(sigs.size(), 4u);
+  for (std::size_t b = 0; b < xs.rows(); ++b) {
+    const std::vector<double> x(xs.row_data(b), xs.row_data(b) + 32);
+    EXPECT_EQ(sigs[b], single.hash(x)) << "batch row " << b;
+  }
+}
+
+}  // namespace
+}  // namespace xlds
