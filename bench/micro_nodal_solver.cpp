@@ -261,11 +261,13 @@ int main(int argc, char** argv) {
                "with array size; the cached factorization pays a one-time build and\n"
                "then answers each query with a forward/back substitution — 10x+ faster\n"
                "on repeated 64x64 queries — and the batched path adds parallel\n"
-               "substitutions on top.  Warm-started Gauss-Seidel only pays off when\n"
-               "consecutive queries are similar (it converges in a handful of sweeps\n"
-               "on a repeated input); on the decorrelated random queries measured\n"
-               "here the previous solution is a worse initial guess than the flat\n"
-               "nominal-voltage one, which is why the direct path — not warm\n"
-               "starting — is the default answer to repeated-query workloads.\n";
+               "substitutions on top.  Warm-started Gauss-Seidel shifts the stored\n"
+               "iterate by each row's driver-voltage change before reusing it, so on\n"
+               "the decorrelated random queries measured here it starts at least as\n"
+               "close as the cold flat guess (it used to start from the raw previous\n"
+               "solution, which was strictly worse and made \"warm\" slower than\n"
+               "cold); it still trails the direct path by an order of magnitude,\n"
+               "which is why factorization — not warm starting — is the default\n"
+               "answer to repeated-query workloads.\n";
   return 0;
 }

@@ -1,0 +1,74 @@
+// Process-wide event counters for the hot solver paths (relaxed atomics;
+// header-only so low-level libraries — the nodal solver lives below
+// xlds_core in the link order — can bump them without a dependency edge).
+// Benches and the DSE engine snapshot these to report how often the
+// incremental factorization-update path is taken versus falling back to a
+// full refactorization; they are diagnostics, never inputs, so reading or
+// resetting them cannot change any result.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace xlds::core {
+
+class Profiler {
+ public:
+  /// Snapshot of the nodal-solver counters (monotonic since process start or
+  /// the last reset_nodal()).
+  struct NodalCounts {
+    std::uint64_t factorizations = 0;     ///< full envelope LDL^T builds
+    std::uint64_t direct_solves = 0;      ///< substitutions against a cached factor
+    std::uint64_t gs_solves = 0;          ///< iterative Gauss-Seidel solves
+    std::uint64_t incremental_updates = 0;///< update_cells() batches applied
+    std::uint64_t updated_cells = 0;      ///< rank-1 corrections in those batches
+    std::uint64_t update_declines = 0;    ///< batches refused (too large / cap / breakdown)
+    std::uint64_t drift_refactorizations = 0;  ///< residual check forced a rebuild
+  };
+
+  static void count_factorization() noexcept { nodal_factorizations_.fetch_add(1, kOrder); }
+  static void count_direct_solve() noexcept { nodal_direct_solves_.fetch_add(1, kOrder); }
+  static void count_gs_solve() noexcept { nodal_gs_solves_.fetch_add(1, kOrder); }
+  static void count_incremental_update(std::uint64_t cells) noexcept {
+    nodal_updates_.fetch_add(1, kOrder);
+    nodal_updated_cells_.fetch_add(cells, kOrder);
+  }
+  static void count_update_decline() noexcept { nodal_update_declines_.fetch_add(1, kOrder); }
+  static void count_drift_refactorization() noexcept {
+    nodal_drift_refactorizations_.fetch_add(1, kOrder);
+  }
+
+  static NodalCounts nodal() noexcept {
+    NodalCounts c;
+    c.factorizations = nodal_factorizations_.load(kOrder);
+    c.direct_solves = nodal_direct_solves_.load(kOrder);
+    c.gs_solves = nodal_gs_solves_.load(kOrder);
+    c.incremental_updates = nodal_updates_.load(kOrder);
+    c.updated_cells = nodal_updated_cells_.load(kOrder);
+    c.update_declines = nodal_update_declines_.load(kOrder);
+    c.drift_refactorizations = nodal_drift_refactorizations_.load(kOrder);
+    return c;
+  }
+
+  static void reset_nodal() noexcept {
+    nodal_factorizations_.store(0, kOrder);
+    nodal_direct_solves_.store(0, kOrder);
+    nodal_gs_solves_.store(0, kOrder);
+    nodal_updates_.store(0, kOrder);
+    nodal_updated_cells_.store(0, kOrder);
+    nodal_update_declines_.store(0, kOrder);
+    nodal_drift_refactorizations_.store(0, kOrder);
+  }
+
+ private:
+  static constexpr std::memory_order kOrder = std::memory_order_relaxed;
+  inline static std::atomic<std::uint64_t> nodal_factorizations_{0};
+  inline static std::atomic<std::uint64_t> nodal_direct_solves_{0};
+  inline static std::atomic<std::uint64_t> nodal_gs_solves_{0};
+  inline static std::atomic<std::uint64_t> nodal_updates_{0};
+  inline static std::atomic<std::uint64_t> nodal_updated_cells_{0};
+  inline static std::atomic<std::uint64_t> nodal_update_declines_{0};
+  inline static std::atomic<std::uint64_t> nodal_drift_refactorizations_{0};
+};
+
+}  // namespace xlds::core

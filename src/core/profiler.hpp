@@ -9,9 +9,9 @@
 // numbers.
 #pragma once
 
-#include <cstdint>
 #include <string>
 
+#include "core/counters.hpp"
 #include "core/evaluate.hpp"
 
 namespace xlds::core {

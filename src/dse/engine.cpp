@@ -137,6 +137,7 @@ std::uint64_t job_hash(const SearchSpace& space, const FidelityLadder& ladder) {
 }
 
 ExplorationResult explore(const EngineConfig& config) {
+  const core::Profiler::NodalCounts nodal_before = core::Profiler::nodal();
   const SearchSpace space(config.axes, config.application);
   XLDS_REQUIRE_MSG(space.viable_count() > 0, "search space has no viable points");
   const FidelityLadder ladder(config.fidelity, core::profile_for(config.application));
@@ -178,6 +179,17 @@ ExplorationResult explore(const EngineConfig& config) {
   result.front = core::pareto_front(result.evaluated);
   result.ranking = core::triage_ranking(result.evaluated, config.weights);
   result.stats = backend.stats();
+  {
+    const core::Profiler::NodalCounts now = core::Profiler::nodal();
+    core::Profiler::NodalCounts& d = result.stats.nodal;
+    d.factorizations = now.factorizations - nodal_before.factorizations;
+    d.direct_solves = now.direct_solves - nodal_before.direct_solves;
+    d.gs_solves = now.gs_solves - nodal_before.gs_solves;
+    d.incremental_updates = now.incremental_updates - nodal_before.incremental_updates;
+    d.updated_cells = now.updated_cells - nodal_before.updated_cells;
+    d.update_declines = now.update_declines - nodal_before.update_declines;
+    d.drift_refactorizations = now.drift_refactorizations - nodal_before.drift_refactorizations;
+  }
   if (journal) {
     result.stats.resumed = journal->open_info().existed;
     result.stats.journal_replayed = journal->open_info().replayed;

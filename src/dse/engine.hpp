@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/counters.hpp"
 #include "core/pareto.hpp"
 #include "dse/driver.hpp"
 #include "dse/fidelity.hpp"
@@ -54,6 +55,13 @@ struct ExplorationStats {
   bool resumed = false;            ///< journal file existed at open
   std::size_t journal_replayed = 0;
   std::size_t journal_dropped_bytes = 0;
+  /// Nodal-solver work done on behalf of this run (delta of the process-wide
+  /// core::Profiler counters across explore()): how many full envelope
+  /// factorizations the high-fidelity tiers paid for versus how many were
+  /// served by the rank-1 incremental update path.  Diagnostics only — never
+  /// an input to any search decision — so they are omitted from
+  /// resume-comparable (--no-stats) output.
+  core::Profiler::NodalCounts nodal{};
 };
 
 struct ExplorationResult {

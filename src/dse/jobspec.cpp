@@ -184,6 +184,15 @@ util::Json result_to_json(const ExplorationResult& result, bool include_stats) {
     stats.set("resumed", s.resumed);
     stats.set("journal_replayed", s.journal_replayed);
     stats.set("journal_dropped_bytes", s.journal_dropped_bytes);
+    util::Json nodal = util::Json::object();
+    nodal.set("factorizations", s.nodal.factorizations);
+    nodal.set("direct_solves", s.nodal.direct_solves);
+    nodal.set("gs_solves", s.nodal.gs_solves);
+    nodal.set("incremental_updates", s.nodal.incremental_updates);
+    nodal.set("updated_cells", s.nodal.updated_cells);
+    nodal.set("update_declines", s.nodal.update_declines);
+    nodal.set("drift_refactorizations", s.nodal.drift_refactorizations);
+    stats.set("nodal", std::move(nodal));
     doc.set("stats", std::move(stats));
   }
   return doc;

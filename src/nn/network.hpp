@@ -47,6 +47,11 @@ class Network {
   LayerCounts total_counts() const;
   std::size_t layer_count() const noexcept { return layers_.size(); }
 
+  /// Access a layer by stack index (bounds-checked) — the crossbar layer
+  /// mapper pulls trained dense-layer weights out of a network with this.
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
   /// Visit every trainable weight across all layers (fault injection,
   /// quantised export, weight statistics).
   void visit_weights(const std::function<void(double&)>& fn);

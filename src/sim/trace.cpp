@@ -108,6 +108,44 @@ CnnSpec cifar_cnn(std::size_t depth) {
   return spec;
 }
 
+Program make_mlp_program(const MlpSpec& spec) {
+  XLDS_REQUIRE(spec.dims.size() >= 2);
+  XLDS_REQUIRE(spec.batch >= 1);
+  Program prog;
+  for (std::size_t b = 0; b < spec.batch; ++b) {
+    Addr weight_cursor = kWeightBase;  // weights are reused across the batch
+    for (std::size_t li = 0; li + 1 < spec.dims.size(); ++li) {
+      const std::size_t in = spec.dims[li];
+      const std::size_t out = spec.dims[li + 1];
+      const std::string tag = "fc" + std::to_string(li);
+
+      Op load;
+      load.kind = OpKind::kMemStream;
+      load.label = tag + ":activations";
+      load.base = kActBase + static_cast<Addr>(li) * 0x100000;
+      load.bytes = in;
+      prog.push_back(load);
+
+      Op mvm;
+      mvm.kind = OpKind::kMvm;
+      mvm.label = tag + ":mvm";
+      mvm.rows = in;
+      mvm.cols = out;
+      mvm.repeat = 1;
+      mvm.weight_base = weight_cursor;
+      prog.push_back(mvm);
+      weight_cursor += static_cast<Addr>(in) * out;
+
+      Op act;
+      act.kind = OpKind::kCompute;
+      act.label = li + 2 < spec.dims.size() ? tag + ":relu" : "softmax";
+      act.scalar_ops = li + 2 < spec.dims.size() ? out : out * 8;
+      prog.push_back(act);
+    }
+  }
+  return prog;
+}
+
 Program make_lstm_program(const LstmSpec& spec) {
   XLDS_REQUIRE(spec.timesteps >= 1);
   Program prog;

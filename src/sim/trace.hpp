@@ -31,6 +31,18 @@ Program make_cnn_program(const CnnSpec& spec);
 /// Preset CIFAR-class CNN with `depth` conv layers.
 CnnSpec cifar_cnn(std::size_t depth = 6);
 
+struct MlpSpec {
+  /// Layer widths, first entry = input dimension.  The default hides a
+  /// crossbar-realistic 256x512 hidden layer — the size the xbar layer
+  /// mapper (src/xbar/layer_map.hpp) shards onto a 64x64 tile fleet.
+  std::vector<std::size_t> dims = {256, 512, 512, 10};
+  std::size_t batch = 8;
+};
+
+/// Fully-connected MLP: per layer, the activation stream, the dense MVM
+/// (offloadable) and the ReLU pass; softmax after the final layer.
+Program make_mlp_program(const MlpSpec& spec);
+
 struct LstmSpec {
   std::size_t input = 256;
   std::size_t hidden = 512;

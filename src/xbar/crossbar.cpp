@@ -5,6 +5,7 @@
 #include <iostream>
 #include <utility>
 
+#include "core/counters.hpp"
 #include "kernels/mvm.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -18,6 +19,33 @@ constexpr std::uint64_t kXbarStreamTag = 0xC205BA2;
 constexpr std::uint8_t kFlagConverged = 1u << 0;
 constexpr std::uint8_t kFlagFallback = 1u << 1;
 constexpr std::uint8_t kFlagDirect = 1u << 2;
+
+// Collects a mutation's changed cells up to a policy-relevant bound.  Past
+// the bound only the fact that the patch is oversized matters — the
+// incremental policy declines on the count alone — so the list stops
+// growing and a full-array mutation never materialises a full-array vector.
+struct DeltaPatch {
+  explicit DeltaPatch(std::size_t bound) : bound_(bound) {}
+  void add(std::size_t r, std::size_t c, double g_new) {
+    if (deltas.size() <= bound_) deltas.push_back(CellDelta{r, c, g_new});
+    ++count;
+  }
+  std::vector<CellDelta> deltas;
+  std::size_t count = 0;
+
+ private:
+  std::size_t bound_;
+};
+
+// Upper bound on the incremental batch cap note_cell_updates() can resolve
+// (the true factor bandwidth is at most 2*min(rows, cols)), so a DeltaPatch
+// with this bound always stores every cell of a patch the policy could
+// accept.
+std::size_t patch_bound(const CrossbarConfig& cfg) {
+  const std::size_t bw_est = 2 * std::min(cfg.rows, cfg.cols);
+  return cfg.nodal_update_batch_limit != 0 ? cfg.nodal_update_batch_limit
+                                           : std::max<std::size_t>(1, bw_est / 8);
+}
 }  // namespace
 
 std::string to_string(IrDropMode mode) {
@@ -67,26 +95,80 @@ Crossbar::Crossbar(Crossbar&& other) noexcept
 
 void Crossbar::invalidate_nodal_cache() {
   std::lock_guard<std::mutex> lk(nodal_cache_.mu);
-  nodal_cache_.solver.reset();
+  nodal_cache_.solver = nullptr;
   nodal_cache_.attempted = false;
   nodal_cache_.warm = false;
   nodal_cache_.warm_v = MatrixD{};
   nodal_cache_.warm_u = MatrixD{};
+  nodal_cache_.warm_vin.clear();
 }
 
-const NodalSolver* Crossbar::ensure_factorized() const {
+std::shared_ptr<const NodalSolver> Crossbar::ensure_factorized() const {
   NodalCache& cache = nodal_cache_;
   std::lock_guard<std::mutex> lk(cache.mu);
   if (!cache.attempted) {
     cache.attempted = true;
-    cache.solver.factorize(g_, 1.0 / wire_r_per_cell_, config_.nodal_direct_max_bytes);
+    auto solver = std::make_shared<NodalSolver>();
+    if (solver->factorize(g_, 1.0 / wire_r_per_cell_, config_.nodal_direct_max_bytes))
+      cache.solver = std::move(solver);
   }
-  return cache.solver.ready() ? &cache.solver : nullptr;
+  if (cache.solver != nullptr && cache.solver->ready()) return cache.solver;
+  return nullptr;
+}
+
+std::shared_ptr<const NodalSolver> Crossbar::refactorize_fresh() const {
+  NodalCache& cache = nodal_cache_;
+  std::lock_guard<std::mutex> lk(cache.mu);
+  core::Profiler::count_drift_refactorization();
+  cache.attempted = true;
+  auto solver = std::make_shared<NodalSolver>();
+  if (solver->factorize(g_, 1.0 / wire_r_per_cell_, config_.nodal_direct_max_bytes)) {
+    cache.solver = std::move(solver);
+    return cache.solver;
+  }
+  cache.solver = nullptr;
+  return nullptr;
+}
+
+void Crossbar::note_cell_updates(const CellDelta* deltas, std::size_t count) {
+  NodalCache& cache = nodal_cache_;
+  std::lock_guard<std::mutex> lk(cache.mu);
+  // The Gauss-Seidel warm iterate belongs to the previous programming state.
+  cache.warm = false;
+  cache.warm_v = MatrixD{};
+  cache.warm_u = MatrixD{};
+  cache.warm_vin.clear();
+  if (cache.solver == nullptr || !cache.solver->ready()) {
+    cache.solver = nullptr;
+    cache.attempted = false;
+    return;
+  }
+  const std::size_t bw = cache.solver->bandwidth();
+  const std::size_t batch_cap = config_.nodal_update_batch_limit != 0
+                                    ? config_.nodal_update_batch_limit
+                                    : std::max<std::size_t>(1, bw / 8);
+  const std::size_t total_cap = config_.nodal_update_limit != 0
+                                    ? config_.nodal_update_limit
+                                    : std::max<std::size_t>(16, bw / 2);
+  // Count-based declines short-circuit before update_cells, so an oversized
+  // DeltaPatch may legally pass a count beyond its stored prefix.
+  if (!config_.nodal_incremental || count > batch_cap ||
+      cache.solver->updates_applied() + count > total_cap ||
+      !cache.solver->update_cells(deltas, count)) {
+    core::Profiler::count_update_decline();
+    cache.solver = nullptr;
+    cache.attempted = false;
+  }
 }
 
 bool Crossbar::nodal_factorized() const {
   std::lock_guard<std::mutex> lk(nodal_cache_.mu);
-  return nodal_cache_.solver.ready();
+  return nodal_cache_.solver != nullptr && nodal_cache_.solver->ready();
+}
+
+std::size_t Crossbar::nodal_updates_applied() const {
+  std::lock_guard<std::mutex> lk(nodal_cache_.mu);
+  return nodal_cache_.solver != nullptr ? nodal_cache_.solver->updates_applied() : 0;
 }
 
 void Crossbar::store_last_status(const SolveStatus& s) const {
@@ -116,15 +198,41 @@ void Crossbar::program_conductances(const MatrixD& targets) {
                                          << " does not fit " << config_.rows << 'x'
                                          << config_.cols << " array");
   const auto& p = model_.params();
+  DeltaPatch patch(patch_bound(config_));
   for (std::size_t r = 0; r < config_.rows; ++r) {
     for (std::size_t c = 0; c < config_.cols; ++c) {
       if (stuck_(r, c)) continue;  // defects ignore programming
       const double target = std::clamp(targets(r, c), p.g_min, p.g_max);
-      g_(r, c) = config_.apply_variation ? model_.program_verify(target, rng_) : target;
+      const double val = config_.apply_variation ? model_.program_verify(target, rng_) : target;
+      if (val != g_(r, c)) {
+        g_(r, c) = val;
+        patch.add(r, c, val);
+      }
     }
   }
   weights_ = MatrixD{};
-  invalidate_nodal_cache();
+  // A re-program that lands every cell exactly where it was (e.g. identical
+  // noiseless targets) changes nothing electrically: the factorization and
+  // warm iterate stay valid.
+  if (patch.count != 0) note_cell_updates(patch.deltas.data(), patch.count);
+}
+
+void Crossbar::program_cells(const std::vector<CellDelta>& cells) {
+  const auto& p = model_.params();
+  DeltaPatch patch(patch_bound(config_));
+  for (const CellDelta& cell : cells) {
+    XLDS_REQUIRE_MSG(cell.row < config_.rows && cell.col < config_.cols,
+                     "cell (" << cell.row << ',' << cell.col << ") outside " << config_.rows
+                              << 'x' << config_.cols << " array");
+    if (stuck_(cell.row, cell.col)) continue;  // defects ignore programming
+    const double target = std::clamp(cell.g_new, p.g_min, p.g_max);
+    const double val = config_.apply_variation ? model_.program_verify(target, rng_) : target;
+    if (val != g_(cell.row, cell.col)) {
+      g_(cell.row, cell.col) = val;
+      patch.add(cell.row, cell.col, val);
+    }
+  }
+  if (patch.count != 0) note_cell_updates(patch.deltas.data(), patch.count);
 }
 
 void Crossbar::program_weights(const MatrixD& weights) {
@@ -155,10 +263,18 @@ void Crossbar::program_stochastic_hrs() {
 
 void Crossbar::age(double dt) {
   XLDS_REQUIRE(dt >= 0.0);
-  for (std::size_t r = 0; r < config_.rows; ++r)
-    for (std::size_t c = 0; c < config_.cols; ++c)
-      if (!stuck_(r, c)) g_(r, c) = model_.relax(g_(r, c), dt, rng_);
-  invalidate_nodal_cache();
+  DeltaPatch patch(patch_bound(config_));
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    for (std::size_t c = 0; c < config_.cols; ++c) {
+      if (stuck_(r, c)) continue;
+      const double g_new = model_.relax(g_(r, c), dt, rng_);
+      if (g_new != g_(r, c)) {
+        g_(r, c) = g_new;
+        patch.add(r, c, g_new);
+      }
+    }
+  }
+  if (patch.count != 0) note_cell_updates(patch.deltas.data(), patch.count);
 }
 
 void Crossbar::inject_stuck_fault(std::size_t row, std::size_t col, double g_stuck) {
@@ -166,27 +282,38 @@ void Crossbar::inject_stuck_fault(std::size_t row, std::size_t col, double g_stu
   XLDS_REQUIRE(g_stuck >= 0.0);
   stuck_(row, col) = 1;
   // Lower bound is 0 (an open cell draws no current), upper the device max.
-  g_(row, col) = std::clamp(g_stuck, 0.0, config_.rram.g_max);
-  invalidate_nodal_cache();
+  const double g_new = std::clamp(g_stuck, 0.0, config_.rram.g_max);
+  if (g_new == g_(row, col)) return;  // electrically unchanged
+  g_(row, col) = g_new;
+  const CellDelta delta{row, col, g_new};
+  note_cell_updates(&delta, 1);
 }
 
 void Crossbar::apply_fault_map(const fault::FaultMap& map) {
   XLDS_REQUIRE_MSG(map.rows() == config_.rows && map.cols() == config_.cols,
                    "fault map " << map.rows() << 'x' << map.cols() << " does not fit "
                                 << config_.rows << 'x' << config_.cols << " array");
+  DeltaPatch patch(patch_bound(config_));
   for (std::size_t r = 0; r < config_.rows; ++r) {
     for (std::size_t c = 0; c < config_.cols; ++c) {
+      double pin = 0.0;
       switch (map.effective(r, c)) {
-        case fault::CellFault::kNone: break;
-        case fault::CellFault::kStuckOn: inject_stuck_fault(r, c, config_.rram.g_max); break;
-        case fault::CellFault::kStuckOff: inject_stuck_fault(r, c, config_.rram.g_min); break;
-        case fault::CellFault::kOpen: inject_stuck_fault(r, c, 0.0); break;
+        case fault::CellFault::kNone: continue;
+        case fault::CellFault::kStuckOn: pin = config_.rram.g_max; break;
+        case fault::CellFault::kStuckOff: pin = config_.rram.g_min; break;
+        case fault::CellFault::kOpen: pin = 0.0; break;
+      }
+      stuck_(r, c) = 1;
+      const double g_new = std::clamp(pin, 0.0, config_.rram.g_max);
+      if (g_new != g_(r, c)) {
+        g_(r, c) = g_new;
+        patch.add(r, c, g_new);
       }
     }
   }
   for (std::size_t c = 0; c < config_.cols; ++c)
     if (map.col_sense_dead(c)) adc_dead_[c] = 1;
-  invalidate_nodal_cache();
+  if (patch.count != 0) note_cell_updates(patch.deltas.data(), patch.count);
 }
 
 std::size_t Crossbar::dead_adc_lanes() const {
@@ -277,14 +404,25 @@ std::vector<double> Crossbar::currents_analytic(const std::vector<double>& v_in)
 std::vector<double> Crossbar::currents_nodal(const std::vector<double>& v_in,
                                              SolveStatus& status) const {
   if (config_.nodal_direct) {
-    if (const NodalSolver* solver = ensure_factorized()) {
+    if (auto solver = ensure_factorized()) {
       std::vector<double> out(config_.cols);
       NodalSolver::Workspace ws;
-      const NodalSolver::Result res = solver->solve(v_in.data(), out.data(), ws);
+      NodalSolver::Result res = solver->solve(v_in.data(), out.data(), ws);
+      const double tol = kNodalTolRel * config_.read_voltage;
+      if (!(res.residual < tol) && solver->updates_applied() > 0) {
+        // The Jacobi-scaled residual is the drift detector for incrementally
+        // updated factors: a miss with updates applied means accumulated
+        // rank-1 round-off, not conditioning.  Refactorize from the exact
+        // conductances and retry once.
+        if (auto fresh = refactorize_fresh()) {
+          solver = std::move(fresh);
+          res = solver->solve(v_in.data(), out.data(), ws);
+        }
+      }
       status = SolveStatus{};
       status.direct = true;
       status.residual = res.residual;
-      status.converged = res.residual < kNodalTolRel * config_.read_voltage;
+      status.converged = res.residual < tol;
       if (status.converged) return out;
       // Residual above the Gauss-Seidel acceptance bar (pathological
       // conditioning): fall through to the iterative cross-check rather than
@@ -303,6 +441,7 @@ std::vector<double> Crossbar::currents_nodal_gs(const std::vector<double>& v_in,
   // neighbours in adjacent rows — so all rows of one colour can relax
   // concurrently with no races, and the update order (hence the iterate
   // sequence and iteration count) is fixed regardless of thread count.
+  core::Profiler::count_gs_solve();
   const std::size_t R = config_.rows, C = config_.cols;
   const double gw = 1.0 / wire_r_per_cell_;
   MatrixD v(R, C, 0.0);  // row-wire node voltages
@@ -311,11 +450,22 @@ std::vector<double> Crossbar::currents_nodal_gs(const std::vector<double>& v_in,
   if (config_.nodal_warm_start) {
     // Start from the previous converged iterate when one exists: repeated or
     // similar queries then converge in a handful of sweeps instead of a cold
-    // climb from the flat initial guess.
+    // climb from the flat initial guess.  Shifting each row-wire voltage by
+    // the change in its driver voltage removes the dominant error term when
+    // the new query differs from the stored one (the row-wire profile rides
+    // on v_in[r]; the column-wire layer is driven by totals, which the sweeps
+    // re-balance quickly) — and is a no-op for a repeated query.
     std::lock_guard<std::mutex> lk(nodal_cache_.mu);
     if (nodal_cache_.warm) {
       v = nodal_cache_.warm_v;
       u = nodal_cache_.warm_u;
+      for (std::size_t r = 0; r < R; ++r) {
+        const double shift = v_in[r] - nodal_cache_.warm_vin[r];
+        if (shift != 0.0) {
+          double* vr = v.row_data(r);
+          for (std::size_t c = 0; c < C; ++c) vr[c] += shift;
+        }
+      }
       warmed = true;
     }
   }
@@ -417,6 +567,7 @@ std::vector<double> Crossbar::currents_nodal_gs(const std::vector<double>& v_in,
     std::lock_guard<std::mutex> lk(nodal_cache_.mu);
     nodal_cache_.warm_v = v;
     nodal_cache_.warm_u = u;
+    nodal_cache_.warm_vin.assign(v_in.begin(), v_in.end());
     nodal_cache_.warm = true;
   }
   // Read the column current as the sum of cell currents: identical to the
@@ -550,9 +701,43 @@ MatrixD Crossbar::readout_batch(const MatrixD& inputs,
       break;
     case IrDropMode::kNodal: {
       std::vector<SolveStatus> local(batch);
-      const NodalSolver* solver = config_.nodal_direct ? ensure_factorized() : nullptr;
+      const std::shared_ptr<const NodalSolver> solver =
+          config_.nodal_direct ? ensure_factorized() : nullptr;
       if (solver != nullptr) {
         currents_nodal_batch(*solver, v_in, out, &local);
+        // Drift retry, batched: replicate what the sequential single-query
+        // path would do.  The first query to miss the tolerance on an
+        // incrementally updated factor triggers one refactorization; every
+        // query from that point on would have seen the fresh factor, so
+        // re-solve the whole tail against it.
+        if (solver->updates_applied() > 0) {
+          std::size_t first_bad = batch;
+          for (std::size_t b = 0; b < batch; ++b) {
+            if (!local[b].converged) {
+              first_bad = b;
+              break;
+            }
+          }
+          if (first_bad < batch) {
+            if (const auto fresh = refactorize_fresh()) {
+              const std::size_t tail = batch - first_bad;
+              const double tol = kNodalTolRel * config_.read_voltage;
+              parallel_for(tail, 1, [&](std::size_t begin, std::size_t end, std::size_t) {
+                NodalSolver::Workspace ws;
+                for (std::size_t t = begin; t < end; ++t) {
+                  const std::size_t b = first_bad + t;
+                  const NodalSolver::Result res =
+                      fresh->solve(v_in.row_data(b), out.row_data(b), ws);
+                  SolveStatus& s = local[b];
+                  s = SolveStatus{};
+                  s.direct = true;
+                  s.residual = res.residual;
+                  s.converged = res.residual < tol;
+                }
+              });
+            }
+          }
+        }
         // A direct solve that misses the tolerance falls back to the
         // iterative path — sequentially, in index order, exactly as repeated
         // single-query readouts would (warm-start state evolves identically).

@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -71,12 +72,32 @@ struct CrossbarConfig {
   /// Memory cap for the cached Cholesky factor; larger systems fall back to
   /// Gauss-Seidel instead of allocating an oversized profile.
   std::size_t nodal_direct_max_bytes = 256u << 20;
-  /// Warm-start Gauss-Seidel from the previous converged iterate (only used
-  /// where the direct path is off/unavailable).  Repeated or similar queries
-  /// then converge in a handful of sweeps.  Results stay within the solver
-  /// tolerance of a cold start but are not bit-identical to one, and depend
-  /// on the query order — disable for strict cold-start reproducibility.
+  /// Warm-start Gauss-Seidel from the previous converged iterate, shifted by
+  /// the per-row driver-voltage difference between the stored query and the
+  /// new one (only used where the direct path is off/unavailable).  The shift
+  /// removes the dominant error term for decorrelated queries, so the warm
+  /// guess is at least as close as the cold flat guess whether or not the
+  /// inputs repeat.  Results stay within the solver tolerance of a cold
+  /// start but are not bit-identical to one, and depend on the query order —
+  /// disable for strict cold-start reproducibility.
   bool nodal_warm_start = true;
+  /// Apply small programming changes (stuck faults, partial re-programs) to
+  /// the cached factorization as rank-1 up/down-dates instead of dropping
+  /// it.  Falls back to a full refactorization when the patch is too large
+  /// (nodal_update_batch_limit), the accumulated update count exceeds
+  /// nodal_update_limit, the update breaks down numerically, or a later
+  /// solve's residual check reports the factor drifted.
+  bool nodal_incremental = true;
+  /// Largest patch (cells per mutation) handled incrementally; bigger
+  /// patches invalidate the cache.  0 = auto (factor bandwidth / 8, the
+  /// point where a batch of rank-1 sweeps stops being clearly cheaper than
+  /// one refactorization).
+  std::size_t nodal_update_batch_limit = 0;
+  /// Accumulated rank-1 updates tolerated on one factorization before the
+  /// next mutation forces a rebuild (bounds floating-point drift and keeps
+  /// the amortised update cost below the refactorization it replaces).
+  /// 0 = auto (factor bandwidth / 2).
+  std::size_t nodal_update_limit = 0;
 };
 
 /// Outcome of a nodal solve (kNodal mode).
@@ -113,6 +134,14 @@ class Crossbar {
   /// Program explicit conductance targets (S).  Values are clamped to the
   /// device range; program-and-verify with variation when enabled.
   void program_conductances(const MatrixD& targets);
+
+  /// Re-program a subset of crosspoints to explicit conductance targets
+  /// (clamped and program-and-verified exactly like program_conductances;
+  /// stuck cells ignore the request and consume no RNG draw).
+  /// Small patches update the cached nodal factorization incrementally
+  /// instead of invalidating it; the logical weights from a previous
+  /// program_weights() are kept (the patch models drift/repair around them).
+  void program_cells(const std::vector<CellDelta>& cells);
 
   /// Program signed weights in [-1, 1] onto differential column pairs:
   /// physical column 2j carries the positive part of logical column j,
@@ -189,8 +218,13 @@ class Crossbar {
   double ir_drop_worst_case() const;
 
   /// True once the direct nodal factorization has been built for the current
-  /// programming state (kNodal readouts build it lazily).
+  /// programming state (kNodal readouts build it lazily).  Incremental
+  /// updates keep the factorization alive across small programming changes.
   bool nodal_factorized() const;
+
+  /// Rank-1 up/down-dates applied to the current factorization since it was
+  /// last built (0 when fresh or absent).
+  std::size_t nodal_updates_applied() const;
 
   /// Deprecated: Gauss-Seidel iterations of the most recent nodal solve
   /// (0 when the direct path answered).  Prefer the per-call SolveStatus
@@ -214,11 +248,16 @@ class Crossbar {
   // worker threads) build the factorization exactly once without racing.
   // Mutating the array (program/fault/age) while another thread reads is
   // outside the contract, as it always was for the conductances themselves.
+  // The solver lives behind a shared_ptr so the rare drift-triggered
+  // refactorization during a const readout can swap in a fresh factor while
+  // concurrent readers keep solving against the old one (readers pin their
+  // snapshot; nothing is ever mutated under them).
   struct NodalCache {
     std::mutex mu;
-    NodalSolver solver;
+    std::shared_ptr<NodalSolver> solver;
     bool attempted = false;  ///< factorization tried since the last invalidation
     MatrixD warm_v, warm_u;  ///< last converged Gauss-Seidel iterate
+    std::vector<double> warm_vin;  ///< driver voltages that iterate solved
     bool warm = false;
   };
 
@@ -237,8 +276,16 @@ class Crossbar {
   std::vector<double> quantise_input(const std::vector<double>& input) const;
   /// Lazily build (once per programming state) and return the cached direct
   /// solver, or nullptr when disabled/declined.
-  const NodalSolver* ensure_factorized() const;
+  std::shared_ptr<const NodalSolver> ensure_factorized() const;
+  /// Replace a drifted factorization with a fresh one built from the current
+  /// conductances (readers holding the old shared_ptr are unaffected).
+  std::shared_ptr<const NodalSolver> refactorize_fresh() const;
   void invalidate_nodal_cache();
+  /// Route a programming patch to the cached factorization: apply it as
+  /// rank-1 up/down-dates when the incremental policy accepts it, otherwise
+  /// invalidate the cache.  The Gauss-Seidel warm iterate is dropped either
+  /// way (it belongs to the previous programming state).
+  void note_cell_updates(const CellDelta* deltas, std::size_t count);
   /// Read-noise + dead-lane post-processing (consumes the instance RNG).
   void apply_readout_noise(double* currents) const;
   void store_last_status(const SolveStatus& s) const;

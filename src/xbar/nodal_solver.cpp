@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/counters.hpp"
 #include "util/error.hpp"
 
 namespace xlds::xbar {
@@ -22,9 +23,9 @@ bool NodalSolver::factorize(const MatrixD& g, double g_wire, std::size_t max_byt
 
   // --- profile of the lower triangle ---------------------------------------
   // Row v(r,c): couples below-diagonal only to v(r,c-1); row u(r,c): to
-  // v(r,c) (distance 1) and u(r-1,c).  The envelope Cholesky factor keeps
-  // exactly this row profile, so the v rows stay a few entries wide no
-  // matter the bandwidth.
+  // v(r,c) (distance 1) and u(r-1,c).  The envelope factor keeps exactly
+  // this row profile, so the v rows stay a few entries wide no matter the
+  // bandwidth.
   start_.assign(n_, 0);
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t c = 0; c < cols_; ++c) {
@@ -34,7 +35,11 @@ bool NodalSolver::factorize(const MatrixD& g, double g_wire, std::size_t max_byt
     }
   }
   off_.assign(n_ + 1, 0);
-  for (std::size_t i = 0; i < n_; ++i) off_[i + 1] = off_[i] + (i - start_[i] + 1);
+  bw_ = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    off_[i + 1] = off_[i] + (i - start_[i] + 1);
+    bw_ = std::max(bw_, i - start_[i]);
+  }
   if (off_[n_] * sizeof(double) > max_bytes) {
     reset();
     return false;
@@ -68,33 +73,130 @@ bool NodalSolver::factorize(const MatrixD& g, double g_wire, std::size_t max_byt
     }
   }
 
-  // --- profile Cholesky, in place -------------------------------------------
+  // --- profile LDL^T, in place ----------------------------------------------
+  // Row-by-row left-looking sweep.  `t` carries D(k) * L(i,k) for the row in
+  // flight (the value of the numerator `s` at column k — no extra multiply),
+  // so every inner dot stays a contiguous two-array product.
+  std::vector<double> t(bw_ + 1, 0.0);
   for (std::size_t i = 0; i < n_; ++i) {
     const std::size_t si = start_[i];
     double* ri = vals_.data() + off_[i];
-    for (std::size_t j = si; j <= i; ++j) {
+    for (std::size_t j = si; j < i; ++j) {
       const std::size_t sj = start_[j];
       const std::size_t k0 = std::max(si, sj);
-      const double* a = ri + (k0 - si);
+      const double* a = t.data() + (k0 - si);
       const double* b = vals_.data() + off_[j] + (k0 - sj);
       const std::size_t len = j - k0;
       double s = ri[j - si];
-      for (std::size_t t = 0; t < len; ++t) s -= a[t] * b[t];
-      if (j < i) {
-        ri[j - si] = s / vals_[off_[j] + (j - sj)];
-      } else {
-        // SPD by construction (a connected resistor network with every node
-        // tied to the driver or ground); a non-positive pivot means numeric
-        // breakdown — decline and let the caller use Gauss-Seidel.
-        if (!(s > 0.0) || !std::isfinite(s)) {
-          reset();
-          return false;
-        }
-        ri[j - si] = std::sqrt(s);
-      }
+      for (std::size_t k = 0; k < len; ++k) s -= a[k] * b[k];
+      t[j - si] = s;
+      ri[j - si] = s / vals_[off_[j + 1] - 1];
     }
+    double d = ri[i - si];
+    for (std::size_t k = 0; k < i - si; ++k) d -= t[k] * ri[k];
+    // SPD by construction (a connected resistor network with every node tied
+    // to the driver or ground); a non-positive pivot means numeric breakdown
+    // — decline and let the caller use Gauss-Seidel.
+    if (!(d > 0.0) || !std::isfinite(d)) {
+      reset();
+      return false;
+    }
+    ri[i - si] = d;
   }
   ready_ = true;
+  core::Profiler::count_factorization();
+  return true;
+}
+
+bool NodalSolver::update_cells(const CellDelta* cells, std::size_t count) {
+  if (!ready_) return false;
+  for (std::size_t c = 0; c < count; ++c) {
+    XLDS_REQUIRE_MSG(cells[c].row < rows_ && cells[c].col < cols_,
+                     "cell (" << cells[c].row << ',' << cells[c].col << ") outside "
+                              << rows_ << 'x' << cols_ << " array");
+    if (!(cells[c].g_new >= 0.0) || !std::isfinite(cells[c].g_new)) return false;
+  }
+
+  // One rank-1 modification per cell whose conductance actually changes:
+  // A' = A + delta * w w^T with w = e_v - e_u.  The snapshot and A-diagonal
+  // are patched up front so the post-update residual check measures the
+  // factor against the true new matrix; on breakdown the whole solver resets
+  // and the caller refactorizes from its authoritative conductances.
+  struct Upd {
+    std::size_t p;  ///< pivot node index (the cell's v node)
+    double alpha;   ///< signed conductance delta
+  };
+  std::vector<Upd> ups;
+  ups.reserve(count);
+  for (std::size_t c = 0; c < count; ++c) {
+    const double delta = cells[c].g_new - g_(cells[c].row, cells[c].col);
+    if (delta == 0.0) continue;
+    const std::size_t iv = node_v(cells[c].row, cells[c].col);
+    g_(cells[c].row, cells[c].col) = cells[c].g_new;
+    adiag_[iv] += delta;
+    adiag_[iv + 1] += delta;
+    ups.push_back(Upd{iv, delta});
+  }
+  if (ups.empty()) return true;
+  std::stable_sort(ups.begin(), ups.end(),
+                   [](const Upd& a, const Upd& b) { return a.p < b.p; });
+
+  // Each update carries a sparse working vector w whose nonzero support at
+  // sweep position j is confined to the window [j, j + bw_] (w fill can never
+  // escape the envelope), so a power-of-two ring of bw_ + 2 slots per update
+  // replaces a dense length-n vector.
+  std::size_t ring = 1;
+  while (ring < bw_ + 2) ring <<= 1;
+  const std::size_t mask = ring - 1;
+  const std::size_t m = ups.size();
+  std::vector<double> w(m * ring, 0.0);
+  for (std::size_t u = 0; u < m; ++u) {
+    w[u * ring + (ups[u].p & mask)] = 1.0;
+    w[u * ring + ((ups[u].p + 1) & mask)] = -1.0;
+  }
+
+  // Fused left-to-right sweep: at column j apply, in patch order, the rank-1
+  // rotation of every update whose pivot has been reached (method C1).  The
+  // interleaving is exactly equivalent to applying the rank-1 updates one
+  // after another — an update's rotation at column j only depends on columns
+  // <= j, which later updates cannot touch retroactively.
+  std::size_t nactive = 0;
+  for (std::size_t j = ups[0].p; j < n_; ++j) {
+    while (nactive < m && ups[nactive].p <= j) ++nactive;
+    const std::size_t imax = std::min(n_ - 1, j + bw_);
+    // The rows of column j's envelope structure below the diagonal: every
+    // odd (column-wire) node within one bandwidth, at most one even
+    // (row-wire) node at j + 1 or j + 2 — their profiles only reach two
+    // columns left.
+    const std::size_t ieven = (j + 1) % 2 == 0 ? j + 1 : j + 2;
+    for (std::size_t u = 0; u < nactive; ++u) {
+      double* wu = w.data() + u * ring;
+      const double p = wu[j & mask];
+      if (p == 0.0) continue;
+      wu[j & mask] = 0.0;
+      double& dslot = vals_[off_[j + 1] - 1];
+      const double dold = dslot;
+      const double dnew = dold + ups[u].alpha * p * p;
+      if (!(dnew > 0.0) || !std::isfinite(dnew)) {
+        reset();
+        return false;
+      }
+      dslot = dnew;
+      const double beta = ups[u].alpha * p / dnew;
+      ups[u].alpha *= dold / dnew;
+      const auto touch = [&](std::size_t i) {
+        double& lij = vals_[off_[i] + (j - start_[i])];
+        const double wi = wu[i & mask] - p * lij;
+        wu[i & mask] = wi;
+        lij += beta * wi;
+      };
+      if (ieven <= imax && start_[ieven] <= j) touch(ieven);
+      for (std::size_t i = (j + 1) | 1; i <= imax; i += 2)
+        if (start_[i] <= j) touch(i);
+    }
+  }
+  updates_applied_ += m;
+  core::Profiler::count_incremental_update(m);
   return true;
 }
 
@@ -102,6 +204,8 @@ void NodalSolver::reset() noexcept {
   ready_ = false;
   rows_ = cols_ = n_ = 0;
   g_wire_ = 0.0;
+  bw_ = 0;
+  updates_applied_ = 0;
   g_ = MatrixD{};
   adiag_.clear();
   adiag_.shrink_to_fit();
@@ -117,12 +221,13 @@ NodalSolver::Result NodalSolver::solve(const double* v_in, double* i_col,
                                        Workspace& ws) const {
   XLDS_REQUIRE_MSG(ready_, "NodalSolver::solve before a successful factorize");
   const double gw = g_wire_;
+  core::Profiler::count_direct_solve();
 
   // RHS: the driver ties inject gw * v_in[r] at each row's first node.
   ws.y.assign(n_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) ws.y[node_v(r, 0)] = gw * v_in[r];
 
-  // Forward substitution L y = b (in place on ws.y).
+  // Forward substitution L y = b (unit lower triangle, in place on ws.y).
   double* y = ws.y.data();
   for (std::size_t i = 0; i < n_; ++i) {
     const std::size_t si = start_[i];
@@ -131,17 +236,18 @@ NodalSolver::Result NodalSolver::solve(const double* v_in, double* i_col,
     const std::size_t len = i - si;
     const double* ys = y + si;
     for (std::size_t t = 0; t < len; ++t) s -= ri[t] * ys[t];
-    y[i] = s / ri[len];
+    y[i] = s;
   }
 
-  // Back substitution L^T x = y (row-saxpy form: contiguous profile rows).
-  ws.x.assign(y, y + n_);
+  // Diagonal scaling, then back substitution L^T x = y (row-saxpy form:
+  // contiguous profile rows, unit diagonal).
+  ws.x.resize(n_);
   double* x = ws.x.data();
+  for (std::size_t i = 0; i < n_; ++i) x[i] = y[i] / vals_[off_[i + 1] - 1];
   for (std::size_t i = n_; i-- > 0;) {
     const std::size_t si = start_[i];
     const double* ri = vals_.data() + off_[i];
-    const double xi = x[i] / ri[i - si];
-    x[i] = xi;
+    const double xi = x[i];
     double* xs = x + si;
     const std::size_t len = i - si;
     for (std::size_t t = 0; t < len; ++t) xs[t] -= ri[t] * xi;

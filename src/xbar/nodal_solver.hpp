@@ -17,14 +17,26 @@
 //
 // Ordering and storage.  Nodes are interleaved (v, u) per cell and laid out
 // along the shorter array dimension, which bounds the matrix half-bandwidth
-// at 2*min(R, C).  The factorization is an envelope (skyline) Cholesky: L
-// retains exactly the row profile of A (the textbook no-fill property of
-// profile methods), so the row-wire rows — whose lower profile is only two
-// entries wide — stay two entries wide, halving both memory and flops
-// against a plain banded factorization.  Assembly, factorization and each
+// at 2*min(R, C).  The factorization is an envelope (skyline) LDL^T: the
+// unit lower factor retains exactly the row profile of A (the textbook
+// no-fill property of profile methods), so the row-wire rows — whose lower
+// profile is only two entries wide — stay two entries wide, halving both
+// memory and flops against a plain banded factorization.  The diagonal slot
+// of each packed row stores D(i).  Assembly, factorization and each
 // triangular solve are fixed-order serial loops: results are bit-identical
-// regardless of thread count, and concurrent solves against one factorization
-// are read-only and race-free (each solve uses caller-provided scratch).
+// regardless of thread count, and concurrent solves against one
+// factorization are read-only and race-free (each solve uses
+// caller-provided scratch).
+//
+// Incremental up/down-dates.  Changing one cell conductance by delta
+// perturbs A by exactly the rank-1 matrix delta * w w^T with
+// w = e_v - e_u (the two adjacent node indices of that cell), which lies
+// entirely inside the envelope.  update_cells() applies such a patch as a
+// batch of rank-1 LDL^T modifications (Gill/Golub/Murray/Saunders method
+// C1, the algorithm CHOLMOD uses) in a single fused left-to-right sweep:
+// cost O((n - p) * bandwidth) per cell from its pivot p, versus
+// O(n * bandwidth^2) for a full refactorization.  A downdate that would
+// drive a pivot non-positive resets the solver (the caller refactorizes).
 #pragma once
 
 #include <cstddef>
@@ -34,6 +46,14 @@
 
 namespace xlds::xbar {
 
+/// One cell of a programming patch: the crosspoint at (row, col) now has
+/// conductance g_new (siemens).
+struct CellDelta {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double g_new = 0.0;
+};
+
 class NodalSolver {
  public:
   NodalSolver() = default;
@@ -41,11 +61,30 @@ class NodalSolver {
   /// Assemble the nodal conductance matrix for programmed conductances
   /// `g` (R x C, siemens) and per-segment wire conductance `g_wire`, then
   /// factorize it.  Returns false — leaving the solver not ready — if the
-  /// factor would exceed `max_bytes` of storage or the Cholesky breaks down
-  /// numerically (the caller falls back to the iterative solve).
+  /// factor would exceed `max_bytes` of storage or the factorization breaks
+  /// down numerically (the caller falls back to the iterative solve).
   bool factorize(const MatrixD& g, double g_wire, std::size_t max_bytes);
 
+  /// Apply a conductance patch to the existing factorization as a batch of
+  /// rank-1 up/down-dates (one per cell whose conductance actually changed),
+  /// keeping the conductance snapshot, A-diagonal and factor consistent.
+  /// Returns false — and resets the solver, so the caller refactorizes from
+  /// scratch — on numeric breakdown (a downdated pivot going non-positive)
+  /// or a non-finite/negative target.  Exact in exact arithmetic: the
+  /// updated factor equals a from-scratch factorization of the patched
+  /// matrix; accumulated floating-point drift is the caller's concern (see
+  /// updates_applied()).
+  bool update_cells(const CellDelta* cells, std::size_t count);
+
   bool ready() const noexcept { return ready_; }
+
+  /// Rank-1 modifications applied since the last factorize() (drift and
+  /// amortisation bookkeeping for the caller's refactorization policy).
+  std::size_t updates_applied() const noexcept { return updates_applied_; }
+
+  /// Largest row-profile width of the factor (2*min(rows, cols) for the
+  /// crossbar network); the per-column cost unit of update_cells().
+  std::size_t bandwidth() const noexcept { return bw_; }
 
   /// Drop the factorization (programming state changed).
   void reset() noexcept;
@@ -54,7 +93,7 @@ class NodalSolver {
   std::size_t cols() const noexcept { return cols_; }
   std::size_t node_count() const noexcept { return n_; }
 
-  /// Bytes held by the packed Cholesky factor.
+  /// Bytes held by the packed factor.
   std::size_t factor_bytes() const noexcept { return vals_.size() * sizeof(double); }
 
   /// Per-solve scratch.  Reused across solves to amortise allocation; each
@@ -89,11 +128,13 @@ class NodalSolver {
   bool row_major_ = true;    ///< cells ordered along the shorter dimension
   bool ready_ = false;
   double g_wire_ = 0.0;
+  std::size_t bw_ = 0;       ///< largest row-profile width (i - start_[i])
+  std::size_t updates_applied_ = 0;  ///< rank-1 modifications since factorize
   MatrixD g_;                ///< conductance snapshot (residual + currents)
   std::vector<double> adiag_;       ///< diagonal of A (Jacobi-scaled residual)
   std::vector<std::size_t> start_;  ///< first profile column of each row of L
   std::vector<std::size_t> off_;    ///< packed offset of L(i, start_[i]); size n+1
-  std::vector<double> vals_;        ///< packed profile of L, rows concatenated
+  std::vector<double> vals_;        ///< packed profile; diag slot holds D(i)
 };
 
 }  // namespace xlds::xbar

@@ -5,6 +5,7 @@
 
 #include "kernels/mvm.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace xlds::xbar {
 
@@ -43,14 +44,17 @@ void TiledCrossbar::program_weights(const MatrixD& weights) {
 std::vector<double> TiledCrossbar::mvm(const std::vector<double>& input) const {
   XLDS_REQUIRE_MSG(input.size() == in_dim_, "input " << input.size() << " != " << in_dim_);
   std::vector<double> out(out_dim_, 0.0);
+  // One slice buffer serves every tile row (the per-row zero padding is
+  // rewritten in full each pass); partial sums land in a reused vector.
+  std::vector<double> slice(config_.tile.rows, 0.0);
+  std::vector<double> partial;
   for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
-    std::vector<double> slice(config_.tile.rows, 0.0);
     for (std::size_t r = 0; r < config_.tile.rows; ++r) {
       const std::size_t gr = rt * config_.tile.rows + r;
-      if (gr < in_dim_) slice[r] = input[gr];
+      slice[r] = gr < in_dim_ ? input[gr] : 0.0;
     }
     for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
-      const std::vector<double> partial = tiles_[rt * col_tiles_ + ct].mvm(slice);
+      partial = tiles_[rt * col_tiles_ + ct].mvm(slice);
       const std::size_t gc0 = ct * logical_cols_per_tile_;
       kernels::accumulate(partial.data(), out.data() + gc0,
                           std::min(partial.size(), out_dim_ - gc0));
@@ -64,22 +68,42 @@ MatrixD TiledCrossbar::mvm_batch(const MatrixD& inputs) const {
                    "batch inputs have " << inputs.cols() << " columns, need " << in_dim_);
   const std::size_t batch = inputs.rows();
   MatrixD out(batch, out_dim_, 0.0);
-  // Tile-major, batch-minor: each tile sees the whole batch in index order,
-  // so its RNG draw sequence — and hence every output row — matches the
-  // sequential mvm() loop bit for bit, while the per-tile batch call reuses
-  // one nodal factorization and parallelises the substitutions.
+
+  // Stage 1: input slices, one [batch x tile.rows] block per tile row.  Pure
+  // data movement, computed once and shared read-only by every tile in the
+  // row (the old per-row-tile rebuild allocated the same block col_tiles_
+  // times over the sweep).
+  std::vector<MatrixD> slices(row_tiles_);
   for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
-    MatrixD slices(batch, config_.tile.rows, 0.0);
+    slices[rt] = MatrixD(batch, config_.tile.rows, 0.0);
     for (std::size_t b = 0; b < batch; ++b) {
       const double* in = inputs.row_data(b);
-      double* s = slices.row_data(b);
+      double* s = slices[rt].row_data(b);
       for (std::size_t r = 0; r < config_.tile.rows; ++r) {
         const std::size_t gr = rt * config_.tile.rows + r;
         if (gr < in_dim_) s[r] = in[gr];
       }
     }
+  }
+
+  // Stage 2: every tile runs the whole batch against its own cached nodal
+  // factorization, all tiles concurrently through the shared util::parallel
+  // pool.  Each tile owns its RNG and conductance state, and sees the batch
+  // in index order exactly as the sequential sweep did — so every partial is
+  // bit-identical to serial execution at any thread count.  (A tile's inner
+  // batch parallelism degrades to serial inside this nested region; the
+  // tile fleet is the wider dimension for DNN-scale layers.)
+  std::vector<MatrixD> partials(tiles_.size());
+  parallel_for(tiles_.size(), 1, [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t t = begin; t < end; ++t)
+      partials[t] = tiles_[t].mvm_batch(slices[t / col_tiles_]);
+  });
+
+  // Stage 3: digital partial-sum reduction in fixed tile order (the adder
+  // tree), independent of which thread produced what when.
+  for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
     for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
-      const MatrixD partial = tiles_[rt * col_tiles_ + ct].mvm_batch(slices);
+      const MatrixD& partial = partials[rt * col_tiles_ + ct];
       const std::size_t gc0 = ct * logical_cols_per_tile_;
       const std::size_t n = std::min(partial.cols(), out_dim_ - gc0);
       for (std::size_t b = 0; b < batch; ++b)

@@ -35,7 +35,10 @@ class TiledCrossbar {
   /// Batched MVM: inputs [batch x in_dim] -> outputs [batch x out_dim], row b
   /// bit-identical to mvm(row b) issued sequentially (each tile consumes its
   /// RNG in batch order, and in kNodal mode every tile amortises one cached
-  /// factorization across the whole batch).
+  /// factorization across the whole batch).  The tile fleet runs concurrently
+  /// through the shared util::parallel pool — each tile's state is private
+  /// and the partial-sum reduction is fixed-order, so results are invariant
+  /// to the thread count.
   MatrixD mvm_batch(const MatrixD& inputs) const;
 
   /// Ideal (software) result for comparison.

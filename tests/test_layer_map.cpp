@@ -1,0 +1,180 @@
+// Tests for the bit-sliced DNN-layer -> tiled-crossbar mapper: quantisation
+// bounds, digital-reference agreement on a clean datapath, from_dense
+// equivalence, batched-vs-single bit-equality, and — the DNN-scale pipeline
+// contract — thread-count invariance of a real trained layer (>= 256x512)
+// running batched nodal MVMs across the tile fleet.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "util/matrix.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "xbar/layer_map.hpp"
+
+namespace xlds {
+namespace {
+
+class LayerMapTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_parallel_threads(0); }
+};
+
+xbar::LayerMapConfig clean_config(std::size_t tile_rows, std::size_t tile_cols) {
+  xbar::LayerMapConfig cfg;
+  cfg.tiled.tile.rows = tile_rows;
+  cfg.tiled.tile.cols = tile_cols;
+  cfg.tiled.tile.apply_variation = false;
+  cfg.tiled.tile.read_noise_rel = 0.0;
+  cfg.tiled.tile.ir_drop = xbar::IrDropMode::kNone;
+  // High-resolution converters so the digital reference comparison probes
+  // the slicing arithmetic, not converter rounding.
+  cfg.tiled.tile.adc.bits = 14;
+  cfg.tiled.tile.dac.bits = 10;
+  return cfg;
+}
+
+MatrixD random_weights(std::size_t in, std::size_t out, std::uint64_t seed) {
+  MatrixD w(in, out);
+  Rng rng(seed);
+  for (double& v : w.data()) v = rng.uniform(-1.0, 1.0);
+  return w;
+}
+
+MatrixD random_inputs(std::size_t batch, std::size_t in, std::uint64_t seed) {
+  MatrixD x(batch, in);
+  Rng rng(seed);
+  for (double& v : x.data()) v = rng.uniform();
+  return x;
+}
+
+TEST_F(LayerMapTest, QuantisedWeightsWithinHalfAnLsb) {
+  const MatrixD w = random_weights(20, 14, 3);
+  xbar::LayerMapConfig cfg = clean_config(16, 16);
+  cfg.weight_bits = 4;
+  cfg.slice_bits = 2;
+  Rng rng(5);
+  const xbar::MappedLayer mapped(cfg, w, rng);
+  EXPECT_EQ(mapped.slice_count(), 2u);
+  ASSERT_GT(mapped.scale(), 0.0);
+  const double lsb = mapped.scale() / 15.0;  // 2^4 - 1 magnitude levels
+  for (std::size_t r = 0; r < 20; ++r)
+    for (std::size_t c = 0; c < 14; ++c)
+      EXPECT_NEAR(mapped.quantised_weights()(r, c), w(r, c), 0.5 * lsb + 1e-12)
+          << r << ',' << c;
+}
+
+TEST_F(LayerMapTest, ForwardMatchesDigitalReferenceOnCleanDatapath) {
+  // No variation, no noise, ideal wires, high-resolution converters: the
+  // analog forward must track W_q^T x to converter rounding.
+  const MatrixD w = random_weights(40, 24, 7);
+  xbar::LayerMapConfig cfg = clean_config(16, 16);
+  cfg.weight_bits = 6;
+  cfg.slice_bits = 2;  // three slices
+  Rng rng(9);
+  const xbar::MappedLayer mapped(cfg, w, rng);
+  EXPECT_EQ(mapped.slice_count(), 3u);
+
+  std::vector<double> x(40);
+  Rng xfill(11);
+  for (double& v : x) v = xfill.uniform();
+  const auto analog = mapped.forward(x);
+  const auto digital = mapped.ideal(x);
+  ASSERT_EQ(analog.size(), digital.size());
+  double scale = 0.0;
+  for (double v : digital) scale = std::max(scale, std::abs(v));
+  ASSERT_GT(scale, 0.0);
+  for (std::size_t j = 0; j < digital.size(); ++j)
+    EXPECT_NEAR(analog[j], digital[j], 0.05 * scale + 1e-9) << "output " << j;
+}
+
+TEST_F(LayerMapTest, FromDenseMatchesExplicitWeights) {
+  Rng init(13);
+  nn::DenseLayer layer(24, 18, init);
+  xbar::LayerMapConfig cfg = clean_config(16, 16);
+  Rng r1(17), r2(17);
+  const xbar::MappedLayer from_dense = xbar::MappedLayer::from_dense(cfg, layer, r1);
+  const xbar::MappedLayer explicit_w(cfg, layer.weights(), r2);
+
+  std::vector<double> x(24);
+  Rng xfill(19);
+  for (double& v : x) v = xfill.uniform();
+  const auto a = from_dense.forward(x);
+  const auto b = explicit_w.forward(x);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t j = 0; j < a.size(); ++j) EXPECT_EQ(a[j], b[j]) << "output " << j;
+}
+
+TEST_F(LayerMapTest, BatchBitIdenticalToSequentialForward) {
+  // Noise on, nodal IR drop: the RNG draw order and the per-slice solver
+  // caches are part of the contract.
+  xbar::LayerMapConfig cfg = clean_config(16, 16);
+  cfg.tiled.tile.ir_drop = xbar::IrDropMode::kNodal;
+  cfg.tiled.tile.read_noise_rel = 0.005;
+  cfg.weight_bits = 4;
+  cfg.slice_bits = 2;
+  const MatrixD w = random_weights(24, 20, 23);
+  const MatrixD xs = random_inputs(3, 24, 29);
+
+  Rng r1(31), r2(31);
+  const xbar::MappedLayer batched(cfg, w, r1);
+  const xbar::MappedLayer single(cfg, w, r2);
+  const MatrixD out = batched.forward_batch(xs);
+  for (std::size_t b = 0; b < xs.rows(); ++b) {
+    const std::vector<double> x(xs.row_data(b), xs.row_data(b) + 24);
+    const auto y = single.forward(x);
+    for (std::size_t j = 0; j < y.size(); ++j)
+      EXPECT_EQ(out(b, j), y[j]) << "batch row " << b << " output " << j;
+  }
+}
+
+TEST_F(LayerMapTest, RealLayerBatchedNodalMvmBitIdenticalAcrossThreadCounts) {
+  // The DNN-scale pipeline acceptance: a real trained dense layer (256x512)
+  // sharded onto a tiled fleet, batched nodal MVM through every tile, must
+  // produce bit-identical outputs at 1 and 8 threads.
+  const auto run = [](std::size_t threads) {
+    set_parallel_threads(threads);
+    Rng init(37);
+    nn::DenseLayer layer(256, 512, init);
+    xbar::LayerMapConfig cfg;
+    cfg.tiled.tile.rows = 64;
+    cfg.tiled.tile.cols = 64;
+    cfg.tiled.tile.ir_drop = xbar::IrDropMode::kNodal;
+    cfg.tiled.tile.read_noise_rel = 0.005;
+    cfg.weight_bits = 4;
+    cfg.slice_bits = 4;  // one 16-level slice: 4x16 tiles of 64x64 nodal solves
+    Rng rng(41);
+    const xbar::MappedLayer mapped = xbar::MappedLayer::from_dense(cfg, layer, rng);
+    EXPECT_EQ(mapped.tile_count(), 64u);
+    return mapped.forward_batch(random_inputs(2, 256, 43));
+  };
+  const MatrixD out_1t = run(1);
+  const MatrixD out_8t = run(8);
+  ASSERT_EQ(out_1t.rows(), out_8t.rows());
+  ASSERT_EQ(out_1t.cols(), out_8t.cols());
+  for (std::size_t i = 0; i < out_1t.size(); ++i)
+    EXPECT_EQ(out_1t.data()[i], out_8t.data()[i]) << "flat index " << i;
+}
+
+TEST_F(LayerMapTest, CostAndDeviceCountsScaleWithSlices) {
+  const MatrixD w = random_weights(32, 16, 47);
+  xbar::LayerMapConfig one = clean_config(16, 16);
+  one.weight_bits = 2;
+  one.slice_bits = 2;
+  xbar::LayerMapConfig two = clean_config(16, 16);
+  two.weight_bits = 4;
+  two.slice_bits = 2;
+  Rng r1(53), r2(53);
+  const xbar::MappedLayer m1(one, w, r1);
+  const xbar::MappedLayer m2(two, w, r2);
+  EXPECT_EQ(m1.slice_count(), 1u);
+  EXPECT_EQ(m2.slice_count(), 2u);
+  EXPECT_EQ(m2.device_count(), 2 * m1.device_count());
+  EXPECT_GT(m2.mvm_cost().energy, m1.mvm_cost().energy);
+  EXPECT_GE(m2.mvm_cost().latency, m1.mvm_cost().latency);
+}
+
+}  // namespace
+}  // namespace xlds

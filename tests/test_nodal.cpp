@@ -154,6 +154,10 @@ TEST_F(NodalTest, DirectMatchesGaussSeidelWithFaultsAndAging) {
 // ---- invalidation contract --------------------------------------------------
 
 TEST_F(NodalTest, ProgramFaultAndAgeInvalidateTheFactorization) {
+  // The contract after the incremental-update work: whole-array mutations
+  // still invalidate, but no-op re-programs and small patches (faults,
+  // partial re-programs) keep the factorization alive — the former because
+  // nothing changed electrically, the latter via rank-1 up/down-dates.
   auto cfg = quiet_config(8, 8);
   Rng rng(5);
   xbar::Crossbar xb(cfg, rng);
@@ -165,29 +169,93 @@ TEST_F(NodalTest, ProgramFaultAndAgeInvalidateTheFactorization) {
   (void)xb.column_currents(x);
   EXPECT_TRUE(xb.nodal_factorized());
 
-  xb.program_conductances(g);
-  EXPECT_FALSE(xb.nodal_factorized()) << "program_conductances must invalidate";
-  (void)xb.column_currents(x);
-  EXPECT_TRUE(xb.nodal_factorized());
+  xb.program_conductances(g);  // noiseless identical targets: no-op
+  EXPECT_TRUE(xb.nodal_factorized()) << "no-op reprogram must keep the factor";
+  EXPECT_EQ(xb.nodal_updates_applied(), 0u);
 
-  xb.age(60.0);
+  xb.age(60.0);  // every cell relaxes: far beyond the incremental cap
   EXPECT_FALSE(xb.nodal_factorized()) << "age must invalidate";
   (void)xb.column_currents(x);
   EXPECT_TRUE(xb.nodal_factorized());
 
-  xb.inject_stuck_fault(2, 2, 0.0);
-  EXPECT_FALSE(xb.nodal_factorized()) << "inject_stuck_fault must invalidate";
+  xb.inject_stuck_fault(2, 2, 0.0);  // single cell: rank-1 downdate in place
+  EXPECT_TRUE(xb.nodal_factorized()) << "single-cell fault must update in place";
+  EXPECT_GE(xb.nodal_updates_applied(), 1u);
   (void)xb.column_currents(x);
-  EXPECT_TRUE(xb.nodal_factorized());
 
   fault::FaultMap map(8, 8);
-  map.set_cell(1, 1, fault::CellFault::kStuckOn);
+  // kOpen pins at zero conductance, which no programmed/aged cell holds, so
+  // the patch is guaranteed non-empty.
+  map.set_cell(1, 1, fault::CellFault::kOpen);
+  const std::size_t before = xb.nodal_updates_applied();
   xb.apply_fault_map(map);
-  EXPECT_FALSE(xb.nodal_factorized()) << "apply_fault_map must invalidate";
+  EXPECT_TRUE(xb.nodal_factorized()) << "small fault map must update in place";
+  EXPECT_GT(xb.nodal_updates_applied(), before);
 
   xb.program_stochastic_hrs();
+  EXPECT_FALSE(xb.nodal_factorized()) << "stochastic reprogram must invalidate";
   (void)xb.column_currents(x);
   EXPECT_TRUE(xb.nodal_factorized());
+  EXPECT_EQ(xb.nodal_updates_applied(), 0u);  // fresh factor, no updates yet
+}
+
+TEST_F(NodalTest, IncrementalUpdatesMatchFreshFactorizationAfterRandomPatches) {
+  // Drive one instance through a random sequence of small mutations — the
+  // kind the incremental path absorbs as rank-1 up/down-dates — and after
+  // every step compare its readout against a fresh instance that programs
+  // the same conductances and factorizes from scratch.  The sequence is long
+  // enough to also cross the accumulated-update cap, so the decline +
+  // rebuild path is exercised too.
+  auto cfg = quiet_config(24, 16);
+  Rng rng(61);
+  xbar::Crossbar xb(cfg, rng);
+  xb.program_conductances(mixed_conductances(24, 16, cfg.rram, 71));
+  const std::vector<double> x = ramp_input(24);
+  (void)xb.column_currents(x);  // factorize the initial state
+  ASSERT_TRUE(xb.nodal_factorized());
+
+  const auto& p = cfg.rram;
+  Rng mut(73);
+  bool saw_incremental = false;
+  for (int step = 0; step < 12; ++step) {
+    const double pick = mut.uniform();
+    if (pick < 0.4) {
+      // Partial re-program of one or two cells.
+      std::vector<xbar::CellDelta> patch;
+      const std::size_t cells = 1 + (mut.uniform() < 0.5 ? 1 : 0);
+      for (std::size_t k = 0; k < cells; ++k)
+        patch.push_back({static_cast<std::size_t>(mut.uniform() * 24) % 24,
+                         static_cast<std::size_t>(mut.uniform() * 16) % 16,
+                         mut.uniform(p.g_min, p.g_max)});
+      xb.program_cells(patch);
+    } else if (pick < 0.7) {
+      xb.inject_stuck_fault(static_cast<std::size_t>(mut.uniform() * 24) % 24,
+                            static_cast<std::size_t>(mut.uniform() * 16) % 16,
+                            mut.uniform(p.g_min, p.g_max));
+    } else {
+      xb.age(1.0);  // oversized patch: forces a decline + rebuild
+    }
+    if (xb.nodal_factorized() && xb.nodal_updates_applied() > 0) saw_incremental = true;
+
+    xbar::SolveStatus s;
+    const auto i_inc = xb.column_currents(x, s);
+    ASSERT_TRUE(s.converged) << "step " << step;
+
+    // Reference: program the identical conductances into a fresh instance
+    // (no variation, all values in the programmable range) and factorize
+    // cold.  Both solves meet the same residual tolerance.
+    MatrixD ref_g(24, 16);
+    for (std::size_t r = 0; r < 24; ++r)
+      for (std::size_t c = 0; c < 16; ++c) ref_g(r, c) = xb.conductance(r, c);
+    Rng ref_rng(999);
+    xbar::Crossbar fresh(cfg, ref_rng);
+    fresh.program_conductances(ref_g);
+    xbar::SolveStatus fs;
+    const auto i_ref = fresh.column_currents(x, fs);
+    ASSERT_TRUE(fs.converged) << "step " << step;
+    expect_currents_close(i_inc, i_ref);
+  }
+  EXPECT_TRUE(saw_incremental) << "sequence never exercised the update path";
 }
 
 TEST_F(NodalTest, ReadoutAfterReprogramMatchesFreshInstance) {

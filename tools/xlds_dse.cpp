@@ -76,6 +76,12 @@ int main(int argc, char** argv) {
               << ", journal hits " << result.stats.journal_hits << "), front "
               << result.front.size() << " of " << result.evaluated.size()
               << " evaluated\n";
+    const auto& nodal = result.stats.nodal;
+    std::cerr << "xlds-dse: nodal solver work: " << nodal.factorizations
+              << " factorizations, " << nodal.incremental_updates << " incremental updates ("
+              << nodal.updated_cells << " cells, " << nodal.update_declines << " declined), "
+              << nodal.drift_refactorizations << " drift rebuilds, " << nodal.direct_solves
+              << " direct / " << nodal.gs_solves << " GS solves\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "xlds-dse: error: " << e.what() << "\n";
