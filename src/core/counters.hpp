@@ -38,6 +38,42 @@ class Profiler {
     nodal_drift_refactorizations_.fetch_add(1, kOrder);
   }
 
+  /// Snapshot of the serving-loop counters (monotonic since process start or
+  /// the last reset_serve()); bumped by src/serve/ as requests flow.
+  struct ServeCounts {
+    std::uint64_t requests_served = 0;     ///< classified and answered
+    std::uint64_t requests_shed = 0;       ///< refused by admission control
+    std::uint64_t requests_degraded = 0;   ///< answered in degraded mode
+    std::uint64_t recalibrations = 0;      ///< refresh/reprogram events
+    std::uint64_t cells_reprogrammed = 0;  ///< CAM + crossbar cells rewritten
+  };
+
+  static void count_request_served() noexcept { serve_served_.fetch_add(1, kOrder); }
+  static void count_request_shed() noexcept { serve_shed_.fetch_add(1, kOrder); }
+  static void count_request_degraded() noexcept { serve_degraded_.fetch_add(1, kOrder); }
+  static void count_recalibration(std::uint64_t cells) noexcept {
+    serve_recals_.fetch_add(1, kOrder);
+    serve_cells_.fetch_add(cells, kOrder);
+  }
+
+  static ServeCounts serve() noexcept {
+    ServeCounts c;
+    c.requests_served = serve_served_.load(kOrder);
+    c.requests_shed = serve_shed_.load(kOrder);
+    c.requests_degraded = serve_degraded_.load(kOrder);
+    c.recalibrations = serve_recals_.load(kOrder);
+    c.cells_reprogrammed = serve_cells_.load(kOrder);
+    return c;
+  }
+
+  static void reset_serve() noexcept {
+    serve_served_.store(0, kOrder);
+    serve_shed_.store(0, kOrder);
+    serve_degraded_.store(0, kOrder);
+    serve_recals_.store(0, kOrder);
+    serve_cells_.store(0, kOrder);
+  }
+
   static NodalCounts nodal() noexcept {
     NodalCounts c;
     c.factorizations = nodal_factorizations_.load(kOrder);
@@ -69,6 +105,11 @@ class Profiler {
   inline static std::atomic<std::uint64_t> nodal_updated_cells_{0};
   inline static std::atomic<std::uint64_t> nodal_update_declines_{0};
   inline static std::atomic<std::uint64_t> nodal_drift_refactorizations_{0};
+  inline static std::atomic<std::uint64_t> serve_served_{0};
+  inline static std::atomic<std::uint64_t> serve_shed_{0};
+  inline static std::atomic<std::uint64_t> serve_degraded_{0};
+  inline static std::atomic<std::uint64_t> serve_recals_{0};
+  inline static std::atomic<std::uint64_t> serve_cells_{0};
 };
 
 }  // namespace xlds::core

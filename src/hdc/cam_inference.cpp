@@ -59,9 +59,12 @@ std::size_t HdcCamInference::classify(const std::vector<double>& x) const {
 }
 
 std::size_t HdcCamInference::classify(const std::vector<double>& x, std::size_t votes) const {
+  return classify_digits(query_digits(x), votes);
+}
+
+std::size_t HdcCamInference::classify_digits(const std::vector<int>& q, std::size_t votes) const {
   XLDS_REQUIRE_MSG(votes >= 1 && votes % 2 == 1, "votes must be odd, got " << votes);
-  if (votes == 1) return classify(x);
-  const std::vector<int> q = query_digits(x);
+  if (votes == 1) return cam_.search(q).best_row;
   std::vector<std::size_t> tally(model_.n_classes(), 0);
   for (std::size_t v = 0; v < votes; ++v) ++tally[cam_.search(q).best_row];
   std::size_t best = 0;
@@ -70,12 +73,39 @@ std::size_t HdcCamInference::classify(const std::vector<double>& x, std::size_t 
   return best;
 }
 
+std::vector<std::vector<int>> HdcCamInference::query_digits_batch(const MatrixD& xs) const {
+  std::vector<std::vector<int>> out(xs.rows());
+  if (!encoder_.has_value()) {
+    for (std::size_t b = 0; b < xs.rows(); ++b)
+      out[b] = model_.query_digits(
+          std::vector<double>(xs.row_data(b), xs.row_data(b) + xs.cols()));
+    return out;
+  }
+  const MatrixD y = encoder_->mvm_batch(xs);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(model_.encoder().input_dim()));
+  std::vector<double> row(y.cols());
+  for (std::size_t b = 0; b < y.rows(); ++b) {
+    kernels::scale_sub(y.row_data(b), scale, encode_bias_.data(), row.data(), row.size());
+    out[b] = model_.quantiser().digits(row);
+  }
+  return out;
+}
+
+std::size_t HdcCamInference::rewrite_class_words() {
+  for (std::size_t cls = 0; cls < model_.n_classes(); ++cls)
+    cam_.write_word(cls, model_.class_digits(cls));
+  return model_.n_classes() * model_.config().hv_dim;
+}
+
 fault::FaultInjectionStats HdcCamInference::inject_faults(
     const fault::FaultSpec& spec, const fault::GracefulPolicies& policies, Rng& rng) {
   return cam_.inject_faults(spec, policies, rng);
 }
 
-void HdcCamInference::age(double dt) { cam_.age(dt); }
+void HdcCamInference::age(double dt) {
+  cam_.age(dt);
+  if (encoder_.has_value()) encoder_->age(dt);
+}
 
 xbar::MvmCost HdcCamInference::encode_cost() const {
   return encoder_.has_value() ? encoder_->mvm_cost() : xbar::MvmCost{};

@@ -51,12 +51,31 @@ class HdcCamInference {
   double accuracy(const std::vector<std::vector<double>>& xs,
                   const std::vector<std::size_t>& ys, std::size_t votes) const;
 
+  /// Quantised query digits for a batch of inputs [batch x input_dim].  With
+  /// the analog encoder the projections run through the tile fleet's batched
+  /// MVM — parallel across tiles yet bit-identical to per-row encodes at any
+  /// thread count; the CAM search stage stays per-query (it consumes the CAM
+  /// sense-noise RNG, which must advance in request order).
+  std::vector<std::vector<int>> query_digits_batch(const MatrixD& xs) const;
+
+  /// Associative search over pre-encoded query digits, majority of `votes`
+  /// (odd; ties break toward the lowest class index) — lets a serving loop
+  /// split the batched encode from the sequential search stage.
+  std::size_t classify_digits(const std::vector<int>& q, std::size_t votes = 1) const;
+
+  /// Re-program every class hypervector into the CAM from the trained model
+  /// (the recalibration refresh: programming resets retention drift).
+  /// Returns the number of CAM cells rewritten.
+  std::size_t rewrite_class_words();
+
   /// Inject defects into the underlying partitioned CAM (see
   /// cam::PartitionedCam::inject_faults).
   fault::FaultInjectionStats inject_faults(const fault::FaultSpec& spec,
                                            const fault::GracefulPolicies& policies, Rng& rng);
 
-  /// Apply `dt` seconds of retention loss to the CAM arrays.
+  /// Apply `dt` seconds of device aging: FeFET retention loss in the CAM
+  /// arrays, plus RRAM conductance relaxation in the analog encoder tiles
+  /// when the analog path is enabled.
   void age(double dt);
 
   /// Circuit cost of one query's associative search.
@@ -68,6 +87,12 @@ class HdcCamInference {
 
   std::size_t segments() const noexcept { return cam_.segments(); }
   bool analog_encode() const noexcept { return encoder_.has_value(); }
+
+  /// The analog encoder tile fleet (only valid when analog_encode() is true)
+  /// — recalibration controllers diff its conductances against a golden
+  /// snapshot and patch drifted cells via Crossbar::program_cells.
+  xbar::TiledCrossbar& encoder_tiles() { return *encoder_; }
+  const xbar::TiledCrossbar& encoder_tiles() const { return *encoder_; }
 
  private:
   std::vector<int> query_digits(const std::vector<double>& x) const;

@@ -16,6 +16,11 @@ void fill_bernoulli(Rng& rng, std::uint8_t* out, std::size_t n, double p) {
   for (std::size_t i = 0; i < n; ++i) out[i] = rng.bernoulli(p) ? 1 : 0;
 }
 
+void fill_exponential(Rng& rng, double* out, std::size_t n, double rate) {
+  const double inv_rate = 1.0 / rate;
+  for (std::size_t i = 0; i < n; ++i) out[i] = -std::log1p(-rng.uniform()) * inv_rate;
+}
+
 namespace {
 
 // Acklam's rational approximation of the inverse normal CDF.  Central region

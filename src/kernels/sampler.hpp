@@ -41,6 +41,14 @@ void fill_normal(Rng& rng, double* out, std::size_t n, double mean = 0.0, double
 /// out[i] = rng.bernoulli(p) ? 1 : 0, in call order.
 void fill_bernoulli(Rng& rng, std::uint8_t* out, std::size_t n, double p);
 
+/// out[i] = -log1p(-rng.uniform()) / rate: exponential inter-arrival gaps
+/// with mean 1/rate, one uniform per sample, in call order (the
+/// sequence-identical contract — a scalar loop drawing rng.uniform() and
+/// applying the same transform produces the same bits).  log1p keeps full
+/// precision for the small-u draws that dominate short gaps, and uniform()
+/// never returns 1.0, so the result is always finite.
+void fill_exponential(Rng& rng, double* out, std::size_t n, double rate);
+
 /// Fast batched Gaussian block: one 32-bit draw per sample through the
 /// inverse normal CDF.  Own documented sequence (see header comment).
 void fill_normal_fast(Rng& rng, double* out, std::size_t n, double mean = 0.0,

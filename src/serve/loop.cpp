@@ -1,0 +1,227 @@
+#include "serve/loop.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/counters.hpp"
+#include "kernels/sampler.hpp"
+#include "util/error.hpp"
+
+namespace xlds::serve {
+
+namespace {
+
+constexpr std::uint64_t kArrivalStream = 0x5E57A12;
+constexpr std::uint64_t kRequestStream = 0x5E57A13;
+
+// FNV-1a accumulator over raw value bytes: a cheap, order-sensitive digest
+// for the bit-identity acceptance checks (1-vs-8-thread runs must match).
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ull;
+  void mix_bytes(const void* p, std::size_t n) {
+    const unsigned char* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void mix(double v) { mix_bytes(&v, sizeof v); }
+  void mix(std::uint64_t v) { mix_bytes(&v, sizeof v); }
+};
+
+}  // namespace
+
+ServingLoop::ServingLoop(ServingConfig config) : config_(config) {
+  XLDS_REQUIRE_MSG(config_.total_requests > 0, "need at least one request");
+  XLDS_REQUIRE_MSG(config_.check_interval > 0, "check interval must be positive");
+  XLDS_REQUIRE_MSG(config_.drift_time_scale >= 0.0, "drift scale must be non-negative");
+}
+
+ServingReport ServingLoop::run(ServedHdcModel& model, RecalibrationPolicy& policy) const {
+  const ServingConfig& cfg = config_;
+  ServingReport rep;
+  rep.policy = policy.name();
+  rep.arrivals = cfg.total_requests;
+
+  Rng root(cfg.seed);
+  Rng arrival_rng = root.fork(kArrivalStream);
+  Rng request_rng = root.fork(kRequestStream);
+
+  // Arrival process: batched exponential gaps, prefix-summed to timestamps.
+  const double unit_service =
+      cfg.base_service_s + model.encode_cost().latency + model.search_cost().latency;
+  const double lambda =
+      cfg.arrival_rate > 0.0 ? cfg.arrival_rate : cfg.target_utilisation / unit_service;
+  const std::size_t n = cfg.total_requests;
+  std::vector<double> arrival(n);
+  kernels::fill_exponential(arrival_rng, arrival.data(), n, lambda);
+  for (std::size_t i = 1; i < n; ++i) arrival[i] += arrival[i - 1];
+
+  XLDS_REQUIRE_MSG(model.pool_size() > 0, "empty request pool");
+  std::vector<std::size_t> ids(n);
+  for (std::size_t& id : ids)
+    id = request_rng.uniform_u32(static_cast<std::uint32_t>(model.pool_size()));
+
+  SlidingAccuracy window(cfg.accuracy_window);
+  LatencyRecorder latency;
+  Fnv hash;
+
+  double server_free_at = 0.0;
+  double aged_to = 0.0;    ///< virtual time the devices are aged up to
+  double recal_end = 0.0;  ///< recalibration window close time
+  bool spare_ready = true;  ///< the spare subarray starts programmed
+  bool spare_pending = false;
+  double spare_ready_at = 0.0;
+  std::size_t votes = 1;
+  std::size_t correct_total = 0;
+  double prev_tick_close = 0.0;
+
+  const auto apply_refresh = [&](double at) {
+    const std::size_t cam_cells = model.refresh_cam();
+    const std::size_t xbar_cells = model.repair_encoder(cfg.repair_threshold_fraction);
+    rep.cam_cells_rewritten += cam_cells;
+    rep.xbar_cells_repaired += xbar_cells;
+    rep.recal_energy_j += cfg.cam_write_energy_per_cell_j * static_cast<double>(cam_cells) +
+                          cfg.xbar_write_energy_per_cell_j * static_cast<double>(xbar_cells);
+    core::Profiler::count_recalibration(cam_cells + xbar_cells);
+    const double recal_latency =
+        cfg.cam_write_time_per_word_s * static_cast<double>(model.cam_word_count()) +
+        cfg.xbar_write_time_per_cell_s * static_cast<double>(xbar_cells);
+    return at + recal_latency;
+  };
+
+  std::vector<std::size_t> admitted_ids;
+  std::vector<unsigned char> admitted_degraded;
+
+  for (std::size_t begin = 0; begin < n; begin += cfg.check_interval) {
+    const std::size_t end = std::min(n, begin + cfg.check_interval);
+    const double tick_t = arrival[begin];
+
+    // Devices age by the virtual time elapsed since the last tick, at the
+    // accelerated drift rate.
+    if (tick_t > aged_to) {
+      model.age((tick_t - aged_to) * cfg.drift_time_scale);
+      aged_to = tick_t;
+    }
+    if (spare_pending && tick_t >= spare_ready_at) {
+      spare_pending = false;
+      spare_ready = true;
+    }
+
+    // Control tick: hand the policy what an online controller can observe.
+    PolicyContext ctx;
+    ctx.now = tick_t;
+    ctx.window_accuracy = window.value();
+    ctx.window_samples = window.samples();
+    ctx.device_age = model.device_age();
+    ctx.recal_in_flight = tick_t < recal_end;
+    ctx.spare_ready = spare_ready;
+    ctx.votes = votes;
+    const PolicyAction act = policy.on_check(ctx);
+    switch (act.kind) {
+      case ActionKind::kNone: break;
+      case ActionKind::kRefresh:
+        if (!ctx.recal_in_flight) {
+          recal_end = apply_refresh(tick_t);
+          ++rep.recal_events;
+        }
+        break;
+      case ActionKind::kSwapToSpare:
+        if (spare_ready) {
+          // The spare was programmed in the background: the swap itself is
+          // instantaneous (no recalibration window), and the vacated array
+          // starts reprogramming to become the next spare.
+          (void)apply_refresh(tick_t);
+          ++rep.spare_swaps;
+          spare_ready = false;
+          spare_pending = true;
+          spare_ready_at = tick_t + cfg.spare_reprogram_s;
+        }
+        break;
+      case ActionKind::kSetVotes: votes = std::max<std::size_t>(1, act.votes | 1u); break;
+    }
+
+    // Admission + queue bookkeeping, strictly in arrival order.
+    admitted_ids.clear();
+    admitted_degraded.clear();
+    for (std::size_t r = begin; r < end; ++r) {
+      const bool in_recal = arrival[r] < recal_end;
+      if (in_recal && cfg.degrade == DegradeMode::kShed) {
+        ++rep.shed_recal;
+        core::Profiler::count_request_shed();
+        continue;
+      }
+      double start = std::max(arrival[r], server_free_at);
+      // Admission judges the *queue-induced* wait; the kBlock hold below is
+      // an accepted SLO latency cost, not an overload signal.
+      if (start - arrival[r] > cfg.max_queue_wait_s) {
+        ++rep.shed_admission;
+        core::Profiler::count_request_shed();
+        continue;
+      }
+      if (in_recal && cfg.degrade == DegradeMode::kBlock) start = std::max(start, recal_end);
+      const bool degraded = in_recal && cfg.degrade == DegradeMode::kServeDegraded;
+      double service = cfg.base_service_s + model.encode_cost().latency +
+                       static_cast<double>(votes) * model.search_cost().latency;
+      if (degraded) service *= cfg.degraded_latency_factor;
+      server_free_at = start + service;
+      const double sojourn = server_free_at - arrival[r];
+      latency.add(sojourn);
+      hash.mix(sojourn);
+      rep.serve_energy_j += model.encode_cost().energy +
+                            static_cast<double>(votes) * model.search_cost().energy;
+      rep.duration_s = std::max(rep.duration_s, server_free_at);
+      admitted_ids.push_back(ids[r]);
+      admitted_degraded.push_back(degraded ? 1 : 0);
+    }
+
+    // Serve the admitted slice: batched tile-fleet encode, in-order searches.
+    const std::vector<std::size_t> preds = model.classify_batch(admitted_ids, votes);
+    for (std::size_t k = 0; k < preds.size(); ++k) {
+      const bool correct = preds[k] == model.label(admitted_ids[k]);
+      window.add(correct);
+      if (correct) ++correct_total;
+      ++rep.served;
+      if (admitted_degraded[k] != 0) {
+        ++rep.degraded;
+        core::Profiler::count_request_degraded();
+      }
+      core::Profiler::count_request_served();
+      hash.mix(static_cast<std::uint64_t>(preds[k]));
+    }
+
+    // Close the tick: trajectory sample + the accuracy-floor record.
+    const double tick_close = end < n ? arrival[end] : std::max(rep.duration_s, arrival[n - 1]);
+    TrajectoryPoint pt;
+    pt.t = tick_close;
+    pt.accuracy = window.value();
+    pt.qps = static_cast<double>(preds.size()) / (tick_close - prev_tick_close);
+    pt.votes = votes;
+    pt.device_age = model.device_age();
+    rep.trajectory.push_back(pt);
+    prev_tick_close = tick_close;
+    if (window.samples() >= cfg.floor_min_samples) {
+      rep.min_window_accuracy = std::min(rep.min_window_accuracy, pt.accuracy);
+      if (pt.accuracy < cfg.accuracy_floor) {
+        ++rep.floor_violation_ticks;
+        rep.floor_held = false;
+      }
+    }
+  }
+
+  rep.final_window_accuracy = window.value();
+  rep.overall_accuracy =
+      rep.served > 0 ? static_cast<double>(correct_total) / static_cast<double>(rep.served) : 0.0;
+  rep.sustained_qps = rep.duration_s > 0.0 ? static_cast<double>(rep.served) / rep.duration_s : 0.0;
+  rep.latency = latency.stats();
+  for (const TrajectoryPoint& pt : rep.trajectory) {
+    hash.mix(pt.t);
+    hash.mix(pt.accuracy);
+    hash.mix(pt.qps);
+    hash.mix(static_cast<std::uint64_t>(pt.votes));
+  }
+  rep.checksum = hash.h;
+  return rep;
+}
+
+}  // namespace xlds::serve

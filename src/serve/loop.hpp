@@ -1,0 +1,142 @@
+// Closed-loop serving simulator on virtual time.
+//
+// A single-server queue fed by a deterministic Poisson arrival process
+// (batched exponential gaps, kernels::fill_exponential) serves classification
+// requests against a ServedHdcModel whose devices age between control ticks
+// — FeFET retention drift in the CAM, RRAM relaxation in the encoder tiles —
+// at a configurable rate (drift_time_scale device-seconds per virtual
+// second; because drift per tick accumulates as a random walk and the
+// retention law is sqrt-log in time, the scale's effect is logarithmic and
+// small values already produce mission-length degradation within seconds of
+// virtual time).  Every check_interval requests the loop pauses,
+// applies the elapsed aging, and consults a RecalibrationPolicy; SLO
+// machinery accounts the consequences:
+//
+//   * admission control — a request whose projected queue wait exceeds
+//     max_queue_wait_s is shed (never enters the pipeline);
+//   * the degradation ladder while a recalibration window is open:
+//       kServeDegraded — serve anyway at degraded_latency_factor x service
+//                        time (counted as degraded),
+//       kShed          — refuse the request outright,
+//       kBlock         — hold the server until the window closes (the
+//                        latency spike lands on the p99);
+//   * latency p50/p99 over completed requests, a sliding accuracy window,
+//     and the floor-violation record the acceptance gate reads.
+//
+// Determinism: arrivals, request ids and every device draw come from forked
+// Rng streams consumed in request order; the only internally-parallel stage
+// is the batched tile-fleet encode, which is bit-identical at any thread
+// count.  Two runs with the same seed and thread counts 1 and 8 produce
+// byte-identical reports (checksummed).
+//
+// Modelling note: a triggered refresh takes effect on the simulated arrays
+// immediately, while its latency/energy cost opens a recalibration window of
+// recal duration during which requests are degraded/shed/blocked.  Accuracy
+// during the window is therefore slightly optimistic; the SLO cost of the
+// window is what the ladder prices.  A spare swap applies instantly (the
+// spare was programmed in the background) and starts reprogramming the
+// vacated array, which becomes the next spare after spare_reprogram_s.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/model.hpp"
+#include "serve/policy.hpp"
+#include "serve/slo.hpp"
+
+namespace xlds::serve {
+
+enum class DegradeMode {
+  kServeDegraded,  ///< serve at a latency penalty during recalibration
+  kShed,           ///< refuse requests during recalibration
+  kBlock,          ///< queue requests until the recalibration window closes
+};
+
+struct ServingConfig {
+  std::size_t total_requests = 2048;
+  /// Poisson arrival rate, req/s; 0 derives lambda = utilisation / service
+  /// time so the queue is busy but stable.
+  double arrival_rate = 0.0;
+  double target_utilisation = 0.7;
+  /// Host-side overhead per request on top of the measured encode + search
+  /// latency (dispatch, quantisation, aggregation).
+  double base_service_s = 1e-3;
+  std::size_t check_interval = 64;   ///< requests per control tick
+  /// Device-seconds aged per virtual second.  Per-tick drift accumulates as
+  /// a random walk across ticks (sigma ~ sqrt(ticks) x per-tick sigma), so
+  /// even unit scale degrades the default model past the floor within a few
+  /// virtual seconds; the sqrt-log retention law makes the knob logarithmic
+  /// in effect — tuned empirically so the baseline run decays through the
+  /// floor around mid-run.
+  double drift_time_scale = 1.0;
+  double accuracy_floor = 0.88;      ///< SLO accuracy floor
+  std::size_t accuracy_window = 256; ///< sliding-window capacity
+  std::size_t floor_min_samples = 64;///< evidence before the floor is judged
+  double max_queue_wait_s = 0.25;    ///< admission threshold on projected wait
+  DegradeMode degrade = DegradeMode::kServeDegraded;
+  double degraded_latency_factor = 2.0;
+  // Recalibration cost model (per CAM word / crossbar cell reprogrammed).
+  double cam_write_time_per_word_s = 2e-6;
+  double cam_write_energy_per_cell_j = 2e-12;
+  double xbar_write_time_per_cell_s = 100e-9;
+  double xbar_write_energy_per_cell_j = 1e-12;
+  /// Encoder cells are repaired when they drift past this fraction of the
+  /// conductance range (well above the program-verify tolerance, so repairs
+  /// only touch genuinely drifted cells).
+  double repair_threshold_fraction = 0.02;
+  double spare_reprogram_s = 0.2;    ///< background reprogram of the vacated array
+  std::uint64_t seed = 1;
+};
+
+/// One control-tick sample of the accuracy / throughput trajectories.
+struct TrajectoryPoint {
+  double t = 0.0;           ///< virtual time at the end of the tick, s
+  double accuracy = 1.0;    ///< sliding-window accuracy
+  double qps = 0.0;         ///< served requests / s over the tick
+  std::size_t votes = 1;    ///< majority-vote count in force
+  double device_age = 0.0;  ///< accumulated device-seconds
+};
+
+struct ServingReport {
+  std::string policy;
+  std::size_t arrivals = 0;
+  std::size_t served = 0;
+  std::size_t degraded = 0;        ///< served during a recalibration window
+  std::size_t shed_admission = 0;  ///< refused: projected wait too long
+  std::size_t shed_recal = 0;      ///< refused: recalibration + kShed
+  std::size_t recal_events = 0;
+  std::size_t spare_swaps = 0;
+  std::size_t cam_cells_rewritten = 0;
+  std::size_t xbar_cells_repaired = 0;
+  double duration_s = 0.0;       ///< virtual time of the last completion
+  double sustained_qps = 0.0;    ///< served / duration
+  LatencyStats latency;
+  double serve_energy_j = 0.0;
+  double recal_energy_j = 0.0;
+  double overall_accuracy = 0.0;      ///< correct / served
+  double min_window_accuracy = 1.0;   ///< worst tick (with enough evidence)
+  double final_window_accuracy = 1.0;
+  std::size_t floor_violation_ticks = 0;
+  bool floor_held = true;  ///< no evidenced tick below accuracy_floor
+  std::vector<TrajectoryPoint> trajectory;  ///< one point per control tick
+  /// FNV-1a over predictions, latencies and trajectory — cheap bit-identity
+  /// comparison across thread counts.
+  std::uint64_t checksum = 0;
+};
+
+class ServingLoop {
+ public:
+  explicit ServingLoop(ServingConfig config);
+
+  /// Run the sustained-load simulation of `model` under `policy`.  Mutates
+  /// the model (aging, recalibration); callers wanting comparable policy
+  /// runs construct a fresh model per run from the same seed.
+  ServingReport run(ServedHdcModel& model, RecalibrationPolicy& policy) const;
+
+ private:
+  ServingConfig config_;
+};
+
+}  // namespace xlds::serve

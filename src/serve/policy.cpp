@@ -1,0 +1,143 @@
+#include "serve/policy.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace xlds::serve {
+
+namespace {
+
+class NoRecalibration final : public RecalibrationPolicy {
+ public:
+  const char* name() const noexcept override { return "none"; }
+  PolicyAction on_check(const PolicyContext&) override { return {}; }
+};
+
+class ScheduledRefresh final : public RecalibrationPolicy {
+ public:
+  explicit ScheduledRefresh(double period_s) : period_(period_s) {
+    XLDS_REQUIRE_MSG(period_s > 0.0, "refresh period must be positive");
+  }
+  const char* name() const noexcept override { return "scheduled"; }
+  PolicyAction on_check(const PolicyContext& ctx) override {
+    if (ctx.recal_in_flight || ctx.now < next_) return {};
+    next_ = ctx.now + period_;
+    return {ActionKind::kRefresh};
+  }
+
+ private:
+  double period_;
+  double next_ = 0.0;  ///< first tick refreshes immediately-after-start
+};
+
+class AccuracyWatchdog final : public RecalibrationPolicy {
+ public:
+  AccuracyWatchdog(double floor, std::size_t min_samples, double initial_backoff_s,
+                   double max_backoff_s)
+      : floor_(floor),
+        min_samples_(min_samples),
+        initial_backoff_(initial_backoff_s),
+        max_backoff_(max_backoff_s),
+        backoff_(initial_backoff_s) {}
+  const char* name() const noexcept override { return "watchdog"; }
+  PolicyAction on_check(const PolicyContext& ctx) override {
+    if (ctx.window_samples < min_samples_) return {};
+    if (ctx.window_accuracy >= floor_) {
+      // Healthy again: re-arm promptly so a fresh degradation episode is
+      // answered with the initial backoff, not a stale hold-off.
+      backoff_ = initial_backoff_;
+      armed_at_ = 0.0;
+      return {};
+    }
+    if (ctx.recal_in_flight || ctx.now < armed_at_) return {};
+    // Still below the floor: fire, then wait out a growing backoff so a
+    // refresh whose effect has not drained through the window yet does not
+    // trigger a reprogram storm.
+    armed_at_ = ctx.now + backoff_;
+    backoff_ = std::min(2.0 * backoff_, max_backoff_);
+    return {ActionKind::kRefresh};
+  }
+
+ private:
+  double floor_;
+  std::size_t min_samples_;
+  double initial_backoff_;
+  double max_backoff_;
+  double backoff_;
+  double armed_at_ = 0.0;
+};
+
+class SpareSwap final : public RecalibrationPolicy {
+ public:
+  SpareSwap(double floor, std::size_t min_samples, double initial_backoff_s,
+            double max_backoff_s)
+      : watchdog_(floor, min_samples, initial_backoff_s, max_backoff_s) {}
+  const char* name() const noexcept override { return "spare-swap"; }
+  PolicyAction on_check(const PolicyContext& ctx) override {
+    PolicyAction act = watchdog_.on_check(ctx);
+    if (act.kind == ActionKind::kRefresh && ctx.spare_ready) act.kind = ActionKind::kSwapToSpare;
+    return act;
+  }
+
+ private:
+  AccuracyWatchdog watchdog_;  ///< same trigger + backoff state machine
+};
+
+class RequeryEscalation final : public RecalibrationPolicy {
+ public:
+  RequeryEscalation(double floor, std::size_t min_samples, std::size_t max_votes,
+                    double recover_margin)
+      : floor_(floor),
+        min_samples_(min_samples),
+        max_votes_(max_votes | 1u),  // keep the cap odd
+        margin_(recover_margin) {}
+  const char* name() const noexcept override { return "re-query"; }
+  PolicyAction on_check(const PolicyContext& ctx) override {
+    if (ctx.window_samples < min_samples_) return {};
+    if (ctx.window_accuracy < floor_ && ctx.votes < max_votes_)
+      return {ActionKind::kSetVotes, std::min(ctx.votes + 2, max_votes_)};
+    if (ctx.window_accuracy >= floor_ + margin_ && ctx.votes > 1)
+      return {ActionKind::kSetVotes, ctx.votes - 2};
+    return {};
+  }
+
+ private:
+  double floor_;
+  std::size_t min_samples_;
+  std::size_t max_votes_;
+  double margin_;
+};
+
+}  // namespace
+
+std::unique_ptr<RecalibrationPolicy> make_no_recalibration() {
+  return std::make_unique<NoRecalibration>();
+}
+
+std::unique_ptr<RecalibrationPolicy> make_scheduled_refresh(double period_s) {
+  return std::make_unique<ScheduledRefresh>(period_s);
+}
+
+std::unique_ptr<RecalibrationPolicy> make_accuracy_watchdog(double floor,
+                                                            std::size_t min_samples,
+                                                            double initial_backoff_s,
+                                                            double max_backoff_s) {
+  return std::make_unique<AccuracyWatchdog>(floor, min_samples, initial_backoff_s,
+                                            max_backoff_s);
+}
+
+std::unique_ptr<RecalibrationPolicy> make_spare_swap(double floor, std::size_t min_samples,
+                                                     double initial_backoff_s,
+                                                     double max_backoff_s) {
+  return std::make_unique<SpareSwap>(floor, min_samples, initial_backoff_s, max_backoff_s);
+}
+
+std::unique_ptr<RecalibrationPolicy> make_requery_escalation(double floor,
+                                                             std::size_t min_samples,
+                                                             std::size_t max_votes,
+                                                             double recover_margin) {
+  return std::make_unique<RequeryEscalation>(floor, min_samples, max_votes, recover_margin);
+}
+
+}  // namespace xlds::serve

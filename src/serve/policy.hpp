@@ -1,0 +1,93 @@
+// Pluggable recalibration policies for the closed-loop serving simulator.
+//
+// The serving loop pauses every check_interval requests and asks the policy
+// what to do, handing it exactly the signals an online controller could
+// observe: virtual time, the sliding-window accuracy estimate, how much
+// device aging has accumulated, and whether a recalibration or spare
+// reprogram is already in flight.  The policy answers with at most one
+// action; the loop owns all mechanism (what a refresh costs, how requests
+// are treated while it runs — see loop.hpp's degradation ladder).
+//
+// The four strategies ROADMAP item 5 calls for:
+//   * none        — baseline; drifts until the accuracy floor breaks.
+//   * scheduled   — refresh every fixed virtual-time period, load-blind.
+//   * watchdog    — refresh when the window accuracy crosses the floor,
+//                   with exponential backoff so a refresh that did not help
+//                   (e.g. the window still draining stale errors) does not
+//                   trigger a reprogram storm.
+//   * spare-swap  — same trigger, but flips to a freshly-programmed spare
+//                   subarray (zero service interruption, double the area);
+//                   the vacated array reprograms in the background and
+//                   becomes the next spare.
+//   * re-query    — no reprogramming at all: escalate the majority-vote
+//                   count when accuracy sags, de-escalate when it recovers
+//                   (bounded retry — helps against sensing noise, not
+//                   against persistent drift; the bench shows exactly that).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace xlds::serve {
+
+/// Observable state handed to a policy at each control tick.
+struct PolicyContext {
+  double now = 0.0;               ///< virtual time, s
+  double window_accuracy = 1.0;   ///< sliding-window accuracy estimate
+  std::size_t window_samples = 0; ///< requests inside the window
+  double device_age = 0.0;        ///< accumulated device-seconds of aging
+  bool recal_in_flight = false;   ///< a refresh window is still open
+  bool spare_ready = false;       ///< a programmed spare subarray is standing by
+  std::size_t votes = 1;          ///< current majority-vote count per query
+};
+
+enum class ActionKind {
+  kNone,         ///< keep serving
+  kRefresh,      ///< reprogram the active arrays in place
+  kSwapToSpare,  ///< remap to the standby subarray (if spare_ready)
+  kSetVotes,     ///< change the per-query majority-vote count
+};
+
+struct PolicyAction {
+  ActionKind kind = ActionKind::kNone;
+  std::size_t votes = 1;  ///< target vote count (kSetVotes only; odd)
+};
+
+class RecalibrationPolicy {
+ public:
+  virtual ~RecalibrationPolicy() = default;
+  virtual const char* name() const noexcept = 0;
+  /// Called once per control tick, in virtual-time order.
+  virtual PolicyAction on_check(const PolicyContext& ctx) = 0;
+};
+
+/// Baseline: never recalibrates.
+std::unique_ptr<RecalibrationPolicy> make_no_recalibration();
+
+/// Refresh every `period_s` of virtual time, regardless of accuracy.
+std::unique_ptr<RecalibrationPolicy> make_scheduled_refresh(double period_s);
+
+/// Refresh when window accuracy < `floor` with at least `min_samples` of
+/// evidence; consecutive triggers are separated by an exponentially growing
+/// backoff in [initial_backoff_s, max_backoff_s] that resets once the
+/// window recovers above the floor.
+std::unique_ptr<RecalibrationPolicy> make_accuracy_watchdog(double floor,
+                                                            std::size_t min_samples,
+                                                            double initial_backoff_s,
+                                                            double max_backoff_s);
+
+/// Watchdog trigger, spare-subarray remap action (falls back to an in-place
+/// refresh when no spare is ready — a swap must never be *worse* than the
+/// plain watchdog).
+std::unique_ptr<RecalibrationPolicy> make_spare_swap(double floor, std::size_t min_samples,
+                                                     double initial_backoff_s,
+                                                     double max_backoff_s);
+
+/// Bounded majority re-query escalation: +2 votes when accuracy < floor,
+/// capped at `max_votes`; -2 votes when accuracy clears floor + margin.
+std::unique_ptr<RecalibrationPolicy> make_requery_escalation(double floor,
+                                                             std::size_t min_samples,
+                                                             std::size_t max_votes,
+                                                             double recover_margin = 0.03);
+
+}  // namespace xlds::serve

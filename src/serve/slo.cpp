@@ -1,0 +1,24 @@
+#include "serve/slo.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace xlds::serve {
+
+LatencyStats LatencyRecorder::stats() const {
+  LatencyStats s;
+  s.samples = samples_.size();
+  if (samples_.empty()) return s;
+  s.p50 = percentile(samples_, 50.0);
+  s.p99 = percentile(samples_, 99.0);
+  double sum = 0.0;
+  for (double v : samples_) {
+    sum += v;
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(samples_.size());
+  return s;
+}
+
+}  // namespace xlds::serve

@@ -1,0 +1,69 @@
+// SLO accounting for the closed-loop serving simulator: per-request latency
+// percentiles and the sliding accuracy window the recalibration policies
+// watch.  Everything here is plain sequential bookkeeping — the serving loop
+// owns one instance of each and updates them in request order, so reports
+// are bit-identical regardless of how the underlying readouts parallelise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xlds::serve {
+
+struct LatencyStats {
+  double p50 = 0.0;   ///< s
+  double p99 = 0.0;   ///< s
+  double mean = 0.0;  ///< s
+  double max = 0.0;   ///< s
+  std::size_t samples = 0;
+};
+
+/// Collects per-request sojourn times (queue wait + service) and summarises
+/// them as the percentile SLO figures.
+class LatencyRecorder {
+ public:
+  void add(double seconds) { samples_.push_back(seconds); }
+  std::size_t samples() const noexcept { return samples_.size(); }
+  LatencyStats stats() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Fixed-capacity ring of per-request correctness bits: the accuracy
+/// estimate a watchdog policy can actually observe online (ground-truth
+/// labels stand in for the shadow-scoring a production system would run).
+class SlidingAccuracy {
+ public:
+  explicit SlidingAccuracy(std::size_t window) : bits_(window, 0) {}
+
+  void add(bool correct) {
+    const std::uint8_t bit = correct ? 1 : 0;
+    if (count_ >= bits_.size()) correct_ -= bits_[next_];
+    bits_[next_] = bit;
+    correct_ += bit;
+    next_ = (next_ + 1) % bits_.size();
+    if (count_ < bits_.size()) ++count_;
+    ++total_;
+  }
+
+  /// Requests currently inside the window (<= capacity).
+  std::size_t samples() const noexcept { return count_; }
+  /// Requests ever added.
+  std::size_t total() const noexcept { return total_; }
+  /// Fraction correct over the window (1.0 while empty: no evidence of
+  /// trouble yet, so policies gated on min-samples see a healthy default).
+  double value() const noexcept {
+    return count_ == 0 ? 1.0 : static_cast<double>(correct_) / static_cast<double>(count_);
+  }
+
+ private:
+  std::vector<std::uint8_t> bits_;
+  std::size_t next_ = 0;
+  std::size_t count_ = 0;
+  std::size_t correct_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace xlds::serve

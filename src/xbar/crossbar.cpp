@@ -15,11 +15,6 @@ namespace xlds::xbar {
 namespace {
 constexpr std::uint64_t kXbarStreamTag = 0xC205BA2;
 
-// SolveStatus <-> atomic flag byte (deprecated instance-level status).
-constexpr std::uint8_t kFlagConverged = 1u << 0;
-constexpr std::uint8_t kFlagFallback = 1u << 1;
-constexpr std::uint8_t kFlagDirect = 1u << 2;
-
 // Collects a mutation's changed cells up to a policy-relevant bound.  Past
 // the bound only the fact that the patch is oversized matters — the
 // incremental policy declines on the count alone — so the list stops
@@ -169,27 +164,6 @@ bool Crossbar::nodal_factorized() const {
 std::size_t Crossbar::nodal_updates_applied() const {
   std::lock_guard<std::mutex> lk(nodal_cache_.mu);
   return nodal_cache_.solver != nullptr ? nodal_cache_.solver->updates_applied() : 0;
-}
-
-void Crossbar::store_last_status(const SolveStatus& s) const {
-  last_nodal_iters_.store(s.iterations, std::memory_order_relaxed);
-  last_nodal_residual_.store(s.residual, std::memory_order_relaxed);
-  std::uint8_t flags = 0;
-  if (s.converged) flags |= kFlagConverged;
-  if (s.used_fallback) flags |= kFlagFallback;
-  if (s.direct) flags |= kFlagDirect;
-  last_nodal_flags_.store(flags, std::memory_order_relaxed);
-}
-
-SolveStatus Crossbar::last_nodal_status() const noexcept {
-  SolveStatus s;
-  s.iterations = last_nodal_iters_.load(std::memory_order_relaxed);
-  s.residual = last_nodal_residual_.load(std::memory_order_relaxed);
-  const std::uint8_t flags = last_nodal_flags_.load(std::memory_order_relaxed);
-  s.converged = (flags & kFlagConverged) != 0;
-  s.used_fallback = (flags & kFlagFallback) != 0;
-  s.direct = (flags & kFlagDirect) != 0;
-  return s;
 }
 
 void Crossbar::program_conductances(const MatrixD& targets) {
@@ -649,10 +623,7 @@ std::vector<double> Crossbar::column_currents(const std::vector<double>& input,
   switch (config_.ir_drop) {
     case IrDropMode::kNone: currents = currents_ideal(v_in); break;
     case IrDropMode::kAnalytic: currents = currents_analytic(v_in); break;
-    case IrDropMode::kNodal:
-      currents = currents_nodal(v_in, status);
-      store_last_status(status);
-      break;
+    case IrDropMode::kNodal: currents = currents_nodal(v_in, status); break;
   }
   apply_readout_noise(currents.data());
   return currents;
@@ -756,7 +727,6 @@ MatrixD Crossbar::readout_batch(const MatrixD& inputs,
           std::copy(i.begin(), i.end(), out.row_data(b));
         }
       }
-      if (batch > 0) store_last_status(local.back());
       if (statuses != nullptr) *statuses = std::move(local);
       break;
     }

@@ -226,22 +226,6 @@ class Crossbar {
   /// last built (0 when fresh or absent).
   std::size_t nodal_updates_applied() const;
 
-  /// Deprecated: Gauss-Seidel iterations of the most recent nodal solve
-  /// (0 when the direct path answered).  Prefer the per-call SolveStatus
-  /// overloads — this instance-level view is a race-free snapshot but mixes
-  /// fields across concurrent readouts.
-  std::size_t last_nodal_iterations() const noexcept {
-    return last_nodal_iters_.load(std::memory_order_relaxed);
-  }
-
-  /// Deprecated: status of the most recent nodal solve on this instance.
-  /// Prefer column_currents(input, status) / readout_batch(..., &statuses);
-  /// see last_nodal_iterations() for the concurrency caveat.  When the
-  /// Gauss-Seidel budget runs out before convergence, column_currents falls
-  /// back to the analytic estimate (used_fallback is set) instead of
-  /// returning unconverged currents, and a warning is logged once per array.
-  SolveStatus last_nodal_status() const noexcept;
-
  private:
   // Solver cache + Gauss-Seidel warm-start state.  Guarded by `mu` so
   // concurrent const readouts (the parallel evaluator shares arrays across
@@ -288,19 +272,12 @@ class Crossbar {
   void note_cell_updates(const CellDelta* deltas, std::size_t count);
   /// Read-noise + dead-lane post-processing (consumes the instance RNG).
   void apply_readout_noise(double* currents) const;
-  void store_last_status(const SolveStatus& s) const;
 
   CrossbarConfig config_;
   device::RramModel model_;
   double wire_r_per_cell_;  ///< ohm per crosspoint pitch
   mutable Rng rng_;
   mutable NodalCache nodal_cache_;
-  // Last-solve status for the deprecated accessors, packed into atomics so
-  // concurrent const readouts stay race-free (TSan-clean) without a lock on
-  // the hot path.
-  mutable std::atomic<std::uint64_t> last_nodal_iters_{0};
-  mutable std::atomic<double> last_nodal_residual_{0.0};
-  mutable std::atomic<std::uint8_t> last_nodal_flags_{0};
   mutable std::atomic<bool> nodal_warned_{false};  ///< non-convergence warning throttle
   MatrixD g_;               ///< programmed conductances [rows x cols]
   Matrix<std::uint8_t> stuck_;  ///< 1 = crosspoint pinned by a defect

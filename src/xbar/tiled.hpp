@@ -26,6 +26,18 @@ class TiledCrossbar {
   std::size_t out_dim() const noexcept { return out_dim_; }
   std::size_t tile_count() const noexcept { return tiles_.size(); }
 
+  /// Direct access to one physical tile (row-major over the tile grid) —
+  /// recalibration controllers diff and re-program per-tile conductances.
+  Crossbar& tile(std::size_t i) { return tiles_[i]; }
+  const Crossbar& tile(std::size_t i) const { return tiles_[i]; }
+
+  /// Apply `dt` seconds of conductance relaxation to every tile, in tile
+  /// order (each tile consumes its own RNG stream — deterministic and
+  /// independent of thread count).
+  void age(double dt) {
+    for (Crossbar& t : tiles_) t.age(dt);
+  }
+
   /// Program the full logical weight matrix (in_dim x out_dim, in [-1, 1]).
   void program_weights(const MatrixD& weights);
 

@@ -300,8 +300,8 @@ TEST_F(FaultTest, NodalSolveFallsBackWhenBudgetExhausted) {
   starved.program_conductances(g);
 
   const std::vector<double> x(16, 1.0);
-  const auto i_starved = starved.column_currents(x);
-  const xbar::SolveStatus& status = starved.last_nodal_status();
+  xbar::SolveStatus status;
+  const auto i_starved = starved.column_currents(x, status);
   EXPECT_FALSE(status.converged);
   EXPECT_TRUE(status.used_fallback);
   EXPECT_EQ(status.iterations, 1u);
@@ -321,9 +321,10 @@ TEST_F(FaultTest, NodalSolveFallsBackWhenBudgetExhausted) {
   Rng r3(52);
   xbar::Crossbar healthy(cfg, r3);
   healthy.program_conductances(g);
-  healthy.column_currents(x);
-  EXPECT_TRUE(healthy.last_nodal_status().converged);
-  EXPECT_FALSE(healthy.last_nodal_status().used_fallback);
+  xbar::SolveStatus healthy_status;
+  healthy.column_currents(x, healthy_status);
+  EXPECT_TRUE(healthy_status.converged);
+  EXPECT_FALSE(healthy_status.used_fallback);
 }
 
 // ---- CAM injection --------------------------------------------------------

@@ -227,11 +227,36 @@ TEST(Sampler, FillBernoulliIsSequenceIdentical) {
   for (std::uint8_t v : block) EXPECT_EQ(v != 0, b.bernoulli(0.3));
 }
 
+TEST(Sampler, FillExponentialIsSequenceIdentical) {
+  Rng a(77), b(77);
+  std::vector<double> block(333);
+  kernels::fill_exponential(a, block.data(), block.size(), 4.0);
+  for (double v : block) EXPECT_EQ(v, -std::log1p(-b.uniform()) / 4.0);
+  EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Sampler, FillExponentialMomentsAndPositivity) {
+  Rng rng(2024);
+  const double rate = 2.5;
+  std::vector<double> block(200000);
+  kernels::fill_exponential(rng, block.data(), block.size(), rate);
+  double sum = 0.0;
+  for (double v : block) {
+    ASSERT_GT(v, 0.0);
+    ASSERT_TRUE(std::isfinite(v));
+    sum += v;
+  }
+  const double mean = sum / static_cast<double>(block.size());
+  // Standard error of the mean is (1/rate)/sqrt(n) ~ 9e-4; 5 sigma.
+  EXPECT_NEAR(mean, 1.0 / rate, 5e-3);
+}
+
 TEST(Sampler, ZeroLengthFillsConsumeNothing) {
   Rng a(9), b(9);
   kernels::fill_uniform(a, nullptr, 0);
   kernels::fill_normal(a, nullptr, 0);
   kernels::fill_bernoulli(a, nullptr, 0, 0.5);
+  kernels::fill_exponential(a, nullptr, 0, 1.0);
   kernels::fill_normal_fast(a, nullptr, 0);
   EXPECT_EQ(a.next_u32(), b.next_u32());
 }

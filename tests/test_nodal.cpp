@@ -2,7 +2,7 @@
 // the Gauss-Seidel reference across shapes (including degenerate and
 // non-square arrays, faults and aged cells), the invalidation contract on
 // program/fault/age, batched-vs-single bit-equality, thread-count invariance
-// of readout_batch, and the deprecated status accessors.
+// of readout_batch, and the per-call SolveStatus reporting.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -417,25 +417,99 @@ TEST_F(NodalTest, WarmStartConvergesFasterOnRepeatedQueries) {
   expect_currents_close(i_cold, i_warm);
 }
 
-TEST_F(NodalTest, DeprecatedAccessorsReflectLastSolve) {
+TEST_F(NodalTest, PerCallStatusReflectsDirectSolve) {
   auto cfg = quiet_config(8, 8);
   Rng rng(37);
   xbar::Crossbar xb(cfg, rng);
   xb.program_conductances(mixed_conductances(8, 8, cfg.rram, 101));
-  (void)xb.column_currents(ramp_input(8));
-  const xbar::SolveStatus s = xb.last_nodal_status();
+  xbar::SolveStatus s;
+  (void)xb.column_currents(ramp_input(8), s);
   EXPECT_TRUE(s.direct);
   EXPECT_TRUE(s.converged);
   EXPECT_FALSE(s.used_fallback);
-  EXPECT_EQ(xb.last_nodal_iterations(), 0u);
+  EXPECT_EQ(s.iterations, 0u);
   EXPECT_LT(s.residual, xbar::kNodalTolRel * cfg.read_voltage);
+}
+
+TEST_F(NodalTest, UpdateCellsPivotBreakdownResetsSolver) {
+  // Force the C1 downdate breakdown path.  Cycling one cell between a tiny
+  // and an enormous conductance on a grid whose pivots are themselves tiny
+  // accumulates floating-point drift of order g_hi * eps per up/down pair —
+  // far above the ~1e-9 pivot scale — so a downdated pivot eventually goes
+  // non-positive and update_cells() must reset the solver rather than hand
+  // back a poisoned factor.
+  const std::size_t n = 8;
+  const double g_lo = 1e-9, g_hi = 1e8, g_wire = 1e-9;
+  const MatrixD g(n, n, g_lo);
+  xbar::NodalSolver solver;
+  ASSERT_TRUE(solver.factorize(g, g_wire, std::size_t{1} << 30));
+
+  bool broke = false;
+  std::size_t cycles = 0;
+  for (; cycles < 5000 && !broke; ++cycles) {
+    const xbar::CellDelta up{3, 4, g_hi};
+    if (!solver.update_cells(&up, 1)) {
+      broke = true;
+      break;
+    }
+    const xbar::CellDelta down{3, 4, g_lo};
+    if (!solver.update_cells(&down, 1)) broke = true;
+  }
+  ASSERT_TRUE(broke) << "no pivot breakdown after " << cycles << " up/down cycles";
+  EXPECT_FALSE(solver.ready());  // reset, not silently kept
+
+  // Recovery: the same instance refactorizes from the true conductances and
+  // answers bit-identically to a solver that never saw an update.
+  ASSERT_TRUE(solver.factorize(g, g_wire, std::size_t{1} << 30));
+  xbar::NodalSolver reference;
+  ASSERT_TRUE(reference.factorize(g, g_wire, std::size_t{1} << 30));
+  const std::vector<double> x = ramp_input(n);
+  std::vector<double> i_recovered(n), i_reference(n);
+  xbar::NodalSolver::Workspace ws_a, ws_b;
+  solver.solve(x.data(), i_recovered.data(), ws_a);
+  reference.solve(x.data(), i_reference.data(), ws_b);
+  for (std::size_t c = 0; c < n; ++c) EXPECT_EQ(i_recovered[c], i_reference[c]) << "column " << c;
+}
+
+TEST_F(NodalTest, RepeatedProgramCellsCyclesStayCorrectThroughDeclines) {
+  // Crossbar-level refactorize-and-retry net: hammer one cell with
+  // program_cells() cycles.  The accumulation cap (bw/2) periodically
+  // declines the patch and drops the cached factorization, and any numeric
+  // trouble in an accepted update does the same — either way the next
+  // readout must rebuild and answer like a freshly-programmed array.
+  auto cfg = quiet_config(12, 12);
+  cfg.nodal_incremental = true;
+  Rng rng(71);
+  xbar::Crossbar xb(cfg, rng);
+  xb.program_conductances(mixed_conductances(12, 12, cfg.rram, 131));
+
+  const std::vector<double> x = ramp_input(12);
+  (void)xb.column_currents(x);  // build the factorization once
+  for (int cycle = 0; cycle < 64; ++cycle) {
+    const double target = (cycle % 2 == 0) ? cfg.rram.g_max : cfg.rram.g_min;
+    const std::vector<xbar::CellDelta> patch{{5, 7, target}};
+    xb.program_cells(patch);
+    (void)xb.column_currents(x);  // keep the update/decline machinery hot
+  }
+
+  xbar::SolveStatus status;
+  const auto i_survivor = xb.column_currents(x, status);
+  EXPECT_TRUE(status.converged);
+
+  // Fresh array programmed with the survivor's exact final conductances.
+  Rng rng2(72);
+  xbar::Crossbar fresh(cfg, rng2);
+  MatrixD g_final(12, 12, 0.0);
+  for (std::size_t r = 0; r < 12; ++r)
+    for (std::size_t c = 0; c < 12; ++c) g_final(r, c) = xb.conductance(r, c);
+  fresh.program_conductances(g_final);
+  expect_currents_close(i_survivor, fresh.column_currents(x));
 }
 
 TEST_F(NodalTest, ConcurrentReadoutsOnSharedInstanceAgree) {
   // The parallel evaluator shares const arrays across worker threads: many
   // threads race to build the factorization (exactly once, under the cache
-  // mutex) and to store the deprecated last-solve status (atomics).  With
-  // read noise off, every thread must see the same currents.
+  // mutex).  With read noise off, every thread must see the same currents.
   set_parallel_threads(8);
   auto cfg = quiet_config(16, 16);
   Rng rng(53);

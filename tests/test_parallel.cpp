@@ -155,8 +155,9 @@ TEST_F(ParallelTest, NodalSolveBitIdenticalAcrossThreadCounts) {
       if (fill.bernoulli(0.5)) v = cfg.rram.g_max;
     xb.program_conductances(g);
     const std::vector<double> ones(48, 1.0);
-    auto currents = xb.column_currents(ones);
-    return std::make_pair(std::move(currents), xb.last_nodal_iterations());
+    xbar::SolveStatus status;
+    auto currents = xb.column_currents(ones, status);
+    return std::make_pair(std::move(currents), status.iterations);
   };
   set_parallel_threads(1);
   const auto [currents_1t, iters_1t] = solve();

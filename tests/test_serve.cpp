@@ -1,0 +1,293 @@
+// Closed-loop serving simulator: SLO primitives, recalibration policies,
+// determinism (same-seed repeatability and thread-count invariance), and the
+// acceptance behaviour — the accuracy watchdog holds the floor that the
+// no-recalibration baseline violates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "serve/loop.hpp"
+#include "serve/model.hpp"
+#include "serve/policy.hpp"
+#include "serve/slo.hpp"
+#include "util/parallel.hpp"
+
+namespace xlds {
+namespace {
+
+// ---------------------------------------------------------------- SLO units
+
+TEST(SlidingAccuracy, TracksWindowedFraction) {
+  serve::SlidingAccuracy acc(4);
+  EXPECT_DOUBLE_EQ(acc.value(), 1.0);  // vacuously healthy before evidence
+  EXPECT_EQ(acc.samples(), 0u);
+  acc.add(true);
+  acc.add(false);
+  EXPECT_DOUBLE_EQ(acc.value(), 0.5);
+  EXPECT_EQ(acc.samples(), 2u);
+  acc.add(true);
+  acc.add(true);
+  EXPECT_DOUBLE_EQ(acc.value(), 0.75);
+  // Window is full: the initial miss falls out after one more sample.
+  acc.add(true);
+  EXPECT_DOUBLE_EQ(acc.value(), 0.75);
+  acc.add(true);
+  EXPECT_DOUBLE_EQ(acc.value(), 1.0);
+  EXPECT_EQ(acc.samples(), 4u);
+  EXPECT_EQ(acc.total(), 6u);
+}
+
+TEST(LatencyRecorder, PercentilesOverRecordedSamples) {
+  serve::LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) rec.add(static_cast<double>(i) * 1e-3);
+  const serve::LatencyStats st = rec.stats();
+  EXPECT_EQ(st.samples, 100u);
+  EXPECT_NEAR(st.p50, 0.0505, 1e-3);
+  EXPECT_NEAR(st.p99, 0.100, 1.5e-3);
+  EXPECT_NEAR(st.mean, 0.0505, 1e-9);
+  EXPECT_DOUBLE_EQ(st.max, 0.100);
+}
+
+// ------------------------------------------------------------- policy units
+
+serve::PolicyContext ctx_at(double now, double acc, std::size_t samples) {
+  serve::PolicyContext ctx;
+  ctx.now = now;
+  ctx.window_accuracy = acc;
+  ctx.window_samples = samples;
+  return ctx;
+}
+
+TEST(Policies, ScheduledRefreshFiresOncePerPeriod) {
+  auto policy = serve::make_scheduled_refresh(1.0);
+  EXPECT_EQ(policy->on_check(ctx_at(0.0, 1.0, 0)).kind, serve::ActionKind::kRefresh);
+  EXPECT_EQ(policy->on_check(ctx_at(0.5, 1.0, 0)).kind, serve::ActionKind::kNone);
+  EXPECT_EQ(policy->on_check(ctx_at(1.25, 1.0, 0)).kind, serve::ActionKind::kRefresh);
+  EXPECT_EQ(policy->on_check(ctx_at(1.5, 1.0, 0)).kind, serve::ActionKind::kNone);
+}
+
+TEST(Policies, WatchdogNeedsEvidenceThenBacksOff) {
+  auto policy = serve::make_accuracy_watchdog(0.9, 32, 1.0, 4.0);
+  // Below the floor but without enough evidence: no action.
+  EXPECT_EQ(policy->on_check(ctx_at(0.0, 0.5, 8)).kind, serve::ActionKind::kNone);
+  // Evidence arrives: fire, then hold fire during the backoff.
+  EXPECT_EQ(policy->on_check(ctx_at(0.1, 0.5, 64)).kind, serve::ActionKind::kRefresh);
+  EXPECT_EQ(policy->on_check(ctx_at(0.5, 0.5, 64)).kind, serve::ActionKind::kNone);
+  // Backoff expired and still unhealthy: fire again, backoff doubles.
+  EXPECT_EQ(policy->on_check(ctx_at(1.2, 0.5, 64)).kind, serve::ActionKind::kRefresh);
+  EXPECT_EQ(policy->on_check(ctx_at(2.5, 0.5, 64)).kind, serve::ActionKind::kNone);
+  EXPECT_EQ(policy->on_check(ctx_at(3.3, 0.5, 64)).kind, serve::ActionKind::kRefresh);
+  // A healthy window re-arms the initial backoff.
+  EXPECT_EQ(policy->on_check(ctx_at(3.5, 0.99, 64)).kind, serve::ActionKind::kNone);
+  EXPECT_EQ(policy->on_check(ctx_at(4.5, 0.5, 64)).kind, serve::ActionKind::kRefresh);
+  EXPECT_EQ(policy->on_check(ctx_at(5.0, 0.5, 64)).kind, serve::ActionKind::kNone);
+  EXPECT_EQ(policy->on_check(ctx_at(5.6, 0.5, 64)).kind, serve::ActionKind::kRefresh);
+}
+
+TEST(Policies, SpareSwapPrefersSpareWhenReady) {
+  auto policy = serve::make_spare_swap(0.9, 32, 1.0, 4.0);
+  serve::PolicyContext ctx = ctx_at(0.0, 0.5, 64);
+  ctx.spare_ready = true;
+  EXPECT_EQ(policy->on_check(ctx).kind, serve::ActionKind::kSwapToSpare);
+  ctx.now = 2.0;
+  ctx.spare_ready = false;
+  EXPECT_EQ(policy->on_check(ctx).kind, serve::ActionKind::kRefresh);
+}
+
+TEST(Policies, RequeryEscalatesBoundedAndOdd) {
+  auto policy = serve::make_requery_escalation(0.9, 32, 7);
+  serve::PolicyContext ctx = ctx_at(0.0, 0.5, 64);
+  ctx.votes = 1;
+  serve::PolicyAction act = policy->on_check(ctx);
+  ASSERT_EQ(act.kind, serve::ActionKind::kSetVotes);
+  EXPECT_EQ(act.votes, 3u);
+  ctx.votes = act.votes;
+  act = policy->on_check(ctx);
+  ASSERT_EQ(act.kind, serve::ActionKind::kSetVotes);
+  EXPECT_EQ(act.votes, 5u);
+  ctx.votes = 7;  // at the cap: no further escalation
+  EXPECT_EQ(policy->on_check(ctx).kind, serve::ActionKind::kNone);
+  // Recovery above floor + margin de-escalates.
+  ctx.window_accuracy = 0.99;
+  act = policy->on_check(ctx);
+  ASSERT_EQ(act.kind, serve::ActionKind::kSetVotes);
+  EXPECT_EQ(act.votes, 5u);
+}
+
+// ----------------------------------------------------------- end-to-end loop
+
+/// Small-but-real serving scenario: analog-encoded HDC on nodal-solved RRAM
+/// tiles, FeFET CAM class words, sized so a run takes ~a second (sanitizer
+/// budgets included).  Drift and floor are tuned like the bench: the healthy
+/// model clears the floor comfortably; sustained drift pulls the baseline
+/// through it around mid-run.
+serve::ServedModelConfig small_model() {
+  serve::ServedModelConfig mc;
+  mc.data.n_classes = 4;
+  mc.data.dim = 16;
+  mc.data.train_per_class = 15;
+  mc.data.test_per_class = 8;
+  mc.model.hv_dim = 64;
+  mc.subarray.cols = 32;
+  return mc;
+}
+
+serve::ServingConfig small_serving() {
+  serve::ServingConfig cfg;
+  cfg.total_requests = 640;
+  cfg.check_interval = 16;
+  cfg.accuracy_window = 96;
+  cfg.floor_min_samples = 48;
+  cfg.accuracy_floor = 0.80;
+  cfg.drift_time_scale = 2000.0;
+  cfg.seed = 7;
+  return cfg;
+}
+
+serve::ServingReport run_with(const serve::ServingConfig& cfg,
+                              std::unique_ptr<serve::RecalibrationPolicy> policy,
+                              std::uint64_t model_seed = 7) {
+  serve::ServedHdcModel model(small_model(), model_seed);
+  return serve::ServingLoop(cfg).run(model, *policy);
+}
+
+std::unique_ptr<serve::RecalibrationPolicy> small_watchdog(const serve::ServingConfig& cfg) {
+  return serve::make_accuracy_watchdog(cfg.accuracy_floor + 0.06, cfg.floor_min_samples, 0.04,
+                                       0.15);
+}
+
+TEST(ServingLoop, SameSeedRunsAreByteIdentical) {
+  const serve::ServingConfig cfg = small_serving();
+  const serve::ServingReport a = run_with(cfg, small_watchdog(cfg));
+  const serve::ServingReport b = run_with(cfg, small_watchdog(cfg));
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_EQ(a.recal_events, b.recal_events);
+  EXPECT_DOUBLE_EQ(a.overall_accuracy, b.overall_accuracy);
+  EXPECT_DOUBLE_EQ(a.latency.p99, b.latency.p99);
+  ASSERT_EQ(a.trajectory.size(), b.trajectory.size());
+  for (std::size_t i = 0; i < a.trajectory.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.trajectory[i].accuracy, b.trajectory[i].accuracy);
+    EXPECT_DOUBLE_EQ(a.trajectory[i].qps, b.trajectory[i].qps);
+  }
+}
+
+TEST(ServingLoop, BitIdenticalAcrossThreadCounts) {
+  // The batched analog encode is the only internally-parallel stage; the
+  // report checksum covers every prediction, latency and trajectory sample.
+  const serve::ServingConfig cfg = small_serving();
+  set_parallel_threads(1);
+  const serve::ServingReport one = run_with(cfg, small_watchdog(cfg));
+  set_parallel_threads(8);
+  const serve::ServingReport eight = run_with(cfg, small_watchdog(cfg));
+  set_parallel_threads(0);
+  EXPECT_EQ(one.checksum, eight.checksum);
+  EXPECT_EQ(one.served, eight.served);
+  EXPECT_DOUBLE_EQ(one.overall_accuracy, eight.overall_accuracy);
+}
+
+TEST(ServingLoop, WatchdogHoldsFloorBaselineViolates) {
+  const serve::ServingConfig cfg = small_serving();
+  const serve::ServingReport baseline = run_with(cfg, serve::make_no_recalibration());
+  const serve::ServingReport guarded = run_with(cfg, small_watchdog(cfg));
+  EXPECT_FALSE(baseline.floor_held) << "baseline min window " << baseline.min_window_accuracy;
+  EXPECT_GT(baseline.floor_violation_ticks, 0u);
+  EXPECT_TRUE(guarded.floor_held) << "guarded min window " << guarded.min_window_accuracy;
+  EXPECT_GT(guarded.recal_events, 0u);
+  EXPECT_GT(guarded.cam_cells_rewritten, 0u);
+  EXPECT_GT(guarded.min_window_accuracy, baseline.min_window_accuracy);
+  EXPECT_GT(guarded.overall_accuracy, baseline.overall_accuracy);
+}
+
+TEST(ServingLoop, OverloadShedsInsteadOfQueueingUnboundedly) {
+  serve::ServingConfig cfg = small_serving();
+  cfg.total_requests = 256;
+  cfg.drift_time_scale = 0.0;
+  cfg.arrival_rate = 1e4;      // ~14x the service rate: heavy overload
+  cfg.max_queue_wait_s = 0.01;
+  auto policy = serve::make_no_recalibration();
+  serve::ServedHdcModel model(small_model(), 7);
+  const serve::ServingReport rep = serve::ServingLoop(cfg).run(model, *policy);
+  EXPECT_GT(rep.shed_admission, 0u);
+  EXPECT_GT(rep.served, 0u);
+  EXPECT_EQ(rep.served + rep.shed_admission, rep.arrivals);
+  // Every served request saw a bounded queue: sojourn <= wait cap + service.
+  EXPECT_LT(rep.latency.max, cfg.max_queue_wait_s + 0.1);
+}
+
+TEST(ServingLoop, DegradationLadderShedVsBlockVsDegraded) {
+  // A scheduled refresh guarantees recalibration windows; compare how each
+  // degradation mode treats the requests that land inside them.
+  serve::ServingConfig cfg = small_serving();
+  cfg.total_requests = 256;
+  cfg.drift_time_scale = 0.0;
+  // Stretch the recalibration window (~40 ms for the 4 class words) so a
+  // burst of requests lands inside it and the block dwarfs ordinary
+  // queueing excursions.
+  cfg.cam_write_time_per_word_s = 1e-2;
+
+  cfg.degrade = serve::DegradeMode::kServeDegraded;
+  const serve::ServingReport degraded =
+      run_with(cfg, serve::make_scheduled_refresh(0.2));
+  EXPECT_GT(degraded.degraded, 0u);
+  EXPECT_EQ(degraded.shed_recal, 0u);
+  EXPECT_EQ(degraded.served, degraded.arrivals);
+
+  cfg.degrade = serve::DegradeMode::kShed;
+  const serve::ServingReport shed = run_with(cfg, serve::make_scheduled_refresh(0.2));
+  EXPECT_GT(shed.shed_recal, 0u);
+  EXPECT_EQ(shed.degraded, 0u);
+  EXPECT_EQ(shed.served + shed.shed_recal + shed.shed_admission, shed.arrivals);
+
+  cfg.degrade = serve::DegradeMode::kBlock;
+  const serve::ServingReport blocked = run_with(cfg, serve::make_scheduled_refresh(0.2));
+  EXPECT_EQ(blocked.degraded, 0u);
+  EXPECT_EQ(blocked.shed_recal, 0u);
+  // Blocking pushes the recalibration window onto the tail latency.
+  EXPECT_GT(blocked.latency.max, degraded.latency.max);
+}
+
+TEST(ServingLoop, RequeryRaisesVotesUnderDriftAndStaysBounded) {
+  serve::ServingConfig cfg = small_serving();
+  const serve::ServingReport rep =
+      run_with(cfg, serve::make_requery_escalation(cfg.accuracy_floor, cfg.floor_min_samples, 5));
+  std::size_t max_votes = 0;
+  for (const serve::TrajectoryPoint& pt : rep.trajectory) {
+    EXPECT_EQ(pt.votes % 2, 1u) << "votes must stay odd for majority voting";
+    max_votes = std::max(max_votes, pt.votes);
+  }
+  EXPECT_GT(max_votes, 1u) << "drift should trigger vote escalation";
+  EXPECT_LE(max_votes, 5u);
+  // Extra votes cost latency: the p99 carries the escalation.
+  const serve::ServingReport baseline = run_with(cfg, serve::make_no_recalibration());
+  EXPECT_GE(rep.latency.p99, baseline.latency.p99);
+}
+
+TEST(ServingLoop, SpareSwapAvoidsRecalWindows) {
+  serve::ServingConfig cfg = small_serving();
+  // Make refresh windows long enough to hurt, so the spare's advantage shows.
+  cfg.cam_write_time_per_word_s = 1e-2;
+  cfg.degrade = serve::DegradeMode::kShed;
+  cfg.spare_reprogram_s = 0.05;
+  const serve::ServingReport swap = run_with(
+      cfg, serve::make_spare_swap(cfg.accuracy_floor + 0.04, cfg.floor_min_samples, 0.05, 0.2));
+  EXPECT_GT(swap.spare_swaps, 0u);
+  EXPECT_EQ(swap.shed_recal, 0u) << "spare swaps must not open recalibration windows";
+}
+
+TEST(ServingLoop, ScheduledPolicyRefreshCountMatchesPeriod) {
+  serve::ServingConfig cfg = small_serving();
+  cfg.drift_time_scale = 0.0;
+  const serve::ServingReport rep = run_with(cfg, serve::make_scheduled_refresh(0.25));
+  // Duration ~0.9s at the derived arrival rate: one refresh at t=0 plus one
+  // per elapsed period.
+  const std::size_t expected =
+      1 + static_cast<std::size_t>(rep.trajectory.back().t / 0.25);
+  EXPECT_NEAR(static_cast<double>(rep.recal_events), static_cast<double>(expected), 1.0);
+  EXPECT_GT(rep.recal_energy_j, 0.0);
+}
+
+}  // namespace
+}  // namespace xlds
