@@ -78,8 +78,8 @@ int main(int argc, char** argv) {
   ladder.fidelity.max_fidelity = dse::Fidelity::kMonteCarlo;
   const dse::ExplorationResult hv = dse::explore(ladder);
   std::cout << "\nHalving across the full fidelity ladder (budget " << hv.stats.charges
-            << "): analytic " << hv.stats.charges_by_tier[0] << ", nodal "
-            << hv.stats.charges_by_tier[1] << ", MC " << hv.stats.charges_by_tier[2]
+            << "): analytic " << hv.stats.charges_by_tier[1] << ", nodal "
+            << hv.stats.charges_by_tier[2] << ", MC " << hv.stats.charges_by_tier[3]
             << " charges.\n";
 
   std::cout << "\nExpected shape: nsga2 recovers (nearly) the whole front by 20 %\n"

@@ -1,0 +1,201 @@
+// DSE — the learned tier-0 surrogate rung: front fidelity and screening
+// throughput.
+//
+// Two questions decide whether the surrogate earns its place under the
+// ladder (ROADMAP item 1):
+//
+//   1. Fidelity: at the 20 %-of-grid acceptance budget, does surrogate-
+//      assisted NSGA-II still recover the brute-force Pareto front?  The
+//      screen must not dismiss true front members.
+//   2. Throughput: on a budget far too small to enumerate the space, how
+//      many distinct design points does one unit of budget price?  Queries
+//      cost 1/queries_per_charge of a charge, so once the model is ready a
+//      run should cover the whole viable space for a handful of charges.
+//
+// --surrogate-smoke runs both as a CI gate (front match + >= 10x points per
+// unit budget + thread-count invariance) and the JSON lands in
+// BENCH_surrogate.json.
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+
+#include "dse/engine.hpp"
+#include "util/argparse.hpp"
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+
+using namespace xlds;
+
+namespace {
+
+std::set<std::string> front_designs(const dse::ExplorationResult& r) {
+  std::set<std::string> keys;
+  for (const std::size_t f : r.front) keys.insert(r.evaluated[f].point.to_string());
+  return keys;
+}
+
+std::size_t recovered_of(const dse::ExplorationResult& got, const std::set<std::string>& want) {
+  std::size_t n = 0;
+  for (const std::string& k : front_designs(got)) n += want.count(k);
+  return n;
+}
+
+/// Distinct design points priced (really evaluated, or screened out with a
+/// journaled prediction) per unit of budget actually consumed (ladder
+/// charges + query charge-equivalents).
+std::size_t points_priced(const dse::ExplorationResult& r) {
+  return r.evaluated.size() + r.stats.surrogate_hits;
+}
+
+double points_per_unit(const dse::ExplorationResult& r) {
+  const double spent =
+      static_cast<double>(r.stats.charges) + r.stats.surrogate_budget_units;
+  return spent > 0.0 ? static_cast<double>(points_priced(r)) / spent : 0.0;
+}
+
+dse::EngineConfig fidelity_config(std::uint64_t seed, bool surrogate_on) {
+  dse::EngineConfig config;
+  config.strategy = "nsga2";
+  config.budget = 33;  // 20 % of the 168-point fig1 grid
+  config.seed = seed;
+  config.surrogate.enabled = surrogate_on;
+  return config;
+}
+
+dse::EngineConfig throughput_config(std::uint64_t seed, bool surrogate_on) {
+  dse::EngineConfig config;
+  config.strategy = "nsga2";
+  config.budget = 3;  // far below the 42-point viable space
+  config.seed = seed;
+  config.surrogate.enabled = surrogate_on;
+  // Tiny-history settings: the throughput question is how fast the ledger
+  // stretches once a model exists at all, so the model is allowed to be
+  // rough — promotion on predicted-front membership still guards the spend,
+  // and the fidelity phase above gates on a properly-trained forest.
+  config.surrogate.min_history = 2;
+  config.surrogate.refit_every = 2;
+  config.surrogate.promote_uncertainty = 5.0;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParse args("dse_surrogate",
+                      "surrogate tier-0 rung: front fidelity + points per unit budget");
+  util::add_bench_options(args, /*default_seed=*/1, "BENCH_surrogate.json");
+  args.add_flag("surrogate-smoke",
+                "quick CI gate: front match, >= 10x points/budget, thread invariance");
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
+  util::apply_bench_options(args);
+  const std::uint64_t seed = args.uinteger("seed");
+
+  print_banner(std::cout, "DSE — surrogate tier-0 rung",
+               "front recovery at 20 % budget; space coverage per unit budget");
+
+  // Reference: exhaustive single-tier enumeration of the fig1 space.
+  dse::EngineConfig brute;
+  brute.strategy = "lhs";
+  brute.budget = 0;
+  brute.seed = seed;
+  const dse::ExplorationResult full = dse::explore(brute);
+  const std::set<std::string> want = front_designs(full);
+  std::cout << "Brute force: " << full.stats.charges << " evaluations, front size "
+            << want.size() << ".\n\n";
+
+  // Phase 1 — fidelity at the acceptance budget.
+  const dse::ExplorationResult fid_off = dse::explore(fidelity_config(seed, false));
+  const dse::ExplorationResult fid_on = dse::explore(fidelity_config(seed, true));
+
+  // Phase 2 — throughput on a budget too small to enumerate anything.
+  const dse::ExplorationResult thr_off = dse::explore(throughput_config(seed, false));
+  const dse::ExplorationResult thr_on = dse::explore(throughput_config(seed, true));
+  const double multiplier =
+      points_per_unit(thr_off) > 0.0 ? points_per_unit(thr_on) / points_per_unit(thr_off)
+                                     : 0.0;
+
+  Table table({"phase", "surrogate", "budget", "charges", "queries", "points priced",
+               "front recovered", "points/unit"});
+  const auto add = [&](const std::string& phase, const dse::ExplorationResult& r,
+                       bool on) {
+    table.add_row({phase, on ? "on" : "off", std::to_string(r.budget),
+                   std::to_string(r.stats.charges),
+                   std::to_string(r.stats.surrogate_queries),
+                   std::to_string(points_priced(r)),
+                   std::to_string(recovered_of(r, want)) + "/" + std::to_string(want.size()),
+                   Table::num(points_per_unit(r), 2)});
+  };
+  add("fidelity", fid_off, false);
+  add("fidelity", fid_on, true);
+  add("throughput", thr_off, false);
+  add("throughput", thr_on, true);
+  std::cout << table;
+
+  std::cout << "\nSurrogate run at 20 % budget: " << fid_on.stats.surrogate_queries
+            << " queries (" << fid_on.stats.surrogate_budget_units << " budget units), "
+            << fid_on.stats.surrogate_promotions << " promoted, "
+            << fid_on.stats.surrogate_refits << " refits, "
+            << fid_on.stats.surrogate_disagreements << " disagreements.\n"
+            << "Points per unit budget multiplier (throughput phase): " << Table::num(multiplier, 1)
+            << "x.\n";
+  std::cout << "\nExpected shape: the screened run recovers the same front as the\n"
+               "unscreened one while pricing the whole viable space; on the tiny\n"
+               "budget the surrogate covers every viable point for ~3 charges where\n"
+               "the unassisted search affords 3 points.\n";
+
+  if (!args.str("out").empty()) {
+    std::ofstream json(args.str("out"));
+    json << "{\n  \"bench\": \"dse_surrogate\",\n  \"seed\": " << seed
+         << ",\n  \"viable_points\": " << full.stats.charges
+         << ",\n  \"front_size\": " << want.size() << ",\n  \"fidelity\": {"
+         << "\"budget\": " << fid_on.budget
+         << ", \"recovered_off\": " << recovered_of(fid_off, want)
+         << ", \"recovered_on\": " << recovered_of(fid_on, want)
+         << ", \"charges_on\": " << fid_on.stats.charges
+         << ", \"queries_on\": " << fid_on.stats.surrogate_queries
+         << ", \"promotions_on\": " << fid_on.stats.surrogate_promotions
+         << ", \"refits_on\": " << fid_on.stats.surrogate_refits << "},\n  \"throughput\": {"
+         << "\"budget\": " << thr_on.budget
+         << ", \"points_priced_off\": " << points_priced(thr_off)
+         << ", \"points_priced_on\": " << points_priced(thr_on)
+         << ", \"charges_on\": " << thr_on.stats.charges
+         << ", \"queries_on\": " << thr_on.stats.surrogate_queries
+         << ", \"budget_units_on\": " << thr_on.stats.surrogate_budget_units
+         << ", \"points_per_unit_off\": " << points_per_unit(thr_off)
+         << ", \"points_per_unit_on\": " << points_per_unit(thr_on)
+         << ", \"multiplier\": " << multiplier << "}\n}\n";
+    std::cout << "\nJSON written to " << args.str("out") << ".\n";
+  }
+
+  if (args.flag("surrogate-smoke")) {
+    bool ok = true;
+    if (recovered_of(fid_on, want) < want.size()) {
+      std::cerr << "surrogate-smoke: screened search lost front members ("
+                << recovered_of(fid_on, want) << "/" << want.size()
+                << " recovered) — the screen is dismissing true front points\n";
+      ok = false;
+    }
+    if (multiplier < 10.0) {
+      std::cerr << "surrogate-smoke: points-per-unit-budget multiplier "
+                << Table::num(multiplier, 2) << "x is below the 10x bar\n";
+      ok = false;
+    }
+    // Thread-count invariance of the full surrogate-assisted run.
+    set_parallel_threads(1);
+    const dse::ExplorationResult one = dse::explore(fidelity_config(seed, true));
+    set_parallel_threads(8);
+    const dse::ExplorationResult eight = dse::explore(fidelity_config(seed, true));
+    set_parallel_threads(0);
+    if (front_designs(one) != front_designs(eight) ||
+        one.stats.surrogate_queries != eight.stats.surrogate_queries ||
+        one.stats.surrogate_promotions != eight.stats.surrogate_promotions) {
+      std::cerr << "surrogate-smoke: 1-thread and 8-thread surrogate runs diverge\n";
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::cout << "\nsurrogate-smoke: front preserved, " << Table::num(multiplier, 1)
+              << "x points per unit budget, thread-count invariant — gate passed.\n";
+  }
+  return 0;
+}

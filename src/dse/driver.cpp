@@ -1,8 +1,10 @@
 #include "dse/driver.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
+#include "core/pareto.hpp"
 #include "dse/driver_util.hpp"
 #include "util/error.hpp"
 
@@ -65,6 +67,78 @@ std::vector<std::size_t> fresh_for_budget(const EvaluationBackend& backend, Fide
     fresh.push_back(i);
   }
   return fresh;
+}
+
+std::vector<std::size_t> fresh_for_surrogate(const EvaluationBackend& backend,
+                                             const std::vector<std::size_t>& candidates) {
+  std::vector<std::size_t> fresh;
+  std::unordered_set<std::size_t> in_batch;
+  const std::size_t cap = backend.surrogate_capacity();
+  for (const std::size_t i : candidates) {
+    if (fresh.size() >= cap) break;
+    if (backend.requested(i, Fidelity::kSurrogate) || !in_batch.insert(i).second) continue;
+    fresh.push_back(i);
+  }
+  return fresh;
+}
+
+std::vector<std::size_t> surrogate_screen(EvaluationBackend& backend, Fidelity target_tier,
+                                          const std::vector<std::size_t>& candidates,
+                                          const std::vector<core::ScoredPoint>& anchors) {
+  const SurrogateStatus status = backend.surrogate_status();
+  XLDS_REQUIRE_MSG(status.enabled && status.ready,
+                   "surrogate_screen on a backend with no usable surrogate");
+  const SearchSpace& space = backend.space();
+
+  // Queryable candidates, in first-appearance order: not yet paid for at the
+  // target tier (free repeats screen nothing), not culled (culls are free at
+  // any tier), and either already predicted or within the query capacity.
+  std::vector<std::size_t> query;
+  {
+    std::unordered_set<std::size_t> fresh_ok;
+    for (const std::size_t i : fresh_for_surrogate(backend, candidates)) fresh_ok.insert(i);
+    std::unordered_set<std::size_t> seen;
+    for (const std::size_t i : candidates) {
+      if (!seen.insert(i).second) continue;
+      if (space.culled(i) || backend.requested(i, target_tier)) continue;
+      if (backend.requested(i, Fidelity::kSurrogate) || fresh_ok.count(i))
+        query.push_back(i);
+    }
+  }
+
+  std::unordered_map<std::size_t, const Evaluation*> predicted;
+  std::vector<Evaluation> evals;
+  if (!query.empty()) {
+    evals = backend.evaluate(query, Fidelity::kSurrogate);
+    for (const Evaluation& e : evals) predicted.emplace(e.index, &e);
+  }
+
+  // Front test: a prediction promotes on merit only by reaching the Pareto
+  // front of (real anchors + all predictions) — anchors first, so beating
+  // predictions alone is not enough when real results already dominate them.
+  std::unordered_set<std::size_t> on_front;
+  {
+    std::vector<core::ScoredPoint> pts = anchors;
+    pts.reserve(anchors.size() + evals.size());
+    for (const Evaluation& e : evals) pts.push_back({space.at(e.index), e.fom});
+    for (const std::size_t f : core::pareto_front(pts))
+      if (f >= anchors.size()) on_front.insert(evals[f - anchors.size()].index);
+  }
+
+  std::vector<std::size_t> promote;
+  std::unordered_set<std::size_t> emitted;
+  for (const std::size_t i : candidates) {
+    if (!emitted.insert(i).second) continue;
+    if (space.culled(i) || backend.requested(i, target_tier)) continue;
+    const auto it = predicted.find(i);
+    if (it == predicted.end()) {
+      promote.push_back(i);  // capacity-starved: no model, pay real physics
+      continue;
+    }
+    if (it->second->uncertainty > status.promote_uncertainty || on_front.count(i))
+      promote.push_back(i);
+  }
+  return promote;
 }
 
 }  // namespace detail

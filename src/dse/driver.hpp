@@ -36,6 +36,17 @@ struct Evaluation {
   std::size_t index = 0;
   Fidelity fidelity = Fidelity::kAnalytic;
   core::Fom fom;
+  /// Surrogate relative-std (kSurrogate requests only; 0 for physics tiers).
+  double uncertainty = 0.0;
+};
+
+/// What a driver may assume about the engine's learned tier-0 model.
+struct SurrogateStatus {
+  bool enabled = false;  ///< the job turned the surrogate rung on
+  bool ready = false;    ///< a kSurrogate request would be served right now
+  /// Promotion threshold: predictions with uncertainty above this should buy
+  /// a real-tier evaluation.
+  double promote_uncertainty = 0.0;
 };
 
 /// The engine-owned evaluation service drivers request work from.
@@ -61,8 +72,19 @@ class EvaluationBackend {
   /// Value `indices` at `tier`, in input order.  Culled points come back
   /// infeasible for free; pairs new to this run are charged and must fit in
   /// remaining_budget() (PreconditionError otherwise — drivers truncate).
+  /// tier == kSurrogate is served by the engine's learned model instead of
+  /// the physics ladder, charged against surrogate_capacity().
   virtual std::vector<Evaluation> evaluate(const std::vector<std::size_t>& indices,
                                            Fidelity tier) = 0;
+
+  /// Learned-model availability.  Default: no surrogate (keeps non-engine
+  /// backends — tests, benches — source-compatible).
+  virtual SurrogateStatus surrogate_status() const { return {}; }
+
+  /// Fresh kSurrogate queries the budget still admits (queries are exchanged
+  /// for ladder charges at the job's queries_per_charge rate, so they are
+  /// near-zero cost but not free).
+  virtual std::size_t surrogate_capacity() const { return 0; }
 };
 
 struct DriverParams {

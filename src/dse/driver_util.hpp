@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/pareto.hpp"
 #include "dse/driver.hpp"
 #include "dse/space.hpp"
 #include "util/rng.hpp"
@@ -26,6 +27,26 @@ std::vector<std::size_t> lhs_indices(const SearchSpace& space, std::size_t n, Rn
 /// this run already paid for, then truncate to the remaining budget.
 std::vector<std::size_t> fresh_for_budget(const EvaluationBackend& backend, Fidelity tier,
                                           const std::vector<std::size_t>& candidates);
+
+/// fresh_for_budget's twin for the learned tier: drop duplicates and
+/// already-queried points, truncate to the surrogate capacity.
+std::vector<std::size_t> fresh_for_surrogate(const EvaluationBackend& backend,
+                                             const std::vector<std::size_t>& candidates);
+
+/// Uncertainty-aware promotion filter.  Queries the surrogate for every
+/// candidate (free for repeats, capacity-charged for fresh ones) and keeps,
+/// in candidate order, the ones worth a real `target_tier` evaluation:
+///   - predictions more uncertain than the job's promotion threshold,
+///   - candidates whose *predicted* FOM lands on the Pareto front of
+///     (anchors + predictions) — `anchors` are real-tier FOMs the search
+///     already trusts (e.g. the archive front), so a prediction must beat
+///     real results to promote on merit,
+///   - candidates the capacity-exhausted model could not predict at all.
+/// Candidates already charged at target_tier are dropped (re-requests are
+/// free but screen nothing).  Requires surrogate_status().enabled && .ready.
+std::vector<std::size_t> surrogate_screen(EvaluationBackend& backend, Fidelity target_tier,
+                                          const std::vector<std::size_t>& candidates,
+                                          const std::vector<core::ScoredPoint>& anchors);
 
 /// Per-strategy factories (defined next to each implementation; dispatched
 /// by make_driver in driver.cpp).

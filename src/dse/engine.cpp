@@ -1,6 +1,7 @@
 #include "dse/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -21,13 +22,30 @@ std::uint64_t pair_key(std::size_t index, Fidelity tier) {
          static_cast<std::uint64_t>(tier);
 }
 
+/// Worst-objective relative error between a real FOM and its prediction —
+/// the model-disagreement scalar.  A feasibility flip is maximal error.
+double prediction_error(const core::Fom& real, const core::Fom& predicted) {
+  if (real.feasible != predicted.feasible) return 1.0;
+  constexpr double kTiny = 1e-12;
+  const auto rel = [](double a, double b) {
+    return std::fabs(a - b) / (std::fabs(a) + kTiny);
+  };
+  double err = rel(real.latency, predicted.latency);
+  err = std::max(err, rel(real.energy, predicted.energy));
+  err = std::max(err, rel(real.area_mm2, predicted.area_mm2));
+  err = std::max(err, rel(real.accuracy, predicted.accuracy));
+  return err;
+}
+
 class Backend final : public EvaluationBackend {
  public:
   Backend(const SearchSpace& space, const FidelityLadder& ladder, std::size_t budget,
-          Journal* journal, std::size_t abort_after_computed)
+          const surrogate::SurrogateConfig& surrogate_config, Journal* journal,
+          std::size_t abort_after_computed)
       : space_(space),
         ladder_(ladder),
         budget_(budget),
+        model_(surrogate_config),
         journal_(journal),
         abort_after_computed_(abort_after_computed) {
     if (journal_ != nullptr)
@@ -35,12 +53,44 @@ class Backend final : public EvaluationBackend {
         XLDS_REQUIRE_MSG(r.fidelity < kFidelityTiers && r.key < space_.size(),
                          "journal record out of range for this space");
         memo_[pair_key(r.key, static_cast<Fidelity>(r.fidelity))] = r.fom;
+        if (r.fidelity == static_cast<std::uint32_t>(Fidelity::kSurrogate))
+          uncertainty_[r.key] = r.uncertainty;
+        // The model is deliberately NOT pre-fed here: training samples are
+        // added when the replayed trajectory re-charges each pair, so the
+        // history (and every refit position) is bit-identical to the run
+        // that wrote the journal.
       }
   }
 
   const SearchSpace& space() const override { return space_; }
   Fidelity max_fidelity() const override { return ladder_.config().max_fidelity; }
-  std::size_t remaining_budget() const override { return budget_ - stats_.charges; }
+  std::size_t remaining_budget() const override {
+    // Queries cost ceil(queries/qpc) charges: a fraction of a charge already
+    // consumed is a charge the ladder can no longer spend, which keeps
+    // charges + queries/qpc <= budget a hard invariant (tested) rather than
+    // a rounding accident.
+    const std::size_t qpc = model_.config().queries_per_charge;
+    const std::size_t query_charges = (stats_.surrogate_queries + qpc - 1) / qpc;
+    const std::size_t spent = stats_.charges + query_charges;
+    return spent < budget_ ? budget_ - spent : 0;
+  }
+
+  SurrogateStatus surrogate_status() const override {
+    SurrogateStatus s;
+    s.enabled = model_.config().enabled;
+    // "Ready" means a query would be served: either a forest is standing, or
+    // enough history has accrued that the batch-entry refit will build one.
+    s.ready = model_.ready() || model_.refit_due();
+    s.promote_uncertainty = model_.config().promote_uncertainty;
+    return s;
+  }
+
+  std::size_t surrogate_capacity() const override {
+    if (!model_.config().enabled) return 0;
+    const std::size_t qpc = model_.config().queries_per_charge;
+    const std::size_t ceiling = (budget_ - stats_.charges) * qpc;
+    return ceiling > stats_.surrogate_queries ? ceiling - stats_.surrogate_queries : 0;
+  }
 
   bool requested(std::size_t index, Fidelity tier) const override {
     return charged_.count(pair_key(index, tier)) != 0;
@@ -48,9 +98,12 @@ class Backend final : public EvaluationBackend {
 
   std::vector<Evaluation> evaluate(const std::vector<std::size_t>& indices,
                                    Fidelity tier) override {
+    if (tier == Fidelity::kSurrogate) return evaluate_surrogate(indices);
+
     // Pass 1: the budget ledger.  Charge pairs new to this run; pick out the
     // ones the memo (journal) cannot serve for computation.
     std::vector<std::size_t> to_compute;
+    std::vector<std::size_t> charged_now;
     for (const std::size_t i : indices) {
       XLDS_REQUIRE(i < space_.size());
       if (space_.culled(i)) {
@@ -67,6 +120,10 @@ class Backend final : public EvaluationBackend {
       ++stats_.charges_by_tier[static_cast<std::size_t>(tier)];
       charged_.insert(key);
       charge_order_.emplace_back(i, tier);
+      charged_now.push_back(i);
+      if (real_points_.insert(i).second &&
+          charged_.count(pair_key(i, Fidelity::kSurrogate)))
+        ++stats_.surrogate_promotions;
       if (memo_.count(key))
         ++stats_.journal_hits;
       else
@@ -83,7 +140,7 @@ class Backend final : public EvaluationBackend {
       for (std::size_t j = 0; j < to_compute.size(); ++j) {
         memo_[pair_key(to_compute[j], tier)] = foms[j];
         if (journal_ != nullptr)
-          journal_->append({to_compute[j], static_cast<std::uint32_t>(tier), foms[j]});
+          journal_->append({to_compute[j], static_cast<std::uint32_t>(tier), foms[j], 0.0});
         ++stats_.computed;
         // Crash simulation: bail after the Nth durable append, exactly as a
         // kill would — later results in this batch are lost.
@@ -93,11 +150,27 @@ class Backend final : public EvaluationBackend {
       }
     }
 
+    // Feed the model every pair charged this call — journal hits included,
+    // and in charge order, so the training history a resumed run accumulates
+    // is the byte-for-byte sequence of the run that died.
+    for (const std::size_t i : charged_now) {
+      const core::Fom& fom = memo_.at(pair_key(i, tier));
+      model_.add(space_.at(i), static_cast<std::uint32_t>(tier), fom);
+      if (tier == Fidelity::kAnalytic) {
+        const auto it = memo_.find(pair_key(i, Fidelity::kSurrogate));
+        if (it != memo_.end() && charged_.count(pair_key(i, Fidelity::kSurrogate)) &&
+            prediction_error(fom, it->second) > model_.config().disagree_rel) {
+          ++stats_.surrogate_disagreements;
+          model_.force_refit();
+        }
+      }
+    }
+
     // Pass 3: results in input order.
     std::vector<Evaluation> out;
     out.reserve(indices.size());
     for (const std::size_t i : indices) {
-      Evaluation e{i, tier, {}};
+      Evaluation e{i, tier, {}, 0.0};
       if (space_.culled(i)) {
         e.fom.feasible = false;
         e.fom.accuracy = 0.0;
@@ -117,16 +190,83 @@ class Backend final : public EvaluationBackend {
   const core::Fom& fom(std::size_t index, Fidelity tier) const {
     return memo_.at(pair_key(index, tier));
   }
+  const surrogate::SurrogateModel& model() const { return model_; }
 
  private:
+  /// The learned rung.  Mirrors the physics path — charge / serve from memo
+  /// or compute / journal / return in input order — with the model standing
+  /// in for the ladder and queries charged against the exchange-rate ledger.
+  std::vector<Evaluation> evaluate_surrogate(const std::vector<std::size_t>& indices) {
+    XLDS_REQUIRE_MSG(model_.config().enabled,
+                     "driver requested the surrogate tier on a job with surrogate off");
+    // Refit at batch entry, cadence- or disagreement-driven.  This runs at
+    // the same trajectory positions with the same history on every rerun —
+    // including replays — so the forest is bit-identical everywhere.
+    if (model_.refit_if_due()) ++stats_.surrogate_refits;
+
+    for (const std::size_t i : indices) {
+      XLDS_REQUIRE(i < space_.size());
+      if (space_.culled(i)) {
+        ++stats_.culled_requests;
+        continue;
+      }
+      const std::uint64_t key = pair_key(i, Fidelity::kSurrogate);
+      if (charged_.count(key)) {
+        ++stats_.repeat_requests;
+        continue;
+      }
+      XLDS_REQUIRE_MSG(surrogate_capacity() > 0,
+                       "driver requested past its surrogate query capacity");
+      ++stats_.surrogate_queries;
+      ++stats_.charges_by_tier[static_cast<std::size_t>(Fidelity::kSurrogate)];
+      charged_.insert(key);
+      charge_order_.emplace_back(i, Fidelity::kSurrogate);
+      if (memo_.count(key)) {
+        ++stats_.journal_hits;
+        continue;  // replayed prediction: value and uncertainty from ctor
+      }
+      XLDS_REQUIRE_MSG(model_.ready(), "surrogate query before the model's first fit");
+      const surrogate::SurrogatePrediction pred =
+          model_.predict(space_.at(i), static_cast<std::uint32_t>(Fidelity::kAnalytic));
+      memo_[key] = pred.fom;
+      uncertainty_[i] = pred.rel_std;
+      if (journal_ != nullptr)
+        journal_->append({i, static_cast<std::uint32_t>(Fidelity::kSurrogate), pred.fom,
+                          pred.rel_std});
+      ++stats_.computed;
+      if (abort_after_computed_ != 0 && stats_.computed >= abort_after_computed_)
+        throw AbortInjected("injected abort after " + std::to_string(stats_.computed) +
+                            " computed evaluations");
+    }
+
+    std::vector<Evaluation> out;
+    out.reserve(indices.size());
+    for (const std::size_t i : indices) {
+      Evaluation e{i, Fidelity::kSurrogate, {}, 0.0};
+      if (space_.culled(i)) {
+        e.fom.feasible = false;
+        e.fom.accuracy = 0.0;
+        e.fom.note = "culled: " + *core::incompatibility(space_.at(i));
+      } else {
+        e.fom = memo_.at(pair_key(i, Fidelity::kSurrogate));
+        e.uncertainty = uncertainty_.at(i);
+      }
+      out.push_back(std::move(e));
+    }
+    return out;
+  }
+
   const SearchSpace& space_;
   const FidelityLadder& ladder_;
   std::size_t budget_;
+  surrogate::SurrogateModel model_;
   Journal* journal_;
   std::size_t abort_after_computed_;
   std::unordered_set<std::uint64_t> charged_;
+  std::unordered_set<std::size_t> real_points_;
   std::vector<std::pair<std::size_t, Fidelity>> charge_order_;
   std::unordered_map<std::uint64_t, core::Fom> memo_;
+  std::unordered_map<std::size_t, double> uncertainty_;
   ExplorationStats stats_;
 };
 
@@ -147,7 +287,7 @@ ExplorationResult explore(const EngineConfig& config) {
   if (!config.journal_path.empty())
     journal.emplace(config.journal_path, job_hash(space, ladder));
 
-  Backend backend(space, ladder, budget, journal ? &*journal : nullptr,
+  Backend backend(space, ladder, budget, config.surrogate, journal ? &*journal : nullptr,
                   config.abort_after_computed);
   const std::unique_ptr<SearchDriver> driver = make_driver(config.strategy, config.driver);
   // The driver stream is forked off the job seed so future engine-level
@@ -162,9 +302,12 @@ ExplorationResult explore(const EngineConfig& config) {
   result.job_hash = job_hash(space, ladder);
 
   // Collapse the charge stream: one entry per distinct point, first-charge
-  // order, FOM from the highest tier that point reached.
+  // order, FOM from the highest tier that point reached.  Surrogate-only
+  // points are excluded — the result reports physics, not predictions; the
+  // surrogate's contribution shows up as coverage per unit budget.
   std::unordered_map<std::size_t, std::size_t> slot_of;
   for (const auto& [index, tier] : backend.charge_order()) {
+    if (tier == Fidelity::kSurrogate) continue;
     const auto it = slot_of.find(index);
     if (it == slot_of.end()) {
       slot_of.emplace(index, result.evaluated.size());
@@ -179,6 +322,11 @@ ExplorationResult explore(const EngineConfig& config) {
   result.front = core::pareto_front(result.evaluated);
   result.ranking = core::triage_ranking(result.evaluated, config.weights);
   result.stats = backend.stats();
+  result.stats.surrogate_hits =
+      result.stats.surrogate_queries - result.stats.surrogate_promotions;
+  result.stats.surrogate_budget_units =
+      static_cast<double>(result.stats.surrogate_queries) /
+      static_cast<double>(config.surrogate.queries_per_charge);
   {
     const core::Profiler::NodalCounts now = core::Profiler::nodal();
     core::Profiler::NodalCounts& d = result.stats.nodal;

@@ -24,6 +24,7 @@
 #include "dse/driver.hpp"
 #include "dse/fidelity.hpp"
 #include "dse/space.hpp"
+#include "surrogate/model.hpp"
 
 namespace xlds::dse {
 
@@ -37,6 +38,11 @@ struct EngineConfig {
   std::uint64_t seed = 1;
   DriverParams driver;
   FidelityConfig fidelity;
+  /// Learned tier-0 rung: when enabled, drivers screen candidates through a
+  /// regression forest trained on this job's evaluation history and promote
+  /// only uncertain or front-candidate points to the physics tiers.  Every
+  /// prediction is journaled, so resume stays bit-identical by construction.
+  surrogate::SurrogateConfig surrogate;
   std::string journal_path;                   ///< empty: in-memory, no resume
   core::TriageWeights weights;
   /// Test hook simulating a crash: after this many journal appends the
@@ -46,15 +52,25 @@ struct EngineConfig {
 };
 
 struct ExplorationStats {
-  std::size_t charges = 0;         ///< unique (point, tier) budget charges
-  std::size_t computed = 0;        ///< charges paid with actual model time
-  std::size_t journal_hits = 0;    ///< charges served from the journal
+  std::size_t charges = 0;         ///< unique (point, tier) *ladder* charges
+  std::size_t computed = 0;        ///< pairs paid with model/predict time
+  std::size_t journal_hits = 0;    ///< pairs served from the journal
   std::size_t repeat_requests = 0; ///< free re-requests of charged pairs
   std::size_t culled_requests = 0; ///< free structural-cull requests
+  /// [kSurrogate] counts queries (exchanged at queries_per_charge), the
+  /// physics tiers count full budget charges.
   std::array<std::size_t, kFidelityTiers> charges_by_tier{};
   bool resumed = false;            ///< journal file existed at open
   std::size_t journal_replayed = 0;
   std::size_t journal_dropped_bytes = 0;
+  // Surrogate-rung accounting.
+  std::size_t surrogate_queries = 0;        ///< unique points predicted
+  std::size_t surrogate_hits = 0;           ///< queries that never promoted
+  std::size_t surrogate_promotions = 0;     ///< predicted points later paid real
+  std::size_t surrogate_refits = 0;         ///< forest fits this run
+  std::size_t surrogate_disagreements = 0;  ///< real-vs-predicted rel err over limit
+  /// Ladder-charge equivalents the queries cost (queries / queries_per_charge).
+  double surrogate_budget_units = 0.0;
   /// Nodal-solver work done on behalf of this run (delta of the process-wide
   /// core::Profiler counters across explore()): how many full envelope
   /// factorizations the high-fidelity tiers paid for versus how many were

@@ -127,6 +127,7 @@ const fault::ResilienceReport& probe_report(double rate, double age_s, std::uint
 
 std::string to_string(Fidelity f) {
   switch (f) {
+    case Fidelity::kSurrogate: return "surrogate";
     case Fidelity::kAnalytic: return "analytic";
     case Fidelity::kNodal: return "nodal";
     case Fidelity::kMonteCarlo: return "mc";
@@ -135,22 +136,29 @@ std::string to_string(Fidelity f) {
 }
 
 Fidelity fidelity_from_string(const std::string& name) {
+  if (name == "surrogate") return Fidelity::kSurrogate;
   if (name == "analytic") return Fidelity::kAnalytic;
   if (name == "nodal") return Fidelity::kNodal;
   if (name == "mc" || name == "monte-carlo") return Fidelity::kMonteCarlo;
-  XLDS_REQUIRE_MSG(false, "unknown fidelity '" << name << "' (analytic | nodal | mc)");
+  XLDS_REQUIRE_MSG(false,
+                   "unknown fidelity '" << name << "' (surrogate | analytic | nodal | mc)");
   return Fidelity::kAnalytic;
 }
 
 FidelityLadder::FidelityLadder(FidelityConfig config, core::AppProfile profile,
                                core::AccuracyOracle oracle)
     : config_(config), profile_(std::move(profile)), evaluator_(std::move(oracle)) {
+  XLDS_REQUIRE_MSG(config_.max_fidelity >= Fidelity::kAnalytic,
+                   "the ladder's max_fidelity must be a physics tier (>= analytic)");
   XLDS_REQUIRE(config_.variation_sigma_rel >= 0.0);
   XLDS_REQUIRE(config_.mc_fault_rate >= 0.0 && config_.mc_fault_rate <= 1.0);
   XLDS_REQUIRE(config_.mc_age_s >= 0.0);
 }
 
 core::Fom FidelityLadder::evaluate(const core::DesignPoint& p, Fidelity tier) const {
+  XLDS_REQUIRE_MSG(tier >= Fidelity::kAnalytic,
+                   "the surrogate tier is served by the engine's learned model, "
+                   "not by the physics ladder");
   XLDS_REQUIRE_MSG(tier <= config_.max_fidelity,
                    "tier " << dse::to_string(tier) << " above the ladder's max_fidelity");
   core::Fom fom = evaluator_.evaluate(p, profile_);
@@ -227,7 +235,11 @@ core::Fom FidelityLadder::refine_monte_carlo(const core::DesignPoint& p, core::F
 std::uint64_t FidelityLadder::hash(std::uint64_t h) const {
   h = fnv1a64("xlds-ladder-v1", 14, h);
   const auto mix = [&h](double v) { h = fnv1a64(&v, sizeof v, h); };
-  h = fnv1a64(&config_.max_fidelity, sizeof config_.max_fidelity, h);
+  // Hash the tier in the pre-surrogate numbering (analytic = 0): the
+  // surrogate rung changed the enum values but not the physics a stored FOM
+  // depends on, and legacy journals must keep matching.
+  const std::uint32_t legacy_max = static_cast<std::uint32_t>(config_.max_fidelity) - 1;
+  h = fnv1a64(&legacy_max, sizeof legacy_max, h);
   mix(config_.variation_sigma_rel);
   mix(config_.ir_drop_sensitivity);
   mix(config_.mc_fault_rate);

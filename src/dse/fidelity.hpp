@@ -1,4 +1,4 @@
-// The fidelity ladder: the same design point costed at three model tiers.
+// The fidelity ladder: the same design point costed at four model tiers.
 //
 // The codebase has always contained cheap-to-expensive models of the same
 // physics — the analytic triage FOMs (core::Evaluator), the Gauss-Seidel
@@ -10,17 +10,25 @@
 // rungs, the way XBTorch/LASANA-style co-design flows make large analog
 // spaces tractable:
 //
+//   kSurrogate   learned regression-forest prediction trained on this job's
+//                journal history (src/surrogate/) — no physics at all
 //   kAnalytic    analytic FOM projection (the brute-force triage model)
 //   kNodal       + nodal IR-drop error on the crossbar tile, + Eva-CAM
 //                sense margins re-derived under device variation
 //   kMonteCarlo  + measured fault/aging accuracy ratio from the resilience
 //                probe grid and the BER-derived weight-storage derate
 //
-// Each rung is a pure function of (point, tier, config, profile): no hidden
-// state, so values are journal-cacheable and bit-identical at any
+// Each physics rung is a pure function of (point, tier, config, profile): no
+// hidden state, so values are journal-cacheable and bit-identical at any
 // XLDS_THREADS.  Digital platform points refine to themselves — there is no
 // in-memory physics to re-model — which keeps ladder comparisons fair: the
 // baselines never pay fictitious penalties.
+//
+// kSurrogate is the exception that proves the rule: its value is a function
+// of the *training history*, not of the job alone, so the ladder refuses to
+// evaluate it — the engine owns the model, and journals every prediction so
+// that a resumed run replays the same values the model produced the first
+// time regardless of how the refit schedule would land on replay.
 #pragma once
 
 #include <cstdint>
@@ -32,17 +40,20 @@
 namespace xlds::dse {
 
 enum class Fidelity : std::uint32_t {
-  kAnalytic = 0,
-  kNodal = 1,
-  kMonteCarlo = 2,
+  kSurrogate = 0,
+  kAnalytic = 1,
+  kNodal = 2,
+  kMonteCarlo = 3,
 };
 
-constexpr std::size_t kFidelityTiers = 3;
+constexpr std::size_t kFidelityTiers = 4;
 
 std::string to_string(Fidelity f);
 Fidelity fidelity_from_string(const std::string& name);
 
 struct FidelityConfig {
+  /// Top physics rung for the job (>= kAnalytic: the surrogate rung is not a
+  /// ladder tier, it sits below the ladder and is served by the engine).
   Fidelity max_fidelity = Fidelity::kAnalytic;
   /// kNodal: relative device-to-device conductance spread folded into the
   /// Eva-CAM sense-margin analysis.
@@ -69,10 +80,13 @@ class FidelityLadder {
 
   /// Evaluate `p` at `tier` (refining every rung below it).  Pure function
   /// of (p, tier) for a fixed ladder; results are thread-count independent.
+  /// PreconditionError on kSurrogate — that tier has no physics to run.
   core::Fom evaluate(const core::DesignPoint& p, Fidelity tier) const;
 
   /// Identity hash of everything evaluate() depends on besides the point —
-  /// folded into the journal job hash.
+  /// folded into the journal job hash.  max_fidelity enters in the ladder's
+  /// original 3-tier numbering (analytic = 0) so journals written before the
+  /// surrogate rung existed keep their job hash and resume cleanly.
   std::uint64_t hash(std::uint64_t h) const;
 
  private:

@@ -6,9 +6,16 @@
 // model already likes.  The base-rung width is sized so one full bracket
 // (n0 + n0/eta + n0/eta^2 + ...) fits the remaining budget; leftover budget
 // buys additional brackets over still-unseen points.
+//
+// With a usable surrogate the bracket grows a rung *below* analytic: the
+// whole viable space is priced in model queries (near-zero budget), and only
+// the prediction-triage-best n0 designs enter the analytic rung — halving's
+// own promote-the-survivors logic, applied once more with a learned model as
+// the cheapest rung.
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/pareto.hpp"
@@ -33,10 +40,13 @@ class HalvingDriver final : public SearchDriver {
   }
 
  private:
-  /// One halving bracket; returns the number of (point, tier) pairs charged.
+  /// One halving bracket; returns the number of real (point, tier) pairs
+  /// charged (surrogate queries are capacity, not budget).
   std::size_t bracket(EvaluationBackend& backend, Rng& rng) const {
     const SearchSpace& space = backend.space();
-    const std::size_t rungs = static_cast<std::size_t>(backend.max_fidelity()) + 1;
+    // kAnalytic == 1, so max_fidelity's numeric value is also the number of
+    // physics rungs the bracket climbs; the budget is sized over those only.
+    const std::size_t rungs = static_cast<std::size_t>(backend.max_fidelity());
     const double eta = params_.halving_eta;
 
     double denom = 0.0;
@@ -46,9 +56,9 @@ class HalvingDriver final : public SearchDriver {
     n0 = std::max<std::size_t>(1, std::min(n0, space.viable_count()));
 
     std::size_t charged = 0;
-    std::vector<std::size_t> cohort = detail::lhs_indices(space, n0, rng);
+    std::vector<std::size_t> cohort = base_cohort(backend, rng, n0);
     for (std::size_t r = 0; r < rungs; ++r) {
-      const auto tier = static_cast<Fidelity>(r);
+      const auto tier = static_cast<Fidelity>(r + 1);
       const auto fresh = detail::fresh_for_budget(backend, tier, cohort);
       if (fresh.empty()) break;
       const std::vector<Evaluation> evals = backend.evaluate(fresh, tier);
@@ -68,6 +78,41 @@ class HalvingDriver final : public SearchDriver {
         cohort.push_back(evals[ranking[j]].index);
     }
     return charged;
+  }
+
+  /// The analytic-rung entry cohort: a plain LHS draw of n0 designs, or —
+  /// when the learned model is usable — the prediction-triage-best n0 of the
+  /// entire unseen viable space, priced in surrogate queries.
+  std::vector<std::size_t> base_cohort(EvaluationBackend& backend, Rng& rng,
+                                       std::size_t n0) const {
+    const SearchSpace& space = backend.space();
+    const SurrogateStatus st = backend.surrogate_status();
+    if (!st.enabled || !st.ready) return detail::lhs_indices(space, n0, rng);
+
+    std::vector<std::size_t> wide = detail::lhs_indices(space, space.viable_count(), rng);
+    std::unordered_set<std::size_t> affordable;
+    for (const std::size_t i : detail::fresh_for_surrogate(backend, wide))
+      affordable.insert(i);
+    std::vector<std::size_t> query;
+    for (const std::size_t i : wide)
+      if (backend.requested(i, Fidelity::kSurrogate) || affordable.count(i))
+        query.push_back(i);
+    if (query.empty()) return detail::lhs_indices(space, n0, rng);
+
+    const std::vector<Evaluation> evals = backend.evaluate(query, Fidelity::kSurrogate);
+    std::vector<core::ScoredPoint> pts;
+    pts.reserve(evals.size());
+    for (const Evaluation& e : evals) pts.push_back({space.at(e.index), e.fom});
+    const std::vector<std::size_t> ranking = core::triage_ranking(pts);
+    // A model that writes off every queried design (all-infeasible
+    // predictions) gets no veto: fall back to an unscreened draw rather
+    // than letting the bracket starve.
+    if (ranking.empty()) return detail::lhs_indices(space, n0, rng);
+
+    std::vector<std::size_t> cohort;
+    for (std::size_t j = 0; j < std::min(n0, ranking.size()); ++j)
+      cohort.push_back(evals[ranking[j]].index);
+    return cohort;
   }
 
   DriverParams params_;

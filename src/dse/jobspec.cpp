@@ -75,7 +75,7 @@ util::Json fom_to_json(const core::Fom& fom) {
 EngineConfig config_from_spec(const util::Json& spec) {
   reject_unknown_keys(spec,
                       {"application", "strategy", "budget", "seed", "space", "fidelity",
-                       "driver", "weights", "journal"},
+                       "surrogate", "driver", "weights", "journal"},
                       "the top level");
   EngineConfig config;
   config.application = spec.string_or("application", config.application);
@@ -110,6 +110,24 @@ EngineConfig config_from_spec(const util::Json& spec) {
     config.fidelity.mc_age_s = fid->number_or("mc_age_s", config.fidelity.mc_age_s);
     config.fidelity.mc_seed = static_cast<std::uint64_t>(
         size_or(*fid, "mc_seed", static_cast<std::size_t>(config.fidelity.mc_seed)));
+  }
+
+  if (const util::Json* sur = spec.find("surrogate")) {
+    reject_unknown_keys(*sur,
+                        {"enabled", "trees", "min_history", "refit_every",
+                         "promote_uncertainty", "disagree_rel", "queries_per_charge",
+                         "fit_seed"},
+                        "\"surrogate\"");
+    surrogate::SurrogateConfig& s = config.surrogate;
+    if (const util::Json* e = sur->find("enabled")) s.enabled = e->as_bool();
+    s.trees = size_or(*sur, "trees", s.trees);
+    s.min_history = size_or(*sur, "min_history", s.min_history);
+    s.refit_every = size_or(*sur, "refit_every", s.refit_every);
+    s.promote_uncertainty = sur->number_or("promote_uncertainty", s.promote_uncertainty);
+    s.disagree_rel = sur->number_or("disagree_rel", s.disagree_rel);
+    s.queries_per_charge = size_or(*sur, "queries_per_charge", s.queries_per_charge);
+    s.fit_seed = static_cast<std::uint64_t>(
+        size_or(*sur, "fit_seed", static_cast<std::size_t>(s.fit_seed)));
   }
 
   if (const util::Json* drv = spec.find("driver")) {
@@ -184,6 +202,14 @@ util::Json result_to_json(const ExplorationResult& result, bool include_stats) {
     stats.set("resumed", s.resumed);
     stats.set("journal_replayed", s.journal_replayed);
     stats.set("journal_dropped_bytes", s.journal_dropped_bytes);
+    util::Json sur = util::Json::object();
+    sur.set("queries", s.surrogate_queries);
+    sur.set("hits", s.surrogate_hits);
+    sur.set("promotions", s.surrogate_promotions);
+    sur.set("refits", s.surrogate_refits);
+    sur.set("disagreements", s.surrogate_disagreements);
+    sur.set("budget_units", s.surrogate_budget_units);
+    stats.set("surrogate", std::move(sur));
     util::Json nodal = util::Json::object();
     nodal.set("factorizations", s.nodal.factorizations);
     nodal.set("direct_solves", s.nodal.direct_solves);

@@ -13,6 +13,7 @@
 //       "algos":   ["hdc", "mann"]
 //     },
 //     "fidelity": { "max": "mc", "mc_fault_rate": 0.02, ... },
+//     "surrogate": { "enabled": true, "refit_every": 8, ... },
 //     "driver":   { "population": 24, "eta": 3.0, ... },
 //     "weights":  { "latency": 1.0, "accuracy": 30.0, ... },
 //     "journal":  "runs/isolet.xjl"

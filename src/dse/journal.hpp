@@ -8,9 +8,18 @@
 //
 //   header:  magic "XLDSJNL1" | format version u32 | job hash u64
 //   record:  body length u32 | body | FNV-1a-64 checksum of the body
-//   body:    point key u64 | fidelity u32 | feasible u8 | pad[3]
+//   body v2: point key u64 | fidelity u32 | feasible u8 | pad[3]
 //            | latency f64 | energy f64 | area_mm2 f64 | accuracy f64
-//            | note length u32 | note bytes
+//            | uncertainty f64 | note length u32 | note bytes
+//
+// Version history.  v1 (three-tier ladder: analytic = 0) had no uncertainty
+// field and numbered tiers before the surrogate rung existed.  Opening a v1
+// journal upgrades it in place — tiers remapped (+1) into the 4-tier
+// numbering, uncertainty zeroed, file atomically rewritten as v2 — so a
+// legacy run resumes bit-identically: FOM bytes are untouched and the tier
+// remap is exactly the enum renumbering.  v2 (current) stores the surrogate
+// model's relative-std next to each prediction so a resumed run replays not
+// just the predicted FOM but the uncertainty the promotion policy saw.
 //
 // Append is write + flush; there is no in-place mutation, so the only
 // possible corruption is a torn tail from a mid-write crash.  Opening an
@@ -42,10 +51,13 @@ class Journal {
     std::uint64_t key = 0;      ///< SearchSpace point index
     std::uint32_t fidelity = 0; ///< ladder tier the FOM was computed at
     core::Fom fom;
+    /// Surrogate relative-std at prediction time (0 for physics tiers).
+    double uncertainty = 0.0;
   };
 
   struct OpenInfo {
     bool existed = false;          ///< file was present (resume)
+    bool upgraded = false;         ///< legacy v1 file rewritten as v2
     std::size_t replayed = 0;      ///< intact records recovered
     std::size_t dropped_bytes = 0; ///< torn/corrupt tail truncated away
   };
@@ -54,6 +66,7 @@ class Journal {
   /// existing file must carry a matching job hash (PreconditionError
   /// otherwise — resuming a different job is always a bug); its intact
   /// record prefix is replayed into records() and any torn tail truncated.
+  /// Legacy v1 files are upgraded to v2 in place (atomic rewrite) first.
   Journal(std::string path, std::uint64_t job_hash);
 
   const std::string& path() const noexcept { return path_; }
@@ -67,6 +80,18 @@ class Journal {
   void append(const Record& r);
 
   std::size_t appended() const noexcept { return appended_; }
+
+  /// Read-only integrity scan for tooling (xlds-journal): parses any
+  /// journal version without knowing the job hash and without truncating or
+  /// rewriting the file.  Tiers come back in the current 4-tier numbering
+  /// regardless of the on-disk version.
+  struct InspectInfo {
+    std::uint32_t version = 0;     ///< on-disk format version
+    std::uint64_t job_hash = 0;
+    std::vector<Record> records;   ///< intact record prefix
+    std::size_t dropped_bytes = 0; ///< torn/corrupt tail (left in place)
+  };
+  static InspectInfo inspect(const std::string& path);
 
  private:
   std::string path_;

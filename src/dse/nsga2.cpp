@@ -145,13 +145,58 @@ class Nsga2Driver final : public SearchDriver {
         2, std::min({params_.population, space.viable_count(),
                      std::max<std::size_t>(2, backend.remaining_budget() / 4)}));
 
-    // archive: every FOM this driver has seen, keyed by point index.
+    // archive: every real-tier FOM this driver has seen, keyed by point index.
     std::unordered_map<std::size_t, core::Fom> archive;
+
+    // Real FOMs currently on the archive front, in ascending-index order —
+    // the anchors a surrogate prediction must beat to promote on merit.
+    const auto archive_front = [&]() {
+      std::vector<std::size_t> keys;
+      keys.reserve(archive.size());
+      for (const auto& [index, fom] : archive) keys.push_back(index);
+      std::sort(keys.begin(), keys.end());
+      std::vector<core::ScoredPoint> pts;
+      pts.reserve(keys.size());
+      for (const std::size_t i : keys) pts.push_back({core::DesignPoint{}, archive.at(i)});
+      std::vector<core::ScoredPoint> anchors;
+      for (const std::size_t f : core::pareto_front(pts))
+        anchors.push_back({space.at(keys[f]), archive.at(keys[f])});
+      return anchors;
+    };
+
     const auto request = [&](const std::vector<std::size_t>& candidates) {
-      const auto fresh = detail::fresh_for_budget(backend, tier, candidates);
+      // With a usable surrogate, candidates pass through the learned model
+      // first: only uncertain predictions and predicted-front points go on
+      // to pay real physics.  The screen itself consumes query capacity, not
+      // ladder budget, so the generation loop explores the same proposal
+      // stream while charging a fraction of it.
+      std::vector<std::size_t> screened;
+      const SurrogateStatus st = backend.surrogate_status();
+      if (st.enabled && st.ready)
+        screened = detail::surrogate_screen(backend, tier, candidates, archive_front());
+      const auto fresh = detail::fresh_for_budget(
+          backend, tier, st.enabled && st.ready ? screened : candidates);
       if (!fresh.empty())
         for (const Evaluation& e : backend.evaluate(fresh, tier)) archive[e.index] = e.fom;
       return fresh.size();
+    };
+
+    // One-shot space pricing: the first time the surrogate is usable, push
+    // every still-unseen viable point through the screen.  Queries cost
+    // 1/queries_per_charge of a ladder charge, so pricing the whole space is
+    // cheaper than a single physics evaluation — and from then on the model
+    // (not sampling luck) decides which corners deserve real budget.  The
+    // screen promotes only predicted-front and high-uncertainty points, so
+    // this floods query capacity, not the ladder ledger.
+    bool space_priced = false;
+    const auto price_space_once = [&]() {
+      const SurrogateStatus st = backend.surrogate_status();
+      if (space_priced || !st.enabled || !st.ready) return;
+      space_priced = true;
+      std::vector<std::size_t> unseen;
+      for (std::size_t i = 0; i < space.size(); ++i)
+        if (!space.culled(i) && !backend.requested(i, tier)) unseen.push_back(i);
+      if (!unseen.empty()) request(unseen);
     };
 
     // Unseen viable single-axis neighbours of the current archive front, in
@@ -187,6 +232,7 @@ class Nsga2Driver final : public SearchDriver {
 
     std::size_t stall = 0;
     while (backend.remaining_budget() > 0 && stall < params_.stall_generations) {
+      price_space_once();
       rank_and_crowd(pop);
 
       // Candidate order is priority order — fresh_for_budget truncates from
@@ -263,14 +309,24 @@ class Nsga2Driver final : public SearchDriver {
     // spend whatever is left on uniform samples of still-unseen points,
     // which can seed a new front component and restart the sweep.
     while (backend.remaining_budget() > 0) {
+      price_space_once();  // the model may only now have enough history
       if (request(front_proposals()) > 0) continue;
 
       std::vector<std::size_t> unseen;
       for (std::size_t i = 0; i < space.size(); ++i)
         if (!space.culled(i) && !backend.requested(i, tier)) unseen.push_back(i);
       if (unseen.empty()) break;
-      const std::size_t count = std::min({unseen.size(), backend.remaining_budget(),
-                                          std::max<std::size_t>(1, pop_size / 2)});
+      // With a usable surrogate the fill proposes *every* unseen point — the
+      // screen prices the whole remainder of the space in queries and only
+      // promotes what the model cannot dismiss.  Without one, uniform
+      // samples sized to the population keep the fill from dumping the
+      // whole budget into one undirected batch.
+      const SurrogateStatus st = backend.surrogate_status();
+      const std::size_t count =
+          st.enabled && st.ready
+              ? unseen.size()
+              : std::min({unseen.size(), backend.remaining_budget(),
+                          std::max<std::size_t>(1, pop_size / 2)});
       std::vector<std::size_t> fill;
       for (const std::size_t j : rng.sample_without_replacement(unseen.size(), count))
         fill.push_back(unseen[j]);

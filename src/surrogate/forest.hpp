@@ -1,0 +1,111 @@
+// Deterministic extra-trees regression forest — the learned tier-0 cost
+// model under the DSE fidelity ladder.
+//
+// LASANA and NeuroScalar (PAPERS.md) both show that a trained predictor can
+// stand in for expensive evaluation at scale; what they do not need, and we
+// do, is *bit-exact reproducibility*: the DSE engine's determinism contract
+// (dse/engine.hpp) promises identical trajectories at any XLDS_THREADS and
+// across kill/resume, and once model predictions feed search decisions the
+// model itself must honour that contract.  Three rules make it hold:
+//
+//   1. Every random draw comes from per-tree Rng streams constructed as
+//      Rng(seed, tree_index) — never from a shared sequential generator —
+//      so a tree's structure is a pure function of (config, samples, index).
+//   2. Trees are fitted with parallel_map (index-ordered output) and reduced
+//      in fixed tree order; all variance/mean accumulations are fixed-order
+//      left-to-right sums.
+//   3. Split selection ties break on (feature index, threshold), never on
+//      iteration order of a hash container.
+//
+// The forest is multi-output (one response vector per sample, e.g. latency /
+// energy / area / accuracy / feasibility) and reports a per-tree-variance
+// uncertainty next to every prediction: trees grown with randomised feature
+// subsets and split thresholds agree on memorised regions of a small
+// categorical space and disagree where they extrapolate, which is exactly
+// the signal the engine's uncertainty-aware promotion policy needs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xlds::surrogate {
+
+/// One training observation: feature vector -> response vector.  All samples
+/// passed to one fit() must agree on both dimensionalities.
+struct Sample {
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct ForestConfig {
+  /// Ensemble width.  More trees sharpen the uncertainty estimate (and the
+  /// mean) at linear fit/predict cost.
+  std::size_t trees = 48;
+  /// Nodes with fewer samples than this become leaves.
+  std::size_t min_split = 2;
+  /// Maximum tree depth (root = depth 0); a hard bound on predict cost.
+  std::size_t max_depth = 16;
+  /// Random feature candidates inspected per split; 0 = ceil(n_features/3).
+  /// Subsampling features (not just thresholds) is what de-correlates trees
+  /// on one-hot/ordinal categorical inputs, where every threshold in a gap
+  /// induces the same partition.
+  std::size_t features_per_split = 0;
+  /// Fit stream.  Deliberately independent of any search seed: the model for
+  /// a given history must not change when only the search trajectory does.
+  std::uint64_t seed = 71;
+};
+
+class RegressionForest {
+ public:
+  explicit RegressionForest(ForestConfig config = {});
+
+  const ForestConfig& config() const noexcept { return config_; }
+
+  /// Fit on `samples` (>= 1, consistent dims).  Replaces any previous fit.
+  /// Bit-identical at any thread count and across processes for the same
+  /// (config, samples) — see the file header for why.
+  void fit(const std::vector<Sample>& samples);
+
+  bool fitted() const noexcept { return !trees_.empty(); }
+  std::size_t n_features() const noexcept { return n_features_; }
+  std::size_t n_outputs() const noexcept { return n_outputs_; }
+
+  struct Prediction {
+    std::vector<double> mean;  ///< per-output ensemble mean (tree order)
+    std::vector<double> std;   ///< per-output population std across trees
+  };
+
+  /// Predict one point (x.size() == n_features()).  PreconditionError when
+  /// not fitted.
+  Prediction predict(const std::vector<double>& x) const;
+
+  /// FNV-1a over every node of every tree — the bit-identity witness the
+  /// determinism tests compare across thread counts and resume boundaries.
+  std::uint64_t state_hash() const;
+
+ private:
+  struct Node {
+    /// Split feature, or -1 for a leaf.
+    std::int32_t feature = -1;
+    double threshold = 0.0;
+    /// Children as indices into the tree's node vector (split nodes only).
+    std::uint32_t left = 0;
+    std::uint32_t right = 0;
+    /// Leaf response (leaf nodes only), n_outputs values.
+    std::vector<double> value;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  Tree fit_tree(const std::vector<Sample>& samples, std::uint64_t stream) const;
+  const std::vector<double>& tree_value(const Tree& tree, const std::vector<double>& x) const;
+
+  ForestConfig config_;
+  std::size_t n_features_ = 0;
+  std::size_t n_outputs_ = 0;
+  std::vector<Tree> trees_;
+};
+
+}  // namespace xlds::surrogate

@@ -1,0 +1,98 @@
+// The DSE-facing surrogate: a RegressionForest trained on the engine's
+// journaled (DesignPoint, tier, Fom) history, predicting all four FOM
+// objectives plus feasibility with a per-tree-variance uncertainty.
+//
+// The model layer owns the feature/target encoding and the refit policy;
+// it knows nothing about budgets, journals or drivers — the engine decides
+// *when* to query and what to do with the uncertainty.  Tiers are plain
+// integers here (the dse::Fidelity values) so this library sits below dse
+// in the link order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/design_space.hpp"
+#include "core/evaluate.hpp"
+#include "surrogate/forest.hpp"
+
+namespace xlds::surrogate {
+
+struct SurrogateConfig {
+  /// Master switch (engine-level; the model itself ignores it).
+  bool enabled = false;
+  /// Forest width.
+  std::size_t trees = 48;
+  /// No fit before this many real-tier observations: a forest grown on a
+  /// handful of points predicts its own training noise.
+  std::size_t min_history = 10;
+  /// Refit after this many new observations since the last fit.
+  std::size_t refit_every = 8;
+  /// Engine promotion threshold: points whose predicted relative std
+  /// exceeds this pay for a real-tier evaluation.
+  double promote_uncertainty = 0.25;
+  /// Engine disagreement threshold: a real analytic FOM differing from the
+  /// stored prediction by more than this relative error forces a refit.
+  double disagree_rel = 0.2;
+  /// Budget exchange rate: this many surrogate queries cost one ladder
+  /// charge ("near-zero", not free — a run cannot query unboundedly).
+  std::size_t queries_per_charge = 100;
+  /// Fit stream.  Independent of the search seed: the model for a given
+  /// history must not depend on which strategy produced that history.
+  std::uint64_t fit_seed = 71;
+};
+
+struct SurrogatePrediction {
+  core::Fom fom;
+  /// Max over targets of (per-tree std / |ensemble mean|): the scalar the
+  /// promotion policy thresholds.  0 at memorised training points.
+  double rel_std = 0.0;
+};
+
+class SurrogateModel {
+ public:
+  explicit SurrogateModel(SurrogateConfig config = {});
+
+  const SurrogateConfig& config() const noexcept { return config_; }
+
+  /// Record one real-tier observation.  Call order defines the history and
+  /// therefore the fit — callers must feed observations in a deterministic
+  /// order (the engine uses charge order, identical across resume).
+  void add(const core::DesignPoint& p, std::uint32_t tier, const core::Fom& fom);
+
+  std::size_t history() const noexcept { return samples_.size(); }
+  bool ready() const noexcept { return forest_.fitted(); }
+  std::size_t refits() const noexcept { return refits_; }
+
+  /// True when refit_if_due() would fit: enough history and either never
+  /// fitted, refit_every new observations since the last fit, or a forced
+  /// refit is pending.
+  bool refit_due() const;
+
+  /// Fit when due; returns whether a fit happened.
+  bool refit_if_due();
+
+  /// Request a refit at the next refit_if_due() regardless of cadence (the
+  /// engine calls this on model/ladder disagreement).
+  void force_refit() noexcept { force_refit_ = true; }
+
+  /// Predict the FOM of `p` at ladder tier `tier`.  Requires ready().
+  SurrogatePrediction predict(const core::DesignPoint& p, std::uint32_t tier) const;
+
+  /// Bit-identity witness over the fitted forest + fit bookkeeping.
+  std::uint64_t state_hash() const;
+
+ private:
+  std::vector<double> encode(const core::DesignPoint& p, std::uint32_t tier) const;
+
+  SurrogateConfig config_;
+  std::vector<Sample> samples_;
+  RegressionForest forest_;
+  std::size_t fitted_at_ = 0;  ///< history size at the last fit
+  std::size_t refits_ = 0;
+  bool force_refit_ = false;
+};
+
+}  // namespace xlds::surrogate

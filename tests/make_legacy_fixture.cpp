@@ -1,0 +1,58 @@
+// Fixture generator for the legacy-journal regression test.
+//
+//   make_legacy_fixture <output path>
+//
+// Runs the exploration described by testfix::legacy_fixture_config() with a
+// journal, then rewrites that journal's bytes in the retired v1 (3-tier)
+// layout and writes them to <output path>.  The checked-in copy lives at
+// tests/data/legacy_3tier.xjl; regenerate it with this tool only when the
+// fixture *job* changes — regenerating because FOM values drifted would
+// defeat the point of the regression test, which is that journals written by
+// old builds keep resuming bit-identically.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+
+#include "legacy_fixture.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: make_legacy_fixture <output path>\n";
+    return 2;
+  }
+  const std::string out_path = argv[1];
+  const std::string tmp = out_path + ".v2.tmp";
+  std::remove(tmp.c_str());
+
+  try {
+    xlds::dse::EngineConfig config = xlds::dse::testfix::legacy_fixture_config();
+    config.journal_path = tmp;
+    const xlds::dse::ExplorationResult result = xlds::dse::explore(config);
+
+    std::string v2;
+    {
+      std::ifstream in(tmp, std::ios::binary);
+      XLDS_REQUIRE_MSG(in.is_open(), "cannot read generated journal '" << tmp << "'");
+      v2.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+    }
+    const std::string v1 = xlds::dse::testfix::downgrade_journal_to_v1(v2);
+    {
+      std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+      XLDS_REQUIRE_MSG(out.is_open(), "cannot write fixture '" << out_path << "'");
+      out.write(v1.data(), static_cast<std::streamsize>(v1.size()));
+      XLDS_REQUIRE_MSG(out.good(), "fixture write to '" << out_path << "' failed");
+    }
+    std::remove(tmp.c_str());
+
+    std::cout << "wrote " << out_path << ": " << result.stats.charges
+              << " records (v1 layout), job hash " << std::hex << result.job_hash
+              << std::dec << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::remove(tmp.c_str());
+    std::cerr << "make_legacy_fixture: error: " << e.what() << "\n";
+    return 1;
+  }
+}

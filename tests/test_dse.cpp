@@ -383,12 +383,14 @@ TEST(Engine, HalvingClimbsEveryRung) {
   config.budget = 60;
   config.fidelity.max_fidelity = Fidelity::kMonteCarlo;
   const ExplorationResult r = explore(config);
-  EXPECT_GT(r.stats.charges_by_tier[0], 0u);
+  // Surrogate off: tier 0 stays untouched, every physics rung gets charges.
+  EXPECT_EQ(r.stats.charges_by_tier[0], 0u);
   EXPECT_GT(r.stats.charges_by_tier[1], 0u);
   EXPECT_GT(r.stats.charges_by_tier[2], 0u);
+  EXPECT_GT(r.stats.charges_by_tier[3], 0u);
   // Wider cohorts at cheaper rungs.
-  EXPECT_GE(r.stats.charges_by_tier[0], r.stats.charges_by_tier[1]);
   EXPECT_GE(r.stats.charges_by_tier[1], r.stats.charges_by_tier[2]);
+  EXPECT_GE(r.stats.charges_by_tier[2], r.stats.charges_by_tier[3]);
 }
 
 TEST(Engine, RestrictedAxesStayInsideTheSubspace) {

@@ -1,0 +1,509 @@
+// Tests for the learned tier-0 surrogate rung: the deterministic extra-trees
+// forest, the DesignPoint/Fom model layer, the engine's uncertainty-aware
+// promotion wiring, and the journal's legacy (3-tier, v1) compatibility.
+//
+// The headline properties mirror the engine's determinism contract: fits and
+// predictions are bit-identical at any thread count, a surrogate-assisted run
+// resumed from its journal is bit-identical to one that never crashed, and a
+// journal written before the surrogate rung existed (checked-in fixture)
+// still resumes bit-identically after its in-place upgrade.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "core/design_space.hpp"
+#include "core/evaluate.hpp"
+#include "dse/engine.hpp"
+#include "dse/jobspec.hpp"
+#include "dse/journal.hpp"
+#include "dse/space.hpp"
+#include "legacy_fixture.hpp"
+#include "surrogate/forest.hpp"
+#include "surrogate/model.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace xlds {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Unique per-test scratch path, cleaned up on destruction.
+class TempPath {
+ public:
+  explicit TempPath(const std::string& stem)
+      : path_((fs::temp_directory_path() /
+               ("xlds_surrogate_" + stem + "_" +
+                std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+                std::to_string(reinterpret_cast<std::uintptr_t>(this))))
+                  .string()) {
+    fs::remove(path_);
+  }
+  ~TempPath() { fs::remove(path_); }
+  const std::string& str() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// Pin the pool width for one scope; restores the XLDS_THREADS default after.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(std::size_t n) { set_parallel_threads(n); }
+  ~ThreadGuard() { set_parallel_threads(0); }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+bool same_foms(const dse::ExplorationResult& a, const dse::ExplorationResult& b) {
+  if (a.evaluated.size() != b.evaluated.size()) return false;
+  for (std::size_t i = 0; i < a.evaluated.size(); ++i) {
+    const core::Fom& fa = a.evaluated[i].fom;
+    const core::Fom& fb = b.evaluated[i].fom;
+    if (a.evaluated[i].point.to_string() != b.evaluated[i].point.to_string()) return false;
+    if (a.tiers[i] != b.tiers[i]) return false;
+    // Bit-identical, not approximately equal.
+    if (fa.latency != fb.latency || fa.energy != fb.energy ||
+        fa.area_mm2 != fb.area_mm2 || fa.accuracy != fb.accuracy ||
+        fa.feasible != fb.feasible || fa.note != fb.note)
+      return false;
+  }
+  return true;
+}
+
+// Two well-separated clusters on feature 0 with a small feature-1 ripple:
+// every split threshold drawn inside a cluster separates nothing, every
+// threshold in the [2, 8) gap separates the clusters identically — so trees
+// agree at the training points and disagree in the gap, the shape the
+// uncertainty tests rely on.
+std::vector<surrogate::Sample> cluster_samples() {
+  std::vector<surrogate::Sample> samples;
+  for (const double base : {0.0, 8.0})
+    for (int i = 0; i < 8; ++i) {
+      const double x0 = base + 0.25 * i;
+      const double x1 = i % 2;
+      samples.push_back({{x0, x1}, {(x0 < 5.0 ? 0.0 : 10.0) + 0.1 * x1}});
+    }
+  return samples;
+}
+
+// Smooth synthetic FOM for model-layer tests: a pure function of the design
+// ordinals, learnable from the one-hot encoding.
+core::Fom synthetic_fom(const core::DesignPoint& p) {
+  const double d = static_cast<double>(p.device);
+  const double a = static_cast<double>(p.arch);
+  const double g = static_cast<double>(p.algo);
+  core::Fom fom;
+  fom.latency = 1e-3 * (1.0 + d) * (1.0 + 0.5 * a);
+  fom.energy = 1e-6 * (2.0 + d + a + g);
+  fom.area_mm2 = 0.1 * (1.0 + d) + 0.02 * a;
+  fom.accuracy = 0.80 + 0.01 * g + 0.005 * d;
+  fom.feasible = true;
+  return fom;
+}
+
+std::vector<core::DesignPoint> viable_points() {
+  const dse::SearchSpace space;
+  std::vector<core::DesignPoint> points;
+  for (std::size_t i = 0; i < space.size(); ++i)
+    if (!space.culled(i)) points.push_back(space.at(i));
+  return points;
+}
+
+// ---- forest -----------------------------------------------------------------
+
+TEST(Forest, SingleSampleIsAMemorisedLeaf) {
+  surrogate::RegressionForest forest;
+  forest.fit({{{1.0, 2.0}, {3.5, -1.25}}});
+  ASSERT_TRUE(forest.fitted());
+  EXPECT_EQ(forest.n_features(), 2u);
+  EXPECT_EQ(forest.n_outputs(), 2u);
+  const auto pred = forest.predict({1.0, 2.0});
+  ASSERT_EQ(pred.mean.size(), 2u);
+  EXPECT_DOUBLE_EQ(pred.mean[0], 3.5);
+  EXPECT_DOUBLE_EQ(pred.mean[1], -1.25);
+  EXPECT_NEAR(pred.std[0], 0.0, 1e-12);
+  EXPECT_NEAR(pred.std[1], 0.0, 1e-12);
+  // Anywhere else lands in the same (only) leaf.
+  EXPECT_DOUBLE_EQ(forest.predict({-100.0, 100.0}).mean[0], 3.5);
+}
+
+TEST(Forest, PredictBeforeFitThrows) {
+  surrogate::RegressionForest forest;
+  EXPECT_THROW(forest.predict({0.0}), PreconditionError);
+}
+
+TEST(Forest, RejectsInconsistentSamples) {
+  surrogate::RegressionForest forest;
+  EXPECT_THROW(forest.fit({}), PreconditionError);
+  EXPECT_THROW(forest.fit({{{1.0}, {2.0}}, {{1.0, 2.0}, {2.0}}}), PreconditionError);
+  forest.fit({{{1.0}, {2.0}}});
+  EXPECT_THROW(forest.predict({1.0, 2.0}), PreconditionError);  // wrong arity
+}
+
+TEST(Forest, FitIsBitIdenticalAcrossThreadCounts) {
+  const auto samples = cluster_samples();
+  const std::vector<std::vector<double>> probes = {
+      {0.5, 0.0}, {4.5, 1.0}, {8.25, 0.0}, {12.0, 1.0}};
+
+  surrogate::RegressionForest one;
+  std::vector<surrogate::RegressionForest::Prediction> pred_one;
+  {
+    ThreadGuard guard(1);
+    one.fit(samples);
+    for (const auto& p : probes) pred_one.push_back(one.predict(p));
+  }
+  surrogate::RegressionForest eight;
+  {
+    ThreadGuard guard(8);
+    eight.fit(samples);
+    EXPECT_EQ(one.state_hash(), eight.state_hash());
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      const auto pred = eight.predict(probes[i]);
+      EXPECT_EQ(pred.mean, pred_one[i].mean);  // bit-identical, not approximate
+      EXPECT_EQ(pred.std, pred_one[i].std);
+    }
+  }
+}
+
+TEST(Forest, UncertaintyRisesBetweenTrainingClusters) {
+  const auto samples = cluster_samples();
+  surrogate::RegressionForest forest;
+  forest.fit(samples);
+
+  double train_avg = 0.0;
+  for (const auto& s : samples) train_avg += forest.predict(s.x).std[0];
+  train_avg /= static_cast<double>(samples.size());
+
+  // Mid-gap: split thresholds drawn uniformly in the gap land on either side
+  // of 5.0, so trees genuinely disagree here.
+  const double gap_std = forest.predict({5.0, 0.0}).std[0];
+  EXPECT_GT(gap_std, train_avg);
+  EXPECT_GT(gap_std, 0.5);  // the clusters are 10 apart; disagreement is macroscopic
+}
+
+// ---- model ------------------------------------------------------------------
+
+surrogate::SurrogateConfig small_model_config() {
+  surrogate::SurrogateConfig config;
+  config.trees = 16;
+  config.min_history = 4;
+  config.refit_every = 3;
+  return config;
+}
+
+TEST(Model, RefitCadenceAndForcedRefit) {
+  surrogate::SurrogateModel model(small_model_config());
+  const auto points = viable_points();
+  ASSERT_GE(points.size(), 8u);
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    model.add(points[i], 1, synthetic_fom(points[i]));
+    EXPECT_FALSE(model.refit_due()) << i;  // below min_history
+  }
+  model.add(points[3], 1, synthetic_fom(points[3]));
+  EXPECT_TRUE(model.refit_due());
+  EXPECT_FALSE(model.ready());
+  EXPECT_TRUE(model.refit_if_due());
+  EXPECT_TRUE(model.ready());
+  EXPECT_EQ(model.refits(), 1u);
+  EXPECT_FALSE(model.refit_if_due());  // nothing new since the fit
+
+  model.add(points[4], 1, synthetic_fom(points[4]));
+  model.add(points[5], 1, synthetic_fom(points[5]));
+  EXPECT_FALSE(model.refit_due());  // 2 new < refit_every
+  model.add(points[6], 1, synthetic_fom(points[6]));
+  EXPECT_TRUE(model.refit_due());
+  EXPECT_TRUE(model.refit_if_due());
+  EXPECT_EQ(model.refits(), 2u);
+
+  model.force_refit();
+  EXPECT_TRUE(model.refit_due());  // forced, despite zero new observations
+  EXPECT_TRUE(model.refit_if_due());
+  EXPECT_EQ(model.refits(), 3u);
+  EXPECT_FALSE(model.refit_due());  // the force is consumed
+}
+
+TEST(Model, PredictsFomWithNonNegativeUncertainty) {
+  surrogate::SurrogateModel model(small_model_config());
+  const auto points = viable_points();
+  for (const auto& p : points) model.add(p, 1, synthetic_fom(p));
+  ASSERT_TRUE(model.refit_if_due());
+
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto pred = model.predict(points[i], 1);
+    EXPECT_GE(pred.rel_std, 0.0);
+    EXPECT_GT(pred.fom.latency, 0.0);
+    EXPECT_GT(pred.fom.energy, 0.0);
+    EXPECT_TRUE(std::isfinite(pred.fom.accuracy));
+  }
+}
+
+TEST(Model, UncertaintyLowerOnHistoryThanOffHistory) {
+  surrogate::SurrogateModel model(small_model_config());
+  const auto points = viable_points();
+  ASSERT_GE(points.size(), 20u);
+  // Train on every other viable point; hold the rest out.
+  for (std::size_t i = 0; i < points.size(); i += 2)
+    model.add(points[i], 1, synthetic_fom(points[i]));
+  ASSERT_TRUE(model.refit_if_due());
+
+  double seen = 0.0, unseen = 0.0;
+  std::size_t n_seen = 0, n_unseen = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double u = model.predict(points[i], 1).rel_std;
+    if (i % 2 == 0) {
+      seen += u;
+      ++n_seen;
+    } else {
+      unseen += u;
+      ++n_unseen;
+    }
+  }
+  EXPECT_LT(seen / static_cast<double>(n_seen), unseen / static_cast<double>(n_unseen));
+}
+
+TEST(Model, StateHashBitIdenticalAcrossThreadCounts) {
+  const auto points = viable_points();
+  const auto feed = [&](surrogate::SurrogateModel& model) {
+    for (const auto& p : points) model.add(p, 1, synthetic_fom(p));
+    ASSERT_TRUE(model.refit_if_due());
+  };
+  surrogate::SurrogateModel one(small_model_config());
+  {
+    ThreadGuard guard(1);
+    feed(one);
+  }
+  surrogate::SurrogateModel eight(small_model_config());
+  {
+    ThreadGuard guard(8);
+    feed(eight);
+    EXPECT_EQ(one.state_hash(), eight.state_hash());
+    for (std::size_t i = 0; i < 5; ++i) {
+      const auto a = one.predict(points[i], 1);
+      const auto b = eight.predict(points[i], 1);
+      EXPECT_EQ(a.fom.latency, b.fom.latency);
+      EXPECT_EQ(a.rel_std, b.rel_std);
+    }
+  }
+}
+
+TEST(Model, RejectsBadConfig) {
+  surrogate::SurrogateConfig config;
+  config.min_history = 1;
+  EXPECT_THROW(surrogate::SurrogateModel{config}, PreconditionError);
+  config = {};
+  config.queries_per_charge = 0;
+  EXPECT_THROW(surrogate::SurrogateModel{config}, PreconditionError);
+}
+
+// ---- engine integration -----------------------------------------------------
+
+dse::EngineConfig surrogate_engine_config() {
+  dse::EngineConfig config;
+  config.strategy = "nsga2";
+  config.budget = 33;  // the 20 %-of-grid acceptance budget
+  config.seed = 1;
+  config.surrogate.enabled = true;
+  config.surrogate.trees = 24;
+  config.surrogate.min_history = 8;
+  config.surrogate.refit_every = 4;
+  return config;
+}
+
+TEST(Engine, SurrogateOffByDefaultLeavesLadderAccountingUntouched) {
+  dse::EngineConfig config;
+  config.strategy = "lhs";
+  config.budget = 20;
+  const dse::ExplorationResult r = dse::explore(config);
+  EXPECT_EQ(r.stats.surrogate_queries, 0u);
+  EXPECT_EQ(r.stats.surrogate_promotions, 0u);
+  EXPECT_EQ(r.stats.surrogate_refits, 0u);
+  EXPECT_EQ(r.stats.charges_by_tier[0], 0u);
+  EXPECT_EQ(r.stats.surrogate_budget_units, 0.0);
+}
+
+TEST(Engine, SurrogateScreensWithinTheBudgetLedger) {
+  const dse::ExplorationResult r = dse::explore(surrogate_engine_config());
+  const dse::ExplorationStats& s = r.stats;
+  EXPECT_GT(s.surrogate_queries, 0u);
+  EXPECT_GE(s.surrogate_refits, 1u);
+  EXPECT_EQ(s.charges_by_tier[0], s.surrogate_queries);
+  EXPECT_EQ(s.surrogate_hits + s.surrogate_promotions, s.surrogate_queries);
+  // Queries are charged to the same ledger, at the configured exchange rate.
+  EXPECT_LE(s.charges, r.budget);
+  EXPECT_LE(static_cast<double>(s.charges) + s.surrogate_budget_units,
+            static_cast<double>(r.budget) + 1e-9);
+  EXPECT_DOUBLE_EQ(
+      s.surrogate_budget_units,
+      static_cast<double>(s.surrogate_queries) /
+          static_cast<double>(surrogate_engine_config().surrogate.queries_per_charge));
+}
+
+TEST(Engine, SurrogateRunBitIdenticalAcrossThreadCounts) {
+  dse::ExplorationResult one;
+  {
+    ThreadGuard guard(1);
+    one = dse::explore(surrogate_engine_config());
+  }
+  dse::ExplorationResult eight;
+  {
+    ThreadGuard guard(8);
+    eight = dse::explore(surrogate_engine_config());
+  }
+  EXPECT_TRUE(same_foms(one, eight));
+  EXPECT_EQ(one.front, eight.front);
+  EXPECT_EQ(one.ranking, eight.ranking);
+  EXPECT_EQ(one.stats.surrogate_queries, eight.stats.surrogate_queries);
+  EXPECT_EQ(one.stats.surrogate_promotions, eight.stats.surrogate_promotions);
+  EXPECT_EQ(one.stats.surrogate_refits, eight.stats.surrogate_refits);
+  EXPECT_EQ(one.stats.surrogate_disagreements, eight.stats.surrogate_disagreements);
+}
+
+TEST(Engine, SurrogateResumeAfterCrashIsBitIdentical) {
+  dse::EngineConfig config = surrogate_engine_config();
+
+  // Reference: uninterrupted run, no journal.
+  const dse::ExplorationResult reference = dse::explore(config);
+  ASSERT_GT(reference.stats.surrogate_queries, 0u);
+
+  // Crash after 10 durable appends (some of them surrogate predictions),
+  // then resume from the journal.
+  TempPath journal("resume");
+  config.journal_path = journal.str();
+  config.abort_after_computed = 10;
+  EXPECT_THROW(dse::explore(config), dse::AbortInjected);
+
+  config.abort_after_computed = 0;
+  const dse::ExplorationResult resumed = dse::explore(config);
+  EXPECT_TRUE(resumed.stats.resumed);
+  EXPECT_EQ(resumed.stats.journal_replayed, 10u);
+
+  EXPECT_TRUE(same_foms(reference, resumed));
+  EXPECT_EQ(reference.front, resumed.front);
+  EXPECT_EQ(reference.ranking, resumed.ranking);
+  // The surrogate's decisions replay exactly: same queries, same promotions,
+  // same refit schedule — resume changes how values arrive, never which.
+  EXPECT_EQ(reference.stats.surrogate_queries, resumed.stats.surrogate_queries);
+  EXPECT_EQ(reference.stats.surrogate_promotions, resumed.stats.surrogate_promotions);
+  EXPECT_EQ(reference.stats.surrogate_refits, resumed.stats.surrogate_refits);
+  EXPECT_EQ(dse::result_to_json(reference, false).dump(2),
+            dse::result_to_json(resumed, false).dump(2));
+}
+
+// ---- legacy journal compatibility -------------------------------------------
+
+TEST(JournalLegacy, V1RoundTripsThroughUpgradeByteIdentically) {
+  dse::EngineConfig config = dse::testfix::legacy_fixture_config();
+  TempPath v2_path("v1_roundtrip_v2");
+  config.journal_path = v2_path.str();
+  const dse::ExplorationResult reference = dse::explore(config);
+  ASSERT_GT(reference.stats.charges, 0u);
+
+  const std::string v2_bytes = read_file(v2_path.str());
+  TempPath v1_path("v1_roundtrip_v1");
+  {
+    std::ofstream out(v1_path.str(), std::ios::binary);
+    out << dse::testfix::downgrade_journal_to_v1(v2_bytes);
+  }
+
+  // Inspection is version-agnostic: same records, tiers already remapped.
+  const auto v2_info = dse::Journal::inspect(v2_path.str());
+  const auto v1_info = dse::Journal::inspect(v1_path.str());
+  EXPECT_EQ(v2_info.version, 2u);
+  EXPECT_EQ(v1_info.version, 1u);
+  EXPECT_EQ(v1_info.job_hash, v2_info.job_hash);
+  ASSERT_EQ(v1_info.records.size(), v2_info.records.size());
+  for (std::size_t i = 0; i < v1_info.records.size(); ++i) {
+    EXPECT_EQ(v1_info.records[i].key, v2_info.records[i].key);
+    EXPECT_EQ(v1_info.records[i].fidelity, v2_info.records[i].fidelity);
+    EXPECT_EQ(v1_info.records[i].fom.latency, v2_info.records[i].fom.latency);
+    EXPECT_EQ(v1_info.records[i].fom.accuracy, v2_info.records[i].fom.accuracy);
+    EXPECT_EQ(v1_info.records[i].uncertainty, 0.0);
+  }
+
+  // Opening the v1 file upgrades it in place — to bytes identical to the
+  // journal a current build would have written.
+  {
+    dse::Journal upgraded(v1_path.str(), v1_info.job_hash);
+    EXPECT_TRUE(upgraded.open_info().upgraded);
+    EXPECT_EQ(upgraded.open_info().replayed, reference.stats.charges);
+  }
+  EXPECT_EQ(read_file(v1_path.str()), v2_bytes);
+
+  // A second open is a plain v2 resume: no upgrade, nothing changed.
+  {
+    dse::Journal again(v1_path.str(), v1_info.job_hash);
+    EXPECT_FALSE(again.open_info().upgraded);
+    EXPECT_EQ(again.records().size(), reference.stats.charges);
+  }
+}
+
+TEST(JournalLegacy, V1ResumeIsBitIdenticalToAnUninterruptedRun) {
+  dse::EngineConfig config = dse::testfix::legacy_fixture_config();
+  const dse::ExplorationResult reference = dse::explore(config);
+
+  // Produce a v1 journal of the complete run, then resume the job from it.
+  TempPath v2_path("v1_resume_v2");
+  {
+    dse::EngineConfig journaled = config;
+    journaled.journal_path = v2_path.str();
+    dse::explore(journaled);
+  }
+  TempPath v1_path("v1_resume_v1");
+  {
+    std::ofstream out(v1_path.str(), std::ios::binary);
+    out << dse::testfix::downgrade_journal_to_v1(read_file(v2_path.str()));
+  }
+
+  config.journal_path = v1_path.str();
+  const dse::ExplorationResult resumed = dse::explore(config);
+  EXPECT_TRUE(resumed.stats.resumed);
+  EXPECT_EQ(resumed.stats.journal_replayed, reference.stats.charges);
+  EXPECT_EQ(resumed.stats.computed, 0u);  // every pair served from the legacy file
+  EXPECT_TRUE(same_foms(reference, resumed));
+  EXPECT_EQ(reference.front, resumed.front);
+  EXPECT_EQ(reference.ranking, resumed.ranking);
+}
+
+TEST(JournalLegacy, CheckedInFixtureResumesBitIdentically) {
+  const std::string fixture = std::string(XLDS_TEST_DATA_DIR) + "/legacy_3tier.xjl";
+  ASSERT_TRUE(fs::exists(fixture))
+      << fixture << " missing — regenerate with make_legacy_fixture";
+
+  // The committed file must still be v1: committing an upgraded copy would
+  // quietly stop this test from exercising the legacy decode path.
+  const auto info = dse::Journal::inspect(fixture);
+  EXPECT_EQ(info.version, 1u);
+  ASSERT_GT(info.records.size(), 0u);
+  for (const auto& r : info.records)
+    EXPECT_GE(r.fidelity, static_cast<std::uint32_t>(dse::Fidelity::kAnalytic));
+
+  dse::EngineConfig config = dse::testfix::legacy_fixture_config();
+  const dse::ExplorationResult reference = dse::explore(config);
+  EXPECT_EQ(info.records.size(), reference.stats.charges);
+
+  // Resume from a scratch copy (opening upgrades the file in place).
+  TempPath copy("fixture_copy");
+  fs::copy_file(fixture, copy.str());
+  config.journal_path = copy.str();
+  const dse::ExplorationResult resumed = dse::explore(config);
+  EXPECT_TRUE(resumed.stats.resumed);
+  EXPECT_EQ(resumed.stats.journal_replayed, reference.stats.charges);
+  EXPECT_EQ(resumed.stats.computed, 0u);
+  EXPECT_TRUE(same_foms(reference, resumed));
+  EXPECT_EQ(reference.front, resumed.front);
+  EXPECT_EQ(reference.ranking, resumed.ranking);
+}
+
+}  // namespace
+}  // namespace xlds

@@ -2,7 +2,8 @@
 //
 //   xlds-dse --spec job.json [--out result.json] [--csv result.csv]
 //            [--journal path] [--seed N] [--budget N] [--strategy name]
-//            [--threads N] [--no-stats]
+//            [--surrogate on|off] [--surrogate-refit N] [--surrogate-uncertainty X]
+//            [--surrogate-qpc N] [--threads N] [--no-stats]
 //
 // The spec carries the full job description (see src/dse/jobspec.hpp);
 // command-line options override the matching spec fields so a CI matrix can
@@ -47,6 +48,12 @@ int main(int argc, char** argv) {
   args.add_option("budget", "override spec budget (unique point/tier charges; 0 = viable space)");
   args.add_option("journal", "override spec journal path (enables crash-safe resume)");
   args.add_option("csv", "also write per-point CSV to this path");
+  args.add_option("surrogate",
+                  "learned tier-0 rung: on | off (overrides the spec's surrogate.enabled)");
+  args.add_option("surrogate-refit", "refit the forest every N new observations");
+  args.add_option("surrogate-uncertainty",
+                  "promote predictions with relative std above this threshold");
+  args.add_option("surrogate-qpc", "surrogate queries exchanged per ladder budget charge");
   args.add_flag("no-stats", "omit run statistics from the JSON (resume-comparable output)");
   xlds::util::add_bench_options(args, /*default_seed=*/0);
 
@@ -60,6 +67,17 @@ int main(int argc, char** argv) {
     if (args.provided("budget")) config.budget = args.uinteger("budget");
     if (args.provided("journal")) config.journal_path = args.str("journal");
     if (args.provided("seed")) config.seed = args.uinteger("seed");
+    if (args.provided("surrogate")) {
+      const std::string mode = args.str("surrogate");
+      XLDS_REQUIRE_MSG(mode == "on" || mode == "off", "--surrogate takes on | off");
+      config.surrogate.enabled = mode == "on";
+    }
+    if (args.provided("surrogate-refit"))
+      config.surrogate.refit_every = args.uinteger("surrogate-refit");
+    if (args.provided("surrogate-uncertainty"))
+      config.surrogate.promote_uncertainty = args.num("surrogate-uncertainty");
+    if (args.provided("surrogate-qpc"))
+      config.surrogate.queries_per_charge = args.uinteger("surrogate-qpc");
     xlds::util::apply_bench_options(args);
 
     const xlds::dse::ExplorationResult result = xlds::dse::explore(config);
@@ -76,6 +94,14 @@ int main(int argc, char** argv) {
               << ", journal hits " << result.stats.journal_hits << "), front "
               << result.front.size() << " of " << result.evaluated.size()
               << " evaluated\n";
+    if (config.surrogate.enabled) {
+      const auto& s = result.stats;
+      std::cerr << "xlds-dse: surrogate: " << s.surrogate_queries << " queries ("
+                << s.surrogate_budget_units << " budget units), " << s.surrogate_promotions
+                << " promoted, " << s.surrogate_hits << " screened out, "
+                << s.surrogate_refits << " refits, " << s.surrogate_disagreements
+                << " disagreements\n";
+    }
     const auto& nodal = result.stats.nodal;
     std::cerr << "xlds-dse: nodal solver work: " << nodal.factorizations
               << " factorizations, " << nodal.incremental_updates << " incremental updates ("
