@@ -375,13 +375,18 @@ std::size_t run_mc_sweep_scalar(std::size_t trials) {
   constexpr std::size_t kChunk = 500;  // thread-count-independent chunking
   Rng rng(7);
   std::vector<std::size_t> chunk_errors((trials + kChunk - 1) / kChunk, 0);
-  parallel_for_rng(rng, trials, kChunk,
-                   [&](Rng& trial_rng, std::size_t begin, std::size_t end, std::size_t ci) {
-    std::size_t errors = 0;
-    for (std::size_t t = begin; t < end; ++t)
-      if (model.readback_level(model.program_vth(mid, trial_rng)) != mid) ++errors;
-    chunk_errors[ci] = errors;
-  });
+  // The work floor groups whole chunks into scheduler tasks so a small sweep
+  // doesn't pay per-chunk dispatch; chunk boundaries (and the checksum) are
+  // untouched by it.
+  parallel_for_rng(
+      rng, trials, kChunk,
+      [&](Rng& trial_rng, std::size_t begin, std::size_t end, std::size_t ci) {
+        std::size_t errors = 0;
+        for (std::size_t t = begin; t < end; ++t)
+          if (model.readback_level(model.program_vth(mid, trial_rng)) != mid) ++errors;
+        chunk_errors[ci] = errors;
+      },
+      /*min_items_per_task=*/16000);
   std::size_t errors = 0;
   for (std::size_t e : chunk_errors) errors += e;
   return errors;
@@ -402,13 +407,18 @@ std::size_t run_mc_sweep_batched(std::size_t trials) {
   constexpr std::size_t kChunk = 2000;  // batches amortise; still ~250 chunks of work
   Rng rng(7);
   std::vector<std::size_t> chunk_errors((trials + kChunk - 1) / kChunk, 0);
-  parallel_for_rng(rng, trials, kChunk,
-                   [&](Rng& trial_rng, std::size_t begin, std::size_t end, std::size_t ci) {
-    std::vector<double> vth(end - begin);
-    kernels::fill_normal_fast(trial_rng, vth.data(), vth.size(), mid_vth,
-                              params.sigma_program);
-    chunk_errors[ci] = model.readback_errors(mid, vth.data(), vth.size());
-  });
+  // Same minimum-work floor as the scalar sweep: grouping chunks into tasks
+  // fixes the old small-batch negative scaling (threads slower than one)
+  // without moving any chunk boundary — the checksum cannot change.
+  parallel_for_rng(
+      rng, trials, kChunk,
+      [&](Rng& trial_rng, std::size_t begin, std::size_t end, std::size_t ci) {
+        std::vector<double> vth(end - begin);
+        kernels::fill_normal_fast(trial_rng, vth.data(), vth.size(), mid_vth,
+                                  params.sigma_program);
+        chunk_errors[ci] = model.readback_errors(mid, vth.data(), vth.size());
+      },
+      /*min_items_per_task=*/16000);
   std::size_t errors = 0;
   for (std::size_t e : chunk_errors) errors += e;
   return errors;

@@ -74,6 +74,50 @@ class Profiler {
     serve_cells_.store(0, kOrder);
   }
 
+  /// Snapshot of the task-scheduler counters (monotonic since process start
+  /// or the last reset_sched()); bumped by util::parallel as jobs dispatch.
+  struct SchedCounts {
+    std::uint64_t jobs = 0;            ///< batches dispatched to the pool
+    std::uint64_t inline_jobs = 0;     ///< batches run inline (below the work floor / no lanes)
+    std::uint64_t tasks = 0;           ///< tasks executed by their submitting lane
+    std::uint64_t stolen_tasks = 0;    ///< tasks executed by a different lane
+    std::uint64_t steal_failures = 0;  ///< full deque scans that found nothing
+    std::uint64_t nested_cooperative = 0;  ///< nested jobs run via shared deques
+    std::uint64_t nested_inlined = 0;      ///< nested jobs degraded to inline serial
+  };
+
+  static void count_sched_job() noexcept { sched_jobs_.fetch_add(1, kOrder); }
+  static void count_sched_inline_job() noexcept { sched_inline_jobs_.fetch_add(1, kOrder); }
+  static void count_sched_task(bool stolen) noexcept {
+    (stolen ? sched_stolen_tasks_ : sched_tasks_).fetch_add(1, kOrder);
+  }
+  static void count_steal_failure() noexcept { sched_steal_failures_.fetch_add(1, kOrder); }
+  static void count_sched_nested(bool cooperative) noexcept {
+    (cooperative ? sched_nested_coop_ : sched_nested_inline_).fetch_add(1, kOrder);
+  }
+
+  static SchedCounts sched() noexcept {
+    SchedCounts c;
+    c.jobs = sched_jobs_.load(kOrder);
+    c.inline_jobs = sched_inline_jobs_.load(kOrder);
+    c.tasks = sched_tasks_.load(kOrder);
+    c.stolen_tasks = sched_stolen_tasks_.load(kOrder);
+    c.steal_failures = sched_steal_failures_.load(kOrder);
+    c.nested_cooperative = sched_nested_coop_.load(kOrder);
+    c.nested_inlined = sched_nested_inline_.load(kOrder);
+    return c;
+  }
+
+  static void reset_sched() noexcept {
+    sched_jobs_.store(0, kOrder);
+    sched_inline_jobs_.store(0, kOrder);
+    sched_tasks_.store(0, kOrder);
+    sched_stolen_tasks_.store(0, kOrder);
+    sched_steal_failures_.store(0, kOrder);
+    sched_nested_coop_.store(0, kOrder);
+    sched_nested_inline_.store(0, kOrder);
+  }
+
   static NodalCounts nodal() noexcept {
     NodalCounts c;
     c.factorizations = nodal_factorizations_.load(kOrder);
@@ -110,6 +154,13 @@ class Profiler {
   inline static std::atomic<std::uint64_t> serve_degraded_{0};
   inline static std::atomic<std::uint64_t> serve_recals_{0};
   inline static std::atomic<std::uint64_t> serve_cells_{0};
+  inline static std::atomic<std::uint64_t> sched_jobs_{0};
+  inline static std::atomic<std::uint64_t> sched_inline_jobs_{0};
+  inline static std::atomic<std::uint64_t> sched_tasks_{0};
+  inline static std::atomic<std::uint64_t> sched_stolen_tasks_{0};
+  inline static std::atomic<std::uint64_t> sched_steal_failures_{0};
+  inline static std::atomic<std::uint64_t> sched_nested_coop_{0};
+  inline static std::atomic<std::uint64_t> sched_nested_inline_{0};
 };
 
 }  // namespace xlds::core

@@ -1,8 +1,11 @@
 #include "dse/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <memory>
+#include <numeric>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -132,11 +135,32 @@ class Backend final : public EvaluationBackend {
 
     // Pass 2: compute the misses, sharded on the pool.  The FOM of a
     // (point, tier) pair is a pure function of the job, so the shard layout
-    // cannot change values, only wall clock.
+    // cannot change values, only wall clock.  Dispatch is cost-aware:
+    // longest-processing-time-first by the ladder's charge estimate, so the
+    // expensive points (MC probes, first nodal solves) enter the scheduler
+    // ahead of the cheap tail and idle lanes steal the tail behind them.
+    // Results land in original-order slots and the memo/journal loop below
+    // walks `to_compute` order, so every journal byte is placement-invariant.
     if (!to_compute.empty()) {
-      const std::vector<core::Fom> foms = parallel_map<core::Fom>(
-          to_compute.size(),
-          [&](std::size_t j) { return ladder_.evaluate(space_.at(to_compute[j]), tier); });
+      std::vector<std::size_t> order(to_compute.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return ladder_.cost_estimate(space_.at(to_compute[a]), tier) >
+               ladder_.cost_estimate(space_.at(to_compute[b]), tier);
+      });
+      std::vector<core::Fom> foms(to_compute.size());
+      parallel_for(order.size(), 1, [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t k = begin; k < end; ++k) {
+          const std::size_t j = order[k];
+          const auto t0 = std::chrono::steady_clock::now();
+          foms[j] = ladder_.evaluate(space_.at(to_compute[j]), tier);
+          busy_ns_[static_cast<std::size_t>(tier)].fetch_add(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count(),
+              std::memory_order_relaxed);
+        }
+      });
       for (std::size_t j = 0; j < to_compute.size(); ++j) {
         memo_[pair_key(to_compute[j], tier)] = foms[j];
         if (journal_ != nullptr)
@@ -191,6 +215,12 @@ class Backend final : public EvaluationBackend {
     return memo_.at(pair_key(index, tier));
   }
   const surrogate::SurrogateModel& model() const { return model_; }
+  std::array<double, kFidelityTiers> tier_busy_seconds() const {
+    std::array<double, kFidelityTiers> s{};
+    for (std::size_t t = 0; t < kFidelityTiers; ++t)
+      s[t] = static_cast<double>(busy_ns_[t].load(std::memory_order_relaxed)) * 1e-9;
+    return s;
+  }
 
  private:
   /// The learned rung.  Mirrors the physics path — charge / serve from memo
@@ -204,6 +234,9 @@ class Backend final : public EvaluationBackend {
     // including replays — so the forest is bit-identical everywhere.
     if (model_.refit_if_due()) ++stats_.surrogate_refits;
 
+    // Charge pass (serial, input order): ledger bookkeeping plus the list of
+    // queries the memo cannot serve.
+    std::vector<std::size_t> to_predict;
     for (const std::size_t i : indices) {
       XLDS_REQUIRE(i < space_.size());
       if (space_.culled(i)) {
@@ -225,18 +258,42 @@ class Backend final : public EvaluationBackend {
         ++stats_.journal_hits;
         continue;  // replayed prediction: value and uncertainty from ctor
       }
+      to_predict.push_back(i);
+    }
+
+    // Predict pass, sharded on the pool: the forest is immutable between
+    // refits, so concurrent predict() calls are pure reads — the screen no
+    // longer runs as a serial barrier phase but as one more parallel batch
+    // whose tasks interleave (via the shared deques) with any in-flight
+    // evaluation work.  Memo/journal writes below keep charge order, so the
+    // journal bytes are identical to the old serial screen's.
+    if (!to_predict.empty()) {
       XLDS_REQUIRE_MSG(model_.ready(), "surrogate query before the model's first fit");
-      const surrogate::SurrogatePrediction pred =
-          model_.predict(space_.at(i), static_cast<std::uint32_t>(Fidelity::kAnalytic));
-      memo_[key] = pred.fom;
-      uncertainty_[i] = pred.rel_std;
-      if (journal_ != nullptr)
-        journal_->append({i, static_cast<std::uint32_t>(Fidelity::kSurrogate), pred.fom,
-                          pred.rel_std});
-      ++stats_.computed;
-      if (abort_after_computed_ != 0 && stats_.computed >= abort_after_computed_)
-        throw AbortInjected("injected abort after " + std::to_string(stats_.computed) +
-                            " computed evaluations");
+      const std::vector<surrogate::SurrogatePrediction> preds =
+          parallel_map<surrogate::SurrogatePrediction>(
+              to_predict.size(), [&](std::size_t j) {
+                const auto t0 = std::chrono::steady_clock::now();
+                const surrogate::SurrogatePrediction p = model_.predict(
+                    space_.at(to_predict[j]), static_cast<std::uint32_t>(Fidelity::kAnalytic));
+                busy_ns_[static_cast<std::size_t>(Fidelity::kSurrogate)].fetch_add(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count(),
+                    std::memory_order_relaxed);
+                return p;
+              });
+      for (std::size_t j = 0; j < to_predict.size(); ++j) {
+        const std::size_t i = to_predict[j];
+        memo_[pair_key(i, Fidelity::kSurrogate)] = preds[j].fom;
+        uncertainty_[i] = preds[j].rel_std;
+        if (journal_ != nullptr)
+          journal_->append({i, static_cast<std::uint32_t>(Fidelity::kSurrogate),
+                            preds[j].fom, preds[j].rel_std});
+        ++stats_.computed;
+        if (abort_after_computed_ != 0 && stats_.computed >= abort_after_computed_)
+          throw AbortInjected("injected abort after " + std::to_string(stats_.computed) +
+                              " computed evaluations");
+      }
     }
 
     std::vector<Evaluation> out;
@@ -268,6 +325,9 @@ class Backend final : public EvaluationBackend {
   std::unordered_map<std::uint64_t, core::Fom> memo_;
   std::unordered_map<std::size_t, double> uncertainty_;
   ExplorationStats stats_;
+  /// Wall time lanes spent inside ladder/predict calls, per tier (relaxed
+  /// accumulation across lanes; diagnostics only).
+  std::array<std::atomic<std::uint64_t>, kFidelityTiers> busy_ns_{};
 };
 
 }  // namespace
@@ -278,6 +338,7 @@ std::uint64_t job_hash(const SearchSpace& space, const FidelityLadder& ladder) {
 
 ExplorationResult explore(const EngineConfig& config) {
   const core::Profiler::NodalCounts nodal_before = core::Profiler::nodal();
+  const core::Profiler::SchedCounts sched_before = core::Profiler::sched();
   const SearchSpace space(config.axes, config.application);
   XLDS_REQUIRE_MSG(space.viable_count() > 0, "search space has no viable points");
   const FidelityLadder ladder(config.fidelity, core::profile_for(config.application));
@@ -337,6 +398,18 @@ ExplorationResult explore(const EngineConfig& config) {
     d.updated_cells = now.updated_cells - nodal_before.updated_cells;
     d.update_declines = now.update_declines - nodal_before.update_declines;
     d.drift_refactorizations = now.drift_refactorizations - nodal_before.drift_refactorizations;
+  }
+  {
+    const core::Profiler::SchedCounts now = core::Profiler::sched();
+    core::Profiler::SchedCounts& d = result.stats.scheduler.counts;
+    d.jobs = now.jobs - sched_before.jobs;
+    d.inline_jobs = now.inline_jobs - sched_before.inline_jobs;
+    d.tasks = now.tasks - sched_before.tasks;
+    d.stolen_tasks = now.stolen_tasks - sched_before.stolen_tasks;
+    d.steal_failures = now.steal_failures - sched_before.steal_failures;
+    d.nested_cooperative = now.nested_cooperative - sched_before.nested_cooperative;
+    d.nested_inlined = now.nested_inlined - sched_before.nested_inlined;
+    result.stats.scheduler.tier_busy_s = backend.tier_busy_seconds();
   }
   if (journal) {
     result.stats.resumed = journal->open_info().existed;

@@ -78,6 +78,15 @@ struct ExplorationStats {
   /// an input to any search decision — so they are omitted from
   /// resume-comparable (--no-stats) output.
   core::Profiler::NodalCounts nodal{};
+  /// Task-scheduler work done on behalf of this run (delta of the
+  /// process-wide util::parallel counters across explore()) plus the wall
+  /// time the evaluation lanes spent busy per fidelity tier.  Same
+  /// diagnostics-only status as `nodal`.
+  struct SchedulerStats {
+    core::Profiler::SchedCounts counts{};
+    std::array<double, kFidelityTiers> tier_busy_s{};
+  };
+  SchedulerStats scheduler{};
 };
 
 struct ExplorationResult {

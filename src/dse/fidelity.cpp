@@ -114,9 +114,12 @@ const fault::ResilienceReport& probe_report(double rate, double age_s, std::uint
   const auto key = std::make_tuple(rate, age_s, seed);
   auto it = g_probe_cache.find(key);
   if (it == g_probe_cache.end()) {
-    // Computed under the lock: the probe runs once per ladder config and the
-    // nested parallel_for degrades to inline-serial inside pool workers, so
-    // holding the lock cannot deadlock the pool.
+    // Computed under the lock: the probe runs once per ladder config.  Its
+    // nested parallel_for now runs *cooperatively* on the shared pool, which
+    // is still deadlock-free while we hold the lock: the scheduler's
+    // fully-strict helping rule means this thread only ever executes subtasks
+    // of the probe job it is waiting on — never a sibling batch unit that
+    // could re-enter probe_report() and try to take g_probe_mutex again.
     fault::ResilienceEvaluator probe(fault::dse_probe_config(rate, age_s, seed));
     it = g_probe_cache.emplace(key, probe.run()).first;
   }
@@ -230,6 +233,27 @@ core::Fom FidelityLadder::refine_monte_carlo(const core::DesignPoint& p, core::F
     fom.note += "; BER derate " + percent(derate) + " %";
   }
   return fom;
+}
+
+double FidelityLadder::cost_estimate(const core::DesignPoint& p, Fidelity tier) const {
+  // Coarse relative weights of the refinement rungs.  The memoised caches
+  // (per-device IR solve, per-config resilience probe) make the *first*
+  // request at a rung expensive and the rest cheap; LPT ordering by this
+  // estimate front-loads the points that can possibly pay those costs, which
+  // is exactly what a makespan-minimising dispatch wants.
+  double cost = 1.0;  // analytic projection
+  if (!is_in_memory(p.arch)) return cost;  // refinements are no-ops for digital points
+  if (tier >= Fidelity::kNodal) {
+    if (uses_crossbar(p.arch)) cost += 8.0;   // nodal IR-drop tile solve
+    if (uses_cam(p.arch)) cost += 4.0;        // Eva-CAM variation margins
+  }
+  if (tier >= Fidelity::kMonteCarlo) {
+    if (p.algo == core::AlgoKind::kHdc || p.algo == core::AlgoKind::kMann)
+      cost += 100.0;  // resilience probe grid (MC accuracy measurement)
+    else
+      cost += 2.0;  // BER-derived storage derate
+  }
+  return cost;
 }
 
 std::uint64_t FidelityLadder::hash(std::uint64_t h) const {

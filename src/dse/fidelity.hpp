@@ -83,6 +83,12 @@ class FidelityLadder {
   /// PreconditionError on kSurrogate — that tier has no physics to run.
   core::Fom evaluate(const core::DesignPoint& p, Fidelity tier) const;
 
+  /// Relative wall-cost estimate of evaluate(p, tier), in analytic-tier
+  /// units.  A scheduling heuristic only (the engine sorts batches
+  /// longest-processing-time-first with it) — never an input to any FOM or
+  /// search decision, so it can evolve freely without invalidating journals.
+  double cost_estimate(const core::DesignPoint& p, Fidelity tier) const;
+
   /// Identity hash of everything evaluate() depends on besides the point —
   /// folded into the journal job hash.  max_fidelity enters in the ladder's
   /// original 3-tier numbering (analytic = 0) so journals written before the

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace xlds::dse {
 
@@ -219,6 +220,23 @@ util::Json result_to_json(const ExplorationResult& result, bool include_stats) {
     nodal.set("update_declines", s.nodal.update_declines);
     nodal.set("drift_refactorizations", s.nodal.drift_refactorizations);
     stats.set("nodal", std::move(nodal));
+    util::Json sched = util::Json::object();
+    sched.set("mode", parallel_scheduler() == SchedulerMode::kWorkStealing
+                          ? "work-stealing"
+                          : "static");
+    sched.set("threads", parallel_thread_count());
+    sched.set("jobs", s.scheduler.counts.jobs);
+    sched.set("inline_jobs", s.scheduler.counts.inline_jobs);
+    sched.set("tasks", s.scheduler.counts.tasks);
+    sched.set("stolen_tasks", s.scheduler.counts.stolen_tasks);
+    sched.set("steal_failures", s.scheduler.counts.steal_failures);
+    sched.set("nested_cooperative", s.scheduler.counts.nested_cooperative);
+    sched.set("nested_inlined", s.scheduler.counts.nested_inlined);
+    util::Json busy = util::Json::object();
+    for (std::size_t t = 0; t < kFidelityTiers; ++t)
+      busy.set(to_string(static_cast<Fidelity>(t)), s.scheduler.tier_busy_s[t]);
+    sched.set("tier_busy_s", std::move(busy));
+    stats.set("scheduler", std::move(sched));
     doc.set("stats", std::move(stats));
   }
   return doc;

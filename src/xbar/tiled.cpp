@@ -91,8 +91,9 @@ MatrixD TiledCrossbar::mvm_batch(const MatrixD& inputs) const {
   // pool.  Each tile owns its RNG and conductance state, and sees the batch
   // in index order exactly as the sequential sweep did — so every partial is
   // bit-identical to serial execution at any thread count.  (A tile's inner
-  // batch parallelism degrades to serial inside this nested region; the
-  // tile fleet is the wider dimension for DNN-scale layers.)
+  // batch parallelism cooperates with the pool inside this nested region —
+  // the worker running a tile submits the inner tasks to the shared deques
+  // and helps drain them — so a fleet narrower than the pool still fills it.)
   std::vector<MatrixD> partials(tiles_.size());
   parallel_for(tiles_.size(), 1, [&](std::size_t begin, std::size_t end, std::size_t) {
     for (std::size_t t = begin; t < end; ++t)

@@ -354,6 +354,39 @@ TEST(Engine, ThreadCountDoesNotChangeResults) {
   EXPECT_EQ(serial.ranking, wide.ranking);
 }
 
+TEST(Engine, SchedulerModeDoesNotChangeResultsOrJournalBytes) {
+  // Static vs work-stealing dispatch on the same MC-fidelity job spec: the
+  // results — and every journal byte — must be identical, because placement
+  // decides only *where* a chunk runs and the journal appends in charge
+  // order either way.
+  const auto read_bytes = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  };
+  EngineConfig config;
+  config.strategy = "nsga2";
+  config.budget = 60;
+  config.seed = 7;
+  config.fidelity.max_fidelity = Fidelity::kMonteCarlo;
+
+  TempPath j_static("sched_static"), j_steal("sched_steal");
+  set_parallel_threads(8);
+  set_parallel_scheduler(SchedulerMode::kStatic);
+  config.journal_path = j_static.str();
+  const ExplorationResult r_static = explore(config);
+  set_parallel_scheduler(SchedulerMode::kWorkStealing);
+  config.journal_path = j_steal.str();
+  const ExplorationResult r_steal = explore(config);
+  set_parallel_threads(0);  // restore defaults (mode already back to stealing)
+
+  EXPECT_TRUE(same_foms(r_static, r_steal));
+  EXPECT_EQ(r_static.front, r_steal.front);
+  EXPECT_EQ(r_static.ranking, r_steal.ranking);
+  const std::string bytes_static = read_bytes(j_static.str());
+  ASSERT_FALSE(bytes_static.empty());
+  EXPECT_EQ(bytes_static, read_bytes(j_steal.str()));
+}
+
 // ---- engine semantics -------------------------------------------------------
 
 TEST(Engine, BudgetZeroMeansViableSpaceAndSaturates) {

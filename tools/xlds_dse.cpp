@@ -3,7 +3,7 @@
 //   xlds-dse --spec job.json [--out result.json] [--csv result.csv]
 //            [--journal path] [--seed N] [--budget N] [--strategy name]
 //            [--surrogate on|off] [--surrogate-refit N] [--surrogate-uncertainty X]
-//            [--surrogate-qpc N] [--threads N] [--no-stats]
+//            [--surrogate-qpc N] [--threads N] [--sched steal|static] [--no-stats]
 //
 // The spec carries the full job description (see src/dse/jobspec.hpp);
 // command-line options override the matching spec fields so a CI matrix can
@@ -108,6 +108,18 @@ int main(int argc, char** argv) {
               << nodal.updated_cells << " cells, " << nodal.update_declines << " declined), "
               << nodal.drift_refactorizations << " drift rebuilds, " << nodal.direct_solves
               << " direct / " << nodal.gs_solves << " GS solves\n";
+    const auto& sched = result.stats.scheduler;
+    std::cerr << "xlds-dse: scheduler ("
+              << (xlds::parallel_scheduler() == xlds::SchedulerMode::kWorkStealing
+                      ? "work-stealing"
+                      : "static")
+              << ", " << xlds::parallel_thread_count() << " lanes): "
+              << sched.counts.jobs << " jobs (" << sched.counts.inline_jobs << " inline), "
+              << sched.counts.tasks << " tasks + " << sched.counts.stolen_tasks
+              << " stolen, " << sched.counts.nested_cooperative << " nested cooperative / "
+              << sched.counts.nested_inlined << " inlined; busy s/tier [surrogate "
+              << sched.tier_busy_s[0] << ", analytic " << sched.tier_busy_s[1] << ", nodal "
+              << sched.tier_busy_s[2] << ", mc " << sched.tier_busy_s[3] << "]\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "xlds-dse: error: " << e.what() << "\n";
