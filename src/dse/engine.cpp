@@ -11,8 +11,12 @@
 #include <unordered_set>
 #include <utility>
 
+#include "dse/jobspec.hpp"
 #include "dse/journal.hpp"
+#include "shard/result_cache.hpp"
+#include "shard/shard_pool.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 #include "util/parallel.hpp"
 
 namespace xlds::dse {
@@ -44,13 +48,17 @@ class Backend final : public EvaluationBackend {
  public:
   Backend(const SearchSpace& space, const FidelityLadder& ladder, std::size_t budget,
           const surrogate::SurrogateConfig& surrogate_config, Journal* journal,
-          std::size_t abort_after_computed)
+          std::size_t abort_after_computed, shard::ShardPool* pool, shard::ResultCache* cache,
+          std::uint64_t cache_space_hash)
       : space_(space),
         ladder_(ladder),
         budget_(budget),
         model_(surrogate_config),
         journal_(journal),
-        abort_after_computed_(abort_after_computed) {
+        abort_after_computed_(abort_after_computed),
+        pool_(pool),
+        cache_(cache),
+        cache_space_hash_(cache_space_hash) {
     if (journal_ != nullptr)
       for (const Journal::Record& r : journal_->records()) {
         XLDS_REQUIRE_MSG(r.fidelity < kFidelityTiers && r.key < space_.size(),
@@ -133,14 +141,18 @@ class Backend final : public EvaluationBackend {
         to_compute.push_back(i);
     }
 
-    // Pass 2: compute the misses, sharded on the pool.  The FOM of a
-    // (point, tier) pair is a pure function of the job, so the shard layout
-    // cannot change values, only wall clock.  Dispatch is cost-aware:
-    // longest-processing-time-first by the ladder's charge estimate, so the
-    // expensive points (MC probes, first nodal solves) enter the scheduler
-    // ahead of the cheap tail and idle lanes steal the tail behind them.
-    // Results land in original-order slots and the memo/journal loop below
-    // walks `to_compute` order, so every journal byte is placement-invariant.
+    // Pass 2: serve the misses.  Three sources, cheapest first — the
+    // persistent cross-run cache, then the shard pool (or the in-process
+    // thread pool) for whatever remains.  The FOM of a (point, tier) pair is
+    // a pure function of the job and cached values are stored bit-exactly,
+    // so neither the cache state nor the shard layout can change values,
+    // only wall clock.  Dispatch is cost-aware: longest-processing-time-
+    // first by the ladder's charge estimate, so the expensive points (MC
+    // probes, first nodal solves) enter the scheduler ahead of the cheap
+    // tail and idle lanes (or shards) steal the tail behind them.  Results
+    // land in original-order slots and the memo/journal loop below walks
+    // `to_compute` order, so every journal byte is placement-, shard- and
+    // cache-invariant.
     if (!to_compute.empty()) {
       std::vector<std::size_t> order(to_compute.size());
       std::iota(order.begin(), order.end(), std::size_t{0});
@@ -149,27 +161,73 @@ class Backend final : public EvaluationBackend {
                ladder_.cost_estimate(space_.at(to_compute[b]), tier);
       });
       std::vector<core::Fom> foms(to_compute.size());
-      parallel_for(order.size(), 1, [&](std::size_t begin, std::size_t end, std::size_t) {
-        for (std::size_t k = begin; k < end; ++k) {
-          const std::size_t j = order[k];
-          const auto t0 = std::chrono::steady_clock::now();
-          foms[j] = ladder_.evaluate(space_.at(to_compute[j]), tier);
-          busy_ns_[static_cast<std::size_t>(tier)].fetch_add(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - t0)
-                  .count(),
-              std::memory_order_relaxed);
+      std::vector<char> from_cache(to_compute.size(), 0);
+      std::vector<std::size_t> pending;  // positions into to_compute, LPT order
+      pending.reserve(order.size());
+      if (cache_ != nullptr) {
+        for (const std::size_t j : order) {
+          const core::Fom* hit = cache_->find(
+              cache_space_hash_, shard::cache_point_hash(space_.at(to_compute[j])),
+              static_cast<std::uint32_t>(tier));
+          if (hit != nullptr) {
+            foms[j] = *hit;
+            from_cache[j] = 1;
+          } else {
+            pending.push_back(j);
+          }
         }
-      });
+      } else {
+        pending = order;
+      }
+      if (!pending.empty() && pool_ != nullptr) {
+        std::vector<shard::BatchItem> items;
+        items.reserve(pending.size());
+        for (const std::size_t j : pending)
+          items.push_back({to_compute[j], space_.at(to_compute[j])});
+        shard::BatchResult batch = pool_->evaluate(items, static_cast<std::uint32_t>(tier));
+        for (std::size_t k = 0; k < pending.size(); ++k)
+          foms[pending[k]] = std::move(batch.foms[k]);
+        busy_ns_[static_cast<std::size_t>(tier)].fetch_add(batch.busy_ns,
+                                                           std::memory_order_relaxed);
+        // Credit the parent's per-run profiler deltas with the work the
+        // workers reported, so diagnostics keep meaning "done for this run".
+        core::Profiler::add_nodal(batch.nodal);
+        core::Profiler::add_sched(batch.sched);
+      } else if (!pending.empty()) {
+        parallel_for(pending.size(), 1, [&](std::size_t begin, std::size_t end, std::size_t) {
+          for (std::size_t k = begin; k < end; ++k) {
+            const std::size_t j = pending[k];
+            const auto t0 = std::chrono::steady_clock::now();
+            foms[j] = ladder_.evaluate(space_.at(to_compute[j]), tier);
+            busy_ns_[static_cast<std::size_t>(tier)].fetch_add(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count(),
+                std::memory_order_relaxed);
+          }
+        });
+      }
       for (std::size_t j = 0; j < to_compute.size(); ++j) {
         memo_[pair_key(to_compute[j], tier)] = foms[j];
         if (journal_ != nullptr)
           journal_->append({to_compute[j], static_cast<std::uint32_t>(tier), foms[j], 0.0});
-        ++stats_.computed;
+        if (from_cache[j]) {
+          ++stats_.cache_hits;
+        } else {
+          ++stats_.computed;
+          if (cache_ != nullptr) {
+            cache_->insert(cache_space_hash_,
+                           shard::cache_point_hash(space_.at(to_compute[j])),
+                           static_cast<std::uint32_t>(tier), foms[j]);
+            ++stats_.cache_appends;
+          }
+        }
         // Crash simulation: bail after the Nth durable append, exactly as a
         // kill would — later results in this batch are lost.
-        if (abort_after_computed_ != 0 && stats_.computed >= abort_after_computed_)
-          throw AbortInjected("injected abort after " + std::to_string(stats_.computed) +
+        if (abort_after_computed_ != 0 &&
+            stats_.computed + stats_.cache_hits >= abort_after_computed_)
+          throw AbortInjected("injected abort after " +
+                              std::to_string(stats_.computed + stats_.cache_hits) +
                               " computed evaluations");
       }
     }
@@ -290,8 +348,10 @@ class Backend final : public EvaluationBackend {
           journal_->append({i, static_cast<std::uint32_t>(Fidelity::kSurrogate),
                             preds[j].fom, preds[j].rel_std});
         ++stats_.computed;
-        if (abort_after_computed_ != 0 && stats_.computed >= abort_after_computed_)
-          throw AbortInjected("injected abort after " + std::to_string(stats_.computed) +
+        if (abort_after_computed_ != 0 &&
+            stats_.computed + stats_.cache_hits >= abort_after_computed_)
+          throw AbortInjected("injected abort after " +
+                              std::to_string(stats_.computed + stats_.cache_hits) +
                               " computed evaluations");
       }
     }
@@ -324,6 +384,9 @@ class Backend final : public EvaluationBackend {
   std::vector<std::pair<std::size_t, Fidelity>> charge_order_;
   std::unordered_map<std::uint64_t, core::Fom> memo_;
   std::unordered_map<std::size_t, double> uncertainty_;
+  shard::ShardPool* pool_;
+  shard::ResultCache* cache_;
+  std::uint64_t cache_space_hash_;
   ExplorationStats stats_;
   /// Wall time lanes spent inside ladder/predict calls, per tier (relaxed
   /// accumulation across lanes; diagnostics only).
@@ -348,8 +411,37 @@ ExplorationResult explore(const EngineConfig& config) {
   if (!config.journal_path.empty())
     journal.emplace(config.journal_path, job_hash(space, ladder));
 
+  // The persistent cross-run cache.  Its space hash covers everything a FOM
+  // value depends on besides the point itself — ladder settings + app
+  // profile — but deliberately NOT the job's axis restriction, so a
+  // restricted sweep and a full-grid sweep share overlapping entries.
+  std::optional<shard::ResultCache> cache;
+  std::uint64_t cache_space_hash = 0;
+  if (!config.cache_path.empty()) {
+    cache.emplace(config.cache_path);
+    cache_space_hash = ladder.hash(util::fnv1a64("xlds-cache-v1", 13));
+  }
+
+  // The shard pool: forked evaluation workers sharing the parent's ladder by
+  // inheritance.  shards == 1 means in-process (no fork at all).
+  const std::size_t shards = config.shards != 0 ? config.shards : shard::env_shard_count();
+  std::optional<shard::ShardPool> pool;
+  if (shards > 1) {
+    shard::ShardConfig sc;
+    sc.shards = shards;
+    sc.job_hash = job_hash(space, ladder);
+    sc.job_json = shard_job_spec_text(config);
+    sc.application = config.application;
+    sc.evaluator = [&ladder](const core::DesignPoint& p, std::uint32_t tier) {
+      return ladder.evaluate(p, static_cast<Fidelity>(tier));
+    };
+    sc.kill_worker_after_results = config.kill_shard_worker_after;
+    pool.emplace(std::move(sc));
+  }
+
   Backend backend(space, ladder, budget, config.surrogate, journal ? &*journal : nullptr,
-                  config.abort_after_computed);
+                  config.abort_after_computed, pool ? &*pool : nullptr,
+                  cache ? &*cache : nullptr, cache_space_hash);
   const std::unique_ptr<SearchDriver> driver = make_driver(config.strategy, config.driver);
   // The driver stream is forked off the job seed so future engine-level
   // randomness (shard jitter, restarts) can never alias with it.
@@ -415,6 +507,12 @@ ExplorationResult explore(const EngineConfig& config) {
     result.stats.resumed = journal->open_info().existed;
     result.stats.journal_replayed = journal->open_info().replayed;
     result.stats.journal_dropped_bytes = journal->open_info().dropped_bytes;
+  }
+  result.stats.shards_used = pool ? pool->shards() : 1;
+  if (pool) {
+    result.stats.shard_requests = pool->stats().requests;
+    result.stats.shard_redispatches = pool->stats().redispatches;
+    result.stats.shard_respawns = pool->stats().respawns;
   }
   return result;
 }

@@ -148,6 +148,15 @@ Fidelity fidelity_from_string(const std::string& name) {
   return Fidelity::kAnalytic;
 }
 
+void clear_fidelity_caches() {
+  {
+    std::lock_guard<std::mutex> lk(g_ir_cache_mutex);
+    g_ir_error_cache.clear();
+  }
+  std::lock_guard<std::mutex> lk(g_probe_mutex);
+  g_probe_cache.clear();
+}
+
 FidelityLadder::FidelityLadder(FidelityConfig config, core::AppProfile profile,
                                core::AccuracyOracle oracle)
     : config_(config), profile_(std::move(profile)), evaluator_(std::move(oracle)) {

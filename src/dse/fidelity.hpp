@@ -51,6 +51,13 @@ constexpr std::size_t kFidelityTiers = 4;
 std::string to_string(Fidelity f);
 Fidelity fidelity_from_string(const std::string& name);
 
+/// Drop the process-wide ladder memo caches (the per-device nodal IR-drop
+/// errors and the per-(rate, age, seed) Monte-Carlo probe reports).  Values
+/// are pure functions of their keys, so clearing only costs recompute time —
+/// benches call this (plus core::clear_evaluation_caches()) between timed
+/// runs so a "cold" measurement is honestly cold.
+void clear_fidelity_caches();
+
 struct FidelityConfig {
   /// Top physics rung for the job (>= kAnalytic: the surrogate rung is not a
   /// ladder tier, it sits below the ladder and is served by the engine).

@@ -1,16 +1,15 @@
 #include "dse/space.hpp"
 
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace xlds::dse {
 
+// Alias of the framework-wide hash (util/hash.hpp) kept for the existing
+// dse-layer call sites; both must agree byte-for-byte or the result cache
+// could never be shared with journal-compatible jobs.
 std::uint64_t fnv1a64(const void* data, std::size_t n, std::uint64_t h) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= bytes[i];
-    h *= 1099511628211ull;
-  }
-  return h;
+  return util::fnv1a64(data, n, h);
 }
 
 namespace {

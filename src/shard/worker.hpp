@@ -1,0 +1,57 @@
+// The evaluation-shard worker: serves EvalRequests on a stream fd until the
+// parent shuts it down or disappears.
+//
+// The worker is deliberately ignorant of the DSE layer: it receives fully
+// materialised design points over the wire and prices them through an
+// injected evaluator callback, so src/shard/ depends only on core + util and
+// the dependency arrow between dse and shard points one way (dse -> shard).
+// Two ways to obtain the evaluator:
+//
+//   fork mode (ShardPool default): the parent forks without exec, and the
+//   child inherits the evaluator closure (and every warm memo cache the
+//   parent had built) directly — `WorkerInit::job` is set.
+//
+//   exec mode (tools/xlds-shard-worker): a fresh process builds the
+//   evaluator from the Hello's job-spec JSON via `WorkerInit::factory`, and
+//   acks with the job hash *it* derived so the parent can verify both sides
+//   agree on the job identity before any evaluation runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/design_space.hpp"
+#include "core/evaluate.hpp"
+#include "shard/protocol.hpp"
+
+namespace xlds::shard {
+
+/// Price one design point at one fidelity tier.  Must be a pure function of
+/// (point, tier) — the shard contract inherits the ladder's.
+using PointEvaluator =
+    std::function<core::Fom(const core::DesignPoint& p, std::uint32_t tier)>;
+
+struct WorkerJob {
+  std::string application;  ///< application every wire point is bound to
+  PointEvaluator evaluate;
+  /// Job identity this worker acks with; 0 = echo the Hello's hash (fork
+  /// mode, where parent and child share the ladder by construction).
+  std::uint64_t job_hash = 0;
+};
+
+using JobFactory = std::function<WorkerJob(const Hello& hello)>;
+
+struct WorkerInit {
+  WorkerJob job;       ///< fork mode: non-null evaluate
+  JobFactory factory;  ///< exec mode: build the job from the Hello
+};
+
+/// Serve requests on `fd` until Shutdown or EOF (parent gone).  Returns the
+/// process exit code: 0 on a clean shutdown, non-zero on a protocol or
+/// handshake failure (each code is distinct to make post-mortems legible).
+/// Evaluation exceptions do NOT exit: they are forwarded as EvalError frames
+/// and the worker keeps serving.
+int serve_worker(int fd, const WorkerInit& init);
+
+}  // namespace xlds::shard

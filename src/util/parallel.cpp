@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "core/counters.hpp"
+#include "util/env.hpp"
 
 namespace xlds {
 
@@ -25,20 +26,16 @@ constexpr std::size_t kNoFailure = ~static_cast<std::size_t>(0);
 constexpr std::size_t kTasksPerLane = 8;
 
 std::size_t env_thread_count() {
-  if (const char* env = std::getenv("XLDS_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0) return static_cast<std::size_t>(v);
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  return util::env_positive_count("XLDS_THREADS",
+                                  hw == 0 ? 1 : static_cast<std::size_t>(hw));
 }
 
 SchedulerMode env_scheduler_mode() {
-  if (const char* env = std::getenv("XLDS_SCHED")) {
-    if (std::strcmp(env, "static") == 0) return SchedulerMode::kStatic;
-  }
-  return SchedulerMode::kWorkStealing;
+  static const char* const kModes[] = {"steal", "static", nullptr};
+  return util::env_choice("XLDS_SCHED", kModes, "steal") == "static"
+             ? SchedulerMode::kStatic
+             : SchedulerMode::kWorkStealing;
 }
 
 /// One dispatched batch of units (chunks).  `unit` is borrowed from the
@@ -108,8 +105,21 @@ class Pool {
     std::lock_guard<std::mutex> lk(config_mutex_);
     stop_workers_locked();
     started_ = true;
+    quiesced_ = false;
     target_lanes_ = n == 0 ? env_thread_count() : n;
     start_workers_locked();
+  }
+
+  /// Pre-fork quiesce (see parallel.hpp): join every worker so the process
+  /// is single-threaded and no pool mutex is held when fork() runs.  The
+  /// target width is kept; the next job lazily restarts the workers — in
+  /// whichever process (parent or child) issues it.
+  void quiesce_for_fork() {
+    std::lock_guard<std::mutex> run_lk(run_mutex_);  // wait out any in-flight job
+    std::lock_guard<std::mutex> lk(config_mutex_);
+    if (!started_ || quiesced_) return;
+    stop_workers_locked();
+    quiesced_ = true;
   }
 
   SchedulerMode mode() const { return mode_.load(std::memory_order_relaxed); }
@@ -174,9 +184,12 @@ class Pool {
   }
 
   void ensure_started_locked() {
-    if (started_) return;
-    started_ = true;
-    target_lanes_ = env_thread_count();
+    if (started_ && !quiesced_) return;
+    if (!started_) {
+      started_ = true;
+      target_lanes_ = env_thread_count();
+    }
+    quiesced_ = false;  // lazily rebuild after a pre-fork quiesce
     start_workers_locked();
   }
 
@@ -451,6 +464,7 @@ class Pool {
   std::mutex config_mutex_;  ///< guards started_/target_lanes_/workers_/lanes_
   std::mutex run_mutex_;     ///< held for the duration of one top-level job
   bool started_ = false;
+  bool quiesced_ = false;  ///< workers torn down pre-fork; rebuild on next use
   std::size_t target_lanes_ = 1;
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<Lane>> lanes_;  ///< deques; stable while workers run
@@ -476,6 +490,8 @@ void set_parallel_threads(std::size_t n) { Pool::instance().resize(n); }
 SchedulerMode parallel_scheduler() { return Pool::instance().mode(); }
 
 void set_parallel_scheduler(SchedulerMode mode) { Pool::instance().set_mode(mode); }
+
+void parallel_quiesce_for_fork() { Pool::instance().quiesce_for_fork(); }
 
 std::size_t default_parallel_chunk(std::size_t n) {
   // Aim for ~64 chunks (fine-grained enough to balance, coarse enough to

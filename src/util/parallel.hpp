@@ -75,6 +75,20 @@ SchedulerMode parallel_scheduler();
 /// never sees a mid-run flip.  Never changes results — only wall-clock time.
 void set_parallel_scheduler(SchedulerMode mode);
 
+/// Pre-fork contract.  fork() only duplicates the calling thread: in a child
+/// forked while the pool's workers exist, every worker thread is gone but the
+/// pool's bookkeeping still says they are running — and a deque or wake mutex
+/// a worker held at the fork instant stays locked forever in the child.  Any
+/// code that forks this process (shard::ShardPool does) MUST call this first:
+/// it waits out any in-flight job, joins and discards every worker thread,
+/// and leaves the pool in a quiesced state (no pool mutex held, no threads)
+/// from which the next parallel call — in the parent or in the child —
+/// lazily rebuilds the workers at the previously configured width.  The
+/// caller must not issue parallel work from other threads between the
+/// quiesce and the fork().  Results are unaffected (determinism rule: lane
+/// count and pool lifetime never change what a chunk computes).
+void parallel_quiesce_for_fork();
+
 /// Chunk size used when parallel_for is called with chunk == 0.  Depends only
 /// on n (never on the thread count), preserving the determinism contract.
 std::size_t default_parallel_chunk(std::size_t n);

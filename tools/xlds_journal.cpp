@@ -3,6 +3,10 @@
 //   xlds-journal --file run.xjl                 # integrity + per-tier summary
 //   xlds-journal --file run.xjl --csv out.csv   # (point, tier, FOM) dump
 //   xlds-journal --file run.xjl --json out.json # same, as a JSON document
+//   xlds-journal cache --file results.xrc       # persistent result cache:
+//                                               #   records, tiers, job spaces,
+//                                               #   per-session hit rates
+//   xlds-journal cache --file results.xrc --csv out.csv
 //
 // The journal is the surrogate model's training set — every (point, tier,
 // FOM) the engine ever paid for — so being able to audit it matters twice:
@@ -17,8 +21,12 @@
 #include <iostream>
 #include <string>
 
+#include <map>
+#include <set>
+
 #include "dse/fidelity.hpp"
 #include "dse/journal.hpp"
+#include "shard/result_cache.hpp"
 #include "util/argparse.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -44,11 +52,91 @@ void write_file(const std::string& path, const std::string& contents) {
   XLDS_REQUIRE_MSG(out.good(), "write to '" << path << "' failed");
 }
 
+/// The `cache` subcommand: read-only inspection of a persistent cross-run
+/// result cache (shard::ResultCache) — record counts by tier, the distinct
+/// job spaces sharing the file, and the hit-rate history its session
+/// records accumulated.  Like the journal inspection, never truncates.
+int run_cache_subcommand(int argc, char** argv) {
+  using namespace xlds;
+  util::ArgParse args("xlds-journal cache",
+                      "Inspect and export persistent cross-run result caches");
+  args.add_option("file", "result cache path (required)");
+  args.add_option("csv", "dump result records as CSV to this path");
+  args.add_flag("quiet", "suppress the summary (dumps only)");
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
+
+  try {
+    XLDS_REQUIRE_MSG(args.provided("file"), "--file is required (see --help)");
+    const std::string path = args.str("file");
+    const shard::ResultCache::InspectInfo info = shard::ResultCache::inspect(path);
+
+    std::array<std::size_t, dse::kFidelityTiers> by_tier{};
+    std::set<std::uint64_t> spaces;
+    std::size_t feasible = 0;
+    for (const shard::ResultCache::ResultRecord& r : info.results) {
+      XLDS_REQUIRE_MSG(r.tier < dse::kFidelityTiers,
+                       "record carries unknown fidelity tier " << r.tier);
+      ++by_tier[r.tier];
+      spaces.insert(r.space_hash);
+      if (r.fom.feasible) ++feasible;
+    }
+
+    if (!args.flag("quiet")) {
+      std::cout << "cache:    " << path << "\n"
+                << "version:  " << info.version << "\n"
+                << "records:  " << info.results.size() << " intact (" << feasible
+                << " feasible) across " << spaces.size() << " job space"
+                << (spaces.size() == 1 ? "" : "s") << "\n";
+      for (std::size_t t = 0; t < dse::kFidelityTiers; ++t)
+        std::cout << "  " << dse::to_string(static_cast<dse::Fidelity>(t)) << ": "
+                  << by_tier[t] << "\n";
+      std::cout << "sessions: " << info.sessions.size() << "\n";
+      std::uint64_t hits = 0;
+      std::uint64_t misses = 0;
+      for (const shard::ResultCache::SessionRecord& s : info.sessions) {
+        hits += s.hits;
+        misses += s.misses;
+      }
+      if (hits + misses > 0) {
+        char rate[16];
+        std::snprintf(rate, sizeof rate, "%.1f%%",
+                      100.0 * static_cast<double>(hits) / static_cast<double>(hits + misses));
+        std::cout << "hit rate: " << rate << " lifetime (" << hits << " hits / "
+                  << misses << " misses)\n";
+      }
+      if (info.dropped_bytes > 0)
+        std::cout << "torn tail: " << info.dropped_bytes
+                  << " bytes (the next open truncates these)\n";
+      else
+        std::cout << "torn tail: none\n";
+    }
+
+    if (args.provided("csv")) {
+      std::string csv = "space_hash,point_hash,tier,feasible,latency_s,energy_j,area_mm2,accuracy\n";
+      for (const shard::ResultCache::ResultRecord& r : info.results)
+        csv += format_hex64(r.space_hash) + ',' + format_hex64(r.point_hash) + ',' +
+               dse::to_string(static_cast<dse::Fidelity>(r.tier)) + ',' +
+               (r.fom.feasible ? "1," : "0,") + format_g(r.fom.latency) + ',' +
+               format_g(r.fom.energy) + ',' + format_g(r.fom.area_mm2) + ',' +
+               format_g(r.fom.accuracy) + '\n';
+      write_file(args.str("csv"), csv);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "xlds-journal: error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace xlds;
   using xlds::util::ArgParse;
+  if (argc > 1 && std::string(argv[1]) == "cache") {
+    argv[1] = argv[0];  // shift: the subcommand parses its own flags
+    return run_cache_subcommand(argc - 1, argv + 1);
+  }
   ArgParse args("xlds-journal", "Inspect and export crash-safe DSE result journals");
   args.add_option("file", "journal path (required)");
   args.add_option("csv", "dump records as CSV to this path");

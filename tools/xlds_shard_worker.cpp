@@ -1,0 +1,57 @@
+// xlds-shard-worker: a standalone evaluation shard.
+//
+//   xlds-shard-worker --fd N
+//
+// Speaks the shard wire protocol (src/shard/protocol.hpp) on an inherited
+// stream fd: reads the Hello, rebuilds the fidelity ladder from the job-spec
+// JSON it carries, acks with the job hash *this binary* derives (a mismatch
+// with the parent's hash aborts before any evaluation — the guard against a
+// stale worker binary pricing a different physics), then serves EvalRequests
+// until Shutdown or EOF.
+//
+// The default ShardPool path forks the parent instead of exec'ing this tool
+// (inheriting the evaluator closure and warm caches for free); this binary
+// exists to prove the protocol carries everything a fresh process needs —
+// the stepping stone to running shards on other machines.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include <signal.h>
+
+#include "dse/engine.hpp"
+#include "dse/fidelity.hpp"
+#include "dse/jobspec.hpp"
+#include "dse/space.hpp"
+#include "shard/worker.hpp"
+#include "util/argparse.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xlds;
+  util::ArgParse args("xlds-shard-worker",
+                      "Evaluation shard serving the XLDS wire protocol on an inherited fd");
+  args.add_option("fd", "stream file descriptor to serve (required)");
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
+  if (!args.provided("fd")) {
+    std::fprintf(stderr, "xlds-shard-worker: --fd is required (see --help)\n");
+    return 2;
+  }
+  ::signal(SIGPIPE, SIG_IGN);  // a dead parent must surface as a write error
+
+  shard::WorkerInit init;
+  init.factory = [](const shard::Hello& hello) {
+    const dse::EngineConfig config = dse::config_from_spec_text(hello.job_json);
+    // Shared so the evaluator closure keeps them alive for the serve loop.
+    const auto space = std::make_shared<dse::SearchSpace>(config.axes, config.application);
+    const auto ladder = std::make_shared<dse::FidelityLadder>(
+        config.fidelity, core::profile_for(config.application));
+    shard::WorkerJob job;
+    job.application = config.application;
+    job.job_hash = dse::job_hash(*space, *ladder);
+    job.evaluate = [ladder](const core::DesignPoint& p, std::uint32_t tier) {
+      return ladder->evaluate(p, static_cast<dse::Fidelity>(tier));
+    };
+    return job;
+  };
+  return shard::serve_worker(static_cast<int>(args.uinteger("fd")), init);
+}
